@@ -1,0 +1,54 @@
+"""Benchmarks for the extension ablations (bounds, weighted, adaptive)."""
+
+from __future__ import annotations
+
+from repro.experiments.ablation_adaptive import (
+    AblationAdaptiveConfig,
+    run_ablation_adaptive,
+)
+from repro.experiments.ablation_bounds import (
+    AblationBoundsConfig,
+    run_ablation_bounds,
+)
+from repro.experiments.ablation_weighted import (
+    AblationWeightedConfig,
+    run_ablation_weighted,
+)
+
+
+def bench_ablation_bounds(benchmark, save_artifact):
+    """Bound tightness sweep; the Lemma 2 bound must respect the exact JER."""
+    result = benchmark.pedantic(
+        run_ablation_bounds, args=(AblationBoundsConfig.small(),),
+        rounds=1, iterations=1,
+    )
+    save_artifact(result)
+    exact = result.series_named("exact")
+    for point in result.series_named("pz-lower").points:
+        assert point.y <= exact.y_at(point.x) + 1e-12
+
+
+def bench_ablation_weighted(benchmark, save_artifact):
+    """Majority vs optimal weighted voting; weighted never loses."""
+    result = benchmark.pedantic(
+        run_ablation_weighted, args=(AblationWeightedConfig.small(),),
+        rounds=1, iterations=1,
+    )
+    save_artifact(result)
+    majority = result.series_named("majority")
+    weighted = result.series_named("weighted")
+    for x in majority.xs:
+        assert weighted.y_at(x) <= majority.y_at(x) + 1e-9
+
+
+def bench_ablation_adaptive(benchmark, save_artifact):
+    """Sequential vs static polling; sequential must save questions."""
+    result = benchmark.pedantic(
+        run_ablation_adaptive, args=(AblationAdaptiveConfig.small(),),
+        rounds=1, iterations=1,
+    )
+    save_artifact(result)
+    questions = result.series_named("adaptive-questions")
+    static = result.series_named("static-questions")
+    loosest = max(questions.xs)
+    assert questions.y_at(loosest) < static.y_at(loosest)

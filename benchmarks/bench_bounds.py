@@ -1,0 +1,43 @@
+"""Ablation bench: Lemma 2 lower bound vs exact JER computation.
+
+The paper's pruning argument rests on the bound being much cheaper than the
+JER it screens ("the time cost of lower bound calculation is smaller than
+that of both algorithms" — Section 3.1.3).  This bench quantifies the gap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bounds import paley_zygmund_lower_bound
+from repro.core.jer import jer_cba, jer_dp
+
+N = 2001
+
+
+@pytest.fixture(scope="module")
+def error_prone_eps():
+    # gamma < 1 regime so the bound is actually applicable.
+    rng = np.random.default_rng(63)
+    return rng.uniform(0.55, 0.95, size=N)
+
+
+def bench_paley_zygmund_bound(benchmark, error_prone_eps):
+    """O(n) bound evaluation."""
+    value = benchmark(paley_zygmund_lower_bound, error_prone_eps)
+    assert value is not None
+    assert 0.0 < value < 1.0
+
+
+def bench_exact_jer_same_jury_dp(benchmark, error_prone_eps):
+    """The O(n^2) computation the bound is screening."""
+    value = benchmark(jer_dp, error_prone_eps)
+    bound = paley_zygmund_lower_bound(error_prone_eps)
+    assert bound is not None and bound <= value + 1e-12
+
+
+def bench_exact_jer_same_jury_cba(benchmark, error_prone_eps):
+    """The O(n log n) computation the bound is screening."""
+    value = benchmark(jer_cba, error_prone_eps)
+    assert 0.0 <= value <= 1.0

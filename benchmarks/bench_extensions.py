@@ -1,0 +1,111 @@
+"""Benchmarks for the extension subsystems.
+
+Quantifies the design claims of DESIGN.md systems 19-24: incremental jury
+edits are O(n) (vs full recomputation), sensitivity analysis is quadratic
+not cubic, EM estimation is practical at realistic history sizes, and the
+Lagrangian selector sits between PayALG and the exact optimum in cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.incremental import IncrementalJury
+from repro.core.jer import jer_dp
+from repro.core.juror import Juror
+from repro.core.selection.lagrangian import select_jury_lagrangian
+from repro.core.selection.pay import select_jury_pay
+from repro.core.sensitivity import juror_influence_report
+from repro.core.weighted import weighted_jury_error_rate
+from repro.estimation.history import estimate_error_rates_em
+from repro.synth.generators import generate_workload
+
+N = 501
+
+
+@pytest.fixture(scope="module")
+def eps():
+    rng = np.random.default_rng(91)
+    return rng.uniform(0.05, 0.95, size=N)
+
+
+@pytest.fixture(scope="module")
+def builder(eps):
+    return IncrementalJury(
+        [Juror(float(e), juror_id=f"m{i}") for i, e in enumerate(eps)]
+    )
+
+
+def bench_incremental_swap(benchmark, builder, eps):
+    """One O(n) swap + JER query on a 501-member jury."""
+    replacement = Juror(0.42, juror_id="replacement")
+
+    def swap_and_query():
+        builder.swap("m0", replacement)
+        value = builder.jer()
+        builder.swap("replacement", Juror(float(eps[0]), juror_id="m0"))
+        return value
+
+    value = benchmark(swap_and_query)
+    assert 0.0 <= value <= 1.0
+
+
+def bench_batch_recompute_equivalent(benchmark, eps):
+    """The from-scratch O(n^2) recomputation the incremental edit replaces."""
+    swapped = eps.copy()
+    swapped[0] = 0.42
+    value = benchmark(jer_dp, swapped)
+    assert 0.0 <= value <= 1.0
+
+
+def bench_sensitivity_report(benchmark, eps):
+    """Full per-juror gradient report on a 501-member jury (O(n^2))."""
+    report = benchmark.pedantic(
+        juror_influence_report, args=(eps,), rounds=1, iterations=1
+    )
+    assert len(report) == N
+
+
+def bench_weighted_jer_monte_carlo(benchmark):
+    """Weighted JER for a 51-member jury via the Monte-Carlo path."""
+    rng = np.random.default_rng(92)
+    sample = rng.uniform(0.1, 0.45, size=51)
+    value = benchmark.pedantic(
+        weighted_jury_error_rate,
+        args=(sample,),
+        kwargs={"trials": 100_000, "rng": np.random.default_rng(93)},
+        rounds=1,
+        iterations=1,
+    )
+    assert 0.0 <= value <= 1.0
+
+
+def bench_em_estimation(benchmark):
+    """EM over a 500-task x 50-juror voting history."""
+    rng = np.random.default_rng(94)
+    true_eps = rng.uniform(0.05, 0.45, size=50)
+    truth = rng.integers(0, 2, size=500)
+    wrong = rng.random((500, 50)) < true_eps
+    votes = np.where(wrong, 1 - truth[:, None], truth[:, None])
+
+    fit = benchmark.pedantic(
+        estimate_error_rates_em, args=(votes,), rounds=1, iterations=1
+    )
+    assert np.all(np.abs(fit.error_rates - true_eps) < 0.15)
+
+
+def bench_lagrangian_selector(benchmark):
+    """Lagrangian sweep on 400 PayM candidates (vs PayALG in bench_selection)."""
+    wl = generate_workload(
+        400, eps_mean=0.3, eps_variance=0.01, req_mean=0.5, req_variance=0.04,
+        seed=95,
+    )
+    candidates = list(wl.jurors)
+    result = benchmark.pedantic(
+        select_jury_lagrangian, args=(candidates, 1.0), rounds=1, iterations=1
+    )
+    greedy = select_jury_pay(candidates, budget=1.0)
+    # The multiplier sweep should never lose to the single-ordering greedy
+    # by much; typically it wins.
+    assert result.jer <= greedy.jer * 1.5 + 1e-9

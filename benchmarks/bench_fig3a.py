@@ -1,0 +1,19 @@
+"""Benchmark + reproduction of Figure 3(a): jury size vs mean error rate."""
+
+from __future__ import annotations
+
+from repro.experiments.fig3a import Fig3aConfig, run_fig3a
+
+
+def bench_fig3a(benchmark, save_artifact):
+    """Regenerate Figure 3(a) at bench scale and check the 0.5 collapse."""
+    result = benchmark.pedantic(
+        run_fig3a, args=(Fig3aConfig.small(),), rounds=1, iterations=1
+    )
+    save_artifact(result)
+    tight = result.series_named("var(0.1)")
+    below = max(tight.y_at(x) for x in (0.1, 0.3))
+    above = max(tight.y_at(x) for x in (0.7, 0.9))
+    # Paper's finding: the optimal jury collapses once the population mean
+    # crosses 0.5 ("truth rests in the hands of a few").
+    assert above < below

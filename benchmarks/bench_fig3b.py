@@ -1,0 +1,22 @@
+"""Benchmark + reproduction of Figure 3(b): AltrALG efficiency, +/- bound."""
+
+from __future__ import annotations
+
+from repro.experiments.fig3b import Fig3bConfig, run_fig3b
+
+
+def bench_fig3b(benchmark, save_artifact):
+    """Regenerate Figure 3(b) at bench scale; pruning must help where the
+    Paley-Zygmund bound applies (error-prone population) and cost little
+    where it does not (reliable population)."""
+    result = benchmark.pedantic(
+        run_fig3b, args=(Fig3bConfig.small(),), rounds=1, iterations=1
+    )
+    save_artifact(result)
+    largest = max(result.series_named("m(0.1)").xs)
+    assert result.series_named("m(0.6,b)").y_at(largest) <= result.series_named(
+        "m(0.6)"
+    ).y_at(largest)
+    assert result.series_named("m(0.1,b)").y_at(largest) <= result.series_named(
+        "m(0.1)"
+    ).y_at(largest) * 1.6

@@ -1,0 +1,17 @@
+"""Benchmark + reproduction of Figure 3(c): budget vs total jury cost."""
+
+from __future__ import annotations
+
+from repro.experiments.fig3c import Fig3cConfig, run_fig3c
+
+
+def bench_fig3c(benchmark, save_artifact):
+    """Regenerate Figure 3(c); spending grows with, and never exceeds, B."""
+    result = benchmark.pedantic(
+        run_fig3c, args=(Fig3cConfig.small(),), rounds=1, iterations=1
+    )
+    save_artifact(result)
+    for series in result.series:
+        assert series.ys == sorted(series.ys)  # monotone in budget
+        for point in series.points:
+            assert point.y <= point.x + 1e-9  # never over budget

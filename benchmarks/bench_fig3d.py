@@ -1,0 +1,22 @@
+"""Benchmark + reproduction of Figure 3(d): budget vs JER."""
+
+from __future__ import annotations
+
+from repro.experiments.fig3c import Fig3cConfig
+from repro.experiments.fig3d import run_fig3d
+
+
+def bench_fig3d(benchmark, save_artifact):
+    """Regenerate Figure 3(d); more budget means (weakly) lower JER and the
+    lower-error-rate population dominates at every budget."""
+    result = benchmark.pedantic(
+        run_fig3d, args=(Fig3cConfig.small(),), rounds=1, iterations=1
+    )
+    save_artifact(result)
+    for series in result.series:
+        ys = series.ys
+        assert all(a >= b - 1e-12 for a, b in zip(ys, ys[1:]))
+    good = result.series_named("m(0.3)")
+    bad = result.series_named("m(0.6)")
+    for x in good.xs:
+        assert good.y_at(x) <= bad.y_at(x) + 1e-12

@@ -1,0 +1,20 @@
+"""Benchmark + reproduction of Figure 3(e): APPX vs OPT on total cost."""
+
+from __future__ import annotations
+
+from repro.experiments.fig3e import Fig3eConfig, run_fig3e
+
+
+def bench_fig3e(benchmark, save_artifact):
+    """Regenerate Figure 3(e); both selections stay within budget and OPT's
+    spending is monotone in B (the paper: 'budget is indeed the constraint
+    of forming better jury')."""
+    result = benchmark.pedantic(
+        run_fig3e, args=(Fig3eConfig.small(),), rounds=1, iterations=1
+    )
+    save_artifact(result)
+    for series in result.series:
+        for point in series.points:
+            assert point.y <= point.x + 1e-9
+    opt = result.series_named("OPT").ys
+    assert opt == sorted(opt)

@@ -1,0 +1,18 @@
+"""Benchmark + reproduction of Figure 3(f): APPX vs OPT on JER."""
+
+from __future__ import annotations
+
+from repro.experiments.fig3e import Fig3eConfig
+from repro.experiments.fig3f import run_fig3f
+
+
+def bench_fig3f(benchmark, save_artifact):
+    """Regenerate Figure 3(f); OPT's JER is a lower envelope of APPX's."""
+    result = benchmark.pedantic(
+        run_fig3f, args=(Fig3eConfig.small(),), rounds=1, iterations=1
+    )
+    save_artifact(result)
+    appx = result.series_named("APPX")
+    opt = result.series_named("OPT")
+    for x in appx.xs:
+        assert opt.y_at(x) <= appx.y_at(x) + 1e-12

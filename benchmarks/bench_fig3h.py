@@ -1,0 +1,21 @@
+"""Benchmark + reproduction of Figure 3(h): PayALG precision & recall."""
+
+from __future__ import annotations
+
+from repro.experiments.fig3h import Fig3hConfig, run_fig3h
+
+
+def bench_fig3h(benchmark, save_artifact):
+    """Regenerate Figure 3(h); precision/recall live in [0, 1] and the
+    greedy recovers the optimum at most budgets (paper: HT scores 1.0)."""
+    result = benchmark.pedantic(
+        run_fig3h, args=(Fig3hConfig.small(),), rounds=1, iterations=1
+    )
+    save_artifact(result)
+    values = []
+    for series in result.series:
+        for point in series.points:
+            assert 0.0 <= point.y <= 1.0
+            values.append(point.y)
+    assert values, "sweep produced no feasible budgets"
+    assert max(values) == 1.0

@@ -1,0 +1,21 @@
+"""Benchmark + reproduction of Figure 3(i): jury size vs budget."""
+
+from __future__ import annotations
+
+from repro.experiments.fig3h import Fig3hConfig
+from repro.experiments.fig3i import run_fig3i
+
+
+def bench_fig3i(benchmark, save_artifact):
+    """Regenerate Figure 3(i); sizes are odd, positive and grow (weakly)
+    with the budget for the exact optimum."""
+    result = benchmark.pedantic(
+        run_fig3i, args=(Fig3hConfig.small(),), rounds=1, iterations=1
+    )
+    save_artifact(result)
+    for series in result.series:
+        for point in series.points:
+            assert point.y >= 1 and int(point.y) % 2 == 1
+    for label in ("HT-TRUE", "PR-TRUE"):
+        ys = result.series_named(label).ys
+        assert ys == sorted(ys)

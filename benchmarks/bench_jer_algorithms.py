@@ -1,0 +1,69 @@
+"""Ablation bench: the three JER algorithms of paper Section 3.1.
+
+Backs the paper's complexity claims — Algorithm 1 (DP, O(n^2)) versus
+Algorithm 2 (CBA, O(n log n)) versus naive enumeration (O(2^n)) — and our
+incremental prefix sweeper (DESIGN.md system 3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.jer import PrefixJERSweeper, jer_cba, jer_dp, jer_naive
+
+SMALL_N = 15
+LARGE_N = 2001
+
+
+@pytest.fixture(scope="module")
+def small_eps():
+    rng = np.random.default_rng(61)
+    return rng.uniform(0.05, 0.95, size=SMALL_N)
+
+
+@pytest.fixture(scope="module")
+def large_eps():
+    rng = np.random.default_rng(62)
+    return rng.uniform(0.05, 0.95, size=LARGE_N)
+
+
+def bench_jer_naive_small(benchmark, small_eps):
+    """Exponential enumeration — only feasible for tiny juries."""
+    value = benchmark(jer_naive, small_eps)
+    assert value == pytest.approx(jer_dp(small_eps), abs=1e-10)
+
+
+def bench_jer_dp_small(benchmark, small_eps):
+    value = benchmark(jer_dp, small_eps)
+    assert 0.0 <= value <= 1.0
+
+
+def bench_jer_cba_small(benchmark, small_eps):
+    value = benchmark(jer_cba, small_eps)
+    assert value == pytest.approx(jer_dp(small_eps), abs=1e-10)
+
+
+def bench_jer_dp_large(benchmark, large_eps):
+    """Algorithm 1 at n=2001 — the quadratic baseline."""
+    value = benchmark(jer_dp, large_eps)
+    assert 0.0 <= value <= 1.0
+
+
+def bench_jer_cba_large(benchmark, large_eps):
+    """Algorithm 2 at n=2001 — the FFT divide-and-conquer contender."""
+    value = benchmark(jer_cba, large_eps)
+    assert value == pytest.approx(jer_dp(large_eps), abs=1e-8)
+
+
+def bench_prefix_sweeper_large(benchmark, large_eps):
+    """All 1001 odd-prefix JERs in one incremental pass (our optimisation:
+    cheaper than 1001 independent CBA calls)."""
+    ordered = np.sort(large_eps)
+
+    def sweep():
+        return PrefixJERSweeper(ordered).best_prefix()
+
+    best_n, best_jer = benchmark(sweep)
+    assert best_n % 2 == 1
+    assert 0.0 <= best_jer <= 1.0

@@ -1,0 +1,133 @@
+"""Ablation bench: selection-algorithm design choices called out in DESIGN.md.
+
+* AltrALG execution strategies: incremental ``sweep`` vs the paper-faithful
+  ``per-jury`` recomputation (with DP and CBA back-ends);
+* PayALG first-fit pairing vs the steepest-descent ``improved`` variant;
+* exact solvers: enumeration vs branch-and-bound (with/without JER bound).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.selection.altr import select_jury_altr
+from repro.core.selection.exact import branch_and_bound_optimal, enumerate_optimal
+from repro.core.selection.pay import select_jury_pay
+from repro.synth.generators import generate_workload
+
+ALTR_N = 801
+PAY_N = 400
+EXACT_N = 14
+
+
+@pytest.fixture(scope="module")
+def altr_candidates():
+    wl = generate_workload(ALTR_N, eps_mean=0.3, eps_variance=0.01, seed=71)
+    return list(wl.jurors)
+
+
+@pytest.fixture(scope="module")
+def pay_candidates():
+    wl = generate_workload(
+        PAY_N, eps_mean=0.3, eps_variance=0.01, req_mean=0.5, req_variance=0.04,
+        seed=72,
+    )
+    return list(wl.jurors)
+
+
+@pytest.fixture(scope="module")
+def exact_candidates():
+    wl = generate_workload(
+        EXACT_N, eps_mean=0.25, eps_variance=0.005, req_mean=0.5,
+        req_variance=0.04, seed=73,
+    )
+    return list(wl.jurors)
+
+
+def bench_altr_sweep(benchmark, altr_candidates):
+    """Our O(N^2) incremental sweep."""
+    result = benchmark(select_jury_altr, altr_candidates)
+    assert result.size % 2 == 1
+
+
+def bench_altr_per_jury_dp(benchmark, altr_candidates):
+    """Paper-faithful AltrALG with per-prefix Algorithm 1."""
+    result = benchmark.pedantic(
+        select_jury_altr,
+        args=(altr_candidates,),
+        kwargs={"strategy": "per-jury", "jer_method": "dp"},
+        rounds=1,
+        iterations=1,
+    )
+    sweep = select_jury_altr(altr_candidates)
+    assert result.jer == pytest.approx(sweep.jer, abs=1e-10)
+
+
+def bench_altr_per_jury_cba(benchmark, altr_candidates):
+    """Paper-faithful AltrALG with per-prefix Algorithm 2 (CBA)."""
+    result = benchmark.pedantic(
+        select_jury_altr,
+        args=(altr_candidates,),
+        kwargs={"strategy": "per-jury", "jer_method": "cba"},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.size % 2 == 1
+
+
+def bench_pay_paper_variant(benchmark, pay_candidates):
+    result = benchmark(select_jury_pay, pay_candidates, 1.0)
+    assert result.total_cost <= 1.0 + 1e-9
+
+
+def bench_pay_improved_variant(benchmark, pay_candidates):
+    """Steepest-descent pairing: better juries, quadratic step cost."""
+    result = benchmark.pedantic(
+        select_jury_pay,
+        args=(pay_candidates, 1.0),
+        kwargs={"variant": "improved"},
+        rounds=1,
+        iterations=1,
+    )
+    paper = select_jury_pay(pay_candidates, 1.0)
+    assert result.jer <= paper.jer + 1e-12
+
+
+def bench_exact_enumeration(benchmark, exact_candidates):
+    result = benchmark.pedantic(
+        enumerate_optimal, args=(exact_candidates, 1.5), rounds=1, iterations=1
+    )
+    assert result.total_cost <= 1.5 + 1e-9
+
+
+def bench_exact_branch_and_bound(benchmark, exact_candidates):
+    result = benchmark(branch_and_bound_optimal, exact_candidates, 1.5)
+    reference = enumerate_optimal(exact_candidates, 1.5)
+    assert result.jer == pytest.approx(reference.jer, abs=1e-12)
+
+
+def bench_exact_bb_without_jer_bound(benchmark, exact_candidates):
+    """Cost/count pruning only — quantifies the monotonicity bound's value."""
+    result = benchmark.pedantic(
+        branch_and_bound_optimal,
+        args=(exact_candidates, 1.5),
+        kwargs={"use_jer_bound": False},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.size % 2 == 1
+
+
+def bench_exact_bb_paper_scale_n22(benchmark):
+    """The paper's ground-truth setting (N=22) through branch-and-bound."""
+    rng = np.random.default_rng(74)
+    wl = generate_workload(
+        22, eps_mean=0.2, eps_variance=0.0025, req_mean=0.5, req_variance=0.04,
+        rng=rng,
+    )
+
+    result = benchmark.pedantic(
+        branch_and_bound_optimal, args=(list(wl.jurors), 1.0), rounds=1, iterations=1
+    )
+    assert result.total_cost <= 1.0 + 1e-9

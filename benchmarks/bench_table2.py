@@ -1,0 +1,22 @@
+"""Benchmark + reproduction of paper Table 2 (motivating example JERs)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.table2 import TABLE2_ROWS, run_table2
+
+
+def bench_table2(benchmark, save_artifact):
+    """Regenerate Table 2 and time the (tiny) JER computations."""
+    result = benchmark(run_table2)
+    save_artifact(result)
+    reproduced = result.series_named("reproduced")
+    # The jury {A,B,C,D,E} must be the best crowd, as the paper argues.
+    values = {p.note: p.y for p in reproduced.points}
+    assert min(values, key=values.get) == "A,B,C,D,E"
+    # Every reproduced value matches the printed one up to the paper's
+    # rounding (row 6 is the paper's known 0.0805-vs-0.0852 misprint).
+    for row, (_, paper_value) in enumerate(TABLE2_ROWS, start=1):
+        tolerance = 0.006 if row == 6 else 5e-4
+        assert reproduced.y_at(row) == pytest.approx(paper_value, abs=tolerance)

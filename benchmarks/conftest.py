@@ -1,0 +1,33 @@
+"""Shared fixtures for the benchmark suite.
+
+Every figure/table bench saves its reproduced series to
+``benchmarks/results/<experiment_id>.txt`` so the artefacts survive pytest's
+stdout capture; EXPERIMENTS.md indexes them.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Directory collecting the reproduced tables/series."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_artifact(results_dir):
+    """Callable writing an ExperimentResult's table to the results dir."""
+
+    def _save(result) -> Path:
+        path = results_dir / f"{result.experiment_id}.txt"
+        path.write_text(result.to_table() + "\n", encoding="utf-8")
+        return path
+
+    return _save

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Regenerate every paper artefact at (near-)paper scale.
+
+Writes each reproduced table to ``benchmarks/results/paper_scale/<id>.txt``.
+The bench suite (``pytest benchmarks/ --benchmark-only``) runs the same
+experiments at ``small()`` scale; this script is the slow, faithful pass
+whose outputs EXPERIMENTS.md quotes.
+
+Run:  python benchmarks/run_paper_scale.py [ids...]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments.ablation_adaptive import run_ablation_adaptive
+from repro.experiments.ablation_bounds import run_ablation_bounds
+from repro.experiments.ablation_weighted import run_ablation_weighted
+from repro.experiments.fig3a import Fig3aConfig, run_fig3a
+from repro.experiments.fig3b import Fig3bConfig, run_fig3b
+from repro.experiments.fig3c import Fig3cConfig, run_fig3c
+from repro.experiments.fig3d import run_fig3d
+from repro.experiments.fig3e import Fig3eConfig, run_fig3e
+from repro.experiments.fig3f import run_fig3f
+from repro.experiments.fig3g import Fig3gConfig, run_fig3g
+from repro.experiments.fig3h import Fig3hConfig, run_fig3h
+from repro.experiments.fig3i import run_fig3i
+from repro.experiments.table2 import run_table2
+from repro.experiments.twitter_data import TwitterWorkloadConfig
+
+RESULTS = Path(__file__).parent / "results" / "paper_scale"
+
+# fig3b at the paper's N=6000 with the O(N^2 logN) per-jury strategy takes
+# tens of minutes in pure Python; 1000-3000 shows the same growth and
+# pruning behaviour in a few minutes.
+FIG3B = Fig3bConfig(sizes=(1000, 2000, 3000), means=(0.1, 0.2, 0.6))
+TWITTER = TwitterWorkloadConfig(n_users=3000)
+FIG3G = Fig3gConfig(workload=TWITTER, candidate_counts=(500, 1000, 2000))
+FIG3H = Fig3hConfig(workload=TWITTER)
+
+RUNNERS = {
+    "table2": lambda: run_table2(),
+    "fig3a": lambda: run_fig3a(Fig3aConfig()),
+    "fig3b": lambda: run_fig3b(FIG3B),
+    "fig3c": lambda: run_fig3c(Fig3cConfig()),
+    "fig3d": lambda: run_fig3d(Fig3cConfig()),
+    "fig3e": lambda: run_fig3e(Fig3eConfig()),
+    "fig3f": lambda: run_fig3f(Fig3eConfig()),
+    "fig3g": lambda: run_fig3g(FIG3G),
+    "fig3h": lambda: run_fig3h(FIG3H),
+    "fig3i": lambda: run_fig3i(FIG3H),
+    "ablation-bounds": lambda: run_ablation_bounds(),
+    "ablation-weighted": lambda: run_ablation_weighted(),
+    "ablation-adaptive": lambda: run_ablation_adaptive(),
+}
+
+
+def main(argv: list[str]) -> int:
+    RESULTS.mkdir(parents=True, exist_ok=True)
+    chosen = argv or list(RUNNERS)
+    for experiment_id in chosen:
+        runner = RUNNERS[experiment_id]
+        start = time.perf_counter()
+        result = runner()
+        elapsed = time.perf_counter() - start
+        path = RESULTS / f"{experiment_id}.txt"
+        path.write_text(result.to_table() + f"\n[runtime: {elapsed:.1f}s]\n")
+        print(f"{experiment_id}: {elapsed:.1f}s -> {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

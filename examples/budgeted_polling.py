@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Budgeted decision polling under PayM (paper Section 3.3's use case).
+
+A product team wants to crowdsource a yes/no market question ("will our
+users adopt feature X?") to paid micro-blog panellists.  Each panellist has
+an estimated error rate and a payment requirement; the team sweeps its
+budget and watches how jury quality responds — the Figure 3(c)/(d) story at
+example scale — then compares three selectors at one budget:
+
+* PayALG (paper Algorithm 4, first-fit pairing);
+* PayALG-improved (steepest-descent ablation);
+* the exact optimum (branch and bound).
+
+Run:  python examples/budgeted_polling.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    branch_and_bound_optimal,
+    select_jury_pay,
+)
+from repro.synth import generate_workload
+
+N_PANELLISTS = 60
+SEED = 424
+
+
+def main() -> None:
+    workload = generate_workload(
+        N_PANELLISTS,
+        eps_mean=0.25,
+        eps_variance=0.01,
+        req_mean=0.4,
+        req_variance=0.04,
+        seed=SEED,
+        id_prefix="panellist-",
+    )
+    candidates = list(workload.jurors)
+    print(
+        f"== panel of {N_PANELLISTS} paid candidates "
+        f"(eps ~ N(0.25, 0.1^2), r ~ N(0.4, 0.2^2)) =="
+    )
+
+    print("\n== budget sweep (PayALG) ==")
+    print(f"  {'budget':>8}  {'size':>4}  {'cost':>8}  {'JER':>10}")
+    for budget in (0.2, 0.4, 0.8, 1.2, 1.6, 2.0):
+        result = select_jury_pay(candidates, budget=budget)
+        print(
+            f"  {budget:>8.2f}  {result.size:>4}  {result.total_cost:>8.3f}  "
+            f"{result.jer:>10.5f}"
+        )
+    print("  -> raising the budget buys larger juries and lower error.")
+
+    budget = 1.2
+    print(f"\n== selector comparison at budget {budget} ==")
+    greedy = select_jury_pay(candidates, budget=budget)
+    improved = select_jury_pay(candidates, budget=budget, variant="improved")
+    exact = branch_and_bound_optimal(candidates, budget=budget)
+    for label, result in (
+        ("PayALG (paper)", greedy),
+        ("PayALG-improved", improved),
+        ("exact optimum", exact),
+    ):
+        print(
+            f"  {label:<16} size={result.size:>2}  cost={result.total_cost:.3f}  "
+            f"JER={result.jer:.5f}"
+        )
+    assert exact.jer <= improved.jer + 1e-12 <= greedy.jer + 2e-12
+    gap = (greedy.jer - exact.jer) / exact.jer if exact.jer else 0.0
+    print(f"\n  greedy-vs-optimal JER gap: {gap:.1%}")
+    print(
+        "  -> the improved pairing closes part of the gap; branch-and-bound\n"
+        "     certifies the optimum for panels this size."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Jury diagnostics and interactive curation — the extension toolkit.
+
+Beyond reproducing the paper, the library ships analysis tools a deployment
+actually needs.  This example walks a "jury operations" session:
+
+1. full diagnostics of a selected jury (JER, bounds, per-juror sensitivity
+   via the Lemma 3 decomposition, what plain majority voting gives up
+   against optimal weighted voting, Monte-Carlo cross-check);
+2. interactive what-if curation with the O(n)-per-edit incremental jury;
+3. the budget/quality frontier and "cheapest budget for a target JER";
+4. sequential (SPRT) polling: same accuracy, fewer questions;
+5. robustness: how much estimation noise the selection tolerates.
+
+Run:  python examples/jury_diagnostics.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import IncrementalJury, Juror, select_jury_pay
+from repro.analysis import (
+    budget_frontier,
+    diagnose_jury,
+    minimal_budget_for_target,
+    selection_regret_under_noise,
+)
+from repro.simulation import compare_with_static
+from repro.synth import generate_workload
+
+SEED = 99
+
+
+def main() -> None:
+    workload = generate_workload(
+        40, eps_mean=0.25, eps_variance=0.01, req_mean=0.4, req_variance=0.04,
+        seed=SEED, id_prefix="panel-",
+    )
+    candidates = list(workload.jurors)
+
+    print("== 1. diagnose the budget-1.0 jury ==")
+    selection = select_jury_pay(candidates, budget=1.0)
+    report = diagnose_jury(
+        selection.jury, monte_carlo_trials=50_000, rng=np.random.default_rng(0)
+    )
+    print(report.summary())
+
+    print("\n== 2. what-if curation (incremental jury) ==")
+    builder = IncrementalJury(selection.jury.jurors)
+    print(f"  current JER: {builder.jer():.5f}")
+    weakest = report.most_pivotal
+    replacement = Juror(0.05, 0.9, juror_id="hired-expert")
+    hypothetical = builder.what_if_swap(weakest.juror_id, replacement)
+    print(
+        f"  swap {weakest.juror_id} (eps={weakest.error_rate:.3f}) for a "
+        f"hired expert (eps=0.05): JER {builder.jer():.5f} -> {hypothetical:.5f}"
+    )
+    pair = (Juror(0.15, 0.3, juror_id="vol-1"), Juror(0.18, 0.3, juror_id="vol-2"))
+    print(
+        f"  add two volunteers instead: JER -> "
+        f"{builder.what_if_add(*pair):.5f} (jury untouched: size {builder.size})"
+    )
+
+    print("\n== 3. budget/quality frontier ==")
+    points = budget_frontier(candidates, [0.25, 0.5, 1.0, 1.5, 2.0])
+    for point in points:
+        jer_txt = f"{point.jer:.5f}" if point.feasible else "infeasible"
+        print(f"  B={point.budget:<4}: size={point.size:>2}  JER={jer_txt}")
+    target = 0.02
+    needed = minimal_budget_for_target(candidates, target)
+    print(f"  cheapest budget reaching JER <= {target}: "
+          f"{'unreachable' if needed is None else f'{needed:.3f}'}")
+
+    print("\n== 4. sequential polling vs convening everyone ==")
+    comparison = compare_with_static(
+        selection.jury, trials=1500, delta=0.02, rng=np.random.default_rng(1)
+    )
+    print(
+        f"  static : accuracy {comparison.static_accuracy:.3f} with "
+        f"{comparison.static_questions} questions per task"
+    )
+    print(
+        f"  adaptive: accuracy {comparison.adaptive_accuracy:.3f} with "
+        f"{comparison.adaptive_mean_questions:.1f} questions per task "
+        f"({comparison.question_savings:.0%} saved)"
+    )
+
+    print("\n== 5. robustness to estimation noise ==")
+    true_rates = [j.error_rate for j in candidates]
+    for sigma in (0.02, 0.1, 0.2):
+        robustness = selection_regret_under_noise(
+            true_rates, noise_sigma=sigma, n_trials=20,
+            rng=np.random.default_rng(2),
+        )
+        print(
+            f"  sigma={sigma:<5}: oracle JER {robustness.oracle_jer:.5f}, "
+            f"mean realised {robustness.mean_true_jer:.5f}, "
+            f"mean regret {robustness.mean_regret:.5f}"
+        )
+    print("\n  -> small estimation errors cost little; the selection only\n"
+          "     degrades once noise rivals the error-rate spread itself.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""The full Section 4 estimation pipeline on raw micro-blog data.
+
+Demonstrates every stage the paper describes for going from a tweet dump to
+a ready-to-ask jury — including persisting/reloading the corpus, comparing
+HITS against PageRank quality scores, and pricing jurors by account age for
+a PayM selection.
+
+1. simulate a service and dump its corpus to JSONL (stand-in for a crawl);
+2. reload the corpus and build the retweet graph (Algorithm 5);
+3. rank users with HITS (Algorithm 6) and PageRank (Algorithm 7) and
+   compare their top-10 lists;
+4. normalise scores to error rates (Section 4.1.3, alpha = beta = 10) and
+   account ages to payment requirements (Section 4.2);
+5. select juries: AltrALG (free jurors) and PayALG under a budget.
+
+Run:  python examples/twitter_pipeline.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro import select_jury_altr, select_jury_pay
+from repro.estimation import (
+    TweetCorpus,
+    build_user_graph,
+    estimate_candidates,
+    hits,
+    pagerank,
+)
+from repro.microblog import account_age_map, generate_microblog_service
+
+N_USERS = 600
+SEED = 77
+
+
+def main() -> None:
+    print(f"== 1. 'crawling' a {N_USERS}-user service, dumping JSONL ==")
+    population, _, corpus = generate_microblog_service(N_USERS, seed=SEED)
+    with tempfile.TemporaryDirectory() as tmp:
+        dump = Path(tmp) / "timeline.jsonl"
+        corpus.save_jsonl(dump)
+        print(f"  wrote {len(corpus)} tweets to {dump.name}")
+
+        corpus = TweetCorpus.load_jsonl(dump)
+    print(f"  reloaded {len(corpus)} tweets, "
+          f"{corpus.retweet_count()} RT markers")
+
+    print("\n== 2. retweet graph (Algorithm 5) ==")
+    graph = build_user_graph(corpus)
+    print(f"  {graph.num_nodes} users, {graph.num_edges} retweet edges")
+    hub = max(graph.nodes(), key=graph.in_degree)
+    print(f"  most-retweeted user: {hub} (in-degree {graph.in_degree(hub)})")
+
+    print("\n== 3. HITS vs PageRank (Algorithms 6 and 7) ==")
+    authority = hits(graph).authorities
+    pr_scores = pagerank(graph)
+    top_hits = sorted(authority, key=authority.get, reverse=True)[:10]
+    top_pr = sorted(pr_scores, key=pr_scores.get, reverse=True)[:10]
+    overlap = len(set(top_hits) & set(top_pr))
+    print(f"  top-10 by HITS    : {', '.join(top_hits[:5])}, ...")
+    print(f"  top-10 by PageRank: {', '.join(top_pr[:5])}, ...")
+    print(f"  overlap: {overlap}/10 (the paper found the same agreement)")
+
+    print("\n== 4. error rates + account-age requirements ==")
+    ages = account_age_map(population, observation_day=2000.0)
+    estimate = estimate_candidates(
+        corpus, ranking="hits", top_k=50, account_ages=ages
+    )
+    best = estimate.jurors[0]
+    print(
+        f"  best candidate {best.juror_id}: eps = {best.error_rate:.2e}, "
+        f"requirement = {best.requirement:.3f}"
+    )
+
+    print("\n== 5. jury selection ==")
+    altr = select_jury_altr(estimate.jurors)
+    print(f"  AltrM : {altr.summary()}")
+    paym = select_jury_pay(estimate.jurors, budget=1.0)
+    print(f"  PayM  : {paym.summary()}")
+    print(
+        "\n  -> identical pipeline to the paper's Twitter study; swap the\n"
+        "     simulated JSONL for a real crawl and nothing else changes."
+    )
+
+
+if __name__ == "__main__":
+    main()

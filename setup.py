@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Kept so that ``pip install -e . --no-use-pep517`` works in offline
+environments whose pip/setuptools lack PEP 660 editable-wheel support.
+All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

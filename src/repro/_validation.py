@@ -1,0 +1,164 @@
+"""Shared argument-validation helpers.
+
+These helpers centralise the domain checks that recur throughout the library:
+error rates must lie in the open interval ``(0, 1)`` (paper Definition 4),
+payment requirements must be non-negative (Definition 8), juries must have odd
+size (Section 2.1.1), and budgets must be non-negative finite numbers.
+
+Every helper either returns a normalised value (e.g. a ``numpy`` array of
+``float64``) or raises one of the exceptions from :mod:`repro.errors`.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import (
+    BudgetError,
+    EmptyCandidateSetError,
+    EvenJurySizeError,
+    InvalidErrorRateError,
+    InvalidJuryError,
+    InvalidRequirementError,
+)
+
+__all__ = [
+    "validate_error_rate",
+    "validate_error_rates",
+    "validate_requirement",
+    "validate_requirements",
+    "validate_budget",
+    "validate_odd_size",
+    "require_nonempty",
+    "as_probability_array",
+]
+
+
+def validate_error_rate(epsilon: float, *, name: str = "epsilon") -> float:
+    """Validate a single individual error rate.
+
+    Parameters
+    ----------
+    epsilon:
+        Probability of the juror voting against the latent ground truth.
+    name:
+        Identifier used in error messages.
+
+    Returns
+    -------
+    float
+        ``epsilon`` converted to a built-in :class:`float`.
+
+    Raises
+    ------
+    InvalidErrorRateError
+        If ``epsilon`` is not a finite number in the open interval ``(0, 1)``.
+    """
+    try:
+        value = float(epsilon)
+    except (TypeError, ValueError) as exc:
+        raise InvalidErrorRateError(f"{name} must be a real number, got {epsilon!r}") from exc
+    if not math.isfinite(value) or not 0.0 < value < 1.0:
+        raise InvalidErrorRateError(
+            f"{name} must lie in the open interval (0, 1), got {value!r}"
+        )
+    return value
+
+
+def validate_error_rates(epsilons: Iterable[float], *, name: str = "epsilons") -> np.ndarray:
+    """Validate a collection of error rates and return a float64 array.
+
+    Raises
+    ------
+    InvalidErrorRateError
+        If any entry falls outside ``(0, 1)`` or is not finite.
+    """
+    arr = np.asarray(list(epsilons) if not isinstance(epsilons, np.ndarray) else epsilons,
+                     dtype=np.float64)
+    if arr.ndim != 1:
+        raise InvalidErrorRateError(f"{name} must be one-dimensional, got shape {arr.shape}")
+    if arr.size and (not np.all(np.isfinite(arr)) or np.any(arr <= 0.0) or np.any(arr >= 1.0)):
+        bad = arr[~(np.isfinite(arr) & (arr > 0.0) & (arr < 1.0))]
+        raise InvalidErrorRateError(
+            f"all {name} must lie in (0, 1); offending values: {bad[:5].tolist()}"
+        )
+    return arr
+
+
+def validate_requirement(requirement: float, *, name: str = "requirement") -> float:
+    """Validate a single payment requirement (PayM, Definition 8)."""
+    try:
+        value = float(requirement)
+    except (TypeError, ValueError) as exc:
+        raise InvalidRequirementError(
+            f"{name} must be a real number, got {requirement!r}"
+        ) from exc
+    if not math.isfinite(value) or value < 0.0:
+        raise InvalidRequirementError(
+            f"{name} must be a non-negative finite number, got {value!r}"
+        )
+    return value
+
+
+def validate_requirements(
+    requirements: Iterable[float], *, name: str = "requirements"
+) -> np.ndarray:
+    """Validate a collection of payment requirements, returning float64 array."""
+    arr = np.asarray(
+        list(requirements) if not isinstance(requirements, np.ndarray) else requirements,
+        dtype=np.float64,
+    )
+    if arr.ndim != 1:
+        raise InvalidRequirementError(f"{name} must be one-dimensional, got shape {arr.shape}")
+    if arr.size and (not np.all(np.isfinite(arr)) or np.any(arr < 0.0)):
+        bad = arr[~(np.isfinite(arr) & (arr >= 0.0))]
+        raise InvalidRequirementError(
+            f"all {name} must be non-negative finite numbers; offending values: "
+            f"{bad[:5].tolist()}"
+        )
+    return arr
+
+
+def validate_budget(budget: float) -> float:
+    """Validate a PayM budget ``B >= 0`` (Definition 8)."""
+    try:
+        value = float(budget)
+    except (TypeError, ValueError) as exc:
+        raise BudgetError(f"budget must be a real number, got {budget!r}") from exc
+    if not math.isfinite(value) or value < 0.0:
+        raise BudgetError(f"budget must be a non-negative finite number, got {value!r}")
+    return value
+
+
+def validate_odd_size(n: int, *, name: str = "jury size") -> int:
+    """Check that a jury size is a positive odd integer (Section 2.1.1)."""
+    if not isinstance(n, (int, np.integer)):
+        raise InvalidJuryError(f"{name} must be an integer, got {type(n).__name__}")
+    size = int(n)
+    if size < 1:
+        raise InvalidJuryError(f"{name} must be positive, got {size}")
+    if size % 2 == 0:
+        raise EvenJurySizeError(
+            f"{name} must be odd so that Majority Voting is well defined, got {size}"
+        )
+    return size
+
+
+def require_nonempty(candidates: Sequence, *, name: str = "candidate set") -> None:
+    """Raise :class:`EmptyCandidateSetError` when ``candidates`` is empty."""
+    if len(candidates) == 0:
+        raise EmptyCandidateSetError(f"{name} must not be empty")
+
+
+def as_probability_array(values: Iterable[float], *, name: str = "probabilities") -> np.ndarray:
+    """Coerce to a float64 array of probabilities in the closed interval [0, 1]."""
+    arr = np.asarray(list(values) if not isinstance(values, np.ndarray) else values,
+                     dtype=np.float64)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be one-dimensional, got shape {arr.shape}")
+    if arr.size and (not np.all(np.isfinite(arr)) or np.any(arr < 0.0) or np.any(arr > 1.0)):
+        raise ValueError(f"all {name} must lie in [0, 1]")
+    return arr

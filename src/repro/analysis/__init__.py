@@ -1,0 +1,40 @@
+"""Analysis utilities layered on the core selectors.
+
+* :mod:`~repro.analysis.diagnostics` — one-stop jury reports (JER, bounds,
+  sensitivity, weighted-voting overhead, Monte-Carlo check);
+* :mod:`~repro.analysis.frontier` — budget/quality frontiers and
+  budget-for-target queries under PayM;
+* :mod:`~repro.analysis.robustness` — selection regret under error-rate
+  estimation noise.
+"""
+
+from repro.analysis.diagnostics import JuryDiagnostics, diagnose_jury
+from repro.analysis.frontier import (
+    FrontierPoint,
+    budget_frontier,
+    minimal_budget_for_target,
+)
+from repro.analysis.robustness import (
+    NoiseTrial,
+    RobustnessReport,
+    selection_regret_under_noise,
+)
+from repro.analysis.uncertainty import (
+    JERInterval,
+    binomial_stderrs,
+    jer_confidence_interval,
+)
+
+__all__ = [
+    "JuryDiagnostics",
+    "diagnose_jury",
+    "FrontierPoint",
+    "budget_frontier",
+    "minimal_budget_for_target",
+    "NoiseTrial",
+    "RobustnessReport",
+    "selection_regret_under_noise",
+    "JERInterval",
+    "binomial_stderrs",
+    "jer_confidence_interval",
+]

@@ -1,0 +1,142 @@
+"""One-stop jury diagnostics: everything you'd want to know before asking.
+
+Bundles the library's analytic machinery into a single report for a given
+jury: the JER with applicable bounds, per-juror sensitivity (pivot
+probabilities from the Lemma 3 decomposition), the optimal-weighted error
+rate (how much plain majority voting gives up), cost accounting, and an
+optional Monte-Carlo cross-check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.bounds import (
+    cantelli_upper_bound,
+    paley_zygmund_lower_bound,
+)
+from repro.core.jer import jury_error_rate
+from repro.core.juror import Jury
+from repro.core.sensitivity import JurorInfluence, juror_influence_report
+from repro.core.weighted import weighted_jury_error_rate
+from repro.simulation.voting_sim import JERValidation, validate_jer
+
+__all__ = ["JuryDiagnostics", "diagnose_jury"]
+
+
+@dataclass(frozen=True)
+class JuryDiagnostics:
+    """Full analytic profile of one jury.
+
+    Attributes
+    ----------
+    jury:
+        The analysed jury.
+    jer:
+        Exact Jury Error Rate under Majority Voting.
+    weighted_jer:
+        Error rate under optimal (Nitzan-Paroush) weighted voting — the
+        best any aggregation of the same votes can do.
+    majority_overhead:
+        ``jer - weighted_jer``: what plain majority voting leaves on the
+        table for this jury.
+    lower_bound:
+        Paley-Zygmund lower bound (``None`` when inapplicable, i.e. the jury
+        is expected to win the majority).
+    upper_bound:
+        Cantelli upper bound (1.0 when vacuous).
+    influences:
+        Per-juror sensitivity records, most pivotal first.
+    total_cost:
+        Sum of payment requirements.
+    validation:
+        Monte-Carlo cross-check (``None`` unless requested).
+    """
+
+    jury: Jury
+    jer: float
+    weighted_jer: float
+    majority_overhead: float
+    lower_bound: float | None
+    upper_bound: float
+    influences: list[JurorInfluence] = field(default_factory=list)
+    total_cost: float = 0.0
+    validation: JERValidation | None = None
+
+    @property
+    def most_pivotal(self) -> JurorInfluence:
+        """The juror the JER is most sensitive to."""
+        return self.influences[0]
+
+    def summary(self) -> str:
+        """Multi-line human-readable report."""
+        lines = [
+            f"jury of {self.jury.size} (cost {self.total_cost:.4g})",
+            f"  JER (majority voting)      : {self.jer:.6g}",
+            f"  JER (optimal weighted)     : {self.weighted_jer:.6g}"
+            f"  [overhead {self.majority_overhead:.3g}]",
+            f"  Cantelli upper bound       : {self.upper_bound:.6g}",
+        ]
+        if self.lower_bound is not None:
+            lines.append(f"  Paley-Zygmund lower bound  : {self.lower_bound:.6g}")
+        top = self.most_pivotal
+        lines.append(
+            f"  most pivotal juror         : {top.juror_id} "
+            f"(dJER/deps = {top.pivotal_probability:.4g})"
+        )
+        if self.validation is not None:
+            lines.append(
+                f"  Monte-Carlo check          : empirical "
+                f"{self.validation.empirical:.6g} over "
+                f"{self.validation.trials} votings "
+                f"(z = {self.validation.z_score:+.2f})"
+            )
+        return "\n".join(lines)
+
+
+def diagnose_jury(
+    jury: Jury,
+    *,
+    monte_carlo_trials: int = 0,
+    rng: np.random.Generator | None = None,
+) -> JuryDiagnostics:
+    """Compute a :class:`JuryDiagnostics` report for ``jury``.
+
+    Parameters
+    ----------
+    jury:
+        An odd-sized jury.
+    monte_carlo_trials:
+        When positive, additionally run a Monte-Carlo validation with this
+        many simulated votings.
+    rng:
+        Generator for the Monte-Carlo check.
+
+    >>> from repro.core.juror import Jury
+    >>> report = diagnose_jury(Jury.from_error_rates([0.1, 0.2, 0.2]))
+    >>> round(report.jer, 3)
+    0.072
+    >>> report.weighted_jer <= report.jer
+    True
+    """
+    eps = list(jury.error_rates)
+    jer = jury_error_rate(eps)
+    weighted = weighted_jury_error_rate(jury)
+    validation = (
+        validate_jer(jury, trials=monte_carlo_trials, rng=rng)
+        if monte_carlo_trials > 0
+        else None
+    )
+    return JuryDiagnostics(
+        jury=jury,
+        jer=jer,
+        weighted_jer=weighted,
+        majority_overhead=jer - weighted,
+        lower_bound=paley_zygmund_lower_bound(eps),
+        upper_bound=cantelli_upper_bound(eps),
+        influences=juror_influence_report(jury),
+        total_cost=jury.total_cost,
+        validation=validation,
+    )

@@ -1,0 +1,172 @@
+"""Budget/quality frontier analysis for PayM deployments.
+
+Practitioners rarely ask "what is the best jury for budget B?" once — they
+ask "how does quality respond to budget, and what is the cheapest budget
+that reaches my target error rate?".  This module sweeps a selector over a
+budget grid to build the (budget, JER) frontier and bisects it for
+budget-for-target queries.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+from repro.core.juror import Juror
+from repro.core.selection.base import SelectionResult
+from repro.core.selection.pay import select_jury_pay
+from repro.errors import InfeasibleSelectionError, ReproError
+
+__all__ = ["FrontierPoint", "budget_frontier", "minimal_budget_for_target"]
+
+Selector = Callable[[Sequence[Juror], float], SelectionResult]
+
+
+@dataclass(frozen=True)
+class FrontierPoint:
+    """One point of the budget/quality frontier.
+
+    Attributes
+    ----------
+    budget:
+        The budget handed to the selector.
+    jer:
+        JER of the selected jury (``None`` when the budget was infeasible).
+    size:
+        Selected jury size (0 when infeasible).
+    cost:
+        Actual spending (0.0 when infeasible).
+    """
+
+    budget: float
+    jer: float | None
+    size: int
+    cost: float
+
+    @property
+    def feasible(self) -> bool:
+        """Whether any jury was affordable at this budget."""
+        return self.jer is not None
+
+
+def _default_selector(candidates: Sequence[Juror], budget: float) -> SelectionResult:
+    return select_jury_pay(candidates, budget=budget)
+
+
+def budget_frontier(
+    candidates: Sequence[Juror],
+    budgets: Sequence[float],
+    *,
+    selector: Selector | None = None,
+) -> list[FrontierPoint]:
+    """Evaluate a selector across a budget grid.
+
+    Parameters
+    ----------
+    candidates:
+        Candidate jurors.
+    budgets:
+        Budgets to evaluate (any order; returned sorted ascending).
+    selector:
+        ``(candidates, budget) -> SelectionResult``; defaults to PayALG.
+        Pass :func:`~repro.core.selection.exact.branch_and_bound_optimal`
+        (wrapped) for exact frontiers on small candidate sets.
+
+    Returns
+    -------
+    list[FrontierPoint]
+        One point per budget, sorted by budget.
+
+    >>> from repro.core.juror import jurors_from_arrays
+    >>> cands = jurors_from_arrays([0.1, 0.2, 0.3], [0.5, 0.5, 0.5])
+    >>> points = budget_frontier(cands, [0.4, 1.6])
+    >>> points[0].feasible, points[1].size
+    (False, 3)
+    """
+    if not budgets:
+        raise ReproError("at least one budget is required")
+    chosen = selector if selector is not None else _default_selector
+    points: list[FrontierPoint] = []
+    for budget in sorted(float(b) for b in budgets):
+        try:
+            result = chosen(candidates, budget)
+        except InfeasibleSelectionError:
+            points.append(FrontierPoint(budget=budget, jer=None, size=0, cost=0.0))
+            continue
+        points.append(
+            FrontierPoint(
+                budget=budget,
+                jer=result.jer,
+                size=result.size,
+                cost=result.total_cost,
+            )
+        )
+    return points
+
+
+def minimal_budget_for_target(
+    candidates: Sequence[Juror],
+    target_jer: float,
+    *,
+    selector: Selector | None = None,
+    budget_ceiling: float | None = None,
+    tolerance: float = 1e-3,
+    max_iterations: int = 60,
+) -> float | None:
+    """Smallest budget at which the selector reaches ``target_jer``.
+
+    Bisects on the budget axis.  Greedy selectors are not perfectly monotone
+    in budget, so the answer is exact for monotone selectors (e.g. the exact
+    optimum) and a good approximation for PayALG.
+
+    Parameters
+    ----------
+    candidates:
+        Candidate jurors.
+    target_jer:
+        Desired maximum JER in ``(0, 1)``.
+    selector:
+        As in :func:`budget_frontier`.
+    budget_ceiling:
+        Upper end of the search; defaults to the total cost of all
+        candidates (enough to afford everyone).
+    tolerance:
+        Absolute budget precision of the bisection.
+    max_iterations:
+        Safety cap on bisection steps.
+
+    Returns
+    -------
+    float or None
+        The budget, or ``None`` when even the ceiling cannot reach the
+        target.
+    """
+    if not 0.0 < target_jer < 1.0:
+        raise ReproError(f"target_jer must lie in (0, 1), got {target_jer!r}")
+    chosen = selector if selector is not None else _default_selector
+    high = (
+        float(budget_ceiling)
+        if budget_ceiling is not None
+        else sum(j.requirement for j in candidates)
+    )
+
+    def achieves(budget: float) -> bool:
+        try:
+            return chosen(candidates, budget).jer <= target_jer + 1e-15
+        except InfeasibleSelectionError:
+            return False
+
+    if not achieves(high):
+        return None
+    low = 0.0
+    if achieves(low):
+        return 0.0
+    for _ in range(max_iterations):
+        if high - low <= tolerance:
+            break
+        mid = (low + high) / 2.0
+        if achieves(mid):
+            high = mid
+        else:
+            low = mid
+    return high

@@ -1,0 +1,149 @@
+"""Robustness of jury selection to error-rate estimation noise.
+
+The selectors treat the estimated ``eps_i`` as exact, but Section 4's
+estimates come from graph heuristics.  This module quantifies the damage:
+perturb the estimates, re-select on the noisy values, and score the chosen
+jury under the *true* rates — the "regret" relative to selecting with
+perfect information.  Used by the failure-injection tests and available to
+downstream users deciding how much estimation accuracy they need.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.jer import jury_error_rate
+from repro.core.juror import Juror
+from repro.core.selection.altr import select_jury_altr
+from repro.core.selection.base import SelectionResult
+from repro.errors import ReproError
+
+__all__ = ["NoiseTrial", "RobustnessReport", "selection_regret_under_noise"]
+
+Selector = Callable[[Sequence[Juror]], SelectionResult]
+
+
+@dataclass(frozen=True)
+class NoiseTrial:
+    """One perturb-and-reselect trial.
+
+    Attributes
+    ----------
+    noisy_jer_believed:
+        JER the selector *believed* it achieved (computed on noisy rates).
+    true_jer:
+        JER of the selected jury under the true rates.
+    regret:
+        ``true_jer - oracle_jer`` where the oracle selects with the true
+        rates; non-negative up to floating noise.
+    """
+
+    noisy_jer_believed: float
+    true_jer: float
+    regret: float
+
+
+@dataclass(frozen=True)
+class RobustnessReport:
+    """Aggregate of :func:`selection_regret_under_noise`.
+
+    Attributes
+    ----------
+    noise_sigma:
+        Standard deviation of the injected (truncated) Gaussian noise.
+    oracle_jer:
+        JER achieved with perfect knowledge of the rates.
+    mean_true_jer / worst_true_jer:
+        Average and worst realised JER across trials.
+    mean_regret:
+        Average regret.
+    trials:
+        List of per-trial records.
+    """
+
+    noise_sigma: float
+    oracle_jer: float
+    mean_true_jer: float
+    worst_true_jer: float
+    mean_regret: float
+    trials: list[NoiseTrial]
+
+
+def selection_regret_under_noise(
+    true_error_rates: Sequence[float],
+    *,
+    noise_sigma: float,
+    n_trials: int = 20,
+    selector: Selector | None = None,
+    rng: np.random.Generator | None = None,
+) -> RobustnessReport:
+    """Measure selection regret when error rates are observed with noise.
+
+    For each trial: add ``N(0, noise_sigma^2)`` to every true rate (clipped
+    into the open unit interval), run the selector on the noisy candidates,
+    then evaluate the selected juror subset under the *true* rates.
+
+    Parameters
+    ----------
+    true_error_rates:
+        Ground-truth individual error rates.
+    noise_sigma:
+        Perturbation scale (0 reproduces the oracle exactly).
+    n_trials:
+        Number of noise draws.
+    selector:
+        Candidate-list selector; defaults to AltrALG.
+    rng:
+        Random generator.
+
+    >>> report = selection_regret_under_noise(
+    ...     [0.1, 0.2, 0.3, 0.4, 0.45], noise_sigma=0.0, n_trials=2)
+    >>> report.mean_regret == 0.0
+    True
+    """
+    rates = [float(e) for e in true_error_rates]
+    if not rates:
+        raise ReproError("at least one candidate is required")
+    if noise_sigma < 0.0:
+        raise ReproError(f"noise_sigma must be non-negative, got {noise_sigma!r}")
+    if n_trials < 1:
+        raise ReproError(f"n_trials must be positive, got {n_trials!r}")
+    generator = rng if rng is not None else np.random.default_rng()
+    chosen = selector if selector is not None else select_jury_altr
+
+    true_by_id = {f"c{i}": e for i, e in enumerate(rates)}
+    oracle_candidates = [Juror(e, juror_id=f"c{i}") for i, e in enumerate(rates)]
+    oracle = chosen(oracle_candidates)
+    oracle_jer = jury_error_rate([true_by_id[i] for i in oracle.juror_ids])
+
+    trials: list[NoiseTrial] = []
+    for _ in range(n_trials):
+        noisy = np.clip(
+            np.asarray(rates) + generator.normal(0.0, noise_sigma, len(rates)),
+            1e-4,
+            1.0 - 1e-4,
+        )
+        candidates = [
+            Juror(float(e), juror_id=f"c{i}") for i, e in enumerate(noisy)
+        ]
+        result = chosen(candidates)
+        true_jer = jury_error_rate([true_by_id[i] for i in result.juror_ids])
+        trials.append(
+            NoiseTrial(
+                noisy_jer_believed=result.jer,
+                true_jer=true_jer,
+                regret=true_jer - oracle_jer,
+            )
+        )
+    true_jers = [t.true_jer for t in trials]
+    return RobustnessReport(
+        noise_sigma=noise_sigma,
+        oracle_jer=oracle_jer,
+        mean_true_jer=float(np.mean(true_jers)),
+        worst_true_jer=float(np.max(true_jers)),
+        mean_regret=float(np.mean([t.regret for t in trials])),
+        trials=trials,
+    )

@@ -1,0 +1,183 @@
+"""Uncertainty propagation: confidence intervals on the JER.
+
+The selectors treat estimated error rates as exact, but every estimator in
+:mod:`repro.estimation` (graph heuristics, EM from finite histories) carries
+sampling error.  Because :func:`repro.core.sensitivity.jer_gradient` gives
+the *exact* partial derivatives of the JER, the delta method propagates
+per-juror standard errors straight to a JER interval:
+
+    ``Var(JER) ~ sum_i (dJER/deps_i)^2 * stderr_i^2``
+
+For error rates estimated from ``T_i`` historical observations per juror the
+natural plug-in is the binomial standard error
+``sqrt(eps_i (1 - eps_i) / T_i)`` (:func:`binomial_stderrs`).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._validation import validate_error_rates
+from repro.core.jer import jury_error_rate
+from repro.core.sensitivity import jer_gradient
+from repro.errors import ReproError
+
+__all__ = ["JERInterval", "binomial_stderrs", "jer_confidence_interval"]
+
+
+def _normal_quantile(p: float) -> float:
+    """Inverse standard-normal CDF via the erfc-based bisection-free form."""
+    try:
+        from scipy.stats import norm
+
+        return float(norm.ppf(p))
+    except ImportError:  # pragma: no cover - scipy is a test extra
+        # Acklam-style rational approximation, good to ~1e-9.
+        return _acklam_ppf(p)
+
+
+def _acklam_ppf(p: float) -> float:  # pragma: no cover - scipy fallback
+    a = (-3.969683028665376e01, 2.209460984245205e02, -2.759285104469687e02,
+         1.383577518672690e02, -3.066479806614716e01, 2.506628277459239e00)
+    b = (-5.447609879822406e01, 1.615858368580409e02, -1.556989798598866e02,
+         6.680131188771972e01, -1.328068155288572e01)
+    c = (-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e00,
+         -2.549732539343734e00, 4.374664141464968e00, 2.938163982698783e00)
+    d = (7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e00,
+         3.754408661907416e00)
+    p_low = 0.02425
+    if p < p_low:
+        q = math.sqrt(-2 * math.log(p))
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+            (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1
+        )
+    if p <= 1 - p_low:
+        q = p - 0.5
+        r = q * q
+        return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q / (
+            ((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1
+        )
+    q = math.sqrt(-2 * math.log(1 - p))
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+        (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1
+    )
+
+
+@dataclass(frozen=True)
+class JERInterval:
+    """A confidence interval on the Jury Error Rate.
+
+    Attributes
+    ----------
+    point:
+        The plug-in JER at the estimated error rates.
+    low, high:
+        Interval endpoints, clipped into [0, 1].
+    stderr:
+        Propagated standard error of the JER.
+    confidence:
+        Nominal coverage level.
+    """
+
+    point: float
+    low: float
+    high: float
+    stderr: float
+    confidence: float
+
+    @property
+    def width(self) -> float:
+        """Interval width."""
+        return self.high - self.low
+
+    def contains(self, value: float) -> bool:
+        """Whether ``value`` lies inside the interval."""
+        return self.low <= value <= self.high
+
+
+def binomial_stderrs(
+    error_rates: Iterable[float], observations: Sequence[int] | int
+) -> np.ndarray:
+    """Binomial standard errors for rates estimated from vote histories.
+
+    Parameters
+    ----------
+    error_rates:
+        Estimated error rates.
+    observations:
+        Per-juror observation counts, or a single count shared by all.
+
+    >>> float(binomial_stderrs([0.5], 100)[0])
+    0.05
+    """
+    eps = validate_error_rates(error_rates, name="error rates")
+    if isinstance(observations, (int, np.integer)):
+        counts = np.full(eps.size, int(observations), dtype=np.float64)
+    else:
+        counts = np.asarray(list(observations), dtype=np.float64)
+    if counts.size != eps.size:
+        raise ReproError(
+            f"observation counts ({counts.size}) do not match juror count "
+            f"({eps.size})"
+        )
+    if np.any(counts < 1):
+        raise ReproError("every juror needs at least one observation")
+    return np.sqrt(eps * (1.0 - eps) / counts)
+
+
+def jer_confidence_interval(
+    error_rates: Iterable[float],
+    stderrs: Iterable[float],
+    *,
+    confidence: float = 0.95,
+) -> JERInterval:
+    """Delta-method confidence interval on the JER.
+
+    Parameters
+    ----------
+    error_rates:
+        Estimated individual error rates (odd count).
+    stderrs:
+        Standard error of each estimate (independent errors assumed).
+    confidence:
+        Nominal coverage in (0, 1).
+
+    Returns
+    -------
+    JERInterval
+
+    Examples
+    --------
+    >>> interval = jer_confidence_interval([0.2, 0.3, 0.3], [0.01] * 3)
+    >>> interval.contains(interval.point)
+    True
+    >>> interval.width < 0.1
+    True
+    """
+    eps = validate_error_rates(error_rates, name="error rates")
+    sig = np.asarray(list(stderrs), dtype=np.float64)
+    if sig.size != eps.size:
+        raise ReproError(
+            f"stderr count ({sig.size}) does not match juror count ({eps.size})"
+        )
+    if np.any(sig < 0.0) or not np.all(np.isfinite(sig)):
+        raise ReproError("stderrs must be non-negative finite numbers")
+    if not 0.0 < confidence < 1.0:
+        raise ReproError(f"confidence must lie in (0, 1), got {confidence!r}")
+
+    point = jury_error_rate(eps)
+    gradient = jer_gradient(eps)
+    variance = float(np.sum((gradient * sig) ** 2))
+    stderr = math.sqrt(variance)
+    z = _normal_quantile(0.5 + confidence / 2.0)
+    return JERInterval(
+        point=point,
+        low=max(0.0, point - z * stderr),
+        high=min(1.0, point + z * stderr),
+        stderr=stderr,
+        confidence=confidence,
+    )

@@ -1,0 +1,150 @@
+"""``repro-select`` — jury selection from the command line.
+
+Reads a CSV of candidate jurors and prints the selected jury:
+
+    repro-select candidates.csv                          # AltrM optimum
+    repro-select candidates.csv --budget 1.0             # PayALG greedy
+    repro-select candidates.csv --budget 1.0 --exact     # exact optimum
+    repro-select candidates.csv --json                   # machine-readable
+
+CSV format: a header line followed by ``id,error_rate[,requirement]`` rows.
+The requirement column is optional and defaults to 0 (altruistic jurors).
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import json
+import sys
+from collections.abc import Sequence
+from pathlib import Path
+
+from repro.core.juror import Juror
+from repro.core.selection.altr import select_jury_altr
+from repro.core.selection.base import SelectionResult
+from repro.core.selection.exact import select_jury_optimal
+from repro.core.selection.pay import select_jury_pay
+from repro.errors import ReproError
+
+__all__ = ["load_candidates_csv", "main"]
+
+
+def load_candidates_csv(path: str | Path) -> list[Juror]:
+    """Parse a candidates CSV into jurors.
+
+    Expects a header containing ``id`` and ``error_rate`` columns and an
+    optional ``requirement`` column; extra columns are ignored.
+    """
+    source = Path(path)
+    jurors: list[Juror] = []
+    with source.open("r", encoding="utf-8", newline="") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None:
+            raise ReproError(f"{source}: empty CSV")
+        fields = {name.strip().lower() for name in reader.fieldnames}
+        if "id" not in fields or "error_rate" not in fields:
+            raise ReproError(
+                f"{source}: header must contain 'id' and 'error_rate' columns, "
+                f"got {sorted(fields)}"
+            )
+        for row_number, row in enumerate(reader, start=2):
+            normalised = {k.strip().lower(): v for k, v in row.items() if k}
+            try:
+                jurors.append(
+                    Juror(
+                        float(normalised["error_rate"]),
+                        float(normalised.get("requirement") or 0.0),
+                        juror_id=normalised["id"].strip(),
+                    )
+                )
+            except (KeyError, TypeError, ValueError, ReproError) as exc:
+                raise ReproError(f"{source}:{row_number}: bad candidate row: {exc}") from exc
+    if not jurors:
+        raise ReproError(f"{source}: no candidate rows")
+    return jurors
+
+
+def _render_text(result: SelectionResult) -> str:
+    lines = [result.summary(), "members:"]
+    for juror in sorted(result.jury, key=lambda j: j.error_rate):
+        lines.append(
+            f"  {juror.juror_id}: eps={juror.error_rate:.6g}, "
+            f"r={juror.requirement:.6g}"
+        )
+    return "\n".join(lines)
+
+
+def _render_json(result: SelectionResult) -> str:
+    return json.dumps(
+        {
+            "algorithm": result.algorithm,
+            "model": result.model,
+            "budget": result.budget,
+            "jer": result.jer,
+            "size": result.size,
+            "total_cost": result.total_cost,
+            "members": [
+                {
+                    "id": j.juror_id,
+                    "error_rate": j.error_rate,
+                    "requirement": j.requirement,
+                }
+                for j in result.jury
+            ],
+        },
+        indent=2,
+    )
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point.  Returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro-select",
+        description="Select the minimum-JER jury from a CSV of candidates "
+        "(Cao et al., VLDB 2012).",
+    )
+    parser.add_argument("csv", help="candidates CSV: id,error_rate[,requirement]")
+    parser.add_argument(
+        "--budget",
+        type=float,
+        default=None,
+        help="PayM budget; omit for the altruistic (AltrM) model",
+    )
+    parser.add_argument(
+        "--exact",
+        action="store_true",
+        help="use the exact optimum (enumeration / branch-and-bound) instead "
+        "of the greedy PayALG; only meaningful with --budget",
+    )
+    parser.add_argument(
+        "--variant",
+        choices=("paper", "improved"),
+        default="paper",
+        help="PayALG variant (default: paper)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit JSON instead of text"
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        candidates = load_candidates_csv(args.csv)
+        if args.budget is None:
+            result = select_jury_altr(candidates)
+        elif args.exact:
+            result = select_jury_optimal(candidates, budget=args.budget)
+        else:
+            result = select_jury_pay(
+                candidates, budget=args.budget, variant=args.variant
+            )
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    print(_render_json(result) if args.json else _render_text(result))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation
+    sys.exit(main())

@@ -1,0 +1,141 @@
+"""Probability bounds on the Jury Error Rate — paper Lemma 2 and ablations.
+
+The paper prunes JER computations with a **Paley-Zygmund lower bound**
+(Lemma 2): when the expected number of wrong jurors ``mu = sum(eps_i)``
+already exceeds the majority threshold ``(n+1)/2`` (i.e. the anti-
+concentration ratio ``gamma = (n+1)/(2 mu)`` is below 1), the JER is at least
+
+    (1 - gamma)^2 mu^2 / ((1 - gamma)^2 mu^2 + sigma^2)
+
+with ``sigma^2 = sum(eps_i (1 - eps_i))``.  A selection algorithm can then
+skip the exact JER whenever the bound is already worse than the incumbent.
+
+For the ablation benchmarks this module also implements classic *upper*
+bounds on the same tail (Markov, Cantelli, Hoeffding, Chernoff), which let
+experiments quantify how tight Paley-Zygmund is in each regime.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro._validation import validate_error_rates
+from repro.core.jer import majority_threshold
+
+__all__ = [
+    "gamma_ratio",
+    "paley_zygmund_lower_bound",
+    "markov_upper_bound",
+    "cantelli_upper_bound",
+    "hoeffding_upper_bound",
+    "chernoff_upper_bound",
+]
+
+
+def _moments(error_rates: Iterable[float]) -> tuple[np.ndarray, float, float, int]:
+    eps = validate_error_rates(error_rates, name="error rates")
+    mu = float(eps.sum())
+    sigma_sq = float(np.sum(eps * (1.0 - eps)))
+    return eps, mu, sigma_sq, eps.size
+
+
+def gamma_ratio(error_rates: Iterable[float]) -> float:
+    """The Paley-Zygmund ratio ``gamma = ((n+1)/2) / mu`` (paper Lemma 2).
+
+    The lower bound is applicable exactly when ``gamma`` lies in ``(0, 1)``,
+    i.e. when the jury is *expected* to lose the majority.
+
+    >>> gamma_ratio([0.9, 0.9, 0.9]) < 1
+    True
+    """
+    _, mu, _, n = _moments(error_rates)
+    threshold = majority_threshold(n)
+    if mu == 0.0:
+        return math.inf
+    return threshold / mu
+
+
+def paley_zygmund_lower_bound(error_rates: Iterable[float]) -> float | None:
+    """Lower bound on JER from the Paley-Zygmund inequality (paper Lemma 2).
+
+    Returns
+    -------
+    float or None
+        The bound when applicable (``gamma`` in ``(0, 1)``), otherwise
+        ``None`` — mirroring the ``gamma < 1`` guard in paper Algorithm 3.
+
+    Examples
+    --------
+    >>> bound = paley_zygmund_lower_bound([0.9] * 5)
+    >>> bound is not None and 0 < bound < 1
+    True
+    >>> paley_zygmund_lower_bound([0.1] * 5) is None
+    True
+    """
+    eps, mu, sigma_sq, n = _moments(error_rates)
+    threshold = majority_threshold(n)
+    if mu <= 0.0:
+        return None
+    gamma = threshold / mu
+    if not 0.0 < gamma < 1.0:
+        return None
+    shifted = (1.0 - gamma) * mu
+    denominator = shifted * shifted + sigma_sq
+    if denominator == 0.0:
+        return None
+    return (shifted * shifted) / denominator
+
+
+def markov_upper_bound(error_rates: Iterable[float]) -> float:
+    """Markov's inequality: ``Pr(C >= k) <= mu / k``.
+
+    Trivial but assumption-free; clipped to 1.
+    """
+    _, mu, _, n = _moments(error_rates)
+    threshold = majority_threshold(n)
+    return min(mu / threshold, 1.0)
+
+
+def cantelli_upper_bound(error_rates: Iterable[float]) -> float:
+    """One-sided Chebyshev (Cantelli): ``Pr(C - mu >= t) <= s^2/(s^2 + t^2)``.
+
+    Applicable when the threshold exceeds the mean; returns 1.0 otherwise
+    (the inequality is vacuous there).
+    """
+    _, mu, sigma_sq, n = _moments(error_rates)
+    threshold = majority_threshold(n)
+    t = threshold - mu
+    if t <= 0.0:
+        return 1.0
+    return sigma_sq / (sigma_sq + t * t)
+
+
+def hoeffding_upper_bound(error_rates: Iterable[float]) -> float:
+    """Hoeffding's inequality: ``Pr(C - mu >= t) <= exp(-2 t^2 / n)``.
+
+    Applicable when the threshold exceeds the mean; returns 1.0 otherwise.
+    """
+    _, mu, _, n = _moments(error_rates)
+    threshold = majority_threshold(n)
+    t = threshold - mu
+    if t <= 0.0:
+        return 1.0
+    return math.exp(-2.0 * t * t / n)
+
+
+def chernoff_upper_bound(error_rates: Iterable[float]) -> float:
+    """Multiplicative Chernoff bound for sums of independent Bernoullis.
+
+    ``Pr(C >= (1 + d) mu) <= (e^d / (1 + d)^(1 + d))^mu`` for ``d > 0``;
+    returns 1.0 when the threshold does not exceed the mean.
+    """
+    _, mu, _, n = _moments(error_rates)
+    threshold = majority_threshold(n)
+    if mu <= 0.0 or threshold <= mu:
+        return 1.0
+    delta = threshold / mu - 1.0
+    exponent = mu * (delta - (1.0 + delta) * math.log1p(delta))
+    return min(math.exp(exponent), 1.0)

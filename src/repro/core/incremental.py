@@ -1,0 +1,160 @@
+"""Incrementally maintained juries — O(n) add/remove with live JER.
+
+Interactive jury curation ("what happens if I also ask @alice? what if I
+drop @bob?") recomputes the JER after every edit; doing that from scratch
+costs ``O(n^2)`` (Algorithm 1) or ``O(n log n)`` (Algorithm 2) per edit.
+:class:`IncrementalJury` instead maintains the Carelessness pmf under
+
+* ``add(juror)``    — one length-2 convolution, ``O(n)``;
+* ``remove(juror)`` — one stable deconvolution, ``O(n)``
+  (see :func:`repro.core.sensitivity.leave_one_out_pmf`);
+* ``what_if_add`` / ``what_if_swap`` — hypothetical JERs without mutating.
+
+JER queries are ``O(n)`` tail sums over the maintained pmf.  The structure
+also accepts even intermediate sizes (JER is only defined at odd sizes;
+querying it at an even size raises, matching the paper's odd-jury rule).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.core.jer import majority_threshold
+from repro.core.juror import Juror, Jury
+from repro.core.poisson_binomial import tail_probability
+from repro.core.sensitivity import leave_one_out_pmf
+from repro.errors import InvalidJuryError
+
+__all__ = ["IncrementalJury"]
+
+
+class IncrementalJury:
+    """A mutable jury with O(n)-per-edit JER maintenance.
+
+    Examples
+    --------
+    >>> from repro.core.juror import Juror
+    >>> builder = IncrementalJury()
+    >>> for eps, name in [(0.1, "A"), (0.2, "B"), (0.2, "C")]:
+    ...     builder.add(Juror(eps, juror_id=name))
+    >>> round(builder.jer(), 3)
+    0.072
+    >>> round(builder.what_if_add(Juror(0.3, juror_id="D"),
+    ...                           Juror(0.3, juror_id="E")), 4)
+    0.0704
+    """
+
+    def __init__(self, jurors: Iterable[Juror] = ()) -> None:
+        self._members: dict[str, Juror] = {}
+        self._pmf = np.ones(1, dtype=np.float64)
+        for juror in jurors:
+            self.add(juror)
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def add(self, juror: Juror) -> None:
+        """Add a juror; O(n)."""
+        if not isinstance(juror, Juror):
+            raise InvalidJuryError("only Juror instances can join a jury")
+        if juror.juror_id in self._members:
+            raise InvalidJuryError(f"juror {juror.juror_id!r} is already a member")
+        self._members[juror.juror_id] = juror
+        self._pmf = self._extend(self._pmf, juror.error_rate)
+
+    def remove(self, juror_id: str) -> Juror:
+        """Remove a member by id and return it; O(n)."""
+        if juror_id not in self._members:
+            raise InvalidJuryError(f"juror {juror_id!r} is not a member")
+        juror = self._members.pop(juror_id)
+        self._pmf = leave_one_out_pmf(self._pmf, juror.error_rate)
+        return juror
+
+    def swap(self, out_id: str, incoming: Juror) -> Juror:
+        """Replace a member with a new juror; returns the removed member."""
+        removed = self.remove(out_id)
+        try:
+            self.add(incoming)
+        except InvalidJuryError:
+            # Restore the original member before propagating.
+            self.add(removed)
+            raise
+        return removed
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Current number of members."""
+        return len(self._members)
+
+    @property
+    def members(self) -> tuple[Juror, ...]:
+        """Current members, in insertion order."""
+        return tuple(self._members.values())
+
+    @property
+    def total_cost(self) -> float:
+        """Sum of member payment requirements."""
+        return sum(j.requirement for j in self._members.values())
+
+    def __contains__(self, juror_id: str) -> bool:
+        return juror_id in self._members
+
+    def pmf(self) -> np.ndarray:
+        """Copy of the current Carelessness pmf."""
+        return self._pmf.copy()
+
+    def jer(self) -> float:
+        """Current Jury Error Rate; requires an odd, non-empty jury."""
+        threshold = majority_threshold(self.size)
+        return tail_probability(self._pmf, threshold)
+
+    def what_if_add(self, *jurors: Juror) -> float:
+        """JER after hypothetically adding ``jurors`` (no mutation).
+
+        The resulting size must be odd.
+        """
+        pmf = self._pmf
+        seen = set(self._members)
+        for juror in jurors:
+            if juror.juror_id in seen:
+                raise InvalidJuryError(
+                    f"juror {juror.juror_id!r} is already a member"
+                )
+            seen.add(juror.juror_id)
+            pmf = self._extend(pmf, juror.error_rate)
+        threshold = majority_threshold(self.size + len(jurors))
+        return tail_probability(pmf, threshold)
+
+    def what_if_swap(self, out_id: str, incoming: Juror) -> float:
+        """JER after hypothetically swapping one member (no mutation)."""
+        if out_id not in self._members:
+            raise InvalidJuryError(f"juror {out_id!r} is not a member")
+        if incoming.juror_id in self._members and incoming.juror_id != out_id:
+            raise InvalidJuryError(
+                f"juror {incoming.juror_id!r} is already a member"
+            )
+        pmf = leave_one_out_pmf(self._pmf, self._members[out_id].error_rate)
+        pmf = self._extend(pmf, incoming.error_rate)
+        threshold = majority_threshold(self.size)
+        return tail_probability(pmf, threshold)
+
+    def freeze(self) -> Jury:
+        """Snapshot the current members as an immutable :class:`Jury`."""
+        return Jury(list(self._members.values()))
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _extend(pmf: np.ndarray, epsilon: float) -> np.ndarray:
+        out = np.empty(pmf.size + 1, dtype=np.float64)
+        out[0] = pmf[0] * (1.0 - epsilon)
+        out[1:-1] = pmf[1:] * (1.0 - epsilon) + pmf[:-1] * epsilon
+        out[-1] = pmf[-1] * epsilon
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"IncrementalJury(size={self.size})"

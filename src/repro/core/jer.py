@@ -1,0 +1,247 @@
+"""Jury Error Rate (JER) calculators — paper Definition 6, Algorithms 1 and 2.
+
+The JER of a jury ``J_n`` with individual error rates ``eps_1..eps_n`` is the
+probability that a strict majority of jurors err:
+
+    JER(J_n) = Pr(C >= (n + 1) / 2)
+
+where ``C`` is the Poisson-Binomial-distributed Carelessness count.  Three
+calculators are provided:
+
+``jer_naive``
+    Direct enumeration of all "Minorities" (Definition 6).  ``O(2^n)``; the
+    oracle the motivation example uses and the tests check against.
+``jer_dp``
+    Paper Algorithm 1: the tail-probability dynamic program of Lemma 1,
+    ``O(n^2)`` time and ``O(n)`` space.
+``jer_cba``
+    Paper Algorithm 2 (Convolution-Based Algorithm): divide and conquer over
+    the jury, merging Carelessness distributions with FFT convolution,
+    ``O(n log n)`` arithmetic per merge level.
+
+:func:`jury_error_rate` dispatches between them, and
+:class:`PrefixJERSweeper` computes JER for *every* odd prefix of an ordered
+candidate list in ``O(N^2)`` total — the workhorse that makes the AltrM sweep
+(paper Algorithm 3) efficient.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterable, Iterator
+
+import numpy as np
+
+from repro._validation import validate_error_rates
+from repro.core.juror import Jury
+from repro.core.poisson_binomial import pmf_conv, tail_probability
+from repro.errors import EvenJurySizeError
+
+__all__ = [
+    "majority_threshold",
+    "jer_naive",
+    "jer_dp",
+    "jer_cba",
+    "jury_error_rate",
+    "PrefixJERSweeper",
+]
+
+
+def majority_threshold(n: int) -> int:
+    """Number of wrong votes that sinks a jury of size ``n``: ``(n+1)/2``.
+
+    Defined for odd ``n``; even sizes raise because Majority Voting is not
+    well defined for them (Section 2.1.1).
+    """
+    if n < 1:
+        raise ValueError(f"jury size must be positive, got {n}")
+    if n % 2 == 0:
+        raise EvenJurySizeError(
+            f"JER requires an odd jury size for a strict majority, got {n}"
+        )
+    return (n + 1) // 2
+
+
+def _coerce_error_rates(jury: "Jury | Iterable[float]") -> np.ndarray:
+    if isinstance(jury, Jury):
+        return np.asarray(jury.error_rates, dtype=np.float64)
+    return validate_error_rates(jury, name="error rates")
+
+
+def jer_naive(jury: "Jury | Iterable[float]") -> float:
+    """JER by enumerating every subset of wrong jurors (Definition 6).
+
+    Exponential time; limited to juries of at most 20 members.  Serves as the
+    ground-truth oracle for the fast algorithms.
+
+    >>> round(jer_naive([0.2, 0.3, 0.3]), 3)
+    0.174
+    """
+    eps = _coerce_error_rates(jury)
+    n = eps.size
+    threshold = majority_threshold(n)
+    if n > 20:
+        raise ValueError(f"jer_naive is limited to n <= 20 jurors, got {n}")
+    total = 0.0
+    indices = range(n)
+    for k in range(threshold, n + 1):
+        for wrong in itertools.combinations(indices, k):
+            wrong_set = set(wrong)
+            prob = 1.0
+            for i in indices:
+                prob *= eps[i] if i in wrong_set else (1.0 - eps[i])
+            total += prob
+    return float(min(max(total, 0.0), 1.0))
+
+
+def jer_dp(jury: "Jury | Iterable[float]") -> float:
+    """JER via the dynamic program of paper Algorithm 1 / Lemma 1.
+
+    Maintains ``T[L][m] = Pr(C >= L | J_m)`` with the recurrence
+
+        T[L][m] = T[L-1][m-1] * eps_m + T[L][m-1] * (1 - eps_m)
+
+    using two rolling rows, i.e. ``O(n^2)`` time and ``O(n)`` space exactly as
+    Corollary 1 states.
+
+    >>> round(jer_dp([0.1, 0.2, 0.2, 0.3, 0.3]), 4)
+    0.0704
+    """
+    eps = _coerce_error_rates(jury)
+    n = eps.size
+    threshold = majority_threshold(n)
+    # previous[m] holds Pr(C >= L-1 | J_m); current[m] holds Pr(C >= L | J_m).
+    previous = np.ones(n + 1, dtype=np.float64)  # L = 0: Pr(C >= 0) == 1.
+    current = np.empty(n + 1, dtype=np.float64)
+    for level in range(1, threshold + 1):
+        # Pr(C >= level | J_m) is zero while m < level.
+        current[:level] = 0.0
+        for m in range(level, n + 1):
+            e = eps[m - 1]
+            current[m] = previous[m - 1] * e + current[m - 1] * (1.0 - e)
+        previous, current = current, previous
+    return min(max(float(previous[n]), 0.0), 1.0)
+
+
+def jer_cba(jury: "Jury | Iterable[float]") -> float:
+    """JER via the Convolution-Based Algorithm (paper Algorithm 2).
+
+    Computes the full Carelessness distribution by divide-and-conquer
+    polynomial multiplication (FFT for large blocks) and sums the upper tail
+    from the majority threshold.
+
+    >>> round(jer_cba([0.2, 0.3, 0.3]), 3)
+    0.174
+    """
+    eps = _coerce_error_rates(jury)
+    threshold = majority_threshold(eps.size)
+    pmf = pmf_conv(eps)
+    return tail_probability(pmf, threshold)
+
+
+_METHODS = {
+    "naive": jer_naive,
+    "dp": jer_dp,
+    "cba": jer_cba,
+}
+
+#: Size above which the dispatcher prefers the FFT-based CBA over the DP.
+_AUTO_CBA_THRESHOLD = 256
+
+
+def jury_error_rate(jury: "Jury | Iterable[float]", *, method: str = "auto") -> float:
+    """Compute the Jury Error Rate of a jury.
+
+    Parameters
+    ----------
+    jury:
+        A :class:`~repro.core.juror.Jury` or a bare iterable of individual
+        error rates (each in the open interval ``(0, 1)``); the jury size must
+        be odd.
+    method:
+        ``"naive"``, ``"dp"``, ``"cba"``, or ``"auto"`` (default) which uses
+        the DP for small juries and CBA beyond ~256 jurors.
+
+    Returns
+    -------
+    float
+        ``Pr(C >= (n+1)/2)`` in ``[0, 1]``.
+
+    Examples
+    --------
+    >>> round(jury_error_rate([0.1, 0.2, 0.2]), 3)
+    0.072
+    """
+    if method == "auto":
+        eps = _coerce_error_rates(jury)
+        chosen = jer_cba if eps.size >= _AUTO_CBA_THRESHOLD else jer_dp
+        return chosen(eps)
+    try:
+        func = _METHODS[method]
+    except KeyError:
+        raise ValueError(
+            f"unknown method {method!r}; expected one of "
+            f"{sorted(_METHODS)} or 'auto'"
+        ) from None
+    return func(jury)
+
+
+class PrefixJERSweeper:
+    """Incremental JER over the odd prefixes of an ordered candidate list.
+
+    Paper Algorithm 3 (AltrALG) evaluates the jury formed by the first ``n``
+    jurors of the error-rate-sorted candidate list, for every odd ``n``.
+    Recomputing each JER from scratch costs ``O(N^2 log N)`` overall; this
+    sweeper instead maintains the Carelessness pmf and extends it by one juror
+    per step (a length-2 convolution, ``O(n)``), so the whole sweep costs
+    ``O(N^2)``.
+
+    The sweeper is deliberately order-agnostic: it processes the error rates
+    in the order given, so callers can feed any ordering (AltrALG feeds the
+    ascending-``eps`` order mandated by Lemma 3).
+
+    Examples
+    --------
+    >>> sweeper = PrefixJERSweeper([0.1, 0.2, 0.2, 0.3, 0.3])
+    >>> [(n, round(j, 4)) for n, j in sweeper]
+    [(1, 0.1), (3, 0.072), (5, 0.0704)]
+    """
+
+    def __init__(self, error_rates: Iterable[float]) -> None:
+        self._eps = validate_error_rates(error_rates, name="error rates")
+
+    def __iter__(self) -> Iterator[tuple[int, float]]:
+        return self.sweep()
+
+    def sweep(self) -> Iterator[tuple[int, float]]:
+        """Yield ``(n, JER(prefix of size n))`` for each odd ``n``."""
+        n_total = self._eps.size
+        pmf = np.ones(1, dtype=np.float64)
+        for idx in range(n_total):
+            e = self._eps[idx]
+            extended = np.empty(idx + 2, dtype=np.float64)
+            extended[0] = pmf[0] * (1.0 - e)
+            extended[1 : idx + 1] = pmf[1:] * (1.0 - e) + pmf[:-1] * e
+            extended[idx + 1] = pmf[-1] * e
+            pmf = extended
+            n = idx + 1
+            if n % 2 == 1:
+                yield n, tail_probability(pmf, (n + 1) // 2)
+
+    def all_odd_prefixes(self) -> list[tuple[int, float]]:
+        """Materialise the full sweep as a list."""
+        return list(self.sweep())
+
+    def best_prefix(self) -> tuple[int, float]:
+        """Return ``(n, JER)`` of the odd prefix with the smallest JER.
+
+        Ties break toward the smaller jury, matching the intuition that a
+        smaller jury of equal quality is cheaper to convene.
+        """
+        best_n, best_jer = -1, float("inf")
+        for n, value in self.sweep():
+            if value < best_jer - 1e-15:
+                best_n, best_jer = n, value
+        if best_n < 0:
+            raise ValueError("cannot sweep an empty candidate list")
+        return best_n, best_jer

@@ -1,0 +1,305 @@
+"""Juror and Jury domain objects (paper Section 2, Definitions 1 and 4).
+
+A :class:`Juror` is a candidate crowd worker with an individual error rate
+``epsilon`` — the probability that the juror votes against the latent ground
+truth of a binary decision task — and, under the Pay-as-you-go model (PayM),
+a payment ``requirement``.
+
+A :class:`Jury` is an odd-sized set of jurors that can hold a majority vote.
+Juries are immutable; selection algorithms construct new juries rather than
+mutating existing ones.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._validation import (
+    validate_error_rate,
+    validate_odd_size,
+    validate_requirement,
+)
+from repro.errors import InvalidJuryError
+
+__all__ = ["Juror", "Jury"]
+
+_juror_counter = itertools.count(1)
+
+
+def _next_auto_id() -> str:
+    return f"juror-{next(_juror_counter)}"
+
+
+@dataclass(frozen=True, order=False)
+class Juror:
+    """A candidate crowd worker on a micro-blog service.
+
+    Parameters
+    ----------
+    error_rate:
+        Individual error rate ``epsilon_i`` in the open interval ``(0, 1)``
+        (paper Definition 4): the probability of voting against the latent
+        ground truth.
+    requirement:
+        Payment requirement ``r_i >= 0`` under PayM (paper Definition 8).
+        Defaults to ``0.0``, which makes the juror altruistic (AltrM).
+    juror_id:
+        Stable identifier, e.g. a Twitter handle. Auto-generated when omitted.
+
+    Examples
+    --------
+    >>> a = Juror(0.1, juror_id="A")
+    >>> a.error_rate
+    0.1
+    >>> a.is_altruistic
+    True
+    """
+
+    error_rate: float
+    requirement: float = 0.0
+    juror_id: str = field(default_factory=_next_auto_id)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "error_rate", validate_error_rate(self.error_rate))
+        object.__setattr__(self, "requirement", validate_requirement(self.requirement))
+        if not isinstance(self.juror_id, str) or not self.juror_id:
+            raise InvalidJuryError(
+                f"juror_id must be a non-empty string, got {self.juror_id!r}"
+            )
+
+    @property
+    def accuracy(self) -> float:
+        """Probability of voting correctly, ``1 - epsilon_i``."""
+        return 1.0 - self.error_rate
+
+    @property
+    def is_altruistic(self) -> bool:
+        """True when the juror demands no payment (AltrM behaviour)."""
+        return self.requirement == 0.0
+
+    @property
+    def cost_quality_key(self) -> float:
+        """The greedy ordering key ``epsilon_i * r_i`` used by PayALG.
+
+        Paper Algorithm 4 sorts candidates by the product of error rate and
+        requirement, preferring jurors that are simultaneously cheap and
+        reliable.
+        """
+        return self.error_rate * self.requirement
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Juror(id={self.juror_id!r}, epsilon={self.error_rate:.4g}, "
+            f"r={self.requirement:.4g})"
+        )
+
+
+class Jury:
+    """An odd-sized set of jurors that can form a majority voting.
+
+    Implements paper Definition 1.  The class is an immutable sequence of
+    :class:`Juror` objects; the error-rate and requirement vectors are cached
+    as NumPy arrays for the numerical routines in :mod:`repro.core.jer`.
+
+    Parameters
+    ----------
+    jurors:
+        The member jurors.  Duplicated juror ids are rejected.
+    allow_even:
+        By default the constructor enforces the paper's odd-size assumption
+        (Section 2.1.1).  Intermediate algorithmic states occasionally need
+        even-sized "partial juries"; pass ``allow_even=True`` for those.
+
+    Examples
+    --------
+    >>> jury = Jury.from_error_rates([0.2, 0.3, 0.3])
+    >>> jury.size
+    3
+    >>> round(jury.majority_threshold, 1)
+    2
+    """
+
+    __slots__ = ("_jurors", "_error_rates", "_requirements")
+
+    def __init__(self, jurors: Iterable[Juror], *, allow_even: bool = False) -> None:
+        members = tuple(jurors)
+        if not members:
+            raise InvalidJuryError("a jury must contain at least one juror")
+        if not all(isinstance(j, Juror) for j in members):
+            raise InvalidJuryError("all jury members must be Juror instances")
+        ids = [j.juror_id for j in members]
+        if len(set(ids)) != len(ids):
+            seen: set[str] = set()
+            dup = next(i for i in ids if i in seen or seen.add(i))
+            raise InvalidJuryError(f"duplicate juror id in jury: {dup!r}")
+        if not allow_even:
+            validate_odd_size(len(members))
+        self._jurors: tuple[Juror, ...] = members
+        self._error_rates = np.array([j.error_rate for j in members], dtype=np.float64)
+        self._requirements = np.array([j.requirement for j in members], dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_error_rates(
+        cls,
+        error_rates: Iterable[float],
+        requirements: Iterable[float] | None = None,
+        *,
+        id_prefix: str = "j",
+        allow_even: bool = False,
+    ) -> "Jury":
+        """Build a jury from raw vectors of error rates (and requirements).
+
+        >>> Jury.from_error_rates([0.1, 0.2, 0.3]).size
+        3
+        """
+        eps = list(error_rates)
+        reqs = list(requirements) if requirements is not None else [0.0] * len(eps)
+        if len(reqs) != len(eps):
+            raise InvalidJuryError(
+                f"error_rates and requirements must have equal length "
+                f"({len(eps)} != {len(reqs)})"
+            )
+        jurors = [
+            Juror(e, r, juror_id=f"{id_prefix}{i + 1}")
+            for i, (e, r) in enumerate(zip(eps, reqs))
+        ]
+        return cls(jurors, allow_even=allow_even)
+
+    # ------------------------------------------------------------------
+    # sequence protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._jurors)
+
+    def __iter__(self) -> Iterator[Juror]:
+        return iter(self._jurors)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return self._jurors[index]
+        return self._jurors[index]
+
+    def __contains__(self, juror: object) -> bool:
+        return juror in self._jurors
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Jury):
+            return NotImplemented
+        return frozenset(self._jurors) == frozenset(other._jurors)
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._jurors))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        ids = ", ".join(j.juror_id for j in self._jurors[:6])
+        suffix = ", ..." if len(self._jurors) > 6 else ""
+        return f"Jury(size={self.size}, members=[{ids}{suffix}])"
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def jurors(self) -> tuple[Juror, ...]:
+        """The member jurors, in construction order."""
+        return self._jurors
+
+    @property
+    def size(self) -> int:
+        """Number of jurors ``n``."""
+        return len(self._jurors)
+
+    @property
+    def error_rates(self) -> np.ndarray:
+        """Vector of individual error rates (read-only view)."""
+        view = self._error_rates.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def requirements(self) -> np.ndarray:
+        """Vector of payment requirements (read-only view)."""
+        view = self._requirements.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def total_cost(self) -> float:
+        """Total payment ``sum(r_i)`` demanded by the jury (PayM)."""
+        return float(self._requirements.sum())
+
+    @property
+    def majority_threshold(self) -> int:
+        """Smallest number of votes that forms a strict majority, ``(n+1)/2``."""
+        return (self.size + 1) // 2
+
+    @property
+    def juror_ids(self) -> tuple[str, ...]:
+        """Member identifiers in construction order."""
+        return tuple(j.juror_id for j in self._jurors)
+
+    # ------------------------------------------------------------------
+    # derived juries
+    # ------------------------------------------------------------------
+    def sorted_by_error_rate(self) -> "Jury":
+        """Return a new jury with members ordered by ascending error rate."""
+        ordered = sorted(self._jurors, key=lambda j: (j.error_rate, j.juror_id))
+        return Jury(ordered, allow_even=self.size % 2 == 0)
+
+    def union(self, extra: Iterable[Juror], *, allow_even: bool = False) -> "Jury":
+        """Return the jury enlarged with ``extra`` jurors."""
+        return Jury(list(self._jurors) + list(extra), allow_even=allow_even)
+
+    def without(self, juror: Juror, *, allow_even: bool = True) -> "Jury":
+        """Return the jury with one member removed."""
+        if juror not in self._jurors:
+            raise InvalidJuryError(f"{juror!r} is not a member of this jury")
+        remaining = [j for j in self._jurors if j != juror]
+        return Jury(remaining, allow_even=allow_even)
+
+    def is_allowed(self, budget: float | None = None) -> bool:
+        """Whether the jury is *allowed* under the given model.
+
+        Under AltrM (``budget is None``) every jury is allowed
+        (Definition 7).  Under PayM the jury is allowed when its total cost
+        does not exceed ``budget`` (Definition 8).
+        """
+        if budget is None:
+            return True
+        return self.total_cost <= float(budget) + 1e-12
+
+
+def jurors_from_arrays(
+    error_rates: Sequence[float],
+    requirements: Sequence[float] | None = None,
+    *,
+    id_prefix: str = "j",
+) -> list[Juror]:
+    """Convenience constructor: build a candidate list from parallel arrays.
+
+    This returns a plain ``list`` (a *candidate set*, not a jury), suitable as
+    input to the selectors in :mod:`repro.core.selection`.
+
+    >>> cands = jurors_from_arrays([0.1, 0.2], [0.5, 0.0])
+    >>> [c.juror_id for c in cands]
+    ['j1', 'j2']
+    """
+    reqs = requirements if requirements is not None else [0.0] * len(error_rates)
+    if len(reqs) != len(error_rates):
+        raise InvalidJuryError(
+            "error_rates and requirements must have equal length "
+            f"({len(error_rates)} != {len(reqs)})"
+        )
+    return [
+        Juror(float(e), float(r), juror_id=f"{id_prefix}{i + 1}")
+        for i, (e, r) in enumerate(zip(error_rates, reqs))
+    ]
+
+
+__all__.append("jurors_from_arrays")

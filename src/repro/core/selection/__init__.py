@@ -1,0 +1,34 @@
+"""Jury-selection algorithms for the Jury Selection Problem (paper Section 3).
+
+Public entry points:
+
+* :func:`~repro.core.selection.altr.select_jury_altr` — exact AltrM solver
+  (paper Algorithm 3).
+* :func:`~repro.core.selection.pay.select_jury_pay` — PayM greedy heuristic
+  (paper Algorithm 4).
+* :func:`~repro.core.selection.exact.select_jury_optimal` — exact PayM/AltrM
+  optimum (enumeration or branch-and-bound), the paper's "OPT" baseline.
+"""
+
+from repro.core.selection.altr import altr_sweep_profile, select_jury_altr
+from repro.core.selection.base import SelectionResult, SelectionStats, sorted_candidates
+from repro.core.selection.exact import (
+    branch_and_bound_optimal,
+    enumerate_optimal,
+    select_jury_optimal,
+)
+from repro.core.selection.lagrangian import select_jury_lagrangian
+from repro.core.selection.pay import select_jury_pay
+
+__all__ = [
+    "SelectionResult",
+    "SelectionStats",
+    "sorted_candidates",
+    "select_jury_altr",
+    "altr_sweep_profile",
+    "select_jury_pay",
+    "select_jury_lagrangian",
+    "select_jury_optimal",
+    "enumerate_optimal",
+    "branch_and_bound_optimal",
+]

@@ -1,0 +1,306 @@
+"""Exact (optimal) jury selection — the "OPT" baseline of paper Section 5.1.2.
+
+JSP on PayM is NP-hard (paper Lemma 4), so the optimum is only computable for
+small candidate sets.  The paper obtains ground truth "via enumerating all
+possible combinations of jurors" at ``N = 22``; this module provides
+
+``enumerate_optimal``
+    A literal enumeration over all odd-sized, budget-feasible combinations.
+    Exponential; guarded to ``N <= 20``.  Test oracle.
+``branch_and_bound_optimal``
+    A depth-first search over the error-rate-sorted candidate list with three
+    sound prunings that keep the search exact:
+
+    * **count pruning** — the suffix cannot fill the remaining seats;
+    * **cost pruning** — even the cheapest completion exceeds the budget;
+    * **JER bound pruning** — by the monotonicity of JER in each individual
+      error rate (paper Lemma 3's key step), completing the current partial
+      jury with the *smallest-epsilon* remaining candidates lower-bounds the
+      JER of every completion; subtrees whose bound cannot beat the incumbent
+      are cut.
+
+Both return the same juries; the branch-and-bound handles the paper's
+``N = 22`` workloads in seconds.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import time
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro._validation import validate_budget
+from repro.core.jer import majority_threshold
+from repro.core.poisson_binomial import tail_probability
+from repro.core.juror import Juror, Jury
+from repro.core.selection.base import SelectionResult, SelectionStats, sorted_candidates
+from repro.errors import EmptyCandidateSetError, InfeasibleSelectionError
+
+__all__ = [
+    "enumerate_optimal",
+    "branch_and_bound_optimal",
+    "select_jury_optimal",
+]
+
+_ENUMERATION_LIMIT = 20
+
+
+def _extend_pmf(pmf: np.ndarray, epsilon: float) -> np.ndarray:
+    """Convolve a Carelessness pmf with one juror's ``[1-eps, eps]`` factor."""
+    out = np.empty(pmf.size + 1, dtype=np.float64)
+    out[0] = pmf[0] * (1.0 - epsilon)
+    out[1:-1] = pmf[1:] * (1.0 - epsilon) + pmf[:-1] * epsilon
+    out[-1] = pmf[-1] * epsilon
+    return out
+
+
+def _result(
+    members: Sequence[Juror],
+    jer: float,
+    algorithm: str,
+    budget: float | None,
+    stats: SelectionStats,
+) -> SelectionResult:
+    return SelectionResult(
+        jury=Jury(list(members)),
+        jer=jer,
+        algorithm=algorithm,
+        model="AltrM" if budget is None else "PayM",
+        budget=budget,
+        stats=stats,
+    )
+
+
+def enumerate_optimal(
+    candidates: Sequence[Juror],
+    budget: float | None = None,
+    *,
+    max_size: int | None = None,
+) -> SelectionResult:
+    """Ground-truth JSP optimum by exhaustive enumeration (paper Section 5.1.2).
+
+    Iterates every odd-sized combination of candidates, discards those whose
+    total payment exceeds ``budget`` (when given), and returns the feasible
+    jury with the smallest JER.  Ties break toward smaller juries, then
+    lexicographic member ids, for determinism.
+
+    Raises
+    ------
+    ValueError
+        If ``len(candidates)`` exceeds 20 (enumeration would be intractable).
+    InfeasibleSelectionError
+        If no single candidate is affordable.
+    """
+    if len(candidates) == 0:
+        raise EmptyCandidateSetError("cannot enumerate an empty candidate set")
+    if len(candidates) > _ENUMERATION_LIMIT:
+        raise ValueError(
+            f"enumerate_optimal is limited to N <= {_ENUMERATION_LIMIT} candidates "
+            f"(got {len(candidates)}); use branch_and_bound_optimal instead"
+        )
+    b = math.inf if budget is None else validate_budget(budget)
+    ordered = sorted_candidates(candidates)
+    limit = len(ordered) if max_size is None else min(max_size, len(ordered))
+
+    stats = SelectionStats()
+    start = time.perf_counter()
+    best_members: tuple[Juror, ...] | None = None
+    best_jer = math.inf
+    for k in range(1, limit + 1, 2):
+        threshold = majority_threshold(k)
+        for combo in itertools.combinations(ordered, k):
+            stats.juries_considered += 1
+            cost = sum(j.requirement for j in combo)
+            if cost > b:
+                continue
+            pmf = np.ones(1, dtype=np.float64)
+            for juror in combo:
+                pmf = _extend_pmf(pmf, juror.error_rate)
+            stats.jer_evaluations += 1
+            jer = tail_probability(pmf, threshold)
+            if _improves(jer, combo, best_jer, best_members):
+                best_jer, best_members = jer, combo
+    stats.elapsed_seconds = time.perf_counter() - start
+
+    if best_members is None:
+        raise InfeasibleSelectionError(
+            f"no odd-sized jury is affordable within budget {b:g}"
+        )
+    return _result(best_members, best_jer, "OPT-enumerate", budget, stats)
+
+
+def _improves(
+    jer: float,
+    members: tuple[Juror, ...],
+    best_jer: float,
+    best_members: tuple[Juror, ...] | None,
+) -> bool:
+    if jer < best_jer - 1e-15:
+        return True
+    if abs(jer - best_jer) <= 1e-15 and best_members is not None:
+        if len(members) != len(best_members):
+            return len(members) < len(best_members)
+        return tuple(j.juror_id for j in members) < tuple(
+            j.juror_id for j in best_members
+        )
+    return False
+
+
+def branch_and_bound_optimal(
+    candidates: Sequence[Juror],
+    budget: float | None = None,
+    *,
+    max_size: int | None = None,
+    use_jer_bound: bool = True,
+) -> SelectionResult:
+    """Exact JSP optimum via depth-first branch and bound.
+
+    Equivalent to :func:`enumerate_optimal` but with sound pruning, making the
+    paper's ``N = 22`` ground-truth computation practical.  Set
+    ``use_jer_bound=False`` to disable the monotonicity bound (cost and count
+    pruning remain) — useful for ablation benchmarks.
+    """
+    if len(candidates) == 0:
+        raise EmptyCandidateSetError("cannot optimise an empty candidate set")
+    b = math.inf if budget is None else validate_budget(budget)
+    ordered = sorted_candidates(candidates)
+    n_total = len(ordered)
+    limit = n_total if max_size is None else min(max_size, n_total)
+    eps = np.array([j.error_rate for j in ordered], dtype=np.float64)
+    reqs = np.array([j.requirement for j in ordered], dtype=np.float64)
+
+    # cheapest_sum[i][m]: minimum total requirement of any m candidates taken
+    # from the suffix starting at index i.  Used for cost pruning.
+    cheapest_sum = _suffix_cheapest_sums(reqs)
+
+    stats = SelectionStats()
+    start = time.perf_counter()
+    best: dict[str, object] = {"jer": math.inf, "members": None}
+
+    for k in range(1, limit + 1, 2):
+        threshold = majority_threshold(k)
+        _bb_search(
+            ordered,
+            eps,
+            reqs,
+            cheapest_sum,
+            k,
+            threshold,
+            b,
+            use_jer_bound,
+            best,
+            stats,
+        )
+    stats.elapsed_seconds = time.perf_counter() - start
+
+    if best["members"] is None:
+        raise InfeasibleSelectionError(
+            f"no odd-sized jury is affordable within budget {b:g}"
+        )
+    return _result(
+        best["members"],  # type: ignore[arg-type]
+        float(best["jer"]),  # type: ignore[arg-type]
+        "OPT-branch-and-bound",
+        budget,
+        stats,
+    )
+
+
+def _suffix_cheapest_sums(reqs: np.ndarray) -> list[np.ndarray]:
+    """``cheapest[i][m]`` = cheapest way to buy ``m`` jurors from suffix ``i``."""
+    n = reqs.size
+    table: list[np.ndarray] = []
+    for i in range(n + 1):
+        suffix = np.sort(reqs[i:])
+        sums = np.concatenate(([0.0], np.cumsum(suffix)))
+        table.append(sums)
+    return table
+
+
+def _bb_search(
+    ordered: Sequence[Juror],
+    eps: np.ndarray,
+    reqs: np.ndarray,
+    cheapest_sum: list[np.ndarray],
+    k: int,
+    threshold: int,
+    budget: float,
+    use_jer_bound: bool,
+    best: dict[str, object],
+    stats: SelectionStats,
+) -> None:
+    n_total = eps.size
+    chosen: list[int] = []
+
+    def dfs(index: int, cost: float, pmf: np.ndarray) -> None:
+        stats.nodes_visited += 1
+        picked = len(chosen)
+        if picked == k:
+            if cost > budget + 1e-12:
+                return
+            stats.jer_evaluations += 1
+            jer = tail_probability(pmf, threshold)
+            members = tuple(ordered[i] for i in chosen)
+            if _improves(jer, members, float(best["jer"]), best["members"]):  # type: ignore[arg-type]
+                best["jer"], best["members"] = jer, members
+            return
+        need = k - picked
+        if index >= n_total or n_total - index < need:
+            return
+        # Cost pruning: even the cheapest completion busts the budget.
+        if cost + cheapest_sum[index][need] > budget + 1e-12:
+            return
+        # JER bound pruning: completing with the smallest-epsilon remaining
+        # candidates (the immediate suffix, since eps is sorted ascending)
+        # lower-bounds every completion's JER by coordinate-wise monotonicity.
+        if use_jer_bound and best["members"] is not None:
+            stats.bound_checks += 1
+            bound_pmf = pmf
+            for j in range(index, index + need):
+                bound_pmf = _extend_pmf(bound_pmf, eps[j])
+            if tail_probability(bound_pmf, threshold) >= float(best["jer"]) - 1e-15:
+                stats.pruned_by_bound += 1
+                return
+        # Branch 1: choose candidate ``index``.
+        chosen.append(index)
+        dfs(index + 1, cost + reqs[index], _extend_pmf(pmf, eps[index]))
+        chosen.pop()
+        # Branch 2: skip candidate ``index``.
+        dfs(index + 1, cost, pmf)
+
+    dfs(0, 0.0, np.ones(1, dtype=np.float64))
+
+
+def select_jury_optimal(
+    candidates: Sequence[Juror],
+    budget: float | None = None,
+    *,
+    method: str = "auto",
+    max_size: int | None = None,
+) -> SelectionResult:
+    """Exact JSP optimum, dispatching between enumeration and branch-and-bound.
+
+    Parameters
+    ----------
+    candidates:
+        Candidate juror set.
+    budget:
+        PayM budget, or ``None`` for the AltrM (unconstrained) optimum.
+    method:
+        ``"enumerate"``, ``"branch-and-bound"``, or ``"auto"`` (default),
+        which enumerates up to 14 candidates and branches-and-bounds beyond.
+    max_size:
+        Optional cap on jury size.
+    """
+    if method == "auto":
+        method = "enumerate" if len(candidates) <= 14 else "branch-and-bound"
+    if method == "enumerate":
+        return enumerate_optimal(candidates, budget, max_size=max_size)
+    if method == "branch-and-bound":
+        return branch_and_bound_optimal(candidates, budget, max_size=max_size)
+    raise ValueError(
+        f"unknown method {method!r}; expected 'auto', 'enumerate' or 'branch-and-bound'"
+    )

@@ -1,0 +1,131 @@
+"""Lagrangian-relaxation heuristic for JSP on PayM — an extra baseline.
+
+PayALG (paper Algorithm 4) greedily orders candidates by ``eps_i * r_i``.
+A classic alternative for budgeted selection is to *relax* the budget into
+the objective: for a multiplier ``lambda >= 0``, score every candidate by
+
+    ``eps_i + lambda * r_i``
+
+sort ascending, and evaluate the Lemma 3-style prefixes of that ordering
+that fit the budget.  Small ``lambda`` trusts reliability, large ``lambda``
+chases cheapness; sweeping a geometric grid of multipliers and keeping the
+best feasible jury found explores the reliability/price trade-off more
+systematically than a single fixed ordering.
+
+The sweep subsumes two natural baselines as endpoints: ``lambda = 0`` is
+"best jurors that fit" and ``lambda -> inf`` is "cheapest jurors that fit".
+Like PayALG it is a heuristic (JSP on PayM is NP-hard, Lemma 4); the bench
+suite compares all three selectors against the exact optimum.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro._validation import validate_budget
+from repro.core.jer import PrefixJERSweeper
+from repro.core.juror import Juror, Jury
+from repro.core.selection.base import SelectionResult, SelectionStats
+from repro.errors import EmptyCandidateSetError, InfeasibleSelectionError
+
+__all__ = ["select_jury_lagrangian", "DEFAULT_MULTIPLIERS"]
+
+#: Geometric multiplier grid from "ignore price" to "price is everything".
+DEFAULT_MULTIPLIERS: tuple[float, ...] = (
+    0.0, 0.01, 0.03, 0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0
+)
+
+
+def select_jury_lagrangian(
+    candidates: Sequence[Juror],
+    budget: float,
+    *,
+    multipliers: Sequence[float] = DEFAULT_MULTIPLIERS,
+) -> SelectionResult:
+    """Budget-relaxation heuristic for JSP under PayM.
+
+    For each multiplier, candidates are ordered by ``eps + lambda * r`` and
+    the longest affordable odd prefixes are scored with the incremental JER
+    sweeper; the best feasible jury across the whole sweep wins.
+
+    Parameters
+    ----------
+    candidates:
+        Candidate jurors with error rates and requirements.
+    budget:
+        Total payment budget ``B >= 0``.
+    multipliers:
+        The lambda grid to sweep (non-negative).
+
+    Returns
+    -------
+    SelectionResult
+        Best feasible jury found (odd size, cost within budget).
+
+    Raises
+    ------
+    InfeasibleSelectionError
+        When no candidate is individually affordable.
+
+    Examples
+    --------
+    >>> from repro.core.juror import Juror
+    >>> cands = [Juror(0.1, 0.2, juror_id="A"), Juror(0.2, 0.2, juror_id="B"),
+    ...          Juror(0.2, 0.2, juror_id="C"), Juror(0.4, 0.1, juror_id="F")]
+    >>> result = select_jury_lagrangian(cands, budget=1.0)
+    >>> sorted(result.juror_ids)
+    ['A', 'B', 'C']
+    """
+    if len(candidates) == 0:
+        raise EmptyCandidateSetError(
+            "Lagrangian selection requires at least one candidate juror"
+        )
+    b = validate_budget(budget)
+    grid = [float(m) for m in multipliers]
+    if not grid or any(m < 0.0 for m in grid):
+        raise ValueError("multipliers must be a non-empty sequence of non-negatives")
+
+    stats = SelectionStats()
+    start = time.perf_counter()
+    best_members: list[Juror] | None = None
+    best_jer = float("inf")
+
+    for lam in grid:
+        ordered = sorted(
+            candidates,
+            key=lambda j: (j.error_rate + lam * j.requirement, j.juror_id),
+        )
+        # Walk the ordering, keeping the affordable prefix: a candidate that
+        # busts the budget is skipped, later cheaper ones may still fit.
+        affordable: list[Juror] = []
+        cost = 0.0
+        for juror in ordered:
+            if cost + juror.requirement <= b + 1e-12:
+                affordable.append(juror)
+                cost += juror.requirement
+        if not affordable:
+            continue
+        eps = np.array([j.error_rate for j in affordable])
+        for n, jer in PrefixJERSweeper(eps):
+            stats.juries_considered += 1
+            stats.jer_evaluations += 1
+            if jer < best_jer - 1e-15:
+                best_jer = jer
+                best_members = affordable[:n]
+
+    stats.elapsed_seconds = time.perf_counter() - start
+    if best_members is None:
+        raise InfeasibleSelectionError(
+            f"no candidate affordable within budget {b:g}"
+        )
+    return SelectionResult(
+        jury=Jury(best_members),
+        jer=best_jer,
+        algorithm="Lagrangian",
+        model="PayM",
+        budget=b,
+        stats=stats,
+    )

@@ -1,0 +1,218 @@
+"""JSP under the Pay-as-you-go model — paper Algorithm 4 (PayALG).
+
+JSP on PayM is NP-hard (paper Lemma 4, by reduction from the n-th order
+Knapsack Problem), so the paper proposes a greedy heuristic:
+
+1. sort candidates ascending by ``eps_i * r_i`` (cheap *and* reliable first);
+2. seed the jury with the first affordable candidate;
+3. scan the remaining candidates, buffering one as a *pair partner*; whenever
+   a second affordable candidate is found, admit the pair only if the
+   enlarged (still odd-sized) jury improves the JER.
+
+Pairs keep the size odd, which Majority Voting requires.  This module
+implements the paper's first-fit pairing faithfully (``variant="paper"``)
+plus a steepest-descent variant used for ablations (``variant="improved"``)
+that, at each step, admits the affordable pair with the best JER instead of
+the first one that helps.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Sequence
+
+from repro._validation import validate_budget
+from repro.core.jer import jury_error_rate
+from repro.core.juror import Juror, Jury
+from repro.core.selection.base import SelectionResult, SelectionStats
+from repro.errors import EmptyCandidateSetError, InfeasibleSelectionError
+
+__all__ = ["select_jury_pay"]
+
+
+def _greedy_order(candidates: Sequence[Juror]) -> list[Juror]:
+    """Paper Algorithm 4, Line 1: ascending ``eps_i * r_i`` order.
+
+    Ties break toward the lower error rate, then the id, so runs are
+    deterministic.
+    """
+    return sorted(
+        candidates,
+        key=lambda j: (j.cost_quality_key, j.error_rate, j.juror_id),
+    )
+
+
+def select_jury_pay(
+    candidates: Sequence[Juror],
+    budget: float,
+    *,
+    variant: str = "paper",
+) -> SelectionResult:
+    """Greedy heuristic for JSP under PayM (paper Algorithm 4).
+
+    Parameters
+    ----------
+    candidates:
+        Candidate juror set ``S`` with error rates and payment requirements.
+    budget:
+        Total payment budget ``B >= 0`` (Definition 8).
+    variant:
+        ``"paper"`` reproduces Algorithm 4's first-fit pairing;
+        ``"improved"`` is a steepest-descent ablation that evaluates every
+        affordable pair at each enlargement step and admits the best one.
+
+    Returns
+    -------
+    SelectionResult
+        An odd-sized jury whose total cost does not exceed ``budget``.
+
+    Raises
+    ------
+    InfeasibleSelectionError
+        When not even the single cheapest candidate fits in the budget.
+
+    Examples
+    --------
+    The motivating example of Figure 1 / Table 2: with D and E too expensive,
+    the greedy settles on the affordable {A, B, C} jury rather than padding
+    with the unreliable F and G:
+
+    >>> from repro.core.juror import Juror
+    >>> cands = [Juror(0.1, 0.2, juror_id="A"), Juror(0.2, 0.2, juror_id="B"),
+    ...          Juror(0.2, 0.2, juror_id="C"), Juror(0.3, 0.4, juror_id="D"),
+    ...          Juror(0.3, 0.65, juror_id="E"), Juror(0.4, 0.1, juror_id="F"),
+    ...          Juror(0.4, 0.1, juror_id="G")]
+    >>> result = select_jury_pay(cands, budget=1.0)
+    >>> sorted(result.juror_ids), round(result.jer, 3)
+    (['A', 'B', 'C'], 0.072)
+    """
+    if len(candidates) == 0:
+        raise EmptyCandidateSetError("PayALG requires at least one candidate juror")
+    b = validate_budget(budget)
+    if variant not in ("paper", "improved"):
+        raise ValueError(f"unknown variant {variant!r}; expected 'paper' or 'improved'")
+
+    ordered = _greedy_order(candidates)
+    stats = SelectionStats()
+    start = time.perf_counter()
+
+    # Lines 3-6: seed with the first affordable candidate.
+    seed_index = next(
+        (i for i, juror in enumerate(ordered) if juror.requirement <= b), None
+    )
+    if seed_index is None:
+        raise InfeasibleSelectionError(
+            f"no candidate affordable within budget {b:g}; cheapest requirement is "
+            f"{min(j.requirement for j in ordered):g}"
+        )
+
+    selected = [ordered[seed_index]]
+    accumulated = ordered[seed_index].requirement
+    current_jer = jury_error_rate([j.error_rate for j in selected])
+    stats.jer_evaluations += 1
+
+    remaining = ordered[seed_index + 1 :]
+    if variant == "paper":
+        selected, accumulated, current_jer = _paper_pairing(
+            selected, remaining, accumulated, b, current_jer, stats
+        )
+    else:
+        selected, accumulated, current_jer = _improved_pairing(
+            selected, remaining, accumulated, b, current_jer, stats
+        )
+
+    stats.elapsed_seconds = time.perf_counter() - start
+    jury = Jury(selected)
+    return SelectionResult(
+        jury=jury,
+        jer=current_jer,
+        algorithm="PayALG" if variant == "paper" else "PayALG-improved",
+        model="PayM",
+        budget=b,
+        stats=stats,
+    )
+
+
+def _paper_pairing(
+    selected: list[Juror],
+    remaining: Sequence[Juror],
+    accumulated: float,
+    budget: float,
+    current_jer: float,
+    stats: SelectionStats,
+) -> tuple[list[Juror], float, float]:
+    """Lines 8-16 of paper Algorithm 4: first-fit pair admission."""
+    pair_partner: Juror | None = None
+    for juror in remaining:
+        if pair_partner is None:
+            if juror.requirement + accumulated <= budget:
+                pair_partner = juror
+            continue
+        enlarged_cost = juror.requirement + pair_partner.requirement + accumulated
+        if enlarged_cost > budget:
+            continue
+        stats.juries_considered += 1
+        stats.jer_evaluations += 1
+        trial_eps = [j.error_rate for j in selected] + [
+            pair_partner.error_rate,
+            juror.error_rate,
+        ]
+        trial_jer = jury_error_rate(trial_eps)
+        if trial_jer <= current_jer:
+            selected = selected + [pair_partner, juror]
+            accumulated = enlarged_cost
+            current_jer = trial_jer
+            pair_partner = None
+    return selected, accumulated, current_jer
+
+
+def _improved_pairing(
+    selected: list[Juror],
+    remaining: Sequence[Juror],
+    accumulated: float,
+    budget: float,
+    current_jer: float,
+    stats: SelectionStats,
+) -> tuple[list[Juror], float, float]:
+    """Steepest-descent ablation: repeatedly admit the best affordable pair.
+
+    At every step, all affordable two-candidate enlargements of the current
+    jury are scored and the one with the lowest JER is admitted, provided it
+    improves on the incumbent.  Quadratic in the candidate count per step but
+    strictly dominates the first-fit rule in solution quality.
+    """
+    pool = list(remaining)
+    improved = True
+    while improved:
+        improved = False
+        best_pair: tuple[int, int] | None = None
+        best_jer = current_jer
+        base_eps = [j.error_rate for j in selected]
+        for a in range(len(pool)):
+            cost_a = pool[a].requirement
+            if accumulated + cost_a > budget:
+                continue
+            for b_idx in range(a + 1, len(pool)):
+                cost = accumulated + cost_a + pool[b_idx].requirement
+                if cost > budget:
+                    continue
+                stats.juries_considered += 1
+                stats.jer_evaluations += 1
+                trial = jury_error_rate(
+                    base_eps + [pool[a].error_rate, pool[b_idx].error_rate]
+                )
+                if trial < best_jer - 1e-15:
+                    best_jer = trial
+                    best_pair = (a, b_idx)
+        if best_pair is not None:
+            a, b_idx = best_pair
+            juror_b = pool[b_idx]
+            juror_a = pool[a]
+            selected = selected + [juror_a, juror_b]
+            accumulated += juror_a.requirement + juror_b.requirement
+            current_jer = best_jer
+            # Remove the admitted pair from the pool (higher index first).
+            pool.pop(b_idx)
+            pool.pop(a)
+            improved = True
+    return selected, accumulated, current_jer

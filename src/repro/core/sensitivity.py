@@ -1,0 +1,190 @@
+"""JER sensitivity analysis — how much each juror matters.
+
+The proof of paper Lemma 3 decomposes the JER linearly in any one juror's
+error rate:
+
+    JER(J_n) = eps_i * Pr(C = t-1 | J_n \\ {j_i}) + Pr(C >= t | J_n \\ {j_i})
+
+with ``t = (n+1)/2``.  The coefficient ``Pr(C = t-1 | J \\ {j_i})`` is
+therefore the exact partial derivative ``dJER/deps_i`` — the probability
+that juror *i* casts the pivotal vote.  This module computes those
+derivatives for every juror in ``O(n^2)`` total via stable leave-one-out
+deconvolution of the Carelessness pmf, and derives juror-importance
+rankings from them.
+
+Applications: explaining a selection ("whose reliability is the jury most
+exposed to?"), prioritising which error-rate estimates to refine, and
+quantifying the marginal value of replacing a juror.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._validation import validate_error_rates
+from repro.core.jer import majority_threshold
+from repro.core.juror import Jury
+from repro.core.poisson_binomial import pmf_dp, tail_probability
+
+__all__ = [
+    "leave_one_out_pmf",
+    "jer_gradient",
+    "pivotal_probabilities",
+    "JurorInfluence",
+    "juror_influence_report",
+]
+
+
+def leave_one_out_pmf(pmf: np.ndarray, epsilon: float) -> np.ndarray:
+    """Deconvolve one Bernoulli factor ``[1-eps, eps]`` out of a pmf.
+
+    Given the pmf of ``C = X_1 + ... + X_n`` and the success probability of
+    one constituent ``X_i``, returns the pmf of ``C - X_i``.  The forward
+    recurrence (dividing by ``1 - eps``) is stable for ``eps < 0.5`` and the
+    backward recurrence (dividing by ``eps``) for ``eps >= 0.5``; we pick the
+    stable direction.
+
+    Parameters
+    ----------
+    pmf:
+        Length ``n + 1`` pmf of the full sum.
+    epsilon:
+        Success probability of the factor to remove, in the open interval.
+
+    Returns
+    -------
+    numpy.ndarray
+        Length ``n`` pmf of the remaining sum, clipped into ``[0, 1]``.
+    """
+    if not 0.0 < epsilon < 1.0:
+        raise ValueError(f"epsilon must lie in (0, 1), got {epsilon!r}")
+    n = pmf.size - 1
+    out = np.empty(n, dtype=np.float64)
+    if epsilon < 0.5:
+        # Forward: pmf[k] = out[k]*(1-e) + out[k-1]*e.
+        complement = 1.0 - epsilon
+        out[0] = pmf[0] / complement
+        for k in range(1, n):
+            out[k] = (pmf[k] - out[k - 1] * epsilon) / complement
+    else:
+        # Backward: pmf[k] = out[k]*(1-e) + out[k-1]*e, solved from the top.
+        complement = 1.0 - epsilon
+        out[n - 1] = pmf[n] / epsilon
+        for k in range(n - 1, 0, -1):
+            out[k - 1] = (pmf[k] - out[k] * complement) / epsilon
+    np.clip(out, 0.0, 1.0, out=out)
+    return out
+
+
+def pivotal_probabilities(jury: "Jury | Iterable[float]") -> np.ndarray:
+    """``Pr(C = t - 1 | J \\ {j_i})`` for every juror — the pivot chances.
+
+    Juror *i* is *pivotal* when exactly ``t - 1`` of the other jurors err:
+    then *i*'s own vote decides whether the majority is wrong.  By the
+    Lemma 3 decomposition this equals ``dJER/deps_i``.
+
+    >>> probs = pivotal_probabilities([0.2, 0.3, 0.3])
+    >>> probs.shape
+    (3,)
+    """
+    eps = _coerce(jury)
+    n = eps.size
+    threshold = majority_threshold(n)
+    full_pmf = pmf_dp(eps)
+    gradient = np.empty(n, dtype=np.float64)
+    for i in range(n):
+        rest = leave_one_out_pmf(full_pmf, float(eps[i]))
+        gradient[i] = rest[threshold - 1] if threshold - 1 < rest.size else 0.0
+    return gradient
+
+
+def jer_gradient(jury: "Jury | Iterable[float]") -> np.ndarray:
+    """Exact gradient of the JER with respect to each individual error rate.
+
+    Identical to :func:`pivotal_probabilities` (the decomposition makes the
+    pivot probability *be* the derivative); provided under the calculus name
+    for optimisation-flavoured callers.
+
+    >>> import numpy as np
+    >>> g = jer_gradient([0.2, 0.3, 0.3])
+    >>> bool(np.all(g >= 0))
+    True
+    """
+    return pivotal_probabilities(jury)
+
+
+def _coerce(jury: "Jury | Iterable[float]") -> np.ndarray:
+    if isinstance(jury, Jury):
+        return np.asarray(jury.error_rates, dtype=np.float64)
+    return validate_error_rates(jury, name="error rates")
+
+
+@dataclass(frozen=True)
+class JurorInfluence:
+    """Sensitivity record for one juror.
+
+    Attributes
+    ----------
+    index:
+        Position in the jury.
+    juror_id:
+        Identifier (synthesised for bare error-rate input).
+    error_rate:
+        The juror's ``eps_i``.
+    pivotal_probability:
+        ``dJER/deps_i`` — how exposed the jury is to this juror.
+    contribution:
+        ``eps_i * pivotal_probability`` — the share of the JER attributable
+        to this juror erring pivotally.
+    removal_delta:
+        ``JER(J \\ {j_i, j_cheapest_other}) - JER(J)`` is not well defined
+        for odd juries, so this reports the *two-sided* quantity
+        ``Pr(C >= t | J \\ {j_i}) - JER(J)``: the JER change if the juror
+        were replaced by a perfectly silent abstention (tail on the same
+        threshold without them).
+    """
+
+    index: int
+    juror_id: str
+    error_rate: float
+    pivotal_probability: float
+    contribution: float
+    removal_delta: float
+
+
+def juror_influence_report(jury: "Jury | Iterable[float]") -> list[JurorInfluence]:
+    """Per-juror sensitivity report, sorted by descending pivotal probability.
+
+    >>> report = juror_influence_report([0.1, 0.3, 0.3])
+    >>> report[0].pivotal_probability >= report[-1].pivotal_probability
+    True
+    """
+    eps = _coerce(jury)
+    ids = (
+        [j.juror_id for j in jury.jurors]
+        if isinstance(jury, Jury)
+        else [f"j{i + 1}" for i in range(eps.size)]
+    )
+    threshold = majority_threshold(eps.size)
+    full_pmf = pmf_dp(eps)
+    jer = tail_probability(full_pmf, threshold)
+    records = []
+    for i in range(eps.size):
+        rest = leave_one_out_pmf(full_pmf, float(eps[i]))
+        pivot = rest[threshold - 1] if threshold - 1 < rest.size else 0.0
+        without_tail = tail_probability(rest, threshold)
+        records.append(
+            JurorInfluence(
+                index=i,
+                juror_id=ids[i],
+                error_rate=float(eps[i]),
+                pivotal_probability=float(pivot),
+                contribution=float(eps[i] * pivot),
+                removal_delta=float(without_tail - jer),
+            )
+        )
+    records.sort(key=lambda r: (-r.pivotal_probability, r.index))
+    return records

@@ -1,0 +1,206 @@
+"""Voting and voting schemes (paper Section 2.1, Definitions 2 and 3).
+
+A :class:`Voting` is a concrete instance of a jury's votes on one binary
+decision task: a vector of 0/1 values, one per juror.  A *voting scheme* maps
+a voting to a single group decision; the paper uses **Majority Voting**
+(Definition 3), implemented here by :class:`MajorityVoting`.
+
+The module also provides :func:`carelessness`, the number of mistaken jurors
+in a voting given the latent ground truth (Definition 5) — the random
+quantity whose distribution (Poisson-Binomial) underlies the Jury Error Rate.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.juror import Jury
+from repro.errors import EvenJurySizeError, InvalidJuryError
+
+__all__ = [
+    "Voting",
+    "VotingScheme",
+    "MajorityVoting",
+    "carelessness",
+    "is_minority_wrong",
+]
+
+
+@dataclass(frozen=True)
+class Voting:
+    """A valid instance of a jury: one binary vote per juror (Definition 2).
+
+    Parameters
+    ----------
+    votes:
+        Sequence of 0/1 values; ``votes[i]`` is the answer of the *i*-th juror
+        of ``jury`` (1 = "yes/true", 0 = "no/false").
+    jury:
+        The jury that produced the votes.  Optional: schemes only need the
+        votes, but carrying the jury enables carelessness computations.
+    """
+
+    votes: tuple[int, ...]
+    jury: Jury | None = None
+
+    def __init__(self, votes: Iterable[int], jury: Jury | None = None) -> None:
+        raw = tuple(votes)
+        if not raw:
+            raise InvalidJuryError("a voting must contain at least one vote")
+        if any(float(v) not in (0.0, 1.0) for v in raw):
+            raise InvalidJuryError(f"votes must be binary 0/1, got {raw!r}")
+        vote_tuple = tuple(int(v) for v in raw)
+        if jury is not None and len(vote_tuple) != jury.size:
+            raise InvalidJuryError(
+                f"vote count ({len(vote_tuple)}) does not match jury size ({jury.size})"
+            )
+        object.__setattr__(self, "votes", vote_tuple)
+        object.__setattr__(self, "jury", jury)
+
+    @property
+    def size(self) -> int:
+        """Number of votes ``n``."""
+        return len(self.votes)
+
+    @property
+    def yes_count(self) -> int:
+        """Number of jurors voting 1."""
+        return sum(self.votes)
+
+    @property
+    def no_count(self) -> int:
+        """Number of jurors voting 0."""
+        return self.size - self.yes_count
+
+    def as_array(self) -> np.ndarray:
+        """The votes as an ``int8`` NumPy array."""
+        return np.asarray(self.votes, dtype=np.int8)
+
+
+class VotingScheme:
+    """Base class for voting schemes: functions from a voting to a decision.
+
+    Subclasses implement :meth:`decide`.  The paper treats a scheme as "a
+    function defined on a voting [whose] output is a decision"
+    (Section 2.1.1).
+    """
+
+    name: str = "abstract"
+
+    def decide(self, voting: Voting) -> int:
+        """Return the group decision (0 or 1) for ``voting``."""
+        raise NotImplementedError
+
+    def __call__(self, voting: Voting) -> int:
+        return self.decide(voting)
+
+
+class MajorityVoting(VotingScheme):
+    """Majority Voting (paper Definition 3).
+
+    ``MV(V_n) = 1`` when at least ``(n+1)/2`` jurors vote 1, otherwise 0.
+    The jury size must be odd so that a strict majority always exists; an
+    even-sized voting raises :class:`~repro.errors.EvenJurySizeError` unless
+    constructed with ``strict=False``, in which case ties resolve to
+    ``tie_break``.
+
+    Examples
+    --------
+    >>> mv = MajorityVoting()
+    >>> mv.decide(Voting([1, 0, 1]))
+    1
+    >>> mv.decide(Voting([0, 0, 1]))
+    0
+    """
+
+    name = "majority"
+
+    def __init__(self, *, strict: bool = True, tie_break: int = 0) -> None:
+        if tie_break not in (0, 1):
+            raise InvalidJuryError(f"tie_break must be 0 or 1, got {tie_break!r}")
+        self.strict = bool(strict)
+        self.tie_break = int(tie_break)
+
+    def decide(self, voting: Voting) -> int:
+        n = voting.size
+        if n % 2 == 0:
+            if self.strict:
+                raise EvenJurySizeError(
+                    f"Majority Voting requires an odd jury size, got {n}"
+                )
+            if voting.yes_count * 2 == n:
+                return self.tie_break
+        return 1 if voting.yes_count >= (n + 1) // 2 else 0
+
+    def decide_votes(self, votes: Sequence[int] | np.ndarray) -> int:
+        """Shortcut accepting a raw 0/1 vector instead of a :class:`Voting`."""
+        return self.decide(Voting(list(votes)))
+
+    def decide_batch(self, votes: np.ndarray) -> np.ndarray:
+        """Vectorised decisions for a batch of votings.
+
+        Parameters
+        ----------
+        votes:
+            Array of shape ``(num_votings, n)`` with 0/1 entries.
+
+        Returns
+        -------
+        numpy.ndarray
+            Vector of ``num_votings`` group decisions.
+        """
+        arr = np.asarray(votes)
+        if arr.ndim != 2:
+            raise InvalidJuryError(
+                f"batch votes must be 2-dimensional, got shape {arr.shape}"
+            )
+        n = arr.shape[1]
+        if n % 2 == 0 and self.strict:
+            raise EvenJurySizeError(
+                f"Majority Voting requires an odd jury size, got {n}"
+            )
+        counts = arr.sum(axis=1)
+        decisions = (counts >= (n + 1) // 2).astype(np.int8)
+        if n % 2 == 0 and not self.strict:
+            ties = counts * 2 == n
+            decisions[ties] = self.tie_break
+        return decisions
+
+
+def carelessness(voting: Voting, ground_truth: int, jury: Jury | None = None) -> int:
+    """Number of mistaken jurors in a voting (paper Definition 5).
+
+    Parameters
+    ----------
+    voting:
+        The observed votes.
+    ground_truth:
+        Latent true answer ``A`` of the task (0 or 1).
+    jury:
+        Unused for the count itself; accepted for symmetry with the paper's
+        notation ``C`` defined w.r.t. a jury ``J_n``.
+
+    Returns
+    -------
+    int
+        Count ``C`` of jurors whose vote differs from ``ground_truth``,
+        with ``0 <= C <= n``.
+    """
+    if ground_truth not in (0, 1):
+        raise InvalidJuryError(f"ground_truth must be 0 or 1, got {ground_truth!r}")
+    return sum(1 for v in voting.votes if v != ground_truth)
+
+
+def is_minority_wrong(voting: Voting, ground_truth: int) -> bool:
+    """Whether the jury decision is correct, i.e. the wrong voters are a minority.
+
+    Returns True when ``C < (n+1)/2`` so Majority Voting recovers the ground
+    truth (odd sizes only).
+    """
+    n = voting.size
+    if n % 2 == 0:
+        raise EvenJurySizeError(f"minority test requires odd jury size, got {n}")
+    return carelessness(voting, ground_truth) < (n + 1) // 2

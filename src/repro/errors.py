@@ -1,0 +1,87 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All exceptions raised by the library derive from :class:`ReproError`, so
+callers can catch a single base class.  Validation errors additionally derive
+from :class:`ValueError` (or :class:`TypeError` where appropriate) so that the
+library behaves like idiomatic Python for callers who do not know about the
+custom hierarchy.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "InvalidErrorRateError",
+    "InvalidRequirementError",
+    "InvalidJuryError",
+    "EvenJurySizeError",
+    "EmptyCandidateSetError",
+    "BudgetError",
+    "InfeasibleSelectionError",
+    "EstimationError",
+    "EmptyGraphError",
+    "ConvergenceError",
+    "SimulationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class InvalidErrorRateError(ReproError, ValueError):
+    """An individual error rate falls outside the open interval ``(0, 1)``.
+
+    The paper (Definition 4) requires ``epsilon_i`` to be a probability in the
+    *open* interval: a juror who is always right (0) or always wrong (1) would
+    make the Poisson-Binomial model degenerate and the normalisation of
+    Section 4.1.3 is clipped to avoid producing such values.
+    """
+
+
+class InvalidRequirementError(ReproError, ValueError):
+    """A payment requirement is negative or non-finite (PayM, Definition 8)."""
+
+
+class InvalidJuryError(ReproError, ValueError):
+    """A jury violates a structural constraint (duplicates, empty, bad size)."""
+
+
+class EvenJurySizeError(InvalidJuryError):
+    """A majority-voting jury must have odd size (Section 2.1.1).
+
+    Majority Voting is only well defined for odd jury sizes; the paper assumes
+    odd sizes throughout so that a strict majority always exists.
+    """
+
+
+class EmptyCandidateSetError(ReproError, ValueError):
+    """A selection algorithm was invoked with no candidate jurors."""
+
+
+class BudgetError(ReproError, ValueError):
+    """A budget is negative or non-finite (PayM, Definition 8)."""
+
+
+class InfeasibleSelectionError(ReproError):
+    """No allowed jury exists for the given model and budget.
+
+    Raised by PayM selectors when even the single cheapest juror exceeds the
+    budget, i.e. no odd-sized jury satisfies ``sum(r_i) <= B``.
+    """
+
+
+class EstimationError(ReproError):
+    """Base class for errors in the parameter-estimation pipeline (Section 4)."""
+
+
+class EmptyGraphError(EstimationError, ValueError):
+    """A ranking algorithm received a graph with no nodes or no edges."""
+
+
+class ConvergenceError(EstimationError, RuntimeError):
+    """An iterative ranking algorithm failed to converge within its budget."""
+
+
+class SimulationError(ReproError):
+    """Base class for errors raised by the Monte-Carlo voting simulator."""

@@ -1,0 +1,58 @@
+"""Parameter estimation from micro-blog data (paper Section 4).
+
+Pipeline stages:
+
+1. :mod:`~repro.estimation.tweets` — tweet records and ``RT @`` chain parsing;
+2. :mod:`~repro.estimation.graph` — retweet user-graph construction (Alg 5);
+3. :mod:`~repro.estimation.ranking` — from-scratch HITS (Alg 6) and PageRank
+   (Alg 7);
+4. :mod:`~repro.estimation.error_rate` — score normalisation (Sec 4.1.3);
+5. :mod:`~repro.estimation.requirement` — account-age payments (Sec 4.2);
+6. :mod:`~repro.estimation.pipeline` — everything chained end to end.
+"""
+
+from repro.estimation.error_rate import (
+    normalise_scores_to_error_rates,
+    scores_to_error_rates,
+)
+from repro.estimation.graph import UserGraph, build_user_graph
+from repro.estimation.history import (
+    EMEstimate,
+    estimate_error_rates_em,
+    jurors_from_history,
+)
+from repro.estimation.pipeline import EstimationResult, estimate_candidates
+from repro.estimation.ranking import HITSResult, hits, pagerank
+from repro.estimation.requirement import (
+    ages_to_requirements,
+    normalise_ages_to_requirements,
+)
+from repro.estimation.tweets import (
+    RETWEET_PATTERN,
+    Tweet,
+    TweetCorpus,
+    extract_retweet_chain,
+    extract_retweet_pairs,
+)
+
+__all__ = [
+    "Tweet",
+    "TweetCorpus",
+    "RETWEET_PATTERN",
+    "extract_retweet_chain",
+    "extract_retweet_pairs",
+    "UserGraph",
+    "build_user_graph",
+    "hits",
+    "pagerank",
+    "HITSResult",
+    "normalise_scores_to_error_rates",
+    "scores_to_error_rates",
+    "normalise_ages_to_requirements",
+    "ages_to_requirements",
+    "EstimationResult",
+    "estimate_candidates",
+    "EMEstimate",
+    "estimate_error_rates_em",
+    "jurors_from_history",
+]

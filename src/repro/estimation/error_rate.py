@@ -1,0 +1,105 @@
+"""Score-to-error-rate normalisation — paper Section 4.1.3.
+
+Quality scores from HITS/PageRank follow the power-law shape typical of
+social networks, so the paper maps them to individual error rates with an
+exponential normalisation that spreads the long tail:
+
+    ``epsilon_i = beta ** (-alpha * (score_i - min) / (max - min))``
+
+with ``alpha = beta = 10`` in the experiments.  The best-scoring user gets
+``beta**-alpha`` (~1e-10, essentially never wrong) and the worst gets
+``beta**0 = 1`` (always wrong); because Definition 4 requires error rates in
+the *open* interval (0, 1), results are clipped to
+``[clip, 1 - clip]``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+import numpy as np
+
+from repro.errors import EstimationError
+
+__all__ = ["normalise_scores_to_error_rates", "scores_to_error_rates"]
+
+#: Default clip keeping error rates inside the open interval (0, 1).
+DEFAULT_CLIP = 1e-9
+
+
+def normalise_scores_to_error_rates(
+    scores: Iterable[float],
+    *,
+    alpha: float = 10.0,
+    beta: float = 10.0,
+    clip: float = DEFAULT_CLIP,
+) -> np.ndarray:
+    """Vectorised Section 4.1.3 normalisation.
+
+    Parameters
+    ----------
+    scores:
+        Raw quality scores (HITS authorities or PageRank values).
+    alpha, beta:
+        Normalisation factors; the paper's experiments use 10 and 10.
+    clip:
+        Error rates are clipped to ``[clip, 1 - clip]`` so they satisfy the
+        open-interval requirement of Definition 4.
+
+    Returns
+    -------
+    numpy.ndarray
+        Error rates, same order as ``scores``.
+
+    Notes
+    -----
+    When every score is identical the normalisation is 0/0; the function
+    returns the midpoint value ``beta ** (-alpha / 2)`` for all users, which
+    is the natural "no information" resolution.
+
+    >>> eps = normalise_scores_to_error_rates([0.0, 0.5, 1.0])
+    >>> float(eps[2]) <= 1e-9 or eps[2] < eps[0]
+    True
+    """
+    if alpha <= 0.0:
+        raise EstimationError(f"alpha must be positive, got {alpha!r}")
+    if beta <= 1.0:
+        raise EstimationError(f"beta must exceed 1, got {beta!r}")
+    if not 0.0 < clip < 0.5:
+        raise EstimationError(f"clip must lie in (0, 0.5), got {clip!r}")
+    arr = np.asarray(list(scores) if not isinstance(scores, np.ndarray) else scores,
+                     dtype=np.float64)
+    if arr.size == 0:
+        return arr
+    if not np.all(np.isfinite(arr)):
+        raise EstimationError("scores must be finite")
+    low, high = float(arr.min()), float(arr.max())
+    if high == low:
+        rates = np.full(arr.shape, float(beta) ** (-alpha / 2.0))
+    else:
+        exponent = -alpha * (arr - low) / (high - low)
+        rates = np.power(float(beta), exponent)
+    return np.clip(rates, clip, 1.0 - clip)
+
+
+def scores_to_error_rates(
+    scores: Mapping[str, float],
+    *,
+    alpha: float = 10.0,
+    beta: float = 10.0,
+    clip: float = DEFAULT_CLIP,
+) -> dict[str, float]:
+    """Map a username->score dict to a username->error-rate dict.
+
+    Convenience wrapper over :func:`normalise_scores_to_error_rates` for the
+    dict-shaped output of the rankers.
+
+    >>> rates = scores_to_error_rates({"a": 0.0, "b": 1.0})
+    >>> rates["b"] < rates["a"]
+    True
+    """
+    users = list(scores)
+    rates = normalise_scores_to_error_rates(
+        [scores[u] for u in users], alpha=alpha, beta=beta, clip=clip
+    )
+    return dict(zip(users, rates.tolist()))

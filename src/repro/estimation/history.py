@@ -1,0 +1,224 @@
+"""Error-rate estimation from voting history — EM without ground truth.
+
+Paper Section 4 estimates error rates from the retweet graph, and notes that
+"any other reasonable measures can be smoothly plugged in".  The most
+requested such measure in practice is *past voting behaviour*: once a juror
+pool has answered a batch of tasks, their error rates can be re-estimated
+from agreement patterns alone, with no ground-truth labels — the one-coin
+Dawid-Skene model the paper's related work (Ipeirotis et al., Raykar et al.)
+builds on.
+
+Model: task ``t`` has a latent truth ``z_t ~ Bernoulli(pi)``; juror ``i``
+votes against ``z_t`` with probability ``eps_i`` independently.  EM
+alternates:
+
+* **E-step** — posterior ``gamma_t = Pr(z_t = 1 | votes)`` from the current
+  ``eps`` and prior;
+* **M-step** — ``eps_i`` = expected fraction of juror *i*'s votes that
+  disagree with the (soft) truth; ``pi`` = mean posterior.
+
+The model is symmetric under flipping all labels; we break the tie toward
+the convention that the average juror is better than chance (mean eps < .5),
+which is exactly the regime where majority voting is meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.juror import Juror
+from repro.errors import EstimationError
+
+__all__ = ["EMEstimate", "estimate_error_rates_em", "jurors_from_history"]
+
+_EPS_FLOOR = 1e-4
+
+
+@dataclass(frozen=True)
+class EMEstimate:
+    """Result of :func:`estimate_error_rates_em`.
+
+    Attributes
+    ----------
+    error_rates:
+        Estimated ``eps_i`` per juror (column of the vote matrix).
+    truth_posteriors:
+        ``Pr(z_t = 1)`` per task under the fitted model.
+    prior:
+        Fitted prevalence ``pi`` of answer 1.
+    iterations:
+        EM iterations performed.
+    log_likelihood:
+        Final observed-data log likelihood.
+    """
+
+    error_rates: np.ndarray
+    truth_posteriors: np.ndarray
+    prior: float
+    iterations: int
+    log_likelihood: float
+
+
+def estimate_error_rates_em(
+    votes: np.ndarray,
+    mask: np.ndarray | None = None,
+    *,
+    max_iter: int = 200,
+    tol: float = 1e-8,
+) -> EMEstimate:
+    """Fit the one-coin Dawid-Skene model to a 0/1 vote matrix.
+
+    Parameters
+    ----------
+    votes:
+        Array of shape ``(n_tasks, n_jurors)`` with entries in {0, 1}.
+        Entries where ``mask`` is False are ignored (juror did not answer).
+    mask:
+        Optional boolean array of the same shape; True = vote observed.
+    max_iter, tol:
+        EM stops when the log-likelihood improves by less than ``tol`` or
+        after ``max_iter`` iterations.
+
+    Returns
+    -------
+    EMEstimate
+
+    Raises
+    ------
+    EstimationError
+        On malformed input (wrong shape, non-binary votes, empty columns).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> rng = np.random.default_rng(0)
+    >>> true_eps = np.array([0.1, 0.2, 0.35])
+    >>> truth = rng.integers(0, 2, size=400)
+    >>> wrong = rng.random((400, 3)) < true_eps
+    >>> votes = np.where(wrong, 1 - truth[:, None], truth[:, None])
+    >>> fit = estimate_error_rates_em(votes)
+    >>> bool(np.all(np.abs(fit.error_rates - true_eps) < 0.06))
+    True
+    """
+    arr = np.asarray(votes)
+    if arr.ndim != 2 or arr.size == 0:
+        raise EstimationError(
+            f"votes must be a non-empty (tasks, jurors) matrix, got shape "
+            f"{arr.shape}"
+        )
+    if not np.isin(arr, (0, 1)).all():
+        raise EstimationError("votes must contain only 0/1 entries")
+    observed = (
+        np.ones(arr.shape, dtype=bool)
+        if mask is None
+        else np.asarray(mask, dtype=bool)
+    )
+    if observed.shape != arr.shape:
+        raise EstimationError(
+            f"mask shape {observed.shape} does not match votes shape {arr.shape}"
+        )
+    per_juror_counts = observed.sum(axis=0)
+    if np.any(per_juror_counts == 0):
+        raise EstimationError("every juror needs at least one observed vote")
+
+    n_tasks, n_jurors = arr.shape
+    votes_f = arr.astype(np.float64)
+
+    # Initialise from (soft) majority voting.
+    with np.errstate(invalid="ignore"):
+        gamma = np.where(
+            observed.sum(axis=1) > 0,
+            (votes_f * observed).sum(axis=1) / np.maximum(observed.sum(axis=1), 1),
+            0.5,
+        )
+    gamma = np.clip(gamma, 0.05, 0.95)
+    prior = float(gamma.mean())
+    eps = np.full(n_jurors, 0.25)
+
+    last_ll = -np.inf
+    iterations = 0
+    for iterations in range(1, max_iter + 1):
+        # E-step: log Pr(votes_t | z) for z = 1 and z = 0.
+        log_correct = np.log(np.clip(1.0 - eps, _EPS_FLOOR, 1.0))
+        log_wrong = np.log(np.clip(eps, _EPS_FLOOR, 1.0))
+        # If z=1: vote 1 is correct, vote 0 wrong; if z=0: reverse.
+        ll_given_1 = observed * (votes_f * log_correct + (1 - votes_f) * log_wrong)
+        ll_given_0 = observed * (votes_f * log_wrong + (1 - votes_f) * log_correct)
+        log_p1 = np.log(max(prior, 1e-12)) + ll_given_1.sum(axis=1)
+        log_p0 = np.log(max(1.0 - prior, 1e-12)) + ll_given_0.sum(axis=1)
+        top = np.maximum(log_p1, log_p0)
+        log_norm = top + np.log(np.exp(log_p1 - top) + np.exp(log_p0 - top))
+        gamma = np.exp(log_p1 - log_norm)
+        log_likelihood = float(log_norm.sum())
+
+        # M-step.
+        prior = float(gamma.mean())
+        disagree_1 = (1 - votes_f) * observed  # wrong if z=1
+        disagree_0 = votes_f * observed        # wrong if z=0
+        expected_wrong = gamma @ disagree_1 + (1 - gamma) @ disagree_0
+        eps = expected_wrong / per_juror_counts
+        eps = np.clip(eps, _EPS_FLOOR, 1.0 - _EPS_FLOOR)
+
+        if log_likelihood - last_ll < tol and iterations > 1:
+            last_ll = log_likelihood
+            break
+        last_ll = log_likelihood
+
+    # Resolve the label-flip symmetry: prefer the solution where the average
+    # juror beats a coin flip.
+    if float(eps.mean()) > 0.5:
+        eps = 1.0 - eps
+        gamma = 1.0 - gamma
+        prior = 1.0 - prior
+
+    return EMEstimate(
+        error_rates=eps,
+        truth_posteriors=gamma,
+        prior=prior,
+        iterations=iterations,
+        log_likelihood=last_ll,
+    )
+
+
+def jurors_from_history(
+    votes: np.ndarray,
+    juror_ids: list[str] | None = None,
+    requirements: np.ndarray | None = None,
+    **em_kwargs,
+) -> list[Juror]:
+    """Build a candidate set directly from a voting-history matrix.
+
+    Convenience wrapper: fit the EM model and wrap the estimated error rates
+    into :class:`~repro.core.juror.Juror` objects ready for the selectors.
+
+    >>> import numpy as np
+    >>> rng = np.random.default_rng(1)
+    >>> truth = rng.integers(0, 2, size=300)
+    >>> wrong = rng.random((300, 2)) < np.array([0.1, 0.3])
+    >>> votes = np.where(wrong, 1 - truth[:, None], truth[:, None])
+    >>> cands = jurors_from_history(votes)
+    >>> cands[0].error_rate < cands[1].error_rate
+    True
+    """
+    fit = estimate_error_rates_em(votes, **em_kwargs)
+    n = fit.error_rates.size
+    ids = juror_ids if juror_ids is not None else [f"hist-{i + 1}" for i in range(n)]
+    if len(ids) != n:
+        raise EstimationError(
+            f"juror_ids length ({len(ids)}) does not match vote columns ({n})"
+        )
+    reqs = (
+        np.zeros(n)
+        if requirements is None
+        else np.asarray(requirements, dtype=np.float64)
+    )
+    if reqs.size != n:
+        raise EstimationError(
+            f"requirements length ({reqs.size}) does not match vote columns ({n})"
+        )
+    return [
+        Juror(float(fit.error_rates[i]), float(reqs[i]), juror_id=ids[i])
+        for i in range(n)
+    ]

@@ -1,0 +1,149 @@
+"""End-to-end parameter-estimation pipeline — paper Figure 2, upper half.
+
+Chains the Section 4 stages into one call:
+
+    corpus --(Alg 5)--> retweet graph --(Alg 6/7)--> quality scores
+           --(Sec 4.1.3)--> error rates --(Sec 4.2)--> requirements
+           --> candidate Juror set
+
+The output is a list of :class:`~repro.core.juror.Juror` objects ready for
+the selectors, plus the intermediate artefacts for inspection.  The paper
+keeps the top-scoring users only ("we simply choose the 5,000 users with
+highest scores"); ``top_k`` reproduces that cut.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from repro.core.juror import Juror
+from repro.errors import EstimationError
+from repro.estimation.error_rate import scores_to_error_rates
+from repro.estimation.graph import UserGraph, build_user_graph
+from repro.estimation.ranking import hits, pagerank
+from repro.estimation.requirement import ages_to_requirements
+from repro.estimation.tweets import TweetCorpus
+
+__all__ = ["EstimationResult", "estimate_candidates"]
+
+
+@dataclass
+class EstimationResult:
+    """All artefacts produced by :func:`estimate_candidates`.
+
+    Attributes
+    ----------
+    jurors:
+        Candidate jurors (id = username) with estimated error rates and
+        requirements, sorted by descending quality score.
+    scores:
+        Username -> raw quality score (HITS authority or PageRank).
+    error_rates:
+        Username -> estimated individual error rate.
+    requirements:
+        Username -> estimated payment requirement (0.0 when no account ages
+        were supplied, i.e. the AltrM setting).
+    graph:
+        The retweet user graph the ranking ran on.
+    ranking:
+        Which ranker produced the scores, ``"hits"`` or ``"pagerank"``.
+    """
+
+    jurors: list[Juror]
+    scores: dict[str, float]
+    error_rates: dict[str, float]
+    requirements: dict[str, float]
+    graph: UserGraph
+    ranking: str
+
+    def top(self, k: int) -> list[Juror]:
+        """The ``k`` best candidates by quality score."""
+        return self.jurors[:k]
+
+
+def estimate_candidates(
+    corpus: TweetCorpus,
+    *,
+    ranking: str = "hits",
+    alpha: float = 10.0,
+    beta: float = 10.0,
+    top_k: int | None = None,
+    account_ages: Mapping[str, float] | None = None,
+    damping: float = 0.85,
+) -> EstimationResult:
+    """Run the full Section 4 estimation pipeline on a tweet corpus.
+
+    Parameters
+    ----------
+    corpus:
+        Raw tweets (real or simulated).
+    ranking:
+        ``"hits"`` (Algorithm 6 authority scores, the paper's default
+        reading) or ``"pagerank"`` (Algorithm 7).
+    alpha, beta:
+        Error-rate normalisation factors (Section 4.1.3; paper uses 10, 10).
+    top_k:
+        Keep only the ``top_k`` highest-scoring users as candidates (the
+        paper keeps 5,000 of 689,050).  ``None`` keeps everyone.
+    account_ages:
+        Optional username -> account age map for the PayM requirement
+        estimate (Section 4.2).  Users missing from the map get age 0.
+        When ``None``, all requirements are 0 (AltrM candidates).
+    damping:
+        PageRank damping factor (ignored for HITS).
+
+    Returns
+    -------
+    EstimationResult
+
+    Examples
+    --------
+    >>> from repro.estimation.tweets import Tweet, TweetCorpus
+    >>> corpus = TweetCorpus([
+    ...     Tweet("fan1", "RT @guru insight"),
+    ...     Tweet("fan2", "RT @guru more insight"),
+    ...     Tweet("guru", "original thought"),
+    ... ])
+    >>> result = estimate_candidates(corpus, ranking="pagerank")
+    >>> best = result.jurors[0]
+    >>> best.juror_id
+    'guru'
+    """
+    if ranking not in ("hits", "pagerank"):
+        raise EstimationError(
+            f"ranking must be 'hits' or 'pagerank', got {ranking!r}"
+        )
+    graph = build_user_graph(corpus)
+    if ranking == "hits":
+        scores = hits(graph).authorities
+    else:
+        scores = pagerank(graph, damping=damping)
+
+    # Rank users by score (descending); deterministic tie-break on name.
+    ranked_users = sorted(scores, key=lambda u: (-scores[u], u))
+    if top_k is not None:
+        if top_k < 1:
+            raise EstimationError(f"top_k must be positive, got {top_k!r}")
+        ranked_users = ranked_users[:top_k]
+        scores = {u: scores[u] for u in ranked_users}
+
+    error_rates = scores_to_error_rates(scores, alpha=alpha, beta=beta)
+
+    if account_ages is None:
+        requirements = {u: 0.0 for u in ranked_users}
+    else:
+        ages = {u: float(account_ages.get(u, 0.0)) for u in ranked_users}
+        requirements = ages_to_requirements(ages)
+
+    jurors = [
+        Juror(error_rates[u], requirements[u], juror_id=u) for u in ranked_users
+    ]
+    return EstimationResult(
+        jurors=jurors,
+        scores=dict(scores),
+        error_rates=error_rates,
+        requirements=requirements,
+        graph=graph,
+        ranking=ranking,
+    )

@@ -1,0 +1,211 @@
+"""From-scratch user-ranking algorithms — paper Algorithms 6 (HITS) and 7
+(PageRank).
+
+Both rankers operate on the retweet :class:`~repro.estimation.graph.UserGraph`
+and return a *quality score* per user:
+
+* :func:`hits` — the authority scores of Kleinberg's HITS, computed by the
+  mutual-reinforcement iteration of Algorithm 6 (hub mass flows along edges
+  to authorities and back).  The paper adopts authority scores as quality.
+* :func:`pagerank` — the damped random-surfer scores of Algorithm 7.
+
+The implementations are pure NumPy over an integer edge list; networkx is
+*not* used (the test-suite cross-validates against it as an oracle only).
+
+Convergence is declared when the L1 change between iterations drops under
+``tol * num_nodes`` (a per-node tolerance, scaling to large graphs the same
+way networkx does); exceeding ``max_iter`` raises
+:class:`~repro.errors.ConvergenceError` unless ``strict=False``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConvergenceError, EmptyGraphError
+from repro.estimation.graph import UserGraph
+
+__all__ = ["hits", "pagerank", "HITSResult"]
+
+
+class HITSResult:
+    """Authority and hub scores from :func:`hits`.
+
+    Attributes
+    ----------
+    authorities:
+        Username -> authority score (the paper's quality score), L1-normalised.
+    hubs:
+        Username -> hub score, L1-normalised.
+    iterations:
+        Number of iterations until convergence.
+    """
+
+    __slots__ = ("authorities", "hubs", "iterations")
+
+    def __init__(
+        self,
+        authorities: dict[str, float],
+        hubs: dict[str, float],
+        iterations: int,
+    ) -> None:
+        self.authorities = authorities
+        self.hubs = hubs
+        self.iterations = iterations
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"HITSResult(users={len(self.authorities)}, iterations={self.iterations})"
+
+
+def _prepare(graph: UserGraph) -> tuple[list[str], np.ndarray, np.ndarray]:
+    if graph.num_nodes == 0:
+        raise EmptyGraphError("cannot rank an empty graph")
+    nodes, edge_list = graph.adjacency_arrays()
+    if edge_list:
+        edges = np.asarray(edge_list, dtype=np.int64)
+        sources, targets = edges[:, 0], edges[:, 1]
+    else:
+        sources = np.empty(0, dtype=np.int64)
+        targets = np.empty(0, dtype=np.int64)
+    return nodes, sources, targets
+
+
+def hits(
+    graph: UserGraph,
+    *,
+    max_iter: int = 500,
+    tol: float = 1e-10,
+    strict: bool = True,
+) -> HITSResult:
+    """Quality scores via HITS (paper Algorithm 6).
+
+    An edge ``u -> v`` (``u`` retweeted ``v``) makes ``u`` a *hub* endorsing
+    the *authority* ``v``.  Each iteration accumulates
+
+    * ``authority[v] += hub[u]`` over all edges, then normalises;
+    * ``hub[u] += authority[v]`` over all edges, then normalises;
+
+    exactly as the paper's pseudo-code.  Scores are L1-normalised.
+
+    Raises
+    ------
+    EmptyGraphError
+        If the graph has no nodes.
+    ConvergenceError
+        If ``strict`` and the iteration does not converge in ``max_iter``.
+    """
+    nodes, sources, targets = _prepare(graph)
+    n = len(nodes)
+    authority = np.full(n, 1.0 / n, dtype=np.float64)
+    hub = np.full(n, 1.0 / n, dtype=np.float64)
+
+    iterations = 0
+    for iterations in range(1, max_iter + 1):
+        new_authority = np.zeros(n, dtype=np.float64)
+        if sources.size:
+            np.add.at(new_authority, targets, hub[sources])
+        new_authority = _normalise_l1(new_authority, n)
+
+        new_hub = np.zeros(n, dtype=np.float64)
+        if sources.size:
+            np.add.at(new_hub, sources, new_authority[targets])
+        new_hub = _normalise_l1(new_hub, n)
+
+        delta = np.abs(new_authority - authority).sum() + np.abs(new_hub - hub).sum()
+        authority, hub = new_authority, new_hub
+        if delta < tol * n:
+            break
+    else:
+        if strict:
+            raise ConvergenceError(
+                f"HITS did not converge within {max_iter} iterations (tol={tol:g})"
+            )
+
+    return HITSResult(
+        authorities=dict(zip(nodes, authority.tolist())),
+        hubs=dict(zip(nodes, hub.tolist())),
+        iterations=iterations,
+    )
+
+
+def _normalise_l1(vector: np.ndarray, n: int) -> np.ndarray:
+    total = vector.sum()
+    if total <= 0.0:
+        # No mass at all (e.g. edgeless graph): fall back to uniform scores.
+        return np.full(n, 1.0 / n, dtype=np.float64)
+    return vector / total
+
+
+def pagerank(
+    graph: UserGraph,
+    *,
+    damping: float = 0.85,
+    max_iter: int = 500,
+    tol: float = 1e-12,
+    dangling: str = "redistribute",
+    strict: bool = True,
+) -> dict[str, float]:
+    """Quality scores via PageRank (paper Algorithm 7).
+
+    Each iteration applies
+
+        ``score'[v] = (1 - d)/n + d * sum(score[u] / out[u])``
+
+    over in-neighbours ``u`` of ``v``.  Authority flows *along* retweet
+    edges: a retweet of ``v`` transfers rank mass from the retweeter to
+    ``v``.
+
+    Parameters
+    ----------
+    graph:
+        The retweet user graph.
+    damping:
+        The damping factor ``d`` of Algorithm 7 (default 0.85).
+    dangling:
+        ``"redistribute"`` (default) spreads the rank mass of users with no
+        outgoing edges uniformly, keeping scores a probability distribution
+        (the standard treatment, and what networkx does).  ``"drop"``
+        follows the paper's pseudo-code literally, letting dangling mass
+        leak; scores then sum to less than one.
+    tol, max_iter, strict:
+        Convergence controls; see module docstring.
+
+    Returns
+    -------
+    dict[str, float]
+        Username -> PageRank score.
+    """
+    if not 0.0 < damping < 1.0:
+        raise ValueError(f"damping must lie in (0, 1), got {damping!r}")
+    if dangling not in ("redistribute", "drop"):
+        raise ValueError(
+            f"dangling must be 'redistribute' or 'drop', got {dangling!r}"
+        )
+    nodes, sources, targets = _prepare(graph)
+    n = len(nodes)
+    out_degree = np.zeros(n, dtype=np.float64)
+    if sources.size:
+        np.add.at(out_degree, sources, 1.0)
+    dangling_mask = out_degree == 0.0
+    safe_out = np.where(dangling_mask, 1.0, out_degree)
+
+    score = np.full(n, 1.0 / n, dtype=np.float64)
+    iterations = 0
+    for iterations in range(1, max_iter + 1):
+        contribution = score / safe_out
+        new_score = np.full(n, (1.0 - damping) / n, dtype=np.float64)
+        if sources.size:
+            np.add.at(new_score, targets, damping * contribution[sources])
+        if dangling == "redistribute":
+            dangling_mass = score[dangling_mask].sum()
+            new_score += damping * dangling_mass / n
+        delta = np.abs(new_score - score).sum()
+        score = new_score
+        if delta < tol * n:
+            break
+    else:
+        if strict:
+            raise ConvergenceError(
+                f"PageRank did not converge within {max_iter} iterations (tol={tol:g})"
+            )
+    return dict(zip(nodes, score.tolist()))

@@ -1,0 +1,70 @@
+"""Payment-requirement estimation — paper Section 4.2.
+
+Under PayM each candidate juror demands a payment ``r_i``.  The paper
+proposes a deliberately simple indicator — the *age of the account since
+registration* — on the assumption that more experienced users are less
+intrinsically interested in a task and therefore require more incentive:
+
+    ``r_i = (t_i - min) / (max - min)``
+
+Any other estimator "can be smoothly plugged in"; this module keeps the same
+min-max shape but exposes it generically.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+import numpy as np
+
+from repro.errors import EstimationError
+
+__all__ = ["normalise_ages_to_requirements", "ages_to_requirements"]
+
+
+def normalise_ages_to_requirements(ages: Iterable[float]) -> np.ndarray:
+    """Min-max normalise account ages into requirements in ``[0, 1]``.
+
+    Parameters
+    ----------
+    ages:
+        Account ages (any non-negative unit: days, years...).
+
+    Returns
+    -------
+    numpy.ndarray
+        Requirements, same order as ``ages``; the youngest account maps to
+        0 (works for free), the oldest to 1.
+
+    Notes
+    -----
+    If all ages are identical there is no information to spread; every user
+    receives the midpoint requirement 0.5.
+
+    >>> normalise_ages_to_requirements([0.0, 5.0, 10.0]).tolist()
+    [0.0, 0.5, 1.0]
+    """
+    arr = np.asarray(list(ages) if not isinstance(ages, np.ndarray) else ages,
+                     dtype=np.float64)
+    if arr.size == 0:
+        return arr
+    if not np.all(np.isfinite(arr)):
+        raise EstimationError("account ages must be finite")
+    if np.any(arr < 0.0):
+        raise EstimationError("account ages must be non-negative")
+    low, high = float(arr.min()), float(arr.max())
+    if high == low:
+        return np.full(arr.shape, 0.5)
+    return (arr - low) / (high - low)
+
+
+def ages_to_requirements(ages: Mapping[str, float]) -> dict[str, float]:
+    """Map a username->age dict to a username->requirement dict.
+
+    >>> reqs = ages_to_requirements({"old": 10.0, "new": 0.0})
+    >>> reqs["new"], reqs["old"]
+    (0.0, 1.0)
+    """
+    users = list(ages)
+    values = normalise_ages_to_requirements([ages[u] for u in users])
+    return dict(zip(users, values.tolist()))

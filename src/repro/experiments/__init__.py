@@ -1,0 +1,72 @@
+"""Paper-evaluation reproduction harness (Section 5, Table 2 + Figure 3a-i).
+
+One module per artefact; every module exposes a ``Config`` dataclass (paper
+defaults plus a bench-scale ``small()``) and a ``run_*`` function returning
+an :class:`~repro.experiments.common.ExperimentResult`.  The
+``repro-experiments`` console script (see :mod:`repro.experiments.runner`)
+prints the reproduced series.
+"""
+
+from repro.experiments.ablation_adaptive import (
+    AblationAdaptiveConfig,
+    run_ablation_adaptive,
+)
+from repro.experiments.ablation_bounds import AblationBoundsConfig, run_ablation_bounds
+from repro.experiments.ablation_weighted import (
+    AblationWeightedConfig,
+    run_ablation_weighted,
+)
+from repro.experiments.common import ExperimentResult, Series, precision_recall
+from repro.experiments.fig3a import Fig3aConfig, run_fig3a
+from repro.experiments.fig3b import Fig3bConfig, run_fig3b
+from repro.experiments.fig3c import Fig3cConfig, run_fig3c
+from repro.experiments.fig3d import Fig3dConfig, run_fig3d
+from repro.experiments.fig3e import Fig3eConfig, run_fig3e
+from repro.experiments.fig3f import Fig3fConfig, run_fig3f
+from repro.experiments.fig3g import Fig3gConfig, run_fig3g
+from repro.experiments.fig3h import Fig3hConfig, run_fig3h
+from repro.experiments.fig3i import Fig3iConfig, run_fig3i
+from repro.experiments.runner import EXPERIMENTS, run_experiment
+from repro.experiments.table2 import Table2Config, run_table2
+from repro.experiments.twitter_data import (
+    TwitterWorkload,
+    TwitterWorkloadConfig,
+    build_twitter_workload,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "Series",
+    "precision_recall",
+    "run_table2",
+    "Table2Config",
+    "run_fig3a",
+    "Fig3aConfig",
+    "run_fig3b",
+    "Fig3bConfig",
+    "run_fig3c",
+    "Fig3cConfig",
+    "run_fig3d",
+    "Fig3dConfig",
+    "run_fig3e",
+    "Fig3eConfig",
+    "run_fig3f",
+    "Fig3fConfig",
+    "run_fig3g",
+    "Fig3gConfig",
+    "run_fig3h",
+    "Fig3hConfig",
+    "run_fig3i",
+    "Fig3iConfig",
+    "TwitterWorkload",
+    "TwitterWorkloadConfig",
+    "build_twitter_workload",
+    "EXPERIMENTS",
+    "run_experiment",
+    "AblationBoundsConfig",
+    "run_ablation_bounds",
+    "AblationWeightedConfig",
+    "run_ablation_weighted",
+    "AblationAdaptiveConfig",
+    "run_ablation_adaptive",
+]

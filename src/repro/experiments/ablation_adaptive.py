@@ -1,0 +1,83 @@
+"""Ablation — sequential polling vs the paper's convene-everyone scheme.
+
+On a micro-blog every `@`-mention costs attention (and under PayM, money),
+so asking fewer jurors matters.  This ablation runs the SPRT-style
+sequential poll (see :mod:`repro.simulation.adaptive`) against static
+Majority Voting over the same jury, sweeping the certainty target, and
+reports accuracy alongside the mean number of questions asked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.juror import Jury
+from repro.experiments.common import ExperimentResult
+from repro.simulation.adaptive import compare_with_static
+from repro.synth.generators import generate_error_rates
+
+__all__ = ["AblationAdaptiveConfig", "run_ablation_adaptive"]
+
+
+@dataclass(frozen=True)
+class AblationAdaptiveConfig:
+    """Knobs for the adaptive-polling ablation."""
+
+    jury_size: int = 15
+    eps_mean: float = 0.25
+    spread: float = 0.1
+    deltas: tuple[float, ...] = (0.2, 0.1, 0.05, 0.02, 0.01)
+    trials: int = 2000
+    seed: int = 83
+
+    @classmethod
+    def small(cls) -> "AblationAdaptiveConfig":
+        """Bench-scale: fewer trials, three certainty targets."""
+        return cls(deltas=(0.1, 0.05, 0.01), trials=600)
+
+
+def run_ablation_adaptive(
+    config: AblationAdaptiveConfig | None = None,
+) -> ExperimentResult:
+    """Sweep the SPRT certainty target delta.
+
+    Series: ``adaptive-accuracy``, ``static-accuracy`` (flat — the full-jury
+    analytic value), ``adaptive-questions`` and ``static-questions`` (flat at
+    the jury size).
+    """
+    cfg = config if config is not None else AblationAdaptiveConfig()
+    rng = np.random.default_rng(cfg.seed)
+    eps = generate_error_rates(cfg.jury_size, cfg.eps_mean, cfg.spread**2, rng)
+    jury = Jury.from_error_rates(eps.tolist())
+
+    result = ExperimentResult(
+        experiment_id="ablation-adaptive",
+        title="Sequential (SPRT) vs static majority polling",
+        x_label="Certainty target delta",
+        y_label="Accuracy / questions",
+        metadata={
+            "jury_size": cfg.jury_size,
+            "eps_mean": cfg.eps_mean,
+            "trials": cfg.trials,
+            "seed": cfg.seed,
+        },
+    )
+    adaptive_acc = result.new_series("adaptive-accuracy")
+    static_acc = result.new_series("static-accuracy")
+    adaptive_q = result.new_series("adaptive-questions")
+    static_q = result.new_series("static-questions")
+    for delta in cfg.deltas:
+        comparison = compare_with_static(
+            jury, trials=cfg.trials, delta=float(delta), rng=rng
+        )
+        adaptive_acc.add(delta, comparison.adaptive_accuracy)
+        static_acc.add(delta, comparison.static_accuracy)
+        adaptive_q.add(
+            delta,
+            comparison.adaptive_mean_questions,
+            note=f"savings={comparison.question_savings:.0%}",
+        )
+        static_q.add(delta, comparison.static_questions)
+    return result

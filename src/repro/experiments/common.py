@@ -1,0 +1,236 @@
+"""Shared plumbing for the paper-reproduction experiments (Section 5).
+
+Every experiment module exposes a ``Config`` dataclass (paper-scale defaults,
+with a ``small()`` constructor the benchmarks use) and a ``run`` function
+returning an :class:`ExperimentResult` — a set of named series that mirror
+the rows/curves of the corresponding paper table or figure, plus a plain-text
+rendering for terminal inspection.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+__all__ = [
+    "SeriesPoint",
+    "Series",
+    "ExperimentResult",
+    "precision_recall",
+    "render_ascii_chart",
+]
+
+
+@dataclass(frozen=True)
+class SeriesPoint:
+    """One (x, y) measurement of a series, with optional annotations."""
+
+    x: float
+    y: float
+    note: str = ""
+
+
+@dataclass
+class Series:
+    """A named curve, e.g. the paper's ``m(0.1,b)`` line of Figure 3(b).
+
+    Attributes
+    ----------
+    name:
+        Legend label, matching the paper's where one exists.
+    points:
+        Ordered measurements.
+    """
+
+    name: str
+    points: list[SeriesPoint] = field(default_factory=list)
+
+    def add(self, x: float, y: float, note: str = "") -> None:
+        """Append one measurement."""
+        self.points.append(SeriesPoint(float(x), float(y), note))
+
+    @property
+    def xs(self) -> list[float]:
+        """The x coordinates in order."""
+        return [p.x for p in self.points]
+
+    @property
+    def ys(self) -> list[float]:
+        """The y coordinates in order."""
+        return [p.y for p in self.points]
+
+    def y_at(self, x: float, *, tol: float = 1e-9) -> float:
+        """The y value measured at ``x`` (exact match within ``tol``)."""
+        for point in self.points:
+            if abs(point.x - x) <= tol:
+                return point.y
+        raise KeyError(f"series {self.name!r} has no point at x={x!r}")
+
+
+@dataclass
+class ExperimentResult:
+    """The reproduced artefact of one paper table/figure.
+
+    Attributes
+    ----------
+    experiment_id:
+        Short id, e.g. ``"table2"`` or ``"fig3a"``.
+    title:
+        The paper's caption.
+    x_label, y_label:
+        Axis labels of the figure (or column meanings for tables).
+    series:
+        The reproduced curves/rows.
+    metadata:
+        Workload parameters, seeds and scaling notes.
+    """
+
+    experiment_id: str
+    title: str
+    x_label: str
+    y_label: str
+    series: list[Series] = field(default_factory=list)
+    metadata: dict[str, object] = field(default_factory=dict)
+
+    def series_named(self, name: str) -> Series:
+        """Look up a series by its legend name."""
+        for candidate in self.series:
+            if candidate.name == name:
+                return candidate
+        raise KeyError(
+            f"experiment {self.experiment_id!r} has no series {name!r}; "
+            f"available: {[s.name for s in self.series]}"
+        )
+
+    def new_series(self, name: str) -> Series:
+        """Create, register and return an empty series."""
+        series = Series(name)
+        self.series.append(series)
+        return series
+
+    def to_table(self, *, float_fmt: str = "{:.6g}") -> str:
+        """Render the result as an aligned plain-text table.
+
+        One row per x value, one column per series — the same information the
+        paper's figure panel conveys.
+        """
+        xs: list[float] = []
+        for series in self.series:
+            for x in series.xs:
+                if not any(abs(x - seen) <= 1e-12 for seen in xs):
+                    xs.append(x)
+        xs.sort()
+
+        header = [self.x_label] + [s.name for s in self.series]
+        rows: list[list[str]] = []
+        for x in xs:
+            row = [float_fmt.format(x)]
+            for series in self.series:
+                try:
+                    row.append(float_fmt.format(series.y_at(x)))
+                except KeyError:
+                    row.append("-")
+            rows.append(row)
+
+        widths = [
+            max(len(header[i]), *(len(r[i]) for r in rows)) if rows else len(header[i])
+            for i in range(len(header))
+        ]
+        lines = [
+            f"== {self.experiment_id}: {self.title} ==",
+            "  ".join(h.ljust(widths[i]) for i, h in enumerate(header)),
+            "  ".join("-" * w for w in widths),
+        ]
+        for row in rows:
+            lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        if self.metadata:
+            meta = ", ".join(f"{k}={v}" for k, v in sorted(self.metadata.items()))
+            lines.append(f"[{meta}]")
+        return "\n".join(lines)
+
+
+def _scale_positions(values: list[float], width: int) -> list[int]:
+    low, high = min(values), max(values)
+    if high == low:
+        return [0 for _ in values]
+    return [round((v - low) / (high - low) * (width - 1)) for v in values]
+
+
+def render_ascii_chart(
+    result: "ExperimentResult",
+    *,
+    width: int = 60,
+    height: int = 16,
+    log_y: bool = False,
+) -> str:
+    """Render an experiment's series as a terminal scatter chart.
+
+    One symbol per series (`` *o+x#@%& ``), x positions min-max scaled to
+    ``width`` columns and y positions to ``height`` rows.  ``log_y`` applies
+    a log10 transform (used for the efficiency figures the paper plots on a
+    log axis).  Intended for quick shape inspection in a terminal, not for
+    publication graphics.
+
+    >>> result = ExperimentResult("demo", "Demo", "x", "y")
+    >>> series = result.new_series("a")
+    >>> series.add(0, 1); series.add(1, 2)
+    >>> "Demo" in render_ascii_chart(result)
+    True
+    """
+    import math
+
+    symbols = "*o+x#@%&"
+    points: list[tuple[float, float, str]] = []
+    for index, series in enumerate(result.series):
+        symbol = symbols[index % len(symbols)]
+        for point in series.points:
+            y = point.y
+            if log_y:
+                if y <= 0:
+                    continue
+                y = math.log10(y)
+            points.append((point.x, y, symbol))
+    lines = [f"== {result.experiment_id}: {result.title} =="]
+    if not points:
+        lines.append("(no data)")
+        return "\n".join(lines)
+
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    columns = _scale_positions(xs, width)
+    rows = _scale_positions(ys, height)
+    grid = [[" "] * width for _ in range(height)]
+    for (x, y, symbol), col, row in zip(points, columns, rows):
+        grid[height - 1 - row][col] = symbol
+    y_high, y_low = max(ys), min(ys)
+    axis_label = f"log10({result.y_label})" if log_y else result.y_label
+    lines.append(f"{axis_label}  [{y_low:.4g} .. {y_high:.4g}]")
+    for row_cells in grid:
+        lines.append("|" + "".join(row_cells))
+    lines.append("+" + "-" * width)
+    lines.append(f" {result.x_label}  [{min(xs):.4g} .. {max(xs):.4g}]")
+    legend = "  ".join(
+        f"{symbols[i % len(symbols)]}={s.name}" for i, s in enumerate(result.series)
+    )
+    lines.append(f" legend: {legend}")
+    return "\n".join(lines)
+
+
+def precision_recall(
+    selected: Iterable[str], ground_truth: Sequence[str]
+) -> tuple[float, float]:
+    """Set precision and recall of a selected jury versus the optimum.
+
+    Used by Figure 3(h): ``precision = |S ∩ T| / |S|`` and
+    ``recall = |S ∩ T| / |T|`` over juror-id sets.  An empty ground truth
+    yields (0, 0) by convention.
+
+    >>> precision_recall(["a", "b"], ["b", "c"])
+    (0.5, 0.5)
+    """
+    selected_set = set(selected)
+    truth_set = set(ground_truth)
+    if not selected_set or not truth_set:
+        return (0.0, 0.0)
+    overlap = len(selected_set & truth_set)
+    return (overlap / len(selected_set), overlap / len(truth_set))

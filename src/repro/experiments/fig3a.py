@@ -1,0 +1,82 @@
+"""Figure 3(a) — optimal jury size versus mean individual error rate.
+
+Paper setup (Section 5.1.1): 1,000 candidate jurors with error rates from a
+normal distribution, mean swept 0.1..0.9, variance in {0.1, 0.2, 0.3}; run
+AltrALG and record the size of the optimal jury.
+
+Expected shape (the paper's finding): while the population is reliable
+(mean < 0.5) the JER landscape is a "very flat slope" and the optimal size is
+large and noisy; once candidates are error-prone (mean > 0.5) the optimal
+jury collapses to a handful of members — "the hands of the few" — with the
+turning point at mean 0.5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.selection.altr import select_jury_altr
+from repro.experiments.common import ExperimentResult
+from repro.synth.generators import generate_workload
+
+__all__ = ["Fig3aConfig", "run_fig3a"]
+
+
+@dataclass(frozen=True)
+class Fig3aConfig:
+    """Workload knobs for Figure 3(a).
+
+    Defaults follow the paper; :meth:`small` scales the candidate count down
+    for quick benchmark runs.
+
+    ``spreads`` carries the paper's legend values ``var(0.1..0.3)``.  We
+    interpret them as the normal distribution's *scale* (sigma): read as true
+    variances they imply sigma up to 0.55, which piles most samples onto the
+    clipping boundaries and contradicts the paper's own right-hand-side
+    curves (see EXPERIMENTS.md).
+    """
+
+    n_candidates: int = 1000
+    means: tuple[float, ...] = tuple(np.round(np.arange(0.1, 0.91, 0.1), 2))
+    spreads: tuple[float, ...] = (0.1, 0.2, 0.3)
+    seed: int = 31
+
+    @classmethod
+    def small(cls) -> "Fig3aConfig":
+        """Bench-scale: 200 candidates, coarser mean grid."""
+        return cls(
+            n_candidates=200,
+            means=(0.1, 0.3, 0.5, 0.7, 0.9),
+            spreads=(0.1, 0.3),
+        )
+
+
+def run_fig3a(config: Fig3aConfig | None = None) -> ExperimentResult:
+    """Reproduce Figure 3(a): jury size vs individual error rate.
+
+    One series per variance, labelled ``var(v)`` as in the paper's legend;
+    each point is (mean error rate, optimal jury size under AltrALG).
+    """
+    cfg = config if config is not None else Fig3aConfig()
+    result = ExperimentResult(
+        experiment_id="fig3a",
+        title="Jury Size v.s. Individual Error-rate",
+        x_label="Mean of Individual Error Rate",
+        y_label="Jury Size",
+        metadata={"n_candidates": cfg.n_candidates, "seed": cfg.seed},
+    )
+    rng = np.random.default_rng(cfg.seed)
+    for spread in cfg.spreads:
+        series = result.new_series(f"var({spread:g})")
+        for mean in cfg.means:
+            workload = generate_workload(
+                cfg.n_candidates,
+                eps_mean=float(mean),
+                eps_variance=float(spread) ** 2,
+                rng=rng,
+            )
+            selection = select_jury_altr(list(workload.jurors))
+            series.add(mean, selection.size, note=f"jer={selection.jer:.4g}")
+    return result

@@ -1,0 +1,31 @@
+"""Figure 3(d) — budget versus JER of the selected jury (PayM).
+
+Same workload as Figure 3(c); records the JER of the PayALG jury instead of
+its cost.  Expected shape (the paper's reading): "a raising budget can
+improve jury quality by reducing JER, and a candidate set with lower
+individual error-rates forms a better jury within the same budget" — i.e.
+every series is non-increasing in B and the series are vertically ordered by
+population mean.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult
+from repro.experiments.fig3c import Fig3cConfig, run_paym_budget_sweep
+
+__all__ = ["Fig3dConfig", "run_fig3d"]
+
+#: Figure 3(d) shares Figure 3(c)'s workload definition.
+Fig3dConfig = Fig3cConfig
+
+
+def run_fig3d(config: Fig3dConfig | None = None) -> ExperimentResult:
+    """Reproduce Figure 3(d): budget vs JER."""
+    cfg = config if config is not None else Fig3dConfig()
+    return run_paym_budget_sweep(
+        cfg,
+        metric="jer",
+        experiment_id="fig3d",
+        title="Budget v.s. JER",
+        y_label="JER",
+    )

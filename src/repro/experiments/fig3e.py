@@ -1,0 +1,118 @@
+"""Figures 3(e)/3(f) shared sweep — PayALG ("APPX") versus ground truth ("OPT").
+
+Paper setup (Section 5.1.2, "Effectiveness on PayM"): a small candidate set
+(N = 22) with error rates ~ N(0.2, 0.05) and requirements ~ N(0.05, 0.2);
+budgets swept over the 0.5..1.5 range shown on the figures' x axes (the
+running text says "1 to 3 with step 0.2" — another text/figure mismatch; we
+follow the figures).  Ground truth comes from exact search; the paper
+enumerates, we use the equivalent branch-and-bound solver which handles
+N = 22 in milliseconds.
+
+Expected shape: OPT's JER is a lower envelope of APPX's; the largest gap
+appears at the tightest budget and the curves converge as B grows (paper:
+"with an increasing budget, the JER given by PayALG is getting closer to the
+one of ground truth").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.selection.exact import branch_and_bound_optimal
+from repro.core.selection.pay import select_jury_pay
+from repro.errors import InfeasibleSelectionError
+from repro.experiments.common import ExperimentResult
+from repro.synth.generators import generate_workload
+
+__all__ = ["Fig3eConfig", "run_appx_vs_opt_sweep", "run_fig3e"]
+
+
+@dataclass(frozen=True)
+class Fig3eConfig:
+    """Workload knobs shared by Figures 3(e) and 3(f)."""
+
+    n_candidates: int = 22
+    eps_mean: float = 0.2
+    #: sigma 0.05 for error rates, sigma 0.2 for requirements.  The paper
+    #: states requirement mean 0.05, but with that value no budget in the
+    #: figures' 0.5..1.5 range ever binds (most requirements clip to zero and
+    #: the whole candidate set is affordable) — the published cost curve
+    #: requires a mean near 0.5, so we treat 0.05 as a misprint
+    #: (EXPERIMENTS.md, F3e).
+    eps_variance: float = 0.0025
+    req_mean: float = 0.5
+    req_variance: float = 0.04
+    budgets: tuple[float, ...] = tuple(np.round(np.arange(0.5, 1.51, 0.1), 2))
+    seed: int = 35
+
+    @classmethod
+    def small(cls) -> "Fig3eConfig":
+        """Bench-scale: N = 14 so even plain enumeration is instant."""
+        return cls(n_candidates=14, budgets=(0.5, 0.9, 1.3))
+
+
+def run_appx_vs_opt_sweep(
+    cfg: Fig3eConfig,
+    *,
+    metric: str,
+    experiment_id: str,
+    title: str,
+    y_label: str,
+) -> ExperimentResult:
+    """Run PayALG and the exact solver over the budget sweep.
+
+    Records total cost (``metric="cost"``) or JER (``metric="jer"``) for the
+    ``APPX`` (greedy) and ``OPT`` (exact) series.
+    """
+    if metric not in ("cost", "jer"):
+        raise ValueError(f"metric must be 'cost' or 'jer', got {metric!r}")
+    result = ExperimentResult(
+        experiment_id=experiment_id,
+        title=title,
+        x_label="Budget B",
+        y_label=y_label,
+        metadata={
+            "n_candidates": cfg.n_candidates,
+            "eps_mean": cfg.eps_mean,
+            "req_mean": cfg.req_mean,
+            "seed": cfg.seed,
+        },
+    )
+    workload = generate_workload(
+        cfg.n_candidates,
+        eps_mean=cfg.eps_mean,
+        eps_variance=cfg.eps_variance,
+        req_mean=cfg.req_mean,
+        req_variance=cfg.req_variance,
+        seed=cfg.seed,
+    )
+    candidates = list(workload.jurors)
+    appx = result.new_series("APPX")
+    opt = result.new_series("OPT")
+    for budget in cfg.budgets:
+        try:
+            greedy = select_jury_pay(candidates, budget=budget)
+            exact = branch_and_bound_optimal(candidates, budget=budget)
+        except InfeasibleSelectionError:
+            continue
+        if metric == "cost":
+            appx.add(budget, greedy.total_cost, note=f"size={greedy.size}")
+            opt.add(budget, exact.total_cost, note=f"size={exact.size}")
+        else:
+            appx.add(budget, greedy.jer, note=f"size={greedy.size}")
+            opt.add(budget, exact.jer, note=f"size={exact.size}")
+    return result
+
+
+def run_fig3e(config: Fig3eConfig | None = None) -> ExperimentResult:
+    """Reproduce Figure 3(e): APPX vs OPT on total cost."""
+    cfg = config if config is not None else Fig3eConfig()
+    return run_appx_vs_opt_sweep(
+        cfg,
+        metric="cost",
+        experiment_id="fig3e",
+        title="APPX v.s. OPT on Total Cost",
+        y_label="Total Cost of Selected Jury",
+    )

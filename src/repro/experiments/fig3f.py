@@ -1,0 +1,27 @@
+"""Figure 3(f) — PayALG ("APPX") versus ground truth ("OPT") on JER.
+
+Shares Figure 3(e)'s workload; see :mod:`repro.experiments.fig3e` for the
+setup and the text/figure budget-range discrepancy.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult
+from repro.experiments.fig3e import Fig3eConfig, run_appx_vs_opt_sweep
+
+__all__ = ["Fig3fConfig", "run_fig3f"]
+
+#: Figure 3(f) shares Figure 3(e)'s workload definition.
+Fig3fConfig = Fig3eConfig
+
+
+def run_fig3f(config: Fig3fConfig | None = None) -> ExperimentResult:
+    """Reproduce Figure 3(f): APPX vs OPT on JER."""
+    cfg = config if config is not None else Fig3fConfig()
+    return run_appx_vs_opt_sweep(
+        cfg,
+        metric="jer",
+        experiment_id="fig3f",
+        title="APPX v.s. OPT on JER",
+        y_label="JER",
+    )

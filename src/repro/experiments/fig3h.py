@@ -1,0 +1,105 @@
+"""Figure 3(h) — precision and recall of PayALG on (simulated) Twitter data.
+
+Paper setup (Section 5.2.2): the top 20 candidates from HITS and PageRank,
+error rates normalised with alpha = beta = 10 and requirements from account
+age; budgets set to {0.1%, 1%, 10%, 20%} of ``M``, where ``M`` is the mean
+estimated requirement times the candidate count.  For each budget, PayALG's
+jury is compared against the enumerated optimum in set precision and recall.
+
+Expected shape: precision/recall are high overall and higher for the ranker
+whose error-rate distribution leaves fewer near-optimal juries (HITS scores
+1.0/1.0 in the paper; PageRank trails because "a relatively larger number of
+jurors ... have low error-rates ... broadens the feasible solution space").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.selection.exact import branch_and_bound_optimal
+from repro.core.selection.pay import select_jury_pay
+from repro.errors import InfeasibleSelectionError
+from repro.experiments.common import ExperimentResult, precision_recall
+from repro.experiments.twitter_data import TwitterWorkloadConfig, build_twitter_workload
+
+__all__ = ["Fig3hConfig", "run_fig3h", "paym_twitter_sweep"]
+
+
+@dataclass(frozen=True)
+class Fig3hConfig:
+    """Knobs shared by Figures 3(h) and 3(i)."""
+
+    workload: TwitterWorkloadConfig = TwitterWorkloadConfig()
+    top_k: int = 20
+    budget_fractions: tuple[float, ...] = (0.001, 0.01, 0.1, 0.2)
+
+    @classmethod
+    def small(cls) -> "Fig3hConfig":
+        """Bench-scale: smaller simulated service, same top-20 cut."""
+        return cls(workload=TwitterWorkloadConfig.small())
+
+
+def paym_twitter_sweep(cfg: Fig3hConfig) -> dict[str, list[dict[str, object]]]:
+    """Shared PayALG-vs-OPT sweep behind Figures 3(h) and 3(i).
+
+    Returns, per ranker label (``HT``/``PR``), one record per budget with the
+    budget fraction, absolute budget, both selections' juror ids, sizes,
+    JERs, and precision/recall of APPX against OPT.
+    """
+    workload = build_twitter_workload(cfg.workload)
+    records: dict[str, list[dict[str, object]]] = {}
+    for ranking, label in (("hits", "HT"), ("pagerank", "PR")):
+        pool = list(workload.candidates(ranking))[: cfg.top_k]
+        mean_requirement = sum(j.requirement for j in pool) / len(pool)
+        m_value = mean_requirement * len(pool)
+        rows: list[dict[str, object]] = []
+        for fraction in cfg.budget_fractions:
+            budget = fraction * m_value
+            try:
+                greedy = select_jury_pay(pool, budget=budget)
+                exact = branch_and_bound_optimal(pool, budget=budget)
+            except InfeasibleSelectionError:
+                continue
+            precision, recall = precision_recall(
+                greedy.juror_ids, exact.juror_ids
+            )
+            rows.append(
+                {
+                    "fraction": fraction,
+                    "budget": budget,
+                    "appx_ids": greedy.juror_ids,
+                    "opt_ids": exact.juror_ids,
+                    "appx_size": greedy.size,
+                    "opt_size": exact.size,
+                    "appx_jer": greedy.jer,
+                    "opt_jer": exact.jer,
+                    "precision": precision,
+                    "recall": recall,
+                }
+            )
+        records[label] = rows
+    return records
+
+
+def run_fig3h(config: Fig3hConfig | None = None) -> ExperimentResult:
+    """Reproduce Figure 3(h): precision & recall of PayALG vs ground truth."""
+    cfg = config if config is not None else Fig3hConfig()
+    records = paym_twitter_sweep(cfg)
+    result = ExperimentResult(
+        experiment_id="fig3h",
+        title="Precision & Recall on Twitter Data",
+        x_label="Budget B (fraction of M)",
+        y_label="Precision and Recall",
+        metadata={
+            "n_users": cfg.workload.n_users,
+            "top_k": cfg.top_k,
+            "seed": cfg.workload.seed,
+        },
+    )
+    for label, rows in records.items():
+        prec = result.new_series(f"{label}-Prec")
+        rec = result.new_series(f"{label}-Rec")
+        for row in rows:
+            prec.add(row["fraction"], row["precision"], note=f"B={row['budget']:.3g}")
+            rec.add(row["fraction"], row["recall"], note=f"B={row['budget']:.3g}")
+    return result

@@ -1,0 +1,43 @@
+"""Figure 3(i) — jury size versus budget on (simulated) Twitter data.
+
+Same sweep as Figure 3(h); records the jury sizes selected by PayALG
+(``-Pay``) and by the exact optimum (``-TRUE``) for both rankers.
+
+Expected shape: sizes grow with the budget; PayALG's sizes track the
+optimum's closely (identical for HITS in the paper, near-identical for
+PageRank).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult
+from repro.experiments.fig3h import Fig3hConfig, paym_twitter_sweep
+
+__all__ = ["Fig3iConfig", "run_fig3i"]
+
+#: Figure 3(i) shares Figure 3(h)'s workload definition.
+Fig3iConfig = Fig3hConfig
+
+
+def run_fig3i(config: Fig3iConfig | None = None) -> ExperimentResult:
+    """Reproduce Figure 3(i): selected jury size vs budget."""
+    cfg = config if config is not None else Fig3iConfig()
+    records = paym_twitter_sweep(cfg)
+    result = ExperimentResult(
+        experiment_id="fig3i",
+        title="Jury Size on Twitter Data",
+        x_label="Budget B (fraction of M)",
+        y_label="Size of Jury",
+        metadata={
+            "n_users": cfg.workload.n_users,
+            "top_k": cfg.top_k,
+            "seed": cfg.workload.seed,
+        },
+    )
+    for label, rows in records.items():
+        pay = result.new_series(f"{label}-Pay")
+        true = result.new_series(f"{label}-TRUE")
+        for row in rows:
+            pay.add(row["fraction"], row["appx_size"], note=f"jer={row['appx_jer']:.3g}")
+            true.add(row["fraction"], row["opt_size"], note=f"jer={row['opt_jer']:.3g}")
+    return result

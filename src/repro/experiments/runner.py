@@ -1,0 +1,141 @@
+"""Run-all entry point for the paper-reproduction experiments.
+
+Installed as the ``repro-experiments`` console script:
+
+    repro-experiments                 # run everything at bench scale
+    repro-experiments --scale paper   # paper-scale parameters (slow)
+    repro-experiments table2 fig3a    # selected experiments only
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from collections.abc import Callable, Sequence
+
+from repro.experiments.ablation_adaptive import (
+    AblationAdaptiveConfig,
+    run_ablation_adaptive,
+)
+from repro.experiments.ablation_bounds import (
+    AblationBoundsConfig,
+    run_ablation_bounds,
+)
+from repro.experiments.ablation_weighted import (
+    AblationWeightedConfig,
+    run_ablation_weighted,
+)
+from repro.experiments.common import ExperimentResult
+from repro.experiments.fig3a import Fig3aConfig, run_fig3a
+from repro.experiments.fig3b import Fig3bConfig, run_fig3b
+from repro.experiments.fig3c import Fig3cConfig, run_fig3c
+from repro.experiments.fig3d import run_fig3d
+from repro.experiments.fig3e import Fig3eConfig, run_fig3e
+from repro.experiments.fig3f import run_fig3f
+from repro.experiments.fig3g import Fig3gConfig, run_fig3g
+from repro.experiments.fig3h import Fig3hConfig, run_fig3h
+from repro.experiments.fig3i import run_fig3i
+from repro.experiments.table2 import Table2Config, run_table2
+
+__all__ = ["EXPERIMENTS", "run_experiment", "main"]
+
+#: experiment id -> (paper-scale runner, bench-scale runner)
+EXPERIMENTS: dict[str, tuple[Callable[[], ExperimentResult], Callable[[], ExperimentResult]]] = {
+    "table2": (lambda: run_table2(), lambda: run_table2(Table2Config.small())),
+    "fig3a": (lambda: run_fig3a(), lambda: run_fig3a(Fig3aConfig.small())),
+    "fig3b": (lambda: run_fig3b(), lambda: run_fig3b(Fig3bConfig.small())),
+    "fig3c": (lambda: run_fig3c(), lambda: run_fig3c(Fig3cConfig.small())),
+    "fig3d": (lambda: run_fig3d(), lambda: run_fig3d(Fig3cConfig.small())),
+    "fig3e": (lambda: run_fig3e(), lambda: run_fig3e(Fig3eConfig.small())),
+    "fig3f": (lambda: run_fig3f(), lambda: run_fig3f(Fig3eConfig.small())),
+    "fig3g": (lambda: run_fig3g(), lambda: run_fig3g(Fig3gConfig.small())),
+    "fig3h": (lambda: run_fig3h(), lambda: run_fig3h(Fig3hConfig.small())),
+    "fig3i": (lambda: run_fig3i(), lambda: run_fig3i(Fig3hConfig.small())),
+    # Ablations beyond the paper's figures (DESIGN.md, "extensions").
+    "ablation-bounds": (
+        lambda: run_ablation_bounds(),
+        lambda: run_ablation_bounds(AblationBoundsConfig.small()),
+    ),
+    "ablation-weighted": (
+        lambda: run_ablation_weighted(),
+        lambda: run_ablation_weighted(AblationWeightedConfig.small()),
+    ),
+    "ablation-adaptive": (
+        lambda: run_ablation_adaptive(),
+        lambda: run_ablation_adaptive(AblationAdaptiveConfig.small()),
+    ),
+}
+
+
+def run_experiment(experiment_id: str, *, scale: str = "small") -> ExperimentResult:
+    """Run one experiment by id at the requested scale.
+
+    Parameters
+    ----------
+    experiment_id:
+        One of :data:`EXPERIMENTS`.
+    scale:
+        ``"small"`` (bench defaults) or ``"paper"`` (the paper's parameters).
+    """
+    try:
+        paper_runner, small_runner = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; available: "
+            f"{sorted(EXPERIMENTS)}"
+        ) from None
+    if scale == "paper":
+        return paper_runner()
+    if scale == "small":
+        return small_runner()
+    raise ValueError(f"scale must be 'small' or 'paper', got {scale!r}")
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; prints each experiment's table to stdout."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the tables and figures of Cao et al., VLDB 2012.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="ID",
+        help=f"experiment ids to run (default: all of {sorted(EXPERIMENTS)})",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=("small", "paper"),
+        default="small",
+        help="workload scale: 'small' finishes in minutes, 'paper' mirrors "
+        "the paper's parameters (default: small)",
+    )
+    parser.add_argument(
+        "--chart",
+        action="store_true",
+        help="also render an ASCII chart of each figure",
+    )
+    args = parser.parse_args(argv)
+
+    chosen = args.experiments or sorted(EXPERIMENTS)
+    unknown = [e for e in chosen if e not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiment ids: {unknown}; available: {sorted(EXPERIMENTS)}")
+
+    for experiment_id in chosen:
+        start = time.perf_counter()
+        result = run_experiment(experiment_id, scale=args.scale)
+        elapsed = time.perf_counter() - start
+        print(result.to_table())
+        if args.chart:
+            from repro.experiments.common import render_ascii_chart
+
+            print(render_ascii_chart(result))
+        print(f"[completed in {elapsed:.2f}s]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation
+    sys.exit(main())

@@ -1,0 +1,42 @@
+"""Synthetic micro-blog service (the paper's Twitter-dump substitute).
+
+See DESIGN.md, "Substitutions": the paper estimates parameters from a
+two-day public-timeline Twitter sample that cannot be redistributed.  This
+package simulates the generative process behind such a sample — a user
+population with latent quality, a scale-free follower network, and
+quality-driven retweet cascades — and emits a raw
+:class:`~repro.estimation.tweets.TweetCorpus` that the Section 4 estimation
+pipeline consumes *unchanged*.
+"""
+
+from repro.microblog.activity import (
+    CascadeConfig,
+    generate_microblog_service,
+    simulate_corpus,
+)
+from repro.microblog.adversarial import SpamRingConfig, inject_spam_ring
+from repro.microblog.dataset import (
+    DEMO_USERS,
+    load_population,
+    make_demo_corpus,
+    save_population,
+)
+from repro.microblog.network import FollowerNetwork, generate_follower_network
+from repro.microblog.users import UserProfile, account_age_map, generate_population
+
+__all__ = [
+    "UserProfile",
+    "generate_population",
+    "account_age_map",
+    "FollowerNetwork",
+    "generate_follower_network",
+    "CascadeConfig",
+    "simulate_corpus",
+    "generate_microblog_service",
+    "save_population",
+    "load_population",
+    "make_demo_corpus",
+    "DEMO_USERS",
+    "SpamRingConfig",
+    "inject_spam_ring",
+]

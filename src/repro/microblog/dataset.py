@@ -1,0 +1,104 @@
+"""Persistence and demo datasets for the micro-blog simulator.
+
+Provides JSONL round-tripping of a full simulated service (profiles + corpus)
+and a small deterministic demo dataset used by examples and tests.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Sequence
+from pathlib import Path
+
+from repro.errors import SimulationError
+from repro.estimation.tweets import Tweet, TweetCorpus
+from repro.microblog.users import UserProfile
+
+__all__ = [
+    "save_population",
+    "load_population",
+    "make_demo_corpus",
+    "DEMO_USERS",
+]
+
+#: Usernames of the hand-written demo dataset (mirrors the paper's Figure 1
+#: cast: one authority, a few relays, several lurkers).
+DEMO_USERS = ("alice", "bob", "carol", "dave", "erin", "frank", "grace")
+
+
+def save_population(population: Sequence[UserProfile], path: str | Path) -> None:
+    """Write user profiles as JSONL."""
+    target = Path(path)
+    with target.open("w", encoding="utf-8") as handle:
+        for user in population:
+            handle.write(
+                json.dumps(
+                    {
+                        "username": user.username,
+                        "registration_day": user.registration_day,
+                        "quality": user.quality,
+                        "activity": user.activity,
+                    }
+                )
+                + "\n"
+            )
+
+
+def load_population(path: str | Path) -> list[UserProfile]:
+    """Load user profiles previously written by :func:`save_population`."""
+    source = Path(path)
+    population: list[UserProfile] = []
+    with source.open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                population.append(
+                    UserProfile(
+                        username=record["username"],
+                        registration_day=record["registration_day"],
+                        quality=record["quality"],
+                        activity=record["activity"],
+                    )
+                )
+            except (json.JSONDecodeError, KeyError) as exc:
+                raise SimulationError(
+                    f"malformed population line {line_number} in {source}: {exc}"
+                ) from exc
+    return population
+
+
+def make_demo_corpus() -> TweetCorpus:
+    """A tiny deterministic corpus with a clear authority structure.
+
+    ``alice`` is the authority everyone retweets; ``bob`` and ``carol`` are
+    relays (retweeted occasionally, retweet alice a lot); ``dave``/``erin``
+    mostly retweet; ``frank``/``grace`` are lurkers who each produce one
+    original tweet nobody amplifies.  Includes a two-hop chain so the
+    Algorithm 5 chain logic is exercised.
+
+    >>> corpus = make_demo_corpus()
+    >>> len(corpus) > 10
+    True
+    """
+    tweets = [
+        Tweet("alice", "BREAKING: observational insight #1", "d1", 0.0),
+        Tweet("bob", "RT @alice BREAKING: observational insight #1", "d2", 0.0),
+        Tweet("carol", "RT @alice BREAKING: observational insight #1", "d3", 0.0),
+        Tweet("dave", "RT @bob RT @alice BREAKING: observational insight #1", "d4", 0.0),
+        Tweet("erin", "RT @carol RT @alice BREAKING: observational insight #1", "d5", 0.0),
+        Tweet("alice", "insight #2, with data", "d6", 0.0),
+        Tweet("bob", "RT @alice insight #2, with data", "d7", 0.0),
+        Tweet("dave", "RT @alice insight #2, with data", "d8", 0.0),
+        Tweet("erin", "RT @bob RT @alice insight #2, with data", "d9", 0.0),
+        Tweet("bob", "my own hot take", "d10", 1.0),
+        Tweet("dave", "RT @bob my own hot take", "d11", 1.0),
+        Tweet("carol", "a careful thread", "d12", 1.0),
+        Tweet("erin", "RT @carol a careful thread", "d13", 1.0),
+        Tweet("frank", "hello world, nobody reads me", "d14", 1.0),
+        Tweet("grace", "first tweet!", "d15", 1.0),
+        Tweet("grace", "RT @alice BREAKING: observational insight #1", "d16", 1.0),
+    ]
+    return TweetCorpus(tweets)

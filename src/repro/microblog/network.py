@@ -1,0 +1,147 @@
+"""Directed follower network for the synthetic micro-blog service.
+
+Real micro-blog follower graphs are scale-free: a handful of celebrities
+collect most followers.  We grow the network with the **fitness
+(Bianconi-Barabasi) model**: users join one at a time and follow ``m``
+existing accounts, picking each with probability proportional to
+
+    ``quality ** fitness_exponent * (in_degree + 1)``
+
+The multiplicative fitness term keeps latent quality influential at every
+scale (a purely additive bias would be swamped once degrees grow), so the
+in-degree distribution is heavy-tailed *and* correlated with quality — which
+is exactly what lets the retweet graph (built on top of this network by
+:mod:`repro.microblog.activity`) recover quality through HITS/PageRank.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.microblog.users import UserProfile
+
+__all__ = ["FollowerNetwork", "generate_follower_network"]
+
+
+class FollowerNetwork:
+    """Who-follows-whom over a fixed population.
+
+    ``follow(a, b)`` records that ``a`` follows ``b``; tweets of ``b`` reach
+    ``a`` and may be retweeted by ``a``.
+    """
+
+    def __init__(self, usernames: Sequence[str]) -> None:
+        if len(set(usernames)) != len(usernames):
+            raise SimulationError("usernames must be unique")
+        self._following: dict[str, set[str]] = {u: set() for u in usernames}
+        self._followers: dict[str, set[str]] = {u: set() for u in usernames}
+
+    def follow(self, follower: str, followee: str) -> bool:
+        """Record ``follower -> followee``; returns True when newly added."""
+        if follower not in self._following or followee not in self._following:
+            raise SimulationError("both users must belong to the population")
+        if follower == followee:
+            return False
+        if followee in self._following[follower]:
+            return False
+        self._following[follower].add(followee)
+        self._followers[followee].add(follower)
+        return True
+
+    def followers_of(self, user: str) -> set[str]:
+        """Accounts that follow ``user`` (his tweet audience)."""
+        self._require(user)
+        return set(self._followers[user])
+
+    def following_of(self, user: str) -> set[str]:
+        """Accounts that ``user`` follows."""
+        self._require(user)
+        return set(self._following[user])
+
+    def follower_count(self, user: str) -> int:
+        """In-degree of ``user``."""
+        self._require(user)
+        return len(self._followers[user])
+
+    @property
+    def num_users(self) -> int:
+        """Population size."""
+        return len(self._following)
+
+    @property
+    def num_follow_edges(self) -> int:
+        """Total number of follow relations."""
+        return sum(len(s) for s in self._following.values())
+
+    def _require(self, user: str) -> None:
+        if user not in self._following:
+            raise SimulationError(f"user {user!r} is not in the network")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FollowerNetwork(users={self.num_users}, "
+            f"edges={self.num_follow_edges})"
+        )
+
+
+def generate_follower_network(
+    population: Sequence[UserProfile],
+    *,
+    rng: np.random.Generator | None = None,
+    follows_per_user: int = 8,
+    fitness_exponent: float = 2.0,
+) -> FollowerNetwork:
+    """Grow a scale-free follower network over ``population``.
+
+    Users are added in order; each new user follows up to
+    ``follows_per_user`` distinct earlier users, chosen with probability
+    proportional to ``quality ** fitness_exponent * (in_degree + 1)`` — the
+    fitness preferential-attachment model.  High-quality accounts therefore
+    become the celebrities rather than merely the early joiners.
+
+    Parameters
+    ----------
+    population:
+        The user profiles (order defines join order).
+    follows_per_user:
+        Target out-degree of each joining user.
+    fitness_exponent:
+        How strongly latent quality shapes attachment; 0 reduces to pure
+        preferential attachment (age wins), larger values hand the network
+        to the high-quality accounts.
+
+    Returns
+    -------
+    FollowerNetwork
+    """
+    if follows_per_user < 1:
+        raise SimulationError(
+            f"follows_per_user must be positive, got {follows_per_user!r}"
+        )
+    if fitness_exponent < 0.0:
+        raise SimulationError(
+            f"fitness_exponent must be non-negative, got {fitness_exponent!r}"
+        )
+    generator = rng if rng is not None else np.random.default_rng()
+    usernames = [u.username for u in population]
+    network = FollowerNetwork(usernames)
+    qualities = np.array([u.quality for u in population], dtype=np.float64)
+    fitness = np.power(qualities, fitness_exponent)
+    in_degree = np.zeros(len(population), dtype=np.float64)
+
+    for joiner in range(1, len(population)):
+        weights = fitness[:joiner] * (in_degree[:joiner] + 1.0)
+        total = weights.sum()
+        if total <= 0.0:
+            probabilities = np.full(joiner, 1.0 / joiner)
+        else:
+            probabilities = weights / total
+        k = min(follows_per_user, joiner)
+        targets = generator.choice(joiner, size=k, replace=False, p=probabilities)
+        for target in targets:
+            if network.follow(usernames[joiner], usernames[int(target)]):
+                in_degree[int(target)] += 1.0
+    return network

@@ -1,0 +1,45 @@
+"""Monte-Carlo voting simulation (validation substrate).
+
+Samples concrete votings from jurors' Bernoulli error models and aggregates
+them with Majority Voting, providing an empirical check of every analytic
+JER the library computes.
+"""
+
+from repro.simulation.adaptive import (
+    AdaptivePollResult,
+    adaptive_poll,
+    compare_with_static,
+)
+from repro.simulation.correlated import (
+    CorrelationPenalty,
+    correlation_penalty,
+    empirical_jer_correlated,
+    sample_correlated_votes,
+)
+from repro.simulation.tasks import DecisionTask, generate_tasks
+from repro.simulation.voting_sim import (
+    JERValidation,
+    empirical_jer,
+    sample_votes,
+    simulate_accuracy_over_tasks,
+    simulate_task,
+    validate_jer,
+)
+
+__all__ = [
+    "DecisionTask",
+    "generate_tasks",
+    "sample_votes",
+    "simulate_task",
+    "empirical_jer",
+    "JERValidation",
+    "validate_jer",
+    "simulate_accuracy_over_tasks",
+    "AdaptivePollResult",
+    "adaptive_poll",
+    "compare_with_static",
+    "CorrelationPenalty",
+    "correlation_penalty",
+    "empirical_jer_correlated",
+    "sample_correlated_votes",
+]

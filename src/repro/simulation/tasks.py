@@ -1,0 +1,88 @@
+"""Decision-making tasks with latent ground truth (paper Section 2.1.2).
+
+The paper assumes that "for each discerning task, there exists an objective
+and true judgement which is latent for all the participants".  A
+:class:`DecisionTask` carries that latent truth; the voting simulator samples
+juror votes against it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+__all__ = ["DecisionTask", "generate_tasks"]
+
+_task_counter = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class DecisionTask:
+    """A binary decision-making question with a latent ground truth.
+
+    Attributes
+    ----------
+    question:
+        Human-readable statement, e.g. ``"Is Turkey in Europe?"``.
+    ground_truth:
+        Latent true answer (0 or 1) — unknown to the jury, known to the
+        simulator for scoring.
+    task_id:
+        Stable identifier.
+    """
+
+    question: str
+    ground_truth: int
+    task_id: str = ""
+
+    def __post_init__(self) -> None:
+        if self.ground_truth not in (0, 1):
+            raise SimulationError(
+                f"ground_truth must be 0 or 1, got {self.ground_truth!r}"
+            )
+        if not self.question:
+            raise SimulationError("question must be non-empty")
+        if not self.task_id:
+            object.__setattr__(self, "task_id", f"task-{next(_task_counter)}")
+
+
+def generate_tasks(
+    count: int,
+    *,
+    rng: np.random.Generator | None = None,
+    truth_probability: float = 0.5,
+) -> Iterator[DecisionTask]:
+    """Yield ``count`` synthetic decision tasks with random ground truths.
+
+    Parameters
+    ----------
+    count:
+        Number of tasks.
+    rng:
+        NumPy random generator.
+    truth_probability:
+        Probability that a task's latent answer is 1.
+
+    >>> tasks = list(generate_tasks(3, rng=np.random.default_rng(0)))
+    >>> len(tasks)
+    3
+    """
+    if count < 0:
+        raise SimulationError(f"count must be non-negative, got {count!r}")
+    if not 0.0 <= truth_probability <= 1.0:
+        raise SimulationError(
+            f"truth_probability must lie in [0, 1], got {truth_probability!r}"
+        )
+    generator = rng if rng is not None else np.random.default_rng()
+    for index in range(count):
+        truth = int(generator.random() < truth_probability)
+        yield DecisionTask(
+            question=f"synthetic decision question #{index + 1}",
+            ground_truth=truth,
+            task_id=f"synthetic-{index + 1}",
+        )

@@ -1,0 +1,163 @@
+"""Monte-Carlo majority-voting simulation.
+
+Validates the analytic Jury Error Rate (Definition 6) empirically: sample
+votings from the jurors' Bernoulli error models, aggregate with Majority
+Voting, and measure how often the jury's decision contradicts the latent
+ground truth.  By construction the empirical rate converges to
+``JER(J_n)``, which the test-suite exploits as a statistical oracle.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.jer import jury_error_rate
+from repro.core.juror import Jury
+from repro.core.voting import MajorityVoting
+from repro.errors import SimulationError
+from repro.simulation.tasks import DecisionTask
+
+__all__ = [
+    "sample_votes",
+    "simulate_task",
+    "empirical_jer",
+    "JERValidation",
+    "validate_jer",
+]
+
+
+def sample_votes(
+    jury: Jury,
+    ground_truth: int,
+    trials: int,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Sample ``trials`` independent votings of ``jury`` on one task.
+
+    Juror ``i`` votes against ``ground_truth`` with probability
+    ``epsilon_i`` (Definition 4), independently across jurors and trials.
+
+    Returns
+    -------
+    numpy.ndarray
+        0/1 array of shape ``(trials, n)``.
+    """
+    if ground_truth not in (0, 1):
+        raise SimulationError(f"ground_truth must be 0 or 1, got {ground_truth!r}")
+    if trials < 1:
+        raise SimulationError(f"trials must be positive, got {trials!r}")
+    generator = rng if rng is not None else np.random.default_rng()
+    errors = generator.random((trials, jury.size)) < np.asarray(jury.error_rates)
+    votes = np.where(errors, 1 - ground_truth, ground_truth)
+    return votes.astype(np.int8)
+
+
+def simulate_task(
+    jury: Jury,
+    task: DecisionTask,
+    rng: np.random.Generator | None = None,
+) -> tuple[int, bool]:
+    """One voting of ``jury`` on ``task``; returns (decision, is_correct)."""
+    votes = sample_votes(jury, task.ground_truth, trials=1, rng=rng)[0]
+    decision = MajorityVoting().decide_votes(votes.tolist())
+    return decision, decision == task.ground_truth
+
+
+def empirical_jer(
+    jury: Jury,
+    trials: int = 10_000,
+    rng: np.random.Generator | None = None,
+    ground_truth: int = 1,
+) -> float:
+    """Empirical Jury Error Rate over ``trials`` simulated votings.
+
+    >>> import numpy as np
+    >>> jury = Jury.from_error_rates([0.2, 0.3, 0.3])
+    >>> rate = empirical_jer(jury, trials=20000, rng=np.random.default_rng(1))
+    >>> abs(rate - 0.174) < 0.01
+    True
+    """
+    votes = sample_votes(jury, ground_truth, trials, rng=rng)
+    decisions = MajorityVoting().decide_batch(votes)
+    return float(np.mean(decisions != ground_truth))
+
+
+@dataclass(frozen=True)
+class JERValidation:
+    """Outcome of an analytic-vs-empirical JER comparison.
+
+    Attributes
+    ----------
+    analytic:
+        Exact JER from :func:`~repro.core.jer.jury_error_rate`.
+    empirical:
+        Monte-Carlo estimate.
+    trials:
+        Sample size behind the estimate.
+    stderr:
+        Binomial standard error of the estimate.
+    z_score:
+        ``(empirical - analytic) / stderr`` (0 when stderr is 0).
+    """
+
+    analytic: float
+    empirical: float
+    trials: int
+    stderr: float
+    z_score: float
+
+    def consistent(self, z_threshold: float = 4.0) -> bool:
+        """Whether the empirical estimate is within ``z_threshold`` sigmas."""
+        return abs(self.z_score) <= z_threshold
+
+
+def validate_jer(
+    jury: Jury,
+    trials: int = 50_000,
+    rng: np.random.Generator | None = None,
+) -> JERValidation:
+    """Compare analytic JER against a Monte-Carlo estimate.
+
+    The binomial standard error ``sqrt(p (1-p) / trials)`` calibrates the
+    comparison; a healthy implementation keeps ``|z| <= 4`` essentially
+    always.
+    """
+    analytic = jury_error_rate(jury)
+    empirical = empirical_jer(jury, trials=trials, rng=rng)
+    stderr = math.sqrt(max(analytic * (1.0 - analytic), 1e-12) / trials)
+    z_score = 0.0 if stderr == 0.0 else (empirical - analytic) / stderr
+    return JERValidation(
+        analytic=analytic,
+        empirical=empirical,
+        trials=trials,
+        stderr=stderr,
+        z_score=z_score,
+    )
+
+
+def simulate_accuracy_over_tasks(
+    jury: Jury,
+    tasks: Iterable[DecisionTask],
+    rng: np.random.Generator | None = None,
+) -> float:
+    """Fraction of tasks the jury answers correctly (1 - empirical JER).
+
+    Unlike :func:`empirical_jer` this walks concrete
+    :class:`~repro.simulation.tasks.DecisionTask` objects, so examples can
+    mix ground truths and inspect per-task outcomes.
+    """
+    generator = rng if rng is not None else np.random.default_rng()
+    outcomes: list[bool] = []
+    for task in tasks:
+        _, correct = simulate_task(jury, task, rng=generator)
+        outcomes.append(correct)
+    if not outcomes:
+        raise SimulationError("at least one task is required")
+    return float(np.mean(outcomes))
+
+
+__all__.append("simulate_accuracy_over_tasks")

@@ -1,0 +1,15 @@
+"""Synthetic workload generators for the Section 5.1 experiments."""
+
+from repro.synth.generators import (
+    SyntheticWorkload,
+    generate_error_rates,
+    generate_requirements,
+    generate_workload,
+)
+
+__all__ = [
+    "generate_error_rates",
+    "generate_requirements",
+    "SyntheticWorkload",
+    "generate_workload",
+]

@@ -1,0 +1,166 @@
+"""Synthetic workload generators matching paper Section 5.1.
+
+The paper's synthetic experiments draw individual error rates and payment
+requirements from normal distributions with a grid of means and variances
+("we generate 1,000 candidate jurors, whose individual error rates follow a
+normal distribution with mean values varying from 0.1 to 0.9, and variance
+values from 0.1 to 0.3").  Raw normal samples can fall outside the legal
+domains — error rates must lie in the open interval (0, 1) and requirements
+must be non-negative — so samples are clipped, the standard reading of such
+setups.
+
+Note the paper specifies *variances*; NumPy's ``normal`` takes a standard
+deviation, hence the ``sqrt`` below.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.juror import Juror
+from repro.errors import SimulationError
+
+__all__ = [
+    "generate_error_rates",
+    "generate_requirements",
+    "SyntheticWorkload",
+    "generate_workload",
+]
+
+#: Clip keeping synthetic error rates inside the open interval (0, 1).
+_EPS_CLIP = 1e-3
+
+
+def generate_error_rates(
+    n: int,
+    mean: float,
+    variance: float,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Sample ``n`` individual error rates from ``N(mean, variance)``.
+
+    Samples are clipped into ``[1e-3, 1 - 1e-3]`` to respect Definition 4's
+    open-interval requirement.
+
+    >>> eps = generate_error_rates(100, 0.2, 0.05, np.random.default_rng(0))
+    >>> bool((eps > 0).all() and (eps < 1).all())
+    True
+    """
+    if n < 1:
+        raise SimulationError(f"n must be positive, got {n!r}")
+    if variance < 0.0:
+        raise SimulationError(f"variance must be non-negative, got {variance!r}")
+    generator = rng if rng is not None else np.random.default_rng()
+    samples = generator.normal(mean, np.sqrt(variance), size=n)
+    return np.clip(samples, _EPS_CLIP, 1.0 - _EPS_CLIP)
+
+
+def generate_requirements(
+    n: int,
+    mean: float,
+    variance: float,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Sample ``n`` payment requirements from ``N(mean, variance)``.
+
+    Negative samples are clipped to 0 (Definition 8 requires ``r_i >= 0``).
+    """
+    if n < 1:
+        raise SimulationError(f"n must be positive, got {n!r}")
+    if variance < 0.0:
+        raise SimulationError(f"variance must be non-negative, got {variance!r}")
+    generator = rng if rng is not None else np.random.default_rng()
+    samples = generator.normal(mean, np.sqrt(variance), size=n)
+    return np.clip(samples, 0.0, None)
+
+
+@dataclass(frozen=True)
+class SyntheticWorkload:
+    """A generated candidate set plus the parameters that produced it.
+
+    Attributes
+    ----------
+    jurors:
+        The candidate jurors.
+    eps_mean, eps_variance:
+        Parameters of the error-rate distribution.
+    req_mean, req_variance:
+        Parameters of the requirement distribution (both 0 under AltrM).
+    seed:
+        Seed used (None when an external rng was supplied).
+    """
+
+    jurors: tuple[Juror, ...]
+    eps_mean: float
+    eps_variance: float
+    req_mean: float
+    req_variance: float
+    seed: int | None
+
+    @property
+    def size(self) -> int:
+        """Number of candidates."""
+        return len(self.jurors)
+
+    def error_rates(self) -> np.ndarray:
+        """Vector of candidate error rates."""
+        return np.array([j.error_rate for j in self.jurors])
+
+    def requirements(self) -> np.ndarray:
+        """Vector of candidate requirements."""
+        return np.array([j.requirement for j in self.jurors])
+
+
+def generate_workload(
+    n: int,
+    *,
+    eps_mean: float,
+    eps_variance: float,
+    req_mean: float = 0.0,
+    req_variance: float = 0.0,
+    seed: int | None = None,
+    rng: np.random.Generator | None = None,
+    id_prefix: str = "s",
+) -> SyntheticWorkload:
+    """Generate a Section 5.1-style synthetic candidate set.
+
+    Parameters
+    ----------
+    n:
+        Candidate count (the paper uses 1,000 for trait studies and up to
+        6,000 for efficiency studies).
+    eps_mean, eps_variance:
+        Error-rate normal parameters.
+    req_mean, req_variance:
+        Requirement normal parameters; both 0 yields altruistic candidates.
+    seed:
+        Convenience seed (ignored when ``rng`` is given).
+    rng:
+        External generator for callers managing their own streams.
+    id_prefix:
+        Prefix of generated juror ids.
+
+    >>> wl = generate_workload(10, eps_mean=0.2, eps_variance=0.05, seed=1)
+    >>> wl.size
+    10
+    """
+    generator = rng if rng is not None else np.random.default_rng(seed)
+    eps = generate_error_rates(n, eps_mean, eps_variance, generator)
+    if req_mean == 0.0 and req_variance == 0.0:
+        reqs = np.zeros(n)
+    else:
+        reqs = generate_requirements(n, req_mean, req_variance, generator)
+    jurors = tuple(
+        Juror(float(e), float(r), juror_id=f"{id_prefix}{i + 1}")
+        for i, (e, r) in enumerate(zip(eps, reqs))
+    )
+    return SyntheticWorkload(
+        jurors=jurors,
+        eps_mean=eps_mean,
+        eps_variance=eps_variance,
+        req_mean=req_mean,
+        req_variance=req_variance,
+        seed=seed if rng is None else None,
+    )

@@ -1,0 +1,150 @@
+"""Tests for the analysis package (diagnostics, frontier, robustness)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.diagnostics import diagnose_jury
+from repro.analysis.frontier import budget_frontier, minimal_budget_for_target
+from repro.analysis.robustness import selection_regret_under_noise
+from repro.core.juror import Jury, jurors_from_arrays
+from repro.core.selection.exact import branch_and_bound_optimal
+from repro.errors import ReproError
+
+
+class TestDiagnoseJury:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return diagnose_jury(Jury.from_error_rates([0.1, 0.2, 0.2], [1, 2, 3]))
+
+    def test_jer(self, report):
+        assert report.jer == pytest.approx(0.072)
+
+    def test_weighted_never_worse(self, report):
+        assert report.weighted_jer <= report.jer + 1e-12
+        assert report.majority_overhead >= -1e-12
+
+    def test_bounds_bracket_jer(self, report):
+        assert report.upper_bound >= report.jer - 1e-12
+        if report.lower_bound is not None:
+            assert report.lower_bound <= report.jer + 1e-12
+
+    def test_influences_cover_all_jurors(self, report):
+        assert len(report.influences) == 3
+        assert report.most_pivotal.pivotal_probability >= max(
+            r.pivotal_probability for r in report.influences
+        ) - 1e-15
+
+    def test_total_cost(self, report):
+        assert report.total_cost == pytest.approx(6.0)
+
+    def test_summary_mentions_key_numbers(self, report):
+        text = report.summary()
+        assert "0.072" in text
+        assert "most pivotal" in text
+
+    def test_monte_carlo_validation(self):
+        report = diagnose_jury(
+            Jury.from_error_rates([0.2, 0.3, 0.3]),
+            monte_carlo_trials=20_000,
+            rng=np.random.default_rng(0),
+        )
+        assert report.validation is not None
+        assert report.validation.consistent(z_threshold=5.0)
+        assert "Monte-Carlo" in report.summary()
+
+
+class TestBudgetFrontier:
+    def test_points_sorted_and_feasibility(self, table2_jurors):
+        points = budget_frontier(table2_jurors, [2.0, 0.05, 0.6])
+        assert [p.budget for p in points] == [0.05, 0.6, 2.0]
+        assert not points[0].feasible  # cheapest juror costs 0.1
+        assert points[1].feasible
+
+    def test_jer_improves_along_frontier(self, table2_jurors):
+        points = budget_frontier(table2_jurors, [0.2, 0.6, 1.0, 2.0])
+        jers = [p.jer for p in points if p.feasible]
+        assert all(a >= b - 1e-12 for a, b in zip(jers, jers[1:]))
+
+    def test_custom_selector(self, table2_jurors):
+        points = budget_frontier(
+            table2_jurors,
+            [1.0],
+            selector=lambda cands, b: branch_and_bound_optimal(cands, b),
+        )
+        assert points[0].jer == pytest.approx(0.072)
+
+    def test_empty_budgets_rejected(self, table2_jurors):
+        with pytest.raises(ReproError):
+            budget_frontier(table2_jurors, [])
+
+
+class TestMinimalBudgetForTarget:
+    def test_finds_known_threshold(self, table2_jurors):
+        # JER 0.072 requires {A,B,C} at cost 0.6; JER 0.1 only needs {A}.
+        budget = minimal_budget_for_target(
+            table2_jurors,
+            0.08,
+            selector=lambda cands, b: branch_and_bound_optimal(cands, b),
+            tolerance=1e-4,
+        )
+        assert budget == pytest.approx(0.6, abs=1e-3)
+
+    def test_single_juror_target(self, table2_jurors):
+        budget = minimal_budget_for_target(
+            table2_jurors,
+            0.15,
+            selector=lambda cands, b: branch_and_bound_optimal(cands, b),
+            tolerance=1e-4,
+        )
+        assert budget == pytest.approx(0.2, abs=1e-3)  # juror A costs 0.2
+
+    def test_unreachable_target(self, table2_jurors):
+        assert minimal_budget_for_target(table2_jurors, 1e-9) is None
+
+    def test_invalid_target(self, table2_jurors):
+        with pytest.raises(ReproError):
+            minimal_budget_for_target(table2_jurors, 0.0)
+
+    def test_zero_budget_sufficient_for_free_candidates(self):
+        free = jurors_from_arrays([0.1, 0.2, 0.3])
+        assert minimal_budget_for_target(free, 0.2, budget_ceiling=1.0) == 0.0
+
+
+class TestSelectionRegretUnderNoise:
+    def test_zero_noise_zero_regret(self):
+        report = selection_regret_under_noise(
+            [0.1, 0.2, 0.3, 0.4, 0.45], noise_sigma=0.0, n_trials=3,
+            rng=np.random.default_rng(0),
+        )
+        assert report.mean_regret == pytest.approx(0.0, abs=1e-12)
+        assert report.mean_true_jer == pytest.approx(report.oracle_jer)
+
+    def test_regret_nonnegative_and_grows_with_noise(self):
+        rates = list(np.linspace(0.05, 0.45, 15))
+        mild = selection_regret_under_noise(
+            rates, noise_sigma=0.02, n_trials=25, rng=np.random.default_rng(1)
+        )
+        harsh = selection_regret_under_noise(
+            rates, noise_sigma=0.3, n_trials=25, rng=np.random.default_rng(1)
+        )
+        assert mild.mean_regret >= -1e-9
+        assert harsh.mean_regret >= mild.mean_regret - 1e-6
+
+    def test_trials_recorded(self):
+        report = selection_regret_under_noise(
+            [0.2, 0.3, 0.4], noise_sigma=0.1, n_trials=7,
+            rng=np.random.default_rng(2),
+        )
+        assert len(report.trials) == 7
+        for trial in report.trials:
+            assert trial.true_jer >= report.oracle_jer - 1e-9
+
+    def test_invalid_args(self):
+        with pytest.raises(ReproError):
+            selection_regret_under_noise([], noise_sigma=0.1)
+        with pytest.raises(ReproError):
+            selection_regret_under_noise([0.2], noise_sigma=-1.0)
+        with pytest.raises(ReproError):
+            selection_regret_under_noise([0.2], noise_sigma=0.1, n_trials=0)

@@ -1,0 +1,116 @@
+"""Tests for JER confidence intervals (delta method)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.uncertainty import (
+    binomial_stderrs,
+    jer_confidence_interval,
+)
+from repro.core.jer import jer_dp
+from repro.errors import ReproError
+
+
+class TestBinomialStderrs:
+    def test_scalar_count(self):
+        stderr = binomial_stderrs([0.5], 100)
+        assert stderr[0] == pytest.approx(0.05)
+
+    def test_per_juror_counts(self):
+        stderrs = binomial_stderrs([0.5, 0.5], [100, 400])
+        assert stderrs[0] == pytest.approx(2 * stderrs[1])
+
+    def test_count_mismatch(self):
+        with pytest.raises(ReproError):
+            binomial_stderrs([0.5, 0.5], [100])
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(ReproError):
+            binomial_stderrs([0.5], 0)
+
+    def test_more_observations_shrink_stderr(self):
+        small = binomial_stderrs([0.3, 0.4, 0.2], 50)
+        large = binomial_stderrs([0.3, 0.4, 0.2], 5000)
+        assert np.all(large < small)
+
+
+class TestJERConfidenceInterval:
+    def test_contains_point_estimate(self):
+        interval = jer_confidence_interval([0.2, 0.3, 0.3], [0.02] * 3)
+        assert interval.contains(interval.point)
+        assert interval.point == pytest.approx(jer_dp([0.2, 0.3, 0.3]))
+
+    def test_zero_stderr_collapses(self):
+        interval = jer_confidence_interval([0.2, 0.3, 0.3], [0.0] * 3)
+        assert interval.width == pytest.approx(0.0, abs=1e-12)
+
+    def test_clipped_to_unit_interval(self):
+        interval = jer_confidence_interval([0.1, 0.1, 0.1], [0.3] * 3)
+        assert interval.low >= 0.0
+        assert interval.high <= 1.0
+
+    def test_wider_stderr_wider_interval(self):
+        narrow = jer_confidence_interval([0.2, 0.3, 0.3], [0.01] * 3)
+        wide = jer_confidence_interval([0.2, 0.3, 0.3], [0.05] * 3)
+        assert wide.width > narrow.width
+
+    def test_higher_confidence_wider_interval(self):
+        eps, sig = [0.2, 0.3, 0.3], [0.02] * 3
+        c90 = jer_confidence_interval(eps, sig, confidence=0.90)
+        c99 = jer_confidence_interval(eps, sig, confidence=0.99)
+        assert c99.width > c90.width
+
+    def test_stderr_mismatch(self):
+        with pytest.raises(ReproError):
+            jer_confidence_interval([0.2, 0.3, 0.3], [0.01])
+
+    def test_negative_stderr(self):
+        with pytest.raises(ReproError):
+            jer_confidence_interval([0.2, 0.3, 0.3], [-0.01, 0.01, 0.01])
+
+    def test_invalid_confidence(self):
+        with pytest.raises(ReproError):
+            jer_confidence_interval([0.2, 0.3, 0.3], [0.01] * 3, confidence=1.5)
+
+    def test_coverage_against_monte_carlo(self):
+        """The delta interval should cover the JER of perturbed rate vectors
+        at roughly the nominal frequency (generously bounded here)."""
+        rng = np.random.default_rng(0)
+        eps = np.array([0.2, 0.3, 0.25, 0.35, 0.3])
+        sigma = 0.02
+        interval = jer_confidence_interval(eps, [sigma] * 5, confidence=0.95)
+        covered = 0
+        trials = 400
+        for _ in range(trials):
+            noisy = np.clip(eps + rng.normal(0, sigma, 5), 0.01, 0.99)
+            if interval.contains(jer_dp(noisy)):
+                covered += 1
+        assert covered / trials > 0.85
+
+    def test_delta_variance_matches_simulation(self):
+        """Propagated stderr tracks the simulated JER spread for small noise."""
+        rng = np.random.default_rng(1)
+        eps = np.array([0.25, 0.3, 0.35])
+        sigma = 0.01
+        interval = jer_confidence_interval(eps, [sigma] * 3)
+        samples = []
+        for _ in range(3000):
+            noisy = np.clip(eps + rng.normal(0, sigma, 3), 0.001, 0.999)
+            samples.append(jer_dp(noisy))
+        assert interval.stderr == pytest.approx(np.std(samples), rel=0.25)
+
+    def test_history_to_interval_pipeline(self):
+        """EM error rates + observation counts -> JER interval end to end."""
+        from repro.estimation.history import estimate_error_rates_em
+
+        rng = np.random.default_rng(2)
+        true_eps = np.array([0.1, 0.2, 0.3])
+        truth = rng.integers(0, 2, size=600)
+        wrong = rng.random((600, 3)) < true_eps
+        votes = np.where(wrong, 1 - truth[:, None], truth[:, None])
+        fit = estimate_error_rates_em(votes)
+        stderrs = binomial_stderrs(fit.error_rates, 600)
+        interval = jer_confidence_interval(fit.error_rates, stderrs)
+        assert interval.contains(jer_dp(true_eps)) or interval.width < 0.05

@@ -1,0 +1,34 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.juror import Juror
+
+
+@pytest.fixture
+def table2_jurors() -> list[Juror]:
+    """The seven candidates A-G from the paper's Figure 1 / Table 2.
+
+    Error rates: A=0.1, B=0.2, C=0.2, D=0.3, E=0.3, F=0.4, G=0.4.
+    Requirements (from the motivation example): D=$0.4, E=$0.65, and we give
+    the remaining users the modest prices that make {A,B,C,F,G} affordable
+    under the $1 budget while {A,B,C,D,E} is not, as in the paper's story.
+    """
+    return [
+        Juror(0.1, 0.20, juror_id="A"),
+        Juror(0.2, 0.20, juror_id="B"),
+        Juror(0.2, 0.20, juror_id="C"),
+        Juror(0.3, 0.40, juror_id="D"),
+        Juror(0.3, 0.65, juror_id="E"),
+        Juror(0.4, 0.10, juror_id="F"),
+        Juror(0.4, 0.10, juror_id="G"),
+    ]
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic random generator for reproducible tests."""
+    return np.random.default_rng(20120827)  # VLDB 2012 started Aug 27.

@@ -1,0 +1,116 @@
+"""Tests for the probability bounds (paper Lemma 2 and ablation bounds)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import (
+    cantelli_upper_bound,
+    chernoff_upper_bound,
+    gamma_ratio,
+    hoeffding_upper_bound,
+    markov_upper_bound,
+    paley_zygmund_lower_bound,
+)
+from repro.core.jer import jer_dp
+
+odd_juries = st.lists(
+    st.floats(min_value=0.01, max_value=0.99), min_size=1, max_size=13
+).filter(lambda xs: len(xs) % 2 == 1)
+
+bad_juries = st.lists(
+    st.floats(min_value=0.75, max_value=0.99), min_size=3, max_size=13
+).filter(lambda xs: len(xs) % 2 == 1)
+
+
+class TestGammaRatio:
+    def test_reliable_jury_gamma_above_one(self):
+        # mu = 0.3 << threshold 2 -> gamma = 2 / 0.3 > 1: bound inapplicable.
+        assert gamma_ratio([0.1, 0.1, 0.1]) > 1.0
+
+    def test_unreliable_jury_gamma_below_one(self):
+        # mu = 2.7 > threshold 2 -> gamma < 1: bound applicable.
+        assert gamma_ratio([0.9, 0.9, 0.9]) < 1.0
+
+    def test_formula(self):
+        eps = [0.8, 0.9, 0.7]
+        assert gamma_ratio(eps) == pytest.approx(2.0 / sum(eps))
+
+
+class TestPaleyZygmundLowerBound:
+    def test_inapplicable_returns_none(self):
+        assert paley_zygmund_lower_bound([0.1, 0.1, 0.1]) is None
+
+    def test_applicable_returns_value_in_unit_interval(self):
+        bound = paley_zygmund_lower_bound([0.9] * 5)
+        assert bound is not None
+        assert 0.0 < bound < 1.0
+
+    def test_formula_against_lemma2(self):
+        eps = np.array([0.8, 0.85, 0.9, 0.95, 0.75])
+        mu = eps.sum()
+        sigma_sq = float(np.sum(eps * (1 - eps)))
+        gamma = 3.0 / mu
+        expected = ((1 - gamma) ** 2 * mu**2) / ((1 - gamma) ** 2 * mu**2 + sigma_sq)
+        assert paley_zygmund_lower_bound(eps) == pytest.approx(expected)
+
+    @given(bad_juries)
+    @settings(max_examples=80, deadline=None)
+    def test_never_exceeds_true_jer(self, eps):
+        """The Lemma 2 bound must be a genuine lower bound where applicable."""
+        bound = paley_zygmund_lower_bound(eps)
+        if bound is None:
+            return
+        assert bound <= jer_dp(eps) + 1e-12
+
+    @given(odd_juries)
+    @settings(max_examples=80, deadline=None)
+    def test_applicability_matches_gamma(self, eps):
+        bound = paley_zygmund_lower_bound(eps)
+        gamma = gamma_ratio(eps)
+        if 0.0 < gamma < 1.0:
+            assert bound is not None
+        else:
+            assert bound is None
+
+
+class TestUpperBounds:
+    @given(odd_juries)
+    @settings(max_examples=80, deadline=None)
+    def test_markov_dominates_jer(self, eps):
+        assert markov_upper_bound(eps) >= jer_dp(eps) - 1e-12
+
+    @given(odd_juries)
+    @settings(max_examples=80, deadline=None)
+    def test_cantelli_dominates_jer(self, eps):
+        assert cantelli_upper_bound(eps) >= jer_dp(eps) - 1e-12
+
+    @given(odd_juries)
+    @settings(max_examples=80, deadline=None)
+    def test_hoeffding_dominates_jer(self, eps):
+        assert hoeffding_upper_bound(eps) >= jer_dp(eps) - 1e-12
+
+    @given(odd_juries)
+    @settings(max_examples=80, deadline=None)
+    def test_chernoff_dominates_jer(self, eps):
+        assert chernoff_upper_bound(eps) >= jer_dp(eps) - 1e-12
+
+    def test_bounds_clipped_to_one(self):
+        eps = [0.9] * 9  # threshold far below the mean: vacuous regime
+        assert markov_upper_bound(eps) == 1.0
+        assert cantelli_upper_bound(eps) == 1.0
+        assert hoeffding_upper_bound(eps) == 1.0
+        assert chernoff_upper_bound(eps) == 1.0
+
+    def test_reliable_jury_tight_tail_bounds(self):
+        eps = [0.05] * 13
+        jer = jer_dp(eps)
+        # Chernoff should be within a few orders of magnitude of the tail.
+        assert jer <= chernoff_upper_bound(eps) <= 1e-3
+
+    def test_cantelli_tighter_than_markov_in_concentrated_regime(self):
+        eps = [0.1] * 13
+        assert cantelli_upper_bound(eps) <= markov_upper_bound(eps)

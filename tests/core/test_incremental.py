@@ -1,0 +1,129 @@
+"""Tests for the incrementally maintained jury."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.incremental import IncrementalJury
+from repro.core.jer import jer_dp
+from repro.core.juror import Juror
+from repro.core.poisson_binomial import pmf_dp
+from repro.errors import EvenJurySizeError, InvalidJuryError
+
+
+def jurors(eps_list):
+    return [Juror(e, juror_id=f"j{i}") for i, e in enumerate(eps_list)]
+
+
+class TestIncrementalJury:
+    def test_empty_start(self):
+        builder = IncrementalJury()
+        assert builder.size == 0
+        np.testing.assert_allclose(builder.pmf(), [1.0])
+
+    def test_add_and_jer_matches_batch(self):
+        builder = IncrementalJury(jurors([0.1, 0.2, 0.2]))
+        assert builder.jer() == pytest.approx(jer_dp([0.1, 0.2, 0.2]))
+
+    def test_duplicate_add_rejected(self):
+        builder = IncrementalJury()
+        builder.add(Juror(0.2, juror_id="x"))
+        with pytest.raises(InvalidJuryError):
+            builder.add(Juror(0.3, juror_id="x"))
+
+    def test_non_juror_rejected(self):
+        with pytest.raises(InvalidJuryError):
+            IncrementalJury().add(0.3)  # type: ignore[arg-type]
+
+    def test_remove_restores_pmf(self):
+        builder = IncrementalJury(jurors([0.1, 0.2, 0.3, 0.4, 0.5]))
+        removed = builder.remove("j2")
+        assert removed.error_rate == 0.3
+        expected = pmf_dp([0.1, 0.2, 0.4, 0.5])
+        np.testing.assert_allclose(builder.pmf(), expected, atol=1e-9)
+
+    def test_remove_unknown(self):
+        with pytest.raises(InvalidJuryError):
+            IncrementalJury().remove("ghost")
+
+    def test_even_size_jer_raises(self):
+        builder = IncrementalJury(jurors([0.1, 0.2]))
+        with pytest.raises(EvenJurySizeError):
+            builder.jer()
+
+    def test_swap(self):
+        builder = IncrementalJury(jurors([0.1, 0.2, 0.3]))
+        removed = builder.swap("j1", Juror(0.05, juror_id="new"))
+        assert removed.juror_id == "j1"
+        assert builder.jer() == pytest.approx(jer_dp([0.1, 0.05, 0.3]))
+
+    def test_swap_duplicate_incoming_restores_state(self):
+        builder = IncrementalJury(jurors([0.1, 0.2, 0.3]))
+        with pytest.raises(InvalidJuryError):
+            builder.swap("j0", Juror(0.5, juror_id="j1"))  # j1 already member
+        # The original member must be back.
+        assert "j0" in builder
+        assert builder.size == 3
+
+    def test_what_if_add_no_mutation(self):
+        builder = IncrementalJury(jurors([0.1, 0.2, 0.2]))
+        hypothetical = builder.what_if_add(
+            Juror(0.3, juror_id="d"), Juror(0.3, juror_id="e")
+        )
+        assert hypothetical == pytest.approx(jer_dp([0.1, 0.2, 0.2, 0.3, 0.3]))
+        assert builder.size == 3
+
+    def test_what_if_add_duplicate(self):
+        builder = IncrementalJury(jurors([0.1]))
+        with pytest.raises(InvalidJuryError):
+            builder.what_if_add(Juror(0.3, juror_id="j0"))
+
+    def test_what_if_add_even_target_raises(self):
+        builder = IncrementalJury(jurors([0.1]))
+        with pytest.raises(EvenJurySizeError):
+            builder.what_if_add(Juror(0.3, juror_id="x"))
+
+    def test_what_if_swap(self):
+        builder = IncrementalJury(jurors([0.1, 0.2, 0.3]))
+        hypothetical = builder.what_if_swap("j2", Juror(0.05, juror_id="x"))
+        assert hypothetical == pytest.approx(jer_dp([0.1, 0.2, 0.05]))
+        assert "j2" in builder  # untouched
+
+    def test_what_if_swap_unknown(self):
+        builder = IncrementalJury(jurors([0.1]))
+        with pytest.raises(InvalidJuryError):
+            builder.what_if_swap("nope", Juror(0.2, juror_id="x"))
+
+    def test_total_cost(self):
+        builder = IncrementalJury(
+            [Juror(0.1, 0.5, juror_id="a"), Juror(0.2, 0.25, juror_id="b")]
+        )
+        assert builder.total_cost == pytest.approx(0.75)
+
+    def test_freeze(self):
+        builder = IncrementalJury(jurors([0.1, 0.2, 0.3]))
+        jury = builder.freeze()
+        assert jury.size == 3
+        assert jury.juror_ids == ("j0", "j1", "j2")
+
+    @given(
+        st.lists(st.floats(min_value=0.02, max_value=0.98), min_size=1, max_size=15),
+        st.data(),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_random_edit_sequences_match_batch(self, eps, data):
+        """After any add/remove sequence, the pmf equals batch recomputation."""
+        builder = IncrementalJury()
+        live: dict[str, float] = {}
+        for i, e in enumerate(eps):
+            builder.add(Juror(e, juror_id=f"r{i}"))
+            live[f"r{i}"] = e
+            if len(live) > 1 and data.draw(st.booleans()):
+                victim = data.draw(st.sampled_from(sorted(live)))
+                builder.remove(victim)
+                del live[victim]
+        expected = pmf_dp(list(live.values()))
+        np.testing.assert_allclose(builder.pmf(), expected, atol=1e-8)

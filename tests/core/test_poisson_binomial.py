@@ -1,0 +1,192 @@
+"""Unit and property tests for the Poisson-Binomial distribution backends."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.poisson_binomial import (
+    FFT_CROSSOVER,
+    PoissonBinomial,
+    convolve_pmfs,
+    pmf_conv,
+    pmf_dp,
+    pmf_naive,
+    tail_probability,
+)
+
+probability_lists = st.lists(
+    st.floats(min_value=0.001, max_value=0.999), min_size=1, max_size=12
+)
+
+
+class TestPmfBackends:
+    def test_single_bernoulli(self):
+        for backend in (pmf_naive, pmf_dp, pmf_conv):
+            np.testing.assert_allclose(backend([0.3]), [0.7, 0.3], atol=1e-12)
+
+    def test_two_bernoullis(self):
+        expected = [0.7 * 0.4, 0.7 * 0.6 + 0.3 * 0.4, 0.3 * 0.6]
+        for backend in (pmf_naive, pmf_dp, pmf_conv):
+            np.testing.assert_allclose(backend([0.3, 0.6]), expected, atol=1e-12)
+
+    def test_binomial_special_case(self):
+        # Identical probabilities reduce to the Binomial distribution.
+        n, p = 10, 0.3
+        pmf = pmf_dp([p] * n)
+        expected = [math.comb(n, k) * p**k * (1 - p) ** (n - k) for k in range(n + 1)]
+        np.testing.assert_allclose(pmf, expected, atol=1e-12)
+
+    @given(probability_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_backends_agree(self, probs):
+        reference = pmf_naive(probs)
+        np.testing.assert_allclose(pmf_dp(probs), reference, atol=1e-10)
+        np.testing.assert_allclose(pmf_conv(probs), reference, atol=1e-10)
+
+    @given(probability_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_pmf_sums_to_one(self, probs):
+        assert pmf_dp(probs).sum() == pytest.approx(1.0, abs=1e-10)
+
+    @given(probability_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_pmf_nonnegative(self, probs):
+        assert np.all(pmf_conv(probs) >= 0.0)
+
+    def test_large_jury_dp_vs_conv(self):
+        rng = np.random.default_rng(3)
+        probs = rng.uniform(0.01, 0.99, size=501)
+        np.testing.assert_allclose(pmf_conv(probs), pmf_dp(probs), atol=1e-9)
+
+    def test_naive_refuses_large_input(self):
+        with pytest.raises(ValueError):
+            pmf_naive([0.5] * 21)
+
+    def test_empty_conv_is_point_mass(self):
+        np.testing.assert_allclose(pmf_conv([]), [1.0])
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            pmf_dp([0.5, 1.5])
+
+
+class TestConvolvePmfs:
+    def test_direct_path(self):
+        a, b = np.array([0.5, 0.5]), np.array([0.25, 0.75])
+        np.testing.assert_allclose(convolve_pmfs(a, b), np.convolve(a, b))
+
+    def test_fft_path_matches_direct(self):
+        rng = np.random.default_rng(11)
+        a = rng.dirichlet(np.ones(FFT_CROSSOVER + 10))
+        b = rng.dirichlet(np.ones(FFT_CROSSOVER + 20))
+        np.testing.assert_allclose(convolve_pmfs(a, b), np.convolve(a, b), atol=1e-12)
+
+    def test_fft_output_clipped_nonnegative(self):
+        rng = np.random.default_rng(13)
+        a = rng.dirichlet(np.ones(FFT_CROSSOVER * 2))
+        out = convolve_pmfs(a, a)
+        assert np.all(out >= 0.0)
+
+
+class TestTailProbability:
+    def test_zero_threshold_is_one(self):
+        assert tail_probability(np.array([0.5, 0.5]), 0) == 1.0
+
+    def test_above_support_is_zero(self):
+        assert tail_probability(np.array([0.5, 0.5]), 2) == 0.0
+
+    def test_middle(self):
+        pmf = np.array([0.1, 0.2, 0.3, 0.4])
+        assert tail_probability(pmf, 2) == pytest.approx(0.7)
+
+    def test_negative_threshold(self):
+        assert tail_probability(np.array([1.0]), -3) == 1.0
+
+
+class TestPoissonBinomial:
+    def test_paper_example_tail(self):
+        # Pr(C >= 2) for the {C, D, E} jury of the motivating example.
+        pb = PoissonBinomial([0.2, 0.3, 0.3])
+        assert pb.sf(2) == pytest.approx(0.174, abs=1e-12)
+
+    def test_moments(self):
+        pb = PoissonBinomial([0.2, 0.3, 0.5])
+        assert pb.mean == pytest.approx(1.0)
+        assert pb.variance == pytest.approx(0.2 * 0.8 + 0.3 * 0.7 + 0.5 * 0.5)
+        assert pb.std == pytest.approx(math.sqrt(pb.variance))
+
+    def test_pmf_vector_readonly(self):
+        pb = PoissonBinomial([0.2, 0.3, 0.5])
+        with pytest.raises(ValueError):
+            pb.pmf()[0] = 1.0
+
+    def test_pmf_point_queries(self):
+        pb = PoissonBinomial([0.5])
+        assert pb.pmf(0) == pytest.approx(0.5)
+        assert pb.pmf(1) == pytest.approx(0.5)
+        assert pb.pmf(-1) == 0.0
+        assert pb.pmf(2) == 0.0
+
+    def test_cdf_sf_complement(self):
+        pb = PoissonBinomial([0.1, 0.4, 0.7, 0.2, 0.9])
+        for k in range(-1, 7):
+            assert pb.cdf(k) + pb.sf(k + 1) == pytest.approx(1.0, abs=1e-12)
+
+    def test_cdf_monotone(self):
+        pb = PoissonBinomial([0.3, 0.6, 0.2])
+        values = [pb.cdf(k) for k in range(-1, 5)]
+        assert values == sorted(values)
+
+    def test_quantile(self):
+        pb = PoissonBinomial([0.5] * 9)
+        assert pb.quantile(0.0) == 0
+        assert pb.quantile(0.5) == 4
+        assert pb.quantile(1.0) == 9
+
+    def test_quantile_rejects_out_of_range(self):
+        pb = PoissonBinomial([0.5])
+        with pytest.raises(ValueError):
+            pb.quantile(1.5)
+
+    def test_method_selection(self):
+        probs = [0.2, 0.5, 0.8]
+        for method in ("auto", "dp", "conv", "naive"):
+            pb = PoissonBinomial(probs, method=method)
+            assert pb.sf(2) == pytest.approx(
+                0.2 * 0.5 + 0.2 * 0.8 + 0.5 * 0.8 - 2 * 0.2 * 0.5 * 0.8, abs=1e-10
+            )
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            PoissonBinomial([0.5], method="magic")
+
+    def test_sample_mean_close_to_analytic(self, rng):
+        pb = PoissonBinomial([0.2, 0.5, 0.8, 0.3])
+        draws = pb.sample(20_000, rng=rng)
+        assert draws.mean() == pytest.approx(pb.mean, abs=0.05)
+        assert draws.min() >= 0 and draws.max() <= 4
+
+    def test_sample_without_rng(self):
+        pb = PoissonBinomial([0.5, 0.5, 0.5])
+        draws = pb.sample(10)
+        assert draws.shape == (10,)
+
+    def test_normal_approximation_close_for_large_n(self):
+        rng = np.random.default_rng(5)
+        probs = rng.uniform(0.2, 0.8, size=400)
+        pb = PoissonBinomial(probs)
+        k = int(pb.mean + pb.std)
+        assert pb.normal_approximation(k) == pytest.approx(pb.sf(k), abs=0.01)
+
+    @given(probability_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_mean_variance_formulas(self, probs):
+        pb = PoissonBinomial(probs)
+        arr = np.asarray(probs)
+        assert pb.mean == pytest.approx(arr.sum())
+        assert pb.variance == pytest.approx(np.sum(arr * (1 - arr)))

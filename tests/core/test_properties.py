@@ -1,0 +1,206 @@
+"""Deep cross-module property tests (hypothesis).
+
+Each test here states an invariant that couples two or more subsystems —
+the kind of contract a downstream user implicitly relies on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import paley_zygmund_lower_bound
+from repro.core.incremental import IncrementalJury
+from repro.core.jer import PrefixJERSweeper, jer_dp
+from repro.core.juror import Juror
+from repro.core.poisson_binomial import PoissonBinomial, pmf_dp
+from repro.core.selection.altr import select_jury_altr
+from repro.core.selection.exact import branch_and_bound_optimal
+from repro.core.selection.lagrangian import select_jury_lagrangian
+from repro.core.selection.pay import select_jury_pay
+from repro.core.sensitivity import jer_gradient
+from repro.core.weighted import (
+    WeightedMajorityVoting,
+    weighted_jury_error_rate,
+)
+from repro.core.voting import MajorityVoting, Voting
+from repro.errors import InfeasibleSelectionError
+
+eps_values = st.floats(min_value=0.02, max_value=0.98)
+odd_juries = st.lists(eps_values, min_size=1, max_size=11).filter(
+    lambda xs: len(xs) % 2 == 1
+)
+paym_instances = st.lists(
+    st.tuples(eps_values, st.floats(min_value=0.0, max_value=1.0)),
+    min_size=1,
+    max_size=8,
+)
+
+
+class TestDistributionSemigroup:
+    @given(
+        st.lists(eps_values, min_size=1, max_size=8),
+        st.lists(eps_values, min_size=1, max_size=8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_pmf_of_union_is_convolution(self, left, right):
+        """PB(a + b) == PB(a) (*) PB(b): the convolution semigroup law."""
+        joint = pmf_dp(left + right)
+        convolved = np.convolve(pmf_dp(left), pmf_dp(right))
+        np.testing.assert_allclose(joint, convolved, atol=1e-10)
+
+    @given(st.lists(eps_values, min_size=1, max_size=12))
+    @settings(max_examples=60, deadline=None)
+    def test_complement_symmetry(self, eps):
+        """Flipping every eps to 1-eps mirrors the pmf: Pr(C=k) -> Pr(C=n-k)."""
+        pmf = pmf_dp(eps)
+        mirrored = pmf_dp([1.0 - e for e in eps])
+        np.testing.assert_allclose(pmf, mirrored[::-1], atol=1e-10)
+
+    @given(odd_juries)
+    @settings(max_examples=60, deadline=None)
+    def test_jer_complement_duality(self, eps):
+        """JER of the complement crowd equals 1 - JER of the original.
+
+        With all error rates flipped, 'more than half wrong' becomes 'at
+        least half right'; on odd sizes the two events are exact complements.
+        """
+        original = jer_dp(eps)
+        flipped = jer_dp([1.0 - e for e in eps])
+        assert original + flipped == pytest.approx(1.0, abs=1e-10)
+
+
+class TestSelectionConsistency:
+    @given(st.lists(eps_values, min_size=1, max_size=10))
+    @settings(max_examples=40, deadline=None)
+    def test_altr_equals_unbudgeted_exact(self, eps):
+        cands = [Juror(e, juror_id=f"c{i}") for i, e in enumerate(eps)]
+        altr = select_jury_altr(cands)
+        exact = branch_and_bound_optimal(cands)
+        assert altr.jer == pytest.approx(exact.jer, abs=1e-10)
+
+    @given(paym_instances, st.floats(min_value=0.1, max_value=2.5))
+    @settings(max_examples=40, deadline=None)
+    def test_selector_hierarchy(self, pairs, budget):
+        """OPT <= Lagrangian and OPT <= PayALG on every feasible instance."""
+        cands = [Juror(e, r, juror_id=f"c{i}") for i, (e, r) in enumerate(pairs)]
+        try:
+            exact = branch_and_bound_optimal(cands, budget=budget)
+            greedy = select_jury_pay(cands, budget=budget)
+            lagrangian = select_jury_lagrangian(cands, budget=budget)
+        except InfeasibleSelectionError:
+            return
+        assert exact.jer <= greedy.jer + 1e-10
+        assert exact.jer <= lagrangian.jer + 1e-10
+
+    @given(st.lists(eps_values, min_size=1, max_size=12))
+    @settings(max_examples=40, deadline=None)
+    def test_altr_jer_never_above_best_individual(self, eps):
+        cands = [Juror(e, juror_id=f"c{i}") for i, e in enumerate(eps)]
+        result = select_jury_altr(cands)
+        assert result.jer <= min(eps) + 1e-12
+
+    @given(paym_instances, st.floats(min_value=0.1, max_value=1.5),
+           st.floats(min_value=0.1, max_value=1.5))
+    @settings(max_examples=40, deadline=None)
+    def test_exact_optimum_monotone_in_budget(self, pairs, b1, b2):
+        cands = [Juror(e, r, juror_id=f"c{i}") for i, (e, r) in enumerate(pairs)]
+        low, high = min(b1, b2), max(b1, b2)
+        try:
+            at_low = branch_and_bound_optimal(cands, budget=low)
+        except InfeasibleSelectionError:
+            return
+        at_high = branch_and_bound_optimal(cands, budget=high)
+        assert at_high.jer <= at_low.jer + 1e-12
+
+
+class TestGradientConsistency:
+    @given(odd_juries)
+    @settings(max_examples=40, deadline=None)
+    def test_gradient_reconstructs_jer_via_euler_like_identity(self, eps):
+        """JER = eps_i * g_i + tail(J\\i) for EVERY i simultaneously."""
+        jer = jer_dp(eps)
+        gradient = jer_gradient(eps)
+        threshold = (len(eps) + 1) // 2
+        from repro.core.poisson_binomial import tail_probability
+
+        for i in range(len(eps)):
+            rest = pmf_dp(eps[:i] + eps[i + 1:])
+            assert eps[i] * gradient[i] + tail_probability(
+                rest, threshold
+            ) == pytest.approx(jer, abs=1e-9)
+
+    @given(odd_juries)
+    @settings(max_examples=40, deadline=None)
+    def test_gradient_bounded_by_one(self, eps):
+        gradient = jer_gradient(eps)
+        assert np.all(gradient <= 1.0 + 1e-12)
+
+
+class TestWeightedInvariances:
+    @given(odd_juries, st.floats(min_value=0.1, max_value=10.0))
+    @settings(max_examples=40, deadline=None)
+    def test_wmv_invariant_under_positive_scaling(self, eps, scale):
+        """Scaling all weights by a positive constant changes nothing."""
+        rng = np.random.default_rng(0)
+        weights = rng.uniform(0.2, 2.0, size=len(eps))
+        votes = rng.integers(0, 2, size=(20, len(eps)))
+        base = WeightedMajorityVoting(weights).decide_batch(votes)
+        scaled = WeightedMajorityVoting(weights * scale).decide_batch(votes)
+        np.testing.assert_array_equal(base, scaled)
+
+    @given(odd_juries)
+    @settings(max_examples=30, deadline=None)
+    def test_uniform_weighted_jer_equals_majority_jer(self, eps):
+        uniform = weighted_jury_error_rate(eps, weights=[1.0] * len(eps))
+        assert uniform == pytest.approx(jer_dp(eps), abs=1e-10)
+
+
+class TestIncrementalConsistency:
+    @given(st.lists(eps_values, min_size=1, max_size=12))
+    @settings(max_examples=40, deadline=None)
+    def test_incremental_prefixes_match_sweeper(self, eps):
+        builder = IncrementalJury()
+        sweeper_values = dict(PrefixJERSweeper(eps))
+        for i, e in enumerate(eps):
+            builder.add(Juror(e, juror_id=f"p{i}"))
+            if builder.size % 2 == 1:
+                assert builder.jer() == pytest.approx(
+                    sweeper_values[builder.size], abs=1e-9
+                )
+
+
+class TestVotingSchemeCoupling:
+    @given(odd_juries, st.integers(min_value=0, max_value=1))
+    @settings(max_examples=40, deadline=None)
+    def test_majority_error_iff_carelessness_majority(self, eps, truth):
+        """decide() disagrees with the truth exactly when C >= (n+1)/2."""
+        rng = np.random.default_rng(17)
+        n = len(eps)
+        wrong = rng.random(n) < np.asarray(eps)
+        votes = np.where(wrong, 1 - truth, truth).tolist()
+        decision = MajorityVoting().decide(Voting(votes))
+        carelessness = int(wrong.sum())
+        assert (decision != truth) == (carelessness >= (n + 1) // 2)
+
+
+class TestBoundSelectionCoupling:
+    @given(st.lists(st.floats(min_value=0.55, max_value=0.98),
+                    min_size=3, max_size=11).filter(lambda xs: len(xs) % 2 == 1))
+    @settings(max_examples=40, deadline=None)
+    def test_pruning_with_bound_is_safe_for_selection(self, eps):
+        """AltrALG with pruning returns the same jury as without on
+        error-prone populations (where the bound actually fires)."""
+        cands = [Juror(e, juror_id=f"c{i}") for i, e in enumerate(eps)]
+        plain = select_jury_altr(cands, strategy="per-jury", use_bound=False)
+        pruned = select_jury_altr(cands, strategy="per-jury", use_bound=True)
+        assert pruned.jer == pytest.approx(plain.jer, abs=1e-12)
+
+    @given(odd_juries)
+    @settings(max_examples=40, deadline=None)
+    def test_bound_is_sound_certificate(self, eps):
+        bound = paley_zygmund_lower_bound(eps)
+        if bound is not None:
+            assert bound <= jer_dp(eps) + 1e-12

@@ -1,0 +1,155 @@
+"""Tests for AltrALG (paper Algorithm 3)."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.jer import jer_dp
+from repro.core.juror import Juror, jurors_from_arrays
+from repro.core.selection.altr import altr_sweep_profile, select_jury_altr
+from repro.errors import EmptyCandidateSetError
+
+error_rate_lists = st.lists(
+    st.floats(min_value=0.01, max_value=0.99), min_size=1, max_size=11
+)
+
+
+def brute_force_altr_best(error_rates):
+    """Best jury over ALL odd subsets (not just prefixes) — the true optimum."""
+    best = None
+    indices = range(len(error_rates))
+    for k in range(1, len(error_rates) + 1, 2):
+        for combo in itertools.combinations(indices, k):
+            jer = jer_dp([error_rates[i] for i in combo])
+            if best is None or jer < best - 1e-15:
+                best = jer
+    return best
+
+
+class TestSelectJuryAltr:
+    def test_paper_example(self, table2_jurors):
+        result = select_jury_altr(table2_jurors)
+        assert sorted(result.juror_ids) == ["A", "B", "C", "D", "E"]
+        assert result.jer == pytest.approx(0.07036)
+        assert result.model == "AltrM"
+        assert result.budget is None
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(EmptyCandidateSetError):
+            select_jury_altr([])
+
+    def test_single_candidate(self):
+        result = select_jury_altr([Juror(0.42, juror_id="only")])
+        assert result.size == 1
+        assert result.jer == pytest.approx(0.42)
+
+    def test_strategies_agree(self, table2_jurors):
+        sweep = select_jury_altr(table2_jurors, strategy="sweep")
+        per_jury_dp = select_jury_altr(
+            table2_jurors, strategy="per-jury", jer_method="dp"
+        )
+        per_jury_cba = select_jury_altr(
+            table2_jurors, strategy="per-jury", jer_method="cba"
+        )
+        assert sweep.jer == pytest.approx(per_jury_dp.jer, abs=1e-12)
+        assert sweep.jer == pytest.approx(per_jury_cba.jer, abs=1e-12)
+        assert sweep.jury == per_jury_dp.jury == per_jury_cba.jury
+
+    def test_unknown_strategy_rejected(self, table2_jurors):
+        with pytest.raises(ValueError):
+            select_jury_altr(table2_jurors, strategy="psychic")
+
+    def test_unknown_jer_method_rejected(self, table2_jurors):
+        with pytest.raises(ValueError):
+            select_jury_altr(table2_jurors, strategy="per-jury", jer_method="abacus")
+
+    def test_bound_pruning_does_not_change_result(self):
+        rng = np.random.default_rng(17)
+        for _ in range(5):
+            eps = rng.uniform(0.3, 0.95, size=31)
+            cands = jurors_from_arrays(eps)
+            plain = select_jury_altr(cands, strategy="per-jury", use_bound=False)
+            pruned = select_jury_altr(cands, strategy="per-jury", use_bound=True)
+            assert pruned.jer == pytest.approx(plain.jer, abs=1e-12)
+            assert pruned.size == plain.size
+
+    def test_bound_pruning_records_stats(self):
+        # Error-prone crowd: gamma < 1 for larger prefixes, so pruning fires.
+        eps = [0.85] * 41
+        result = select_jury_altr(
+            jurors_from_arrays(eps), strategy="per-jury", use_bound=True
+        )
+        assert result.stats.bound_checks > 0
+        assert result.stats.pruned_by_bound > 0
+        assert result.stats.jer_evaluations < result.stats.juries_considered
+
+    def test_max_size_cap(self, table2_jurors):
+        result = select_jury_altr(table2_jurors, max_size=3)
+        assert result.size <= 3
+        assert result.jer == pytest.approx(0.072)
+
+    def test_requirements_ignored_under_altrm(self):
+        # Identical error rates but wildly different prices: AltrM must ignore r.
+        cheap = jurors_from_arrays([0.1, 0.2, 0.3], [0, 0, 0], id_prefix="c")
+        pricey = jurors_from_arrays([0.1, 0.2, 0.3], [9, 9, 9], id_prefix="p")
+        assert select_jury_altr(cheap).jer == pytest.approx(
+            select_jury_altr(pricey).jer
+        )
+
+    @given(error_rate_lists)
+    @settings(max_examples=50, deadline=None)
+    def test_selected_jury_is_sorted_prefix(self, eps):
+        """Lemma 3: the optimum is always a prefix of the sorted candidates."""
+        cands = jurors_from_arrays(eps)
+        result = select_jury_altr(cands)
+        chosen = sorted(j.error_rate for j in result.jury)
+        expected_prefix = sorted(eps)[: result.size]
+        np.testing.assert_allclose(chosen, expected_prefix, atol=1e-12)
+
+    @given(error_rate_lists)
+    @settings(max_examples=30, deadline=None)
+    def test_matches_global_brute_force(self, eps):
+        """AltrALG (prefix search) equals the optimum over all odd subsets."""
+        result = select_jury_altr(jurors_from_arrays(eps))
+        assert result.jer == pytest.approx(brute_force_altr_best(eps), abs=1e-10)
+
+    @given(error_rate_lists)
+    @settings(max_examples=50, deadline=None)
+    def test_odd_size_invariant(self, eps):
+        assert select_jury_altr(jurors_from_arrays(eps)).size % 2 == 1
+
+    def test_beats_best_individual(self):
+        eps = [0.2, 0.2, 0.25, 0.3, 0.35]
+        result = select_jury_altr(jurors_from_arrays(eps))
+        assert result.jer <= min(eps)
+
+    def test_stats_elapsed_recorded(self, table2_jurors):
+        result = select_jury_altr(table2_jurors)
+        assert result.stats.elapsed_seconds >= 0.0
+        assert result.stats.jer_evaluations == 4  # odd prefixes of 7 candidates
+
+    def test_summary_format(self, table2_jurors):
+        text = select_jury_altr(table2_jurors).summary()
+        assert "AltrALG" in text and "AltrM" in text and "size=5" in text
+
+
+class TestAltrSweepProfile:
+    def test_profile_matches_paper_table2(self, table2_jurors):
+        profile = dict(altr_sweep_profile(table2_jurors))
+        assert profile[1] == pytest.approx(0.1)
+        assert profile[3] == pytest.approx(0.072)
+        assert profile[5] == pytest.approx(0.07036)
+        assert profile[7] == pytest.approx(0.085248, abs=1e-6)
+
+    def test_profile_empty_raises(self):
+        with pytest.raises(EmptyCandidateSetError):
+            altr_sweep_profile([])
+
+    def test_profile_length(self):
+        cands = jurors_from_arrays([0.2] * 10)
+        assert len(altr_sweep_profile(cands)) == 5

@@ -1,0 +1,159 @@
+"""Tests for the exact JSP solvers (enumeration and branch-and-bound)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.juror import Juror, jurors_from_arrays
+from repro.core.selection.altr import select_jury_altr
+from repro.core.selection.exact import (
+    branch_and_bound_optimal,
+    enumerate_optimal,
+    select_jury_optimal,
+)
+from repro.errors import EmptyCandidateSetError, InfeasibleSelectionError
+
+paym_instances = st.lists(
+    st.tuples(
+        st.floats(min_value=0.05, max_value=0.95),
+        st.floats(min_value=0.0, max_value=1.0),
+    ),
+    min_size=1,
+    max_size=8,
+)
+
+
+def make_candidates(pairs):
+    return [Juror(eps, req, juror_id=f"c{i}") for i, (eps, req) in enumerate(pairs)]
+
+
+class TestEnumerateOptimal:
+    def test_paper_motivating_example(self, table2_jurors):
+        result = enumerate_optimal(table2_jurors, budget=1.0)
+        assert sorted(result.juror_ids) == ["A", "B", "C"]
+        assert result.jer == pytest.approx(0.072)
+
+    def test_unconstrained_matches_altr(self, table2_jurors):
+        result = enumerate_optimal(table2_jurors)
+        altr = select_jury_altr(table2_jurors)
+        assert result.jer == pytest.approx(altr.jer, abs=1e-12)
+        assert result.model == "AltrM"
+
+    def test_empty_rejected(self):
+        with pytest.raises(EmptyCandidateSetError):
+            enumerate_optimal([])
+
+    def test_size_guard(self):
+        cands = jurors_from_arrays([0.3] * 21)
+        with pytest.raises(ValueError):
+            enumerate_optimal(cands)
+
+    def test_infeasible(self):
+        cands = jurors_from_arrays([0.2, 0.3], [2.0, 3.0])
+        with pytest.raises(InfeasibleSelectionError):
+            enumerate_optimal(cands, budget=1.0)
+
+    def test_max_size_cap(self, table2_jurors):
+        result = enumerate_optimal(table2_jurors, max_size=3)
+        assert result.size <= 3
+        assert result.jer == pytest.approx(0.072)
+
+    def test_tie_breaks_toward_smaller_jury(self):
+        # Both {a} and {a, b, c} with eps 0.5 have JER exactly 0.5.
+        cands = jurors_from_arrays([0.5, 0.5, 0.5])
+        result = enumerate_optimal(cands)
+        assert result.size == 1
+
+    def test_budget_zero_picks_best_free_juror(self):
+        cands = [
+            Juror(0.4, 0.0, juror_id="free-ok"),
+            Juror(0.2, 0.0, juror_id="free-good"),
+            Juror(0.05, 1.0, juror_id="paid-great"),
+        ]
+        result = enumerate_optimal(cands, budget=0.0)
+        assert result.juror_ids == ("free-good",)
+
+
+class TestBranchAndBound:
+    def test_paper_motivating_example(self, table2_jurors):
+        result = branch_and_bound_optimal(table2_jurors, budget=1.0)
+        assert sorted(result.juror_ids) == ["A", "B", "C"]
+        assert result.jer == pytest.approx(0.072)
+
+    @given(paym_instances, st.floats(min_value=0.1, max_value=3.0))
+    @settings(max_examples=60, deadline=None)
+    def test_agrees_with_enumeration(self, pairs, budget):
+        cands = make_candidates(pairs)
+        try:
+            enum = enumerate_optimal(cands, budget=budget)
+        except InfeasibleSelectionError:
+            with pytest.raises(InfeasibleSelectionError):
+                branch_and_bound_optimal(cands, budget=budget)
+            return
+        bb = branch_and_bound_optimal(cands, budget=budget)
+        assert bb.jer == pytest.approx(enum.jer, abs=1e-10)
+        assert bb.total_cost <= budget + 1e-9
+
+    @given(paym_instances)
+    @settings(max_examples=40, deadline=None)
+    def test_unconstrained_agrees_with_altr(self, pairs):
+        cands = make_candidates(pairs)
+        bb = branch_and_bound_optimal(cands)
+        altr = select_jury_altr(cands)
+        assert bb.jer == pytest.approx(altr.jer, abs=1e-10)
+
+    def test_bound_pruning_reduces_nodes(self):
+        rng = np.random.default_rng(41)
+        eps = rng.uniform(0.1, 0.6, size=14)
+        reqs = rng.uniform(0.0, 0.5, size=14)
+        cands = jurors_from_arrays(eps, reqs)
+        with_bound = branch_and_bound_optimal(cands, budget=1.5, use_jer_bound=True)
+        without = branch_and_bound_optimal(cands, budget=1.5, use_jer_bound=False)
+        assert with_bound.jer == pytest.approx(without.jer, abs=1e-12)
+        assert with_bound.stats.nodes_visited <= without.stats.nodes_visited
+
+    def test_handles_paper_scale_n22(self):
+        """The paper's ground-truth setting: N=22, eps~N(0.2,.05), r~N(0.05,.2)."""
+        rng = np.random.default_rng(2012)
+        eps = np.clip(rng.normal(0.2, np.sqrt(0.05), size=22), 0.01, 0.99)
+        reqs = np.clip(rng.normal(0.05, np.sqrt(0.2), size=22), 0.0, None)
+        cands = jurors_from_arrays(eps, reqs)
+        result = branch_and_bound_optimal(cands, budget=1.0)
+        assert result.size % 2 == 1
+        assert result.total_cost <= 1.0 + 1e-9
+
+    def test_infeasible(self):
+        cands = jurors_from_arrays([0.2, 0.3], [2.0, 3.0])
+        with pytest.raises(InfeasibleSelectionError):
+            branch_and_bound_optimal(cands, budget=1.0)
+
+    def test_stats_record_search_effort(self, table2_jurors):
+        result = branch_and_bound_optimal(table2_jurors, budget=1.0)
+        assert result.stats.nodes_visited > 0
+
+
+class TestSelectJuryOptimalDispatcher:
+    def test_auto_small_uses_enumeration(self, table2_jurors):
+        result = select_jury_optimal(table2_jurors, budget=1.0)
+        assert result.algorithm == "OPT-enumerate"
+
+    def test_auto_large_uses_branch_and_bound(self):
+        cands = jurors_from_arrays([0.3] * 16, [0.1] * 16)
+        result = select_jury_optimal(cands, budget=1.0)
+        assert result.algorithm == "OPT-branch-and-bound"
+
+    def test_explicit_methods_agree(self, table2_jurors):
+        enum = select_jury_optimal(table2_jurors, budget=1.0, method="enumerate")
+        bb = select_jury_optimal(table2_jurors, budget=1.0, method="branch-and-bound")
+        assert enum.jer == pytest.approx(bb.jer, abs=1e-12)
+
+    def test_unknown_method(self, table2_jurors):
+        with pytest.raises(ValueError):
+            select_jury_optimal(table2_jurors, method="clairvoyant")
+
+    def test_max_size_forwarded(self, table2_jurors):
+        result = select_jury_optimal(table2_jurors, budget=5.0, max_size=1)
+        assert result.size == 1

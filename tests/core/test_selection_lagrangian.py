@@ -1,0 +1,98 @@
+"""Tests for the Lagrangian-relaxation PayM heuristic."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.juror import Juror, jurors_from_arrays
+from repro.core.selection.exact import enumerate_optimal
+from repro.core.selection.lagrangian import select_jury_lagrangian
+from repro.core.selection.pay import select_jury_pay
+from repro.errors import EmptyCandidateSetError, InfeasibleSelectionError
+
+paym_instances = st.lists(
+    st.tuples(
+        st.floats(min_value=0.05, max_value=0.95),
+        st.floats(min_value=0.0, max_value=1.0),
+    ),
+    min_size=1,
+    max_size=9,
+)
+
+
+def make_candidates(pairs):
+    return [Juror(e, r, juror_id=f"c{i}") for i, (e, r) in enumerate(pairs)]
+
+
+class TestSelectJuryLagrangian:
+    def test_motivating_example(self, table2_jurors):
+        result = select_jury_lagrangian(table2_jurors, budget=1.0)
+        assert result.total_cost <= 1.0 + 1e-9
+        # {A,B,C} at JER 0.072 is the known optimum here.
+        assert result.jer == pytest.approx(0.072, abs=1e-9)
+
+    def test_generous_budget_recovers_altr_optimum(self, table2_jurors):
+        # lambda = 0 endpoint scores by error rate alone, which with an ample
+        # budget reproduces AltrALG's sorted-prefix search exactly.
+        result = select_jury_lagrangian(table2_jurors, budget=100.0)
+        assert sorted(result.juror_ids) == ["A", "B", "C", "D", "E"]
+        assert result.jer == pytest.approx(0.07036)
+
+    def test_empty_rejected(self):
+        with pytest.raises(EmptyCandidateSetError):
+            select_jury_lagrangian([], budget=1.0)
+
+    def test_infeasible(self):
+        cands = jurors_from_arrays([0.1, 0.2], [5.0, 6.0])
+        with pytest.raises(InfeasibleSelectionError):
+            select_jury_lagrangian(cands, budget=1.0)
+
+    def test_invalid_multipliers(self, table2_jurors):
+        with pytest.raises(ValueError):
+            select_jury_lagrangian(table2_jurors, budget=1.0, multipliers=[])
+        with pytest.raises(ValueError):
+            select_jury_lagrangian(table2_jurors, budget=1.0, multipliers=[-1.0])
+
+    def test_metadata(self, table2_jurors):
+        result = select_jury_lagrangian(table2_jurors, budget=1.0)
+        assert result.algorithm == "Lagrangian"
+        assert result.model == "PayM"
+
+    @given(paym_instances, st.floats(min_value=0.1, max_value=3.0))
+    @settings(max_examples=60, deadline=None)
+    def test_feasibility_invariants(self, pairs, budget):
+        cands = make_candidates(pairs)
+        try:
+            result = select_jury_lagrangian(cands, budget=budget)
+        except InfeasibleSelectionError:
+            assert all(j.requirement > budget for j in cands)
+            return
+        assert result.size % 2 == 1
+        assert result.total_cost <= budget + 1e-9
+
+    @given(paym_instances, st.floats(min_value=0.1, max_value=3.0))
+    @settings(max_examples=40, deadline=None)
+    def test_never_beats_exact_optimum(self, pairs, budget):
+        cands = make_candidates(pairs)
+        try:
+            result = select_jury_lagrangian(cands, budget=budget)
+        except InfeasibleSelectionError:
+            return
+        optimal = enumerate_optimal(cands, budget=budget)
+        assert result.jer >= optimal.jer - 1e-10
+
+    def test_can_beat_first_fit_greedy(self):
+        """The instance where PayALG's pair-lock hurts: the multiplier sweep
+        escapes it by trying the pure-reliability ordering."""
+        cands = [
+            Juror(0.30, 0.10, juror_id="seed"),
+            Juror(0.45, 0.01, juror_id="noisy1"),
+            Juror(0.45, 0.01, juror_id="noisy2"),
+            Juror(0.05, 0.45, juror_id="sharp1"),
+            Juror(0.05, 0.45, juror_id="sharp2"),
+        ]
+        lagr = select_jury_lagrangian(cands, budget=1.0)
+        greedy = select_jury_pay(cands, budget=1.0)
+        assert lagr.jer < greedy.jer

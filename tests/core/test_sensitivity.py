@@ -1,0 +1,130 @@
+"""Tests for JER sensitivity analysis (gradients, pivot probabilities)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.jer import jer_dp
+from repro.core.juror import Jury
+from repro.core.poisson_binomial import pmf_dp
+from repro.core.sensitivity import (
+    jer_gradient,
+    juror_influence_report,
+    leave_one_out_pmf,
+    pivotal_probabilities,
+)
+
+odd_juries = st.lists(
+    st.floats(min_value=0.02, max_value=0.98), min_size=1, max_size=11
+).filter(lambda xs: len(xs) % 2 == 1)
+
+
+class TestLeaveOneOutPmf:
+    @given(st.lists(st.floats(min_value=0.02, max_value=0.98), min_size=2, max_size=12),
+           st.integers(min_value=0, max_value=11))
+    @settings(max_examples=80, deadline=None)
+    def test_matches_direct_recomputation(self, eps, raw_index):
+        index = raw_index % len(eps)
+        full = pmf_dp(eps)
+        rest_direct = pmf_dp(eps[:index] + eps[index + 1:])
+        rest_deconv = leave_one_out_pmf(full, eps[index])
+        np.testing.assert_allclose(rest_deconv, rest_direct, atol=1e-8)
+
+    def test_small_epsilon_forward_path(self):
+        eps = [0.05, 0.3, 0.7]
+        full = pmf_dp(eps)
+        np.testing.assert_allclose(
+            leave_one_out_pmf(full, 0.05), pmf_dp([0.3, 0.7]), atol=1e-12
+        )
+
+    def test_large_epsilon_backward_path(self):
+        eps = [0.95, 0.3, 0.7]
+        full = pmf_dp(eps)
+        np.testing.assert_allclose(
+            leave_one_out_pmf(full, 0.95), pmf_dp([0.3, 0.7]), atol=1e-12
+        )
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            leave_one_out_pmf(np.array([0.5, 0.5]), 0.0)
+
+    def test_result_sums_to_one(self):
+        eps = [0.2, 0.4, 0.6, 0.8, 0.5]
+        full = pmf_dp(eps)
+        for e in eps:
+            assert leave_one_out_pmf(full, e).sum() == pytest.approx(1.0, abs=1e-9)
+
+
+class TestJERGradient:
+    @given(odd_juries, st.integers(min_value=0, max_value=10))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_finite_differences(self, eps, raw_index):
+        index = raw_index % len(eps)
+        if not 0.05 < eps[index] < 0.95:
+            return
+        gradient = jer_gradient(eps)
+        h = 1e-6
+        bumped_up = list(eps)
+        bumped_up[index] += h
+        bumped_down = list(eps)
+        bumped_down[index] -= h
+        numeric = (jer_dp(bumped_up) - jer_dp(bumped_down)) / (2 * h)
+        assert gradient[index] == pytest.approx(numeric, abs=1e-4)
+
+    @given(odd_juries)
+    @settings(max_examples=60, deadline=None)
+    def test_gradient_nonnegative(self, eps):
+        """Lemma 3: JER is monotone increasing in every eps_i."""
+        assert np.all(jer_gradient(eps) >= -1e-12)
+
+    def test_single_juror_gradient_is_one(self):
+        # JER = eps for n=1, so dJER/deps = 1.
+        assert jer_gradient([0.3])[0] == pytest.approx(1.0)
+
+    def test_decomposition_reconstructs_jer(self):
+        """JER = eps_i * pivot_i + tail(J w/o i) for every i (Lemma 3)."""
+        eps = [0.1, 0.25, 0.4, 0.3, 0.2]
+        jer = jer_dp(eps)
+        pivots = pivotal_probabilities(eps)
+        from repro.core.poisson_binomial import tail_probability
+
+        for i in range(len(eps)):
+            rest = pmf_dp(eps[:i] + eps[i + 1:])
+            reconstruction = eps[i] * pivots[i] + tail_probability(rest, 3)
+            assert reconstruction == pytest.approx(jer, abs=1e-10)
+
+    def test_accepts_jury_object(self):
+        jury = Jury.from_error_rates([0.2, 0.3, 0.4])
+        assert jer_gradient(jury).shape == (3,)
+
+
+class TestInfluenceReport:
+    def test_sorted_by_pivotal_probability(self):
+        report = juror_influence_report([0.1, 0.2, 0.3, 0.4, 0.45])
+        pivots = [r.pivotal_probability for r in report]
+        assert pivots == sorted(pivots, reverse=True)
+
+    def test_ids_preserved_from_jury(self):
+        jury = Jury.from_error_rates([0.1, 0.3, 0.4], id_prefix="u")
+        report = juror_influence_report(jury)
+        assert {r.juror_id for r in report} == {"u1", "u2", "u3"}
+
+    def test_contribution_formula(self):
+        report = juror_influence_report([0.2, 0.3, 0.4])
+        for record in report:
+            assert record.contribution == pytest.approx(
+                record.error_rate * record.pivotal_probability
+            )
+
+    def test_single_juror(self):
+        report = juror_influence_report([0.37])
+        assert len(report) == 1
+        assert report[0].pivotal_probability == pytest.approx(1.0)
+
+    def test_identical_jurors_have_equal_influence(self):
+        report = juror_influence_report([0.3] * 5)
+        pivots = {round(r.pivotal_probability, 12) for r in report}
+        assert len(pivots) == 1

@@ -1,0 +1,150 @@
+"""Unit tests for Voting, MajorityVoting and carelessness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.juror import Jury
+from repro.core.voting import (
+    MajorityVoting,
+    Voting,
+    carelessness,
+    is_minority_wrong,
+)
+from repro.errors import EvenJurySizeError, InvalidJuryError
+
+
+class TestVoting:
+    def test_basic(self):
+        v = Voting([1, 0, 1])
+        assert v.size == 3
+        assert v.yes_count == 2
+        assert v.no_count == 1
+
+    def test_accepts_numpy_input(self):
+        v = Voting(np.array([1, 0, 1]))
+        assert v.votes == (1, 0, 1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidJuryError):
+            Voting([])
+
+    @pytest.mark.parametrize("bad", [[2, 0, 1], [1, -1, 0], [0.5, 0, 1]])
+    def test_non_binary_rejected(self, bad):
+        with pytest.raises(InvalidJuryError):
+            Voting(bad)
+
+    def test_jury_size_must_match(self):
+        jury = Jury.from_error_rates([0.1, 0.2, 0.3])
+        with pytest.raises(InvalidJuryError):
+            Voting([1, 0], jury=jury)
+
+    def test_jury_attached(self):
+        jury = Jury.from_error_rates([0.1, 0.2, 0.3])
+        v = Voting([1, 0, 1], jury=jury)
+        assert v.jury is jury
+
+    def test_as_array(self):
+        arr = Voting([1, 0, 1]).as_array()
+        assert arr.dtype == np.int8
+        np.testing.assert_array_equal(arr, [1, 0, 1])
+
+    def test_frozen(self):
+        v = Voting([1, 0, 1])
+        with pytest.raises(AttributeError):
+            v.votes = (0, 0, 0)
+
+
+class TestMajorityVoting:
+    @pytest.mark.parametrize(
+        "votes,expected",
+        [
+            ([1], 1),
+            ([0], 0),
+            ([1, 1, 0], 1),
+            ([1, 0, 0], 0),
+            ([1, 1, 1, 0, 0], 1),
+            ([1, 1, 0, 0, 0], 0),
+            ([1] * 7, 1),
+            ([0] * 7, 0),
+        ],
+    )
+    def test_decision_matches_definition3(self, votes, expected):
+        assert MajorityVoting().decide(Voting(votes)) == expected
+
+    def test_even_size_raises_in_strict_mode(self):
+        with pytest.raises(EvenJurySizeError):
+            MajorityVoting().decide(Voting([1, 0]))
+
+    def test_even_size_tie_break(self):
+        mv = MajorityVoting(strict=False, tie_break=1)
+        assert mv.decide(Voting([1, 0])) == 1
+        assert mv.decide(Voting([1, 1, 0, 0])) == 1
+
+    def test_even_size_clear_majority_non_strict(self):
+        mv = MajorityVoting(strict=False)
+        assert mv.decide(Voting([1, 1, 1, 0])) == 1
+        assert mv.decide(Voting([0, 0, 0, 1])) == 0
+
+    def test_invalid_tie_break_rejected(self):
+        with pytest.raises(InvalidJuryError):
+            MajorityVoting(tie_break=2)
+
+    def test_decide_votes_shortcut(self):
+        assert MajorityVoting().decide_votes([1, 1, 0]) == 1
+
+    def test_decide_batch(self):
+        votes = np.array([[1, 1, 0], [0, 0, 1], [1, 1, 1]])
+        decisions = MajorityVoting().decide_batch(votes)
+        np.testing.assert_array_equal(decisions, [1, 0, 1])
+
+    def test_decide_batch_rejects_1d(self):
+        with pytest.raises(InvalidJuryError):
+            MajorityVoting().decide_batch(np.array([1, 0, 1]))
+
+    def test_decide_batch_even_strict_raises(self):
+        with pytest.raises(EvenJurySizeError):
+            MajorityVoting().decide_batch(np.array([[1, 0], [1, 1]]))
+
+    def test_decide_batch_even_tie_break(self):
+        mv = MajorityVoting(strict=False, tie_break=0)
+        decisions = mv.decide_batch(np.array([[1, 0], [1, 1]]))
+        np.testing.assert_array_equal(decisions, [0, 1])
+
+    def test_callable(self):
+        assert MajorityVoting()(Voting([1, 1, 0])) == 1
+
+
+class TestCarelessness:
+    def test_counts_disagreements_with_truth(self):
+        v = Voting([1, 0, 1, 0, 0])
+        assert carelessness(v, ground_truth=1) == 3
+        assert carelessness(v, ground_truth=0) == 2
+
+    def test_bounds(self):
+        v = Voting([1, 1, 1])
+        assert carelessness(v, 1) == 0
+        assert carelessness(v, 0) == 3
+
+    def test_invalid_ground_truth(self):
+        with pytest.raises(InvalidJuryError):
+            carelessness(Voting([1, 0, 1]), ground_truth=2)
+
+    def test_is_minority_wrong(self):
+        assert is_minority_wrong(Voting([1, 1, 0]), ground_truth=1)
+        assert not is_minority_wrong(Voting([1, 0, 0]), ground_truth=1)
+
+    def test_is_minority_wrong_even_raises(self):
+        with pytest.raises(EvenJurySizeError):
+            is_minority_wrong(Voting([1, 0]), ground_truth=1)
+
+    def test_majority_decision_correct_iff_minority_wrong(self):
+        rng = np.random.default_rng(7)
+        mv = MajorityVoting()
+        for _ in range(50):
+            n = int(rng.choice([1, 3, 5, 7]))
+            votes = rng.integers(0, 2, size=n).tolist()
+            truth = int(rng.integers(0, 2))
+            v = Voting(votes)
+            assert (mv.decide(v) == truth) == is_minority_wrong(v, truth)

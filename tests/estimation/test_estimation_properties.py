@@ -1,0 +1,128 @@
+"""Property tests for the estimation substrate (graphs, rankers, pipeline)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.estimation.graph import UserGraph, build_user_graph
+from repro.estimation.ranking import hits, pagerank
+from repro.estimation.tweets import Tweet, TweetCorpus, extract_retweet_pairs
+
+usernames = st.text(
+    alphabet="abcdefghij", min_size=1, max_size=3
+)
+tweet_texts = st.lists(usernames, min_size=0, max_size=4).map(
+    lambda users: " ".join(f"RT @{u} msg" for u in users) or "plain message"
+)
+tweets = st.builds(Tweet, author=usernames, text=tweet_texts)
+corpora = st.lists(tweets, min_size=1, max_size=30).map(TweetCorpus)
+
+
+def random_graph(n: int, p: float, seed: int) -> UserGraph:
+    rng = np.random.default_rng(seed)
+    g = UserGraph()
+    for i in range(n):
+        g.add_node(f"u{i}")
+    for i in range(n):
+        for j in range(n):
+            if i != j and rng.random() < p:
+                g.add_edge(f"u{i}", f"u{j}")
+    return g
+
+
+class TestGraphProperties:
+    @given(corpora)
+    @settings(max_examples=60, deadline=None)
+    def test_nodes_cover_all_chain_usernames(self, corpus):
+        graph = build_user_graph(corpus)
+        assert corpus.usernames == set(graph.nodes())
+
+    @given(corpora)
+    @settings(max_examples=60, deadline=None)
+    def test_edges_are_exactly_deduplicated_nonself_pairs(self, corpus):
+        graph = build_user_graph(corpus)
+        expected = {
+            pair for pair in corpus.retweet_pairs() if pair[0] != pair[1]
+        }
+        assert set(graph.edges()) == expected
+
+    @given(corpora)
+    @settings(max_examples=40, deadline=None)
+    def test_rebuild_is_idempotent(self, corpus):
+        first = build_user_graph(corpus)
+        second = build_user_graph(corpus)
+        assert set(first.edges()) == set(second.edges())
+        assert set(first.nodes()) == set(second.nodes())
+
+    @given(corpora)
+    @settings(max_examples=40, deadline=None)
+    def test_degree_sums_match_edge_count(self, corpus):
+        graph = build_user_graph(corpus)
+        total_in = sum(graph.in_degree(u) for u in graph.nodes())
+        total_out = sum(graph.out_degree(u) for u in graph.nodes())
+        assert total_in == total_out == graph.num_edges
+
+    @given(tweets)
+    @settings(max_examples=60, deadline=None)
+    def test_pair_count_equals_marker_count(self, tweet):
+        from repro.estimation.tweets import RETWEET_PATTERN
+
+        markers = len(RETWEET_PATTERN.findall(tweet.text))
+        assert len(extract_retweet_pairs(tweet)) == markers
+
+
+class TestRankerProperties:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_pagerank_is_probability_distribution(self, seed):
+        g = random_graph(25, 0.15, seed)
+        scores = pagerank(g)
+        assert sum(scores.values()) == pytest.approx(1.0, abs=1e-8)
+        assert all(v > 0 for v in scores.values())
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_relabelling_invariance(self, seed):
+        """Renaming nodes permutes scores but never changes their values."""
+        g = random_graph(20, 0.2, seed)
+        renamed = UserGraph()
+        mapping = {u: f"x-{u}" for u in g.nodes()}
+        for u in g.nodes():
+            renamed.add_node(mapping[u])
+        for a, b in g.edges():
+            renamed.add_edge(mapping[a], mapping[b])
+        original = pagerank(g)
+        relabelled = pagerank(renamed)
+        for user, score in original.items():
+            assert relabelled[mapping[user]] == pytest.approx(score, abs=1e-10)
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_hits_relabelling_invariance(self, seed):
+        g = random_graph(20, 0.2, seed)
+        renamed = UserGraph()
+        mapping = {u: f"y-{u}" for u in g.nodes()}
+        for u in g.nodes():
+            renamed.add_node(mapping[u])
+        for a, b in g.edges():
+            renamed.add_edge(mapping[a], mapping[b])
+        original = hits(g).authorities
+        relabelled = hits(renamed).authorities
+        for user, score in original.items():
+            assert relabelled[mapping[user]] == pytest.approx(score, abs=1e-9)
+
+    def test_adding_an_endorsement_raises_target_rank(self):
+        """An extra independent retweeter never hurts the retweeted user."""
+        base = random_graph(15, 0.15, 7)
+        before = pagerank(base)["u3"]
+        boosted = random_graph(15, 0.15, 7)
+        boosted.add_node("newfan")
+        boosted.add_edge("newfan", "u3")
+        after = pagerank(boosted)["u3"]
+        assert after > before * 0.9  # normalisation shifts mass slightly
+
+    def test_isolated_node_gets_minimum_pagerank(self):
+        g = random_graph(10, 0.3, 9)
+        g.add_node("lurker")
+        scores = pagerank(g)
+        assert scores["lurker"] == pytest.approx(min(scores.values()), rel=1e-6)

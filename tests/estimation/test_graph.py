@@ -1,0 +1,149 @@
+"""Tests for the retweet user-graph builder (paper Algorithm 5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import EmptyGraphError, EstimationError
+from repro.estimation.graph import UserGraph, build_user_graph
+from repro.estimation.tweets import Tweet, TweetCorpus
+
+
+class TestUserGraph:
+    def test_add_nodes_idempotent(self):
+        g = UserGraph()
+        g.add_node("a")
+        g.add_node("a")
+        assert g.num_nodes == 1
+
+    def test_add_edge_creates_nodes(self):
+        g = UserGraph()
+        assert g.add_edge("a", "b")
+        assert g.num_nodes == 2
+        assert g.num_edges == 1
+        assert g.has_edge("a", "b")
+        assert not g.has_edge("b", "a")
+
+    def test_duplicate_edge_collapsed(self):
+        """Algorithm 5: link each ordered pair once and only once."""
+        g = UserGraph()
+        assert g.add_edge("a", "b")
+        assert not g.add_edge("a", "b")
+        assert g.num_edges == 1
+
+    def test_self_loop_ignored(self):
+        g = UserGraph()
+        assert not g.add_edge("a", "a")
+        assert g.num_edges == 0
+
+    def test_bad_node_name(self):
+        g = UserGraph()
+        with pytest.raises(EstimationError):
+            g.add_node("")
+
+    def test_degrees_and_neighbours(self):
+        g = UserGraph()
+        g.add_edge("a", "c")
+        g.add_edge("b", "c")
+        g.add_edge("c", "d")
+        assert g.in_degree("c") == 2
+        assert g.out_degree("c") == 1
+        assert g.predecessors("c") == {"a", "b"}
+        assert g.successors("c") == {"d"}
+
+    def test_unknown_user_raises(self):
+        g = UserGraph()
+        with pytest.raises(EstimationError):
+            g.in_degree("ghost")
+
+    def test_contains_and_len(self):
+        g = UserGraph()
+        g.add_edge("a", "b")
+        assert "a" in g and "b" in g and "c" not in g
+        assert len(g) == 2
+
+    def test_edges_iteration(self):
+        g = UserGraph()
+        g.add_edge("a", "b")
+        g.add_edge("b", "c")
+        assert set(g.edges()) == {("a", "b"), ("b", "c")}
+
+    def test_subgraph(self):
+        g = UserGraph()
+        g.add_edge("a", "b")
+        g.add_edge("b", "c")
+        g.add_edge("c", "a")
+        sub = g.subgraph(["a", "b", "zzz"])
+        assert sub.num_nodes == 2
+        assert sub.has_edge("a", "b")
+        assert not sub.has_edge("b", "c")
+
+    def test_adjacency_arrays(self):
+        g = UserGraph()
+        g.add_edge("a", "b")
+        nodes, edges = g.adjacency_arrays()
+        assert set(nodes) == {"a", "b"}
+        assert edges == [(nodes.index("a"), nodes.index("b"))]
+
+    def test_degree_histogram(self):
+        g = UserGraph()
+        g.add_edge("a", "c")
+        g.add_edge("b", "c")
+        histogram = g.degree_histogram()
+        assert histogram[2] == 1  # c
+        assert histogram[0] == 2  # a, b
+
+
+class TestBuildUserGraph:
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(EmptyGraphError):
+            build_user_graph(TweetCorpus())
+
+    def test_plain_tweets_make_isolated_authors(self):
+        corpus = TweetCorpus([Tweet("a", "no markers"), Tweet("b", "none here")])
+        g = build_user_graph(corpus)
+        assert g.num_nodes == 2
+        assert g.num_edges == 0
+
+    def test_case1_single_pair(self):
+        corpus = TweetCorpus([Tweet("user1", "cool RT @user2 content")])
+        g = build_user_graph(corpus)
+        assert g.has_edge("user1", "user2")
+        assert g.num_edges == 1
+
+    def test_case2_chain_pairs(self):
+        """Paper's chain prototype: userN original, user1 last retweeter."""
+        corpus = TweetCorpus([Tweet("u1", "RT @u2 RT @u3 RT @u4 origin")])
+        g = build_user_graph(corpus)
+        assert g.has_edge("u1", "u2")
+        assert g.has_edge("u2", "u3")
+        assert g.has_edge("u3", "u4")
+        assert not g.has_edge("u1", "u3")
+        assert g.num_edges == 3
+
+    def test_repeated_pairs_across_tweets_deduplicated(self):
+        corpus = TweetCorpus(
+            [Tweet("a", "RT @b x"), Tweet("a", "RT @b y"), Tweet("a", "RT @b z")]
+        )
+        g = build_user_graph(corpus)
+        assert g.num_edges == 1
+
+    def test_self_retweet_ignored(self):
+        corpus = TweetCorpus([Tweet("a", "RT @a recycling myself")])
+        g = build_user_graph(corpus)
+        assert g.num_edges == 0
+        assert g.num_nodes == 1
+
+    def test_mentioned_users_become_nodes(self):
+        corpus = TweetCorpus([Tweet("a", "RT @celebrity wow")])
+        g = build_user_graph(corpus)
+        assert "celebrity" in g
+
+    def test_demo_corpus_structure(self):
+        from repro.microblog.dataset import make_demo_corpus
+
+        g = build_user_graph(make_demo_corpus())
+        # alice is the most-retweeted user in the demo dataset.
+        best = max(g.nodes(), key=g.in_degree)
+        assert best == "alice"
+        assert g.in_degree("frank") == 0

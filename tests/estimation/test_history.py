@@ -1,0 +1,118 @@
+"""Tests for EM-based error-rate estimation from voting history."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import EstimationError
+from repro.estimation.history import (
+    estimate_error_rates_em,
+    jurors_from_history,
+)
+
+
+def synthetic_votes(true_eps, n_tasks, seed, prior=0.5):
+    rng = np.random.default_rng(seed)
+    eps = np.asarray(true_eps)
+    truth = (rng.random(n_tasks) < prior).astype(int)
+    wrong = rng.random((n_tasks, eps.size)) < eps
+    votes = np.where(wrong, 1 - truth[:, None], truth[:, None])
+    return votes, truth
+
+
+class TestEstimateErrorRatesEM:
+    def test_recovers_known_error_rates(self):
+        true_eps = [0.05, 0.15, 0.25, 0.35, 0.45]
+        votes, _ = synthetic_votes(true_eps, 800, seed=0)
+        fit = estimate_error_rates_em(votes)
+        np.testing.assert_allclose(fit.error_rates, true_eps, atol=0.06)
+
+    def test_recovers_truth_labels(self):
+        true_eps = [0.1, 0.15, 0.2, 0.25, 0.1]
+        votes, truth = synthetic_votes(true_eps, 400, seed=1)
+        fit = estimate_error_rates_em(votes)
+        decoded = (fit.truth_posteriors > 0.5).astype(int)
+        accuracy = float(np.mean(decoded == truth))
+        # Five jurors with these error rates give a majority-vote JER of
+        # ~4%, and EM decoding cannot beat the information in the votes —
+        # require it to match that ceiling, not exceed it.
+        assert accuracy > 0.94
+
+    def test_recovers_skewed_prior(self):
+        votes, _ = synthetic_votes([0.1, 0.2, 0.15], 1000, seed=2, prior=0.8)
+        fit = estimate_error_rates_em(votes)
+        assert fit.prior == pytest.approx(0.8, abs=0.06)
+
+    def test_label_flip_symmetry_resolved(self):
+        # Even when initialised badly, the convention mean(eps) < 0.5 holds.
+        votes, _ = synthetic_votes([0.1, 0.2, 0.3], 500, seed=3)
+        fit = estimate_error_rates_em(votes)
+        assert fit.error_rates.mean() < 0.5
+
+    def test_missing_votes_mask(self):
+        true_eps = [0.1, 0.2, 0.3]
+        votes, _ = synthetic_votes(true_eps, 900, seed=4)
+        rng = np.random.default_rng(5)
+        mask = rng.random(votes.shape) < 0.7  # 30% missing
+        # Guarantee every juror keeps some votes.
+        mask[:5, :] = True
+        fit = estimate_error_rates_em(votes, mask=mask)
+        np.testing.assert_allclose(fit.error_rates, true_eps, atol=0.08)
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(EstimationError):
+            estimate_error_rates_em(np.array([[0, 2], [1, 0]]))
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(EstimationError):
+            estimate_error_rates_em(np.array([0, 1, 1]))
+
+    def test_rejects_empty_juror_column(self):
+        votes = np.array([[1, 0], [0, 1]])
+        mask = np.array([[True, False], [True, False]])
+        with pytest.raises(EstimationError):
+            estimate_error_rates_em(votes, mask=mask)
+
+    def test_mask_shape_mismatch(self):
+        with pytest.raises(EstimationError):
+            estimate_error_rates_em(
+                np.array([[1, 0]]), mask=np.array([[True]])
+            )
+
+    def test_log_likelihood_finite_and_iterations_positive(self):
+        votes, _ = synthetic_votes([0.2, 0.3], 100, seed=6)
+        fit = estimate_error_rates_em(votes)
+        assert np.isfinite(fit.log_likelihood)
+        assert fit.iterations >= 1
+
+
+class TestJurorsFromHistory:
+    def test_end_to_end_selection(self):
+        true_eps = [0.05, 0.1, 0.2, 0.3, 0.4, 0.45, 0.25]
+        votes, _ = synthetic_votes(true_eps, 1200, seed=7)
+        candidates = jurors_from_history(votes)
+        from repro.core.selection.altr import select_jury_altr
+
+        result = select_jury_altr(candidates)
+        # The best jurors by true eps should dominate the selection.
+        chosen = set(result.juror_ids)
+        assert "hist-1" in chosen and "hist-2" in chosen
+
+    def test_custom_ids_and_requirements(self):
+        votes, _ = synthetic_votes([0.1, 0.3], 200, seed=8)
+        candidates = jurors_from_history(
+            votes, juror_ids=["a", "b"], requirements=np.array([0.5, 0.25])
+        )
+        assert [c.juror_id for c in candidates] == ["a", "b"]
+        assert candidates[1].requirement == 0.25
+
+    def test_id_length_mismatch(self):
+        votes, _ = synthetic_votes([0.1, 0.3], 50, seed=9)
+        with pytest.raises(EstimationError):
+            jurors_from_history(votes, juror_ids=["only-one"])
+
+    def test_requirement_length_mismatch(self):
+        votes, _ = synthetic_votes([0.1, 0.3], 50, seed=10)
+        with pytest.raises(EstimationError):
+            jurors_from_history(votes, requirements=np.array([0.1]))

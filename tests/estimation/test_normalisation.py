@@ -1,0 +1,131 @@
+"""Tests for error-rate (Sec 4.1.3) and requirement (Sec 4.2) normalisation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EstimationError
+from repro.estimation.error_rate import (
+    normalise_scores_to_error_rates,
+    scores_to_error_rates,
+)
+from repro.estimation.requirement import (
+    ages_to_requirements,
+    normalise_ages_to_requirements,
+)
+
+score_lists = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False), min_size=1, max_size=40
+)
+
+
+class TestErrorRateNormalisation:
+    def test_extremes(self):
+        eps = normalise_scores_to_error_rates([0.0, 1.0], alpha=10, beta=10)
+        # min score -> beta^0 = 1, clipped just below 1; max -> beta^-10 ~ 0.
+        assert eps[0] == pytest.approx(1.0, abs=1e-6)
+        assert eps[1] == pytest.approx(0.0, abs=1e-6)
+
+    def test_monotone_decreasing_in_score(self):
+        scores = [0.0, 0.25, 0.5, 0.75, 1.0]
+        eps = normalise_scores_to_error_rates(scores)
+        assert all(a > b for a, b in zip(eps, eps[1:]))
+
+    def test_formula_midpoint(self):
+        eps = normalise_scores_to_error_rates([0.0, 0.5, 1.0], alpha=10, beta=10)
+        assert eps[1] == pytest.approx(10.0 ** (-5.0))
+
+    def test_alpha_beta_defaults_match_paper(self):
+        """Section 5.2 sets alpha = beta = 10."""
+        default = normalise_scores_to_error_rates([0.0, 0.3, 1.0])
+        explicit = normalise_scores_to_error_rates([0.0, 0.3, 1.0], alpha=10, beta=10)
+        np.testing.assert_allclose(default, explicit)
+
+    def test_identical_scores_get_midpoint(self):
+        eps = normalise_scores_to_error_rates([3.0, 3.0, 3.0])
+        expected = 10.0 ** (-5.0)
+        np.testing.assert_allclose(eps, expected)
+
+    def test_empty_input(self):
+        assert normalise_scores_to_error_rates([]).size == 0
+
+    def test_invalid_alpha(self):
+        with pytest.raises(EstimationError):
+            normalise_scores_to_error_rates([1.0], alpha=0.0)
+
+    def test_invalid_beta(self):
+        with pytest.raises(EstimationError):
+            normalise_scores_to_error_rates([1.0], beta=1.0)
+
+    def test_invalid_clip(self):
+        with pytest.raises(EstimationError):
+            normalise_scores_to_error_rates([1.0], clip=0.7)
+
+    def test_nonfinite_scores_rejected(self):
+        with pytest.raises(EstimationError):
+            normalise_scores_to_error_rates([1.0, float("nan")])
+
+    @given(score_lists)
+    @settings(max_examples=80, deadline=None)
+    def test_output_in_open_interval(self, scores):
+        eps = normalise_scores_to_error_rates(scores)
+        assert np.all(eps > 0.0)
+        assert np.all(eps < 1.0)
+
+    @given(score_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_order_reversal(self, scores):
+        """Higher score -> lower (or equal, after clipping) error rate."""
+        eps = normalise_scores_to_error_rates(scores)
+        order = np.argsort(scores)
+        sorted_eps = eps[order]
+        assert all(a >= b - 1e-15 for a, b in zip(sorted_eps, sorted_eps[1:]))
+
+    def test_dict_wrapper(self):
+        rates = scores_to_error_rates({"low": 0.0, "high": 1.0})
+        assert rates["high"] < rates["low"]
+        assert set(rates) == {"low", "high"}
+
+
+class TestRequirementNormalisation:
+    def test_minmax(self):
+        reqs = normalise_ages_to_requirements([0.0, 5.0, 10.0])
+        np.testing.assert_allclose(reqs, [0.0, 0.5, 1.0])
+
+    def test_identical_ages_midpoint(self):
+        np.testing.assert_allclose(normalise_ages_to_requirements([7.0, 7.0]), 0.5)
+
+    def test_empty(self):
+        assert normalise_ages_to_requirements([]).size == 0
+
+    def test_negative_age_rejected(self):
+        with pytest.raises(EstimationError):
+            normalise_ages_to_requirements([-1.0, 2.0])
+
+    def test_nonfinite_rejected(self):
+        with pytest.raises(EstimationError):
+            normalise_ages_to_requirements([float("inf")])
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e5), min_size=1, max_size=30))
+    @settings(max_examples=80, deadline=None)
+    def test_output_in_unit_interval(self, ages):
+        reqs = normalise_ages_to_requirements(ages)
+        assert np.all(reqs >= 0.0)
+        assert np.all(reqs <= 1.0)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e5), min_size=2, max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_in_age(self, ages):
+        """Older account -> higher requirement (paper's assumption)."""
+        reqs = normalise_ages_to_requirements(ages)
+        order = np.argsort(ages)
+        sorted_reqs = reqs[order]
+        assert all(a <= b + 1e-12 for a, b in zip(sorted_reqs, sorted_reqs[1:]))
+
+    def test_dict_wrapper(self):
+        reqs = ages_to_requirements({"old": 100.0, "new": 1.0})
+        assert reqs["old"] == 1.0
+        assert reqs["new"] == 0.0

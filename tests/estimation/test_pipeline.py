@@ -1,0 +1,111 @@
+"""Integration tests for the end-to-end estimation pipeline (paper Fig. 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.selection.altr import select_jury_altr
+from repro.core.selection.pay import select_jury_pay
+from repro.errors import EstimationError
+from repro.estimation.pipeline import estimate_candidates
+from repro.estimation.tweets import Tweet, TweetCorpus
+from repro.microblog.dataset import make_demo_corpus
+
+
+class TestEstimateCandidates:
+    def test_demo_corpus_hits(self):
+        result = estimate_candidates(make_demo_corpus(), ranking="hits")
+        assert result.ranking == "hits"
+        assert result.jurors[0].juror_id == "alice"  # the designed authority
+        assert len(result.jurors) == len(result.scores)
+
+    def test_demo_corpus_pagerank(self):
+        result = estimate_candidates(make_demo_corpus(), ranking="pagerank")
+        assert result.jurors[0].juror_id == "alice"
+
+    def test_unknown_ranking_rejected(self):
+        with pytest.raises(EstimationError):
+            estimate_candidates(make_demo_corpus(), ranking="astrology")
+
+    def test_top_k_cut(self):
+        result = estimate_candidates(make_demo_corpus(), top_k=3)
+        assert len(result.jurors) == 3
+        assert len(result.scores) == 3
+
+    def test_top_k_invalid(self):
+        with pytest.raises(EstimationError):
+            estimate_candidates(make_demo_corpus(), top_k=0)
+
+    def test_top_method(self):
+        result = estimate_candidates(make_demo_corpus())
+        assert [j.juror_id for j in result.top(2)] == [
+            j.juror_id for j in result.jurors[:2]
+        ]
+
+    def test_error_rates_ordered_by_score(self):
+        """Better-ranked users must receive lower error rates."""
+        result = estimate_candidates(make_demo_corpus())
+        eps = [j.error_rate for j in result.jurors]
+        assert all(a <= b + 1e-12 for a, b in zip(eps, eps[1:]))
+
+    def test_error_rates_in_open_interval(self):
+        result = estimate_candidates(make_demo_corpus())
+        for juror in result.jurors:
+            assert 0.0 < juror.error_rate < 1.0
+
+    def test_requirements_zero_without_ages(self):
+        result = estimate_candidates(make_demo_corpus())
+        assert all(j.requirement == 0.0 for j in result.jurors)
+
+    def test_requirements_from_ages(self):
+        ages = {u: float(i) for i, u in enumerate(
+            sorted({"alice", "bob", "carol", "dave", "erin", "frank", "grace"})
+        )}
+        result = estimate_candidates(make_demo_corpus(), account_ages=ages)
+        reqs = {j.juror_id: j.requirement for j in result.jurors}
+        assert reqs["alice"] == pytest.approx(0.0)  # youngest in this map
+        assert max(reqs.values()) == pytest.approx(1.0)
+
+    def test_missing_ages_default_to_zero(self):
+        result = estimate_candidates(
+            make_demo_corpus(), account_ages={"alice": 100.0}
+        )
+        reqs = {j.juror_id: j.requirement for j in result.jurors}
+        assert reqs["alice"] == pytest.approx(1.0)
+        assert reqs["bob"] == pytest.approx(0.0)
+
+    def test_alpha_beta_change_spread(self):
+        gentle = estimate_candidates(make_demo_corpus(), alpha=1.0, beta=2.0)
+        harsh = estimate_candidates(make_demo_corpus(), alpha=10.0, beta=10.0)
+        # Harsher normalisation pins the best user's error rate much lower.
+        assert harsh.jurors[0].error_rate < gentle.jurors[0].error_rate
+
+    def test_candidates_feed_altr_selection(self):
+        result = estimate_candidates(make_demo_corpus())
+        selection = select_jury_altr(result.jurors)
+        assert selection.size % 2 == 1
+        assert 0.0 <= selection.jer <= 1.0
+
+    def test_candidates_feed_pay_selection(self):
+        ages = {u: float(i + 1) for i, u in enumerate(
+            sorted({"alice", "bob", "carol", "dave", "erin", "frank", "grace"})
+        )}
+        result = estimate_candidates(make_demo_corpus(), account_ages=ages)
+        selection = select_jury_pay(result.jurors, budget=1.0)
+        assert selection.total_cost <= 1.0
+
+    def test_deterministic_tie_break(self):
+        corpus = TweetCorpus(
+            [Tweet("x", "RT @a same"), Tweet("y", "RT @b same")]
+        )
+        first = estimate_candidates(corpus)
+        second = estimate_candidates(corpus)
+        assert [j.juror_id for j in first.jurors] == [
+            j.juror_id for j in second.jurors
+        ]
+
+    def test_graph_exposed(self):
+        result = estimate_candidates(make_demo_corpus())
+        assert result.graph.num_nodes == len(
+            {"alice", "bob", "carol", "dave", "erin", "frank", "grace"}
+        )

@@ -1,0 +1,158 @@
+"""Tests for the from-scratch HITS and PageRank rankers.
+
+networkx is used here ONLY as an oracle: the library's rankers are pure
+NumPy; these tests confirm they converge to the same scores.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.errors import ConvergenceError, EmptyGraphError
+from repro.estimation.graph import UserGraph
+from repro.estimation.ranking import hits, pagerank
+
+
+def star_graph(spokes: int = 4) -> UserGraph:
+    """spoke_i -> hub for all i: the hub is the sole authority."""
+    g = UserGraph()
+    for i in range(spokes):
+        g.add_edge(f"spoke{i}", "hub")
+    return g
+
+
+def random_user_graph(n: int, p: float, seed: int) -> UserGraph:
+    rng = np.random.default_rng(seed)
+    g = UserGraph()
+    names = [f"u{i}" for i in range(n)]
+    for name in names:
+        g.add_node(name)
+    for i in range(n):
+        for j in range(n):
+            if i != j and rng.random() < p:
+                g.add_edge(names[i], names[j])
+    return g
+
+
+def to_networkx(g: UserGraph) -> nx.DiGraph:
+    nxg = nx.DiGraph()
+    nxg.add_nodes_from(g.nodes())
+    nxg.add_edges_from(g.edges())
+    return nxg
+
+
+class TestHits:
+    def test_empty_graph_rejected(self):
+        with pytest.raises(EmptyGraphError):
+            hits(UserGraph())
+
+    def test_star_authority(self):
+        result = hits(star_graph())
+        assert max(result.authorities, key=result.authorities.get) == "hub"
+        # All spokes are equal hubs.
+        spoke_hub_scores = {result.hubs[f"spoke{i}"] for i in range(4)}
+        assert max(spoke_hub_scores) - min(spoke_hub_scores) < 1e-9
+
+    def test_scores_l1_normalised(self):
+        result = hits(star_graph())
+        assert sum(result.authorities.values()) == pytest.approx(1.0)
+        assert sum(result.hubs.values()) == pytest.approx(1.0)
+
+    def test_edgeless_graph_uniform(self):
+        g = UserGraph()
+        g.add_node("a")
+        g.add_node("b")
+        result = hits(g)
+        assert result.authorities["a"] == pytest.approx(0.5)
+        assert result.hubs["b"] == pytest.approx(0.5)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_networkx(self, seed):
+        g = random_user_graph(30, 0.15, seed)
+        ours = hits(g)
+        ref_hubs, ref_auth = nx.hits(to_networkx(g), max_iter=500, tol=1e-12)
+        for user, score in ours.authorities.items():
+            assert score == pytest.approx(ref_auth[user], abs=1e-6)
+        for user, score in ours.hubs.items():
+            assert score == pytest.approx(ref_hubs[user], abs=1e-6)
+
+    def test_convergence_error_when_budget_too_small(self):
+        g = random_user_graph(40, 0.2, 3)
+        with pytest.raises(ConvergenceError):
+            hits(g, max_iter=1, tol=0.0)
+
+    def test_non_strict_returns_best_effort(self):
+        g = random_user_graph(40, 0.2, 3)
+        result = hits(g, max_iter=1, tol=0.0, strict=False)
+        assert len(result.authorities) == 40
+
+    def test_iterations_recorded(self):
+        result = hits(star_graph())
+        assert result.iterations >= 1
+
+
+class TestPagerank:
+    def test_empty_graph_rejected(self):
+        with pytest.raises(EmptyGraphError):
+            pagerank(UserGraph())
+
+    def test_star_target_wins(self):
+        scores = pagerank(star_graph())
+        assert max(scores, key=scores.get) == "hub"
+
+    def test_scores_sum_to_one_with_redistribution(self):
+        scores = pagerank(star_graph())
+        assert sum(scores.values()) == pytest.approx(1.0, abs=1e-9)
+
+    def test_drop_mode_leaks_dangling_mass(self):
+        # "hub" has no out-edges; literal Algorithm 7 leaks its mass.
+        scores = pagerank(star_graph(), dangling="drop")
+        assert sum(scores.values()) < 1.0
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_networkx(self, seed):
+        g = random_user_graph(30, 0.15, seed)
+        ours = pagerank(g, damping=0.85)
+        ref = nx.pagerank(to_networkx(g), alpha=0.85, max_iter=500, tol=1e-12)
+        for user, score in ours.items():
+            assert score == pytest.approx(ref[user], abs=1e-8)
+
+    def test_invalid_damping(self):
+        with pytest.raises(ValueError):
+            pagerank(star_graph(), damping=1.5)
+
+    def test_invalid_dangling_mode(self):
+        with pytest.raises(ValueError):
+            pagerank(star_graph(), dangling="teleport-nowhere")
+
+    def test_convergence_error(self):
+        g = random_user_graph(40, 0.2, 5)
+        with pytest.raises(ConvergenceError):
+            pagerank(g, max_iter=1, tol=0.0)
+
+    def test_non_strict_best_effort(self):
+        g = random_user_graph(40, 0.2, 5)
+        scores = pagerank(g, max_iter=1, tol=0.0, strict=False)
+        assert len(scores) == 40
+
+    def test_edgeless_graph_uniform(self):
+        g = UserGraph()
+        for name in ("a", "b", "c"):
+            g.add_node(name)
+        scores = pagerank(g)
+        for value in scores.values():
+            assert value == pytest.approx(1 / 3, abs=1e-9)
+
+
+class TestRankersAgreeOnAuthority:
+    def test_top_users_overlap(self):
+        """Paper Section 4.1.2: 'most top ranking users discovered by
+        Pagerank overlaps with the ones identified by HITS'."""
+        g = random_user_graph(60, 0.08, 11)
+        auth = hits(g).authorities
+        pr = pagerank(g)
+        top_hits = set(sorted(auth, key=auth.get, reverse=True)[:10])
+        top_pr = set(sorted(pr, key=pr.get, reverse=True)[:10])
+        assert len(top_hits & top_pr) >= 5

@@ -1,0 +1,139 @@
+"""Tests for tweet records and retweet-chain extraction (Algorithm 5 input)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import EstimationError
+from repro.estimation.tweets import (
+    RETWEET_PATTERN,
+    Tweet,
+    TweetCorpus,
+    extract_retweet_chain,
+    extract_retweet_pairs,
+)
+
+
+class TestTweet:
+    def test_basic(self):
+        t = Tweet("alice", "hello world", "t1", 2.0)
+        assert t.author == "alice"
+        assert t.created_at == 2.0
+
+    def test_empty_author_rejected(self):
+        with pytest.raises(EstimationError):
+            Tweet("", "hello")
+
+    def test_non_string_text_rejected(self):
+        with pytest.raises(EstimationError):
+            Tweet("alice", 42)  # type: ignore[arg-type]
+
+    def test_mentions_retweet(self):
+        assert Tweet("a", "RT @b hi").mentions_retweet
+        assert not Tweet("a", "plain tweet").mentions_retweet
+
+    def test_frozen(self):
+        t = Tweet("a", "text")
+        with pytest.raises(AttributeError):
+            t.text = "other"
+
+
+class TestRetweetPattern:
+    def test_matches_simple_marker(self):
+        assert RETWEET_PATTERN.findall("RT @bob hello") == ["bob"]
+
+    def test_matches_underscore_and_digits(self):
+        assert RETWEET_PATTERN.findall("RT @user_42 hi") == ["user_42"]
+
+    def test_requires_space_and_at(self):
+        assert RETWEET_PATTERN.findall("RT bob") == []
+        assert RETWEET_PATTERN.findall("@bob hi") == []
+
+    def test_multiple_markers_in_order(self):
+        text = "wow RT @second nice RT @third origin"
+        assert RETWEET_PATTERN.findall(text) == ["second", "third"]
+
+
+class TestChainExtraction:
+    def test_no_retweet(self):
+        assert extract_retweet_chain(Tweet("a", "plain")) == ["a"]
+        assert extract_retweet_pairs(Tweet("a", "plain")) == []
+
+    def test_single_retweet_case1(self):
+        """Section 4.1.1 case 1: one marker -> one pair."""
+        t = Tweet("user1", "interesting RT @user2 original content")
+        assert extract_retweet_pairs(t) == [("user1", "user2")]
+
+    def test_chain_case2(self):
+        """Section 4.1.1 case 2: N markers -> N pairs along the chain."""
+        t = Tweet("user1", "RT @user2 RT @user3 RT @user4 source")
+        assert extract_retweet_pairs(t) == [
+            ("user1", "user2"),
+            ("user2", "user3"),
+            ("user3", "user4"),
+        ]
+
+    def test_self_retweet_preserved_in_chain(self):
+        t = Tweet("a", "RT @a my old tweet")
+        assert extract_retweet_chain(t) == ["a", "a"]
+        assert extract_retweet_pairs(t) == [("a", "a")]
+
+    def test_marker_mid_text(self):
+        t = Tweet("x", "I agree with this take RT @y the take")
+        assert extract_retweet_pairs(t) == [("x", "y")]
+
+
+class TestTweetCorpus:
+    def test_append_and_len(self):
+        corpus = TweetCorpus()
+        corpus.append(Tweet("a", "hi"))
+        assert len(corpus) == 1
+
+    def test_rejects_non_tweet(self):
+        with pytest.raises(EstimationError):
+            TweetCorpus(["not a tweet"])  # type: ignore[list-item]
+        corpus = TweetCorpus()
+        with pytest.raises(EstimationError):
+            corpus.append("nope")  # type: ignore[arg-type]
+
+    def test_extend_and_iter(self):
+        corpus = TweetCorpus()
+        corpus.extend([Tweet("a", "1"), Tweet("b", "2")])
+        assert [t.author for t in corpus] == ["a", "b"]
+        assert corpus[1].author == "b"
+
+    def test_authors_and_usernames(self):
+        corpus = TweetCorpus([Tweet("a", "RT @b x"), Tweet("c", "plain")])
+        assert corpus.authors == {"a", "c"}
+        assert corpus.usernames == {"a", "b", "c"}
+
+    def test_retweet_pairs_stream(self):
+        corpus = TweetCorpus([Tweet("a", "RT @b x"), Tweet("b", "RT @c RT @d y")])
+        assert list(corpus.retweet_pairs()) == [("a", "b"), ("b", "c"), ("c", "d")]
+
+    def test_retweet_count(self):
+        corpus = TweetCorpus([Tweet("a", "RT @b x"), Tweet("b", "RT @c RT @d y")])
+        assert corpus.retweet_count() == 3
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        corpus = TweetCorpus(
+            [Tweet("a", "RT @b hello", "t1", 0.5), Tweet("b", "plain", "t2", 1.0)]
+        )
+        path = tmp_path / "corpus.jsonl"
+        corpus.save_jsonl(path)
+        loaded = TweetCorpus.load_jsonl(path)
+        assert len(loaded) == 2
+        assert loaded[0].author == "a"
+        assert loaded[0].text == "RT @b hello"
+        assert loaded[1].created_at == 1.0
+
+    def test_load_malformed_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"author": "a"}\n')  # missing "text"
+        with pytest.raises(EstimationError):
+            TweetCorpus.load_jsonl(path)
+
+    def test_load_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "gaps.jsonl"
+        path.write_text('{"author": "a", "text": "x"}\n\n{"author": "b", "text": "y"}\n')
+        assert len(TweetCorpus.load_jsonl(path)) == 2

@@ -1,0 +1,99 @@
+"""Tests for the ablation experiments (bounds, weighted voting, adaptive)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ablation_adaptive import (
+    AblationAdaptiveConfig,
+    run_ablation_adaptive,
+)
+from repro.experiments.ablation_bounds import (
+    AblationBoundsConfig,
+    run_ablation_bounds,
+)
+from repro.experiments.ablation_weighted import (
+    AblationWeightedConfig,
+    run_ablation_weighted,
+)
+
+
+class TestAblationBounds:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_ablation_bounds(AblationBoundsConfig.small())
+
+    def test_lower_bound_below_exact_where_present(self, result):
+        exact = result.series_named("exact")
+        pz = result.series_named("pz-lower")
+        for point in pz.points:
+            assert point.y <= exact.y_at(point.x) + 1e-12
+
+    def test_upper_bounds_above_exact(self, result):
+        exact = result.series_named("exact")
+        for name in ("markov-upper", "cantelli-upper", "hoeffding-upper",
+                     "chernoff-upper"):
+            series = result.series_named(name)
+            for point in series.points:
+                assert point.y >= exact.y_at(point.x) - 1e-12
+
+    def test_pz_applicability_cliff(self, result):
+        """The Lemma 2 bound only exists once the mean crosses ~0.5."""
+        pz_xs = set(result.series_named("pz-lower").xs)
+        assert 0.2 not in pz_xs
+        assert 0.6 in pz_xs and 0.8 in pz_xs
+
+    def test_exact_jer_increases_with_mean(self, result):
+        ys = result.series_named("exact").ys
+        assert ys == sorted(ys)
+
+
+class TestAblationWeighted:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_ablation_weighted(AblationWeightedConfig.small())
+
+    def test_weighted_never_worse(self, result):
+        majority = result.series_named("majority")
+        weighted = result.series_named("weighted")
+        for x in majority.xs:
+            assert weighted.y_at(x) <= majority.y_at(x) + 1e-9
+
+    def test_rules_coincide_for_identical_jurors(self, result):
+        majority = result.series_named("majority")
+        weighted = result.series_named("weighted")
+        assert weighted.y_at(0.0) == pytest.approx(majority.y_at(0.0), abs=1e-9)
+
+    def test_gap_positive_for_heterogeneous_jury(self, result):
+        majority = result.series_named("majority")
+        weighted = result.series_named("weighted")
+        widest = max(majority.xs)
+        assert weighted.y_at(widest) < majority.y_at(widest)
+
+
+class TestAblationAdaptive:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_ablation_adaptive(AblationAdaptiveConfig.small())
+
+    def test_questions_bounded_by_jury_size(self, result):
+        size = result.metadata["jury_size"]
+        for point in result.series_named("adaptive-questions").points:
+            assert 1.0 <= point.y <= size
+
+    def test_stricter_delta_asks_more(self, result):
+        questions = result.series_named("adaptive-questions")
+        ordered = sorted(questions.points, key=lambda p: p.x)  # delta asc
+        # Smaller delta (stricter certainty) must not ask fewer questions.
+        assert ordered[0].y >= ordered[-1].y - 1e-9
+
+    def test_adaptive_saves_questions(self, result):
+        questions = result.series_named("adaptive-questions")
+        static = result.series_named("static-questions")
+        loosest = max(questions.xs)
+        assert questions.y_at(loosest) < static.y_at(loosest)
+
+    def test_accuracies_in_unit_interval(self, result):
+        for name in ("adaptive-accuracy", "static-accuracy"):
+            for point in result.series_named(name).points:
+                assert 0.0 <= point.y <= 1.0

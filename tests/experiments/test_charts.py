@@ -1,0 +1,76 @@
+"""Tests for the ASCII chart renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import ExperimentResult, render_ascii_chart
+
+
+def make_result(points_a, points_b=None):
+    result = ExperimentResult("chart-demo", "Chart Demo", "x", "y")
+    series = result.new_series("alpha")
+    for x, y in points_a:
+        series.add(x, y)
+    if points_b is not None:
+        other = result.new_series("beta")
+        for x, y in points_b:
+            other.add(x, y)
+    return result
+
+
+class TestRenderAsciiChart:
+    def test_contains_title_axes_legend(self):
+        chart = render_ascii_chart(make_result([(0, 1), (1, 2)]))
+        assert "Chart Demo" in chart
+        assert "alpha" in chart
+        assert "x" in chart and "y" in chart
+
+    def test_empty_result(self):
+        result = ExperimentResult("empty", "Empty", "x", "y")
+        assert "(no data)" in render_ascii_chart(result)
+
+    def test_two_series_get_distinct_symbols(self):
+        chart = render_ascii_chart(
+            make_result([(0, 1), (1, 2)], [(0, 2), (1, 1)])
+        )
+        assert "*=alpha" in chart
+        assert "o=beta" in chart
+        body = chart.split("legend")[0]
+        assert "*" in body and "o" in body
+
+    def test_dimensions_respected(self):
+        chart = render_ascii_chart(
+            make_result([(0, 1), (5, 9), (10, 4)]), width=30, height=8
+        )
+        plot_lines = [l for l in chart.splitlines() if l.startswith("|")]
+        assert len(plot_lines) == 8
+        assert all(len(l) <= 31 for l in plot_lines)
+
+    def test_log_scale_skips_nonpositive(self):
+        chart = render_ascii_chart(
+            make_result([(0, 0.0), (1, 10.0), (2, 100.0)]), log_y=True
+        )
+        assert "log10" in chart
+
+    def test_constant_series_does_not_crash(self):
+        chart = render_ascii_chart(make_result([(0, 5), (1, 5), (2, 5)]))
+        assert "Chart Demo" in chart
+
+    def test_single_point(self):
+        chart = render_ascii_chart(make_result([(3, 7)]))
+        assert "[3 .. 3]" in chart
+
+    def test_range_annotations(self):
+        chart = render_ascii_chart(make_result([(0, 1), (10, 3)]))
+        assert "[0 .. 10]" in chart
+        assert "[1 .. 3]" in chart
+
+
+class TestRunnerChartFlag:
+    def test_cli_chart_flag(self, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["table2", "--chart"]) == 0
+        out = capsys.readouterr().out
+        assert "legend:" in out

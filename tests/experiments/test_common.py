@@ -1,0 +1,92 @@
+"""Tests for the experiment plumbing (series, results, precision/recall)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import (
+    ExperimentResult,
+    Series,
+    SeriesPoint,
+    precision_recall,
+)
+
+
+class TestSeries:
+    def test_add_and_accessors(self):
+        s = Series("demo")
+        s.add(1, 10.0)
+        s.add(2, 20.0, note="peak")
+        assert s.xs == [1.0, 2.0]
+        assert s.ys == [10.0, 20.0]
+        assert s.points[1].note == "peak"
+
+    def test_y_at(self):
+        s = Series("demo")
+        s.add(0.1, 5.0)
+        assert s.y_at(0.1) == 5.0
+        with pytest.raises(KeyError):
+            s.y_at(0.2)
+
+    def test_point_is_frozen(self):
+        point = SeriesPoint(1.0, 2.0)
+        with pytest.raises(AttributeError):
+            point.y = 3.0
+
+
+class TestExperimentResult:
+    def make_result(self):
+        result = ExperimentResult(
+            experiment_id="demo",
+            title="Demo",
+            x_label="x",
+            y_label="y",
+        )
+        a = result.new_series("a")
+        a.add(1, 10)
+        a.add(2, 20)
+        b = result.new_series("b")
+        b.add(1, 11)
+        return result
+
+    def test_series_named(self):
+        result = self.make_result()
+        assert result.series_named("a").y_at(2) == 20
+        with pytest.raises(KeyError):
+            result.series_named("zzz")
+
+    def test_to_table_contains_all_cells(self):
+        table = self.make_result().to_table()
+        assert "demo" in table
+        assert "a" in table and "b" in table
+        # b has no point at x=2 -> dash placeholder.
+        assert "-" in table
+
+    def test_to_table_with_metadata(self):
+        result = self.make_result()
+        result.metadata["n"] = 10
+        assert "n=10" in result.to_table()
+
+    def test_empty_result_table(self):
+        result = ExperimentResult("empty", "Empty", "x", "y")
+        assert "empty" in result.to_table()
+
+
+class TestPrecisionRecall:
+    def test_perfect_match(self):
+        assert precision_recall(["a", "b"], ["a", "b"]) == (1.0, 1.0)
+
+    def test_disjoint(self):
+        assert precision_recall(["a"], ["b"]) == (0.0, 0.0)
+
+    def test_partial(self):
+        precision, recall = precision_recall(["a", "b", "c"], ["b", "c", "d", "e"])
+        assert precision == pytest.approx(2 / 3)
+        assert recall == pytest.approx(0.5)
+
+    def test_empty_inputs(self):
+        assert precision_recall([], ["a"]) == (0.0, 0.0)
+        assert precision_recall(["a"], []) == (0.0, 0.0)
+
+    def test_duplicates_collapsed(self):
+        assert precision_recall(["a", "a"], ["a"]) == (1.0, 1.0)

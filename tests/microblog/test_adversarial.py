@@ -1,0 +1,110 @@
+"""Spam-ring robustness tests for the estimation pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.estimation.graph import build_user_graph
+from repro.estimation.pipeline import estimate_candidates
+from repro.microblog.activity import generate_microblog_service
+from repro.microblog.adversarial import SpamRingConfig, inject_spam_ring
+from repro.microblog.dataset import make_demo_corpus
+
+
+class TestSpamRingConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_spammers": 1},
+            {"tweets_per_spammer": 0},
+            {"ring_retweet_probability": 1.5},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(SimulationError):
+            SpamRingConfig(**kwargs)
+
+
+class TestInjectSpamRing:
+    def test_corpus_grows_and_original_untouched(self):
+        organic = make_demo_corpus()
+        original_len = len(organic)
+        augmented, ring = inject_spam_ring(
+            organic, rng=np.random.default_rng(0)
+        )
+        assert len(organic) == original_len
+        assert len(augmented) > original_len
+        assert len(ring) == 10
+
+    def test_ring_users_enter_the_graph(self):
+        augmented, ring = inject_spam_ring(
+            make_demo_corpus(), rng=np.random.default_rng(1)
+        )
+        graph = build_user_graph(augmented)
+        for spammer in ring:
+            assert spammer in graph
+        # The ring fabricates in-links for its members.
+        assert any(graph.in_degree(s) > 0 for s in ring)
+
+    def test_username_collision_rejected(self):
+        organic = make_demo_corpus()
+        cfg = SpamRingConfig(username_prefix="alic")  # alic000... fine
+        inject_spam_ring(organic, cfg, rng=np.random.default_rng(2))
+        from repro.estimation.tweets import Tweet, TweetCorpus
+
+        colliding = TweetCorpus([Tweet("spam000", "hello")])
+        with pytest.raises(SimulationError):
+            inject_spam_ring(colliding, rng=np.random.default_rng(3))
+
+    def test_full_clique_density(self):
+        cfg = SpamRingConfig(
+            n_spammers=4, tweets_per_spammer=2, ring_retweet_probability=1.0
+        )
+        augmented, ring = inject_spam_ring(
+            make_demo_corpus(), cfg, rng=np.random.default_rng(4)
+        )
+        graph = build_user_graph(augmented)
+        # Every ordered spammer pair ends up linked.
+        for a in ring:
+            for b in ring:
+                if a != b:
+                    assert graph.has_edge(a, b)
+
+
+class TestPipelineRobustness:
+    @pytest.fixture(scope="class")
+    def attacked_service(self):
+        _, _, corpus = generate_microblog_service(400, seed=101)
+        cfg = SpamRingConfig(n_spammers=8, tweets_per_spammer=4)
+        augmented, ring = inject_spam_ring(
+            corpus, cfg, rng=np.random.default_rng(5)
+        )
+        return augmented, set(ring)
+
+    def test_pagerank_keeps_ring_out_of_top(self, attacked_service):
+        """Damped PageRank confines the ring's fabricated authority: no
+        spammer may crack the organic top 10."""
+        corpus, ring = attacked_service
+        result = estimate_candidates(corpus, ranking="pagerank", top_k=10)
+        top_ids = {j.juror_id for j in result.jurors}
+        assert not (top_ids & ring)
+
+    def test_spammers_not_selected_into_jury(self, attacked_service):
+        from repro.core.selection.altr import select_jury_altr
+
+        corpus, ring = attacked_service
+        result = estimate_candidates(corpus, ranking="pagerank", top_k=50)
+        selection = select_jury_altr(result.jurors)
+        assert not (set(selection.juror_ids) & ring)
+
+    def test_ring_members_rank_below_organic_authorities(self, attacked_service):
+        corpus, ring = attacked_service
+        result = estimate_candidates(corpus, ranking="pagerank")
+        scores = result.scores
+        organic_top = max(
+            score for user, score in scores.items() if user not in ring
+        )
+        best_spam = max(scores[s] for s in ring if s in scores)
+        assert best_spam < organic_top

@@ -1,0 +1,224 @@
+"""Tests for the synthetic micro-blog service (users, network, cascades)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.estimation.graph import build_user_graph
+from repro.microblog.activity import (
+    CascadeConfig,
+    generate_microblog_service,
+    simulate_corpus,
+)
+from repro.microblog.dataset import (
+    load_population,
+    make_demo_corpus,
+    save_population,
+)
+from repro.microblog.network import FollowerNetwork, generate_follower_network
+from repro.microblog.users import UserProfile, account_age_map, generate_population
+
+
+class TestUserProfile:
+    def test_valid(self):
+        u = UserProfile("alice", 10.0, 0.7, 1.0)
+        assert u.account_age(15.0) == pytest.approx(5.0)
+
+    def test_age_clipped_at_zero(self):
+        u = UserProfile("alice", 10.0, 0.7, 1.0)
+        assert u.account_age(5.0) == 0.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"username": "", "registration_day": 0, "quality": 0.5, "activity": 1},
+            {"username": "a", "registration_day": -1, "quality": 0.5, "activity": 1},
+            {"username": "a", "registration_day": 0, "quality": 0.0, "activity": 1},
+            {"username": "a", "registration_day": 0, "quality": 1.0, "activity": 1},
+            {"username": "a", "registration_day": 0, "quality": 0.5, "activity": -1},
+        ],
+    )
+    def test_invalid_profiles(self, kwargs):
+        with pytest.raises(SimulationError):
+            UserProfile(**kwargs)
+
+
+class TestGeneratePopulation:
+    def test_size_and_uniqueness(self, rng):
+        population = generate_population(100, rng=rng)
+        assert len(population) == 100
+        assert len({u.username for u in population}) == 100
+
+    def test_qualities_in_open_interval(self, rng):
+        population = generate_population(200, rng=rng)
+        assert all(0.0 < u.quality < 1.0 for u in population)
+
+    def test_invalid_size(self):
+        with pytest.raises(SimulationError):
+            generate_population(0)
+
+    def test_deterministic_with_seeded_rng(self):
+        a = generate_population(10, rng=np.random.default_rng(5))
+        b = generate_population(10, rng=np.random.default_rng(5))
+        assert a == b
+
+    def test_account_age_map(self, rng):
+        population = generate_population(5, rng=rng, service_age_days=100.0)
+        ages = account_age_map(population, observation_day=100.0)
+        assert set(ages) == {u.username for u in population}
+        assert all(age >= 0.0 for age in ages.values())
+
+
+class TestFollowerNetwork:
+    def test_follow_and_query(self):
+        net = FollowerNetwork(["a", "b", "c"])
+        assert net.follow("a", "b")
+        assert net.followers_of("b") == {"a"}
+        assert net.following_of("a") == {"b"}
+        assert net.follower_count("b") == 1
+
+    def test_duplicate_follow_ignored(self):
+        net = FollowerNetwork(["a", "b"])
+        assert net.follow("a", "b")
+        assert not net.follow("a", "b")
+        assert net.num_follow_edges == 1
+
+    def test_self_follow_ignored(self):
+        net = FollowerNetwork(["a"])
+        assert not net.follow("a", "a")
+
+    def test_unknown_user_rejected(self):
+        net = FollowerNetwork(["a"])
+        with pytest.raises(SimulationError):
+            net.follow("a", "stranger")
+
+    def test_duplicate_usernames_rejected(self):
+        with pytest.raises(SimulationError):
+            FollowerNetwork(["a", "a"])
+
+
+class TestGenerateFollowerNetwork:
+    def test_every_late_joiner_follows(self, rng):
+        population = generate_population(50, rng=rng)
+        net = generate_follower_network(population, rng=rng, follows_per_user=3)
+        assert net.num_follow_edges >= 3 * (50 - 3)
+
+    def test_heavy_tail_of_followers(self, rng):
+        """Preferential attachment must concentrate followers on few users."""
+        population = generate_population(400, rng=rng)
+        net = generate_follower_network(population, rng=rng, follows_per_user=5)
+        counts = sorted(
+            (net.follower_count(u.username) for u in population), reverse=True
+        )
+        top_share = sum(counts[:40]) / max(sum(counts), 1)
+        assert top_share > 0.35  # top 10% of users hold >35% of followers
+
+    def test_quality_correlates_with_followers(self, rng):
+        population = generate_population(300, rng=rng)
+        net = generate_follower_network(population, rng=rng)
+        qualities = np.array([u.quality for u in population])
+        followers = np.array(
+            [net.follower_count(u.username) for u in population], dtype=float
+        )
+        correlation = np.corrcoef(qualities, followers)[0, 1]
+        assert correlation > 0.2
+
+    def test_invalid_parameters(self, rng):
+        population = generate_population(10, rng=rng)
+        with pytest.raises(SimulationError):
+            generate_follower_network(population, follows_per_user=0)
+        with pytest.raises(SimulationError):
+            generate_follower_network(population, fitness_exponent=-1.0)
+
+
+class TestCascadeConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"days": 0},
+            {"retweet_base": 1.5},
+            {"max_cascade_depth": 0},
+            {"max_retweeters_per_hop": 0},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(SimulationError):
+            CascadeConfig(**kwargs)
+
+
+class TestSimulateCorpus:
+    def test_corpus_contains_retweet_markers(self, rng):
+        population = generate_population(80, rng=rng)
+        net = generate_follower_network(population, rng=rng)
+        corpus = simulate_corpus(population, net, rng=rng)
+        assert corpus.retweet_count() > 0
+
+    def test_corpus_parses_into_graph(self, rng):
+        population = generate_population(80, rng=rng)
+        net = generate_follower_network(population, rng=rng)
+        corpus = simulate_corpus(population, net, rng=rng)
+        graph = build_user_graph(corpus)
+        assert graph.num_edges > 0
+        # Retweet edges can only exist between population members.
+        names = {u.username for u in population}
+        for source, target in graph.edges():
+            assert source in names and target in names
+
+    def test_population_network_size_mismatch(self, rng):
+        population = generate_population(10, rng=rng)
+        net = FollowerNetwork(["x", "y"])
+        with pytest.raises(SimulationError):
+            simulate_corpus(population, net, rng=rng)
+
+    def test_chain_depth_bounded(self, rng):
+        population = generate_population(60, rng=rng)
+        net = generate_follower_network(population, rng=rng)
+        cfg = CascadeConfig(max_cascade_depth=2)
+        corpus = simulate_corpus(population, net, config=cfg, rng=rng)
+        from repro.estimation.tweets import RETWEET_PATTERN
+
+        for tweet in corpus:
+            assert len(RETWEET_PATTERN.findall(tweet.text)) <= 2
+
+    def test_deterministic_with_seed(self):
+        _, _, corpus_a = generate_microblog_service(60, seed=3)
+        _, _, corpus_b = generate_microblog_service(60, seed=3)
+        assert len(corpus_a) == len(corpus_b)
+        assert [t.text for t in corpus_a] == [t.text for t in corpus_b]
+
+    def test_quality_drives_retweets(self):
+        """High-quality users must collect more retweet in-links."""
+        population, _, corpus = generate_microblog_service(300, seed=9)
+        graph = build_user_graph(corpus)
+        quality = {u.username: u.quality for u in population}
+        in_deg = [
+            (graph.in_degree(u), quality[u]) for u in graph.nodes() if u in quality
+        ]
+        degrees = np.array([d for d, _ in in_deg], dtype=float)
+        qualities = np.array([q for _, q in in_deg])
+        if degrees.std() > 0:
+            correlation = np.corrcoef(degrees, qualities)[0, 1]
+            assert correlation > 0.1
+
+
+class TestDataset:
+    def test_population_roundtrip(self, tmp_path, rng):
+        population = generate_population(12, rng=rng)
+        path = tmp_path / "pop.jsonl"
+        save_population(population, path)
+        loaded = load_population(path)
+        assert loaded == population
+
+    def test_load_malformed(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"username": "x"}\n')
+        with pytest.raises(SimulationError):
+            load_population(path)
+
+    def test_demo_corpus_shape(self):
+        corpus = make_demo_corpus()
+        assert len(corpus) == 16
+        assert "alice" in corpus.authors
+        assert corpus.retweet_count() >= 10

@@ -1,0 +1,87 @@
+"""Tests for sequential (adaptive) polling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.juror import Jury
+from repro.errors import SimulationError
+from repro.simulation.adaptive import adaptive_poll, compare_with_static
+
+
+class TestAdaptivePoll:
+    def test_basic_outcome_fields(self, rng):
+        jury = Jury.from_error_rates([0.1, 0.2, 0.3])
+        outcome = adaptive_poll(jury, 1, rng=rng)
+        assert outcome.decision in (0, 1)
+        assert 1 <= outcome.questions_asked <= 3
+
+    def test_invalid_truth(self, rng):
+        jury = Jury.from_error_rates([0.1])
+        with pytest.raises(SimulationError):
+            adaptive_poll(jury, 2, rng=rng)
+
+    def test_invalid_delta(self, rng):
+        jury = Jury.from_error_rates([0.1])
+        with pytest.raises(SimulationError):
+            adaptive_poll(jury, 1, delta=0.7, rng=rng)
+
+    def test_single_confident_juror_stops_immediately(self, rng):
+        # eps = 0.01 -> log-odds ~ 4.6, above the delta=0.05 threshold (~2.94):
+        # one answer settles the question.
+        jury = Jury.from_error_rates([0.01, 0.4, 0.4])
+        outcome = adaptive_poll(jury, 1, delta=0.05, rng=rng)
+        assert outcome.questions_asked == 1
+        assert outcome.stopped_early
+
+    def test_weak_jurors_need_more_questions(self, rng):
+        jury = Jury.from_error_rates([0.45] * 9)
+        asked = [
+            adaptive_poll(jury, 1, delta=0.01, rng=rng).questions_asked
+            for _ in range(30)
+        ]
+        assert np.mean(asked) > 3
+
+    def test_accuracy_tracks_delta(self):
+        jury = Jury.from_error_rates([0.3] * 15)
+        rng = np.random.default_rng(8)
+        correct = 0
+        trials = 1500
+        for t in range(trials):
+            truth = t % 2
+            outcome = adaptive_poll(jury, truth, delta=0.05, rng=rng)
+            correct += outcome.decision == truth
+        # SPRT with threshold (1-delta)/delta targets ~1 - delta accuracy.
+        assert correct / trials >= 0.9
+
+    def test_deterministic_with_seed(self):
+        jury = Jury.from_error_rates([0.2, 0.3, 0.4, 0.25, 0.35])
+        a = adaptive_poll(jury, 1, rng=np.random.default_rng(4))
+        b = adaptive_poll(jury, 1, rng=np.random.default_rng(4))
+        assert a == b
+
+
+class TestCompareWithStatic:
+    def test_saves_questions_without_losing_much_accuracy(self):
+        jury = Jury.from_error_rates([0.1, 0.15, 0.2, 0.25, 0.3, 0.2, 0.15])
+        comparison = compare_with_static(
+            jury, trials=1200, delta=0.02, rng=np.random.default_rng(9)
+        )
+        assert comparison.adaptive_mean_questions < jury.size
+        assert comparison.question_savings > 0.2
+        assert comparison.adaptive_accuracy >= comparison.static_accuracy - 0.03
+
+    def test_static_fields(self):
+        jury = Jury.from_error_rates([0.2, 0.3, 0.4])
+        comparison = compare_with_static(
+            jury, trials=100, rng=np.random.default_rng(1)
+        )
+        assert comparison.static_questions == 3
+        assert comparison.static_accuracy == pytest.approx(1 - 0.20 - 0.044, abs=0.05)
+        assert comparison.trials == 100
+
+    def test_invalid_trials(self):
+        jury = Jury.from_error_rates([0.2])
+        with pytest.raises(SimulationError):
+            compare_with_static(jury, trials=0)

@@ -1,0 +1,105 @@
+"""Tests for the correlated-juror simulation (independence stress test)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.jer import jury_error_rate
+from repro.core.juror import Jury
+from repro.errors import SimulationError
+from repro.simulation.correlated import (
+    correlation_penalty,
+    empirical_jer_correlated,
+    sample_correlated_votes,
+)
+
+
+class TestSampleCorrelatedVotes:
+    def test_shape_and_binary(self, rng):
+        jury = Jury.from_error_rates([0.2, 0.3, 0.4])
+        votes = sample_correlated_votes(jury, 1, trials=100, rho=0.5, rng=rng)
+        assert votes.shape == (100, 3)
+        assert set(np.unique(votes)) <= {0, 1}
+
+    def test_marginals_preserved_under_correlation(self, rng):
+        """The copula must keep each juror's marginal error rate exact."""
+        eps = [0.1, 0.3, 0.5, 0.7]
+        jury = Jury.from_error_rates(eps, allow_even=True)
+        votes = sample_correlated_votes(jury, 1, trials=60_000, rho=0.6, rng=rng)
+        wrong_rates = np.mean(votes == 0, axis=0)
+        np.testing.assert_allclose(wrong_rates, eps, atol=0.015)
+
+    def test_rho_zero_is_independent(self, rng):
+        jury = Jury.from_error_rates([0.3, 0.3], allow_even=True)
+        votes = sample_correlated_votes(jury, 1, trials=60_000, rho=0.0, rng=rng)
+        errs = votes == 0
+        joint = np.mean(errs[:, 0] & errs[:, 1])
+        assert joint == pytest.approx(0.09, abs=0.01)  # independent product
+
+    def test_high_rho_couples_errors(self, rng):
+        jury = Jury.from_error_rates([0.3, 0.3], allow_even=True)
+        votes = sample_correlated_votes(jury, 1, trials=60_000, rho=0.9, rng=rng)
+        errs = votes == 0
+        joint = np.mean(errs[:, 0] & errs[:, 1])
+        assert joint > 0.2  # far above the independent 0.09
+
+    @pytest.mark.parametrize("bad_rho", [-0.1, 1.0, 1.5])
+    def test_invalid_rho(self, bad_rho, rng):
+        jury = Jury.from_error_rates([0.2])
+        with pytest.raises(SimulationError):
+            sample_correlated_votes(jury, 1, trials=1, rho=bad_rho, rng=rng)
+
+    def test_invalid_truth(self, rng):
+        jury = Jury.from_error_rates([0.2])
+        with pytest.raises(SimulationError):
+            sample_correlated_votes(jury, 2, trials=1, rho=0.1, rng=rng)
+
+    def test_invalid_trials(self, rng):
+        jury = Jury.from_error_rates([0.2])
+        with pytest.raises(SimulationError):
+            sample_correlated_votes(jury, 1, trials=0, rho=0.1, rng=rng)
+
+
+class TestEmpiricalJERCorrelated:
+    def test_rho_zero_matches_analytic(self, rng):
+        jury = Jury.from_error_rates([0.2, 0.3, 0.3])
+        rate = empirical_jer_correlated(jury, rho=0.0, trials=50_000, rng=rng)
+        assert rate == pytest.approx(jury_error_rate(jury), abs=0.008)
+
+    def test_jer_increases_with_rho_for_reliable_jury(self, rng):
+        jury = Jury.from_error_rates([0.2] * 9)
+        rates = [
+            empirical_jer_correlated(jury, rho=r, trials=40_000, rng=rng)
+            for r in (0.0, 0.4, 0.8)
+        ]
+        assert rates[0] < rates[1] < rates[2]
+
+    def test_extreme_correlation_approaches_individual_error(self, rng):
+        """As rho -> 1 the jury errs as one juror: JER -> eps."""
+        jury = Jury.from_error_rates([0.3] * 11)
+        rate = empirical_jer_correlated(jury, rho=0.97, trials=40_000, rng=rng)
+        assert rate == pytest.approx(0.3, abs=0.04)
+
+
+class TestCorrelationPenalty:
+    def test_positive_for_reliable_crowd(self, rng):
+        jury = Jury.from_error_rates([0.25] * 7)
+        result = correlation_penalty(jury, rho=0.6, trials=40_000, rng=rng)
+        assert result.penalty > 0.03
+        assert result.analytic_independent == pytest.approx(
+            jury_error_rate(jury)
+        )
+
+    def test_near_zero_at_rho_zero(self, rng):
+        jury = Jury.from_error_rates([0.25] * 7)
+        result = correlation_penalty(jury, rho=0.0, trials=60_000, rng=rng)
+        assert abs(result.penalty) < 0.01
+
+    def test_fields(self, rng):
+        jury = Jury.from_error_rates([0.2, 0.3, 0.4])
+        result = correlation_penalty(jury, rho=0.5, trials=5_000, rng=rng)
+        assert result.rho == 0.5
+        assert result.empirical_correlated == pytest.approx(
+            result.analytic_independent + result.penalty
+        )

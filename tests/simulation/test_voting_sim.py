@@ -1,0 +1,147 @@
+"""Tests for the Monte-Carlo voting simulation and its tasks substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.jer import jury_error_rate
+from repro.core.juror import Jury
+from repro.errors import SimulationError
+from repro.simulation.tasks import DecisionTask, generate_tasks
+from repro.simulation.voting_sim import (
+    empirical_jer,
+    sample_votes,
+    simulate_accuracy_over_tasks,
+    simulate_task,
+    validate_jer,
+)
+
+
+class TestDecisionTask:
+    def test_valid(self):
+        task = DecisionTask("Is Turkey in Europe?", 1, "turkey")
+        assert task.ground_truth == 1
+        assert task.task_id == "turkey"
+
+    def test_auto_id(self):
+        a = DecisionTask("q?", 0)
+        b = DecisionTask("q?", 0)
+        assert a.task_id != b.task_id
+
+    def test_invalid_truth(self):
+        with pytest.raises(SimulationError):
+            DecisionTask("q?", 2)
+
+    def test_empty_question(self):
+        with pytest.raises(SimulationError):
+            DecisionTask("", 1)
+
+
+class TestGenerateTasks:
+    def test_count(self, rng):
+        assert len(list(generate_tasks(7, rng=rng))) == 7
+
+    def test_zero_count(self, rng):
+        assert list(generate_tasks(0, rng=rng)) == []
+
+    def test_negative_count(self, rng):
+        with pytest.raises(SimulationError):
+            list(generate_tasks(-1, rng=rng))
+
+    def test_truth_probability_extremes(self, rng):
+        all_true = list(generate_tasks(20, rng=rng, truth_probability=1.0))
+        assert all(t.ground_truth == 1 for t in all_true)
+        all_false = list(generate_tasks(20, rng=rng, truth_probability=0.0))
+        assert all(t.ground_truth == 0 for t in all_false)
+
+    def test_invalid_probability(self, rng):
+        with pytest.raises(SimulationError):
+            list(generate_tasks(1, rng=rng, truth_probability=1.5))
+
+
+class TestSampleVotes:
+    def test_shape_and_binary(self, rng):
+        jury = Jury.from_error_rates([0.2, 0.3, 0.4])
+        votes = sample_votes(jury, 1, trials=50, rng=rng)
+        assert votes.shape == (50, 3)
+        assert set(np.unique(votes)) <= {0, 1}
+
+    def test_error_rate_respected(self, rng):
+        jury = Jury.from_error_rates([0.9, 0.1, 0.5])
+        votes = sample_votes(jury, 1, trials=20_000, rng=rng)
+        wrong_rates = np.mean(votes == 0, axis=0)
+        np.testing.assert_allclose(wrong_rates, [0.9, 0.1, 0.5], atol=0.02)
+
+    def test_ground_truth_zero(self, rng):
+        jury = Jury.from_error_rates([0.1, 0.1, 0.1])
+        votes = sample_votes(jury, 0, trials=1000, rng=rng)
+        # Mostly correct -> mostly zeros.
+        assert votes.mean() < 0.2
+
+    def test_invalid_truth(self, rng):
+        jury = Jury.from_error_rates([0.1])
+        with pytest.raises(SimulationError):
+            sample_votes(jury, 2, trials=1, rng=rng)
+
+    def test_invalid_trials(self, rng):
+        jury = Jury.from_error_rates([0.1])
+        with pytest.raises(SimulationError):
+            sample_votes(jury, 1, trials=0, rng=rng)
+
+
+class TestEmpiricalJER:
+    def test_matches_analytic_paper_jury(self, rng):
+        jury = Jury.from_error_rates([0.2, 0.3, 0.3])
+        rate = empirical_jer(jury, trials=40_000, rng=rng)
+        assert rate == pytest.approx(0.174, abs=0.01)
+
+    def test_single_juror(self, rng):
+        jury = Jury.from_error_rates([0.35])
+        rate = empirical_jer(jury, trials=40_000, rng=rng)
+        assert rate == pytest.approx(0.35, abs=0.01)
+
+    @given(
+        st.lists(st.floats(min_value=0.05, max_value=0.95), min_size=1, max_size=7)
+        .filter(lambda xs: len(xs) % 2 == 1)
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_statistical_agreement(self, eps):
+        jury = Jury.from_error_rates(eps)
+        validation = validate_jer(jury, trials=30_000, rng=np.random.default_rng(0))
+        assert validation.consistent(z_threshold=5.0)
+
+    def test_validation_fields(self, rng):
+        jury = Jury.from_error_rates([0.2, 0.3, 0.3])
+        validation = validate_jer(jury, trials=10_000, rng=rng)
+        assert validation.analytic == pytest.approx(jury_error_rate(jury))
+        assert validation.trials == 10_000
+        assert validation.stderr > 0.0
+
+
+class TestSimulateTask:
+    def test_returns_decision_and_correctness(self, rng):
+        jury = Jury.from_error_rates([0.01, 0.01, 0.01])
+        task = DecisionTask("easy question", 1)
+        decision, correct = simulate_task(jury, task, rng=rng)
+        assert decision in (0, 1)
+        assert correct == (decision == 1)
+
+    def test_reliable_jury_mostly_correct(self, rng):
+        jury = Jury.from_error_rates([0.05, 0.05, 0.05])
+        tasks = list(generate_tasks(200, rng=rng))
+        accuracy = simulate_accuracy_over_tasks(jury, tasks, rng=rng)
+        assert accuracy > 0.9
+
+    def test_accuracy_requires_tasks(self, rng):
+        jury = Jury.from_error_rates([0.1])
+        with pytest.raises(SimulationError):
+            simulate_accuracy_over_tasks(jury, [], rng=rng)
+
+    def test_accuracy_close_to_one_minus_jer(self, rng):
+        jury = Jury.from_error_rates([0.2, 0.25, 0.3, 0.35, 0.15])
+        tasks = list(generate_tasks(4000, rng=rng))
+        accuracy = simulate_accuracy_over_tasks(jury, tasks, rng=rng)
+        assert accuracy == pytest.approx(1.0 - jury_error_rate(jury), abs=0.03)

@@ -1,0 +1,98 @@
+"""Tests for the Section 5.1 synthetic workload generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.synth.generators import (
+    generate_error_rates,
+    generate_requirements,
+    generate_workload,
+)
+
+
+class TestGenerateErrorRates:
+    def test_in_open_interval(self, rng):
+        eps = generate_error_rates(5000, 0.5, 0.3, rng)
+        assert np.all(eps > 0.0)
+        assert np.all(eps < 1.0)
+
+    def test_mean_roughly_respected(self, rng):
+        eps = generate_error_rates(20_000, 0.4, 0.01, rng)
+        assert eps.mean() == pytest.approx(0.4, abs=0.01)
+
+    def test_variance_is_variance_not_std(self, rng):
+        """Paper gives variances; generator must interpret them as such."""
+        eps = generate_error_rates(50_000, 0.5, 0.04, rng)
+        # With mean 0.5 and variance 0.04 (std 0.2), clipping is mild.
+        assert eps.std() == pytest.approx(0.2, abs=0.02)
+
+    def test_clipping_at_extreme_mean(self, rng):
+        eps = generate_error_rates(1000, 0.95, 0.1, rng)
+        assert np.all(eps <= 1.0 - 1e-3 + 1e-12)
+
+    def test_invalid_args(self, rng):
+        with pytest.raises(SimulationError):
+            generate_error_rates(0, 0.5, 0.1, rng)
+        with pytest.raises(SimulationError):
+            generate_error_rates(10, 0.5, -0.1, rng)
+
+
+class TestGenerateRequirements:
+    def test_non_negative(self, rng):
+        reqs = generate_requirements(5000, 0.1, 0.2, rng)
+        assert np.all(reqs >= 0.0)
+
+    def test_mean_roughly_respected(self, rng):
+        reqs = generate_requirements(20_000, 2.0, 0.01, rng)
+        assert reqs.mean() == pytest.approx(2.0, abs=0.02)
+
+    def test_invalid_args(self, rng):
+        with pytest.raises(SimulationError):
+            generate_requirements(-5, 0.5, 0.1, rng)
+
+
+class TestGenerateWorkload:
+    def test_basic_shape(self):
+        wl = generate_workload(50, eps_mean=0.2, eps_variance=0.05, seed=1)
+        assert wl.size == 50
+        assert len(wl.error_rates()) == 50
+        assert wl.seed == 1
+
+    def test_altruistic_by_default(self):
+        wl = generate_workload(20, eps_mean=0.2, eps_variance=0.05, seed=2)
+        assert np.all(wl.requirements() == 0.0)
+
+    def test_paym_requirements(self):
+        wl = generate_workload(
+            20, eps_mean=0.2, eps_variance=0.05, req_mean=0.5, req_variance=0.2,
+            seed=3,
+        )
+        assert np.any(wl.requirements() > 0.0)
+
+    def test_deterministic_by_seed(self):
+        a = generate_workload(30, eps_mean=0.3, eps_variance=0.1, seed=7)
+        b = generate_workload(30, eps_mean=0.3, eps_variance=0.1, seed=7)
+        np.testing.assert_array_equal(a.error_rates(), b.error_rates())
+
+    def test_external_rng_wins_over_seed(self):
+        rng = np.random.default_rng(0)
+        wl = generate_workload(
+            10, eps_mean=0.3, eps_variance=0.1, seed=99, rng=rng
+        )
+        assert wl.seed is None
+
+    def test_jurors_usable_by_selectors(self):
+        from repro.core.selection.altr import select_jury_altr
+
+        wl = generate_workload(31, eps_mean=0.25, eps_variance=0.05, seed=5)
+        result = select_jury_altr(list(wl.jurors))
+        assert result.size % 2 == 1
+
+    def test_id_prefix(self):
+        wl = generate_workload(
+            3, eps_mean=0.5, eps_variance=0.05, seed=1, id_prefix="w"
+        )
+        assert [j.juror_id for j in wl.jurors] == ["w1", "w2", "w3"]

@@ -1,0 +1,118 @@
+"""Tests for the ``repro-select`` command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import load_candidates_csv, main
+from repro.errors import ReproError
+
+CSV_HEADER = "id,error_rate,requirement\n"
+FIGURE1_CSV = CSV_HEADER + "\n".join(
+    [
+        "A,0.1,0.2",
+        "B,0.2,0.2",
+        "C,0.2,0.2",
+        "D,0.3,0.4",
+        "E,0.3,0.65",
+        "F,0.4,0.1",
+        "G,0.4,0.1",
+    ]
+) + "\n"
+
+
+@pytest.fixture
+def candidates_csv(tmp_path):
+    path = tmp_path / "candidates.csv"
+    path.write_text(FIGURE1_CSV)
+    return path
+
+
+class TestLoadCandidatesCsv:
+    def test_loads_all_rows(self, candidates_csv):
+        jurors = load_candidates_csv(candidates_csv)
+        assert len(jurors) == 7
+        assert jurors[0].juror_id == "A"
+        assert jurors[4].requirement == pytest.approx(0.65)
+
+    def test_requirement_optional(self, tmp_path):
+        path = tmp_path / "free.csv"
+        path.write_text("id,error_rate\nx,0.2\ny,0.3\n")
+        jurors = load_candidates_csv(path)
+        assert all(j.requirement == 0.0 for j in jurors)
+
+    def test_header_required(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("name,score\nx,0.2\n")
+        with pytest.raises(ReproError):
+            load_candidates_csv(path)
+
+    def test_bad_value_reports_row(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("id,error_rate\nx,not-a-number\n")
+        with pytest.raises(ReproError, match=":2:"):
+            load_candidates_csv(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ReproError):
+            load_candidates_csv(path)
+
+    def test_no_rows(self, tmp_path):
+        path = tmp_path / "rows.csv"
+        path.write_text("id,error_rate\n")
+        with pytest.raises(ReproError):
+            load_candidates_csv(path)
+
+    def test_out_of_range_error_rate(self, tmp_path):
+        path = tmp_path / "oob.csv"
+        path.write_text("id,error_rate\nx,1.5\n")
+        with pytest.raises(ReproError):
+            load_candidates_csv(path)
+
+
+class TestMain:
+    def test_altr_default(self, candidates_csv, capsys):
+        assert main([str(candidates_csv)]) == 0
+        out = capsys.readouterr().out
+        assert "AltrALG" in out
+        assert "size=5" in out
+
+    def test_pay_with_budget(self, candidates_csv, capsys):
+        assert main([str(candidates_csv), "--budget", "1.0"]) == 0
+        out = capsys.readouterr().out
+        assert "PayALG" in out
+        assert "A:" in out and "B:" in out and "C:" in out
+
+    def test_exact_with_budget(self, candidates_csv, capsys):
+        assert main([str(candidates_csv), "--budget", "1.0", "--exact"]) == 0
+        out = capsys.readouterr().out
+        assert "OPT" in out
+
+    def test_improved_variant(self, candidates_csv, capsys):
+        code = main(
+            [str(candidates_csv), "--budget", "100", "--variant", "improved"]
+        )
+        assert code == 0
+        assert "PayALG-improved" in capsys.readouterr().out
+
+    def test_json_output(self, candidates_csv, capsys):
+        assert main([str(candidates_csv), "--budget", "1.0", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["model"] == "PayM"
+        assert payload["size"] == 3
+        assert {m["id"] for m in payload["members"]} == {"A", "B", "C"}
+        assert payload["jer"] == pytest.approx(0.072)
+
+    def test_missing_file_is_error_exit(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope.csv")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_infeasible_budget_is_error_exit(self, tmp_path, capsys):
+        path = tmp_path / "pricey.csv"
+        path.write_text("id,error_rate,requirement\nx,0.2,9.0\n")
+        assert main([str(path), "--budget", "1.0"]) == 1
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,140 @@
+"""End-to-end integration tests across subsystem boundaries.
+
+These walk the same paths the examples do: simulate a service, estimate
+parameters, select juries, validate by simulation — asserting the
+cross-module contracts rather than any single unit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.analysis import diagnose_jury
+from repro.core.selection.altr import select_jury_altr
+from repro.core.selection.exact import branch_and_bound_optimal
+from repro.core.selection.pay import select_jury_pay
+from repro.estimation import estimate_candidates
+from repro.estimation.history import jurors_from_history
+from repro.microblog import account_age_map, generate_microblog_service
+from repro.simulation import sample_votes, validate_jer
+
+
+class TestPackageSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.__all__ lists missing {name!r}"
+
+    def test_subpackage_all_exports_resolve(self):
+        import repro.analysis
+        import repro.core
+        import repro.estimation
+        import repro.experiments
+        import repro.microblog
+        import repro.simulation
+        import repro.synth
+
+        for module in (
+            repro.core,
+            repro.estimation,
+            repro.microblog,
+            repro.simulation,
+            repro.synth,
+            repro.analysis,
+            repro.experiments,
+        ):
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module.__name__}.{name} missing"
+
+
+class TestSimulateEstimateSelectValidate:
+    """The full loop: raw tweets in, validated jury decision quality out."""
+
+    @pytest.fixture(scope="class")
+    def service(self):
+        return generate_microblog_service(350, seed=1234)
+
+    def test_altr_loop(self, service):
+        population, _, corpus = service
+        estimate = estimate_candidates(corpus, ranking="hits", top_k=60)
+        selection = select_jury_altr(estimate.jurors)
+        assert selection.size % 2 == 1
+        # The selection must be validated by its own Monte-Carlo model.
+        check = validate_jer(
+            selection.jury, trials=20_000, rng=np.random.default_rng(0)
+        )
+        assert check.consistent(z_threshold=5.0)
+
+    def test_paym_loop_budget_respected(self, service):
+        population, _, corpus = service
+        ages = account_age_map(population, observation_day=2000.0)
+        estimate = estimate_candidates(
+            corpus, ranking="pagerank", top_k=40, account_ages=ages
+        )
+        budget = 0.75
+        greedy = select_jury_pay(estimate.jurors, budget=budget)
+        assert greedy.total_cost <= budget + 1e-9
+        exact = branch_and_bound_optimal(estimate.jurors[:18], budget=budget)
+        assert exact.jer <= greedy.jer + 1e-9 or exact.size > 0
+
+    def test_selected_jury_outperforms_average_user(self, service):
+        population, _, corpus = service
+        estimate = estimate_candidates(corpus, ranking="hits", top_k=60)
+        selection = select_jury_altr(estimate.jurors)
+        mean_estimated_eps = float(
+            np.mean([j.error_rate for j in estimate.jurors])
+        )
+        assert selection.jer < mean_estimated_eps
+
+
+class TestHistoryLoop:
+    """Voting history -> EM error rates -> selection -> better voting."""
+
+    def test_em_estimates_drive_good_selection(self):
+        rng = np.random.default_rng(7)
+        true_eps = np.array([0.05, 0.1, 0.15, 0.25, 0.35, 0.45, 0.45, 0.4, 0.3])
+        truth = rng.integers(0, 2, size=600)
+        wrong = rng.random((600, true_eps.size)) < true_eps
+        history = np.where(wrong, 1 - truth[:, None], truth[:, None])
+
+        candidates = jurors_from_history(history)
+        selection = select_jury_altr(candidates)
+
+        # Score the selected subset under the TRUE error rates.
+        chosen_indices = [
+            int(juror_id.split("-")[1]) - 1 for juror_id in selection.juror_ids
+        ]
+        true_jer = repro.jury_error_rate(true_eps[chosen_indices])
+        best_single = float(true_eps.min())
+        assert true_jer < best_single  # the jury beats the best individual
+
+    def test_diagnostics_on_history_jury(self):
+        rng = np.random.default_rng(8)
+        true_eps = np.array([0.1, 0.2, 0.3, 0.25, 0.15])
+        truth = rng.integers(0, 2, size=500)
+        wrong = rng.random((500, true_eps.size)) < true_eps
+        history = np.where(wrong, 1 - truth[:, None], truth[:, None])
+        candidates = jurors_from_history(history)
+        selection = select_jury_altr(candidates)
+        report = diagnose_jury(selection.jury)
+        assert report.weighted_jer <= report.jer + 1e-12
+
+
+class TestVotingMatricesRoundTrip:
+    def test_sampled_votes_feed_em_back(self):
+        """Simulation output is valid EM input — the two substrates agree on
+        the vote-matrix convention."""
+        from repro.core.juror import Jury
+        from repro.estimation.history import estimate_error_rates_em
+
+        rng = np.random.default_rng(9)
+        jury = Jury.from_error_rates([0.1, 0.2, 0.3, 0.4, 0.25])
+        votes = sample_votes(jury, ground_truth=1, trials=800, rng=rng)
+        fit = estimate_error_rates_em(votes)
+        np.testing.assert_allclose(
+            fit.error_rates, jury.error_rates, atol=0.08
+        )
