@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Throughput benchmark: batch engine vs looped single-query selection.
+
+Scenario mirrors the platform workload the service subsystem targets: many
+concurrent decision tasks selecting juries from candidate pools.
+
+* ``shared``   — all tasks draw from one shared candidate pool (the common
+  case on a micro-blog service: one user population, many tasks).
+* ``distinct`` — every task has its own pool (worst case for caching; the
+  2-D vectorized kernel still sweeps them together).
+
+For each scenario the benchmark times (a) a loop of single-query
+``select_jury_altr`` calls and (b) one ``BatchSelectionEngine.run`` over the
+same queries, verifies the selections are bit-identical, and reports
+queries/second plus the speedup.  The acceptance bar for the shared
+scenario at the default size (1,000 tasks, 101 candidates) is >= 5x.
+
+Run:  PYTHONPATH=src python benchmarks/bench_batch.py [--smoke] [--tasks N]
+      [--pool-size N]
+
+``--smoke`` shrinks the workload for CI smoke jobs and exits non-zero if
+batch execution fails to beat the loop at all (a regression canary, kept
+loose on purpose so shared CI runners do not flake).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.core.juror import jurors_from_arrays  # noqa: E402
+from repro.core.selection.altr import select_jury_altr  # noqa: E402
+from repro.service import BatchSelectionEngine, CandidatePool, SelectionQuery  # noqa: E402
+from repro.testing import BENCH_SEED  # noqa: E402
+
+
+def _make_pool(rng: np.random.Generator, size: int, tag: str) -> CandidatePool:
+    eps = rng.uniform(0.05, 0.6, size=size)
+    return CandidatePool(jurors_from_arrays(eps, id_prefix=f"{tag}-j"), pool_id=tag)
+
+
+def _run_scenario(
+    name: str, pools: list[CandidatePool], tasks: int
+) -> tuple[float, float]:
+    """Time loop vs batch over ``tasks`` queries round-robined over ``pools``."""
+    task_pools = [pools[i % len(pools)] for i in range(tasks)]
+    queries = [
+        SelectionQuery(task_id=f"{name}-{i}", pool=pool)
+        for i, pool in enumerate(task_pools)
+    ]
+
+    start = time.perf_counter()
+    loop_results = [select_jury_altr(list(pool.ordered)) for pool in task_pools]
+    loop_seconds = time.perf_counter() - start
+
+    engine = BatchSelectionEngine()
+    start = time.perf_counter()
+    outcomes = engine.run(queries)
+    batch_seconds = time.perf_counter() - start
+
+    for outcome, single in zip(outcomes, loop_results):
+        assert outcome.ok, outcome.error
+        if outcome.result.jer != single.jer or (
+            outcome.result.juror_ids != single.juror_ids
+        ):
+            raise AssertionError(
+                f"{name}: batch result diverged from scalar path for "
+                f"task {outcome.task_id}"
+            )
+
+    loop_qps = tasks / loop_seconds
+    batch_qps = tasks / batch_seconds
+    speedup = loop_seconds / batch_seconds
+    print(
+        f"  {name:<9} loop: {loop_seconds:8.3f}s ({loop_qps:10.1f} q/s)   "
+        f"batch: {batch_seconds:8.3f}s ({batch_qps:10.1f} q/s)   "
+        f"speedup: {speedup:6.1f}x   [sweeps={engine.stats.batch_sweeps}, "
+        f"pools={engine.stats.pools_swept}]"
+    )
+    return speedup, batch_qps
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tasks", type=int, default=1000, help="queries per scenario")
+    parser.add_argument("--pool-size", type=int, default=101, help="candidates per pool")
+    parser.add_argument(
+        "--distinct-pools", type=int, default=50,
+        help="number of distinct pools in the 'distinct' scenario",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small sizes + regression check (CI smoke job)",
+    )
+    args = parser.parse_args(argv)
+
+    tasks, pool_size, distinct = args.tasks, args.pool_size, args.distinct_pools
+    if args.smoke:
+        tasks, pool_size, distinct = 60, 31, 12
+
+    rng = np.random.default_rng(BENCH_SEED)
+    print(
+        f"bench_batch: {tasks} tasks, pool size {pool_size} "
+        f"({'smoke' if args.smoke else 'full'} mode)"
+    )
+
+    shared_pool = _make_pool(rng, pool_size, "shared")
+    shared_speedup, _ = _run_scenario("shared", [shared_pool], tasks)
+
+    distinct_pools = [_make_pool(rng, pool_size, f"d{i}") for i in range(distinct)]
+    distinct_speedup, _ = _run_scenario("distinct", distinct_pools, tasks)
+
+    print(
+        f"  summary   shared-pool speedup {shared_speedup:.1f}x, "
+        f"distinct-pool speedup {distinct_speedup:.1f}x "
+        f"(results verified bit-identical to the scalar path)"
+    )
+    if args.smoke and shared_speedup < 1.0:
+        print("SMOKE FAILURE: batch path slower than the single-query loop",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,13 +3,20 @@
 Every figure/table bench saves its reproduced series to
 ``benchmarks/results/<experiment_id>.txt`` so the artefacts survive pytest's
 stdout capture; EXPERIMENTS.md indexes them.
+
+Seeds and oracle tolerances are imported from :mod:`repro.testing` — the
+same module ``tests/conftest.py`` uses — so benchmark assertions can never
+drift out of sync with the unit-test oracle tolerances.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
 
+import numpy as np
 import pytest
+
+from repro.testing import BENCH_SEED, ORACLE_ATOL
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -31,3 +38,15 @@ def save_artifact(results_dir):
         return path
 
     return _save
+
+
+@pytest.fixture
+def bench_rng() -> np.random.Generator:
+    """Deterministic generator for synthetic benchmark workloads."""
+    return np.random.default_rng(BENCH_SEED)
+
+
+@pytest.fixture
+def oracle_atol() -> float:
+    """Cross-backend agreement tolerance, shared with the test suite."""
+    return ORACLE_ATOL

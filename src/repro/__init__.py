@@ -26,6 +26,10 @@ Package map
     Jurors, juries, Majority Voting, the Poisson-Binomial distribution of the
     carelessness count, JER algorithms (naive / DP / convolution-FFT), bounds,
     and the AltrM / PayM / exact selectors.
+``repro.service``
+    The batch selection engine: many queries (mixed AltrM / PayM / exact,
+    shared or per-task candidate pools) executed through vectorized prefix
+    sweeps with per-pool caching; the scalar selectors wrap it.
 ``repro.estimation``
     Parameter estimation from raw tweets (paper Section 4): retweet-graph
     construction, from-scratch HITS and PageRank, error-rate normalisation and
@@ -83,6 +87,14 @@ from repro.core import (
     select_jury_pay,
     weighted_jury_error_rate,
 )
+from repro.service import (
+    BatchSelectionEngine,
+    CandidatePool,
+    PrefixSweepCache,
+    QueryOutcome,
+    SelectionQuery,
+)
+from repro.core.jer import batch_prefix_jer_sweep, best_odd_prefix, prefix_jer_profile
 from repro.errors import (
     BudgetError,
     ConvergenceError,
@@ -120,6 +132,15 @@ __all__ = [
     "jer_cba",
     "majority_threshold",
     "PrefixJERSweeper",
+    "batch_prefix_jer_sweep",
+    "prefix_jer_profile",
+    "best_odd_prefix",
+    # batch service
+    "BatchSelectionEngine",
+    "SelectionQuery",
+    "QueryOutcome",
+    "CandidatePool",
+    "PrefixSweepCache",
     "paley_zygmund_lower_bound",
     "gamma_ratio",
     "markov_upper_bound",

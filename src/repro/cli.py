@@ -1,6 +1,7 @@
 """``repro-select`` — jury selection from the command line.
 
-Reads a CSV of candidate jurors and prints the selected jury:
+Single-query mode reads a CSV of candidate jurors and prints the selected
+jury:
 
     repro-select candidates.csv                          # AltrM optimum
     repro-select candidates.csv --budget 1.0             # PayALG greedy
@@ -9,6 +10,38 @@ Reads a CSV of candidate jurors and prints the selected jury:
 
 CSV format: a header line followed by ``id,error_rate[,requirement]`` rows.
 The requirement column is optional and defaults to 0 (altruistic jurors).
+
+Batch mode answers many selection queries in one pass through the
+:class:`~repro.service.BatchSelectionEngine` (vectorized sweeps, shared-pool
+caching, optional process pool for exact queries):
+
+    repro-select batch queries.jsonl                     # JSONL to stdout
+    repro-select batch queries.jsonl --out results.jsonl
+    repro-select batch queries.jsonl --workers 4         # parallel exact
+
+Batch input is JSON Lines; blank lines and ``#`` comments are skipped.
+A row *without* a ``"task"`` key defines a named shared pool:
+
+    {"pool": "P1", "candidates": [{"id": "A", "error_rate": 0.1,
+                                   "requirement": 0.2}, ...]}
+
+A row *with* a ``"task"`` key is a query, drawing candidates either from a
+previously defined pool (``"pool": "P1"``) or inline (``"candidates"``):
+
+    {"task": "t1", "pool": "P1"}
+    {"task": "t2", "pool": "P1", "model": "pay", "budget": 1.0}
+    {"task": "t3", "candidates": [...], "model": "exact", "max_size": 7}
+
+Supported query fields: ``model`` (``altr``/``pay``/``exact``, default
+``altr``), ``budget``, ``max_size``, ``variant`` (PayALG), ``method``
+(exact solver).  One output row is emitted per query row, in input order:
+``status: "ok"`` rows carry the selection, ``status: "error"`` rows carry
+the per-row diagnostic (also echoed to stderr as ``file:line: message``).
+Exit codes: 0 — all queries succeeded; 1 — fatal (unreadable input, no
+query rows); 2 — completed, but some rows were malformed or failed.
+
+``batch`` is a reserved word in the first argument position; to select
+from a CSV file literally named ``batch``, pass it as ``./batch``.
 """
 
 from __future__ import annotations
@@ -26,6 +59,7 @@ from repro.core.selection.base import SelectionResult
 from repro.core.selection.exact import select_jury_optimal
 from repro.core.selection.pay import select_jury_pay
 from repro.errors import ReproError
+from repro.service import BatchSelectionEngine, CandidatePool, SelectionQuery
 
 __all__ = ["load_candidates_csv", "main"]
 
@@ -97,12 +131,246 @@ def _render_json(result: SelectionResult) -> str:
     )
 
 
+# ----------------------------------------------------------------------
+# batch subcommand
+# ----------------------------------------------------------------------
+
+_QUERY_MODELS = ("altr", "pay", "exact")
+
+
+def _parse_candidates_json(value: object, where: str) -> list[Juror]:
+    """Parse a JSON ``candidates`` array into jurors, with located errors."""
+    if not isinstance(value, list) or not value:
+        raise ReproError(f"{where}: 'candidates' must be a non-empty array")
+    jurors: list[Juror] = []
+    for position, entry in enumerate(value):
+        if not isinstance(entry, dict):
+            raise ReproError(
+                f"{where}: candidate #{position} must be an object, "
+                f"got {type(entry).__name__}"
+            )
+        try:
+            jurors.append(
+                Juror(
+                    float(entry["error_rate"]),
+                    float(entry.get("requirement", 0.0)),
+                    juror_id=str(entry["id"]),
+                )
+            )
+        except KeyError as exc:
+            raise ReproError(
+                f"{where}: candidate #{position} is missing field {exc}"
+            ) from exc
+        except (TypeError, ValueError, ReproError) as exc:
+            raise ReproError(f"{where}: candidate #{position}: {exc}") from exc
+    return jurors
+
+
+def _query_from_row(
+    obj: dict, where: str, pools: dict[str, CandidatePool]
+) -> SelectionQuery:
+    """Build a :class:`SelectionQuery` from one parsed JSONL query row."""
+    task_id = str(obj["task"])
+    model = obj.get("model", "altr")
+    if model not in _QUERY_MODELS:
+        raise ReproError(
+            f"{where}: unknown model {model!r}; expected one of {_QUERY_MODELS}"
+        )
+    pool: CandidatePool | None = None
+    candidates: tuple[Juror, ...] | None = None
+    if "pool" in obj and "candidates" in obj:
+        raise ReproError(f"{where}: give either 'pool' or 'candidates', not both")
+    if "pool" in obj:
+        pool_name = str(obj["pool"])
+        pool = pools.get(pool_name)
+        if pool is None:
+            raise ReproError(f"{where}: query references undefined pool {pool_name!r}")
+    elif "candidates" in obj:
+        candidates = tuple(_parse_candidates_json(obj["candidates"], where))
+    else:
+        raise ReproError(f"{where}: query needs a 'pool' reference or inline 'candidates'")
+    budget = obj.get("budget")
+    max_size = obj.get("max_size")
+    try:
+        return SelectionQuery(
+            task_id=task_id,
+            candidates=candidates,
+            pool=pool,
+            model=model,
+            budget=None if budget is None else float(budget),
+            max_size=None if max_size is None else int(max_size),
+            variant=str(obj.get("variant", "paper")),
+            method=str(obj.get("method", "auto")),
+        )
+    except (TypeError, ValueError) as exc:
+        raise ReproError(f"{where}: {exc}") from exc
+
+
+def _batch_ok_row(task_id: str, result: SelectionResult) -> dict:
+    return {
+        "task": task_id,
+        "status": "ok",
+        "model": result.model,
+        "algorithm": result.algorithm,
+        "jer": result.jer,
+        "size": result.size,
+        "total_cost": result.total_cost,
+        "budget": result.budget,
+        "members": [
+            {
+                "id": j.juror_id,
+                "error_rate": j.error_rate,
+                "requirement": j.requirement,
+            }
+            for j in result.jury
+        ],
+    }
+
+
+def _batch_error_row(task_id: str | None, line: int | None, message: str) -> dict:
+    return {"task": task_id, "status": "error", "line": line, "error": message}
+
+
+def run_batch(args: argparse.Namespace) -> int:
+    """Execute the ``batch`` subcommand.  Returns a process exit code."""
+    source = Path(args.input)
+    try:
+        text = source.read_text(encoding="utf-8")
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    pools: dict[str, CandidatePool] = {}
+    queries: list[SelectionQuery] = []
+    query_lines: list[int] = []  # input line of each query, for diagnostics
+    # Output slots in input order: ("query", query_index) or a finished error row.
+    slots: list[tuple[str, object]] = []
+    had_row_errors = False
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        stripped = raw.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        where = f"{source}:{line_no}"
+        try:
+            obj = json.loads(stripped)
+            if not isinstance(obj, dict):
+                raise ReproError(f"{where}: row must be a JSON object")
+        except json.JSONDecodeError as exc:
+            print(f"{where}: invalid JSON: {exc.msg}", file=sys.stderr)
+            slots.append(("error", _batch_error_row(None, line_no, f"invalid JSON: {exc.msg}")))
+            had_row_errors = True
+            continue
+        except ReproError as exc:
+            print(str(exc), file=sys.stderr)
+            slots.append(("error", _batch_error_row(None, line_no, str(exc))))
+            had_row_errors = True
+            continue
+
+        if "task" not in obj:
+            # Pool-definition row.
+            try:
+                if "pool" not in obj or "candidates" not in obj:
+                    raise ReproError(
+                        f"{where}: row without 'task' must define a pool "
+                        "('pool' + 'candidates')"
+                    )
+                name = str(obj["pool"])
+                pools[name] = CandidatePool(
+                    _parse_candidates_json(obj["candidates"], where), pool_id=name
+                )
+            except ReproError as exc:
+                print(str(exc), file=sys.stderr)
+                slots.append(("error", _batch_error_row(None, line_no, str(exc))))
+                had_row_errors = True
+            continue
+
+        try:
+            query = _query_from_row(obj, where, pools)
+        except ReproError as exc:
+            print(str(exc), file=sys.stderr)
+            task = str(obj["task"]) if "task" in obj else None
+            slots.append(("error", _batch_error_row(task, line_no, str(exc))))
+            had_row_errors = True
+            continue
+        slots.append(("query", len(queries)))
+        queries.append(query)
+        query_lines.append(line_no)
+
+    if not queries and not had_row_errors:
+        print(f"error: {source}: no query rows", file=sys.stderr)
+        return 1
+
+    engine = BatchSelectionEngine(max_workers=args.workers)
+    outcomes = engine.run(queries)
+
+    rows: list[dict] = []
+    for kind, payload in slots:
+        if kind == "error":
+            rows.append(payload)  # type: ignore[arg-type]
+            continue
+        outcome = outcomes[payload]  # type: ignore[index]
+        if outcome.ok:
+            rows.append(_batch_ok_row(outcome.task_id, outcome.result))
+        else:
+            had_row_errors = True
+            line_no = query_lines[payload]  # type: ignore[index]
+            print(
+                f"{source}:{line_no}: task {outcome.task_id!r}: {outcome.error}",
+                file=sys.stderr,
+            )
+            rows.append(
+                _batch_error_row(outcome.task_id, line_no, outcome.error or "failed")
+            )
+
+    rendered = "\n".join(json.dumps(row) for row in rows)
+    if args.out is None:
+        print(rendered)
+    else:
+        try:
+            Path(args.out).write_text(rendered + "\n", encoding="utf-8")
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+    return 2 if had_row_errors else 0
+
+
+def _build_batch_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-select batch",
+        description="Answer many jury-selection queries from a JSONL file "
+        "through the batch engine (shared pools are swept once).",
+    )
+    parser.add_argument(
+        "input",
+        help="JSONL file: pool rows ({'pool','candidates'}) and query rows "
+        "({'task', 'pool'|'candidates', 'model', ...})",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="write result JSONL here instead of stdout",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process-pool size for exact queries (default: in-process)",
+    )
+    return parser
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point.  Returns a process exit code."""
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    if arguments and arguments[0] == "batch":
+        return run_batch(_build_batch_parser().parse_args(arguments[1:]))
+
     parser = argparse.ArgumentParser(
         prog="repro-select",
         description="Select the minimum-JER jury from a CSV of candidates "
-        "(Cao et al., VLDB 2012).",
+        "(Cao et al., VLDB 2012).  See 'repro-select batch --help' for the "
+        "batched JSONL mode.",
     )
     parser.add_argument("csv", help="candidates CSV: id,error_rate[,requirement]")
     parser.add_argument(
@@ -126,7 +394,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument(
         "--json", action="store_true", help="emit JSON instead of text"
     )
-    args = parser.parse_args(argv)
+    args = parser.parse_args(arguments)
 
     try:
         candidates = load_candidates_csv(args.csv)

@@ -16,11 +16,14 @@ from repro.core.bounds import (
 )
 from repro.core.jer import (
     PrefixJERSweeper,
+    batch_prefix_jer_sweep,
+    best_odd_prefix,
     jer_cba,
     jer_dp,
     jer_naive,
     jury_error_rate,
     majority_threshold,
+    prefix_jer_profile,
 )
 from repro.core.incremental import IncrementalJury
 from repro.core.juror import Juror, Jury, jurors_from_arrays
@@ -70,6 +73,9 @@ __all__ = [
     "jer_cba",
     "majority_threshold",
     "PrefixJERSweeper",
+    "batch_prefix_jer_sweep",
+    "prefix_jer_profile",
+    "best_odd_prefix",
     # bounds
     "paley_zygmund_lower_bound",
     "gamma_ratio",

@@ -23,6 +23,13 @@ calculators are provided:
 :class:`PrefixJERSweeper` computes JER for *every* odd prefix of an ordered
 candidate list in ``O(N^2)`` total — the workhorse that makes the AltrM sweep
 (paper Algorithm 3) efficient.
+
+For batched workloads (many selection queries at once, see
+:mod:`repro.service`), :func:`batch_prefix_jer_sweep` runs the same prefix
+sweep over a whole *matrix* of candidate pools in one vectorized 2-D NumPy
+pass, producing results bit-identical to :class:`PrefixJERSweeper` row by
+row; :func:`prefix_jer_profile` and :func:`best_odd_prefix` are the scalar
+conveniences the selection algorithms build on.
 """
 
 from __future__ import annotations
@@ -35,7 +42,7 @@ import numpy as np
 from repro._validation import validate_error_rates
 from repro.core.juror import Jury
 from repro.core.poisson_binomial import pmf_conv, tail_probability
-from repro.errors import EvenJurySizeError
+from repro.errors import EvenJurySizeError, InvalidErrorRateError
 
 __all__ = [
     "majority_threshold",
@@ -44,7 +51,16 @@ __all__ = [
     "jer_cba",
     "jury_error_rate",
     "PrefixJERSweeper",
+    "batch_prefix_jer_sweep",
+    "prefix_jer_profile",
+    "best_odd_prefix",
+    "JER_IMPROVEMENT_EPS",
 ]
+
+#: Minimum JER improvement that counts as "strictly better" when comparing
+#: candidate juries.  Shared by every selector so tie-breaking (prefer the
+#: smaller jury) is consistent between the scalar and batch paths.
+JER_IMPROVEMENT_EPS = 1e-15
 
 
 def majority_threshold(n: int) -> int:
@@ -240,8 +256,134 @@ class PrefixJERSweeper:
         """
         best_n, best_jer = -1, float("inf")
         for n, value in self.sweep():
-            if value < best_jer - 1e-15:
+            if value < best_jer - JER_IMPROVEMENT_EPS:
                 best_n, best_jer = n, value
         if best_n < 0:
             raise ValueError("cannot sweep an empty candidate list")
         return best_n, best_jer
+
+
+def batch_prefix_jer_sweep(error_rate_matrix) -> tuple[np.ndarray, np.ndarray]:
+    """Prefix-JER sweep over a whole batch of candidate pools at once.
+
+    The scalar :class:`PrefixJERSweeper` extends one Carelessness pmf by one
+    juror per step; this kernel maintains a ``(B, N + 1)`` pmf *matrix* — one
+    row per pool — and extends all ``B`` pmfs simultaneously with 2-D NumPy
+    arithmetic, so the whole batch is swept in a single ``O(B * N^2)`` pass
+    whose inner loops are vectorized across the batch dimension.
+
+    Parameters
+    ----------
+    error_rate_matrix:
+        Array-like of shape ``(B, N)``: row ``b`` holds the individual error
+        rates of pool ``b`` in sweep order (AltrALG feeds the ascending-``eps``
+        order mandated by Lemma 3).  All pools must share the same length;
+        group pools by size before calling.
+
+    Returns
+    -------
+    (ns, jer_matrix):
+        ``ns`` is the 1-D array of odd prefix sizes ``[1, 3, ..]`` and
+        ``jer_matrix`` has shape ``(B, len(ns))`` with
+        ``jer_matrix[b, i] == JER(first ns[i] jurors of pool b)``.
+
+    Notes
+    -----
+    Each row reproduces :class:`PrefixJERSweeper` *bit-identically*: the
+    update applies the same multiply-add expression element-wise (the extra
+    top entry of the full-width row is ``0`` before its first touch, and
+    ``0 * (1 - e) + pmf[n] * e`` equals the scalar sweeper's dedicated
+    ``pmf[-1] * e`` assignment exactly in IEEE-754), and the tail sums reduce
+    slices of identical length and contents with the same pairwise summation.
+
+    Examples
+    --------
+    >>> ns, jers = batch_prefix_jer_sweep([[0.1, 0.2, 0.2], [0.3, 0.3, 0.3]])
+    >>> ns.tolist()
+    [1, 3]
+    >>> [round(float(v), 3) for v in jers[0]]
+    [0.1, 0.072]
+    """
+    eps = np.asarray(error_rate_matrix, dtype=np.float64)
+    if eps.ndim != 2:
+        raise ValueError(
+            f"error_rate_matrix must be 2-D (batch, pool_size), got shape {eps.shape}"
+        )
+    n_batch, n_total = eps.shape
+    if n_total == 0:
+        raise ValueError("cannot sweep empty candidate pools")
+    if eps.size and (
+        not np.all(np.isfinite(eps)) or np.any(eps <= 0.0) or np.any(eps >= 1.0)
+    ):
+        raise InvalidErrorRateError(
+            "all error rates must lie in the open interval (0, 1)"
+        )
+
+    ns = np.arange(1, n_total + 1, 2, dtype=np.int64)
+    jers = np.empty((n_batch, ns.size), dtype=np.float64)
+    pmf = np.zeros((n_batch, n_total + 1), dtype=np.float64)
+    pmf[:, 0] = 1.0
+    for idx in range(n_total):
+        e = eps[:, idx : idx + 1]
+        upper = idx + 1
+        # Same multiply-add as the scalar sweeper, vectorized across rows;
+        # entry ``upper`` is still 0 so it becomes ``pmf[:, idx] * e`` exactly.
+        pmf[:, 1 : upper + 1] = pmf[:, 1 : upper + 1] * (1.0 - e) + pmf[:, 0:upper] * e
+        pmf[:, 0:1] = pmf[:, 0:1] * (1.0 - e)
+        n = idx + 1
+        if n % 2 == 1:
+            threshold = (n + 1) // 2
+            tail = np.sum(pmf[:, threshold : n + 1], axis=1)
+            jers[:, idx // 2] = np.clip(tail, 0.0, 1.0)
+    return ns, jers
+
+
+def prefix_jer_profile(error_rates: Iterable[float]) -> tuple[np.ndarray, np.ndarray]:
+    """Odd-prefix JER profile of a single ordered candidate list.
+
+    Thin wrapper over :func:`batch_prefix_jer_sweep` with a batch of one —
+    the scalar selection path and the batch engine therefore share one
+    kernel and produce bit-identical numbers.
+
+    >>> ns, jers = prefix_jer_profile([0.1, 0.2, 0.2, 0.3, 0.3])
+    >>> list(zip(ns.tolist(), [round(float(v), 4) for v in jers]))
+    [(1, 0.1), (3, 0.072), (5, 0.0704)]
+    """
+    eps = validate_error_rates(error_rates, name="error rates")
+    ns, jers = batch_prefix_jer_sweep(eps[np.newaxis, :])
+    return ns, jers[0]
+
+
+def best_odd_prefix(
+    ns: np.ndarray,
+    jers: np.ndarray,
+    *,
+    max_size: int | None = None,
+) -> tuple[int, float]:
+    """Pick the winning odd prefix from a sweep profile.
+
+    Scans in increasing-size order and keeps the first prefix that improves
+    the incumbent by more than :data:`JER_IMPROVEMENT_EPS` — the exact
+    tie-break rule of the scalar selectors (prefer the smaller jury).
+
+    Parameters
+    ----------
+    ns, jers:
+        A profile as returned by :func:`prefix_jer_profile` /
+        one row of :func:`batch_prefix_jer_sweep`.
+    max_size:
+        Optional cap: prefixes larger than this are ignored.
+
+    Returns
+    -------
+    (n, jer) of the winning prefix.
+    """
+    best_n, best_jer = -1, float("inf")
+    for n, value in zip(ns, jers):
+        if max_size is not None and n > max_size:
+            break
+        if value < best_jer - JER_IMPROVEMENT_EPS:
+            best_n, best_jer = int(n), float(value)
+    if best_n < 0:
+        raise ValueError("cannot select from an empty sweep profile")
+    return best_n, best_jer

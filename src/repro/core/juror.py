@@ -34,6 +34,18 @@ def _next_auto_id() -> str:
     return f"juror-{next(_juror_counter)}"
 
 
+def ensure_unique_ids(members: Sequence["Juror"], *, where: str = "jury") -> None:
+    """Raise :class:`InvalidJuryError` if two members share a juror id."""
+    ids = [j.juror_id for j in members]
+    if len(set(ids)) != len(ids):
+        seen: set[str] = set()
+        dup = next(i for i in ids if i in seen or seen.add(i))
+        raise InvalidJuryError(f"duplicate juror id in {where}: {dup!r}")
+
+
+__all__.append("ensure_unique_ids")
+
+
 @dataclass(frozen=True, order=False)
 class Juror:
     """A candidate crowd worker on a micro-blog service.
@@ -131,11 +143,7 @@ class Jury:
             raise InvalidJuryError("a jury must contain at least one juror")
         if not all(isinstance(j, Juror) for j in members):
             raise InvalidJuryError("all jury members must be Juror instances")
-        ids = [j.juror_id for j in members]
-        if len(set(ids)) != len(ids):
-            seen: set[str] = set()
-            dup = next(i for i in ids if i in seen or seen.add(i))
-            raise InvalidJuryError(f"duplicate juror id in jury: {dup!r}")
+        ensure_unique_ids(members, where="jury")
         if not allow_even:
             validate_odd_size(len(members))
         self._jurors: tuple[Juror, ...] = members

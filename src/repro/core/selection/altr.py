@@ -13,9 +13,12 @@ Two execution strategies are provided:
     whose Paley-Zygmund lower bound (Lemma 2) already exceeds the incumbent.
     This is the variant the efficiency experiments (Fig. 3(b), 3(g)) time.
 ``strategy="sweep"``
-    Our incremental optimisation: a single ``O(N^2)`` pass that extends the
-    Carelessness pmf juror by juror (see
-    :class:`~repro.core.jer.PrefixJERSweeper`).  Produces identical juries.
+    Our incremental optimisation: a single ``O(N^2)`` pass over the
+    Carelessness pmf.  Since the batch-service refactor this path is a thin
+    wrapper over :class:`repro.service.BatchSelectionEngine` with a batch of
+    one, so single-query and batched selection share the same vectorized
+    kernel (:func:`repro.core.jer.batch_prefix_jer_sweep`) and produce
+    bit-identical juries.
 """
 
 from __future__ import annotations
@@ -26,12 +29,17 @@ from collections.abc import Sequence
 import numpy as np
 
 from repro.core.bounds import paley_zygmund_lower_bound
-from repro.core.jer import PrefixJERSweeper, jer_cba, jer_dp
+from repro.core.jer import (
+    PrefixJERSweeper,
+    best_odd_prefix,
+    jer_cba,
+    jer_dp,
+)
 from repro.core.juror import Juror, Jury
 from repro.core.selection.base import SelectionResult, SelectionStats, sorted_candidates
 from repro.errors import EmptyCandidateSetError
 
-__all__ = ["select_jury_altr", "altr_sweep_profile"]
+__all__ = ["select_jury_altr", "altr_sweep_profile", "result_from_sweep_profile"]
 
 _JER_BACKENDS = {"dp": jer_dp, "cba": jer_cba}
 
@@ -74,6 +82,10 @@ def select_jury_altr(
     ------
     EmptyCandidateSetError
         If ``candidates`` is empty.
+    InvalidJuryError
+        If two candidates share a juror id (since the batch-service
+        refactor, duplicate ids are rejected up front rather than only
+        when both duplicates land in the selected jury).
 
     Examples
     --------
@@ -88,6 +100,29 @@ def select_jury_altr(
     if strategy not in ("sweep", "per-jury"):
         raise ValueError(f"unknown strategy {strategy!r}; expected 'sweep' or 'per-jury'")
 
+    if strategy == "sweep":
+        # Thin wrapper over the batch path: a fresh engine with a batch of
+        # one.  The engine sorts, sweeps with the vectorized kernel, and
+        # builds the result via :func:`result_from_sweep_profile`, so the
+        # single-query and batched paths cannot drift apart.  A max_size cap
+        # truncates the sorted pool *before* the sweep — with no pool
+        # sharing here, sweeping beyond the cap would be wasted work.
+        from repro.service.batch import BatchSelectionEngine, SelectionQuery
+
+        pool_members = candidates
+        if max_size is not None:
+            pool_members = sorted_candidates(candidates)[: max(max_size, 1)]
+
+        engine = BatchSelectionEngine(cache_size=0)
+        return engine.select(
+            SelectionQuery(
+                task_id="<single>",
+                candidates=tuple(pool_members),
+                model="altr",
+                max_size=max_size,
+            )
+        )
+
     ordered = sorted_candidates(candidates)
     if max_size is not None:
         limit = min(max_size, len(ordered))
@@ -96,31 +131,52 @@ def select_jury_altr(
 
     stats = SelectionStats()
     start = time.perf_counter()
-    if strategy == "sweep":
-        best_n, best_jer = _sweep_best(eps, stats)
-    else:
-        best_n, best_jer = _per_jury_best(eps, jer_method, use_bound, stats)
+    best_n, best_jer = _per_jury_best(eps, jer_method, use_bound, stats)
     stats.elapsed_seconds = time.perf_counter() - start
 
     jury = Jury(ordered[:best_n])
     return SelectionResult(
         jury=jury,
         jer=best_jer,
-        algorithm="AltrALG" + ("+bound" if use_bound and strategy == "per-jury" else ""),
+        algorithm="AltrALG" + ("+bound" if use_bound else ""),
         model="AltrM",
         budget=None,
         stats=stats,
     )
 
 
-def _sweep_best(eps: np.ndarray, stats: SelectionStats) -> tuple[int, float]:
-    best_n, best_jer = -1, float("inf")
-    for n, value in PrefixJERSweeper(eps):
-        stats.juries_considered += 1
-        stats.jer_evaluations += 1
-        if value < best_jer - 1e-15:
-            best_n, best_jer = n, value
-    return best_n, best_jer
+def result_from_sweep_profile(
+    ordered: Sequence[Juror],
+    ns: np.ndarray,
+    jers: np.ndarray,
+    *,
+    max_size: int | None = None,
+    elapsed_seconds: float = 0.0,
+) -> SelectionResult:
+    """Build the AltrALG :class:`SelectionResult` from a sweep profile.
+
+    ``ordered`` must be in Lemma 3 (ascending error-rate) order and
+    ``(ns, jers)`` its odd-prefix JER profile as produced by
+    :func:`repro.core.jer.prefix_jer_profile` or one row of
+    :func:`repro.core.jer.batch_prefix_jer_sweep`.  The batch engine calls
+    this for every query so cached profiles and freshly swept ones yield
+    identical results.
+    """
+    best_n, best_jer = best_odd_prefix(ns, jers, max_size=max_size)
+    considered = int(np.sum(ns <= max_size)) if max_size is not None else int(ns.size)
+    stats = SelectionStats(
+        juries_considered=considered,
+        jer_evaluations=considered,
+        elapsed_seconds=elapsed_seconds,
+    )
+    return SelectionResult(
+        jury=Jury(list(ordered[:best_n])),
+        jer=best_jer,
+        algorithm="AltrALG",
+        model="AltrM",
+        budget=None,
+        stats=stats,
+    )
 
 
 def _per_jury_best(

@@ -8,6 +8,7 @@ jury, its JER and cost, and algorithm-specific counters
 
 from __future__ import annotations
 
+import hashlib
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 
@@ -110,4 +111,21 @@ def sorted_candidates(candidates: Sequence[Juror]) -> list[Juror]:
     return sorted(candidates, key=candidate_key)
 
 
-__all__.append("sorted_candidates")
+def pool_fingerprint(ordered: Sequence[Juror]) -> str:
+    """Content hash of an *ordered* candidate list.
+
+    The batch engine (:mod:`repro.service`) keys its prefix-sweep cache on
+    this fingerprint so that queries sharing a candidate pool are swept only
+    once.  The hash covers the fields that influence any selector's output —
+    id, error rate, and payment requirement, in order — so two pools collide
+    only when they are interchangeable for every selection algorithm.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    for juror in ordered:
+        digest.update(
+            f"{juror.juror_id}\x1f{juror.error_rate!r}\x1f{juror.requirement!r}\x1e".encode()
+        )
+    return digest.hexdigest()
+
+
+__all__.extend(["sorted_candidates", "pool_fingerprint"])

@@ -27,7 +27,7 @@ from repro.core.juror import Juror, Jury
 from repro.core.selection.base import SelectionResult, SelectionStats
 from repro.errors import EmptyCandidateSetError, InfeasibleSelectionError
 
-__all__ = ["select_jury_pay"]
+__all__ = ["select_jury_pay", "run_pay_greedy"]
 
 
 def _greedy_order(candidates: Sequence[Juror]) -> list[Juror]:
@@ -70,6 +70,9 @@ def select_jury_pay(
     ------
     InfeasibleSelectionError
         When not even the single cheapest candidate fits in the budget.
+    InvalidJuryError
+        If two candidates share a juror id (since the batch-service
+        refactor, duplicate ids are rejected up front).
 
     Examples
     --------
@@ -85,6 +88,36 @@ def select_jury_pay(
     >>> result = select_jury_pay(cands, budget=1.0)
     >>> sorted(result.juror_ids), round(result.jer, 3)
     (['A', 'B', 'C'], 0.072)
+    """
+    # Thin wrapper over the batch path: a fresh engine with a batch of one,
+    # which dispatches back to :func:`run_pay_greedy` below.  Keeping the
+    # greedy core here (and engine-callable) avoids an import cycle while
+    # guaranteeing single-query and batched PayM selection share one
+    # implementation.
+    from repro.service.batch import BatchSelectionEngine, SelectionQuery
+
+    engine = BatchSelectionEngine(cache_size=0)
+    return engine.select(
+        SelectionQuery(
+            task_id="<single>",
+            candidates=tuple(candidates),
+            model="pay",
+            budget=budget,
+            variant=variant,
+        )
+    )
+
+
+def run_pay_greedy(
+    candidates: Sequence[Juror],
+    budget: float,
+    *,
+    variant: str = "paper",
+) -> SelectionResult:
+    """Execute the PayALG greedy (the former ``select_jury_pay`` body).
+
+    This is the engine-facing entry point: :mod:`repro.service.batch` calls
+    it directly for every PayM query in a batch.
     """
     if len(candidates) == 0:
         raise EmptyCandidateSetError("PayALG requires at least one candidate juror")

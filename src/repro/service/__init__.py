@@ -1,0 +1,35 @@
+"""Batch selection service: answer many jury-selection queries at once.
+
+The paper's single-query algorithms answer *one* "whom to ask?" question; a
+crowdsourcing platform asks thousands concurrently.  This package
+restructures the execution path for that workload shape:
+
+:class:`BatchSelectionEngine`
+    Accepts a batch of :class:`SelectionQuery` objects (mixed AltrM / PayM /
+    exact, shared or per-task candidate pools) and executes them through
+    vectorized kernels, a per-pool prefix-sweep cache, and an optional
+    process pool for exact solves.
+:class:`CandidatePool`
+    An immutable, fingerprinted candidate set shareable across queries.
+:class:`PrefixSweepCache`
+    The LRU cache of odd-prefix JER profiles keyed on pool fingerprints.
+
+The single-query selectors (:func:`repro.select_jury_altr`,
+:func:`repro.select_jury_pay`) are thin wrappers over this engine with a
+batch of one, so batched and scalar selection are bit-identical by
+construction.  The ``repro-select batch`` CLI subcommand exposes the engine
+over JSONL; ``benchmarks/bench_batch.py`` measures its throughput.
+"""
+
+from repro.service.batch import BatchSelectionEngine, QueryOutcome, SelectionQuery
+from repro.service.cache import PrefixSweepCache
+from repro.service.pool import CandidatePool, as_pool
+
+__all__ = [
+    "BatchSelectionEngine",
+    "SelectionQuery",
+    "QueryOutcome",
+    "CandidatePool",
+    "PrefixSweepCache",
+    "as_pool",
+]

@@ -1,0 +1,367 @@
+"""Batch jury-selection engine.
+
+The paper's workload is inherently batched: a crowdsourcing platform must
+select juries for thousands of concurrent decision tasks, frequently drawing
+on the same candidate pool.  :class:`BatchSelectionEngine` accepts many
+:class:`SelectionQuery` objects at once — mixed AltrM / PayM / exact
+strategies, shared or per-task pools — and executes them through three
+specialised paths:
+
+* **AltrM queries** are answered from odd-prefix JER profiles.  Distinct
+  pools of equal size are stacked into one matrix and swept together by the
+  vectorized 2-D kernel (:func:`repro.core.jer.batch_prefix_jer_sweep`);
+  profiles are cached per pool fingerprint (:class:`PrefixSweepCache`), so a
+  pool shared by 1,000 tasks is swept exactly once.
+* **PayM queries** run the greedy :func:`repro.core.selection.pay.run_pay_greedy`
+  per query (the greedy is inherently sequential per instance).
+* **Exact queries** dispatch to :func:`repro.core.selection.exact.select_jury_optimal`,
+  optionally fanned out over a ``concurrent.futures`` process pool
+  (``max_workers > 1``) since branch-and-bound dominates batch latency.
+
+Results are **bit-identical** to the single-query selectors — in fact the
+single-query selectors are now thin wrappers over this engine with a batch
+of one (see :func:`repro.core.selection.altr.select_jury_altr`).
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterable, Sequence
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.jer import batch_prefix_jer_sweep
+from repro.core.juror import Juror
+from repro.core.selection.altr import result_from_sweep_profile
+from repro.core.selection.base import SelectionResult
+from repro.core.selection.exact import select_jury_optimal
+from repro.core.selection.pay import run_pay_greedy
+from repro.service.cache import DEFAULT_CACHE_SIZE, PrefixSweepCache
+from repro.service.pool import CandidatePool
+
+__all__ = ["SelectionQuery", "QueryOutcome", "BatchSelectionEngine"]
+
+_MODELS = ("altr", "pay", "exact")
+
+
+@dataclass(frozen=True)
+class SelectionQuery:
+    """One jury-selection request inside a batch.
+
+    Parameters
+    ----------
+    task_id:
+        Caller-chosen identifier echoed back on the outcome.
+    candidates:
+        Inline candidate jurors; mutually exclusive with ``pool``.
+    pool:
+        A shared :class:`CandidatePool`.  Queries referencing the same pool
+        object (or pools with equal fingerprints) share one prefix sweep.
+    model:
+        ``"altr"`` (AltrALG optimum), ``"pay"`` (PayALG greedy, requires
+        ``budget``) or ``"exact"`` (enumeration / branch-and-bound optimum).
+    budget:
+        PayM budget; required for ``"pay"``, optional for ``"exact"``.
+    max_size:
+        Optional cap on the jury size (``"altr"`` / ``"exact"``).
+    variant:
+        PayALG variant: ``"paper"`` or ``"improved"``.
+    method:
+        Exact-solver method: ``"auto"``, ``"enumerate"`` or
+        ``"branch-and-bound"``.
+    """
+
+    task_id: str
+    candidates: tuple[Juror, ...] | None = None
+    pool: CandidatePool | None = None
+    model: str = "altr"
+    budget: float | None = None
+    max_size: int | None = None
+    variant: str = "paper"
+    method: str = "auto"
+
+    def __post_init__(self) -> None:
+        if self.model not in _MODELS:
+            raise ValueError(
+                f"unknown model {self.model!r}; expected one of {_MODELS}"
+            )
+        if (self.candidates is None) == (self.pool is None):
+            raise ValueError(
+                "exactly one of 'candidates' and 'pool' must be provided"
+            )
+        if self.model == "pay" and self.budget is None:
+            raise ValueError("model 'pay' requires a budget")
+
+    def resolve_pool(self) -> CandidatePool:
+        """The pool this query selects from (building one for inline candidates)."""
+        if self.pool is not None:
+            return self.pool
+        return CandidatePool(self.candidates)
+
+
+@dataclass
+class QueryOutcome:
+    """Result slot for one query of a batch: either a result or an error."""
+
+    task_id: str
+    result: SelectionResult | None = None
+    error: str | None = None
+    elapsed_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """True when the query produced a selection."""
+        return self.result is not None
+
+
+@dataclass
+class EngineStats:
+    """Counters describing the work an engine has performed (cumulative)."""
+
+    queries_run: int = 0
+    batch_sweeps: int = 0
+    pools_swept: int = 0
+    exact_subprocesses: int = 0
+
+
+def _exact_worker(
+    payload: tuple[tuple[Juror, ...], float | None, str, int | None],
+) -> SelectionResult:
+    """Process-pool entry point for one exact query (must be picklable)."""
+    members, budget, method, max_size = payload
+    return select_jury_optimal(list(members), budget, method=method, max_size=max_size)
+
+
+class BatchSelectionEngine:
+    """Execute many jury-selection queries through shared, vectorized kernels.
+
+    Parameters
+    ----------
+    cache_size:
+        Capacity of the per-engine prefix-sweep cache (profiles retained
+        across :meth:`run` calls).  ``0`` disables cross-run caching;
+        within one batch, pools are still deduplicated by fingerprint.
+    max_workers:
+        When ``> 1``, exact queries are fanned out over a
+        ``concurrent.futures`` process pool of this size.  AltrM/PayM
+        queries always run in-process (they are vectorized / cheap).
+
+    Examples
+    --------
+    >>> from repro.core.juror import jurors_from_arrays
+    >>> engine = BatchSelectionEngine()
+    >>> cands = tuple(jurors_from_arrays([0.1, 0.2, 0.2, 0.3, 0.3]))
+    >>> out = engine.run([SelectionQuery(task_id="t1", candidates=cands)])
+    >>> out[0].result.size, round(out[0].result.jer, 4)
+    (5, 0.0704)
+    """
+
+    def __init__(
+        self,
+        *,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+        max_workers: int | None = None,
+    ) -> None:
+        self._cache = PrefixSweepCache(maxsize=cache_size)
+        self._max_workers = max_workers
+        self.stats = EngineStats()
+
+    @property
+    def cache(self) -> PrefixSweepCache:
+        """The engine's prefix-sweep cache (inspectable in tests/ops)."""
+        return self._cache
+
+    # ------------------------------------------------------------------
+    def select(self, query: SelectionQuery) -> SelectionResult:
+        """Run a single query, raising on failure (library-style API).
+
+        The result's ``stats.elapsed_seconds`` covers the whole engine pass,
+        matching what the scalar selectors historically reported.
+        """
+        start = time.perf_counter()
+        outcome = self.run([query], raise_errors=True)[0]
+        assert outcome.result is not None  # raise_errors guarantees this
+        outcome.result.stats.elapsed_seconds = time.perf_counter() - start
+        return outcome.result
+
+    def run(
+        self,
+        queries: Iterable[SelectionQuery],
+        *,
+        raise_errors: bool = False,
+    ) -> list[QueryOutcome]:
+        """Execute a batch of queries, returning outcomes in input order.
+
+        With ``raise_errors=False`` (the service default) a failing query —
+        malformed pool, infeasible budget, … — yields an outcome carrying
+        the error message while the rest of the batch completes; with
+        ``raise_errors=True`` the first failure propagates as an exception.
+        """
+        batch = list(queries)
+        outcomes: list[QueryOutcome] = [
+            QueryOutcome(task_id=q.task_id) for q in batch
+        ]
+        self.stats.queries_run += len(batch)
+
+        resolved: list[tuple[int, SelectionQuery, CandidatePool]] = []
+        for index, query in enumerate(batch):
+            try:
+                resolved.append((index, query, query.resolve_pool()))
+            except Exception as exc:
+                if raise_errors:
+                    raise
+                outcomes[index].error = str(exc)
+
+        altr_items = [item for item in resolved if item[1].model == "altr"]
+        pay_items = [item for item in resolved if item[1].model == "pay"]
+        exact_items = [item for item in resolved if item[1].model == "exact"]
+
+        self._run_altr(altr_items, outcomes, raise_errors)
+        self._run_serial(pay_items, outcomes, raise_errors, self._answer_pay)
+        self._run_exact(exact_items, outcomes, raise_errors)
+        return outcomes
+
+    # ------------------------------------------------------------------
+    # AltrM: shared vectorized sweeps
+    # ------------------------------------------------------------------
+    def _run_altr(
+        self,
+        items: Sequence[tuple[int, SelectionQuery, CandidatePool]],
+        outcomes: list[QueryOutcome],
+        raise_errors: bool,
+    ) -> None:
+        if not items:
+            return
+        profiles: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+        missing: dict[str, CandidatePool] = {}
+        for _, _, pool in items:
+            fingerprint = pool.fingerprint
+            if fingerprint in profiles or fingerprint in missing:
+                continue
+            cached = self._cache.get(fingerprint)
+            if cached is not None:
+                profiles[fingerprint] = cached
+            else:
+                missing[fingerprint] = pool
+
+        # One vectorized 2-D sweep per distinct pool size.
+        by_size: dict[int, list[CandidatePool]] = {}
+        for pool in missing.values():
+            by_size.setdefault(pool.size, []).append(pool)
+        for pools in by_size.values():
+            matrix = np.stack([pool.error_rates for pool in pools])
+            ns, jer_matrix = batch_prefix_jer_sweep(matrix)
+            self.stats.batch_sweeps += 1
+            self.stats.pools_swept += len(pools)
+            for row, pool in enumerate(pools):
+                # Copy the row out of the batch matrix: a view would pin the
+                # whole (B, K) matrix in memory for as long as any one
+                # profile stays cached.
+                profile = (ns, jer_matrix[row].copy())
+                profiles[pool.fingerprint] = profile
+                self._cache.put(pool.fingerprint, *profile)
+
+        for index, query, pool in items:
+            start = time.perf_counter()
+            try:
+                ns, jers = profiles[pool.fingerprint]
+                result = result_from_sweep_profile(
+                    pool.ordered, ns, jers, max_size=query.max_size
+                )
+            except Exception as exc:
+                if raise_errors:
+                    raise
+                outcomes[index].error = str(exc)
+                continue
+            elapsed = time.perf_counter() - start
+            result.stats.elapsed_seconds = elapsed
+            outcomes[index].result = result
+            outcomes[index].elapsed_seconds = elapsed
+
+    # ------------------------------------------------------------------
+    # PayM / exact: per-query execution
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _answer_pay(query: SelectionQuery, pool: CandidatePool) -> SelectionResult:
+        return run_pay_greedy(
+            list(pool.ordered), query.budget, variant=query.variant
+        )
+
+    @staticmethod
+    def _answer_exact(query: SelectionQuery, pool: CandidatePool) -> SelectionResult:
+        return select_jury_optimal(
+            list(pool.ordered),
+            query.budget,
+            method=query.method,
+            max_size=query.max_size,
+        )
+
+    def _run_serial(
+        self,
+        items: Sequence[tuple[int, SelectionQuery, CandidatePool]],
+        outcomes: list[QueryOutcome],
+        raise_errors: bool,
+        answer,
+    ) -> None:
+        for index, query, pool in items:
+            start = time.perf_counter()
+            try:
+                result = answer(query, pool)
+            except Exception as exc:
+                if raise_errors:
+                    raise
+                outcomes[index].error = str(exc)
+                continue
+            elapsed = time.perf_counter() - start
+            outcomes[index].result = result
+            outcomes[index].elapsed_seconds = elapsed
+
+    def _run_exact(
+        self,
+        items: Sequence[tuple[int, SelectionQuery, CandidatePool]],
+        outcomes: list[QueryOutcome],
+        raise_errors: bool,
+    ) -> None:
+        workers = self._max_workers or 0
+        if workers <= 1 or len(items) <= 1:
+            self._run_serial(items, outcomes, raise_errors, self._answer_exact)
+            return
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as executor:
+                futures = [
+                    (
+                        index,
+                        executor.submit(
+                            _exact_worker,
+                            (pool.ordered, query.budget, query.method, query.max_size),
+                        ),
+                        time.perf_counter(),
+                    )
+                    for index, query, pool in items
+                ]
+                for index, future, start in futures:
+                    try:
+                        result = future.result()
+                    except (OSError, BrokenExecutor):
+                        raise  # executor died — handled by the serial fallback
+                    except Exception as exc:
+                        if raise_errors:
+                            raise
+                        outcomes[index].error = str(exc)
+                        continue
+                    elapsed = time.perf_counter() - start
+                    outcomes[index].result = result
+                    outcomes[index].elapsed_seconds = elapsed
+                    self.stats.exact_subprocesses += 1
+        except (OSError, PermissionError, BrokenExecutor):
+            # Sandboxed / fork-restricted environments (or a pool that died
+            # mid-batch): degrade gracefully, re-running only the queries
+            # that have neither a result nor a captured error yet.
+            remaining = [
+                item
+                for item in items
+                if outcomes[item[0]].result is None and outcomes[item[0]].error is None
+            ]
+            self._run_serial(remaining, outcomes, raise_errors, self._answer_exact)

@@ -1,0 +1,115 @@
+"""Immutable, fingerprinted candidate pools for the batch engine.
+
+A :class:`CandidatePool` normalises a candidate set once — sorting into the
+Lemma 3 (ascending error-rate) order, caching the error-rate vector, and
+computing a content fingerprint — so that the work can be shared by every
+query that targets the same pool.  The fingerprint is what the prefix-sweep
+cache (:mod:`repro.service.cache`) is keyed on.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.juror import Juror, ensure_unique_ids
+from repro.core.selection.base import pool_fingerprint, sorted_candidates
+from repro.errors import EmptyCandidateSetError, InvalidJuryError
+
+__all__ = ["CandidatePool"]
+
+
+class CandidatePool:
+    """A reusable candidate set shared by one or many selection queries.
+
+    Parameters
+    ----------
+    candidates:
+        The candidate jurors.  They are re-sorted into the deterministic
+        Lemma 3 ordering (error rate ascending, id tie-break), so two pools
+        with the same members in different input orders are identical —
+        same fingerprint, same sweep, same selections.
+    pool_id:
+        Optional human-readable label (e.g. the JSONL pool name); purely
+        cosmetic, not part of the fingerprint.
+
+    Examples
+    --------
+    >>> from repro.core.juror import jurors_from_arrays
+    >>> pool = CandidatePool(jurors_from_arrays([0.3, 0.1, 0.2]))
+    >>> pool.error_rates.tolist()
+    [0.1, 0.2, 0.3]
+    """
+
+    __slots__ = ("_ordered", "_eps", "_fingerprint", "pool_id")
+
+    def __init__(
+        self, candidates: Iterable[Juror], *, pool_id: str | None = None
+    ) -> None:
+        members = tuple(candidates)
+        if not members:
+            raise EmptyCandidateSetError("a candidate pool must not be empty")
+        if not all(isinstance(j, Juror) for j in members):
+            raise InvalidJuryError("all pool members must be Juror instances")
+        ensure_unique_ids(members, where="candidate pool")
+        ordered = tuple(sorted_candidates(members))
+        self._ordered: tuple[Juror, ...] = ordered
+        self._eps = np.array([j.error_rate for j in ordered], dtype=np.float64)
+        # Computed lazily: only the AltrM sweep cache consults it, so PayM /
+        # exact / single-query paths never pay for the hash.
+        self._fingerprint: str | None = None
+        self.pool_id = pool_id
+
+    # ------------------------------------------------------------------
+    @property
+    def ordered(self) -> tuple[Juror, ...]:
+        """Members in Lemma 3 (ascending error-rate) order."""
+        return self._ordered
+
+    @property
+    def error_rates(self) -> np.ndarray:
+        """Error-rate vector in sweep order (read-only view)."""
+        view = self._eps.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def size(self) -> int:
+        """Number of candidates ``N``."""
+        return len(self._ordered)
+
+    @property
+    def fingerprint(self) -> str:
+        """Content hash identifying this pool for caching purposes."""
+        if self._fingerprint is None:
+            self._fingerprint = pool_fingerprint(self._ordered)
+        return self._fingerprint
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._ordered)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CandidatePool):
+            return NotImplemented
+        return self.fingerprint == other.fingerprint
+
+    def __hash__(self) -> int:
+        return hash(self.fingerprint)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = f" id={self.pool_id!r}" if self.pool_id else ""
+        return f"CandidatePool(size={self.size}{label}, fp={self.fingerprint[:8]})"
+
+
+def as_pool(
+    candidates: "CandidatePool | Sequence[Juror]", *, pool_id: str | None = None
+) -> CandidatePool:
+    """Coerce a candidate sequence (or pass through a pool) to a pool."""
+    if isinstance(candidates, CandidatePool):
+        return candidates
+    return CandidatePool(candidates, pool_id=pool_id)
+
+
+__all__.append("as_pool")

@@ -1,0 +1,33 @@
+"""Shared constants for the test and benchmark suites.
+
+Both ``tests/conftest.py`` and ``benchmarks/conftest.py`` import their seeds
+and tolerances from here so that the oracle tolerances used to cross-check
+the JER/pmf backends can never drift apart between the two suites.
+
+The constants are intentionally small in number; add a new one only when a
+value genuinely needs to be shared across suites.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "DEFAULT_SEED",
+    "ORACLE_ATOL",
+    "PMF_ATOL",
+    "BENCH_SEED",
+]
+
+#: Deterministic RNG seed for reproducible tests (VLDB 2012 started Aug 27).
+DEFAULT_SEED = 20120827
+
+#: Absolute tolerance when asserting ``jer_naive == jer_dp == jer_cba`` and
+#: other exact-backend agreement (the backends are exact up to round-off).
+ORACLE_ATOL = 1e-12
+
+#: Absolute tolerance for pmf-vector comparisons, slightly looser because FFT
+#: convolution accumulates more round-off than the sequential DP.
+PMF_ATOL = 1e-10
+
+#: Seed for synthetic benchmark workloads, offset from the test seed so that
+#: benchmarks never accidentally share fixtures with the unit tests.
+BENCH_SEED = DEFAULT_SEED + 1

@@ -1,4 +1,9 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+Seeds and oracle tolerances come from :mod:`repro.testing`, which
+``benchmarks/conftest.py`` imports too — keeping the two suites' tolerances
+in sync by construction.
+"""
 
 from __future__ import annotations
 
@@ -6,6 +11,7 @@ import numpy as np
 import pytest
 
 from repro.core.juror import Juror
+from repro.testing import DEFAULT_SEED, ORACLE_ATOL, PMF_ATOL
 
 
 @pytest.fixture
@@ -31,4 +37,16 @@ def table2_jurors() -> list[Juror]:
 @pytest.fixture
 def rng() -> np.random.Generator:
     """Deterministic random generator for reproducible tests."""
-    return np.random.default_rng(20120827)  # VLDB 2012 started Aug 27.
+    return np.random.default_rng(DEFAULT_SEED)
+
+
+@pytest.fixture
+def oracle_atol() -> float:
+    """Tolerance for cross-backend (naive/dp/cba) oracle agreement."""
+    return ORACLE_ATOL
+
+
+@pytest.fixture
+def pmf_atol() -> float:
+    """Tolerance for pmf-vector comparisons across backends."""
+    return PMF_ATOL

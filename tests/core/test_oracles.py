@@ -1,0 +1,147 @@
+"""Cross-backend oracle suite.
+
+Every fast algorithm in the library has a slower, independently implemented
+counterpart; this module pits them against each other on seeded randomized
+inputs:
+
+* ``jer_naive`` (Definition 6 enumeration) vs ``jer_dp`` (Algorithm 1) vs
+  ``jer_cba`` (Algorithm 2) on juries of size <= 15;
+* ``pmf_naive`` vs ``pmf_dp`` vs ``pmf_conv``, including pools straddling
+  the ``FFT_CROSSOVER`` boundary where ``convolve_pmfs`` switches from
+  direct to FFT convolution;
+* the vectorized batch sweep vs the scalar :class:`PrefixJERSweeper`,
+  which must agree *bit for bit* (the batch engine's results are promised
+  to be bit-identical to the single-query path).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.jer import (
+    PrefixJERSweeper,
+    batch_prefix_jer_sweep,
+    best_odd_prefix,
+    jer_cba,
+    jer_dp,
+    jer_naive,
+    jury_error_rate,
+    prefix_jer_profile,
+)
+from repro.core.poisson_binomial import (
+    FFT_CROSSOVER,
+    pmf_conv,
+    pmf_dp,
+    pmf_naive,
+)
+from repro.testing import DEFAULT_SEED, ORACLE_ATOL, PMF_ATOL
+
+pytestmark = pytest.mark.filterwarnings("error")  # oracles must be warning-clean
+
+
+def _random_eps(rng: np.random.Generator, n: int) -> np.ndarray:
+    return rng.uniform(0.01, 0.99, size=n)
+
+
+class TestJERBackendAgreement:
+    @pytest.mark.parametrize("n", [1, 3, 5, 7, 9, 11, 13, 15])
+    def test_naive_dp_cba_agree_on_random_juries(self, n, rng, oracle_atol):
+        for _ in range(20):
+            eps = _random_eps(rng, n)
+            naive = jer_naive(eps)
+            assert jer_dp(eps) == pytest.approx(naive, abs=oracle_atol)
+            assert jer_cba(eps) == pytest.approx(naive, abs=oracle_atol)
+
+    def test_extreme_error_rates(self, oracle_atol):
+        for eps in ([0.001, 0.001, 0.999], [0.999] * 5, [0.001] * 7):
+            naive = jer_naive(eps)
+            assert jer_dp(eps) == pytest.approx(naive, abs=oracle_atol)
+            assert jer_cba(eps) == pytest.approx(naive, abs=oracle_atol)
+
+    def test_dispatcher_matches_backends(self, rng, oracle_atol):
+        eps = _random_eps(rng, 9)
+        for method in ("naive", "dp", "cba", "auto"):
+            assert jury_error_rate(eps, method=method) == pytest.approx(
+                jer_naive(eps), abs=oracle_atol
+            )
+
+    def test_dp_cba_agree_on_large_juries(self, rng):
+        """Beyond the naive oracle's reach, DP remains the reference."""
+        for n in (101, 255, 257):
+            eps = _random_eps(rng, n)
+            assert jer_cba(eps) == pytest.approx(jer_dp(eps), abs=PMF_ATOL)
+
+
+class TestPmfBackendAgreement:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 8, 12, 15])
+    def test_naive_dp_conv_agree(self, n, rng, oracle_atol):
+        for _ in range(10):
+            eps = _random_eps(rng, n)
+            reference = pmf_naive(eps)
+            np.testing.assert_allclose(pmf_dp(eps), reference, atol=oracle_atol)
+            np.testing.assert_allclose(pmf_conv(eps), reference, atol=oracle_atol)
+
+    @pytest.mark.parametrize(
+        "n",
+        [FFT_CROSSOVER - 1, FFT_CROSSOVER, FFT_CROSSOVER + 1, 2 * FFT_CROSSOVER],
+    )
+    def test_dp_conv_agree_around_fft_crossover(self, n, rng, pmf_atol):
+        """``convolve_pmfs`` flips from direct to FFT convolution at the
+        crossover; the pmf must not jump there."""
+        eps = _random_eps(rng, n)
+        np.testing.assert_allclose(pmf_conv(eps), pmf_dp(eps), atol=pmf_atol)
+
+    def test_pmfs_normalised_at_crossover(self, rng):
+        for n in (FFT_CROSSOVER - 1, FFT_CROSSOVER, FFT_CROSSOVER + 1):
+            eps = _random_eps(rng, n)
+            assert float(np.sum(pmf_conv(eps))) == pytest.approx(1.0, abs=1e-9)
+
+
+class TestBatchSweepOracle:
+    def test_batch_sweep_bit_identical_to_scalar_sweeper(self, rng):
+        """Every row of the 2-D kernel must equal PrefixJERSweeper exactly —
+        not approximately — since batch selection promises bit-identical
+        results to the scalar path."""
+        for n in (1, 2, 5, 17, 64, 101):
+            matrix = rng.uniform(0.01, 0.99, size=(7, n))
+            ns, jers = batch_prefix_jer_sweep(matrix)
+            assert ns.tolist() == list(range(1, n + 1, 2))
+            for row in range(matrix.shape[0]):
+                scalar = PrefixJERSweeper(matrix[row]).all_odd_prefixes()
+                assert [s_n for s_n, _ in scalar] == ns.tolist()
+                scalar_values = np.array([v for _, v in scalar])
+                assert np.array_equal(jers[row], scalar_values), (
+                    f"batch sweep diverged from scalar sweeper at n={n}, row={row}"
+                )
+
+    def test_profile_wrapper_bit_identical(self, rng):
+        eps = rng.uniform(0.01, 0.99, size=33)
+        ns, jers = prefix_jer_profile(eps)
+        scalar_values = np.array([v for _, v in PrefixJERSweeper(eps)])
+        assert np.array_equal(jers, scalar_values)
+
+    def test_best_odd_prefix_matches_sweeper_best(self, rng):
+        for _ in range(30):
+            eps = rng.uniform(0.01, 0.99, size=int(rng.integers(1, 40)))
+            ns, jers = prefix_jer_profile(eps)
+            assert best_odd_prefix(ns, jers) == PrefixJERSweeper(eps).best_prefix()
+
+    def test_best_odd_prefix_respects_max_size(self, rng):
+        eps = np.sort(rng.uniform(0.01, 0.49, size=21))
+        ns, jers = prefix_jer_profile(eps)
+        n, _ = best_odd_prefix(ns, jers, max_size=5)
+        assert n <= 5
+
+    def test_seeded_run_is_reproducible(self):
+        """The whole oracle suite is seeded; spot-check determinism."""
+        rng_a = np.random.default_rng(DEFAULT_SEED)
+        rng_b = np.random.default_rng(DEFAULT_SEED)
+        a = batch_prefix_jer_sweep(rng_a.uniform(0.1, 0.9, size=(4, 9)))[1]
+        b = batch_prefix_jer_sweep(rng_b.uniform(0.1, 0.9, size=(4, 9)))[1]
+        assert np.array_equal(a, b)
+
+    def test_oracle_tolerance_is_strict(self):
+        """Guard the shared constant: the oracle tolerance must stay at
+        1e-12 or tighter so backend drift cannot hide behind it."""
+        assert ORACLE_ATOL <= 1e-12

@@ -1,0 +1,119 @@
+"""Property tests for pmf and JER invariants (hypothesis).
+
+The invariants here are the mathematical contracts every calculator must
+honour regardless of backend:
+
+* a pmf is a probability distribution — non-negative, sums to 1;
+* JER is monotone non-decreasing in each juror's individual error rate
+  (the key step of paper Lemma 3);
+* even jury sizes raise :class:`EvenJurySizeError` consistently across all
+  JER calculators.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.jer import (
+    batch_prefix_jer_sweep,
+    jer_cba,
+    jer_dp,
+    jer_naive,
+    jury_error_rate,
+)
+from repro.core.poisson_binomial import pmf_conv, pmf_dp, pmf_naive
+from repro.errors import EvenJurySizeError, InvalidErrorRateError
+
+eps_values = st.floats(min_value=0.02, max_value=0.98)
+eps_lists = st.lists(eps_values, min_size=1, max_size=14)
+odd_lists = eps_lists.filter(lambda xs: len(xs) % 2 == 1)
+even_lists = st.lists(eps_values, min_size=2, max_size=14).filter(
+    lambda xs: len(xs) % 2 == 0
+)
+
+
+class TestPmfIsADistribution:
+    @given(eps_lists)
+    @settings(max_examples=80, deadline=None)
+    def test_dp_nonnegative_and_sums_to_one(self, eps):
+        pmf = pmf_dp(eps)
+        assert np.all(pmf >= 0.0)
+        assert float(pmf.sum()) == pytest.approx(1.0, abs=1e-10)
+
+    @given(eps_lists)
+    @settings(max_examples=80, deadline=None)
+    def test_conv_nonnegative_and_sums_to_one(self, eps):
+        pmf = pmf_conv(eps)
+        assert np.all(pmf >= 0.0)
+        assert float(pmf.sum()) == pytest.approx(1.0, abs=1e-10)
+
+    @given(st.lists(eps_values, min_size=1, max_size=10))
+    @settings(max_examples=40, deadline=None)
+    def test_naive_nonnegative_and_sums_to_one(self, eps):
+        pmf = pmf_naive(eps)
+        assert np.all(pmf >= 0.0)
+        assert float(pmf.sum()) == pytest.approx(1.0, abs=1e-10)
+
+    @given(eps_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_pmf_length_is_n_plus_one(self, eps):
+        assert pmf_dp(eps).size == len(eps) + 1
+
+
+class TestJERMonotonicity:
+    @given(odd_lists, st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_jer_monotone_in_each_error_rate(self, eps, data):
+        """Paper Lemma 3's key step: worsening any single juror cannot
+        lower the jury's error rate."""
+        index = data.draw(st.integers(min_value=0, max_value=len(eps) - 1))
+        bumped = data.draw(
+            st.floats(min_value=eps[index], max_value=0.99), label="bumped"
+        )
+        worse = list(eps)
+        worse[index] = bumped
+        assert jer_dp(worse) >= jer_dp(eps) - 1e-12
+
+    @given(odd_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_jer_within_unit_interval(self, eps):
+        value = jer_dp(eps)
+        assert 0.0 <= value <= 1.0
+
+    @given(st.lists(eps_values, min_size=2, max_size=14))
+    @settings(max_examples=60, deadline=None)
+    def test_batch_sweep_rows_lie_in_unit_interval(self, eps):
+        _, jers = batch_prefix_jer_sweep(np.array([eps, eps[::-1]]))
+        assert np.all(jers >= 0.0) and np.all(jers <= 1.0)
+
+
+class TestEvenSizeRejection:
+    @given(even_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_all_calculators_raise_even_jury_size_error(self, eps):
+        """The EvenJurySizeError contract holds for every backend and the
+        dispatcher alike."""
+        for calculator in (jer_naive, jer_dp, jer_cba):
+            with pytest.raises(EvenJurySizeError):
+                calculator(eps)
+        for method in ("naive", "dp", "cba", "auto"):
+            with pytest.raises(EvenJurySizeError):
+                jury_error_rate(eps, method=method)
+
+
+class TestBatchKernelValidation:
+    def test_rejects_one_dimensional_input(self):
+        with pytest.raises(ValueError, match="2-D"):
+            batch_prefix_jer_sweep(np.array([0.1, 0.2, 0.3]))
+
+    def test_rejects_empty_pools(self):
+        with pytest.raises(ValueError, match="empty"):
+            batch_prefix_jer_sweep(np.empty((3, 0)))
+
+    @pytest.mark.parametrize("bad", [0.0, 1.0, -0.5, 1.5, float("nan")])
+    def test_rejects_out_of_range_error_rates(self, bad):
+        with pytest.raises(InvalidErrorRateError):
+            batch_prefix_jer_sweep(np.array([[0.2, bad, 0.3]]))

@@ -1,0 +1,287 @@
+"""Tests for the batch jury-selection engine (repro.service)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.juror import Juror, jurors_from_arrays
+from repro.core.selection.altr import select_jury_altr
+from repro.core.selection.exact import select_jury_optimal
+from repro.core.selection.pay import select_jury_pay
+from repro.errors import EmptyCandidateSetError, InfeasibleSelectionError
+from repro.service import (
+    BatchSelectionEngine,
+    CandidatePool,
+    PrefixSweepCache,
+    SelectionQuery,
+)
+
+
+def _pool_jurors(rng: np.random.Generator, n: int, *, priced: bool = False):
+    eps = rng.uniform(0.05, 0.95, size=n)
+    reqs = rng.uniform(0.05, 1.0, size=n) if priced else None
+    return jurors_from_arrays(eps, reqs)
+
+
+class TestCandidatePool:
+    def test_normalises_order(self):
+        a, b = Juror(0.3, juror_id="hi"), Juror(0.1, juror_id="lo")
+        assert CandidatePool([a, b]).fingerprint == CandidatePool([b, a]).fingerprint
+
+    def test_distinct_pools_distinct_fingerprints(self):
+        one = CandidatePool(jurors_from_arrays([0.1, 0.2]))
+        two = CandidatePool(jurors_from_arrays([0.1, 0.3]))
+        assert one.fingerprint != two.fingerprint
+
+    def test_requirement_is_part_of_fingerprint(self):
+        free = CandidatePool([Juror(0.2, 0.0, juror_id="x")])
+        paid = CandidatePool([Juror(0.2, 0.5, juror_id="x")])
+        assert free.fingerprint != paid.fingerprint
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(EmptyCandidateSetError):
+            CandidatePool([])
+
+    def test_duplicate_ids_rejected_upfront(self):
+        from repro.errors import InvalidJuryError
+
+        with pytest.raises(InvalidJuryError, match="duplicate"):
+            CandidatePool([Juror(0.1, juror_id="x"), Juror(0.2, juror_id="x")])
+
+
+class TestPrefixSweepCache:
+    def test_lru_eviction(self):
+        cache = PrefixSweepCache(maxsize=2)
+        for key in ("a", "b", "c"):
+            cache.put(key, np.array([1]), np.array([0.5]))
+        assert "a" not in cache and "b" in cache and "c" in cache
+
+    def test_get_refreshes_recency(self):
+        cache = PrefixSweepCache(maxsize=2)
+        cache.put("a", np.array([1]), np.array([0.5]))
+        cache.put("b", np.array([1]), np.array([0.5]))
+        assert cache.get("a") is not None
+        cache.put("c", np.array([1]), np.array([0.5]))
+        assert "a" in cache and "b" not in cache
+
+    def test_zero_capacity_stores_nothing(self):
+        cache = PrefixSweepCache(maxsize=0)
+        cache.put("a", np.array([1]), np.array([0.5]))
+        assert cache.get("a") is None
+        assert len(cache) == 0
+
+
+class TestSelectionQueryValidation:
+    def test_requires_exactly_one_source(self):
+        cands = tuple(jurors_from_arrays([0.1, 0.2, 0.3]))
+        with pytest.raises(ValueError):
+            SelectionQuery(task_id="t", candidates=None, pool=None)
+        with pytest.raises(ValueError):
+            SelectionQuery(
+                task_id="t", candidates=cands, pool=CandidatePool(cands)
+            )
+
+    def test_pay_requires_budget(self):
+        cands = tuple(jurors_from_arrays([0.1, 0.2, 0.3]))
+        with pytest.raises(ValueError, match="budget"):
+            SelectionQuery(task_id="t", candidates=cands, model="pay")
+
+    def test_unknown_model_rejected(self):
+        cands = tuple(jurors_from_arrays([0.1, 0.2, 0.3]))
+        with pytest.raises(ValueError, match="model"):
+            SelectionQuery(task_id="t", candidates=cands, model="wat")
+
+
+class TestBatchMatchesScalar:
+    def test_altr_batch_bit_identical_to_single_query(self, rng):
+        """The acceptance bar: batch results == scalar path, bit for bit."""
+        engine = BatchSelectionEngine()
+        pools = [_pool_jurors(rng, int(n)) for n in rng.integers(3, 40, size=12)]
+        outcomes = engine.run(
+            [
+                SelectionQuery(task_id=f"t{i}", candidates=tuple(cands))
+                for i, cands in enumerate(pools)
+            ]
+        )
+        for outcome, cands in zip(outcomes, pools):
+            single = select_jury_altr(cands)
+            assert outcome.ok
+            assert outcome.result.jer == single.jer  # exact, not approx
+            assert outcome.result.juror_ids == single.juror_ids
+            assert outcome.result.stats.jer_evaluations == single.stats.jer_evaluations
+
+    def test_pay_batch_matches_single_query(self, rng):
+        engine = BatchSelectionEngine()
+        pools = [_pool_jurors(rng, 15, priced=True) for _ in range(5)]
+        outcomes = engine.run(
+            [
+                SelectionQuery(
+                    task_id=f"p{i}", candidates=tuple(c), model="pay", budget=2.0
+                )
+                for i, c in enumerate(pools)
+            ]
+        )
+        for outcome, cands in zip(outcomes, pools):
+            single = select_jury_pay(cands, budget=2.0)
+            assert outcome.ok
+            assert outcome.result.jer == single.jer
+            assert set(outcome.result.juror_ids) == set(single.juror_ids)
+
+    def test_exact_batch_matches_single_query(self, rng):
+        engine = BatchSelectionEngine()
+        pools = [_pool_jurors(rng, 10, priced=True) for _ in range(3)]
+        outcomes = engine.run(
+            [
+                SelectionQuery(
+                    task_id=f"e{i}", candidates=tuple(c), model="exact", budget=3.0
+                )
+                for i, c in enumerate(pools)
+            ]
+        )
+        for outcome, cands in zip(outcomes, pools):
+            single = select_jury_optimal(cands, budget=3.0)
+            assert outcome.ok
+            assert outcome.result.jer == pytest.approx(single.jer, abs=1e-15)
+            assert outcome.result.juror_ids == single.juror_ids
+
+    def test_mixed_models_in_one_batch(self, rng):
+        cands = tuple(_pool_jurors(rng, 9, priced=True))
+        engine = BatchSelectionEngine()
+        outcomes = engine.run(
+            [
+                SelectionQuery(task_id="a", candidates=cands, model="altr"),
+                SelectionQuery(task_id="p", candidates=cands, model="pay", budget=2.0),
+                SelectionQuery(task_id="e", candidates=cands, model="exact", budget=2.0),
+            ]
+        )
+        assert [o.task_id for o in outcomes] == ["a", "p", "e"]
+        assert all(o.ok for o in outcomes)
+        assert outcomes[2].result.jer <= outcomes[1].result.jer + 1e-10
+
+
+class TestSharedPoolCaching:
+    def test_shared_pool_swept_once(self, rng):
+        pool = CandidatePool(_pool_jurors(rng, 25))
+        engine = BatchSelectionEngine()
+        outcomes = engine.run(
+            [SelectionQuery(task_id=f"t{i}", pool=pool) for i in range(100)]
+        )
+        assert all(o.ok for o in outcomes)
+        assert engine.stats.batch_sweeps == 1
+        assert engine.stats.pools_swept == 1
+
+    def test_equal_content_pools_deduplicated(self, rng):
+        eps = rng.uniform(0.05, 0.95, size=11)
+        make = lambda: tuple(jurors_from_arrays(eps))  # noqa: E731
+        engine = BatchSelectionEngine()
+        engine.run(
+            [
+                SelectionQuery(task_id=f"t{i}", candidates=make())
+                for i in range(4)
+            ]
+        )
+        assert engine.stats.pools_swept == 1
+
+    def test_cache_reused_across_runs(self, rng):
+        pool = CandidatePool(_pool_jurors(rng, 13))
+        engine = BatchSelectionEngine()
+        engine.run([SelectionQuery(task_id="t1", pool=pool)])
+        engine.run([SelectionQuery(task_id="t2", pool=pool)])
+        assert engine.stats.pools_swept == 1
+        assert engine.cache.hits >= 1
+
+    def test_cache_size_zero_resweeps_across_runs(self, rng):
+        pool = CandidatePool(_pool_jurors(rng, 13))
+        engine = BatchSelectionEngine(cache_size=0)
+        engine.run([SelectionQuery(task_id="t1", pool=pool)])
+        engine.run([SelectionQuery(task_id="t2", pool=pool)])
+        assert engine.stats.pools_swept == 2
+
+    def test_distinct_sizes_grouped_into_separate_sweeps(self, rng):
+        engine = BatchSelectionEngine()
+        queries = [
+            SelectionQuery(task_id="a", candidates=tuple(_pool_jurors(rng, 7))),
+            SelectionQuery(task_id="b", candidates=tuple(_pool_jurors(rng, 7))),
+            SelectionQuery(task_id="c", candidates=tuple(_pool_jurors(rng, 9))),
+        ]
+        assert all(o.ok for o in engine.run(queries))
+        assert engine.stats.batch_sweeps == 2  # one per distinct pool size
+        assert engine.stats.pools_swept == 3
+
+    def test_max_size_variants_share_one_sweep(self, rng):
+        pool = CandidatePool(_pool_jurors(rng, 21))
+        engine = BatchSelectionEngine()
+        outcomes = engine.run(
+            [
+                SelectionQuery(task_id=f"m{m}", pool=pool, max_size=m)
+                for m in (1, 5, 9, None)
+            ]
+        )
+        assert engine.stats.batch_sweeps == 1
+        for outcome, m in zip(outcomes, (1, 5, 9)):
+            assert outcome.result.size <= m
+        for outcome, cap in zip(outcomes, (1, 5, 9, None)):
+            single = select_jury_altr(list(pool.ordered), max_size=cap)
+            assert outcome.result.jer == single.jer
+
+
+class TestErrorHandling:
+    def test_infeasible_pay_query_is_isolated(self, rng):
+        good = tuple(_pool_jurors(rng, 7))
+        pricey = (Juror(0.2, 99.0, juror_id="rich"),)
+        engine = BatchSelectionEngine()
+        outcomes = engine.run(
+            [
+                SelectionQuery(task_id="ok", candidates=good),
+                SelectionQuery(task_id="bad", candidates=pricey, model="pay", budget=1.0),
+            ]
+        )
+        assert outcomes[0].ok
+        assert not outcomes[1].ok
+        assert "affordable" in outcomes[1].error
+
+    def test_raise_errors_propagates(self, rng):
+        pricey = (Juror(0.2, 99.0, juror_id="rich"),)
+        engine = BatchSelectionEngine()
+        with pytest.raises(InfeasibleSelectionError):
+            engine.run(
+                [SelectionQuery(task_id="bad", candidates=pricey, model="pay", budget=1.0)],
+                raise_errors=True,
+            )
+
+    def test_select_raises_and_returns(self, rng):
+        cands = _pool_jurors(rng, 9)
+        engine = BatchSelectionEngine()
+        result = engine.select(
+            SelectionQuery(task_id="one", candidates=tuple(cands))
+        )
+        assert result.jer == select_jury_altr(cands).jer
+        assert result.stats.elapsed_seconds >= 0.0
+
+
+class TestProcessPool:
+    def test_parallel_exact_matches_inline(self, rng):
+        pools = [tuple(_pool_jurors(rng, 9, priced=True)) for _ in range(4)]
+        queries = [
+            SelectionQuery(task_id=f"e{i}", candidates=c, model="exact", budget=3.0)
+            for i, c in enumerate(pools)
+        ]
+        inline = BatchSelectionEngine().run(list(queries))
+        parallel = BatchSelectionEngine(max_workers=2).run(list(queries))
+        for a, b in zip(inline, parallel):
+            assert a.ok and b.ok
+            assert a.result.jer == pytest.approx(b.result.jer, abs=1e-15)
+            assert a.result.juror_ids == b.result.juror_ids
+
+    def test_parallel_exact_captures_infeasible(self):
+        pricey = (Juror(0.2, 99.0, juror_id="rich"),)
+        queries = [
+            SelectionQuery(
+                task_id=f"e{i}", candidates=pricey, model="exact", budget=1.0
+            )
+            for i in range(2)
+        ]
+        outcomes = BatchSelectionEngine(max_workers=2).run(queries)
+        assert all(not o.ok for o in outcomes)
+        assert all("affordable" in o.error for o in outcomes)
