@@ -1,0 +1,221 @@
+#!/usr/bin/env python3
+"""Churn benchmark: delta-maintained live pools vs full rebuild per mutation.
+
+Scenario: a platform serving selection queries from a 1,000-candidate pool
+while ~1% of the pool churns between query bursts (arrivals, departures,
+re-estimated error rates — the workload ``repro-select serve`` sees).  Two
+maintenance policies answer identical queries:
+
+* ``rebuild`` — the pre-registry behaviour: every mutation rebuilds a fresh
+  immutable ``CandidatePool`` and resweeps it in full, so each churn event
+  costs ``O(n^2)``.
+* ``delta``   — a ``LivePool``: mutations are ``O(n)`` sorted edits; the
+  next query repairs only the dirtied suffix of the prefix pmf matrix,
+  coalescing the whole churn burst into one partial sweep.
+
+Selections are verified identical between the two policies (the delta path
+is bit-identical by construction), timings are printed, and a
+machine-readable ``BENCH_live_churn.json`` artifact is written so the perf
+trajectory can be tracked across PRs.
+
+Run:  PYTHONPATH=src python benchmarks/bench_live_churn.py [--smoke]
+      [--pool-size N] [--rounds N] [--out PATH]
+
+``--smoke`` shrinks the workload for CI smoke jobs and exits non-zero if
+the delta policy fails to beat full rebuilds at all (a regression canary,
+kept loose on purpose so shared CI runners do not flake).  The full-size
+acceptance bar is the printed ``speedup`` >= 5x.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.core.jer import batch_prefix_jer_sweep, best_odd_prefix  # noqa: E402
+from repro.core.juror import Juror  # noqa: E402
+from repro.service import CandidatePool, LivePool  # noqa: E402
+from repro.testing import BENCH_SEED  # noqa: E402
+
+
+def _make_jurors(rng: np.random.Generator, size: int) -> list[Juror]:
+    eps = rng.uniform(0.05, 0.6, size=size)
+    return [Juror(float(e), juror_id=f"w{i}") for i, e in enumerate(eps)]
+
+
+def _plan_workload(rng, jurors, rounds, churn, queries_per_round):
+    """Pre-generate the mutation/query schedule so both policies replay it."""
+    live_ids = [j.juror_id for j in jurors]
+    fresh = len(jurors)
+    plan = []
+    for _ in range(rounds):
+        mutations = []
+        for slot in range(churn):
+            kind = ("update", "add", "remove")[slot % 3]
+            if kind == "add":
+                fresh += 1
+                mutations.append(
+                    ("add", Juror(float(rng.uniform(0.05, 0.6)), juror_id=f"w{fresh}"))
+                )
+                live_ids.append(f"w{fresh}")
+            elif kind == "remove":
+                victim = live_ids.pop(int(rng.integers(len(live_ids))))
+                mutations.append(("remove", victim))
+            else:
+                target = live_ids[int(rng.integers(len(live_ids)))]
+                mutations.append(
+                    ("update", target, float(rng.uniform(0.05, 0.6)))
+                )
+        plan.append((mutations, queries_per_round))
+    return plan
+
+
+def _run_delta(jurors, plan):
+    pool = LivePool(jurors, pool_id="bench")
+    pool.sweep_profile()  # warm start, outside the timed region
+    answers = []
+    start = time.perf_counter()
+    for mutations, queries in plan:
+        for mutation in mutations:
+            if mutation[0] == "add":
+                pool.add_juror(mutation[1])
+            elif mutation[0] == "remove":
+                pool.remove_juror(mutation[1])
+            else:
+                pool.update_error_rate(mutation[1], mutation[2])
+        for _ in range(queries):
+            ns, jers = pool.sweep_profile()
+            answers.append(best_odd_prefix(ns, jers))
+    elapsed = time.perf_counter() - start
+    return elapsed, answers, pool.stats
+
+
+def _run_rebuild(jurors, plan):
+    members = {j.juror_id: j for j in jurors}
+
+    def resweep():
+        pool = CandidatePool(list(members.values()))
+        ns, jers = batch_prefix_jer_sweep(np.asarray(pool.error_rates)[np.newaxis, :])
+        return ns, jers[0]
+
+    profile = resweep()  # warm start, matching the delta policy
+    answers = []
+    start = time.perf_counter()
+    for mutations, queries in plan:
+        for mutation in mutations:
+            if mutation[0] == "add":
+                members[mutation[1].juror_id] = mutation[1]
+            elif mutation[0] == "remove":
+                del members[mutation[1]]
+            else:
+                old = members[mutation[1]]
+                members[mutation[1]] = Juror(
+                    mutation[2], old.requirement, juror_id=old.juror_id
+                )
+            profile = resweep()  # full rebuild per mutation
+        for _ in range(queries):
+            answers.append(best_odd_prefix(*profile))
+    elapsed = time.perf_counter() - start
+    return elapsed, answers
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--pool-size", type=int, default=1000, help="candidates")
+    parser.add_argument("--rounds", type=int, default=15, help="churn+query rounds")
+    parser.add_argument(
+        "--churn-percent", type=float, default=1.0,
+        help="percent of the pool mutated per round",
+    )
+    parser.add_argument(
+        "--queries", type=int, default=5, help="queries per round after the churn"
+    )
+    parser.add_argument(
+        "--out", default="BENCH_live_churn.json",
+        help="where to write the JSON artifact",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small sizes + regression check (CI smoke job)",
+    )
+    args = parser.parse_args(argv)
+
+    pool_size, rounds = args.pool_size, args.rounds
+    if args.smoke:
+        pool_size, rounds = 150, 6
+    churn = max(1, int(round(pool_size * args.churn_percent / 100.0)))
+
+    rng = np.random.default_rng(BENCH_SEED)
+    jurors = _make_jurors(rng, pool_size)
+    plan = _plan_workload(rng, list(jurors), rounds, churn, args.queries)
+    total_mutations = sum(len(m) for m, _ in plan)
+    total_queries = sum(q for _, q in plan)
+    print(
+        f"bench_live_churn: pool {pool_size}, {rounds} rounds x "
+        f"({churn} mutations + {args.queries} queries) "
+        f"({'smoke' if args.smoke else 'full'} mode)"
+    )
+
+    delta_seconds, delta_answers, stats = _run_delta(jurors, plan)
+    rebuild_seconds, rebuild_answers = _run_rebuild(jurors, plan)
+
+    identical = delta_answers == rebuild_answers
+    speedup = rebuild_seconds / delta_seconds
+    print(
+        f"  delta:   {delta_seconds:8.3f}s  "
+        f"[repairs={stats.repairs}, rows reused={stats.rows_reused}, "
+        f"recomputed={stats.rows_recomputed}, full rebuilds={stats.full_rebuilds}]"
+    )
+    print(f"  rebuild: {rebuild_seconds:8.3f}s  [{total_mutations} full resweeps]")
+    verdict = "verified identical" if identical else "DIVERGED"
+    print(
+        f"  speedup: {speedup:6.1f}x over full-rebuild-per-mutation "
+        f"({total_queries} selections {verdict})"
+    )
+
+    artifact = {
+        "benchmark": "live_churn",
+        "mode": "smoke" if args.smoke else "full",
+        "workload": {
+            "pool_size": pool_size,
+            "rounds": rounds,
+            "mutations_per_round": churn,
+            "queries_per_round": args.queries,
+            "total_mutations": total_mutations,
+            "total_queries": total_queries,
+        },
+        "delta_seconds": delta_seconds,
+        "rebuild_seconds": rebuild_seconds,
+        "speedup": speedup,
+        "delta_stats": {
+            "repairs": stats.repairs,
+            "rows_reused": stats.rows_reused,
+            "rows_recomputed": stats.rows_recomputed,
+            "full_rebuilds": stats.full_rebuilds,
+        },
+        "verified_identical": identical,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    }
+    out_path = Path(args.out)
+    out_path.write_text(json.dumps(artifact, indent=2) + "\n", encoding="utf-8")
+    print(f"  artifact: {out_path}")
+
+    if not identical:
+        print("FAILURE: delta policy diverged from full rebuilds", file=sys.stderr)
+        return 1
+    if args.smoke and speedup < 1.0:
+        print("SMOKE FAILURE: delta maintenance slower than full rebuilds",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

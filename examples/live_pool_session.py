@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Live pools: selection under juror churn, without resweeping the world.
+
+A platform's candidate population is never frozen — jurors arrive, leave,
+and their estimated error rates drift as the microblog stream flows.  This
+example shows the live-pool stack at its three levels:
+
+1. a :class:`LivePool` mutated directly — versions, delta-maintained sweep
+   profiles, and what the repair actually reused;
+2. the registry-backed engine — ``pool_name`` queries interleaved with
+   churn, with the sweep cache restoring hits when membership reverts;
+3. the estimation pipeline's incremental mode — a fresh
+   ``estimate_candidates`` result diffed onto the pool instead of replacing
+   it — plus the ``repro-select serve`` wire format for the same session.
+
+Run:  python examples/live_pool_session.py
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro import (
+    BatchSelectionEngine,
+    Juror,
+    PoolRegistry,
+    SelectionQuery,
+    jurors_from_arrays,
+)
+from repro.estimation import estimate_candidates, sync_pool_with_estimate
+from repro.estimation.tweets import Tweet, TweetCorpus
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    registry = PoolRegistry()
+    engine = BatchSelectionEngine(registry=registry)
+
+    # -- 1. a live pool under churn ------------------------------------------
+    print("== 1. LivePool: versioned churn with delta-maintained sweeps ==")
+    pool = registry.create(
+        "workers", jurors_from_arrays(rng.uniform(0.05, 0.5, size=101))
+    )
+    pool.sweep_profile()  # warm the prefix pmf matrix
+    pool.add_juror(Juror(0.03, juror_id="star"))
+    pool.update_error_rate("j50", 0.49)
+    pool.remove_juror("j13")
+    ns, jers = pool.sweep_profile()
+    best = int(ns[int(np.argmin(jers))])
+    print(f"  version {pool.version}, size {pool.size}, best odd prefix {best}")
+    # A churn burst that only touches unreliable (high-position) jurors
+    # leaves the low-error prefix rows clean — the repair reuses them.
+    worst = [j.juror_id for j in pool.ordered[-3:]]
+    for juror_id in worst:
+        pool.update_error_rate(juror_id, float(rng.uniform(0.45, 0.5)))
+    pool.sweep_profile()
+    print(
+        f"  repair work: {pool.stats.repairs} repairs, "
+        f"{pool.stats.rows_reused} prefix rows reused, "
+        f"{pool.stats.rows_recomputed} recomputed"
+    )
+
+    # -- 2. churn interleaved with registry-backed queries -------------------
+    print("== 2. engine queries against the live pool ==")
+    before = engine.run([SelectionQuery(task_id="t-before", pool_name="workers")])[0]
+    print(f"  t-before (v{pool.version}): {before.result.summary()}")
+    star = pool.remove_juror("star")
+    after = engine.run([SelectionQuery(task_id="t-after", pool_name="workers")])[0]
+    print(f"  t-after  (v{pool.version}): {after.result.summary()}")
+    pool.add_juror(star)  # membership reverts -> the old profile hits again
+    engine.run([SelectionQuery(task_id="t-revert", pool_name="workers")])
+    print(
+        f"  cache: {engine.cache.hits} hit(s), {engine.cache.misses} miss(es) "
+        "(the revert restored the first profile's fingerprint)"
+    )
+
+    # -- 3. incremental estimation refresh -----------------------------------
+    print("== 3. estimation pipeline in incremental mode ==")
+    corpus = TweetCorpus(
+        [
+            Tweet("fan1", "RT @guru insight"),
+            Tweet("fan2", "RT @guru more insight"),
+            Tweet("fan2", "RT @sage wisdom"),
+            Tweet("guru", "original thought"),
+            Tweet("sage", "calm thought"),
+        ]
+    )
+    estimated = registry.create(
+        "estimated", estimate_candidates(corpus, ranking="pagerank").jurors
+    )
+    refreshed = estimate_candidates(
+        TweetCorpus(list(corpus) + [Tweet("fan3", "RT @guru late insight")]),
+        ranking="pagerank",
+    )
+    report = sync_pool_with_estimate(estimated, refreshed)
+    print(f"  {report.summary()}")
+
+    print("== equivalent repro-select serve session ==")
+    for row in [
+        {"cmd": "pool", "action": "create", "name": "workers",
+         "candidates": [{"id": "A", "error_rate": 0.1}, {"id": "B", "error_rate": 0.2},
+                        {"id": "C", "error_rate": 0.3}]},
+        {"cmd": "select", "task": "t-before", "pool": "workers"},
+        {"cmd": "pool", "action": "update", "name": "workers",
+         "add": [{"id": "star", "error_rate": 0.03}],
+         "set": [{"id": "C", "error_rate": 0.49}]},
+        {"cmd": "select", "task": "t-after", "pool": "workers"},
+        {"cmd": "stats"},
+    ]:
+        print(f"  {json.dumps(row)}")
+    print("  (feed to:  repro-select serve)")
+
+
+if __name__ == "__main__":
+    main()

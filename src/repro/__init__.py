@@ -90,11 +90,21 @@ from repro.core import (
 from repro.service import (
     BatchSelectionEngine,
     CandidatePool,
+    LivePool,
+    PoolRegistry,
     PrefixSweepCache,
     QueryOutcome,
     SelectionQuery,
+    as_pool,
 )
-from repro.core.jer import batch_prefix_jer_sweep, best_odd_prefix, prefix_jer_profile
+from repro.core.jer import (
+    batch_prefix_jer_sweep,
+    best_odd_prefix,
+    convolve_pmf,
+    deconvolve_pmf,
+    prefix_jer_profile,
+    resume_prefix_sweep,
+)
 from repro.errors import (
     BudgetError,
     ConvergenceError,
@@ -106,6 +116,7 @@ from repro.errors import (
     InvalidErrorRateError,
     InvalidJuryError,
     InvalidRequirementError,
+    PoolNotFoundError,
     ReproError,
     SimulationError,
 )
@@ -135,12 +146,18 @@ __all__ = [
     "batch_prefix_jer_sweep",
     "prefix_jer_profile",
     "best_odd_prefix",
-    # batch service
+    "convolve_pmf",
+    "deconvolve_pmf",
+    "resume_prefix_sweep",
+    # batch service + live registry
     "BatchSelectionEngine",
     "SelectionQuery",
     "QueryOutcome",
     "CandidatePool",
+    "LivePool",
+    "PoolRegistry",
     "PrefixSweepCache",
+    "as_pool",
     "paley_zygmund_lower_bound",
     "gamma_ratio",
     "markov_upper_bound",
@@ -172,6 +189,7 @@ __all__ = [
     "InvalidJuryError",
     "EvenJurySizeError",
     "EmptyCandidateSetError",
+    "PoolNotFoundError",
     "BudgetError",
     "InfeasibleSelectionError",
     "EstimationError",

@@ -40,8 +40,34 @@ the per-row diagnostic (also echoed to stderr as ``file:line: message``).
 Exit codes: 0 — all queries succeeded; 1 — fatal (unreadable input, no
 query rows); 2 — completed, but some rows were malformed or failed.
 
-``batch`` is a reserved word in the first argument position; to select
-from a CSV file literally named ``batch``, pass it as ``./batch``.
+Serve mode keeps a long-lived session on stdin/stdout, backed by a
+:class:`~repro.service.PoolRegistry` of live pools so that pool mutations
+and selections interleave without resweeping unchanged state:
+
+    repro-select serve                                   # JSONL in, JSONL out
+
+One JSON command per input line; one JSON response per command, flushed
+immediately.  Commands:
+
+    {"cmd": "pool", "action": "create", "name": "P1", "candidates": [...]}
+    {"cmd": "pool", "action": "update", "name": "P1",
+     "add": [...], "remove": ["id", ...],
+     "set": [{"id": "A", "error_rate": 0.25, "requirement": 0.4}, ...]}
+    {"cmd": "pool", "action": "drop", "name": "P1"}
+    {"cmd": "select", "task": "t1", "pool": "P1", "model": "altr", ...}
+    {"cmd": "stats"}
+    {"cmd": "quit"}
+
+Pool responses echo ``{"ok": true, "name", "version", "size"}`` (versions
+increase monotonically, one per mutation); ``select`` responses carry the
+same fields as batch-mode ok rows plus ``pool_version``; a ``select`` may
+also use inline ``"candidates"`` instead of a pool name.  Errors are
+reported as ``{"ok": false, "line": N, "error": msg}`` without ending the
+session.  The session ends at EOF or ``quit``; the exit code is 0 when
+every command succeeded, 2 otherwise.
+
+``batch`` and ``serve`` are reserved words in the first argument position;
+to select from a CSV file with one of those names, pass it as ``./batch``.
 """
 
 from __future__ import annotations
@@ -59,9 +85,14 @@ from repro.core.selection.base import SelectionResult
 from repro.core.selection.exact import select_jury_optimal
 from repro.core.selection.pay import select_jury_pay
 from repro.errors import ReproError
-from repro.service import BatchSelectionEngine, CandidatePool, SelectionQuery
+from repro.service import (
+    BatchSelectionEngine,
+    CandidatePool,
+    PoolRegistry,
+    SelectionQuery,
+)
 
-__all__ = ["load_candidates_csv", "main"]
+__all__ = ["load_candidates_csv", "main", "run_serve"]
 
 
 def load_candidates_csv(path: str | Path) -> list[Juror]:
@@ -166,16 +197,47 @@ def _parse_candidates_json(value: object, where: str) -> list[Juror]:
     return jurors
 
 
-def _query_from_row(
-    obj: dict, where: str, pools: dict[str, CandidatePool]
+def _build_query(
+    obj: dict,
+    where: str,
+    *,
+    pool: CandidatePool | None = None,
+    pool_name: str | None = None,
+    candidates: tuple[Juror, ...] | None = None,
 ) -> SelectionQuery:
-    """Build a :class:`SelectionQuery` from one parsed JSONL query row."""
-    task_id = str(obj["task"])
+    """Build a :class:`SelectionQuery` from a parsed JSON row.
+
+    Shared by batch mode (which passes a resolved ``pool`` or inline
+    ``candidates``) and serve mode (which passes a registry ``pool_name``);
+    validates the model and coerces the common optional fields in one place.
+    """
     model = obj.get("model", "altr")
     if model not in _QUERY_MODELS:
         raise ReproError(
             f"{where}: unknown model {model!r}; expected one of {_QUERY_MODELS}"
         )
+    budget = obj.get("budget")
+    max_size = obj.get("max_size")
+    try:
+        return SelectionQuery(
+            task_id=str(obj.get("task", "task")),
+            candidates=candidates,
+            pool=pool,
+            pool_name=pool_name,
+            model=model,
+            budget=None if budget is None else float(budget),
+            max_size=None if max_size is None else int(max_size),
+            variant=str(obj.get("variant", "paper")),
+            method=str(obj.get("method", "auto")),
+        )
+    except (TypeError, ValueError) as exc:
+        raise ReproError(f"{where}: {exc}") from exc
+
+
+def _query_from_row(
+    obj: dict, where: str, pools: dict[str, CandidatePool]
+) -> SelectionQuery:
+    """Build a :class:`SelectionQuery` from one parsed JSONL query row."""
     pool: CandidatePool | None = None
     candidates: tuple[Juror, ...] | None = None
     if "pool" in obj and "candidates" in obj:
@@ -189,21 +251,7 @@ def _query_from_row(
         candidates = tuple(_parse_candidates_json(obj["candidates"], where))
     else:
         raise ReproError(f"{where}: query needs a 'pool' reference or inline 'candidates'")
-    budget = obj.get("budget")
-    max_size = obj.get("max_size")
-    try:
-        return SelectionQuery(
-            task_id=task_id,
-            candidates=candidates,
-            pool=pool,
-            model=model,
-            budget=None if budget is None else float(budget),
-            max_size=None if max_size is None else int(max_size),
-            variant=str(obj.get("variant", "paper")),
-            method=str(obj.get("method", "auto")),
-        )
-    except (TypeError, ValueError) as exc:
-        raise ReproError(f"{where}: {exc}") from exc
+    return _build_query(obj, where, pool=pool, candidates=candidates)
 
 
 def _batch_ok_row(task_id: str, result: SelectionResult) -> dict:
@@ -360,11 +408,246 @@ def _build_batch_parser() -> argparse.ArgumentParser:
     return parser
 
 
+# ----------------------------------------------------------------------
+# serve subcommand
+# ----------------------------------------------------------------------
+
+
+def _serve_select(
+    engine: BatchSelectionEngine, obj: dict, where: str
+) -> dict:
+    """Execute one serve-session ``select`` command and build its response."""
+    if "pool" in obj and "candidates" in obj:
+        raise ReproError(f"{where}: give either 'pool' or 'candidates', not both")
+    pool_name: str | None = None
+    candidates: tuple[Juror, ...] | None = None
+    pool_version: int | None = None
+    if "pool" in obj:
+        pool_name = str(obj["pool"])
+        # Resolve eagerly so an unknown name is a located error, and so the
+        # response can echo the version the selection ran against.
+        pool_version = engine.registry.get(pool_name).version
+    elif "candidates" in obj:
+        candidates = tuple(_parse_candidates_json(obj["candidates"], where))
+    else:
+        raise ReproError(
+            f"{where}: select needs a 'pool' reference or inline 'candidates'"
+        )
+    query = _build_query(obj, where, pool_name=pool_name, candidates=candidates)
+    outcome = engine.run([query])[0]
+    if not outcome.ok:
+        raise ReproError(f"{where}: task {query.task_id!r}: {outcome.error}")
+    row = _batch_ok_row(query.task_id, outcome.result)
+    row["ok"] = True
+    if pool_version is not None:
+        row["pool_version"] = pool_version
+    return row
+
+
+def _validated_pool_update(
+    pool, obj: dict, where: str
+) -> tuple[list[str], list[Juror], list[tuple[str, Juror]]]:
+    """Validate a serve ``pool update`` fully before any mutation.
+
+    Simulates the membership through remove -> add -> set order (the order
+    the update is applied in) and re-validates every value a mutation would
+    validate, so applying the returned plan cannot fail halfway: the update
+    is atomic from the client's point of view.
+    """
+    removes = obj.get("remove", [])
+    adds_json = obj.get("add", [])
+    sets = obj.get("set", [])
+    for field_name, value in (("remove", removes), ("add", adds_json), ("set", sets)):
+        if not isinstance(value, list):
+            raise ReproError(
+                f"{where}: '{field_name}' must be an array, "
+                f"got {type(value).__name__}"
+            )
+    adds = _parse_candidates_json(adds_json, where) if adds_json else []
+
+    membership = {j.juror_id: j for j in pool.ordered}
+    remove_ids = []
+    for entry in removes:
+        juror_id = str(entry)
+        if membership.pop(juror_id, None) is None:
+            raise ReproError(f"{where}: juror {juror_id!r} is not in the pool")
+        remove_ids.append(juror_id)
+    for juror in adds:
+        if juror.juror_id in membership:
+            raise ReproError(
+                f"{where}: juror {juror.juror_id!r} is already in the pool"
+            )
+        membership[juror.juror_id] = juror
+    updates: list[tuple[str, Juror]] = []
+    for position, entry in enumerate(sets):
+        if not isinstance(entry, dict) or "id" not in entry:
+            raise ReproError(
+                f"{where}: set entry #{position} must be an object with an 'id'"
+            )
+        juror_id = str(entry["id"])
+        current = membership.get(juror_id)
+        if current is None:
+            raise ReproError(f"{where}: juror {juror_id!r} is not in the pool")
+        try:
+            replacement = Juror(
+                entry.get("error_rate", current.error_rate),
+                entry.get("requirement", current.requirement),
+                juror_id=juror_id,
+            )
+        except ReproError as exc:
+            raise ReproError(f"{where}: set entry #{position}: {exc}") from exc
+        membership[juror_id] = replacement
+        updates.append((juror_id, replacement))
+    return remove_ids, adds, updates
+
+
+def _serve_pool(engine: BatchSelectionEngine, obj: dict, where: str) -> dict:
+    """Execute one serve-session ``pool`` command and build its response."""
+    registry = engine.registry
+    action = obj.get("action")
+    if action not in ("create", "update", "drop"):
+        raise ReproError(
+            f"{where}: pool action must be 'create', 'update' or 'drop', "
+            f"got {action!r}"
+        )
+    name = str(obj.get("name") or "")
+    if not name:
+        raise ReproError(f"{where}: pool command needs a non-empty 'name'")
+
+    if action == "create":
+        if "candidates" not in obj:
+            raise ReproError(f"{where}: pool create needs 'candidates'")
+        candidates = _parse_candidates_json(obj["candidates"], where)
+        pool = registry.create(name, candidates, replace=bool(obj.get("replace", False)))
+    elif action == "drop":
+        pool = registry.drop(name)
+        if pool.size:
+            # Free the dropped pool's current profile from the sweep cache
+            # (older versions' entries, if any, age out via LRU).
+            engine.cache.invalidate(pool.fingerprint)
+        return {"ok": True, "cmd": "pool", "action": "drop", "name": name,
+                "version": pool.version, "size": pool.size}
+    else:  # update
+        pool = registry.get(name)
+        remove_ids, adds, updates = _validated_pool_update(pool, obj, where)
+        for juror_id in remove_ids:
+            pool.remove_juror(juror_id)
+        for juror in adds:
+            pool.add_juror(juror)
+        for juror_id, replacement in updates:
+            pool.update_juror(
+                juror_id,
+                error_rate=replacement.error_rate,
+                requirement=replacement.requirement,
+            )
+    return {"ok": True, "cmd": "pool", "action": action, "name": name,
+            "version": pool.version, "size": pool.size}
+
+
+def run_serve(args: argparse.Namespace, *, stdin=None, stdout=None) -> int:
+    """Execute the ``serve`` subcommand: a long-lived JSONL session.
+
+    Reads one JSON command per line from ``stdin`` and writes one JSON
+    response per command to ``stdout`` (flushed per line, so the session can
+    be driven interactively or over a pipe).  Returns the process exit code.
+    """
+    source = sys.stdin if stdin is None else stdin
+    sink = sys.stdout if stdout is None else stdout
+    registry = PoolRegistry()
+    engine_options = {} if args.cache_size is None else {"cache_size": args.cache_size}
+    engine = BatchSelectionEngine(
+        max_workers=args.workers, registry=registry, **engine_options
+    )
+    had_errors = False
+
+    def respond(row: dict) -> None:
+        print(json.dumps(row), file=sink, flush=True)
+
+    for line_no, raw in enumerate(source, start=1):
+        stripped = raw.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        where = f"<serve>:{line_no}"
+        try:
+            obj = json.loads(stripped)
+            if not isinstance(obj, dict):
+                raise ReproError(f"{where}: command must be a JSON object")
+            cmd = obj.get("cmd")
+            if cmd == "quit":
+                respond({"ok": True, "cmd": "quit"})
+                break
+            elif cmd == "pool":
+                respond(_serve_pool(engine, obj, where))
+            elif cmd == "select":
+                respond(_serve_select(engine, obj, where))
+            elif cmd == "stats":
+                respond({
+                    "ok": True,
+                    "cmd": "stats",
+                    "pools": {
+                        name: {
+                            "version": registry.get(name).version,
+                            "size": registry.get(name).size,
+                        }
+                        for name in registry.names()
+                    },
+                    "queries_run": engine.stats.queries_run,
+                    "live_profiles": engine.stats.live_profiles,
+                    "cache": {
+                        "hits": engine.cache.hits,
+                        "misses": engine.cache.misses,
+                        "evictions": engine.cache.evictions,
+                        "entries": len(engine.cache),
+                    },
+                })
+            else:
+                raise ReproError(
+                    f"{where}: unknown cmd {cmd!r}; expected 'pool', 'select', "
+                    "'stats' or 'quit'"
+                )
+        except json.JSONDecodeError as exc:
+            had_errors = True
+            print(f"{where}: invalid JSON: {exc.msg}", file=sys.stderr)
+            respond({"ok": False, "line": line_no, "error": f"invalid JSON: {exc.msg}"})
+        except (ReproError, TypeError, ValueError) as exc:
+            # ReproError covers domain failures; bare TypeError/ValueError
+            # covers malformed payloads that slip past the explicit checks.
+            # Either way the error stays per-command: the session survives.
+            had_errors = True
+            print(str(exc), file=sys.stderr)
+            respond({"ok": False, "line": line_no, "error": str(exc)})
+    return 2 if had_errors else 0
+
+
+def _build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-select serve",
+        description="Long-lived JSONL session: live pool mutations "
+        "(create/update/drop) interleaved with selections, over a shared "
+        "registry with delta-maintained sweep state.",
+    )
+    parser.add_argument(
+        "--cache-size",
+        type=int,
+        default=None,
+        help="prefix-sweep cache capacity (default: engine default)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process-pool size for exact queries (default: in-process)",
+    )
+    return parser
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point.  Returns a process exit code."""
     arguments = list(sys.argv[1:] if argv is None else argv)
     if arguments and arguments[0] == "batch":
         return run_batch(_build_batch_parser().parse_args(arguments[1:]))
+    if arguments and arguments[0] == "serve":
+        return run_serve(_build_serve_parser().parse_args(arguments[1:]))
 
     parser = argparse.ArgumentParser(
         prog="repro-select",

@@ -18,12 +18,15 @@ from repro.core.jer import (
     PrefixJERSweeper,
     batch_prefix_jer_sweep,
     best_odd_prefix,
+    convolve_pmf,
+    deconvolve_pmf,
     jer_cba,
     jer_dp,
     jer_naive,
     jury_error_rate,
     majority_threshold,
     prefix_jer_profile,
+    resume_prefix_sweep,
 )
 from repro.core.incremental import IncrementalJury
 from repro.core.juror import Juror, Jury, jurors_from_arrays
@@ -76,6 +79,9 @@ __all__ = [
     "batch_prefix_jer_sweep",
     "prefix_jer_profile",
     "best_odd_prefix",
+    "convolve_pmf",
+    "deconvolve_pmf",
+    "resume_prefix_sweep",
     # bounds
     "paley_zygmund_lower_bound",
     "gamma_ratio",

@@ -3,16 +3,27 @@
 Interactive jury curation ("what happens if I also ask @alice? what if I
 drop @bob?") recomputes the JER after every edit; doing that from scratch
 costs ``O(n^2)`` (Algorithm 1) or ``O(n log n)`` (Algorithm 2) per edit.
-:class:`IncrementalJury` instead maintains the Carelessness pmf under
+:class:`IncrementalJury` instead maintains the Carelessness pmf through the
+delta kernels of :mod:`repro.core.jer`:
 
-* ``add(juror)``    — one length-2 convolution, ``O(n)``;
-* ``remove(juror)`` — one stable deconvolution, ``O(n)``
-  (see :func:`repro.core.sensitivity.leave_one_out_pmf`);
+* ``add(juror)`` / ``add_all(jurors)`` — length-2 convolutions
+  (:func:`repro.core.jer.convolve_pmf`), ``O(k * n)`` for ``k`` joiners;
+* ``remove(juror)`` / ``remove_all(ids)`` — stable deconvolutions
+  (:func:`repro.core.jer.deconvolve_pmf`), ``O(k * n)``;
 * ``what_if_add`` / ``what_if_swap`` — hypothetical JERs without mutating.
 
 JER queries are ``O(n)`` tail sums over the maintained pmf.  The structure
 also accepts even intermediate sizes (JER is only defined at odd sizes;
 querying it at an even size raises, matching the paper's odd-jury rule).
+
+Deconvolution is ill-conditioned when many factors near ``eps = 0.5`` are
+removed back to back: one removal can amplify pre-existing round-off by up
+to ``~2n``, so a chain of ``r`` removals grows error like ``(2n)^r`` in the
+worst case.  The jury therefore rebuilds its pmf from the surviving members
+(``O(n^2)``, amortised over the chain) once
+:data:`REBUILD_AFTER_REMOVALS` removals have accumulated since the last
+from-scratch state — keeping arbitrarily long edit sessions within the
+shared ``DECONV_ATOL`` of a scratch rebuild.
 """
 
 from __future__ import annotations
@@ -21,13 +32,18 @@ from collections.abc import Iterable
 
 import numpy as np
 
-from repro.core.jer import majority_threshold
+from repro.core.jer import convolve_pmf, deconvolve_pmf, majority_threshold
 from repro.core.juror import Juror, Jury
-from repro.core.poisson_binomial import tail_probability
-from repro.core.sensitivity import leave_one_out_pmf
+from repro.core.poisson_binomial import pmf_dp, tail_probability
 from repro.errors import InvalidJuryError
 
-__all__ = ["IncrementalJury"]
+__all__ = ["IncrementalJury", "REBUILD_AFTER_REMOVALS"]
+
+#: Deconvolutions tolerated since the last exact pmf state before the jury
+#: rebuilds from its member list.  Empirically, adversarial near-0.5 removal
+#: chains of this length stay below ``1e-12`` absolute pmf error; two more
+#: steps would already reach ``~1e-10``.
+REBUILD_AFTER_REMOVALS = 4
 
 
 class IncrementalJury:
@@ -49,28 +65,69 @@ class IncrementalJury:
     def __init__(self, jurors: Iterable[Juror] = ()) -> None:
         self._members: dict[str, Juror] = {}
         self._pmf = np.ones(1, dtype=np.float64)
-        for juror in jurors:
-            self.add(juror)
+        self._removals_since_rebuild = 0
+        self.add_all(jurors)
 
     # ------------------------------------------------------------------
     # mutation
     # ------------------------------------------------------------------
     def add(self, juror: Juror) -> None:
         """Add a juror; O(n)."""
-        if not isinstance(juror, Juror):
-            raise InvalidJuryError("only Juror instances can join a jury")
-        if juror.juror_id in self._members:
-            raise InvalidJuryError(f"juror {juror.juror_id!r} is already a member")
-        self._members[juror.juror_id] = juror
-        self._pmf = self._extend(self._pmf, juror.error_rate)
+        self.add_all([juror])
+
+    def add_all(self, jurors: Iterable[Juror]) -> None:
+        """Add ``k`` jurors in one pmf pass; O(k * n).
+
+        Validation happens before any state changes, so a duplicate in the
+        batch leaves the jury untouched.
+        """
+        incoming = list(jurors)
+        seen = set(self._members)
+        for juror in incoming:
+            if not isinstance(juror, Juror):
+                raise InvalidJuryError("only Juror instances can join a jury")
+            if juror.juror_id in seen:
+                raise InvalidJuryError(
+                    f"juror {juror.juror_id!r} is already a member"
+                )
+            seen.add(juror.juror_id)
+        if not incoming:
+            return
+        self._pmf = convolve_pmf(self._pmf, [j.error_rate for j in incoming])
+        for juror in incoming:
+            self._members[juror.juror_id] = juror
 
     def remove(self, juror_id: str) -> Juror:
         """Remove a member by id and return it; O(n)."""
-        if juror_id not in self._members:
-            raise InvalidJuryError(f"juror {juror_id!r} is not a member")
-        juror = self._members.pop(juror_id)
-        self._pmf = leave_one_out_pmf(self._pmf, juror.error_rate)
-        return juror
+        return self.remove_all([juror_id])[0]
+
+    def remove_all(self, juror_ids: Iterable[str]) -> list[Juror]:
+        """Remove ``k`` members in one pmf pass; O(k * n) amortised.
+
+        Validation happens before any state changes, so an unknown id in the
+        batch leaves the jury untouched.  Returns the removed jurors in the
+        order given.  Once :data:`REBUILD_AFTER_REMOVALS` deconvolutions have
+        accumulated, the pmf is instead recomputed from the surviving members
+        so round-off cannot compound across long removal chains.
+        """
+        ids = list(juror_ids)
+        pending = set()
+        for juror_id in ids:
+            if juror_id not in self._members or juror_id in pending:
+                raise InvalidJuryError(f"juror {juror_id!r} is not a member")
+            pending.add(juror_id)
+        if not ids:
+            return []
+        removed = [self._members[i] for i in ids]
+        for juror_id in ids:
+            del self._members[juror_id]
+        self._removals_since_rebuild += len(ids)
+        if self._removals_since_rebuild > REBUILD_AFTER_REMOVALS:
+            self._pmf = pmf_dp([j.error_rate for j in self._members.values()])
+            self._removals_since_rebuild = 0
+        else:
+            self._pmf = deconvolve_pmf(self._pmf, [j.error_rate for j in removed])
+        return removed
 
     def swap(self, out_id: str, incoming: Juror) -> Juror:
         """Replace a member with a new juror; returns the removed member."""
@@ -118,7 +175,6 @@ class IncrementalJury:
 
         The resulting size must be odd.
         """
-        pmf = self._pmf
         seen = set(self._members)
         for juror in jurors:
             if juror.juror_id in seen:
@@ -126,7 +182,7 @@ class IncrementalJury:
                     f"juror {juror.juror_id!r} is already a member"
                 )
             seen.add(juror.juror_id)
-            pmf = self._extend(pmf, juror.error_rate)
+        pmf = convolve_pmf(self._pmf, [j.error_rate for j in jurors])
         threshold = majority_threshold(self.size + len(jurors))
         return tail_probability(pmf, threshold)
 
@@ -138,23 +194,14 @@ class IncrementalJury:
             raise InvalidJuryError(
                 f"juror {incoming.juror_id!r} is already a member"
             )
-        pmf = leave_one_out_pmf(self._pmf, self._members[out_id].error_rate)
-        pmf = self._extend(pmf, incoming.error_rate)
+        pmf = deconvolve_pmf(self._pmf, [self._members[out_id].error_rate])
+        pmf = convolve_pmf(pmf, [incoming.error_rate])
         threshold = majority_threshold(self.size)
         return tail_probability(pmf, threshold)
 
     def freeze(self) -> Jury:
         """Snapshot the current members as an immutable :class:`Jury`."""
         return Jury(list(self._members.values()))
-
-    # ------------------------------------------------------------------
-    @staticmethod
-    def _extend(pmf: np.ndarray, epsilon: float) -> np.ndarray:
-        out = np.empty(pmf.size + 1, dtype=np.float64)
-        out[0] = pmf[0] * (1.0 - epsilon)
-        out[1:-1] = pmf[1:] * (1.0 - epsilon) + pmf[:-1] * epsilon
-        out[-1] = pmf[-1] * epsilon
-        return out
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"IncrementalJury(size={self.size})"

@@ -30,6 +30,22 @@ sweep over a whole *matrix* of candidate pools in one vectorized 2-D NumPy
 pass, producing results bit-identical to :class:`PrefixJERSweeper` row by
 row; :func:`prefix_jer_profile` and :func:`best_odd_prefix` are the scalar
 conveniences the selection algorithms build on.
+
+For *live* workloads (candidate pools that churn between queries, see
+:mod:`repro.service.registry`), three delta kernels maintain Carelessness
+state without full recomputation:
+
+:func:`convolve_pmf`
+    Fold ``k`` new jurors into an existing pmf — ``k`` vectorized length-2
+    convolutions, ``O(k * n)`` total.
+:func:`deconvolve_pmf`
+    Remove ``k`` jurors from a pmf by stable deconvolution, ``O(k * n)``.
+:func:`resume_prefix_sweep`
+    Repair the prefix pmf matrix (and odd-prefix JER profile) of an ordered
+    candidate list from a *clean watermark* onward, reusing every prefix row
+    below the first churned position.  Rows above the watermark are rebuilt
+    with the exact arithmetic of :func:`batch_prefix_jer_sweep`, so delta
+    maintenance is bit-identical to sweeping from scratch.
 """
 
 from __future__ import annotations
@@ -54,6 +70,9 @@ __all__ = [
     "batch_prefix_jer_sweep",
     "prefix_jer_profile",
     "best_odd_prefix",
+    "convolve_pmf",
+    "deconvolve_pmf",
+    "resume_prefix_sweep",
     "JER_IMPROVEMENT_EPS",
 ]
 
@@ -387,3 +406,173 @@ def best_odd_prefix(
     if best_n < 0:
         raise ValueError("cannot select from an empty sweep profile")
     return best_n, best_jer
+
+
+# ----------------------------------------------------------------------
+# Delta kernels: O(k * n) churn maintenance for live pools
+# ----------------------------------------------------------------------
+
+def _coerce_pmf(pmf, *, name: str = "pmf") -> np.ndarray:
+    arr = np.asarray(pmf, dtype=np.float64)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ValueError(f"{name} must be a non-empty 1-D array, got shape {arr.shape}")
+    return arr
+
+
+def convolve_pmf(pmf, epsilons) -> np.ndarray:
+    """Fold ``k`` new Bernoulli factors into a Carelessness pmf, ``O(k * n)``.
+
+    Given the pmf of ``C = X_1 + ... + X_n`` and the error rates of ``k``
+    additional jurors, returns the pmf of the enlarged sum.  Each factor is
+    one vectorized length-2 convolution — the batch generalisation of the
+    single-juror extension :class:`~repro.core.incremental.IncrementalJury`
+    performs on ``add``.
+
+    >>> from repro.core.poisson_binomial import pmf_dp
+    >>> import numpy as np
+    >>> grown = convolve_pmf(pmf_dp([0.1, 0.2]), [0.3, 0.4])
+    >>> bool(np.allclose(grown, pmf_dp([0.1, 0.2, 0.3, 0.4])))
+    True
+    """
+    base = _coerce_pmf(pmf)
+    eps = validate_error_rates(epsilons, name="epsilons")
+    out = np.zeros(base.size + eps.size, dtype=np.float64)
+    out[: base.size] = base
+    top = base.size - 1
+    for e in eps:
+        upper = top + 1
+        out[1 : upper + 1] = out[1 : upper + 1] * (1.0 - e) + out[0:upper] * e
+        out[0] *= 1.0 - e
+        top += 1
+    return out
+
+
+def deconvolve_pmf(pmf, epsilons) -> np.ndarray:
+    """Remove ``k`` Bernoulli factors from a Carelessness pmf, ``O(k * n)``.
+
+    The inverse of :func:`convolve_pmf`: given the pmf of
+    ``C = X_1 + ... + X_n`` and the success probabilities of ``k``
+    constituents, returns the pmf of the sum without them.  Each factor is
+    deconvolved in its numerically stable direction — the forward recurrence
+    (dividing by ``1 - eps``) for ``eps < 0.5``, the backward recurrence
+    (dividing by ``eps``) otherwise — so the per-position contraction of each
+    step stays at most 1.
+
+    .. warning::
+       Deconvolution is only conditionally stable: a factor near
+       ``eps = 0.5`` amplifies *pre-existing* error in the input pmf by up
+       to ``~2n`` along the recurrence, so a chain of ``r`` removals can
+       grow round-off like ``(2n)^r``.  Keep batches short (a handful of
+       factors) or rebuild from the surviving factors periodically —
+       :class:`~repro.core.incremental.IncrementalJury` does exactly that
+       after :data:`~repro.core.incremental.REBUILD_AFTER_REMOVALS`
+       removals.  The live-pool profile path never deconvolves (it repairs
+       forward from a clean prefix), which is why it stays bit-exact.
+
+    >>> from repro.core.poisson_binomial import pmf_dp
+    >>> import numpy as np
+    >>> shrunk = deconvolve_pmf(pmf_dp([0.1, 0.2, 0.3, 0.4]), [0.2, 0.4])
+    >>> bool(np.allclose(shrunk, pmf_dp([0.1, 0.3]), atol=1e-12))
+    True
+    """
+    out = _coerce_pmf(pmf).copy()
+    eps = validate_error_rates(epsilons, name="epsilons")
+    if eps.size >= out.size:
+        raise ValueError(
+            f"cannot deconvolve {eps.size} factors out of a pmf of "
+            f"{out.size - 1} factors"
+        )
+    for e in eps:
+        out = _deconvolve_one(out, float(e))
+    return out
+
+
+def _deconvolve_one(pmf: np.ndarray, epsilon: float) -> np.ndarray:
+    """Deconvolve a single factor ``[1-eps, eps]`` in the stable direction."""
+    n = pmf.size - 1
+    out = np.empty(n, dtype=np.float64)
+    complement = 1.0 - epsilon
+    if epsilon < 0.5:
+        # Forward: pmf[k] = out[k]*(1-e) + out[k-1]*e.
+        out[0] = pmf[0] / complement
+        for k in range(1, n):
+            out[k] = (pmf[k] - out[k - 1] * epsilon) / complement
+    else:
+        # Backward: the same identity, solved from the top.
+        out[n - 1] = pmf[n] / epsilon
+        for k in range(n - 1, 0, -1):
+            out[k - 1] = (pmf[k] - out[k] * complement) / epsilon
+    np.clip(out, 0.0, 1.0, out=out)
+    return out
+
+
+def resume_prefix_sweep(
+    eps: np.ndarray,
+    pmf_matrix: np.ndarray,
+    jers: np.ndarray,
+    *,
+    start: int = 0,
+) -> None:
+    """Repair a prefix pmf matrix and JER profile in place from row ``start``.
+
+    The persistent state of a live pool's sweep is the *prefix pmf matrix*:
+    row ``m`` holds the Carelessness pmf of the first ``m`` jurors (in
+    Lemma 3 order) in columns ``0..m``, with zeros above.  A churn event at
+    sorted position ``p`` leaves rows ``0..p`` untouched; this kernel
+    rebuilds rows ``start + 1 .. n`` (and the JER entries of the odd prefix
+    sizes above ``start``) from the clean row ``start``, reusing everything
+    below the watermark.
+
+    Each rebuilt row applies the exact multiply-add expression of
+    :func:`batch_prefix_jer_sweep` and the same contiguous tail reduction,
+    so a repaired profile is **bit-identical** to sweeping the current
+    ordering from scratch — delta maintenance cannot drift.
+
+    Parameters
+    ----------
+    eps:
+        Error rates of all ``n`` candidates in sweep (Lemma 3) order.
+    pmf_matrix:
+        Float64 matrix with at least ``n + 1`` rows and columns.  Row
+        ``start`` must hold a valid prefix pmf and every row's columns above
+        its own index must be zero (the natural state of a zero-initialised
+        matrix that has only ever been written by this kernel).
+    jers:
+        Float64 vector with at least ``(n + 1) // 2`` entries;
+        ``jers[i]`` is the JER of the odd prefix of size ``2 * i + 1``.
+        Entries for odd sizes ``<= start`` are preserved.
+    start:
+        The clean watermark: number of leading prefix rows already valid.
+        ``start == 0`` performs a full sweep (row 0 is reset to the empty
+        pmf ``[1, 0, ...]``).
+    """
+    n_total = int(eps.size)
+    if n_total == 0:
+        raise ValueError("cannot sweep an empty candidate list")
+    if not 0 <= start <= n_total:
+        raise ValueError(f"start must lie in [0, {n_total}], got {start}")
+    if pmf_matrix.shape[0] < n_total + 1 or pmf_matrix.shape[1] < n_total + 1:
+        raise ValueError(
+            f"pmf_matrix must be at least ({n_total + 1}, {n_total + 1}), "
+            f"got {pmf_matrix.shape}"
+        )
+    if jers.size < (n_total + 1) // 2:
+        raise ValueError(
+            f"jers must hold at least {(n_total + 1) // 2} entries, got {jers.size}"
+        )
+    if start == 0:
+        pmf_matrix[0, 0] = 1.0
+    for idx in range(start, n_total):
+        e = eps[idx]
+        row = pmf_matrix[idx]
+        nxt = pmf_matrix[idx + 1]
+        upper = idx + 1
+        # Same multiply-add as batch_prefix_jer_sweep: ``row[upper]`` is 0 by
+        # the matrix invariant, so entry ``upper`` becomes ``row[idx] * e``.
+        nxt[1 : upper + 1] = row[1 : upper + 1] * (1.0 - e) + row[0:upper] * e
+        nxt[0] = row[0] * (1.0 - e)
+        n = idx + 1
+        if n % 2 == 1:
+            threshold = (n + 1) // 2
+            tail = np.sum(nxt[threshold : n + 1])
+            jers[idx // 2] = min(max(tail, 0.0), 1.0)

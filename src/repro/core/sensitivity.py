@@ -25,7 +25,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro._validation import validate_error_rates
-from repro.core.jer import majority_threshold
+from repro.core.jer import _deconvolve_one, majority_threshold
 from repro.core.juror import Jury
 from repro.core.poisson_binomial import pmf_dp, tail_probability
 
@@ -45,7 +45,8 @@ def leave_one_out_pmf(pmf: np.ndarray, epsilon: float) -> np.ndarray:
     one constituent ``X_i``, returns the pmf of ``C - X_i``.  The forward
     recurrence (dividing by ``1 - eps``) is stable for ``eps < 0.5`` and the
     backward recurrence (dividing by ``eps``) for ``eps >= 0.5``; we pick the
-    stable direction.
+    stable direction.  The single-factor case of
+    :func:`repro.core.jer.deconvolve_pmf`.
 
     Parameters
     ----------
@@ -61,22 +62,7 @@ def leave_one_out_pmf(pmf: np.ndarray, epsilon: float) -> np.ndarray:
     """
     if not 0.0 < epsilon < 1.0:
         raise ValueError(f"epsilon must lie in (0, 1), got {epsilon!r}")
-    n = pmf.size - 1
-    out = np.empty(n, dtype=np.float64)
-    if epsilon < 0.5:
-        # Forward: pmf[k] = out[k]*(1-e) + out[k-1]*e.
-        complement = 1.0 - epsilon
-        out[0] = pmf[0] / complement
-        for k in range(1, n):
-            out[k] = (pmf[k] - out[k - 1] * epsilon) / complement
-    else:
-        # Backward: pmf[k] = out[k]*(1-e) + out[k-1]*e, solved from the top.
-        complement = 1.0 - epsilon
-        out[n - 1] = pmf[n] / epsilon
-        for k in range(n - 1, 0, -1):
-            out[k - 1] = (pmf[k] - out[k] * complement) / epsilon
-    np.clip(out, 0.0, 1.0, out=out)
-    return out
+    return _deconvolve_one(np.asarray(pmf, dtype=np.float64), float(epsilon))
 
 
 def pivotal_probabilities(jury: "Jury | Iterable[float]") -> np.ndarray:

@@ -16,6 +16,7 @@ __all__ = [
     "InvalidJuryError",
     "EvenJurySizeError",
     "EmptyCandidateSetError",
+    "PoolNotFoundError",
     "BudgetError",
     "InfeasibleSelectionError",
     "EstimationError",
@@ -57,6 +58,17 @@ class EvenJurySizeError(InvalidJuryError):
 
 class EmptyCandidateSetError(ReproError, ValueError):
     """A selection algorithm was invoked with no candidate jurors."""
+
+
+class PoolNotFoundError(ReproError, KeyError):
+    """A query or command referenced a registry pool name that does not exist.
+
+    Derives from :class:`KeyError` so registry lookups behave like idiomatic
+    mapping access for callers unaware of the custom hierarchy.
+    """
+
+    def __str__(self) -> str:  # KeyError quotes its repr; keep the message.
+        return self.args[0] if self.args else ""
 
 
 class BudgetError(ReproError, ValueError):

@@ -21,7 +21,12 @@ from repro.estimation.history import (
     estimate_error_rates_em,
     jurors_from_history,
 )
-from repro.estimation.pipeline import EstimationResult, estimate_candidates
+from repro.estimation.pipeline import (
+    EstimationResult,
+    PoolSyncReport,
+    estimate_candidates,
+    sync_pool_with_estimate,
+)
 from repro.estimation.ranking import HITSResult, hits, pagerank
 from repro.estimation.requirement import (
     ages_to_requirements,
@@ -52,6 +57,8 @@ __all__ = [
     "ages_to_requirements",
     "EstimationResult",
     "estimate_candidates",
+    "PoolSyncReport",
+    "sync_pool_with_estimate",
     "EMEstimate",
     "estimate_error_rates_em",
     "jurors_from_history",

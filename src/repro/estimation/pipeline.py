@@ -10,11 +10,18 @@ The output is a list of :class:`~repro.core.juror.Juror` objects ready for
 the selectors, plus the intermediate artefacts for inspection.  The paper
 keeps the top-scoring users only ("we simply choose the 5,000 users with
 highest scores"); ``top_k`` reproduces that cut.
+
+For a *continuously* re-estimated platform the one-shot handoff wastes
+work: most users' estimates barely move between pipeline runs.
+:func:`sync_pool_with_estimate` is the incremental mode — it diffs a fresh
+:class:`EstimationResult` against a live registry pool
+(:class:`repro.service.registry.LivePool`) and applies only the changed
+jurors, so the pool's delta-maintained sweep state survives the refresh.
 """
 
 from __future__ import annotations
 
-from collections.abc import Mapping
+from collections.abc import Mapping, Sequence
 from dataclasses import dataclass
 
 from repro.core.juror import Juror
@@ -25,7 +32,12 @@ from repro.estimation.ranking import hits, pagerank
 from repro.estimation.requirement import ages_to_requirements
 from repro.estimation.tweets import TweetCorpus
 
-__all__ = ["EstimationResult", "estimate_candidates"]
+__all__ = [
+    "EstimationResult",
+    "estimate_candidates",
+    "PoolSyncReport",
+    "sync_pool_with_estimate",
+]
 
 
 @dataclass
@@ -146,4 +158,112 @@ def estimate_candidates(
         requirements=requirements,
         graph=graph,
         ranking=ranking,
+    )
+
+
+@dataclass(frozen=True)
+class PoolSyncReport:
+    """What :func:`sync_pool_with_estimate` changed on a live pool.
+
+    Attributes
+    ----------
+    added, removed, updated:
+        Juror ids (sorted) that joined, left, or had their error rate /
+        requirement re-estimated.
+    unchanged:
+        Number of jurors whose estimates were identical to the pool's.
+    version:
+        The pool version after applying the diff.
+    """
+
+    added: tuple[str, ...]
+    removed: tuple[str, ...]
+    updated: tuple[str, ...]
+    unchanged: int
+    version: int
+
+    @property
+    def churn(self) -> int:
+        """Total number of mutations applied."""
+        return len(self.added) + len(self.removed) + len(self.updated)
+
+    def summary(self) -> str:
+        """One-line human-readable description."""
+        return (
+            f"pool sync: +{len(self.added)} -{len(self.removed)} "
+            f"~{len(self.updated)} ={self.unchanged} -> version {self.version}"
+        )
+
+
+def sync_pool_with_estimate(
+    pool,
+    estimation: "EstimationResult | Sequence[Juror]",
+    *,
+    top_k: int | None = None,
+) -> PoolSyncReport:
+    """Incrementally apply a fresh estimation result to a live pool.
+
+    Diffs the target candidate set (an :class:`EstimationResult`, optionally
+    cut to its ``top_k`` best-scored users, or any juror sequence) against
+    the current members of ``pool`` and applies only the differences:
+    departures are removed, arrivals added, and drifted estimates updated in
+    place.  Jurors whose error rate and requirement are bit-equal to the
+    pool's are not touched, so the pool's version advances by exactly the
+    churn count and its delta-maintained sweep state keeps every unchanged
+    prefix.
+
+    Parameters
+    ----------
+    pool:
+        A :class:`repro.service.registry.LivePool` (or anything with its
+        mutation API: ``ordered``, ``add_juror``, ``remove_juror``,
+        ``update_juror``, ``version``).
+    estimation:
+        The fresh pipeline output to converge the pool toward.
+    top_k:
+        Keep only the ``top_k`` best candidates of an
+        :class:`EstimationResult` (the paper's 5,000-user cut); ignored for
+        bare juror sequences.
+
+    Returns
+    -------
+    PoolSyncReport
+    """
+    if isinstance(estimation, EstimationResult):
+        target_jurors = estimation.top(top_k) if top_k is not None else estimation.jurors
+    else:
+        target_jurors = list(estimation)
+    target = {j.juror_id: j for j in target_jurors}
+    if len(target) != len(target_jurors):
+        raise EstimationError("estimation result contains duplicate juror ids")
+    current = {j.juror_id: j for j in pool.ordered}
+
+    removed = sorted(set(current) - set(target))
+    added = sorted(set(target) - set(current))
+    updated = sorted(
+        juror_id
+        for juror_id in set(target) & set(current)
+        if (
+            target[juror_id].error_rate != current[juror_id].error_rate
+            or target[juror_id].requirement != current[juror_id].requirement
+        )
+    )
+
+    for juror_id in removed:
+        pool.remove_juror(juror_id)
+    for juror_id in added:
+        pool.add_juror(target[juror_id])
+    for juror_id in updated:
+        pool.update_juror(
+            juror_id,
+            error_rate=target[juror_id].error_rate,
+            requirement=target[juror_id].requirement,
+        )
+
+    return PoolSyncReport(
+        added=tuple(added),
+        removed=tuple(removed),
+        updated=tuple(updated),
+        unchanged=len(target) - len(added) - len(updated),
+        version=pool.version,
     )

@@ -11,25 +11,40 @@ restructures the execution path for that workload shape:
     process pool for exact solves.
 :class:`CandidatePool`
     An immutable, fingerprinted candidate set shareable across queries.
+:class:`LivePool` / :class:`PoolRegistry`
+    Mutable, versioned candidate pools whose Lemma 3 ordering and prefix-JER
+    sweep profiles are delta-maintained under juror churn
+    (:mod:`repro.service.registry`); ``SelectionQuery(pool_name=...)``
+    resolves against an engine's registry.
 :class:`PrefixSweepCache`
     The LRU cache of odd-prefix JER profiles keyed on pool fingerprints.
+    Content keying makes it churn-safe: a live-pool mutation changes the
+    fingerprint (stale profiles cannot be served), and reverting the
+    membership restores the old fingerprint's hits.
 
 The single-query selectors (:func:`repro.select_jury_altr`,
 :func:`repro.select_jury_pay`) are thin wrappers over this engine with a
 batch of one, so batched and scalar selection are bit-identical by
 construction.  The ``repro-select batch`` CLI subcommand exposes the engine
-over JSONL; ``benchmarks/bench_batch.py`` measures its throughput.
+over JSONL and ``repro-select serve`` keeps a registry-backed session alive
+across interleaved pool mutations and selections;
+``benchmarks/bench_batch.py`` and ``benchmarks/bench_live_churn.py`` measure
+throughput and churn behaviour.
 """
 
 from repro.service.batch import BatchSelectionEngine, QueryOutcome, SelectionQuery
 from repro.service.cache import PrefixSweepCache
 from repro.service.pool import CandidatePool, as_pool
+from repro.service.registry import LivePool, LivePoolStats, PoolRegistry
 
 __all__ = [
     "BatchSelectionEngine",
     "SelectionQuery",
     "QueryOutcome",
     "CandidatePool",
+    "LivePool",
+    "LivePoolStats",
+    "PoolRegistry",
     "PrefixSweepCache",
     "as_pool",
 ]

@@ -40,6 +40,7 @@ from repro.core.selection.exact import select_jury_optimal
 from repro.core.selection.pay import run_pay_greedy
 from repro.service.cache import DEFAULT_CACHE_SIZE, PrefixSweepCache
 from repro.service.pool import CandidatePool
+from repro.service.registry import LivePool, PoolRegistry
 
 __all__ = ["SelectionQuery", "QueryOutcome", "BatchSelectionEngine"]
 
@@ -55,10 +56,16 @@ class SelectionQuery:
     task_id:
         Caller-chosen identifier echoed back on the outcome.
     candidates:
-        Inline candidate jurors; mutually exclusive with ``pool``.
+        Inline candidate jurors; mutually exclusive with ``pool`` and
+        ``pool_name``.
     pool:
         A shared :class:`CandidatePool`.  Queries referencing the same pool
         object (or pools with equal fingerprints) share one prefix sweep.
+    pool_name:
+        Name of a :class:`~repro.service.registry.LivePool` in the engine's
+        registry.  The query runs against a snapshot of the pool's state at
+        resolution time; its delta-maintained sweep profile is reused on
+        cache misses.
     model:
         ``"altr"`` (AltrALG optimum), ``"pay"`` (PayALG greedy, requires
         ``budget``) or ``"exact"`` (enumeration / branch-and-bound optimum).
@@ -76,6 +83,7 @@ class SelectionQuery:
     task_id: str
     candidates: tuple[Juror, ...] | None = None
     pool: CandidatePool | None = None
+    pool_name: str | None = None
     model: str = "altr"
     budget: float | None = None
     max_size: int | None = None
@@ -87,15 +95,29 @@ class SelectionQuery:
             raise ValueError(
                 f"unknown model {self.model!r}; expected one of {_MODELS}"
             )
-        if (self.candidates is None) == (self.pool is None):
+        sources = sum(
+            source is not None
+            for source in (self.candidates, self.pool, self.pool_name)
+        )
+        if sources != 1:
             raise ValueError(
-                "exactly one of 'candidates' and 'pool' must be provided"
+                "exactly one of 'candidates', 'pool' and 'pool_name' must be "
+                "provided"
             )
         if self.model == "pay" and self.budget is None:
             raise ValueError("model 'pay' requires a budget")
 
     def resolve_pool(self) -> CandidatePool:
-        """The pool this query selects from (building one for inline candidates)."""
+        """The pool this query selects from (building one for inline candidates).
+
+        ``pool_name`` queries cannot be resolved without a registry; the
+        engine resolves those itself.
+        """
+        if self.pool_name is not None:
+            raise ValueError(
+                f"query {self.task_id!r} references registry pool "
+                f"{self.pool_name!r}; run it through an engine with a registry"
+            )
         if self.pool is not None:
             return self.pool
         return CandidatePool(self.candidates)
@@ -124,6 +146,7 @@ class EngineStats:
     batch_sweeps: int = 0
     pools_swept: int = 0
     exact_subprocesses: int = 0
+    live_profiles: int = 0
 
 
 def _exact_worker(
@@ -147,6 +170,11 @@ class BatchSelectionEngine:
         When ``> 1``, exact queries are fanned out over a
         ``concurrent.futures`` process pool of this size.  AltrM/PayM
         queries always run in-process (they are vectorized / cheap).
+    registry:
+        Optional :class:`~repro.service.registry.PoolRegistry` against which
+        ``pool_name`` queries are resolved.  Live pools contribute their
+        delta-maintained sweep profiles on cache misses, so a churned pool
+        costs one partial repair instead of a full engine-side sweep.
 
     Examples
     --------
@@ -163,15 +191,34 @@ class BatchSelectionEngine:
         *,
         cache_size: int = DEFAULT_CACHE_SIZE,
         max_workers: int | None = None,
+        registry: PoolRegistry | None = None,
     ) -> None:
         self._cache = PrefixSweepCache(maxsize=cache_size)
         self._max_workers = max_workers
+        self._registry = registry
         self.stats = EngineStats()
 
     @property
     def cache(self) -> PrefixSweepCache:
         """The engine's prefix-sweep cache (inspectable in tests/ops)."""
         return self._cache
+
+    @property
+    def registry(self) -> PoolRegistry | None:
+        """The registry ``pool_name`` queries resolve against (if any)."""
+        return self._registry
+
+    def _resolve(self, query: SelectionQuery) -> tuple[CandidatePool, LivePool | None]:
+        """Resolve a query to a frozen pool (plus its live pool, if any)."""
+        if query.pool_name is None:
+            return query.resolve_pool(), None
+        if self._registry is None:
+            raise ValueError(
+                f"query {query.task_id!r} references registry pool "
+                f"{query.pool_name!r} but the engine has no registry"
+            )
+        live = self._registry.get(query.pool_name)
+        return live.snapshot(), live
 
     # ------------------------------------------------------------------
     def select(self, query: SelectionQuery) -> SelectionResult:
@@ -205,10 +252,11 @@ class BatchSelectionEngine:
         ]
         self.stats.queries_run += len(batch)
 
-        resolved: list[tuple[int, SelectionQuery, CandidatePool]] = []
+        resolved: list[tuple[int, SelectionQuery, CandidatePool, LivePool | None]] = []
         for index, query in enumerate(batch):
             try:
-                resolved.append((index, query, query.resolve_pool()))
+                pool, live = self._resolve(query)
+                resolved.append((index, query, pool, live))
             except Exception as exc:
                 if raise_errors:
                     raise
@@ -228,7 +276,7 @@ class BatchSelectionEngine:
     # ------------------------------------------------------------------
     def _run_altr(
         self,
-        items: Sequence[tuple[int, SelectionQuery, CandidatePool]],
+        items: Sequence[tuple[int, SelectionQuery, CandidatePool, LivePool | None]],
         outcomes: list[QueryOutcome],
         raise_errors: bool,
     ) -> None:
@@ -236,13 +284,20 @@ class BatchSelectionEngine:
             return
         profiles: dict[str, tuple[np.ndarray, np.ndarray]] = {}
         missing: dict[str, CandidatePool] = {}
-        for _, _, pool in items:
+        for _, _, pool, live in items:
             fingerprint = pool.fingerprint
             if fingerprint in profiles or fingerprint in missing:
                 continue
             cached = self._cache.get(fingerprint)
             if cached is not None:
                 profiles[fingerprint] = cached
+            elif live is not None:
+                # The live pool delta-maintains its own profile: reuse it
+                # (and its unchanged prefix rows) instead of resweeping.
+                profile = live.sweep_profile()
+                profiles[fingerprint] = profile
+                self._cache.put(fingerprint, *profile)
+                self.stats.live_profiles += 1
             else:
                 missing[fingerprint] = pool
 
@@ -263,7 +318,7 @@ class BatchSelectionEngine:
                 profiles[pool.fingerprint] = profile
                 self._cache.put(pool.fingerprint, *profile)
 
-        for index, query, pool in items:
+        for index, query, pool, _ in items:
             start = time.perf_counter()
             try:
                 ns, jers = profiles[pool.fingerprint]
@@ -300,12 +355,12 @@ class BatchSelectionEngine:
 
     def _run_serial(
         self,
-        items: Sequence[tuple[int, SelectionQuery, CandidatePool]],
+        items: Sequence[tuple[int, SelectionQuery, CandidatePool, LivePool | None]],
         outcomes: list[QueryOutcome],
         raise_errors: bool,
         answer,
     ) -> None:
-        for index, query, pool in items:
+        for index, query, pool, _ in items:
             start = time.perf_counter()
             try:
                 result = answer(query, pool)
@@ -320,7 +375,7 @@ class BatchSelectionEngine:
 
     def _run_exact(
         self,
-        items: Sequence[tuple[int, SelectionQuery, CandidatePool]],
+        items: Sequence[tuple[int, SelectionQuery, CandidatePool, LivePool | None]],
         outcomes: list[QueryOutcome],
         raise_errors: bool,
     ) -> None:
@@ -339,7 +394,7 @@ class BatchSelectionEngine:
                         ),
                         time.perf_counter(),
                     )
-                    for index, query, pool in items
+                    for index, query, pool, _ in items
                 ]
                 for index, future, start in futures:
                     try:

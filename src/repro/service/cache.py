@@ -6,6 +6,14 @@ read off the pool's odd-prefix JER profile.  The batch engine therefore
 caches one profile per pool fingerprint: queries arriving later — in the
 same batch or a later one — reuse it for free.
 
+Fingerprints are *content* hashes, which is what makes the cache safe under
+live pools (:mod:`repro.service.registry`): a :class:`LivePool` mutation
+bumps the pool's version and changes its fingerprint, so a stale profile can
+never be served for the new state — and a mutation sequence that restores
+the previous membership restores the previous fingerprint, so earlier cache
+entries become hits again.  :meth:`PrefixSweepCache.invalidate` additionally
+supports explicit eviction (e.g. when a registry pool is dropped).
+
 Profiles are stored as ``(ns, jers)`` float64 arrays (a few KiB per pool) and
 evicted least-recently-used beyond ``maxsize``.
 """
@@ -43,7 +51,7 @@ class PrefixSweepCache:
     (1, 0)
     """
 
-    __slots__ = ("_maxsize", "_entries", "hits", "misses")
+    __slots__ = ("_maxsize", "_entries", "hits", "misses", "evictions")
 
     def __init__(self, maxsize: int = DEFAULT_CACHE_SIZE) -> None:
         if maxsize < 0:
@@ -52,6 +60,7 @@ class PrefixSweepCache:
         self._entries: OrderedDict[str, tuple[np.ndarray, np.ndarray]] = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     @property
     def maxsize(self) -> int:
@@ -82,9 +91,23 @@ class PrefixSweepCache:
         self._entries.move_to_end(fingerprint)
         while len(self._entries) > self._maxsize:
             self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def invalidate(self, fingerprint: str) -> bool:
+        """Explicitly evict one profile; returns whether it was present.
+
+        Content-keyed entries never go *wrong*, but entries for dropped
+        registry pools are dead weight — this frees them without waiting for
+        LRU pressure.
+        """
+        if self._entries.pop(fingerprint, None) is None:
+            return False
+        self.evictions += 1
+        return True
 
     def clear(self) -> None:
-        """Drop all cached profiles and reset the hit/miss counters."""
+        """Drop all cached profiles and reset the hit/miss/eviction counters."""
         self._entries.clear()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0

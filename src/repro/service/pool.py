@@ -17,7 +17,7 @@ from repro.core.juror import Juror, ensure_unique_ids
 from repro.core.selection.base import pool_fingerprint, sorted_candidates
 from repro.errors import EmptyCandidateSetError, InvalidJuryError
 
-__all__ = ["CandidatePool"]
+__all__ = ["CandidatePool", "as_pool"]
 
 
 class CandidatePool:
@@ -60,6 +60,27 @@ class CandidatePool:
         # exact / single-query paths never pay for the hash.
         self._fingerprint: str | None = None
         self.pool_id = pool_id
+
+    @classmethod
+    def _from_sorted(
+        cls,
+        ordered: Iterable[Juror],
+        *,
+        pool_id: str | None = None,
+        fingerprint: str | None = None,
+    ) -> "CandidatePool":
+        """Internal fast path: build a pool from already-validated members.
+
+        Used by :class:`repro.service.registry.LivePool` snapshots, which
+        maintain the Lemma 3 ordering and unique-id invariant themselves and
+        may already know the content fingerprint.
+        """
+        pool = object.__new__(cls)
+        pool._ordered = tuple(ordered)
+        pool._eps = np.array([j.error_rate for j in pool._ordered], dtype=np.float64)
+        pool._fingerprint = fingerprint
+        pool.pool_id = pool_id
+        return pool
 
     # ------------------------------------------------------------------
     @property
@@ -110,6 +131,3 @@ def as_pool(
     if isinstance(candidates, CandidatePool):
         return candidates
     return CandidatePool(candidates, pool_id=pool_id)
-
-
-__all__.append("as_pool")

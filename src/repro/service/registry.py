@@ -1,0 +1,389 @@
+"""Live pool registry: versioned candidate pools under churn.
+
+The paper's platform continuously re-estimates juror error rates from the
+microblog stream, so the population a selection query draws from is never
+frozen: jurors arrive, leave, and drift.  :class:`CandidatePool` snapshots
+are immutable — every churn event would force a full re-sort and ``O(N^2)``
+re-sweep.  This module keeps the *update path* cheap without giving up
+anything on the *query path*:
+
+:class:`LivePool`
+    A mutable candidate pool whose every mutation (``add_juror`` /
+    ``remove_juror`` / ``update_juror``) produces a monotonically increasing
+    ``version``.  The Lemma 3 ordering is delta-maintained by sorted
+    insertion (``O(n)`` per churn event), and the odd-prefix JER profile is
+    delta-maintained through a *prefix pmf matrix* with a clean-row
+    watermark: a mutation at sorted position ``p`` only dirties prefixes of
+    size ``> p``, and the next profile request repairs just those rows with
+    :func:`repro.core.jer.resume_prefix_sweep` — reusing every unchanged
+    prefix and coalescing the whole churn burst into one partial sweep.
+    Past a churn threshold the pool falls back to a full rebuild (the
+    watermark drops to zero), which is the same kernel run from row 0.
+
+    Delta-repaired profiles are **bit-identical** to sweeping a fresh
+    :class:`CandidatePool` of the same members, so live pools plug into the
+    batch engine and its fingerprint-keyed sweep cache without a second code
+    path for correctness.
+
+:class:`PoolRegistry`
+    A name -> :class:`LivePool` namespace shared by the batch engine
+    (``SelectionQuery(pool_name=...)``), the estimation pipeline
+    (:func:`repro.estimation.pipeline.sync_pool_with_estimate`) and the
+    ``repro-select serve`` session.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+from itertools import count
+
+import numpy as np
+
+from repro.core.jer import resume_prefix_sweep
+from repro.core.juror import Juror
+from repro.core.selection.base import candidate_key, pool_fingerprint
+from repro.errors import EmptyCandidateSetError, InvalidJuryError, PoolNotFoundError
+from repro.service.pool import CandidatePool
+
+__all__ = ["LivePool", "LivePoolStats", "PoolRegistry"]
+
+#: Fraction of the pool that may churn between profile repairs before the
+#: clean-prefix watermark is abandoned and the next repair runs from row 0.
+#: Heavy churn tends to touch low sorted positions anyway, so past this point
+#: the bookkeeping buys nothing over an honest full rebuild.
+DEFAULT_REBUILD_THRESHOLD = 0.5
+
+_pool_uid = count(1)
+
+
+@dataclass
+class LivePoolStats:
+    """Counters describing the delta-maintenance work a pool has performed."""
+
+    mutations: int = 0
+    repairs: int = 0
+    rows_reused: int = 0
+    rows_recomputed: int = 0
+    full_rebuilds: int = 0
+
+
+class LivePool:
+    """A mutable, versioned candidate pool with delta-maintained sweep state.
+
+    Parameters
+    ----------
+    candidates:
+        Initial members.  The initial population counts as version 0, not as
+        one mutation per juror.
+    pool_id:
+        Human-readable label (e.g. the registry name).
+    rebuild_threshold:
+        Fraction of the pool size that may mutate between profile repairs
+        before delta repair gives way to a full rebuild.
+
+    Examples
+    --------
+    >>> from repro.core.juror import jurors_from_arrays
+    >>> pool = LivePool(jurors_from_arrays([0.3, 0.1, 0.2]))
+    >>> pool.version, pool.size
+    (0, 3)
+    >>> pool.add_juror(Juror(0.15, juror_id="new"))
+    1
+    >>> [j.error_rate for j in pool.ordered]
+    [0.1, 0.15, 0.2, 0.3]
+    """
+
+    def __init__(
+        self,
+        candidates: Iterable[Juror] = (),
+        *,
+        pool_id: str | None = None,
+        rebuild_threshold: float = DEFAULT_REBUILD_THRESHOLD,
+    ) -> None:
+        if not 0.0 < rebuild_threshold <= 1.0:
+            raise ValueError(
+                f"rebuild_threshold must lie in (0, 1], got {rebuild_threshold!r}"
+            )
+        self.pool_id = pool_id
+        self.uid = f"livepool-{next(_pool_uid)}"
+        self._rebuild_threshold = rebuild_threshold
+        self._members: dict[str, Juror] = {}
+        self._ordered: list[Juror] = []  # Lemma 3 order
+        self._keys: list[tuple[float, str]] = []  # parallel candidate_key list
+        self._version = 0
+        self._fingerprint: str | None = None
+        # Sweep state: row m of ``_matrix`` holds the prefix-m Carelessness
+        # pmf in columns 0..m (zeros above); rows 0.._clean are valid.
+        self._matrix: np.ndarray | None = None
+        self._jers: np.ndarray | None = None
+        self._clean = 0
+        self._mutations_since_repair = 0
+        self._profile: tuple[int, np.ndarray, np.ndarray] | None = None
+        self.stats = LivePoolStats()
+        for juror in candidates:
+            self._insert(juror)
+        self._version = 0  # initial population is the birth state
+
+    # ------------------------------------------------------------------
+    # read access
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Monotonically increasing state counter; +1 per mutation."""
+        return self._version
+
+    @property
+    def size(self) -> int:
+        """Current number of candidates."""
+        return len(self._ordered)
+
+    def __len__(self) -> int:
+        return len(self._ordered)
+
+    def __contains__(self, juror_id: str) -> bool:
+        return juror_id in self._members
+
+    def __iter__(self) -> Iterator[Juror]:
+        return iter(self._ordered)
+
+    @property
+    def ordered(self) -> tuple[Juror, ...]:
+        """Members in Lemma 3 (ascending error-rate) order."""
+        return tuple(self._ordered)
+
+    def get(self, juror_id: str) -> Juror | None:
+        """The member with this id, or ``None``."""
+        return self._members.get(juror_id)
+
+    @property
+    def error_rates(self) -> np.ndarray:
+        """Error-rate vector in sweep order (fresh array per call)."""
+        return np.array([j.error_rate for j in self._ordered], dtype=np.float64)
+
+    @property
+    def fingerprint(self) -> str:
+        """Content hash of the current version (cached until the next mutation).
+
+        Identical members always produce the identical fingerprint, whatever
+        mutation path led there — the property the engine's sweep cache
+        relies on to restore cache hits after a revert.
+        """
+        if self._fingerprint is None:
+            self._fingerprint = pool_fingerprint(self._ordered)
+        return self._fingerprint
+
+    def snapshot(self) -> CandidatePool:
+        """Freeze the current version as an immutable :class:`CandidatePool`."""
+        if not self._ordered:
+            raise EmptyCandidateSetError("cannot snapshot an empty live pool")
+        return CandidatePool._from_sorted(
+            self._ordered, pool_id=self.pool_id, fingerprint=self.fingerprint
+        )
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def add_juror(self, juror: Juror) -> int:
+        """Add a candidate; returns the new version.  O(n) per call."""
+        self._insert(juror)
+        return self._bump()
+
+    def remove_juror(self, juror_id: str) -> Juror:
+        """Remove a candidate by id and return it.  O(n) per call."""
+        juror = self._take(juror_id)
+        self._bump()
+        return juror
+
+    def update_juror(
+        self,
+        juror_id: str,
+        *,
+        error_rate: float | None = None,
+        requirement: float | None = None,
+    ) -> int:
+        """Re-estimate a member in place; returns the new version.
+
+        Equivalent to remove + re-add of a juror with the same id, but counts
+        as a single version bump (one churn event, as produced by a pipeline
+        re-estimation).
+        """
+        current = self._members.get(juror_id)
+        if current is None:
+            raise InvalidJuryError(f"juror {juror_id!r} is not in the pool")
+        replacement = Juror(
+            current.error_rate if error_rate is None else error_rate,
+            current.requirement if requirement is None else requirement,
+            juror_id=juror_id,
+        )
+        self._take(juror_id)
+        self._insert(replacement)
+        return self._bump()
+
+    def update_error_rate(self, juror_id: str, error_rate: float) -> int:
+        """Drift a member's error-rate estimate; returns the new version."""
+        return self.update_juror(juror_id, error_rate=error_rate)
+
+    # ------------------------------------------------------------------
+    # delta-maintained sweep profile
+    # ------------------------------------------------------------------
+    def sweep_profile(self) -> tuple[np.ndarray, np.ndarray]:
+        """Odd-prefix JER profile ``(ns, jers)`` of the current version.
+
+        Dirty prefix rows (everything at or above the lowest churned sorted
+        position since the last repair) are recomputed with
+        :func:`repro.core.jer.resume_prefix_sweep`; clean rows are reused.
+        The arrays are read-only and stable for this version — repeated
+        calls at the same version return the cached pair.
+        """
+        n = len(self._ordered)
+        if n == 0:
+            raise EmptyCandidateSetError("cannot sweep an empty live pool")
+        if self._profile is not None and self._profile[0] == self._version:
+            return self._profile[1], self._profile[2]
+
+        if self._mutations_since_repair > max(
+            8.0, self._rebuild_threshold * n
+        ):
+            self._clean = 0
+            self.stats.full_rebuilds += 1
+        self._ensure_capacity(n + 1)
+        assert self._matrix is not None and self._jers is not None
+        start = min(self._clean, n)
+        resume_prefix_sweep(self.error_rates, self._matrix, self._jers, start=start)
+        self.stats.repairs += 1
+        self.stats.rows_reused += start
+        self.stats.rows_recomputed += n - start
+        self._clean = n
+        self._mutations_since_repair = 0
+
+        ns = np.arange(1, n + 1, 2, dtype=np.int64)
+        jers = self._jers[: ns.size].copy()
+        ns.flags.writeable = False
+        jers.flags.writeable = False
+        self._profile = (self._version, ns, jers)
+        return ns, jers
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _insert(self, juror: Juror) -> None:
+        if not isinstance(juror, Juror):
+            raise InvalidJuryError("only Juror instances can join a pool")
+        if juror.juror_id in self._members:
+            raise InvalidJuryError(
+                f"juror {juror.juror_id!r} is already in the pool"
+            )
+        key = candidate_key(juror)
+        position = bisect_left(self._keys, key)
+        self._keys.insert(position, key)
+        self._ordered.insert(position, juror)
+        self._members[juror.juror_id] = juror
+        self._clean = min(self._clean, position)
+
+    def _take(self, juror_id: str) -> Juror:
+        juror = self._members.get(juror_id)
+        if juror is None:
+            raise InvalidJuryError(f"juror {juror_id!r} is not in the pool")
+        position = bisect_left(self._keys, candidate_key(juror))
+        del self._keys[position]
+        del self._ordered[position]
+        del self._members[juror_id]
+        self._clean = min(self._clean, position)
+        return juror
+
+    def _bump(self) -> int:
+        self._version += 1
+        self._fingerprint = None
+        self._mutations_since_repair += 1
+        self.stats.mutations += 1
+        return self._version
+
+    def _ensure_capacity(self, rows: int) -> None:
+        if self._matrix is not None and self._matrix.shape[0] >= rows:
+            return
+        capacity = max(rows, 8)
+        if self._matrix is not None:
+            capacity = max(capacity, 2 * self._matrix.shape[0])
+        matrix = np.zeros((capacity, capacity), dtype=np.float64)
+        jers = np.zeros((capacity + 1) // 2, dtype=np.float64)
+        if self._matrix is not None and self._clean > 0:
+            keep = self._clean + 1
+            old = self._matrix.shape[1]
+            matrix[:keep, :old] = self._matrix[:keep]
+            jers[: (self._clean + 1) // 2] = self._jers[: (self._clean + 1) // 2]
+        self._matrix = matrix
+        self._jers = jers
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = f" id={self.pool_id!r}" if self.pool_id else ""
+        return f"LivePool(size={self.size}, version={self._version}{label})"
+
+
+class PoolRegistry:
+    """Named :class:`LivePool` namespace for the service layer.
+
+    Examples
+    --------
+    >>> from repro.core.juror import jurors_from_arrays
+    >>> registry = PoolRegistry()
+    >>> pool = registry.create("P1", jurors_from_arrays([0.1, 0.2, 0.3]))
+    >>> registry.get("P1") is pool
+    True
+    """
+
+    def __init__(self) -> None:
+        self._pools: dict[str, LivePool] = {}
+
+    def create(
+        self,
+        name: str,
+        candidates: Iterable[Juror] = (),
+        *,
+        replace: bool = False,
+    ) -> LivePool:
+        """Register a new live pool under ``name``.
+
+        With ``replace=False`` (default) an existing name raises; with
+        ``replace=True`` the previous pool is dropped first, and the new pool
+        starts at version 0.
+        """
+        if not isinstance(name, str) or not name:
+            raise ValueError(f"pool name must be a non-empty string, got {name!r}")
+        if name in self._pools and not replace:
+            raise InvalidJuryError(f"pool {name!r} already exists in the registry")
+        pool = LivePool(candidates, pool_id=name)
+        self._pools[name] = pool
+        return pool
+
+    def get(self, name: str) -> LivePool:
+        """The pool registered under ``name``; raises :class:`PoolNotFoundError`."""
+        try:
+            return self._pools[name]
+        except KeyError:
+            raise PoolNotFoundError(
+                f"no pool named {name!r} in the registry"
+            ) from None
+
+    def drop(self, name: str) -> LivePool:
+        """Unregister and return the pool under ``name``."""
+        pool = self.get(name)
+        del self._pools[name]
+        return pool
+
+    def names(self) -> tuple[str, ...]:
+        """Registered pool names, in creation order."""
+        return tuple(self._pools)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._pools
+
+    def __len__(self) -> int:
+        return len(self._pools)
+
+    def __iter__(self) -> Iterator[LivePool]:
+        return iter(self._pools.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PoolRegistry(pools={list(self._pools)})"

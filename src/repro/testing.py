@@ -14,6 +14,7 @@ __all__ = [
     "DEFAULT_SEED",
     "ORACLE_ATOL",
     "PMF_ATOL",
+    "DECONV_ATOL",
     "BENCH_SEED",
 ]
 
@@ -27,6 +28,15 @@ ORACLE_ATOL = 1e-12
 #: Absolute tolerance for pmf-vector comparisons, slightly looser because FFT
 #: convolution accumulates more round-off than the sequential DP.
 PMF_ATOL = 1e-10
+
+#: Absolute tolerance for pmfs maintained through convolve/deconvolve delta
+#: sequences (IncrementalJury, the core/jer batch delta kernels) when
+#: compared against a from-scratch rebuild.  Deconvolution near eps = 0.5
+#: amplifies pre-existing round-off by up to ~2n per removal, so this bound
+#: only holds for removal chains kept short — IncrementalJury enforces that
+#: by rebuilding from its member list every REBUILD_AFTER_REMOVALS removals,
+#: which keeps adversarial chains below ~1e-12 with a wide safety margin.
+DECONV_ATOL = 1e-8
 
 #: Seed for synthetic benchmark workloads, offset from the test seed so that
 #: benchmarks never accidentally share fixtures with the unit tests.

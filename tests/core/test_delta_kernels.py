@@ -1,0 +1,147 @@
+"""Tests for the batch delta kernels in repro.core.jer.
+
+``convolve_pmf`` / ``deconvolve_pmf`` generalise IncrementalJury's
+single-juror maintenance to k-juror batches; ``resume_prefix_sweep`` repairs
+a prefix pmf matrix from a clean watermark.  The hard guarantee under test:
+resumed sweeps are *bit-identical* to ``batch_prefix_jer_sweep`` from
+scratch, because the live-pool oracle property builds on it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.jer import (
+    batch_prefix_jer_sweep,
+    convolve_pmf,
+    deconvolve_pmf,
+    resume_prefix_sweep,
+)
+from repro.core.poisson_binomial import pmf_dp
+from repro.errors import InvalidErrorRateError
+from repro.testing import DECONV_ATOL, PMF_ATOL
+
+
+class TestConvolvePmf:
+    def test_matches_from_scratch_dp(self, rng):
+        base = rng.uniform(0.05, 0.95, size=9)
+        extra = rng.uniform(0.05, 0.95, size=4)
+        grown = convolve_pmf(pmf_dp(base), extra)
+        np.testing.assert_allclose(
+            grown, pmf_dp(np.concatenate([base, extra])), atol=PMF_ATOL
+        )
+
+    def test_empty_batch_is_identity(self):
+        pmf = pmf_dp([0.2, 0.3])
+        np.testing.assert_array_equal(convolve_pmf(pmf, []), pmf)
+
+    def test_single_factor_equals_sequential(self, rng):
+        eps = rng.uniform(0.05, 0.95, size=6)
+        one_shot = convolve_pmf(np.ones(1), eps)
+        step_wise = np.ones(1)
+        for e in eps:
+            step_wise = convolve_pmf(step_wise, [e])
+        np.testing.assert_array_equal(one_shot, step_wise)
+
+    def test_result_is_a_distribution(self, rng):
+        pmf = convolve_pmf(np.ones(1), rng.uniform(0.05, 0.95, size=20))
+        assert np.all(pmf >= 0.0)
+        assert float(pmf.sum()) == pytest.approx(1.0, abs=1e-10)
+
+    def test_rejects_out_of_range_rates(self):
+        with pytest.raises(InvalidErrorRateError):
+            convolve_pmf(np.ones(1), [0.2, 1.5])
+
+    def test_rejects_bad_pmf_shape(self):
+        with pytest.raises(ValueError, match="1-D"):
+            convolve_pmf(np.ones((2, 2)), [0.2])
+
+
+class TestDeconvolvePmf:
+    def test_inverts_convolve(self, rng):
+        base = rng.uniform(0.05, 0.95, size=11)
+        extra = rng.uniform(0.05, 0.95, size=5)
+        pmf = pmf_dp(np.concatenate([base, extra]))
+        np.testing.assert_allclose(
+            deconvolve_pmf(pmf, extra), pmf_dp(base), atol=DECONV_ATOL
+        )
+
+    def test_stable_near_one_half(self, rng):
+        """Both recurrence directions are exercised right around 0.5, where
+        deconvolution has the least damping."""
+        base = rng.uniform(0.45, 0.55, size=15)
+        drop = [base[3], base[7], base[11]]
+        keep = np.delete(base, [3, 7, 11])
+        np.testing.assert_allclose(
+            deconvolve_pmf(pmf_dp(base), drop), pmf_dp(keep), atol=DECONV_ATOL
+        )
+
+    def test_remove_everything_leaves_empty_pmf(self, rng):
+        eps = rng.uniform(0.1, 0.9, size=7)
+        np.testing.assert_allclose(
+            deconvolve_pmf(pmf_dp(eps), eps), [1.0], atol=DECONV_ATOL
+        )
+
+    def test_rejects_removing_more_factors_than_present(self):
+        with pytest.raises(ValueError, match="deconvolve"):
+            deconvolve_pmf(pmf_dp([0.2, 0.3]), [0.2, 0.3, 0.4])
+
+    def test_rejects_out_of_range_rates(self):
+        with pytest.raises(InvalidErrorRateError):
+            deconvolve_pmf(pmf_dp([0.2, 0.3]), [-0.1])
+
+
+class TestResumePrefixSweep:
+    def _fresh_state(self, capacity: int) -> tuple[np.ndarray, np.ndarray]:
+        return (
+            np.zeros((capacity, capacity), dtype=np.float64),
+            np.zeros((capacity + 1) // 2, dtype=np.float64),
+        )
+
+    def test_full_sweep_bit_identical_to_batch_kernel(self, rng):
+        for n in (1, 2, 8, 33):
+            eps = rng.uniform(0.05, 0.95, size=n)
+            matrix, jers = self._fresh_state(n + 1)
+            resume_prefix_sweep(eps, matrix, jers, start=0)
+            ns, reference = batch_prefix_jer_sweep(eps[np.newaxis, :])
+            np.testing.assert_array_equal(jers[: ns.size], reference[0])
+
+    def test_partial_repair_bit_identical(self, rng):
+        """Perturbing a suffix and repairing from the watermark must agree
+        with a scratch sweep bit for bit, for every watermark position."""
+        n = 21
+        eps = np.sort(rng.uniform(0.05, 0.95, size=n))
+        matrix, jers = self._fresh_state(n + 4)  # oversized capacity on purpose
+        resume_prefix_sweep(eps, matrix, jers, start=0)
+        for watermark in (0, 1, 5, 10, 20, 21):
+            churned = eps.copy()
+            churned[watermark:] = np.sort(rng.uniform(0.05, 0.95, size=n - watermark))
+            resume_prefix_sweep(churned, matrix, jers, start=watermark)
+            ns, reference = batch_prefix_jer_sweep(churned[np.newaxis, :])
+            np.testing.assert_array_equal(jers[: ns.size], reference[0])
+            eps = churned
+
+    def test_prefix_rows_hold_prefix_pmfs(self, rng):
+        eps = rng.uniform(0.05, 0.95, size=9)
+        matrix, jers = self._fresh_state(10)
+        resume_prefix_sweep(eps, matrix, jers, start=0)
+        for m in (1, 4, 9):
+            np.testing.assert_allclose(
+                matrix[m, : m + 1], pmf_dp(eps[:m]), atol=PMF_ATOL
+            )
+            assert np.all(matrix[m, m + 1 :] == 0.0)
+
+    def test_rejects_empty_and_bad_watermark(self):
+        matrix, jers = self._fresh_state(4)
+        with pytest.raises(ValueError, match="empty"):
+            resume_prefix_sweep(np.array([]), matrix, jers, start=0)
+        with pytest.raises(ValueError, match="start"):
+            resume_prefix_sweep(np.array([0.2]), matrix, jers, start=2)
+
+    def test_rejects_undersized_state(self):
+        eps = np.full(6, 0.3)
+        with pytest.raises(ValueError, match="pmf_matrix"):
+            resume_prefix_sweep(eps, np.zeros((3, 3)), np.zeros(3), start=0)
+        with pytest.raises(ValueError, match="jers"):
+            resume_prefix_sweep(eps, np.zeros((7, 7)), np.zeros(1), start=0)

@@ -1,0 +1,138 @@
+"""Property tests: delta-maintained pmfs cannot drift from scratch rebuilds.
+
+Long random add/remove/swap sequences on :class:`IncrementalJury` must stay
+within the shared ``DECONV_ATOL`` of a from-scratch ``pmf_dp`` rebuild of
+the surviving members — including error rates pinned near 0.5, where
+deconvolution amplifies round-off the most.  For the jury this holds for
+*arbitrarily long* sequences because of its rebuild hygiene
+(``REBUILD_AFTER_REMOVALS``); the bare kernels are additionally tested
+against their documented contract, which only covers bounded removal
+chains.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.incremental import IncrementalJury
+from repro.core.jer import convolve_pmf, deconvolve_pmf
+from repro.core.juror import Juror
+from repro.core.poisson_binomial import pmf_dp
+from repro.testing import DECONV_ATOL
+
+# Deliberately includes the worst-conditioned regime around 0.5 (the
+# deconvolution recurrences divide by ~0.5 there) alongside tame rates.
+eps_values = st.one_of(
+    st.floats(min_value=0.05, max_value=0.95),
+    st.floats(min_value=0.47, max_value=0.53),
+)
+
+# An operation is ("add", eps), ("remove", index_seed) or ("swap",
+# index_seed, eps); index seeds are reduced modulo the live membership.
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("add"), eps_values),
+        st.tuples(st.just("remove"), st.integers(min_value=0, max_value=10**6)),
+        st.tuples(
+            st.just("swap"),
+            st.integers(min_value=0, max_value=10**6),
+            eps_values,
+        ),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+def _rebuilt_pmf(jury: IncrementalJury) -> np.ndarray:
+    eps = [j.error_rate for j in jury.members]
+    return pmf_dp(eps) if eps else np.ones(1)
+
+
+class TestIncrementalJuryStability:
+    @given(operations)
+    @settings(max_examples=60, deadline=None)
+    def test_long_mutation_sequences_track_scratch_rebuild(self, ops):
+        jury = IncrementalJury()
+        counter = 0
+        for op in ops:
+            if op[0] == "add" or jury.size == 0:
+                eps = op[1] if op[0] == "add" else 0.5
+                jury.add(Juror(eps, juror_id=f"j{counter}"))
+                counter += 1
+            elif op[0] == "remove":
+                victim = jury.members[op[1] % jury.size]
+                jury.remove(victim.juror_id)
+            else:
+                victim = jury.members[op[1] % jury.size]
+                jury.swap(victim.juror_id, Juror(op[2], juror_id=f"j{counter}"))
+                counter += 1
+        np.testing.assert_allclose(jury.pmf(), _rebuilt_pmf(jury), atol=DECONV_ATOL)
+        if jury.size % 2 == 1 and jury.size > 0:
+            threshold = (jury.size + 1) // 2
+            expected = float(np.sum(_rebuilt_pmf(jury)[threshold:]))
+            assert jury.jer() == pytest.approx(expected, abs=DECONV_ATOL)
+
+    @given(st.lists(eps_values, min_size=2, max_size=30), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_batch_add_then_batch_remove_round_trips(self, eps, data):
+        jury = IncrementalJury()
+        jury.add_all([Juror(e, juror_id=f"j{i}") for i, e in enumerate(eps)])
+        k = data.draw(st.integers(min_value=1, max_value=len(eps) - 1))
+        jury.remove_all([f"j{i}" for i in range(k)])
+        np.testing.assert_allclose(jury.pmf(), _rebuilt_pmf(jury), atol=DECONV_ATOL)
+
+    def test_failed_batch_mutation_leaves_state_untouched(self):
+        jury = IncrementalJury([Juror(0.2, juror_id="a"), Juror(0.3, juror_id="b")])
+        before = jury.pmf()
+        with pytest.raises(Exception):
+            jury.add_all([Juror(0.4, juror_id="c"), Juror(0.5, juror_id="a")])
+        with pytest.raises(Exception):
+            jury.remove_all(["a", "ghost"])
+        assert jury.size == 2
+        np.testing.assert_array_equal(jury.pmf(), before)
+
+
+class TestKernelStability:
+    @given(operations)
+    @settings(max_examples=60, deadline=None)
+    def test_kernel_level_churn_with_bounded_removal_chains(self, ops):
+        """The same property one layer down, on bare pmfs and error rates.
+
+        The kernel contract only covers *short* deconvolution chains (error
+        grows like ``(2n)^r`` with chain length ``r`` near eps = 0.5), so
+        this test applies the same hygiene IncrementalJury uses: after
+        REBUILD_AFTER_REMOVALS removals the pmf restarts from ``pmf_dp``.
+        """
+        from repro.core.incremental import REBUILD_AFTER_REMOVALS
+
+        pmf = np.ones(1)
+        live: list[float] = []
+        removals = 0
+
+        def drop(current: np.ndarray, eps: float) -> np.ndarray:
+            nonlocal removals
+            removals += 1
+            if removals > REBUILD_AFTER_REMOVALS:
+                removals = 0
+                return pmf_dp(live) if live else np.ones(1)
+            return deconvolve_pmf(current, [eps])
+
+        for op in ops:
+            if op[0] == "add" or not live:
+                eps = op[1] if op[0] == "add" else 0.5
+                pmf = convolve_pmf(pmf, [eps])
+                live.append(eps)
+            elif op[0] == "remove":
+                eps = live.pop(op[1] % len(live))
+                pmf = drop(pmf, eps)
+            else:
+                outgoing = live.pop(op[1] % len(live))
+                pmf = drop(pmf, outgoing)
+                pmf = convolve_pmf(pmf, [op[2]])
+                live.append(op[2])
+        expected = pmf_dp(live) if live else np.ones(1)
+        np.testing.assert_allclose(pmf, expected, atol=DECONV_ATOL)

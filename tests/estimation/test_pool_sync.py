@@ -1,0 +1,106 @@
+"""Tests for the estimation pipeline's incremental mode (pool sync)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.juror import Juror, jurors_from_arrays
+from repro.errors import EstimationError
+from repro.estimation.pipeline import sync_pool_with_estimate
+from repro.estimation.tweets import Tweet, TweetCorpus
+from repro.estimation import estimate_candidates
+from repro.service import CandidatePool, LivePool
+
+
+def _corpus(extra: list[Tweet] = ()):  # type: ignore[assignment]
+    base = [
+        Tweet("fan1", "RT @guru insight"),
+        Tweet("fan2", "RT @guru more insight"),
+        Tweet("fan2", "RT @sage wisdom"),
+        Tweet("guru", "original thought"),
+        Tweet("sage", "calm thought"),
+    ]
+    return TweetCorpus(base + list(extra))
+
+
+class TestSyncPoolWithEstimate:
+    def test_initial_sync_populates_empty_pool(self):
+        result = estimate_candidates(_corpus(), ranking="pagerank")
+        pool = LivePool(pool_id="est")
+        report = sync_pool_with_estimate(pool, result)
+        assert report.removed == () and report.updated == ()
+        assert set(report.added) == {j.juror_id for j in result.jurors}
+        assert pool.size == len(result.jurors)
+        assert report.version == pool.version == report.churn
+
+    def test_resync_with_identical_estimate_is_a_noop(self):
+        result = estimate_candidates(_corpus(), ranking="pagerank")
+        pool = LivePool(result.jurors)
+        version = pool.version
+        report = sync_pool_with_estimate(pool, result)
+        assert report.churn == 0
+        assert report.unchanged == pool.size
+        assert pool.version == version  # no mutation, no version bump
+
+    def test_drifted_estimate_applies_only_the_diff(self):
+        result = estimate_candidates(_corpus(), ranking="pagerank")
+        pool = LivePool(result.jurors)
+        # A fresh corpus shifts the graph: fan3 arrives, fan1 goes quiet.
+        drifted = estimate_candidates(
+            _corpus([Tweet("fan3", "RT @guru late insight")]),
+            ranking="pagerank",
+        )
+        report = sync_pool_with_estimate(pool, drifted)
+        assert "fan3" in report.added
+        assert report.churn == pool.version
+        # Pool now mirrors the drifted estimate exactly.
+        expected = {j.juror_id: j for j in drifted.jurors}
+        assert {j.juror_id: j for j in pool.ordered} == expected
+
+    def test_top_k_cut_drops_the_tail(self):
+        result = estimate_candidates(_corpus(), ranking="pagerank")
+        pool = LivePool(result.jurors)
+        report = sync_pool_with_estimate(pool, result, top_k=2)
+        assert pool.size == 2
+        assert len(report.removed) == len(result.jurors) - 2
+
+    def test_bare_juror_sequences_are_accepted(self):
+        pool = LivePool(jurors_from_arrays([0.2, 0.3, 0.4]))
+        target = [
+            Juror(0.2, juror_id="j1"),
+            Juror(0.35, juror_id="j2"),
+            Juror(0.1, juror_id="j9"),
+        ]
+        report = sync_pool_with_estimate(pool, target)
+        assert report.added == ("j9",)
+        assert report.removed == ("j3",)
+        assert report.updated == ("j2",)
+        assert report.unchanged == 1
+        assert pool.get("j2").error_rate == 0.35
+
+    def test_duplicate_target_ids_rejected(self):
+        pool = LivePool(jurors_from_arrays([0.2]))
+        with pytest.raises(EstimationError, match="duplicate"):
+            sync_pool_with_estimate(
+                pool, [Juror(0.2, juror_id="x"), Juror(0.3, juror_id="x")]
+            )
+
+    def test_synced_pool_selections_match_fresh_pool(self, rng):
+        """After a sync, the live pool is indistinguishable from a cold
+        rebuild — profile included."""
+        pool = LivePool(jurors_from_arrays(rng.uniform(0.1, 0.9, size=15)))
+        target = jurors_from_arrays(rng.uniform(0.1, 0.9, size=18), id_prefix="t")
+        sync_pool_with_estimate(pool, target)
+        fresh = CandidatePool(target)
+        assert pool.fingerprint == fresh.fingerprint
+        ns, jers = pool.sweep_profile()
+        from repro.core.jer import batch_prefix_jer_sweep
+
+        _, ref = batch_prefix_jer_sweep(np.asarray(fresh.error_rates)[np.newaxis, :])
+        np.testing.assert_array_equal(np.asarray(jers), ref[0])
+
+    def test_report_summary_reads_well(self):
+        pool = LivePool(jurors_from_arrays([0.2, 0.3]))
+        report = sync_pool_with_estimate(pool, [Juror(0.2, juror_id="j1")])
+        assert report.summary() == "pool sync: +0 -1 ~0 =1 -> version 1"

@@ -1,0 +1,323 @@
+"""Tests for the live pool registry (repro.service.registry).
+
+Covers the versioned mutation API, the delta-maintained sweep profile
+(including the churn-oracle acceptance bar: bit-identical to a fresh
+CandidatePool at *every* version), registry naming, and the engine
+integration with version-keyed sweep-cache behaviour.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.jer import batch_prefix_jer_sweep
+from repro.core.juror import Juror, jurors_from_arrays
+from repro.core.selection.altr import select_jury_altr
+from repro.errors import (
+    EmptyCandidateSetError,
+    InvalidJuryError,
+    PoolNotFoundError,
+)
+from repro.service import (
+    BatchSelectionEngine,
+    CandidatePool,
+    LivePool,
+    PoolRegistry,
+    SelectionQuery,
+)
+
+
+def _live_pool(rng, n: int, *, priced: bool = False, pool_id: str | None = None):
+    eps = rng.uniform(0.05, 0.9, size=n)
+    reqs = rng.uniform(0.05, 1.0, size=n) if priced else None
+    return LivePool(jurors_from_arrays(eps, reqs), pool_id=pool_id)
+
+
+class TestLivePoolMutation:
+    def test_versions_are_monotonic(self, rng):
+        pool = _live_pool(rng, 5)
+        assert pool.version == 0
+        assert pool.add_juror(Juror(0.15, juror_id="n1")) == 1
+        assert pool.update_error_rate("n1", 0.4) == 2
+        pool.remove_juror("n1")
+        assert pool.version == 3
+
+    def test_ordering_is_lemma3_after_churn(self, rng):
+        pool = _live_pool(rng, 20)
+        pool.add_juror(Juror(0.5, juror_id="mid"))
+        pool.update_error_rate("mid", 0.07)
+        eps = pool.error_rates
+        assert np.all(np.diff(eps) >= 0.0)
+        expected = sorted(pool.ordered, key=lambda j: (j.error_rate, j.juror_id))
+        assert list(pool.ordered) == expected
+
+    def test_duplicate_add_rejected_without_version_bump(self, rng):
+        pool = _live_pool(rng, 3)
+        pool.add_juror(Juror(0.2, juror_id="dup"))
+        version = pool.version
+        with pytest.raises(InvalidJuryError, match="already"):
+            pool.add_juror(Juror(0.3, juror_id="dup"))
+        assert pool.version == version
+
+    def test_unknown_remove_and_update_rejected(self, rng):
+        pool = _live_pool(rng, 3)
+        with pytest.raises(InvalidJuryError, match="not in the pool"):
+            pool.remove_juror("ghost")
+        with pytest.raises(InvalidJuryError, match="not in the pool"):
+            pool.update_error_rate("ghost", 0.2)
+
+    def test_update_requirement_only(self, rng):
+        pool = _live_pool(rng, 3, priced=True)
+        target = pool.ordered[1]
+        pool.update_juror(target.juror_id, requirement=9.5)
+        refreshed = pool.get(target.juror_id)
+        assert refreshed.requirement == 9.5
+        assert refreshed.error_rate == target.error_rate
+
+    def test_duplicate_initial_candidates_rejected(self):
+        with pytest.raises(InvalidJuryError, match="already"):
+            LivePool([Juror(0.1, juror_id="x"), Juror(0.2, juror_id="x")])
+
+    def test_snapshot_matches_candidate_pool(self, rng):
+        pool = _live_pool(rng, 9, priced=True)
+        pool.add_juror(Juror(0.11, 0.3, juror_id="late"))
+        snap = pool.snapshot()
+        fresh = CandidatePool(list(pool.ordered))
+        assert snap.fingerprint == fresh.fingerprint
+        assert snap.ordered == fresh.ordered
+        np.testing.assert_array_equal(snap.error_rates, fresh.error_rates)
+
+    def test_empty_pool_cannot_snapshot_or_sweep(self):
+        pool = LivePool()
+        with pytest.raises(EmptyCandidateSetError):
+            pool.snapshot()
+        with pytest.raises(EmptyCandidateSetError):
+            pool.sweep_profile()
+
+    def test_identical_readd_restores_fingerprint(self, rng):
+        pool = _live_pool(rng, 7)
+        fingerprint = pool.fingerprint
+        juror = pool.remove_juror(pool.ordered[2].juror_id)
+        assert pool.fingerprint != fingerprint
+        pool.add_juror(juror)
+        assert pool.fingerprint == fingerprint
+
+
+class TestChurnOracle:
+    """Acceptance bar: delta-maintained selections are bit-identical to a
+    fresh CandidatePool + scalar/batch path at every version."""
+
+    def test_profile_and_selection_bit_identical_at_every_version(self, rng):
+        registry = PoolRegistry()
+        pool = registry.create("P", jurors_from_arrays(rng.uniform(0.05, 0.9, size=31)))
+        engine = BatchSelectionEngine(registry=registry)
+        ids = [j.juror_id for j in pool.ordered]
+        fresh_id = 1000
+
+        for step in range(120):
+            op = rng.integers(3)
+            if op == 0 or pool.size <= 3:
+                juror = Juror(
+                    float(rng.uniform(0.05, 0.95)),
+                    float(rng.uniform(0.0, 1.0)),
+                    juror_id=f"f{fresh_id}",
+                )
+                fresh_id += 1
+                pool.add_juror(juror)
+                ids.append(juror.juror_id)
+            elif op == 1:
+                pool.remove_juror(ids.pop(int(rng.integers(len(ids)))))
+            else:
+                pool.update_error_rate(
+                    ids[int(rng.integers(len(ids)))],
+                    float(rng.uniform(0.05, 0.95)),
+                )
+
+            # Profile: bit-identical to the batch kernel on a fresh pool.
+            ns, jers = pool.sweep_profile()
+            ref_ns, ref_jers = batch_prefix_jer_sweep(pool.error_rates[np.newaxis, :])
+            np.testing.assert_array_equal(np.asarray(ns), ref_ns)
+            np.testing.assert_array_equal(np.asarray(jers), ref_jers[0])
+
+            # Selection: bit-identical to the scalar path on a fresh pool.
+            outcome = engine.run(
+                [SelectionQuery(task_id=f"s{step}", pool_name="P")]
+            )[0]
+            assert outcome.ok, outcome.error
+            single = select_jury_altr(list(pool.ordered))
+            assert outcome.result.jer == single.jer
+            assert outcome.result.juror_ids == single.juror_ids
+
+        assert pool.stats.rows_reused > 0  # the delta path actually engaged
+
+    def test_full_rebuild_fallback_past_churn_threshold(self, rng):
+        pool = _live_pool(rng, 12)
+        pool.sweep_profile()
+        ids = [j.juror_id for j in pool.ordered]
+        # Churn far past the threshold without querying in between.
+        for index, juror_id in enumerate(ids):
+            pool.update_error_rate(juror_id, float(rng.uniform(0.05, 0.95)))
+        ns, jers = pool.sweep_profile()
+        assert pool.stats.full_rebuilds >= 1
+        _, ref = batch_prefix_jer_sweep(pool.error_rates[np.newaxis, :])
+        np.testing.assert_array_equal(np.asarray(jers), ref[0])
+
+    def test_profile_cached_per_version(self, rng):
+        pool = _live_pool(rng, 9)
+        first = pool.sweep_profile()
+        second = pool.sweep_profile()
+        assert first[1] is second[1]  # same arrays, no recompute
+        assert pool.stats.repairs == 1
+        pool.add_juror(Juror(0.5, juror_id="new"))
+        third = pool.sweep_profile()
+        assert third[1] is not first[1]
+        assert pool.stats.repairs == 2
+
+
+class TestPoolRegistry:
+    def test_create_get_drop_roundtrip(self, rng):
+        registry = PoolRegistry()
+        pool = registry.create("P1", jurors_from_arrays([0.1, 0.2, 0.3]))
+        assert registry.get("P1") is pool
+        assert "P1" in registry and len(registry) == 1
+        assert registry.names() == ("P1",)
+        assert registry.drop("P1") is pool
+        assert "P1" not in registry
+
+    def test_duplicate_create_requires_replace(self):
+        registry = PoolRegistry()
+        registry.create("P1", jurors_from_arrays([0.1, 0.2, 0.3]))
+        with pytest.raises(InvalidJuryError, match="already exists"):
+            registry.create("P1", jurors_from_arrays([0.4]))
+        replaced = registry.create(
+            "P1", jurors_from_arrays([0.4]), replace=True
+        )
+        assert registry.get("P1") is replaced
+        assert replaced.version == 0
+
+    def test_unknown_name_raises_pool_not_found(self):
+        registry = PoolRegistry()
+        with pytest.raises(PoolNotFoundError, match="no pool named"):
+            registry.get("nope")
+        with pytest.raises(KeyError):  # idiomatic mapping behaviour
+            registry.drop("nope")
+
+    def test_bad_names_rejected(self):
+        registry = PoolRegistry()
+        with pytest.raises(ValueError):
+            registry.create("")
+        with pytest.raises(ValueError):
+            registry.create(42)  # type: ignore[arg-type]
+
+
+class TestEngineIntegration:
+    def _registry_engine(self, rng, n=15):
+        registry = PoolRegistry()
+        eps = rng.uniform(0.05, 0.9, size=n)
+        registry.create("P", jurors_from_arrays(eps))
+        return registry, BatchSelectionEngine(registry=registry)
+
+    def test_pool_name_requires_registry(self, rng):
+        engine = BatchSelectionEngine()
+        outcome = engine.run([SelectionQuery(task_id="t", pool_name="P")])[0]
+        assert not outcome.ok and "registry" in outcome.error
+        with pytest.raises(ValueError, match="exactly one"):
+            SelectionQuery(
+                task_id="t",
+                pool_name="P",
+                candidates=tuple(jurors_from_arrays([0.2])),
+            )
+
+    def test_unknown_pool_name_is_isolated(self, rng):
+        registry, engine = self._registry_engine(rng)
+        outcomes = engine.run(
+            [
+                SelectionQuery(task_id="ok", pool_name="P"),
+                SelectionQuery(task_id="bad", pool_name="missing"),
+            ]
+        )
+        assert outcomes[0].ok
+        assert not outcomes[1].ok and "missing" in outcomes[1].error
+
+    def test_live_profile_used_instead_of_engine_sweep(self, rng):
+        registry, engine = self._registry_engine(rng)
+        outcomes = engine.run(
+            [SelectionQuery(task_id=f"t{i}", pool_name="P") for i in range(10)]
+        )
+        assert all(o.ok for o in outcomes)
+        assert engine.stats.live_profiles == 1  # one profile pull, shared
+        assert engine.stats.batch_sweeps == 0  # no engine-side sweep at all
+
+    def test_pay_and_exact_against_live_pools(self, rng):
+        registry = PoolRegistry()
+        cands = jurors_from_arrays(
+            rng.uniform(0.05, 0.9, size=9), rng.uniform(0.05, 1.0, size=9)
+        )
+        registry.create("paid", cands)
+        engine = BatchSelectionEngine(registry=registry)
+        outcomes = engine.run(
+            [
+                SelectionQuery(task_id="p", pool_name="paid", model="pay", budget=2.0),
+                SelectionQuery(task_id="e", pool_name="paid", model="exact", budget=2.0),
+            ]
+        )
+        assert all(o.ok for o in outcomes)
+        assert outcomes[1].result.jer <= outcomes[0].result.jer + 1e-10
+
+
+class TestCacheInvalidation:
+    """Satellite: a LivePool mutation must never serve a stale sweep profile
+    from PrefixSweepCache — the version bump changes the content fingerprint
+    (evicting the old state from reach), and an identical re-add restores
+    the old fingerprint's cache hits."""
+
+    def test_mutation_never_serves_stale_profile(self, rng):
+        registry = PoolRegistry()
+        pool = registry.create("P", jurors_from_arrays([0.1, 0.2, 0.2, 0.3, 0.3]))
+        engine = BatchSelectionEngine(registry=registry)
+
+        first = engine.run([SelectionQuery(task_id="a", pool_name="P")])[0]
+        assert engine.cache.misses == 1 and engine.cache.hits == 0
+        repeat = engine.run([SelectionQuery(task_id="b", pool_name="P")])[0]
+        assert engine.cache.hits == 1  # unchanged pool: cached profile reused
+        assert repeat.result.jer == first.result.jer
+
+        pool.add_juror(Juror(0.05, juror_id="star"))
+        mutated = engine.run([SelectionQuery(task_id="c", pool_name="P")])[0]
+        # Fresh-state oracle: the result reflects the mutation, not the
+        # cached profile of the previous version.
+        single = select_jury_altr(list(pool.ordered))
+        assert mutated.result.jer == single.jer
+        assert mutated.result.juror_ids == single.juror_ids
+        assert "star" in mutated.result.juror_ids
+        assert engine.cache.misses == 2  # version bump: old profile unusable
+
+    def test_identical_readd_restores_cache_hits(self, rng):
+        registry = PoolRegistry()
+        pool = registry.create("P", jurors_from_arrays([0.1, 0.2, 0.2, 0.3, 0.3]))
+        engine = BatchSelectionEngine(registry=registry)
+
+        baseline = engine.run([SelectionQuery(task_id="a", pool_name="P")])[0]
+        juror = pool.remove_juror(pool.ordered[-1].juror_id)
+        engine.run([SelectionQuery(task_id="b", pool_name="P")])
+        pool.add_juror(juror)  # membership now identical to the baseline
+
+        hits_before = engine.cache.hits
+        live_profiles_before = engine.stats.live_profiles
+        restored = engine.run([SelectionQuery(task_id="c", pool_name="P")])[0]
+        assert engine.cache.hits == hits_before + 1
+        assert engine.stats.live_profiles == live_profiles_before  # no repull
+        assert restored.result.jer == baseline.result.jer
+        assert restored.result.juror_ids == baseline.result.juror_ids
+
+    def test_explicit_invalidation_of_dropped_pool(self, rng):
+        registry = PoolRegistry()
+        pool = registry.create("P", jurors_from_arrays([0.1, 0.2, 0.3]))
+        engine = BatchSelectionEngine(registry=registry)
+        engine.run([SelectionQuery(task_id="a", pool_name="P")])
+        fingerprint = pool.fingerprint
+        registry.drop("P")
+        assert engine.cache.invalidate(fingerprint) is True
+        assert engine.cache.invalidate(fingerprint) is False
+        assert engine.cache.evictions == 1
