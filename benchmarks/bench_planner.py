@@ -1,0 +1,267 @@
+#!/usr/bin/env python3
+"""Planner benchmark: plan-layer operators vs the pre-refactor scalar paths.
+
+Two head-to-head comparisons, selections verified identical in both:
+
+* **PayM greedy** — the columnar plan-layer operator (incremental pmf,
+  block-scored pair trials via ``extend_pmf_block``) against a literal
+  replay of the pre-refactor scalar loop (one ``O(|jury|^2)`` dynamic
+  program per affordable pair).  Acceptance bar on the full-size run:
+  ``speedup >= 5x`` on a 1,000-candidate pool.
+* **Planned exact** — ``plan_query(model="exact")`` against the two seed
+  baselines for the same query: the scalar enumeration the seed auto rule
+  actually ran at this pool size (one Python pmf-extension chain per
+  combination — the planned path replaces it with blocked
+  ``batch_jury_jer`` scoring), and the seed branch-and-bound.  B&B's JER
+  bound prunes hard on random instances and stays the fastest exact
+  operator; the planner preserves the seed's enumerate-below-15 choice, so
+  the win to read here is planned vs ``seed_enumerate``.
+
+Timings are printed and a machine-readable ``BENCH_planner.json`` artifact
+is written so the perf trajectory can be tracked across PRs.
+
+Run:  PYTHONPATH=src python benchmarks/bench_planner.py [--smoke]
+      [--pool-size N] [--budget B] [--out PATH]
+
+``--smoke`` shrinks the workload for CI smoke jobs and only requires the
+planned paths not to regress (kept loose on purpose so shared CI runners
+do not flake).  The full-size acceptance bar is the printed PayM
+``speedup`` >= 5x.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.core.jer import jury_error_rate  # noqa: E402
+from repro.core.juror import Juror  # noqa: E402
+from repro.core.selection.exact import branch_and_bound_optimal  # noqa: E402
+from repro.errors import InfeasibleSelectionError  # noqa: E402
+from repro.plan import execute_plan, plan_query  # noqa: E402
+from repro.testing import BENCH_SEED  # noqa: E402
+
+
+def _make_jurors(rng: np.random.Generator, size: int) -> list[Juror]:
+    eps = rng.uniform(0.05, 0.45, size=size)
+    reqs = rng.uniform(0.01, 0.05, size=size)
+    return [
+        Juror(float(e), float(r), juror_id=f"w{i}")
+        for i, (e, r) in enumerate(zip(eps, reqs))
+    ]
+
+
+def _scalar_pay_greedy(candidates, budget):
+    """Literal replay of the pre-refactor PayALG loop (paper Algorithm 4,
+    one jer_dp evaluation per affordable pair)."""
+    ordered = sorted(
+        candidates,
+        key=lambda j: (j.error_rate * j.requirement, j.error_rate, j.juror_id),
+    )
+    seed_index = next(
+        (i for i, j in enumerate(ordered) if j.requirement <= budget), None
+    )
+    if seed_index is None:
+        raise InfeasibleSelectionError("no affordable candidate")
+    selected = [ordered[seed_index]]
+    accumulated = ordered[seed_index].requirement
+    current = jury_error_rate([j.error_rate for j in selected])
+    partner = None
+    for juror in ordered[seed_index + 1 :]:
+        if partner is None:
+            if juror.requirement + accumulated <= budget:
+                partner = juror
+            continue
+        enlarged = juror.requirement + partner.requirement + accumulated
+        if enlarged > budget:
+            continue
+        trial = jury_error_rate(
+            [j.error_rate for j in selected]
+            + [partner.error_rate, juror.error_rate]
+        )
+        if trial <= current:
+            selected = selected + [partner, juror]
+            accumulated = enlarged
+            current = trial
+            partner = None
+    return tuple(j.juror_id for j in selected), current
+
+
+def bench_pay(jurors, budget, repeats):
+    planned_best, scalar_best = float("inf"), float("inf")
+    planned_result = None
+    scalar_ids = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        plan = plan_query(candidates=jurors, model="pay", budget=budget)
+        planned_result = execute_plan(plan)
+        planned_best = min(planned_best, time.perf_counter() - start)
+    for _ in range(repeats):
+        start = time.perf_counter()
+        scalar_ids, scalar_jer = _scalar_pay_greedy(jurors, budget)
+        scalar_best = min(scalar_best, time.perf_counter() - start)
+    assert planned_result.juror_ids == scalar_ids, (
+        "planned PayM selection diverged from the scalar replay"
+    )
+    assert abs(planned_result.jer - scalar_jer) < 1e-10
+    return {
+        "jury_size": planned_result.size,
+        "planned_seconds": planned_best,
+        "scalar_seconds": scalar_best,
+        "speedup": scalar_best / planned_best if planned_best > 0 else float("inf"),
+    }
+
+
+def _scalar_enumerate(jurors, budget):
+    """Literal replay of the pre-refactor scalar enumeration (one Python
+    pmf-extension chain per odd combination)."""
+    import itertools
+
+    ordered = sorted(jurors, key=lambda j: (j.error_rate, j.juror_id))
+    best_members, best_jer = None, float("inf")
+    for k in range(1, len(ordered) + 1, 2):
+        threshold = (k + 1) // 2
+        for combo in itertools.combinations(ordered, k):
+            cost = sum(j.requirement for j in combo)
+            if cost > budget:
+                continue
+            pmf = np.ones(1, dtype=np.float64)
+            for juror in combo:
+                out = np.empty(pmf.size + 1, dtype=np.float64)
+                out[0] = pmf[0] * (1.0 - juror.error_rate)
+                out[1:-1] = (
+                    pmf[1:] * (1.0 - juror.error_rate)
+                    + pmf[:-1] * juror.error_rate
+                )
+                out[-1] = pmf[-1] * juror.error_rate
+                pmf = out
+            jer = float(np.sum(pmf[threshold:]))
+            if jer < best_jer - 1e-15:
+                best_jer, best_members = jer, combo
+    return tuple(j.juror_id for j in best_members), best_jer
+
+
+def bench_exact(jurors, budget, repeats):
+    planned_best, bb_best, enum_best = float("inf"), float("inf"), float("inf")
+    planned_result = None
+    bb_result = None
+    operator = ""
+    for _ in range(repeats):
+        start = time.perf_counter()
+        plan = plan_query(candidates=jurors, model="exact", budget=budget)
+        planned_result = execute_plan(plan)
+        planned_best = min(planned_best, time.perf_counter() - start)
+        operator = plan.operator
+    for _ in range(repeats):
+        start = time.perf_counter()
+        enum_ids, enum_jer = _scalar_enumerate(jurors, budget)
+        enum_best = min(enum_best, time.perf_counter() - start)
+    for _ in range(repeats):
+        start = time.perf_counter()
+        bb_result = branch_and_bound_optimal(jurors, budget)
+        bb_best = min(bb_best, time.perf_counter() - start)
+    assert planned_result.juror_ids == bb_result.juror_ids, (
+        "planned exact selection diverged from the seed branch and bound"
+    )
+    assert sorted(planned_result.juror_ids) == sorted(enum_ids), (
+        "planned exact selection diverged from the scalar enumeration replay"
+    )
+    assert abs(planned_result.jer - enum_jer) < 1e-12
+    return {
+        "operator": operator,
+        "jury_size": planned_result.size,
+        "planned_seconds": planned_best,
+        "seed_enumerate_seconds": enum_best,
+        "seed_bb_seconds": bb_best,
+        "speedup_vs_seed_enumerate": (
+            enum_best / planned_best if planned_best > 0 else float("inf")
+        ),
+        "speedup_vs_seed_bb": (
+            bb_best / planned_best if planned_best > 0 else float("inf")
+        ),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--pool-size", type=int, default=1000, help="PayM candidates")
+    parser.add_argument("--budget", type=float, default=3.0, help="PayM budget")
+    parser.add_argument(
+        "--exact-size", type=int, default=14, help="candidates for the exact bench"
+    )
+    parser.add_argument(
+        "--exact-budget", type=float, default=0.4, help="budget for the exact bench"
+    )
+    parser.add_argument("--repeats", type=int, default=3, help="best-of repeats")
+    parser.add_argument(
+        "--out", default="BENCH_planner.json", help="where to write the JSON artifact"
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small sizes + loose regression check (CI smoke job)",
+    )
+    args = parser.parse_args(argv)
+
+    pool_size, exact_size, repeats = args.pool_size, args.exact_size, args.repeats
+    if args.smoke:
+        pool_size, exact_size, repeats = 200, 12, 1
+
+    rng = np.random.default_rng(BENCH_SEED)
+    pay_jurors = _make_jurors(rng, pool_size)
+    exact_jurors = _make_jurors(rng, exact_size)
+
+    print(
+        f"PayM greedy: {pool_size} candidates, budget {args.budget:g} "
+        f"(best of {repeats})"
+    )
+    pay = bench_pay(pay_jurors, args.budget, repeats)
+    print(
+        f"  planned  {pay['planned_seconds'] * 1e3:9.2f} ms   "
+        f"(jury of {pay['jury_size']})"
+    )
+    print(f"  scalar   {pay['scalar_seconds'] * 1e3:9.2f} ms")
+    print(f"  speedup  {pay['speedup']:9.1f}x")
+
+    print(
+        f"Exact: {exact_size} candidates, budget {args.exact_budget:g} "
+        f"(best of {repeats})"
+    )
+    exact = bench_exact(exact_jurors, args.exact_budget, repeats)
+    print(f"  planned        {exact['planned_seconds'] * 1e3:9.2f} ms   ({exact['operator']})")
+    print(f"  seed enumerate {exact['seed_enumerate_seconds'] * 1e3:9.2f} ms")
+    print(f"  seed B&B       {exact['seed_bb_seconds'] * 1e3:9.2f} ms")
+    print(
+        f"  speedup        {exact['speedup_vs_seed_enumerate']:9.1f}x vs seed "
+        f"enumerate, {exact['speedup_vs_seed_bb']:.2f}x vs seed B&B"
+    )
+
+    payload = {
+        "benchmark": "planner",
+        "smoke": bool(args.smoke),
+        "pay": {"pool_size": pool_size, "budget": args.budget, **pay},
+        "exact": {"pool_size": exact_size, "budget": args.exact_budget, **exact},
+    }
+    out = Path(args.out)
+    out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {out}")
+
+    bar = 1.0 if args.smoke else 5.0
+    if pay["speedup"] < bar:
+        print(
+            f"FAIL: PayM speedup {pay['speedup']:.2f}x below the "
+            f"{'smoke' if args.smoke else 'acceptance'} bar {bar:g}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,10 +26,16 @@ Package map
     Jurors, juries, Majority Voting, the Poisson-Binomial distribution of the
     carelessness count, JER algorithms (naive / DP / convolution-FFT), bounds,
     and the AltrM / PayM / exact selectors.
+``repro.plan``
+    The plan-based execution core: :func:`repro.plan.plan_query` normalises
+    a query (model strings are parsed once, here), a cost model picks the
+    physical operator and numeric backends, and the operators consume
+    columnar :class:`repro.plan.PoolView` pools.  Every entry point —
+    scalar selectors, batch engine, CLI, experiments — executes through it.
 ``repro.service``
     The batch selection engine: many queries (mixed AltrM / PayM / exact,
     shared or per-task candidate pools) executed through vectorized prefix
-    sweeps with per-pool caching; the scalar selectors wrap it.
+    sweeps with per-pool caching; each query runs the plan->operator path.
 ``repro.estimation``
     Parameter estimation from raw tweets (paper Section 4): retweet-graph
     construction, from-scratch HITS and PageRank, error-rate normalisation and
@@ -86,6 +92,12 @@ from repro.core import (
     select_jury_optimal,
     select_jury_pay,
     weighted_jury_error_rate,
+)
+from repro.plan import (
+    PoolView,
+    SelectionPlan,
+    execute_plan,
+    plan_query,
 )
 from repro.service import (
     BatchSelectionEngine,
@@ -149,6 +161,11 @@ __all__ = [
     "convolve_pmf",
     "deconvolve_pmf",
     "resume_prefix_sweep",
+    # plan layer
+    "PoolView",
+    "SelectionPlan",
+    "execute_plan",
+    "plan_query",
     # batch service + live registry
     "BatchSelectionEngine",
     "SelectionQuery",

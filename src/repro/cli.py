@@ -11,6 +11,13 @@ jury:
 CSV format: a header line followed by ``id,error_rate[,requirement]`` rows.
 The requirement column is optional and defaults to 0 (altruistic jurors).
 
+Explain mode plans a query through the same ``plan_query()`` front door the
+selection paths execute through, and prints the chosen physical plan —
+operator, numeric backends, cost-model inputs — *without* executing it:
+
+    repro-select explain candidates.csv --budget 1.0
+    repro-select explain candidates.csv --exact --json
+
 Batch mode answers many selection queries in one pass through the
 :class:`~repro.service.BatchSelectionEngine` (vectorized sweeps, shared-pool
 caching, optional process pool for exact queries):
@@ -34,7 +41,9 @@ previously defined pool (``"pool": "P1"``) or inline (``"candidates"``):
 
 Supported query fields: ``model`` (``altr``/``pay``/``exact``, default
 ``altr``), ``budget``, ``max_size``, ``variant`` (PayALG), ``method``
-(exact solver).  One output row is emitted per query row, in input order:
+(exact solver), and ``"explain": true`` — which emits the query's physical
+plan instead of executing it.  One output row is emitted per query row, in
+input order:
 ``status: "ok"`` rows carry the selection, ``status: "error"`` rows carry
 the per-row diagnostic (also echoed to stderr as ``file:line: message``).
 Exit codes: 0 — all queries succeeded; 1 — fatal (unreadable input, no
@@ -66,8 +75,9 @@ reported as ``{"ok": false, "line": N, "error": msg}`` without ending the
 session.  The session ends at EOF or ``quit``; the exit code is 0 when
 every command succeeded, 2 otherwise.
 
-``batch`` and ``serve`` are reserved words in the first argument position;
-to select from a CSV file with one of those names, pass it as ``./batch``.
+``batch``, ``serve`` and ``explain`` are reserved words in the first
+argument position; to select from a CSV file with one of those names, pass
+it as ``./batch``.
 """
 
 from __future__ import annotations
@@ -80,11 +90,9 @@ from collections.abc import Sequence
 from pathlib import Path
 
 from repro.core.juror import Juror
-from repro.core.selection.altr import select_jury_altr
 from repro.core.selection.base import SelectionResult
-from repro.core.selection.exact import select_jury_optimal
-from repro.core.selection.pay import select_jury_pay
 from repro.errors import ReproError
+from repro.plan import SelectionPlan, execute_plan, plan_query
 from repro.service import (
     BatchSelectionEngine,
     CandidatePool,
@@ -92,7 +100,7 @@ from repro.service import (
     SelectionQuery,
 )
 
-__all__ = ["load_candidates_csv", "main", "run_serve"]
+__all__ = ["load_candidates_csv", "main", "run_explain", "run_serve"]
 
 
 def load_candidates_csv(path: str | Path) -> list[Juror]:
@@ -140,6 +148,33 @@ def _render_text(result: SelectionResult) -> str:
     return "\n".join(lines)
 
 
+def _render_plan_text(plan: SelectionPlan) -> str:
+    """Human-readable EXPLAIN rendering of a selection plan."""
+    info = plan.describe()
+    cost = info["cost"]
+    lines = [
+        f"model: {info['model']}",
+        f"pool_size: {info['pool_size']}",
+        f"operator: {info['operator']}",
+        f"jer_backend: {info['jer_backend']}",
+        f"pmf_backend: {info['pmf_backend']}",
+    ]
+    if info["budget"] is not None:
+        lines.append(f"budget: {info['budget']:g}")
+        lines.append(f"affordable: {cost['affordable']}")
+        lines.append(f"budget_tightness: {cost['budget_tightness']:.3f}")
+    if info["max_size"] is not None:
+        lines.append(f"max_size: {info['max_size']}")
+    if info["variant"] is not None:
+        lines.append(f"variant: {info['variant']}")
+    if info["method"] is not None:
+        lines.append(f"method: {info['method']}")
+    lines.append("estimates:")
+    for entry in cost["estimates"]:
+        lines.append(f"  {entry['operator']}: ~{entry['ops']:.3g} ops")
+    return "\n".join(lines)
+
+
 def _render_json(result: SelectionResult) -> str:
     return json.dumps(
         {
@@ -165,8 +200,6 @@ def _render_json(result: SelectionResult) -> str:
 # ----------------------------------------------------------------------
 # batch subcommand
 # ----------------------------------------------------------------------
-
-_QUERY_MODELS = ("altr", "pay", "exact")
 
 
 def _parse_candidates_json(value: object, where: str) -> list[Juror]:
@@ -209,13 +242,12 @@ def _build_query(
 
     Shared by batch mode (which passes a resolved ``pool`` or inline
     ``candidates``) and serve mode (which passes a registry ``pool_name``);
-    validates the model and coerces the common optional fields in one place.
+    coerces the common optional fields in one place.  Model strings are
+    parsed by the plan layer (:func:`repro.plan.normalize_model`, via
+    ``SelectionQuery``), so aliases like ``AltrM``/``PayM`` are accepted
+    and unknown models raise a located error.
     """
     model = obj.get("model", "altr")
-    if model not in _QUERY_MODELS:
-        raise ReproError(
-            f"{where}: unknown model {model!r}; expected one of {_QUERY_MODELS}"
-        )
     budget = obj.get("budget")
     max_size = obj.get("max_size")
     try:
@@ -341,11 +373,15 @@ def run_batch(args: argparse.Namespace) -> int:
             slots.append(("error", _batch_error_row(task, line_no, str(exc))))
             had_row_errors = True
             continue
+        if obj.get("explain"):
+            slots.append(("explain", (query, line_no)))
+            continue
         slots.append(("query", len(queries)))
         queries.append(query)
         query_lines.append(line_no)
 
-    if not queries and not had_row_errors:
+    have_rows = queries or any(kind == "explain" for kind, _ in slots)
+    if not have_rows and not had_row_errors:
         print(f"error: {source}: no query rows", file=sys.stderr)
         return 1
 
@@ -356,6 +392,22 @@ def run_batch(args: argparse.Namespace) -> int:
     for kind, payload in slots:
         if kind == "error":
             rows.append(payload)  # type: ignore[arg-type]
+            continue
+        if kind == "explain":
+            query, line_no = payload  # type: ignore[misc]
+            try:
+                plan = engine.plan(query)
+            except (ReproError, ValueError) as exc:
+                had_row_errors = True
+                print(
+                    f"{source}:{line_no}: task {query.task_id!r}: {exc}",
+                    file=sys.stderr,
+                )
+                rows.append(_batch_error_row(query.task_id, line_no, str(exc)))
+                continue
+            rows.append(
+                {"task": query.task_id, "status": "ok", "explain": plan.describe()}
+            )
             continue
         outcome = outcomes[payload]  # type: ignore[index]
         if outcome.ok:
@@ -409,6 +461,94 @@ def _build_batch_parser() -> argparse.ArgumentParser:
 
 
 # ----------------------------------------------------------------------
+# explain subcommand
+# ----------------------------------------------------------------------
+
+
+def _single_query_args(parser: argparse.ArgumentParser) -> None:
+    """Arguments shared by the single-query select and explain modes."""
+    parser.add_argument("csv", help="candidates CSV: id,error_rate[,requirement]")
+    parser.add_argument(
+        "--budget",
+        type=float,
+        default=None,
+        help="PayM budget; omit for the altruistic (AltrM) model",
+    )
+    parser.add_argument(
+        "--exact",
+        action="store_true",
+        help="use the exact optimum (enumeration / branch-and-bound) instead "
+        "of the greedy PayALG; only meaningful with --budget",
+    )
+    parser.add_argument(
+        "--variant",
+        choices=("paper", "improved"),
+        default="paper",
+        help="PayALG variant (default: paper)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit JSON instead of text"
+    )
+
+
+def _single_query_plan(args: argparse.Namespace):
+    """Plan the single-query CSV mode's selection (shared select/explain)."""
+    candidates = load_candidates_csv(args.csv)
+    if args.budget is None:
+        model = "altr"
+    elif args.exact:
+        model = "exact"
+    else:
+        model = "pay"
+    return plan_query(
+        candidates=candidates,
+        model=model,
+        budget=args.budget,
+        variant=args.variant,
+        method=getattr(args, "method", "auto"),
+        max_size=getattr(args, "max_size", None),
+        task_id=str(args.csv),
+    )
+
+
+def run_explain(args: argparse.Namespace) -> int:
+    """Execute the ``explain`` subcommand.  Returns a process exit code."""
+    try:
+        plan = _single_query_plan(args)
+    except (ReproError, ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(plan.describe(), indent=2))
+    else:
+        print(_render_plan_text(plan))
+    return 0
+
+
+def _build_explain_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-select explain",
+        description="Print the physical plan (operator, backends, cost-model "
+        "inputs) a query would execute with, without executing it.",
+    )
+    _single_query_args(parser)
+    parser.add_argument(
+        "--method",
+        choices=("auto", "enumerate", "branch-and-bound"),
+        default="auto",
+        help="exact-solver preference (default: auto, the cost model decides)",
+    )
+    parser.add_argument(
+        "--max-size",
+        type=int,
+        default=None,
+        dest="max_size",
+        help="cap on the jury size",
+    )
+    return parser
+
+
+# ----------------------------------------------------------------------
 # serve subcommand
 # ----------------------------------------------------------------------
 
@@ -434,6 +574,12 @@ def _serve_select(
             f"{where}: select needs a 'pool' reference or inline 'candidates'"
         )
     query = _build_query(obj, where, pool_name=pool_name, candidates=candidates)
+    if obj.get("explain"):
+        plan = engine.plan(query)
+        row = {"ok": True, "task": query.task_id, "explain": plan.describe()}
+        if pool_version is not None:
+            row["pool_version"] = pool_version
+        return row
     outcome = engine.run([query])[0]
     if not outcome.ok:
         raise ReproError(f"{where}: task {query.task_id!r}: {outcome.error}")
@@ -648,47 +794,23 @@ def main(argv: Sequence[str] | None = None) -> int:
         return run_batch(_build_batch_parser().parse_args(arguments[1:]))
     if arguments and arguments[0] == "serve":
         return run_serve(_build_serve_parser().parse_args(arguments[1:]))
+    if arguments and arguments[0] == "explain":
+        return run_explain(_build_explain_parser().parse_args(arguments[1:]))
 
     parser = argparse.ArgumentParser(
         prog="repro-select",
         description="Select the minimum-JER jury from a CSV of candidates "
         "(Cao et al., VLDB 2012).  See 'repro-select batch --help' for the "
-        "batched JSONL mode.",
+        "batched JSONL mode and 'repro-select explain --help' for the "
+        "plan-only EXPLAIN mode.",
     )
-    parser.add_argument("csv", help="candidates CSV: id,error_rate[,requirement]")
-    parser.add_argument(
-        "--budget",
-        type=float,
-        default=None,
-        help="PayM budget; omit for the altruistic (AltrM) model",
-    )
-    parser.add_argument(
-        "--exact",
-        action="store_true",
-        help="use the exact optimum (enumeration / branch-and-bound) instead "
-        "of the greedy PayALG; only meaningful with --budget",
-    )
-    parser.add_argument(
-        "--variant",
-        choices=("paper", "improved"),
-        default="paper",
-        help="PayALG variant (default: paper)",
-    )
-    parser.add_argument(
-        "--json", action="store_true", help="emit JSON instead of text"
-    )
+    _single_query_args(parser)
     args = parser.parse_args(arguments)
 
     try:
-        candidates = load_candidates_csv(args.csv)
-        if args.budget is None:
-            result = select_jury_altr(candidates)
-        elif args.exact:
-            result = select_jury_optimal(candidates, budget=args.budget)
-        else:
-            result = select_jury_pay(
-                candidates, budget=args.budget, variant=args.variant
-            )
+        # One path to the kernels: plan the query (the same front door the
+        # batch engine and serve session use), then execute the plan.
+        result = execute_plan(_single_query_plan(args))
     except (ReproError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

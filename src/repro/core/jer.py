@@ -31,6 +31,14 @@ pass, producing results bit-identical to :class:`PrefixJERSweeper` row by
 row; :func:`prefix_jer_profile` and :func:`best_odd_prefix` are the scalar
 conveniences the selection algorithms build on.
 
+The plan layer's physical operators (:mod:`repro.plan.operators`) lean on
+three more block kernels: :func:`extend_pmf` (the single-factor hot path),
+:func:`extend_pmf_block` (fan one pmf out by ``k`` alternative factors —
+the vectorized PayALG pair trial), and :func:`batch_jury_jer` (JER of many
+equal-size juries at once — the blocked exact enumeration).  All three
+apply the same multiply-add expression as the sweep kernels, so every
+execution path produces bit-identical probabilities.
+
 For *live* workloads (candidate pools that churn between queries, see
 :mod:`repro.service.registry`), three delta kernels maintain Carelessness
 state without full recomputation:
@@ -68,12 +76,16 @@ __all__ = [
     "jury_error_rate",
     "PrefixJERSweeper",
     "batch_prefix_jer_sweep",
+    "batch_jury_jer",
     "prefix_jer_profile",
     "best_odd_prefix",
     "convolve_pmf",
     "deconvolve_pmf",
+    "extend_pmf",
+    "extend_pmf_block",
     "resume_prefix_sweep",
     "JER_IMPROVEMENT_EPS",
+    "AUTO_CBA_THRESHOLD",
 ]
 
 #: Minimum JER improvement that counts as "strictly better" when comparing
@@ -181,7 +193,10 @@ _METHODS = {
 }
 
 #: Size above which the dispatcher prefers the FFT-based CBA over the DP.
-_AUTO_CBA_THRESHOLD = 256
+#: Public because the plan-layer cost model (:mod:`repro.plan.cost`) reports
+#: the backend :func:`jury_error_rate` would pick for a pool of a given size.
+AUTO_CBA_THRESHOLD = 256
+_AUTO_CBA_THRESHOLD = AUTO_CBA_THRESHOLD
 
 
 def jury_error_rate(jury: "Jury | Iterable[float]", *, method: str = "auto") -> float:
@@ -357,6 +372,53 @@ def batch_prefix_jer_sweep(error_rate_matrix) -> tuple[np.ndarray, np.ndarray]:
     return ns, jers
 
 
+def batch_jury_jer(error_rate_matrix) -> np.ndarray:
+    """JER of many equal-size juries at once (full juries, not prefixes).
+
+    The plan layer's enumeration operator scores whole *candidate blocks*
+    with this kernel: row ``b`` holds the individual error rates of jury
+    ``b`` (all rows the same odd size ``k``) and the result is the 1-D array
+    of their Jury Error Rates.
+
+    Each row's Carelessness pmf is grown one factor at a time with the same
+    multiply-add expression as :func:`extend_pmf` (the extra top entry of the
+    full-width row is ``0`` before its first touch, so ``0 * (1 - e) +
+    pmf[n] * e`` equals the dedicated top assignment exactly in IEEE-754),
+    and the tail reduction sums a slice of identical length and contents to
+    :func:`~repro.core.poisson_binomial.tail_probability` — values are
+    therefore **bit-identical** to the scalar extension chain the exact
+    solvers historically used.
+
+    Examples
+    --------
+    >>> [round(float(v), 3) for v in batch_jury_jer([[0.2, 0.3, 0.3],
+    ...                                              [0.1, 0.2, 0.2]])]
+    [0.174, 0.072]
+    """
+    eps = np.asarray(error_rate_matrix, dtype=np.float64)
+    if eps.ndim != 2:
+        raise ValueError(
+            f"error_rate_matrix must be 2-D (batch, jury_size), got shape {eps.shape}"
+        )
+    n_batch, size = eps.shape
+    threshold = majority_threshold(size)
+    if eps.size and (
+        not np.all(np.isfinite(eps)) or np.any(eps <= 0.0) or np.any(eps >= 1.0)
+    ):
+        raise InvalidErrorRateError(
+            "all error rates must lie in the open interval (0, 1)"
+        )
+    pmf = np.zeros((n_batch, size + 1), dtype=np.float64)
+    pmf[:, 0] = 1.0
+    for idx in range(size):
+        e = eps[:, idx : idx + 1]
+        upper = idx + 1
+        pmf[:, 1 : upper + 1] = pmf[:, 1 : upper + 1] * (1.0 - e) + pmf[:, 0:upper] * e
+        pmf[:, 0:1] = pmf[:, 0:1] * (1.0 - e)
+    tails = np.sum(pmf[:, threshold:], axis=1)
+    return np.clip(tails, 0.0, 1.0)
+
+
 def prefix_jer_profile(error_rates: Iterable[float]) -> tuple[np.ndarray, np.ndarray]:
     """Odd-prefix JER profile of a single ordered candidate list.
 
@@ -417,6 +479,50 @@ def _coerce_pmf(pmf, *, name: str = "pmf") -> np.ndarray:
     if arr.ndim != 1 or arr.size == 0:
         raise ValueError(f"{name} must be a non-empty 1-D array, got shape {arr.shape}")
     return arr
+
+
+def extend_pmf(pmf: np.ndarray, epsilon: float) -> np.ndarray:
+    """Convolve a Carelessness pmf with one juror's ``[1-eps, eps]`` factor.
+
+    The single-factor fast path of :func:`convolve_pmf` (no validation, no
+    zero-padded working buffer): the hot inner step of the exact solvers'
+    search loops and the vectorized PayALG trials.  The arithmetic is the
+    identical multiply-add, so pmfs grown here are bit-for-bit equal to
+    :func:`convolve_pmf` folding the same factor.
+    """
+    out = np.empty(pmf.size + 1, dtype=np.float64)
+    out[0] = pmf[0] * (1.0 - epsilon)
+    out[1:-1] = pmf[1:] * (1.0 - epsilon) + pmf[:-1] * epsilon
+    out[-1] = pmf[-1] * epsilon
+    return out
+
+
+def extend_pmf_block(pmf: np.ndarray, epsilons) -> np.ndarray:
+    """Extend one pmf by each of ``k`` *alternative* single factors.
+
+    Where :func:`convolve_pmf` folds ``k`` factors into one pmf, this kernel
+    fans out: row ``i`` of the ``(k, n + 1)`` result is
+    ``extend_pmf(pmf, epsilons[i])``.  It is the kernel behind the
+    vectorized PayALG pair trials, which score a whole block of candidate
+    enlargements against the same incumbent pmf in one 2-D pass; each row is
+    bit-identical to the scalar :func:`extend_pmf`.
+
+    >>> import numpy as np
+    >>> rows = extend_pmf_block(np.array([0.7, 0.3]), [0.5, 0.1])
+    >>> bool(np.array_equal(rows[1], extend_pmf(np.array([0.7, 0.3]), 0.1)))
+    True
+    """
+    base = _coerce_pmf(pmf)
+    eps = np.asarray(epsilons, dtype=np.float64)
+    if eps.ndim != 1:
+        raise ValueError(f"epsilons must be 1-D, got shape {eps.shape}")
+    width = base.size
+    out = np.empty((eps.size, width + 1), dtype=np.float64)
+    col = eps[:, np.newaxis]
+    out[:, 0] = base[0] * (1.0 - eps)
+    out[:, 1:width] = base[np.newaxis, 1:] * (1.0 - col) + base[np.newaxis, :-1] * col
+    out[:, width] = base[-1] * eps
+    return out
 
 
 def convolve_pmf(pmf, epsilons) -> np.ndarray:

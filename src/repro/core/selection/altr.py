@@ -14,10 +14,11 @@ Two execution strategies are provided:
     This is the variant the efficiency experiments (Fig. 3(b), 3(g)) time.
 ``strategy="sweep"``
     Our incremental optimisation: a single ``O(N^2)`` pass over the
-    Carelessness pmf.  Since the batch-service refactor this path is a thin
-    wrapper over :class:`repro.service.BatchSelectionEngine` with a batch of
-    one, so single-query and batched selection share the same vectorized
-    kernel (:func:`repro.core.jer.batch_prefix_jer_sweep`) and produce
+    Carelessness pmf.  Since the plan-layer refactor this path is a thin
+    wrapper over ``repro.plan.plan_query() -> execute_plan()`` — the same
+    plan->operator pipeline the batch engine and the CLI use — so
+    single-query and batched selection share the same vectorized kernel
+    (:func:`repro.core.jer.batch_prefix_jer_sweep`) and produce
     bit-identical juries.
 """
 
@@ -101,27 +102,27 @@ def select_jury_altr(
         raise ValueError(f"unknown strategy {strategy!r}; expected 'sweep' or 'per-jury'")
 
     if strategy == "sweep":
-        # Thin wrapper over the batch path: a fresh engine with a batch of
-        # one.  The engine sorts, sweeps with the vectorized kernel, and
-        # builds the result via :func:`result_from_sweep_profile`, so the
-        # single-query and batched paths cannot drift apart.  A max_size cap
+        # Thin wrapper over the plan path: plan_query normalises the query
+        # and execute_plan runs the sweep operator on the columnar view —
+        # the same path the batch engine and the CLI take, so single-query
+        # and batched selection cannot drift apart.  A max_size cap
         # truncates the sorted pool *before* the sweep — with no pool
         # sharing here, sweeping beyond the cap would be wasted work.
-        from repro.service.batch import BatchSelectionEngine, SelectionQuery
+        # Local import to avoid an import cycle (the plan layer's operator
+        # table imports this module).
+        from repro.plan import execute_plan, plan_query
 
         pool_members = candidates
         if max_size is not None:
             pool_members = sorted_candidates(candidates)[: max(max_size, 1)]
 
-        engine = BatchSelectionEngine(cache_size=0)
-        return engine.select(
-            SelectionQuery(
-                task_id="<single>",
-                candidates=tuple(pool_members),
-                model="altr",
-                max_size=max_size,
-            )
+        plan = plan_query(
+            candidates=tuple(pool_members),
+            model="altr",
+            max_size=max_size,
+            task_id="<single>",
         )
+        return execute_plan(plan)
 
     ordered = sorted_candidates(candidates)
     if max_size is not None:

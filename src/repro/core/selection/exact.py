@@ -6,7 +6,11 @@ possible combinations of jurors" at ``N = 22``; this module provides
 
 ``enumerate_optimal``
     A literal enumeration over all odd-sized, budget-feasible combinations.
-    Exponential; guarded to ``N <= 20``.  Test oracle.
+    Exponential; guarded to ``N <= 20``.  Test oracle.  Since the plan-layer
+    refactor the combinations are scored in *blocks*: candidate index blocks
+    are gathered into ``(B, k)`` error-rate matrices and their JERs computed
+    by the vectorized :func:`repro.core.jer.batch_jury_jer` kernel, which is
+    bit-identical to the historical one-factor-at-a-time pmf extension.
 ``branch_and_bound_optimal``
     A depth-first search over the error-rate-sorted candidate list with three
     sound prunings that keep the search exact:
@@ -17,10 +21,12 @@ possible combinations of jurors" at ``N = 22``; this module provides
       error rate (paper Lemma 3's key step), completing the current partial
       jury with the *smallest-epsilon* remaining candidates lower-bounds the
       JER of every completion; subtrees whose bound cannot beat the incumbent
-      are cut.
+      are cut.  The completion pmf is one
+      :func:`repro.core.jer.convolve_pmf` over the suffix candidate block.
 
 Both return the same juries; the branch-and-bound handles the paper's
-``N = 22`` workloads in seconds.
+``N = 22`` workloads in seconds.  Either accepts a plain candidate sequence
+or a columnar :class:`~repro.plan.view.PoolView` (the plan layer's pools).
 """
 
 from __future__ import annotations
@@ -33,10 +39,10 @@ from collections.abc import Sequence
 import numpy as np
 
 from repro._validation import validate_budget
-from repro.core.jer import majority_threshold
+from repro.core.jer import batch_jury_jer, convolve_pmf, extend_pmf, majority_threshold
 from repro.core.poisson_binomial import tail_probability
 from repro.core.juror import Juror, Jury
-from repro.core.selection.base import SelectionResult, SelectionStats, sorted_candidates
+from repro.core.selection.base import SelectionResult, SelectionStats
 from repro.errors import EmptyCandidateSetError, InfeasibleSelectionError
 
 __all__ = [
@@ -47,14 +53,22 @@ __all__ = [
 
 _ENUMERATION_LIMIT = 20
 
+#: Combination-block size for the vectorized enumeration: combos are scored
+#: in ``(<= _ENUM_BLOCK, k)`` batches through :func:`batch_jury_jer`.
+_ENUM_BLOCK = 512
 
-def _extend_pmf(pmf: np.ndarray, epsilon: float) -> np.ndarray:
-    """Convolve a Carelessness pmf with one juror's ``[1-eps, eps]`` factor."""
-    out = np.empty(pmf.size + 1, dtype=np.float64)
-    out[0] = pmf[0] * (1.0 - epsilon)
-    out[1:-1] = pmf[1:] * (1.0 - epsilon) + pmf[:-1] * epsilon
-    out[-1] = pmf[-1] * epsilon
-    return out
+
+def _columns(candidates) -> tuple[np.ndarray, np.ndarray, Sequence[Juror]]:
+    """Columnar (eps, reqs, ordered members) in Lemma 3 order.
+
+    Since the plan-layer refactor this shares the PayM greedy's coercion, so
+    plain sequences get the same up-front validation (Juror instances,
+    unique ids) on every operator.
+    """
+    # Local import: the plan layer imports this module for its operators.
+    from repro.plan.view import as_columns
+
+    return as_columns(candidates)
 
 
 def _result(
@@ -75,7 +89,7 @@ def _result(
 
 
 def enumerate_optimal(
-    candidates: Sequence[Juror],
+    candidates,
     budget: float | None = None,
     *,
     max_size: int | None = None,
@@ -90,46 +104,77 @@ def enumerate_optimal(
     Raises
     ------
     ValueError
-        If ``len(candidates)`` exceeds 20 (enumeration would be intractable).
+        If the candidate count exceeds 20 (enumeration would be intractable).
     InfeasibleSelectionError
-        If no single candidate is affordable.
+        If no odd-sized jury is affordable.
     """
-    if len(candidates) == 0:
+    eps, reqs, ordered = _columns(candidates)
+    n_total = int(eps.size)
+    if n_total == 0:
         raise EmptyCandidateSetError("cannot enumerate an empty candidate set")
-    if len(candidates) > _ENUMERATION_LIMIT:
+    if n_total > _ENUMERATION_LIMIT:
         raise ValueError(
             f"enumerate_optimal is limited to N <= {_ENUMERATION_LIMIT} candidates "
-            f"(got {len(candidates)}); use branch_and_bound_optimal instead"
+            f"(got {n_total}); use branch_and_bound_optimal instead"
         )
     b = math.inf if budget is None else validate_budget(budget)
-    ordered = sorted_candidates(candidates)
-    limit = len(ordered) if max_size is None else min(max_size, len(ordered))
+    limit = n_total if max_size is None else min(max_size, n_total)
 
     stats = SelectionStats()
     start = time.perf_counter()
-    best_members: tuple[Juror, ...] | None = None
+    best_indices: tuple[int, ...] | None = None
     best_jer = math.inf
     for k in range(1, limit + 1, 2):
-        threshold = majority_threshold(k)
-        for combo in itertools.combinations(ordered, k):
-            stats.juries_considered += 1
-            cost = sum(j.requirement for j in combo)
-            if cost > b:
+        combos = itertools.combinations(range(n_total), k)
+        while True:
+            block = list(itertools.islice(combos, _ENUM_BLOCK))
+            if not block:
+                break
+            idx = np.array(block, dtype=np.intp)
+            stats.juries_considered += idx.shape[0]
+            # Sequential left-to-right accumulation, matching the scalar
+            # ``sum(j.requirement for j in combo)`` rounding exactly.
+            costs = np.zeros(idx.shape[0], dtype=np.float64)
+            for col in range(k):
+                costs += reqs[idx[:, col]]
+            feasible = np.nonzero(costs <= b)[0]
+            if feasible.size == 0:
                 continue
-            pmf = np.ones(1, dtype=np.float64)
-            for juror in combo:
-                pmf = _extend_pmf(pmf, juror.error_rate)
-            stats.jer_evaluations += 1
-            jer = tail_probability(pmf, threshold)
-            if _improves(jer, combo, best_jer, best_members):
-                best_jer, best_members = jer, combo
+            chosen = idx[feasible]
+            jers = batch_jury_jer(eps[chosen])
+            stats.jer_evaluations += chosen.shape[0]
+            for row in range(chosen.shape[0]):
+                combo_indices = tuple(int(i) for i in chosen[row])
+                jer = float(jers[row])
+                if _improves_indices(jer, combo_indices, best_jer, best_indices, ordered):
+                    best_jer, best_indices = jer, combo_indices
     stats.elapsed_seconds = time.perf_counter() - start
 
-    if best_members is None:
+    if best_indices is None:
         raise InfeasibleSelectionError(
             f"no odd-sized jury is affordable within budget {b:g}"
         )
-    return _result(best_members, best_jer, "OPT-enumerate", budget, stats)
+    members = tuple(ordered[i] for i in best_indices)
+    return _result(members, best_jer, "OPT-enumerate", budget, stats)
+
+
+def _improves_indices(
+    jer: float,
+    indices: tuple[int, ...],
+    best_jer: float,
+    best_indices: tuple[int, ...] | None,
+    ordered: Sequence[Juror],
+) -> bool:
+    """Index-tuple counterpart of :func:`_improves` (same tie-break rule)."""
+    if jer < best_jer - 1e-15:
+        return True
+    if abs(jer - best_jer) <= 1e-15 and best_indices is not None:
+        if len(indices) != len(best_indices):
+            return len(indices) < len(best_indices)
+        return tuple(ordered[i].juror_id for i in indices) < tuple(
+            ordered[i].juror_id for i in best_indices
+        )
+    return False
 
 
 def _improves(
@@ -150,7 +195,7 @@ def _improves(
 
 
 def branch_and_bound_optimal(
-    candidates: Sequence[Juror],
+    candidates,
     budget: float | None = None,
     *,
     max_size: int | None = None,
@@ -163,14 +208,12 @@ def branch_and_bound_optimal(
     ``use_jer_bound=False`` to disable the monotonicity bound (cost and count
     pruning remain) — useful for ablation benchmarks.
     """
-    if len(candidates) == 0:
+    eps, reqs, ordered = _columns(candidates)
+    if eps.size == 0:
         raise EmptyCandidateSetError("cannot optimise an empty candidate set")
     b = math.inf if budget is None else validate_budget(budget)
-    ordered = sorted_candidates(candidates)
-    n_total = len(ordered)
+    n_total = int(eps.size)
     limit = n_total if max_size is None else min(max_size, n_total)
-    eps = np.array([j.error_rate for j in ordered], dtype=np.float64)
-    reqs = np.array([j.requirement for j in ordered], dtype=np.float64)
 
     # cheapest_sum[i][m]: minimum total requirement of any m candidates taken
     # from the suffix starting at index i.  Used for cost pruning.
@@ -256,17 +299,16 @@ def _bb_search(
         # JER bound pruning: completing with the smallest-epsilon remaining
         # candidates (the immediate suffix, since eps is sorted ascending)
         # lower-bounds every completion's JER by coordinate-wise monotonicity.
+        # The whole completion block is folded in with one convolve_pmf.
         if use_jer_bound and best["members"] is not None:
             stats.bound_checks += 1
-            bound_pmf = pmf
-            for j in range(index, index + need):
-                bound_pmf = _extend_pmf(bound_pmf, eps[j])
+            bound_pmf = convolve_pmf(pmf, eps[index : index + need])
             if tail_probability(bound_pmf, threshold) >= float(best["jer"]) - 1e-15:
                 stats.pruned_by_bound += 1
                 return
         # Branch 1: choose candidate ``index``.
         chosen.append(index)
-        dfs(index + 1, cost + reqs[index], _extend_pmf(pmf, eps[index]))
+        dfs(index + 1, cost + reqs[index], extend_pmf(pmf, eps[index]))
         chosen.pop()
         # Branch 2: skip candidate ``index``.
         dfs(index + 1, cost, pmf)
@@ -275,32 +317,41 @@ def _bb_search(
 
 
 def select_jury_optimal(
-    candidates: Sequence[Juror],
+    candidates,
     budget: float | None = None,
     *,
     method: str = "auto",
     max_size: int | None = None,
 ) -> SelectionResult:
-    """Exact JSP optimum, dispatching between enumeration and branch-and-bound.
+    """Exact JSP optimum through the planner's operator dispatch.
 
     Parameters
     ----------
     candidates:
-        Candidate juror set.
+        Candidate juror set (sequence or :class:`~repro.plan.view.PoolView`).
     budget:
         PayM budget, or ``None`` for the AltrM (unconstrained) optimum.
     method:
-        ``"enumerate"``, ``"branch-and-bound"``, or ``"auto"`` (default),
-        which enumerates up to 14 candidates and branches-and-bounds beyond.
+        ``"enumerate"``, ``"branch-and-bound"``, or ``"auto"`` (default):
+        the cost model enumerates while the budget-affordable candidate
+        count stays within :data:`repro.plan.cost.ENUMERATION_CROSSOVER`
+        and branches-and-bounds beyond.
     max_size:
         Optional cap on jury size.
     """
-    if method == "auto":
-        method = "enumerate" if len(candidates) <= 14 else "branch-and-bound"
-    if method == "enumerate":
-        return enumerate_optimal(candidates, budget, max_size=max_size)
-    if method == "branch-and-bound":
-        return branch_and_bound_optimal(candidates, budget, max_size=max_size)
-    raise ValueError(
-        f"unknown method {method!r}; expected 'auto', 'enumerate' or 'branch-and-bound'"
+    # Local import: the plan layer imports this module for its operators.
+    from repro.plan import execute_plan, plan_query
+
+    source = candidates if hasattr(candidates, "eps") else tuple(candidates)
+    if len(source) == 0:
+        raise EmptyCandidateSetError("cannot optimise an empty candidate set")
+    plan = plan_query(
+        candidates=None if hasattr(source, "eps") else source,
+        pool=source if hasattr(source, "eps") else None,
+        model="exact",
+        budget=budget,
+        method=method,
+        max_size=max_size,
+        task_id="<single>",
     )
+    return execute_plan(plan)

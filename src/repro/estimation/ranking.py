@@ -190,8 +190,7 @@ def pagerank(
     safe_out = np.where(dangling_mask, 1.0, out_degree)
 
     score = np.full(n, 1.0 / n, dtype=np.float64)
-    iterations = 0
-    for iterations in range(1, max_iter + 1):
+    for _iteration in range(1, max_iter + 1):
         contribution = score / safe_out
         new_score = np.full(n, (1.0 - damping) / n, dtype=np.float64)
         if sources.size:

@@ -1,0 +1,125 @@
+"""Ablation — does the planner's cost model pick the right exact operator?
+
+The plan layer (:mod:`repro.plan`) chooses between exhaustive enumeration
+and branch and bound from the *budget-affordable* candidate count.  This
+ablation sweeps the candidate count across the enumeration crossover and
+times three executions of the identical query:
+
+* ``planned`` — ``plan_query() -> execute_plan()`` with ``method="auto"``
+  (the cost model decides);
+* ``enumerate`` — the enumeration operator forced;
+* ``branch-and-bound`` — the branch-and-bound operator forced.
+
+All three must return the same jury (asserted); the planned curve should
+track the lower envelope of the two forced curves, which is exactly the
+claim the cost model makes.  Each point's note records the operator the
+planner picked.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.common import ExperimentResult
+from repro.plan import execute_plan, plan_query
+from repro.synth.generators import generate_workload
+
+__all__ = ["AblationPlannerConfig", "run_ablation_planner"]
+
+
+@dataclass(frozen=True)
+class AblationPlannerConfig:
+    """Knobs for the planner cost-model ablation."""
+
+    candidate_counts: tuple[int, ...] = (8, 10, 12, 14, 16, 18)
+    budget: float = 1.5
+    eps_mean: float = 0.3
+    eps_variance: float = 0.01
+    req_mean: float = 0.3
+    req_variance: float = 0.02
+    repeats: int = 3
+    seed: int = 97
+
+    @classmethod
+    def small(cls) -> "AblationPlannerConfig":
+        """Bench-scale: straddle the crossover with single timings."""
+        return cls(candidate_counts=(8, 12, 16), repeats=1)
+
+
+def _timed(func) -> tuple[float, object]:
+    start = time.perf_counter()
+    value = func()
+    return time.perf_counter() - start, value
+
+
+def run_ablation_planner(
+    config: AblationPlannerConfig | None = None,
+) -> ExperimentResult:
+    """Time planned vs forced exact operators on identical queries.
+
+    Series: ``planned``, ``enumerate``, ``branch-and-bound`` — seconds per
+    query (best of ``repeats``).  Selections are asserted identical across
+    the three paths, so the curves measure pure operator cost.
+    """
+    cfg = config if config is not None else AblationPlannerConfig()
+    result = ExperimentResult(
+        experiment_id="ablation-planner",
+        title="Planner cost model: exact-operator choice vs candidate count",
+        x_label="Number of Candidates",
+        y_label="Seconds per query",
+        metadata={"budget": cfg.budget, "repeats": cfg.repeats, "seed": cfg.seed},
+    )
+    planned = result.new_series("planned")
+    enum_series = result.new_series("enumerate")
+    bb_series = result.new_series("branch-and-bound")
+
+    rng = np.random.default_rng(cfg.seed)
+    for n in cfg.candidate_counts:
+        workload = generate_workload(
+            n,
+            eps_mean=cfg.eps_mean,
+            eps_variance=cfg.eps_variance,
+            req_mean=cfg.req_mean,
+            req_variance=cfg.req_variance,
+            rng=rng,
+        )
+        candidates = tuple(workload.jurors)
+        timings: dict[str, float] = {}
+        outcomes: dict[str, tuple[tuple[str, ...], float]] = {}
+        chosen_operator = ""
+        for label, method in (
+            ("planned", "auto"),
+            ("enumerate", "enumerate"),
+            ("branch-and-bound", "branch-and-bound"),
+        ):
+            if label == "enumerate" and n > 20:
+                continue
+            best = float("inf")
+            for _ in range(max(1, cfg.repeats)):
+                plan = plan_query(
+                    candidates=candidates,
+                    model="exact",
+                    budget=cfg.budget,
+                    method=method,
+                    task_id=f"planner-{n}",
+                )
+                elapsed, selection = _timed(lambda: execute_plan(plan))
+                best = min(best, elapsed)
+                outcomes[label] = (tuple(sorted(selection.juror_ids)), selection.jer)
+                if label == "planned":
+                    chosen_operator = plan.operator
+            timings[label] = best
+        reference = outcomes["planned"]
+        for label, outcome in outcomes.items():
+            assert outcome[0] == reference[0], (
+                f"{label} selected {outcome[0]} but planned path selected "
+                f"{reference[0]} at n={n}"
+            )
+        planned.add(n, timings["planned"], note=chosen_operator)
+        if "enumerate" in timings:
+            enum_series.add(n, timings["enumerate"])
+        bb_series.add(n, timings["branch-and-bound"])
+    return result

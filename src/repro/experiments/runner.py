@@ -5,6 +5,13 @@ Installed as the ``repro-experiments`` console script:
     repro-experiments                 # run everything at bench scale
     repro-experiments --scale paper   # paper-scale parameters (slow)
     repro-experiments table2 fig3a    # selected experiments only
+
+Every selection an experiment performs executes through the plan layer
+(:mod:`repro.plan`): the scalar selectors the figure modules call are thin
+wrappers over ``plan_query() -> execute_plan()``, so the timings reported
+here measure the same physical operators the batch engine and the
+``repro-select`` CLI run.  The ``ablation-planner`` experiment probes the
+cost model itself (planned vs forced exact operators).
 """
 
 from __future__ import annotations
@@ -21,6 +28,10 @@ from repro.experiments.ablation_adaptive import (
 from repro.experiments.ablation_bounds import (
     AblationBoundsConfig,
     run_ablation_bounds,
+)
+from repro.experiments.ablation_planner import (
+    AblationPlannerConfig,
+    run_ablation_planner,
 )
 from repro.experiments.ablation_weighted import (
     AblationWeightedConfig,
@@ -64,6 +75,10 @@ EXPERIMENTS: dict[str, tuple[Callable[[], ExperimentResult], Callable[[], Experi
     "ablation-adaptive": (
         lambda: run_ablation_adaptive(),
         lambda: run_ablation_adaptive(AblationAdaptiveConfig.small()),
+    ),
+    "ablation-planner": (
+        lambda: run_ablation_planner(),
+        lambda: run_ablation_planner(AblationPlannerConfig.small()),
     ),
 }
 

@@ -1,0 +1,52 @@
+"""Plan-based execution core: one path from every entry point to the kernels.
+
+This package separates the *logical* selection query from the *physical*
+operators that answer it, database-style:
+
+:func:`plan_query`
+    The single front door.  Normalises the query (model strings are parsed
+    once, here), builds a columnar :class:`PoolView`, and asks the cost
+    model to pick the physical operator and numeric backends.
+:class:`SelectionPlan`
+    The normalised query bound to its physical choice — executable via
+    :func:`execute_plan`, or printable via ``repro-select explain`` without
+    executing.
+:class:`PoolView`
+    Struct-of-arrays candidate pool (error rates, requirements, id
+    tie-break keys) in Lemma 3 order; what every physical operator
+    consumes.  :class:`~repro.core.juror.Juror` objects survive only at API
+    boundaries.
+:mod:`repro.plan.cost`
+    The cost model: jer ``dp``/``cba`` and pmf ``dp``/``conv`` crossovers,
+    ``enumerate`` vs ``branch-and-bound`` from pool size and budget
+    tightness.
+
+The scalar selectors (:func:`repro.select_jury_altr`,
+:func:`repro.select_jury_pay`, :func:`repro.select_jury_optimal`), the
+batch engine (:class:`repro.service.BatchSelectionEngine`), the
+``repro-select`` CLI modes and the experiment runners all execute through
+``plan_query() -> execute_plan()``, so their answers cannot diverge.
+"""
+
+from repro.plan.cost import ENUMERATION_CROSSOVER, PlanCost, estimate_plan_cost
+from repro.plan.operators import execute_plan
+from repro.plan.planner import (
+    SelectionPlan,
+    normalize_model,
+    plan_query,
+    planner_cache_info,
+)
+from repro.plan.view import PoolView, as_view
+
+__all__ = [
+    "ENUMERATION_CROSSOVER",
+    "PlanCost",
+    "PoolView",
+    "SelectionPlan",
+    "as_view",
+    "estimate_plan_cost",
+    "execute_plan",
+    "normalize_model",
+    "plan_query",
+    "planner_cache_info",
+]

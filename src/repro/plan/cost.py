@@ -1,0 +1,151 @@
+"""Cost model: pick physical operators and numeric backends for a plan.
+
+The choices mirror — and now centralise — the crossovers that used to live
+scattered across the execution layer:
+
+* ``jer`` backend (:func:`repro.core.jer.jury_error_rate` auto rule):
+  the ``O(n^2)`` DP below :data:`~repro.core.jer.AUTO_CBA_THRESHOLD`
+  jurors, the FFT-based CBA beyond.
+* ``pmf`` backend (:class:`repro.core.poisson_binomial.PoissonBinomial`
+  auto rule): sequential DP below :data:`~repro.core.poisson_binomial.FFT_CROSSOVER`,
+  divide-and-conquer convolution beyond.
+* exact operator: exhaustive enumeration up to
+  :data:`ENUMERATION_CROSSOVER` *effective* candidates (those individually
+  affordable under the budget — an unaffordable candidate can never join a
+  feasible jury, so budget tightness shrinks the enumeration frontier),
+  branch and bound beyond.
+
+Every function here is pure and deterministic; :mod:`repro.plan.planner`
+memoises the combined choice, which is what makes plans cheap to recompute
+and trivially cacheable.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.jer import AUTO_CBA_THRESHOLD
+from repro.core.poisson_binomial import FFT_CROSSOVER
+
+__all__ = [
+    "ENUMERATION_CROSSOVER",
+    "PlanCost",
+    "jer_backend_for",
+    "pmf_backend_for",
+    "exact_operator_for",
+    "affordable_count",
+    "estimate_plan_cost",
+]
+
+#: Effective candidate count up to which exhaustive enumeration beats branch
+#: and bound (the historical ``select_jury_optimal(method="auto")`` rule).
+ENUMERATION_CROSSOVER = 14
+
+
+@dataclass(frozen=True)
+class PlanCost:
+    """Cost-model inputs and per-operator work estimates for one query.
+
+    Attributes
+    ----------
+    pool_size:
+        Number of candidates ``N`` in the pool.
+    affordable:
+        Candidates whose individual requirement fits the budget (``N`` when
+        the query has no budget).  Only these can appear in any feasible
+        jury, so this is the *effective* pool size for exact search.
+    budget_tightness:
+        ``1 - affordable / pool_size`` — 0 when every candidate is
+        individually affordable, approaching 1 as the budget excludes the
+        pool.
+    estimates:
+        ``(operator, estimated kernel operations)`` pairs for the operators
+        the model weighed, in preference order; the chosen operator is the
+        plan's ``operator`` field.
+    """
+
+    pool_size: int
+    affordable: int
+    budget_tightness: float
+    estimates: tuple[tuple[str, float], ...]
+
+
+def jer_backend_for(pool_size: int) -> str:
+    """JER backend ``jury_error_rate(..., method="auto")`` would use."""
+    return "cba" if pool_size >= AUTO_CBA_THRESHOLD else "dp"
+
+
+def pmf_backend_for(pool_size: int) -> str:
+    """Pmf backend ``PoissonBinomial(..., method="auto")`` would use."""
+    return "conv" if pool_size >= FFT_CROSSOVER else "dp"
+
+
+def exact_operator_for(n_effective: int) -> str:
+    """Exact physical operator for ``n_effective`` affordable candidates."""
+    if n_effective <= ENUMERATION_CROSSOVER:
+        return "exact-enumerate"
+    return "exact-branch-and-bound"
+
+
+def affordable_count(reqs: np.ndarray, budget: float | None) -> int:
+    """Candidates individually affordable under ``budget`` (all when None)."""
+    if budget is None:
+        return int(reqs.size)
+    return int(np.count_nonzero(reqs <= budget))
+
+
+def _enumeration_ops(n: int, limit: int) -> float:
+    """Multiply-adds to score every odd jury of <= ``limit`` members by
+    enumeration: each size-``k`` combination costs ``O(k^2)`` pmf work."""
+    total = 0.0
+    for k in range(1, limit + 1, 2):
+        total += float(math.comb(n, k)) * k * k
+        if total > 1e18:  # saturate; beyond this the magnitude is the message
+            return math.inf
+    return total
+
+
+def estimate_plan_cost(
+    *,
+    model: str,
+    pool_size: int,
+    affordable: int,
+    max_size: int | None = None,
+    variant: str = "paper",
+) -> PlanCost:
+    """Work estimates for the operators applicable to this query shape."""
+    n = pool_size
+    tightness = 0.0 if n == 0 else 1.0 - affordable / n
+    limit = n if max_size is None else min(max_size, n)
+    estimates: list[tuple[str, float]]
+    if model == "altr":
+        # One O(N^2) vectorized sweep of the odd prefixes.
+        estimates = [("altr-sweep", n * (n + 2) / 2.0)]
+    elif model == "pay":
+        if variant == "improved":
+            # Steepest descent scores every affordable pair per admission
+            # step: O(N^2) trials, each an O(|jury|) extension.
+            estimates = [("pay-greedy-improved", float(n) * n * n)]
+        else:
+            # <= N pair trials, each an O(|jury|) pmf extension; |jury| <= N.
+            estimates = [("pay-greedy", float(n) * n)]
+    else:  # exact
+        n_eff = affordable
+        eff_limit = min(limit, n_eff)
+        estimates = [
+            ("exact-enumerate", _enumeration_ops(n_eff, eff_limit)),
+            # Branch and bound visits at most the enumeration frontier; the
+            # sound prunings typically cut it by orders of magnitude.
+            ("exact-branch-and-bound", _enumeration_ops(n_eff, eff_limit)),
+        ]
+        if exact_operator_for(n_eff) != "exact-enumerate":
+            estimates.reverse()
+    return PlanCost(
+        pool_size=n,
+        affordable=affordable,
+        budget_tightness=tightness,
+        estimates=tuple(estimates),
+    )

@@ -7,20 +7,30 @@ on the same candidate pool.  :class:`BatchSelectionEngine` accepts many
 strategies, shared or per-task pools — and executes them through three
 specialised paths:
 
+Every query is answered through the plan layer: the engine resolves the
+candidate source to a pool, calls :func:`repro.plan.plan_query` (the single
+front door that parses model strings and picks the physical operator) and
+executes the plan with :func:`repro.plan.execute_plan`.  On top of that one
+path the engine adds the batch-shaped optimisations:
+
 * **AltrM queries** are answered from odd-prefix JER profiles.  Distinct
   pools of equal size are stacked into one matrix and swept together by the
   vectorized 2-D kernel (:func:`repro.core.jer.batch_prefix_jer_sweep`);
   profiles are cached per pool fingerprint (:class:`PrefixSweepCache`), so a
-  pool shared by 1,000 tasks is swept exactly once.
-* **PayM queries** run the greedy :func:`repro.core.selection.pay.run_pay_greedy`
-  per query (the greedy is inherently sequential per instance).
-* **Exact queries** dispatch to :func:`repro.core.selection.exact.select_jury_optimal`,
-  optionally fanned out over a ``concurrent.futures`` process pool
-  (``max_workers > 1``) since branch-and-bound dominates batch latency.
+  pool shared by 1,000 tasks is swept exactly once, and the cached profile
+  is handed to the plan's sweep operator.
+* **PayM queries** execute the columnar greedy operator per query (the
+  greedy is inherently sequential per instance, but its pair trials are
+  scored block-wise — see :mod:`repro.core.selection.pay`).
+* **Exact queries** execute the enumeration / branch-and-bound operator the
+  cost model picks, optionally fanned out over a ``concurrent.futures``
+  process pool (``max_workers > 1``) since exact search dominates batch
+  latency.
 
-Results are **bit-identical** to the single-query selectors — in fact the
-single-query selectors are now thin wrappers over this engine with a batch
-of one (see :func:`repro.core.selection.altr.select_jury_altr`).
+Results are **bit-identical** to the single-query selectors — both run the
+same plan->operator pipeline, so they cannot diverge.  :meth:`BatchSelectionEngine.plan`
+returns the plan for a query *without* executing it (the ``repro-select
+explain`` surface).
 """
 
 from __future__ import annotations
@@ -28,23 +38,19 @@ from __future__ import annotations
 import time
 from collections.abc import Iterable, Sequence
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.jer import batch_prefix_jer_sweep
 from repro.core.juror import Juror
-from repro.core.selection.altr import result_from_sweep_profile
 from repro.core.selection.base import SelectionResult
-from repro.core.selection.exact import select_jury_optimal
-from repro.core.selection.pay import run_pay_greedy
+from repro.plan import SelectionPlan, execute_plan, normalize_model, plan_query
 from repro.service.cache import DEFAULT_CACHE_SIZE, PrefixSweepCache
 from repro.service.pool import CandidatePool
 from repro.service.registry import LivePool, PoolRegistry
 
 __all__ = ["SelectionQuery", "QueryOutcome", "BatchSelectionEngine"]
-
-_MODELS = ("altr", "pay", "exact")
 
 
 @dataclass(frozen=True)
@@ -91,10 +97,9 @@ class SelectionQuery:
     method: str = "auto"
 
     def __post_init__(self) -> None:
-        if self.model not in _MODELS:
-            raise ValueError(
-                f"unknown model {self.model!r}; expected one of {_MODELS}"
-            )
+        # The plan layer owns model-string parsing; canonicalise once here
+        # so every downstream comparison sees "altr"/"pay"/"exact".
+        object.__setattr__(self, "model", normalize_model(self.model))
         sources = sum(
             source is not None
             for source in (self.candidates, self.pool, self.pool_name)
@@ -152,9 +157,21 @@ class EngineStats:
 def _exact_worker(
     payload: tuple[tuple[Juror, ...], float | None, str, int | None],
 ) -> SelectionResult:
-    """Process-pool entry point for one exact query (must be picklable)."""
+    """Process-pool entry point for one exact query (must be picklable).
+
+    Replans in the worker (Juror tuples pickle cheaply; plans do not): the
+    same ``plan_query() -> execute_plan()`` path as in-process execution.
+    """
     members, budget, method, max_size = payload
-    return select_jury_optimal(list(members), budget, method=method, max_size=max_size)
+    plan = plan_query(
+        candidates=members,
+        model="exact",
+        budget=budget,
+        method=method,
+        max_size=max_size,
+        task_id="<worker>",
+    )
+    return execute_plan(plan)
 
 
 class BatchSelectionEngine:
@@ -219,6 +236,30 @@ class BatchSelectionEngine:
             )
         live = self._registry.get(query.pool_name)
         return live.snapshot(), live
+
+    @staticmethod
+    def _plan_for(query: SelectionQuery, pool: CandidatePool) -> SelectionPlan:
+        """Plan one resolved query (the single front door for every model)."""
+        return plan_query(
+            pool=pool,
+            model=query.model,
+            budget=query.budget,
+            max_size=query.max_size,
+            variant=query.variant,
+            method=query.method,
+            task_id=query.task_id,
+        )
+
+    def plan(self, query: SelectionQuery) -> SelectionPlan:
+        """Resolve and plan a query *without* executing it.
+
+        This is the EXPLAIN surface: the returned
+        :class:`~repro.plan.SelectionPlan` carries the chosen physical
+        operator, the numeric backends, and the cost-model inputs; render it
+        with :meth:`~repro.plan.SelectionPlan.describe`.
+        """
+        pool, _ = self._resolve(query)
+        return self._plan_for(query, pool)
 
     # ------------------------------------------------------------------
     def select(self, query: SelectionQuery) -> SelectionResult:
@@ -321,9 +362,9 @@ class BatchSelectionEngine:
         for index, query, pool, _ in items:
             start = time.perf_counter()
             try:
-                ns, jers = profiles[pool.fingerprint]
-                result = result_from_sweep_profile(
-                    pool.ordered, ns, jers, max_size=query.max_size
+                result = execute_plan(
+                    self._plan_for(query, pool),
+                    profile=profiles[pool.fingerprint],
                 )
             except Exception as exc:
                 if raise_errors:
@@ -336,22 +377,15 @@ class BatchSelectionEngine:
             outcomes[index].elapsed_seconds = elapsed
 
     # ------------------------------------------------------------------
-    # PayM / exact: per-query execution
+    # PayM / exact: per-query plan execution
     # ------------------------------------------------------------------
-    @staticmethod
-    def _answer_pay(query: SelectionQuery, pool: CandidatePool) -> SelectionResult:
-        return run_pay_greedy(
-            list(pool.ordered), query.budget, variant=query.variant
-        )
+    @classmethod
+    def _answer_pay(cls, query: SelectionQuery, pool: CandidatePool) -> SelectionResult:
+        return execute_plan(cls._plan_for(query, pool))
 
-    @staticmethod
-    def _answer_exact(query: SelectionQuery, pool: CandidatePool) -> SelectionResult:
-        return select_jury_optimal(
-            list(pool.ordered),
-            query.budget,
-            method=query.method,
-            max_size=query.max_size,
-        )
+    @classmethod
+    def _answer_exact(cls, query: SelectionQuery, pool: CandidatePool) -> SelectionResult:
+        return execute_plan(cls._plan_for(query, pool))
 
     def _run_serial(
         self,

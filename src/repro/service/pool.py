@@ -42,7 +42,7 @@ class CandidatePool:
     [0.1, 0.2, 0.3]
     """
 
-    __slots__ = ("_ordered", "_eps", "_fingerprint", "pool_id")
+    __slots__ = ("_ordered", "_eps", "_fingerprint", "_view", "pool_id")
 
     def __init__(
         self, candidates: Iterable[Juror], *, pool_id: str | None = None
@@ -59,6 +59,7 @@ class CandidatePool:
         # Computed lazily: only the AltrM sweep cache consults it, so PayM /
         # exact / single-query paths never pay for the hash.
         self._fingerprint: str | None = None
+        self._view = None
         self.pool_id = pool_id
 
     @classmethod
@@ -68,17 +69,27 @@ class CandidatePool:
         *,
         pool_id: str | None = None,
         fingerprint: str | None = None,
+        error_rates: np.ndarray | None = None,
     ) -> "CandidatePool":
         """Internal fast path: build a pool from already-validated members.
 
         Used by :class:`repro.service.registry.LivePool` snapshots, which
         maintain the Lemma 3 ordering and unique-id invariant themselves and
-        may already know the content fingerprint.
+        may already know the content fingerprint *and* the sorted error-rate
+        vector — pass ``error_rates`` to reuse it instead of recomputing it
+        from the :class:`Juror` objects.  The array is adopted as-is, so it
+        must be parallel to ``ordered`` and never mutated by the caller
+        (live pools replace, rather than rewrite, their cached vector).
         """
         pool = object.__new__(cls)
         pool._ordered = tuple(ordered)
-        pool._eps = np.array([j.error_rate for j in pool._ordered], dtype=np.float64)
+        pool._eps = (
+            np.array([j.error_rate for j in pool._ordered], dtype=np.float64)
+            if error_rates is None
+            else np.asarray(error_rates, dtype=np.float64)
+        )
         pool._fingerprint = fingerprint
+        pool._view = None
         pool.pool_id = pool_id
         return pool
 
@@ -106,6 +117,27 @@ class CandidatePool:
         if self._fingerprint is None:
             self._fingerprint = pool_fingerprint(self._ordered)
         return self._fingerprint
+
+    @property
+    def view(self):
+        """Columnar :class:`~repro.plan.view.PoolView` over this pool.
+
+        Shares the pool's sorted member tuple and cached error-rate vector,
+        so planning a query against a pool adds no re-sort or re-hash; the
+        view is built once and reused by every plan that targets the pool.
+        """
+        if self._view is None:
+            # Local import: repro.plan imports the selection layer, which
+            # must stay importable without the service package.
+            from repro.plan.view import PoolView
+
+            self._view = PoolView.from_sorted(
+                self._ordered,
+                error_rates=self._eps,
+                fingerprint=self._fingerprint,
+                pool_id=self.pool_id,
+            )
+        return self._view
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:

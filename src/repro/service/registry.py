@@ -114,6 +114,7 @@ class LivePool:
         self._keys: list[tuple[float, str]] = []  # parallel candidate_key list
         self._version = 0
         self._fingerprint: str | None = None
+        self._eps_cache: np.ndarray | None = None
         # Sweep state: row m of ``_matrix`` holds the prefix-m Carelessness
         # pmf in columns 0..m (zeros above); rows 0.._clean are valid.
         self._matrix: np.ndarray | None = None
@@ -159,8 +160,16 @@ class LivePool:
 
     @property
     def error_rates(self) -> np.ndarray:
-        """Error-rate vector in sweep order (fresh array per call)."""
-        return np.array([j.error_rate for j in self._ordered], dtype=np.float64)
+        """Error-rate vector in sweep order (read-only, cached per version).
+
+        The cache is replaced — never rewritten in place — on mutation, so
+        snapshots may adopt the array without copying.
+        """
+        if self._eps_cache is None:
+            eps = np.array([j.error_rate for j in self._ordered], dtype=np.float64)
+            eps.flags.writeable = False
+            self._eps_cache = eps
+        return self._eps_cache
 
     @property
     def fingerprint(self) -> str:
@@ -179,7 +188,10 @@ class LivePool:
         if not self._ordered:
             raise EmptyCandidateSetError("cannot snapshot an empty live pool")
         return CandidatePool._from_sorted(
-            self._ordered, pool_id=self.pool_id, fingerprint=self.fingerprint
+            self._ordered,
+            pool_id=self.pool_id,
+            fingerprint=self.fingerprint,
+            error_rates=self.error_rates,
         )
 
     # ------------------------------------------------------------------
@@ -281,6 +293,7 @@ class LivePool:
         self._ordered.insert(position, juror)
         self._members[juror.juror_id] = juror
         self._clean = min(self._clean, position)
+        self._eps_cache = None
 
     def _take(self, juror_id: str) -> Juror:
         juror = self._members.get(juror_id)
@@ -291,6 +304,7 @@ class LivePool:
         del self._ordered[position]
         del self._members[juror_id]
         self._clean = min(self._clean, position)
+        self._eps_cache = None
         return juror
 
     def _bump(self) -> int:

@@ -15,7 +15,7 @@ from repro.core.bounds import paley_zygmund_lower_bound
 from repro.core.incremental import IncrementalJury
 from repro.core.jer import PrefixJERSweeper, jer_dp
 from repro.core.juror import Juror
-from repro.core.poisson_binomial import PoissonBinomial, pmf_dp
+from repro.core.poisson_binomial import pmf_dp
 from repro.core.selection.altr import select_jury_altr
 from repro.core.selection.exact import branch_and_bound_optimal
 from repro.core.selection.lagrangian import select_jury_lagrangian

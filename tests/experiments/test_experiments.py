@@ -7,7 +7,6 @@ not absolute numbers (our substrate differs from the authors' testbed).
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.experiments.fig3a import Fig3aConfig, run_fig3a
@@ -198,6 +197,7 @@ class TestRunnerDispatch:
             "ablation-bounds",
             "ablation-weighted",
             "ablation-adaptive",
+            "ablation-planner",
         }
         assert set(EXPERIMENTS) == expected
 

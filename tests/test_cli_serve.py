@@ -6,8 +6,6 @@ import io
 import json
 from types import SimpleNamespace
 
-import pytest
-
 from repro.cli import _build_serve_parser, run_serve
 from repro.core.juror import Juror
 from repro.core.selection.altr import select_jury_altr
