@@ -1,0 +1,231 @@
+#!/usr/bin/env python3
+"""Service benchmark: concurrent ``AsyncJuryService`` vs a sequential loop.
+
+Scenario: one serving process answering a mixed 1,000-request stream —
+80% AltrM, 10% PayM, 10% exact, each decision task drawing from its own
+candidate pool (the per-task subsets a platform extracts from its user
+base).  Two dispatch policies answer identical requests:
+
+* ``sequential`` — the pre-``repro.api`` serve-loop behaviour: one
+  ``JuryService.select()`` per request, one engine pass each, so every
+  AltrM request pays its own prefix sweep.
+* ``concurrent`` — 128 closed-loop async clients multiplexed by
+  :class:`repro.api.AsyncJuryService`: requests coalesce into batches and
+  each batch is answered by one ``select_many`` pass, so same-sized pools
+  are stacked into single vectorized 2-D sweep kernel calls.
+
+Responses are verified bit-identical between the two policies (batching
+changes only *when* queries run), timings are printed, and a
+machine-readable ``BENCH_service.json`` artifact is written so the perf
+trajectory can be tracked across PRs.
+
+Run:  PYTHONPATH=src python benchmarks/bench_service.py [--smoke]
+      [--requests N] [--pool-size N] [--clients N] [--out PATH]
+
+``--smoke`` shrinks the workload for CI smoke jobs and exits non-zero if
+concurrent dispatch fails to beat the sequential loop at all (a regression
+canary, kept loose on purpose so shared CI runners do not flake).  The
+full-size acceptance bar is the printed ``speedup`` >= 3x.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.api import AsyncJuryService, JuryService, SelectionRequest  # noqa: E402
+from repro.core.juror import Juror  # noqa: E402
+from repro.testing import BENCH_SEED  # noqa: E402
+
+#: Candidate-pool size for the small pools the exact queries draw from
+#: (exact search cost grows combinatorially; the budget keeps the
+#: affordable subset small enough for interactive latency).
+EXACT_POOL_SIZE = 18
+
+
+def _make_candidates(rng, size: int, tag: str) -> tuple[Juror, ...]:
+    eps = rng.uniform(0.05, 0.6, size=size)
+    reqs = rng.uniform(0.0, 1.0, size=size)
+    return tuple(
+        Juror(float(e), float(r), juror_id=f"{tag}-{i}")
+        for i, (e, r) in enumerate(zip(eps, reqs))
+    )
+
+
+def build_stream(count: int, pool_size: int) -> list[SelectionRequest]:
+    """A deterministic mixed AltrM/PayM/exact stream over per-task pools."""
+    rng = np.random.default_rng(BENCH_SEED)
+    requests: list[SelectionRequest] = []
+    for i in range(count):
+        mode = i % 16
+        if mode == 7:
+            requests.append(
+                SelectionRequest(
+                    task_id=f"t{i}",
+                    candidates=_make_candidates(rng, pool_size, f"t{i}"),
+                    model="pay",
+                    budget=2.0,
+                )
+            )
+        elif mode == 15:
+            requests.append(
+                SelectionRequest(
+                    task_id=f"t{i}",
+                    candidates=_make_candidates(rng, EXACT_POOL_SIZE, f"t{i}"),
+                    model="exact",
+                    budget=1.5,
+                )
+            )
+        else:
+            requests.append(
+                SelectionRequest(
+                    task_id=f"t{i}",
+                    candidates=_make_candidates(rng, pool_size, f"t{i}"),
+                )
+            )
+    return requests
+
+
+def _normalise(response) -> dict:
+    """Wire form minus timings (the only dispatch-dependent field)."""
+    row = response.to_dict()
+    row.pop("timings")
+    return row
+
+
+def run_sequential(requests: list[SelectionRequest]) -> tuple[float, list[dict]]:
+    service = JuryService()
+    start = time.perf_counter()
+    responses = [service.select(request) for request in requests]
+    elapsed = time.perf_counter() - start
+    return elapsed, [_normalise(r) for r in responses]
+
+
+def run_concurrent(
+    requests: list[SelectionRequest], clients: int, max_batch: int
+) -> tuple[float, list[dict], object]:
+    async def drive():
+        service = AsyncJuryService(max_batch=max_batch, max_pending=4 * max_batch)
+
+        async def client(worker: int):
+            # Closed loop: each client answers its interleaved slice one
+            # request at a time, like a real JSONL session would.
+            return worker, [
+                await service.select(request) for request in requests[worker::clients]
+            ]
+
+        start = time.perf_counter()
+        results = await asyncio.gather(*(client(w) for w in range(clients)))
+        elapsed = time.perf_counter() - start
+        merged: dict[str, dict] = {}
+        for worker, answers in results:
+            for request, response in zip(requests[worker::clients], answers):
+                merged[request.task_id] = _normalise(response)
+        stats = service.service.engine.stats
+        return elapsed, [merged[r.task_id] for r in requests], stats
+
+    return asyncio.run(drive())
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--requests", type=int, default=1000, help="stream length")
+    parser.add_argument(
+        "--pool-size", type=int, default=201, help="candidates per AltrM/PayM task"
+    )
+    parser.add_argument(
+        "--clients", type=int, default=128, help="concurrent closed-loop clients"
+    )
+    parser.add_argument(
+        "--max-batch", type=int, default=256, help="AsyncJuryService batch cap"
+    )
+    parser.add_argument(
+        "--out", default="BENCH_service.json", help="where to write the JSON artifact"
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small sizes + regression check (CI smoke job)",
+    )
+    args = parser.parse_args(argv)
+
+    count, pool_size, clients = args.requests, args.pool_size, args.clients
+    if args.smoke:
+        count, pool_size, clients = 150, 61, 24
+
+    requests = build_stream(count, pool_size)
+    models = [r.model for r in requests]
+    print(
+        f"bench_service: {count} requests "
+        f"({models.count('altr')} altr / {models.count('pay')} pay / "
+        f"{models.count('exact')} exact), pool {pool_size}, "
+        f"{clients} concurrent clients ({'smoke' if args.smoke else 'full'} mode)"
+    )
+
+    sequential_seconds, sequential_rows = run_sequential(requests)
+    concurrent_seconds, concurrent_rows, stats = run_concurrent(
+        requests, clients, args.max_batch
+    )
+
+    identical = sequential_rows == concurrent_rows
+    speedup = sequential_seconds / concurrent_seconds
+    verdict = "verified identical" if identical else "DIVERGED"
+    print(
+        f"  sequential: {sequential_seconds:8.3f}s  "
+        f"({count / sequential_seconds:8.1f} req/s, one engine pass each)"
+    )
+    print(
+        f"  concurrent: {concurrent_seconds:8.3f}s  "
+        f"({count / concurrent_seconds:8.1f} req/s, "
+        f"{stats.batch_sweeps} stacked sweeps)"
+    )
+    print(f"  speedup: {speedup:6.2f}x over the sequential loop ({verdict})")
+
+    artifact = {
+        "benchmark": "service",
+        "mode": "smoke" if args.smoke else "full",
+        "workload": {
+            "requests": count,
+            "pool_size": pool_size,
+            "exact_pool_size": EXACT_POOL_SIZE,
+            "mix": {
+                "altr": models.count("altr"),
+                "pay": models.count("pay"),
+                "exact": models.count("exact"),
+            },
+            "clients": clients,
+            "max_batch": args.max_batch,
+        },
+        "sequential_seconds": sequential_seconds,
+        "concurrent_seconds": concurrent_seconds,
+        "sequential_rps": count / sequential_seconds,
+        "concurrent_rps": count / concurrent_seconds,
+        "speedup": speedup,
+        "batch_sweeps": stats.batch_sweeps,
+        "verified_identical": identical,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    }
+    out_path = Path(args.out)
+    out_path.write_text(json.dumps(artifact, indent=2) + "\n", encoding="utf-8")
+    print(f"  artifact: {out_path}")
+
+    if not identical:
+        print("FAILURE: concurrent dispatch diverged from sequential",
+              file=sys.stderr)
+        return 1
+    if args.smoke and speedup < 1.0:
+        print("SMOKE FAILURE: concurrent dispatch slower than sequential loop",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,10 +32,19 @@ Package map
     physical operator and numeric backends, and the operators consume
     columnar :class:`repro.plan.PoolView` pools.  Every entry point —
     scalar selectors, batch engine, CLI, experiments — executes through it.
+``repro.api``
+    The public protocol: typed, versioned request/response dataclasses
+    (:class:`repro.api.SelectionRequest` / ``SelectionResponse`` /
+    ``PoolCommand`` / ``ErrorInfo``, wire tag ``"v": 1``), a structured
+    error-code registry, and the :class:`repro.api.JuryService` /
+    :class:`repro.api.AsyncJuryService` façades every surface (library,
+    CLI, async serving) dispatches through.
 ``repro.service``
     The batch selection engine: many queries (mixed AltrM / PayM / exact,
     shared or per-task candidate pools) executed through vectorized prefix
     sweeps with per-pool caching; each query runs the plan->operator path.
+    ``SelectionQuery``/``QueryOutcome`` are the engine's native types;
+    new integrations should prefer the ``repro.api`` protocol.
 ``repro.estimation``
     Parameter estimation from raw tweets (paper Section 4): retweet-graph
     construction, from-scratch HITS and PageRank, error-rate normalisation and
@@ -92,6 +101,16 @@ from repro.core import (
     select_jury_optimal,
     select_jury_pay,
     weighted_jury_error_rate,
+)
+from repro.api import (
+    AsyncJuryService,
+    ErrorInfo,
+    JuryService,
+    PoolCommand,
+    PROTOCOL_VERSION,
+    SelectionRequest,
+    SelectionResponse,
+    error_code,
 )
 from repro.plan import (
     PoolView,
@@ -166,7 +185,17 @@ __all__ = [
     "SelectionPlan",
     "execute_plan",
     "plan_query",
-    # batch service + live registry
+    # public protocol + service façade (wire protocol v1)
+    "PROTOCOL_VERSION",
+    "ErrorInfo",
+    "SelectionRequest",
+    "SelectionResponse",
+    "PoolCommand",
+    "JuryService",
+    "AsyncJuryService",
+    "error_code",
+    # batch service + live registry (SelectionQuery/QueryOutcome are the
+    # engine's native types; prefer the repro.api protocol in new code)
     "BatchSelectionEngine",
     "SelectionQuery",
     "QueryOutcome",

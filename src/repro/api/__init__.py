@@ -1,0 +1,52 @@
+"""``repro.api`` — the typed, versioned public protocol (wire protocol v1).
+
+The paper's workload is a *service*: a platform continuously answering
+"whom should we ask?" for streams of decision tasks.  This package is that
+service's one public doorway:
+
+:class:`SelectionRequest` / :class:`SelectionResponse` / :class:`PoolCommand`
+    Frozen request/response/command dataclasses with canonical
+    ``to_dict()``/``from_dict()`` round-trip serialization and a stable
+    ``"v": 1`` wire tag (:mod:`repro.api.protocol`).
+:class:`ErrorInfo` + :mod:`repro.api.codes`
+    Structured errors: every exception in the :mod:`repro.errors` hierarchy
+    maps to a stable machine-readable code, carried on the wire instead of
+    a bare ``str(exc)``.
+:class:`JuryService`
+    The façade every surface dispatches through — ``select()``,
+    ``select_many()``, ``explain()``, ``pool()``, ``stats()`` — wrapping a
+    :class:`~repro.service.BatchSelectionEngine` and a
+    :class:`~repro.service.PoolRegistry` (:mod:`repro.api.service`).
+:class:`AsyncJuryService`
+    The asyncio multiplexer: concurrent callers coalesce into engine
+    batches on a bounded queue, so one process serves many simultaneous
+    clients at batch-kernel throughput (:mod:`repro.api.aio`).
+
+The older query types (:class:`~repro.service.SelectionQuery`,
+:class:`~repro.service.QueryOutcome`) remain importable as the engine's
+native interface, but new integrations should speak this protocol; the CLI
+(``repro-select``) is a thin transport over :class:`JuryService`.
+"""
+
+from repro.api.aio import AsyncJuryService
+from repro.api.codes import ERROR_CODES, error_code
+from repro.api.protocol import (
+    PROTOCOL_VERSION,
+    ErrorInfo,
+    PoolCommand,
+    SelectionRequest,
+    SelectionResponse,
+)
+from repro.api.service import JuryService
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ERROR_CODES",
+    "error_code",
+    "ErrorInfo",
+    "SelectionRequest",
+    "SelectionResponse",
+    "PoolCommand",
+    "JuryService",
+    "AsyncJuryService",
+]

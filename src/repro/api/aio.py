@@ -1,0 +1,183 @@
+"""``AsyncJuryService`` — multiplex many concurrent callers onto one engine.
+
+The sync :class:`~repro.api.service.JuryService` answers one caller at a
+time.  A serving process, however, sees many simultaneous clients (JSONL
+sessions, sockets), each submitting single requests — and answering those
+one by one forfeits exactly the batch shape the engine is built for: the
+vectorized 2-D sweep kernel amortises its prefix loop across every pool in
+a batch, so 64 coalesced AltrM requests cost roughly one sweep, not 64.
+
+:class:`AsyncJuryService` recovers the batch shape from concurrent traffic:
+
+* ``select()`` calls enqueue onto a shared pending queue and await their
+  individual response; a single drainer task repeatedly takes up to
+  ``max_batch`` queued requests and answers them with **one**
+  :meth:`JuryService.select_many` call, off-loaded to a worker thread via
+  :func:`asyncio.to_thread` so the event loop keeps accepting clients while
+  the engine computes.
+* Requests arriving while a batch is in flight coalesce into the next
+  batch — the busier the service, the bigger (and proportionally cheaper)
+  the batches get.
+* The queue is bounded (``max_pending``): callers beyond the bound suspend
+  at a semaphore, giving natural backpressure instead of unbounded memory.
+* An :class:`asyncio.Lock` serialises all engine access (batches, pool
+  commands, explains), so the single-threaded engine and registry are never
+  entered concurrently.
+
+Responses are **bit-identical** to sequential dispatch: batching changes
+only *when* queries run, and the engine itself guarantees batched and
+scalar execution agree.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from collections.abc import Iterable
+from dataclasses import replace
+
+from repro.api.protocol import PoolCommand, SelectionRequest, SelectionResponse
+from repro.api.service import JuryService
+
+__all__ = ["AsyncJuryService"]
+
+#: Default cap on how many queued requests one engine pass answers.
+DEFAULT_MAX_BATCH = 128
+
+#: Default bound on in-flight requests before callers feel backpressure.
+DEFAULT_MAX_PENDING = 1024
+
+
+class AsyncJuryService:
+    """Asyncio façade coalescing concurrent callers into engine batches.
+
+    Parameters
+    ----------
+    service:
+        The sync service to dispatch through; one is built from
+        ``service_options`` (forwarded to :class:`JuryService`) if omitted.
+    max_batch:
+        Maximum queued requests answered by one ``select_many`` pass.
+    max_pending:
+        Bound on in-flight requests; further ``select()`` callers suspend
+        until capacity frees up.
+
+    Examples
+    --------
+    >>> import asyncio
+    >>> from repro.api import AsyncJuryService, SelectionRequest
+    >>> from repro.core.juror import jurors_from_arrays
+    >>> async def demo():
+    ...     service = AsyncJuryService()
+    ...     cands = tuple(jurors_from_arrays([0.1, 0.2, 0.2, 0.3, 0.3]))
+    ...     reqs = [SelectionRequest(task_id=f"t{i}", candidates=cands)
+    ...             for i in range(3)]
+    ...     responses = await asyncio.gather(*(service.select(r) for r in reqs))
+    ...     return [r.size for r in responses]
+    >>> asyncio.run(demo())
+    [5, 5, 5]
+    """
+
+    def __init__(
+        self,
+        service: JuryService | None = None,
+        *,
+        max_batch: int = DEFAULT_MAX_BATCH,
+        max_pending: int = DEFAULT_MAX_PENDING,
+        **service_options,
+    ) -> None:
+        if service is not None and service_options:
+            raise ValueError("pass either a service or service options, not both")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        self._service = service if service is not None else JuryService(**service_options)
+        self._max_batch = max_batch
+        self._pending: deque[tuple[SelectionRequest, asyncio.Future]] = deque()
+        self._capacity = asyncio.Semaphore(max_pending)
+        self._engine_lock = asyncio.Lock()
+        self._drainer: asyncio.Task | None = None
+
+    @property
+    def service(self) -> JuryService:
+        """The wrapped synchronous service."""
+        return self._service
+
+    # ------------------------------------------------------------------
+    # selection dispatch
+    # ------------------------------------------------------------------
+    async def select(self, request: SelectionRequest) -> SelectionResponse:
+        """Answer one request; concurrent callers coalesce into batches."""
+        async with self._capacity:
+            future: asyncio.Future = asyncio.get_running_loop().create_future()
+            self._pending.append((request, future))
+            self._kick()
+            return await future
+
+    async def select_many(
+        self, requests: Iterable[SelectionRequest]
+    ) -> list[SelectionResponse]:
+        """Answer many requests concurrently, in input order."""
+        return list(
+            await asyncio.gather(*(self.select(request) for request in requests))
+        )
+
+    async def explain(self, request: SelectionRequest) -> SelectionResponse:
+        """Plan a request without executing it; rides the same batch queue."""
+        if not request.explain:
+            request = replace(request, explain=True)
+        return await self.select(request)
+
+    # ------------------------------------------------------------------
+    # registry commands
+    # ------------------------------------------------------------------
+    async def pool(self, command: PoolCommand) -> dict:
+        """Apply one registry mutation (serialised against in-flight batches)."""
+        async with self._engine_lock:
+            return await asyncio.to_thread(self._service.pool, command)
+
+    async def stats(self) -> dict:
+        """The service's counter snapshot (serialised like a command)."""
+        async with self._engine_lock:
+            return await asyncio.to_thread(self._service.stats)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _kick(self) -> None:
+        """Ensure a drainer task is alive while requests are pending."""
+        if self._drainer is None or self._drainer.done():
+            self._drainer = asyncio.get_running_loop().create_task(self._drain())
+
+    async def _drain(self) -> None:
+        # One drainer at a time: it exits only after observing an empty
+        # queue, and the check-and-exit runs without an await in between,
+        # so a request appended afterwards always sees .done() and kicks a
+        # fresh drainer — no lost wakeups.
+        while self._pending:
+            batch = [
+                self._pending.popleft()
+                for _ in range(min(len(self._pending), self._max_batch))
+            ]
+            requests = [request for request, _ in batch]
+            async with self._engine_lock:
+                try:
+                    responses = await asyncio.to_thread(
+                        self._service.select_many, requests
+                    )
+                except asyncio.CancelledError:
+                    # Loop shutdown: cancel the in-flight waiters and honour
+                    # the cancellation instead of draining the backlog.
+                    for _, future in batch:
+                        if not future.done():
+                            future.cancel()
+                    raise
+                except Exception as exc:  # engine bug — fail the batch loudly
+                    for _, future in batch:
+                        if not future.done():
+                            future.set_exception(exc)
+                    continue
+            for (_, future), response in zip(batch, responses):
+                if not future.done():
+                    future.set_result(response)

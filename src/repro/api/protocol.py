@@ -1,0 +1,601 @@
+"""Wire protocol v1: typed, versioned request/response dataclasses.
+
+One protocol for every surface.  The library, the ``repro-select`` CLI modes
+(``single``/``explain``/``batch``/``serve``) and any future socket transport
+all speak the same three shapes:
+
+:class:`SelectionRequest`
+    "Whom should we ask for this task?" — candidates inline or a registry
+    pool by name, the selection model, and the knobs the planner accepts.
+:class:`SelectionResponse`
+    The answer: the selected jury, its JER/cost, per-response timings, an
+    optional embedded physical plan (the EXPLAIN surface), or a structured
+    :class:`ErrorInfo` when the request failed.
+:class:`PoolCommand`
+    A registry mutation: ``create`` / ``update`` / ``drop`` of a live pool.
+
+Every shape round-trips losslessly through ``to_dict()`` / ``from_dict()``
+and stamps the stable wire tag ``"v": 1`` (:data:`PROTOCOL_VERSION`) on its
+serialized form.  ``from_dict`` performs *located* validation: malformed
+payloads raise :class:`~repro.errors.ProtocolError` whose message carries
+the caller-supplied ``where`` (``file:line``) and whose ``detail`` mapping
+preserves the position machine-readably (field name, array index), so
+transports never re-implement their own parsers.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+from repro.api.codes import error_code
+from repro.core.juror import Juror
+from repro.core.selection.base import SelectionResult
+from repro.errors import ProtocolError
+from repro.plan import normalize_model
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ErrorInfo",
+    "SelectionRequest",
+    "SelectionResponse",
+    "PoolCommand",
+]
+
+#: Stable wire tag stamped on every serialized protocol object.  Bump only
+#: on a breaking change to the shapes below; additive fields do not count.
+PROTOCOL_VERSION = 1
+
+_VARIANTS = ("paper", "improved")
+_METHODS = ("auto", "enumerate", "branch-and-bound")
+_POOL_ACTIONS = ("create", "update", "drop")
+
+
+def _located(message: str, where: str, **positions: object) -> ProtocolError:
+    """A :class:`ProtocolError` with the position mirrored into ``detail``."""
+    detail: dict = {"where": where}
+    detail.update({k: v for k, v in positions.items() if v is not None})
+    return ProtocolError(f"{where}: {message}", detail=detail)
+
+
+def _encode_juror(juror: Juror) -> dict:
+    return {
+        "id": juror.juror_id,
+        "error_rate": juror.error_rate,
+        "requirement": juror.requirement,
+    }
+
+
+def _decode_candidates(
+    value: object, where: str, *, field_name: str = "candidates"
+) -> tuple[Juror, ...]:
+    """Parse a JSON candidate array into jurors, with located errors."""
+    if not isinstance(value, list) or not value:
+        raise _located(
+            f"'{field_name}' must be a non-empty array", where, field=field_name
+        )
+    jurors: list[Juror] = []
+    for position, entry in enumerate(value):
+        if not isinstance(entry, Mapping):
+            raise _located(
+                f"candidate #{position} must be an object, "
+                f"got {type(entry).__name__}",
+                where,
+                field=field_name,
+                position=position,
+            )
+        try:
+            jurors.append(
+                Juror(
+                    float(entry["error_rate"]),
+                    float(entry.get("requirement", 0.0)),
+                    juror_id=str(entry["id"]),
+                )
+            )
+        except KeyError as exc:
+            raise _located(
+                f"candidate #{position} is missing field {exc}",
+                where,
+                field=field_name,
+                position=position,
+            ) from exc
+        except (TypeError, ValueError) as exc:
+            raise _located(
+                f"candidate #{position}: {exc}",
+                where,
+                field=field_name,
+                position=position,
+            ) from exc
+    return tuple(jurors)
+
+
+# ----------------------------------------------------------------------
+# ErrorInfo
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ErrorInfo:
+    """A structured, wire-stable error: code + message (+ position detail).
+
+    ``code`` comes from the registry in :mod:`repro.api.codes` and is the
+    machine-readable half of the contract; ``message`` is human-readable and
+    may be rephrased between releases.  ``detail``, when present, locates
+    the failure (``where``/``field``/``position`` from protocol parsing).
+    """
+
+    code: str
+    message: str
+    detail: Mapping | None = None
+
+    @classmethod
+    def from_exception(cls, exc: BaseException, *, where: str | None = None) -> "ErrorInfo":
+        """Map an exception to its stable code, preserving parser detail."""
+        detail = getattr(exc, "detail", None)
+        if where is not None and not (detail and "where" in detail):
+            detail = {**(detail or {}), "where": where}
+        return cls(code=error_code(exc), message=str(exc), detail=detail)
+
+    def to_dict(self) -> dict:
+        payload: dict = {"code": self.code, "message": self.message}
+        if self.detail is not None:
+            payload["detail"] = dict(self.detail)
+        return payload
+
+    @classmethod
+    def from_dict(cls, obj: Mapping) -> "ErrorInfo":
+        return cls(
+            code=str(obj["code"]),
+            message=str(obj["message"]),
+            detail=dict(obj["detail"]) if "detail" in obj else None,
+        )
+
+
+# ----------------------------------------------------------------------
+# SelectionRequest
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SelectionRequest:
+    """One "whom should we ask?" request (wire protocol v1).
+
+    Exactly one candidate source must be given: inline ``candidates`` or a
+    registry ``pool`` name.  ``explain=True`` asks for the physical plan
+    instead of an executed selection (the response carries ``plan`` and no
+    members).  Construction canonicalises the payload — the model string is
+    parsed through the plan layer's single parser, numbers are coerced — so
+    ``from_dict(request.to_dict()) == request`` holds for every valid
+    request.
+    """
+
+    task_id: str = "task"
+    candidates: tuple[Juror, ...] | None = None
+    pool: str | None = None
+    model: str = "altr"
+    budget: float | None = None
+    max_size: int | None = None
+    variant: str = "paper"
+    method: str = "auto"
+    explain: bool = False
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "task_id", str(self.task_id))
+        if self.candidates is not None:
+            members = tuple(self.candidates)
+            if not members:
+                raise ValueError("'candidates' must be a non-empty array")
+            if not all(isinstance(j, Juror) for j in members):
+                raise ValueError("all candidates must be Juror instances")
+            object.__setattr__(self, "candidates", members)
+        if self.pool is not None and (
+            not isinstance(self.pool, str) or not self.pool
+        ):
+            raise ValueError(f"'pool' must be a non-empty string, got {self.pool!r}")
+        if (self.candidates is None) == (self.pool is None):
+            raise ValueError(
+                "give either 'pool' or 'candidates', not both"
+                if self.candidates is not None
+                else "request needs a 'pool' reference or inline 'candidates'"
+            )
+        object.__setattr__(self, "model", normalize_model(self.model))
+        if self.budget is not None:
+            object.__setattr__(self, "budget", float(self.budget))
+        if self.max_size is not None:
+            object.__setattr__(self, "max_size", int(self.max_size))
+        if self.model == "pay" and self.budget is None:
+            raise ValueError("model 'pay' requires a budget")
+        if self.variant not in _VARIANTS:
+            raise ValueError(
+                f"unknown variant {self.variant!r}; expected 'paper' or 'improved'"
+            )
+        if self.method not in _METHODS:
+            raise ValueError(
+                f"unknown method {self.method!r}; expected 'auto', 'enumerate' "
+                "or 'branch-and-bound'"
+            )
+        object.__setattr__(self, "explain", bool(self.explain))
+
+    def to_dict(self) -> dict:
+        """Wire form; stable under ``from_dict`` round trips."""
+        payload: dict = {"v": PROTOCOL_VERSION, "task": self.task_id}
+        if self.pool is not None:
+            payload["pool"] = self.pool
+        else:
+            payload["candidates"] = [_encode_juror(j) for j in self.candidates]
+        payload["model"] = self.model
+        if self.budget is not None:
+            payload["budget"] = self.budget
+        if self.max_size is not None:
+            payload["max_size"] = self.max_size
+        payload["variant"] = self.variant
+        payload["method"] = self.method
+        if self.explain:
+            payload["explain"] = True
+        return payload
+
+    @classmethod
+    def from_dict(cls, obj: Mapping, *, where: str = "<request>") -> "SelectionRequest":
+        """Parse one wire request, raising located :class:`ProtocolError`.
+
+        This is the single request parser behind every transport: the batch
+        JSONL query rows, the serve-session ``select`` commands, and the CSV
+        single-query mode all build their requests here.
+        """
+        if not isinstance(obj, Mapping):
+            raise _located(
+                f"request must be a JSON object, got {type(obj).__name__}", where
+            )
+        candidates: tuple[Juror, ...] | None = None
+        pool: str | None = None
+        if "pool" in obj and "candidates" in obj:
+            raise _located("give either 'pool' or 'candidates', not both", where)
+        if "pool" in obj:
+            pool = str(obj["pool"])
+        elif "candidates" in obj:
+            candidates = _decode_candidates(obj["candidates"], where)
+        else:
+            raise _located(
+                "request needs a 'pool' reference or inline 'candidates'", where
+            )
+        budget = obj.get("budget")
+        max_size = obj.get("max_size")
+        try:
+            return cls(
+                task_id=str(obj.get("task", "task")),
+                candidates=candidates,
+                pool=pool,
+                model=obj.get("model", "altr"),
+                budget=None if budget is None else float(budget),
+                max_size=None if max_size is None else int(max_size),
+                variant=str(obj.get("variant", "paper")),
+                method=str(obj.get("method", "auto")),
+                explain=bool(obj.get("explain", False)),
+            )
+        except (TypeError, ValueError) as exc:
+            detail = getattr(exc, "detail", None)
+            if detail is not None:  # already a located ProtocolError
+                raise
+            raise _located(str(exc), where) from exc
+
+
+# ----------------------------------------------------------------------
+# SelectionResponse
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SelectionResponse:
+    """The service's answer to one :class:`SelectionRequest`.
+
+    ``status`` is ``"ok"`` or ``"error"``.  Ok responses carry the selection
+    (or, for explain requests, the embedded ``plan`` and no members); error
+    responses carry a structured :class:`ErrorInfo`.  ``elapsed_seconds`` is
+    the per-response execution timing, serialized under ``"timings"`` so the
+    envelope can grow more phases without a version bump.
+    """
+
+    task_id: str
+    status: str
+    model: str | None = None
+    algorithm: str | None = None
+    jer: float | None = None
+    size: int | None = None
+    total_cost: float | None = None
+    budget: float | None = None
+    members: tuple[Juror, ...] = ()
+    pool_version: int | None = None
+    plan: Mapping | None = None
+    error: ErrorInfo | None = None
+    elapsed_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.status not in ("ok", "error"):
+            raise ValueError(f"status must be 'ok' or 'error', got {self.status!r}")
+        if (self.status == "error") != (self.error is not None):
+            raise ValueError("error responses carry ErrorInfo; ok responses do not")
+        object.__setattr__(self, "members", tuple(self.members))
+
+    @property
+    def ok(self) -> bool:
+        """True when the request produced a selection (or a plan)."""
+        return self.status == "ok"
+
+    @classmethod
+    def from_result(
+        cls,
+        task_id: str,
+        result: SelectionResult,
+        *,
+        elapsed_seconds: float = 0.0,
+        pool_version: int | None = None,
+    ) -> "SelectionResponse":
+        """Wrap an executed :class:`SelectionResult`."""
+        return cls(
+            task_id=task_id,
+            status="ok",
+            model=result.model,
+            algorithm=result.algorithm,
+            jer=result.jer,
+            size=result.size,
+            total_cost=result.total_cost,
+            budget=result.budget,
+            members=tuple(result.jury),
+            pool_version=pool_version,
+            elapsed_seconds=elapsed_seconds,
+        )
+
+    @classmethod
+    def from_plan(
+        cls,
+        task_id: str,
+        plan: Mapping,
+        *,
+        pool_version: int | None = None,
+        elapsed_seconds: float = 0.0,
+    ) -> "SelectionResponse":
+        """Wrap an EXPLAIN answer (a ``SelectionPlan.describe()`` mapping)."""
+        return cls(
+            task_id=task_id,
+            status="ok",
+            plan=dict(plan),
+            pool_version=pool_version,
+            elapsed_seconds=elapsed_seconds,
+        )
+
+    @classmethod
+    def from_error(
+        cls,
+        task_id: str,
+        error: ErrorInfo,
+        *,
+        elapsed_seconds: float = 0.0,
+    ) -> "SelectionResponse":
+        """Wrap a failure as a structured error response."""
+        return cls(
+            task_id=task_id,
+            status="error",
+            error=error,
+            elapsed_seconds=elapsed_seconds,
+        )
+
+    def summary(self) -> str:
+        """One-line human-readable description (the CLI text rendering)."""
+        if self.status == "error":
+            return f"error[{self.error.code}]: {self.error.message}"
+        if self.plan is not None:
+            return f"plan[{self.plan.get('operator')}]: task={self.task_id}"
+        budget_txt = f", budget={self.budget:g}" if self.budget is not None else ""
+        return (
+            f"{self.algorithm}[{self.model}{budget_txt}]: size={self.size}, "
+            f"JER={self.jer:.6g}, cost={self.total_cost:.6g}"
+        )
+
+    def to_dict(self) -> dict:
+        """Wire form; stable under ``from_dict`` round trips."""
+        payload: dict = {
+            "v": PROTOCOL_VERSION,
+            "task": self.task_id,
+            "status": self.status,
+        }
+        if self.status == "error":
+            payload["error"] = self.error.to_dict()
+        elif self.plan is not None:
+            payload["plan"] = dict(self.plan)
+        else:
+            payload.update(
+                model=self.model,
+                algorithm=self.algorithm,
+                jer=self.jer,
+                size=self.size,
+                total_cost=self.total_cost,
+                budget=self.budget,
+                members=[_encode_juror(j) for j in self.members],
+            )
+        if self.pool_version is not None:
+            payload["pool_version"] = self.pool_version
+        payload["timings"] = {"elapsed_seconds": self.elapsed_seconds}
+        return payload
+
+    @classmethod
+    def from_dict(cls, obj: Mapping, *, where: str = "<response>") -> "SelectionResponse":
+        """Parse one wire response (the client half of the protocol)."""
+        if not isinstance(obj, Mapping):
+            raise _located(
+                f"response must be a JSON object, got {type(obj).__name__}", where
+            )
+        timings = obj.get("timings") or {}
+        try:
+            return cls(
+                task_id=str(obj.get("task", "task")),
+                status=str(obj.get("status", "")),
+                model=obj.get("model"),
+                algorithm=obj.get("algorithm"),
+                jer=obj.get("jer"),
+                size=obj.get("size"),
+                total_cost=obj.get("total_cost"),
+                budget=obj.get("budget"),
+                members=_decode_candidates(obj["members"], where, field_name="members")
+                if obj.get("members")
+                else (),
+                pool_version=obj.get("pool_version"),
+                plan=dict(obj["plan"]) if "plan" in obj else None,
+                error=ErrorInfo.from_dict(obj["error"]) if "error" in obj else None,
+                elapsed_seconds=float(timings.get("elapsed_seconds", 0.0)),
+            )
+        except (TypeError, ValueError, KeyError) as exc:
+            detail = getattr(exc, "detail", None)
+            if detail is not None:
+                raise
+            raise _located(str(exc), where) from exc
+
+
+# ----------------------------------------------------------------------
+# PoolCommand
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PoolCommand:
+    """A registry mutation: create, update or drop a live pool.
+
+    ``updates`` holds the ``"set"`` entries as ``(juror_id, error_rate,
+    requirement)`` triples where ``None`` means "keep the current value";
+    the fill happens at apply time against the pool's live state, so the
+    command itself stays a pure value object.
+    """
+
+    action: str
+    name: str
+    candidates: tuple[Juror, ...] | None = None
+    add: tuple[Juror, ...] = ()
+    remove: tuple[str, ...] = ()
+    updates: tuple[tuple[str, float | None, float | None], ...] = ()
+    replace: bool = False
+
+    def __post_init__(self) -> None:
+        if self.action not in _POOL_ACTIONS:
+            raise ValueError(
+                f"pool action must be 'create', 'update' or 'drop', "
+                f"got {self.action!r}"
+            )
+        if not isinstance(self.name, str) or not self.name:
+            raise ValueError("pool command needs a non-empty 'name'")
+        if self.candidates is not None:
+            object.__setattr__(self, "candidates", tuple(self.candidates))
+        if self.action == "create" and not self.candidates:
+            raise ValueError("pool create needs 'candidates'")
+        object.__setattr__(self, "add", tuple(self.add))
+        object.__setattr__(self, "remove", tuple(str(r) for r in self.remove))
+        object.__setattr__(
+            self,
+            "updates",
+            tuple(
+                (
+                    str(juror_id),
+                    None if eps is None else float(eps),
+                    None if req is None else float(req),
+                )
+                for juror_id, eps, req in self.updates
+            ),
+        )
+        object.__setattr__(self, "replace", bool(self.replace))
+
+    def to_dict(self) -> dict:
+        """Wire form; stable under ``from_dict`` round trips."""
+        payload: dict = {
+            "v": PROTOCOL_VERSION,
+            "cmd": "pool",
+            "action": self.action,
+            "name": self.name,
+        }
+        if self.candidates is not None:
+            payload["candidates"] = [_encode_juror(j) for j in self.candidates]
+        if self.replace:
+            payload["replace"] = True
+        if self.add:
+            payload["add"] = [_encode_juror(j) for j in self.add]
+        if self.remove:
+            payload["remove"] = list(self.remove)
+        if self.updates:
+            payload["set"] = [
+                {"id": juror_id}
+                | ({} if eps is None else {"error_rate": eps})
+                | ({} if req is None else {"requirement": req})
+                for juror_id, eps, req in self.updates
+            ]
+        return payload
+
+    @classmethod
+    def from_dict(cls, obj: Mapping, *, where: str = "<pool>") -> "PoolCommand":
+        """Parse one wire pool command, raising located errors."""
+        if not isinstance(obj, Mapping):
+            raise _located(
+                f"pool command must be a JSON object, got {type(obj).__name__}",
+                where,
+            )
+        action = obj.get("action")
+        if action not in _POOL_ACTIONS:
+            raise _located(
+                f"pool action must be 'create', 'update' or 'drop', "
+                f"got {action!r}",
+                where,
+                field="action",
+            )
+        name = str(obj.get("name") or "")
+        if not name:
+            raise _located(
+                "pool command needs a non-empty 'name'", where, field="name"
+            )
+        candidates = None
+        if action == "create":
+            if "candidates" not in obj:
+                raise _located(
+                    "pool create needs 'candidates'", where, field="candidates"
+                )
+            candidates = _decode_candidates(obj["candidates"], where)
+        removes = obj.get("remove", [])
+        adds = obj.get("add", [])
+        sets = obj.get("set", [])
+        for field_name, value in (("remove", removes), ("add", adds), ("set", sets)):
+            if not isinstance(value, list):
+                raise _located(
+                    f"'{field_name}' must be an array, got {type(value).__name__}",
+                    where,
+                    field=field_name,
+                )
+        updates: list[tuple[str, float | None, float | None]] = []
+        for position, entry in enumerate(sets):
+            if not isinstance(entry, Mapping) or "id" not in entry:
+                raise _located(
+                    f"set entry #{position} must be an object with an 'id'",
+                    where,
+                    field="set",
+                    position=position,
+                )
+            try:
+                eps = entry.get("error_rate")
+                req = entry.get("requirement")
+                updates.append(
+                    (
+                        str(entry["id"]),
+                        None if eps is None else float(eps),
+                        None if req is None else float(req),
+                    )
+                )
+            except (TypeError, ValueError) as exc:
+                raise _located(
+                    f"set entry #{position}: {exc}",
+                    where,
+                    field="set",
+                    position=position,
+                ) from exc
+        return cls(
+            action=str(action),
+            name=name,
+            candidates=candidates,
+            add=_decode_candidates(adds, where, field_name="add") if adds else (),
+            remove=tuple(str(r) for r in removes),
+            updates=tuple(updates),
+            replace=bool(obj.get("replace", False)),
+        )

@@ -1,0 +1,315 @@
+"""``JuryService`` — the one dispatch path behind every surface.
+
+The service owns a :class:`~repro.service.registry.PoolRegistry` of live
+pools and a :class:`~repro.service.batch.BatchSelectionEngine`, and speaks
+the typed protocol of :mod:`repro.api.protocol`: requests in, responses out,
+pool commands applied atomically.  The CLI modes (``single``/``explain``/
+``batch``/``serve``), the examples, and library callers all dispatch through
+it — there is no second parser and no second encoder anywhere in the repo.
+
+Domain failures never escape :meth:`JuryService.select` /
+:meth:`~JuryService.select_many`: they come back as ``status="error"``
+responses carrying a structured :class:`~repro.api.protocol.ErrorInfo`
+(stable code + message), which is what a service answering thousands of
+independent tasks needs — one bad request must not poison its batch.  Pool
+commands, being imperative registry mutations, raise instead.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterable
+
+from repro.api.protocol import (
+    ErrorInfo,
+    PoolCommand,
+    PROTOCOL_VERSION,
+    SelectionRequest,
+    SelectionResponse,
+)
+from repro.core.juror import Juror
+from repro.errors import InvalidJuryError, ReproError
+from repro.service.batch import BatchSelectionEngine, SelectionQuery
+from repro.service.registry import LivePool, PoolRegistry
+
+__all__ = ["JuryService"]
+
+
+class JuryService:
+    """Typed request/response façade over the batch engine and registry.
+
+    Parameters
+    ----------
+    registry:
+        The live-pool namespace ``pool``-referencing requests resolve
+        against.  A fresh one is created when omitted.
+    engine:
+        Advanced: adopt an existing :class:`BatchSelectionEngine`.  It must
+        have been constructed with a registry (which becomes the service's
+        registry); mutually exclusive with ``cache_size``/``max_workers``.
+    cache_size:
+        Prefix-sweep cache capacity for the internally built engine.
+    max_workers:
+        Process-pool size for exact queries in the internally built engine.
+
+    Examples
+    --------
+    >>> from repro.api import JuryService, SelectionRequest
+    >>> from repro.core.juror import jurors_from_arrays
+    >>> service = JuryService()
+    >>> cands = tuple(jurors_from_arrays([0.1, 0.2, 0.2, 0.3, 0.3]))
+    >>> response = service.select(SelectionRequest(task_id="t1", candidates=cands))
+    >>> response.status, response.size, round(response.jer, 4)
+    ('ok', 5, 0.0704)
+    """
+
+    def __init__(
+        self,
+        *,
+        registry: PoolRegistry | None = None,
+        engine: BatchSelectionEngine | None = None,
+        cache_size: int | None = None,
+        max_workers: int | None = None,
+    ) -> None:
+        if engine is not None:
+            if cache_size is not None or max_workers is not None:
+                raise ValueError(
+                    "pass either an engine or cache_size/max_workers, not both"
+                )
+            if engine.registry is None:
+                raise ValueError(
+                    "JuryService requires an engine constructed with a registry"
+                )
+            if registry is not None and engine.registry is not registry:
+                raise ValueError("engine and registry arguments disagree")
+            self._registry = engine.registry
+            self._engine = engine
+        else:
+            self._registry = registry if registry is not None else PoolRegistry()
+            options = {} if cache_size is None else {"cache_size": cache_size}
+            self._engine = BatchSelectionEngine(
+                max_workers=max_workers, registry=self._registry, **options
+            )
+
+    @property
+    def engine(self) -> BatchSelectionEngine:
+        """The underlying batch engine (inspectable in tests/ops)."""
+        return self._engine
+
+    @property
+    def registry(self) -> PoolRegistry:
+        """The live-pool namespace requests resolve against."""
+        return self._registry
+
+    # ------------------------------------------------------------------
+    # selection dispatch
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _to_query(request: SelectionRequest) -> SelectionQuery:
+        """Lower a protocol request to the engine's native query type."""
+        return SelectionQuery(
+            task_id=request.task_id,
+            candidates=request.candidates,
+            pool_name=request.pool,
+            model=request.model,
+            budget=request.budget,
+            max_size=request.max_size,
+            variant=request.variant,
+            method=request.method,
+        )
+
+    def _pool_version(self, request: SelectionRequest) -> int | None:
+        """The referenced pool's version at dispatch time (echoed back)."""
+        if request.pool is None or request.pool not in self._registry:
+            return None
+        return self._registry.get(request.pool).version
+
+    def select(self, request: SelectionRequest) -> SelectionResponse:
+        """Answer one request (honouring its ``explain`` flag); never raises
+        for domain failures — they come back as error responses."""
+        return self.select_many([request])[0]
+
+    def select_many(
+        self, requests: Iterable[SelectionRequest]
+    ) -> list[SelectionResponse]:
+        """Answer a batch of requests, in input order.
+
+        Non-explain requests run through one
+        :meth:`BatchSelectionEngine.run` pass, so shared and same-sized
+        pools are swept together by the vectorized 2-D kernel; explain
+        requests are planned without executing.  Each response carries the
+        referenced pool's version at dispatch time.
+        """
+        batch = list(requests)
+        responses: list[SelectionResponse | None] = [None] * len(batch)
+        versions = [self._pool_version(request) for request in batch]
+        queries: list[SelectionQuery] = []
+        positions: list[int] = []
+        for index, request in enumerate(batch):
+            if request.explain:
+                responses[index] = self._explain_one(request, versions[index])
+                continue
+            try:
+                queries.append(self._to_query(request))
+            except Exception as exc:
+                responses[index] = SelectionResponse.from_error(
+                    request.task_id, ErrorInfo.from_exception(exc)
+                )
+                continue
+            positions.append(index)
+        outcomes = self._engine.run(queries)
+        for index, outcome in zip(positions, outcomes):
+            if outcome.ok:
+                responses[index] = SelectionResponse.from_result(
+                    outcome.task_id,
+                    outcome.result,
+                    elapsed_seconds=outcome.elapsed_seconds,
+                    pool_version=versions[index],
+                )
+            else:
+                responses[index] = SelectionResponse.from_error(
+                    outcome.task_id,
+                    outcome.error_info
+                    or ErrorInfo(code="internal", message=outcome.error or "failed"),
+                    elapsed_seconds=outcome.elapsed_seconds,
+                )
+        return responses  # type: ignore[return-value]
+
+    def _explain_one(
+        self, request: SelectionRequest, pool_version: int | None
+    ) -> SelectionResponse:
+        start = time.perf_counter()
+        try:
+            plan = self._engine.plan(self._to_query(request))
+        except Exception as exc:
+            return SelectionResponse.from_error(
+                request.task_id, ErrorInfo.from_exception(exc)
+            )
+        return SelectionResponse.from_plan(
+            request.task_id,
+            plan.describe(),
+            pool_version=pool_version,
+            elapsed_seconds=time.perf_counter() - start,
+        )
+
+    def explain(self, request: SelectionRequest) -> SelectionResponse:
+        """Plan a request without executing it (the EXPLAIN surface).
+
+        The request's own ``explain`` flag is irrelevant here; the response
+        embeds the physical plan under ``plan``.
+        """
+        return self._explain_one(request, self._pool_version(request))
+
+    # ------------------------------------------------------------------
+    # pool commands
+    # ------------------------------------------------------------------
+    def pool(self, command: PoolCommand) -> dict:
+        """Apply one registry mutation; returns the wire acknowledgement.
+
+        Updates are atomic: the whole ``remove -> add -> set`` plan is
+        validated against a simulated membership before the first mutation,
+        so a failing command leaves the pool untouched.  Raises
+        :class:`~repro.errors.ReproError` subclasses on failure.
+        """
+        if command.action == "create":
+            pool = self._registry.create(
+                command.name, command.candidates, replace=command.replace
+            )
+        elif command.action == "drop":
+            pool = self._registry.drop(command.name)
+            if pool.size:
+                # Free the dropped pool's current profile from the sweep
+                # cache (older versions' entries, if any, age out via LRU).
+                self._engine.cache.invalidate(pool.fingerprint)
+        else:  # update
+            pool = self._registry.get(command.name)
+            remove_ids, adds, updates = self._validated_update(pool, command)
+            for juror_id in remove_ids:
+                pool.remove_juror(juror_id)
+            for juror in adds:
+                pool.add_juror(juror)
+            for juror_id, replacement in updates:
+                pool.update_juror(
+                    juror_id,
+                    error_rate=replacement.error_rate,
+                    requirement=replacement.requirement,
+                )
+        return {
+            "v": PROTOCOL_VERSION,
+            "ok": True,
+            "cmd": "pool",
+            "action": command.action,
+            "name": command.name,
+            "version": pool.version,
+            "size": pool.size,
+        }
+
+    @staticmethod
+    def _validated_update(
+        pool: LivePool, command: PoolCommand
+    ) -> tuple[list[str], list[Juror], list[tuple[str, Juror]]]:
+        """Validate an update fully before any mutation.
+
+        Simulates the membership through remove -> add -> set order (the
+        order the update is applied in) and re-validates every value a
+        mutation would validate, so applying the returned plan cannot fail
+        halfway: the update is atomic from the client's point of view.
+        """
+        membership = {j.juror_id: j for j in pool.ordered}
+        remove_ids: list[str] = []
+        for juror_id in command.remove:
+            if membership.pop(juror_id, None) is None:
+                raise InvalidJuryError(f"juror {juror_id!r} is not in the pool")
+            remove_ids.append(juror_id)
+        for juror in command.add:
+            if juror.juror_id in membership:
+                raise InvalidJuryError(
+                    f"juror {juror.juror_id!r} is already in the pool"
+                )
+            membership[juror.juror_id] = juror
+        updates: list[tuple[str, Juror]] = []
+        for position, (juror_id, error_rate, requirement) in enumerate(
+            command.updates
+        ):
+            current = membership.get(juror_id)
+            if current is None:
+                raise InvalidJuryError(f"juror {juror_id!r} is not in the pool")
+            try:
+                replacement = Juror(
+                    current.error_rate if error_rate is None else error_rate,
+                    current.requirement if requirement is None else requirement,
+                    juror_id=juror_id,
+                )
+            except ReproError as exc:
+                raise InvalidJuryError(f"set entry #{position}: {exc}") from exc
+            membership[juror_id] = replacement
+            updates.append((juror_id, replacement))
+        return remove_ids, list(command.add), updates
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Registry, engine and cache counters (the serve ``stats`` payload)."""
+        registry = self._registry
+        engine = self._engine
+        return {
+            "v": PROTOCOL_VERSION,
+            "ok": True,
+            "cmd": "stats",
+            "pools": {
+                name: {
+                    "version": registry.get(name).version,
+                    "size": registry.get(name).size,
+                }
+                for name in registry.names()
+            },
+            "queries_run": engine.stats.queries_run,
+            "live_profiles": engine.stats.live_profiles,
+            "cache": {
+                "hits": engine.cache.hits,
+                "misses": engine.cache.misses,
+                "evictions": engine.cache.evictions,
+                "entries": len(engine.cache),
+            },
+        }

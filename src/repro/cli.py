@@ -1,5 +1,11 @@
 """``repro-select`` — jury selection from the command line.
 
+Every subcommand is a thin transport over one dispatch path: requests are
+parsed by :meth:`repro.api.SelectionRequest.from_dict` (the single request
+parser), answered by a :class:`repro.api.JuryService`, and encoded from
+:meth:`repro.api.SelectionResponse.to_dict` (the single encoder) — wire
+protocol v1, tagged ``"v": 1`` on every row.
+
 Single-query mode reads a CSV of candidate jurors and prints the selected
 jury:
 
@@ -11,16 +17,16 @@ jury:
 CSV format: a header line followed by ``id,error_rate[,requirement]`` rows.
 The requirement column is optional and defaults to 0 (altruistic jurors).
 
-Explain mode plans a query through the same ``plan_query()`` front door the
-selection paths execute through, and prints the chosen physical plan —
-operator, numeric backends, cost-model inputs — *without* executing it:
+Explain mode plans a query through the same ``JuryService`` the selection
+paths execute through, and prints the chosen physical plan — operator,
+numeric backends, cost-model inputs — *without* executing it:
 
     repro-select explain candidates.csv --budget 1.0
     repro-select explain candidates.csv --exact --json
 
-Batch mode answers many selection queries in one pass through the
-:class:`~repro.service.BatchSelectionEngine` (vectorized sweeps, shared-pool
-caching, optional process pool for exact queries):
+Batch mode answers many selection queries in one pass through the service's
+batch engine (vectorized sweeps, shared-pool caching, optional process pool
+for exact queries):
 
     repro-select batch queries.jsonl                     # JSONL to stdout
     repro-select batch queries.jsonl --out results.jsonl
@@ -42,16 +48,17 @@ previously defined pool (``"pool": "P1"``) or inline (``"candidates"``):
 Supported query fields: ``model`` (``altr``/``pay``/``exact``, default
 ``altr``), ``budget``, ``max_size``, ``variant`` (PayALG), ``method``
 (exact solver), and ``"explain": true`` — which emits the query's physical
-plan instead of executing it.  One output row is emitted per query row, in
-input order:
-``status: "ok"`` rows carry the selection, ``status: "error"`` rows carry
-the per-row diagnostic (also echoed to stderr as ``file:line: message``).
+plan (under ``"plan"``) instead of executing it.  One output row is emitted
+per query row, in input order: ``status: "ok"`` rows carry the selection,
+``status: "error"`` rows carry a structured
+``{"code": ..., "message": ..., "detail": ...}`` error object plus the input
+``line`` (also echoed to stderr as ``file:line: message``).
 Exit codes: 0 — all queries succeeded; 1 — fatal (unreadable input, no
 query rows); 2 — completed, but some rows were malformed or failed.
 
-Serve mode keeps a long-lived session on stdin/stdout, backed by a
-:class:`~repro.service.PoolRegistry` of live pools so that pool mutations
-and selections interleave without resweeping unchanged state:
+Serve mode keeps a long-lived session on stdin/stdout, backed by the
+service's live-pool registry so that pool mutations and selections
+interleave without resweeping unchanged state:
 
     repro-select serve                                   # JSONL in, JSONL out
 
@@ -69,11 +76,11 @@ immediately.  Commands:
 
 Pool responses echo ``{"ok": true, "name", "version", "size"}`` (versions
 increase monotonically, one per mutation); ``select`` responses carry the
-same fields as batch-mode ok rows plus ``pool_version``; a ``select`` may
-also use inline ``"candidates"`` instead of a pool name.  Errors are
-reported as ``{"ok": false, "line": N, "error": msg}`` without ending the
-session.  The session ends at EOF or ``quit``; the exit code is 0 when
-every command succeeded, 2 otherwise.
+same fields as batch-mode ok rows plus ``ok`` and ``pool_version``; a
+``select`` may also use inline ``"candidates"`` instead of a pool name.
+Errors are reported as ``{"ok": false, "line": N, "error": {"code",
+"message", ...}}`` without ending the session.  The session ends at EOF or
+``quit``; the exit code is 0 when every command succeeded, 2 otherwise.
 
 ``batch``, ``serve`` and ``explain`` are reserved words in the first
 argument position; to select from a CSV file with one of those names, pass
@@ -86,21 +93,22 @@ import argparse
 import csv
 import json
 import sys
-from collections.abc import Sequence
+from collections.abc import Mapping, Sequence
 from pathlib import Path
 
-from repro.core.juror import Juror
-from repro.core.selection.base import SelectionResult
-from repro.errors import ReproError
-from repro.plan import SelectionPlan, execute_plan, plan_query
-from repro.service import (
-    BatchSelectionEngine,
-    CandidatePool,
-    PoolRegistry,
-    SelectionQuery,
+from repro.api import (
+    ErrorInfo,
+    JuryService,
+    PoolCommand,
+    PROTOCOL_VERSION,
+    SelectionRequest,
+    SelectionResponse,
+    error_code,
 )
+from repro.core.juror import Juror
+from repro.errors import ReproError
 
-__all__ = ["load_candidates_csv", "main", "run_explain", "run_serve"]
+__all__ = ["load_candidates_csv", "main", "run_batch", "run_explain", "run_serve"]
 
 
 def load_candidates_csv(path: str | Path) -> list[Juror]:
@@ -138,9 +146,14 @@ def load_candidates_csv(path: str | Path) -> list[Juror]:
     return jurors
 
 
-def _render_text(result: SelectionResult) -> str:
-    lines = [result.summary(), "members:"]
-    for juror in sorted(result.jury, key=lambda j: j.error_rate):
+# ----------------------------------------------------------------------
+# renderers (text only — JSON comes from SelectionResponse.to_dict)
+# ----------------------------------------------------------------------
+
+
+def _render_text(response: SelectionResponse) -> str:
+    lines = [response.summary(), "members:"]
+    for juror in sorted(response.members, key=lambda j: j.error_rate):
         lines.append(
             f"  {juror.juror_id}: eps={juror.error_rate:.6g}, "
             f"r={juror.requirement:.6g}"
@@ -148,9 +161,8 @@ def _render_text(result: SelectionResult) -> str:
     return "\n".join(lines)
 
 
-def _render_plan_text(plan: SelectionPlan) -> str:
-    """Human-readable EXPLAIN rendering of a selection plan."""
-    info = plan.describe()
+def _render_plan_text(info: Mapping) -> str:
+    """Human-readable EXPLAIN rendering of an embedded plan mapping."""
     cost = info["cost"]
     lines = [
         f"model: {info['model']}",
@@ -175,140 +187,24 @@ def _render_plan_text(plan: SelectionPlan) -> str:
     return "\n".join(lines)
 
 
-def _render_json(result: SelectionResult) -> str:
-    return json.dumps(
-        {
-            "algorithm": result.algorithm,
-            "model": result.model,
-            "budget": result.budget,
-            "jer": result.jer,
-            "size": result.size,
-            "total_cost": result.total_cost,
-            "members": [
-                {
-                    "id": j.juror_id,
-                    "error_rate": j.error_rate,
-                    "requirement": j.requirement,
-                }
-                for j in result.jury
-            ],
-        },
-        indent=2,
-    )
-
-
 # ----------------------------------------------------------------------
 # batch subcommand
 # ----------------------------------------------------------------------
 
 
-def _parse_candidates_json(value: object, where: str) -> list[Juror]:
-    """Parse a JSON ``candidates`` array into jurors, with located errors."""
-    if not isinstance(value, list) or not value:
-        raise ReproError(f"{where}: 'candidates' must be a non-empty array")
-    jurors: list[Juror] = []
-    for position, entry in enumerate(value):
-        if not isinstance(entry, dict):
-            raise ReproError(
-                f"{where}: candidate #{position} must be an object, "
-                f"got {type(entry).__name__}"
-            )
-        try:
-            jurors.append(
-                Juror(
-                    float(entry["error_rate"]),
-                    float(entry.get("requirement", 0.0)),
-                    juror_id=str(entry["id"]),
-                )
-            )
-        except KeyError as exc:
-            raise ReproError(
-                f"{where}: candidate #{position} is missing field {exc}"
-            ) from exc
-        except (TypeError, ValueError, ReproError) as exc:
-            raise ReproError(f"{where}: candidate #{position}: {exc}") from exc
-    return jurors
+def _invalid_json_info(exc: json.JSONDecodeError) -> ErrorInfo:
+    """Structured error for an unparseable input line (code from the registry)."""
+    return ErrorInfo(code=error_code(exc), message=f"invalid JSON: {exc.msg}")
 
 
-def _build_query(
-    obj: dict,
-    where: str,
-    *,
-    pool: CandidatePool | None = None,
-    pool_name: str | None = None,
-    candidates: tuple[Juror, ...] | None = None,
-) -> SelectionQuery:
-    """Build a :class:`SelectionQuery` from a parsed JSON row.
-
-    Shared by batch mode (which passes a resolved ``pool`` or inline
-    ``candidates``) and serve mode (which passes a registry ``pool_name``);
-    coerces the common optional fields in one place.  Model strings are
-    parsed by the plan layer (:func:`repro.plan.normalize_model`, via
-    ``SelectionQuery``), so aliases like ``AltrM``/``PayM`` are accepted
-    and unknown models raise a located error.
-    """
-    model = obj.get("model", "altr")
-    budget = obj.get("budget")
-    max_size = obj.get("max_size")
-    try:
-        return SelectionQuery(
-            task_id=str(obj.get("task", "task")),
-            candidates=candidates,
-            pool=pool,
-            pool_name=pool_name,
-            model=model,
-            budget=None if budget is None else float(budget),
-            max_size=None if max_size is None else int(max_size),
-            variant=str(obj.get("variant", "paper")),
-            method=str(obj.get("method", "auto")),
-        )
-    except (TypeError, ValueError) as exc:
-        raise ReproError(f"{where}: {exc}") from exc
-
-
-def _query_from_row(
-    obj: dict, where: str, pools: dict[str, CandidatePool]
-) -> SelectionQuery:
-    """Build a :class:`SelectionQuery` from one parsed JSONL query row."""
-    pool: CandidatePool | None = None
-    candidates: tuple[Juror, ...] | None = None
-    if "pool" in obj and "candidates" in obj:
-        raise ReproError(f"{where}: give either 'pool' or 'candidates', not both")
-    if "pool" in obj:
-        pool_name = str(obj["pool"])
-        pool = pools.get(pool_name)
-        if pool is None:
-            raise ReproError(f"{where}: query references undefined pool {pool_name!r}")
-    elif "candidates" in obj:
-        candidates = tuple(_parse_candidates_json(obj["candidates"], where))
-    else:
-        raise ReproError(f"{where}: query needs a 'pool' reference or inline 'candidates'")
-    return _build_query(obj, where, pool=pool, candidates=candidates)
-
-
-def _batch_ok_row(task_id: str, result: SelectionResult) -> dict:
+def _error_row(task_id: str | None, line: int | None, info: ErrorInfo) -> dict:
     return {
+        "v": PROTOCOL_VERSION,
         "task": task_id,
-        "status": "ok",
-        "model": result.model,
-        "algorithm": result.algorithm,
-        "jer": result.jer,
-        "size": result.size,
-        "total_cost": result.total_cost,
-        "budget": result.budget,
-        "members": [
-            {
-                "id": j.juror_id,
-                "error_rate": j.error_rate,
-                "requirement": j.requirement,
-            }
-            for j in result.jury
-        ],
+        "status": "error",
+        "line": line,
+        "error": info.to_dict(),
     }
-
-
-def _batch_error_row(task_id: str | None, line: int | None, message: str) -> dict:
-    return {"task": task_id, "status": "error", "line": line, "error": message}
 
 
 def run_batch(args: argparse.Namespace) -> int:
@@ -320,12 +216,33 @@ def run_batch(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 1
 
-    pools: dict[str, CandidatePool] = {}
-    queries: list[SelectionQuery] = []
-    query_lines: list[int] = []  # input line of each query, for diagnostics
-    # Output slots in input order: ("query", query_index) or a finished error row.
-    slots: list[tuple[str, object]] = []
+    service = JuryService(max_workers=args.workers)
+    # Output slots in input order: finished row dicts, or integer keys into
+    # ``resolved`` for requests answered by a later select_many flush.
+    slots: list[dict | int] = []
+    resolved: dict[int, dict] = {}
+    pending: list[tuple[int, SelectionRequest, int]] = []  # (key, request, line)
+    request_rows = 0
     had_row_errors = False
+
+    def flush() -> None:
+        """Answer all pending requests with one batched service pass."""
+        nonlocal had_row_errors
+        if not pending:
+            return
+        responses = service.select_many([request for _, request, _ in pending])
+        for (key, request, line_no), response in zip(pending, responses):
+            if response.status == "error":
+                had_row_errors = True
+                print(
+                    f"{source}:{line_no}: task {request.task_id!r}: "
+                    f"{response.error.message}",
+                    file=sys.stderr,
+                )
+                resolved[key] = _error_row(request.task_id, line_no, response.error)
+            else:
+                resolved[key] = response.to_dict()
+        pending.clear()
 
     for line_no, raw in enumerate(text.splitlines(), start=1):
         stripped = raw.strip()
@@ -338,91 +255,71 @@ def run_batch(args: argparse.Namespace) -> int:
                 raise ReproError(f"{where}: row must be a JSON object")
         except json.JSONDecodeError as exc:
             print(f"{where}: invalid JSON: {exc.msg}", file=sys.stderr)
-            slots.append(("error", _batch_error_row(None, line_no, f"invalid JSON: {exc.msg}")))
+            slots.append(_error_row(None, line_no, _invalid_json_info(exc)))
             had_row_errors = True
             continue
         except ReproError as exc:
             print(str(exc), file=sys.stderr)
-            slots.append(("error", _batch_error_row(None, line_no, str(exc))))
+            slots.append(_error_row(None, line_no, ErrorInfo.from_exception(exc)))
             had_row_errors = True
             continue
 
         if "task" not in obj:
-            # Pool-definition row.
+            # Pool-definition row: materialise it in the service registry.
             try:
                 if "pool" not in obj or "candidates" not in obj:
                     raise ReproError(
                         f"{where}: row without 'task' must define a pool "
                         "('pool' + 'candidates')"
                     )
-                name = str(obj["pool"])
-                pools[name] = CandidatePool(
-                    _parse_candidates_json(obj["candidates"], where), pool_id=name
+                command = PoolCommand.from_dict(
+                    {
+                        "action": "create",
+                        "name": str(obj["pool"]),
+                        "candidates": obj["candidates"],
+                        "replace": True,
+                    },
+                    where=where,
                 )
+                if command.name in service.registry:
+                    # Redefinition: answer the queries parsed so far against
+                    # the pool's current contents before replacing it.
+                    flush()
+                service.pool(command)
             except ReproError as exc:
                 print(str(exc), file=sys.stderr)
-                slots.append(("error", _batch_error_row(None, line_no, str(exc))))
+                slots.append(_error_row(None, line_no, ErrorInfo.from_exception(exc)))
                 had_row_errors = True
             continue
 
         try:
-            query = _query_from_row(obj, where, pools)
+            request = SelectionRequest.from_dict(obj, where=where)
         except ReproError as exc:
             print(str(exc), file=sys.stderr)
             task = str(obj["task"]) if "task" in obj else None
-            slots.append(("error", _batch_error_row(task, line_no, str(exc))))
+            slots.append(_error_row(task, line_no, ErrorInfo.from_exception(exc)))
             had_row_errors = True
             continue
-        if obj.get("explain"):
-            slots.append(("explain", (query, line_no)))
+        if request.pool is not None and request.pool not in service.registry:
+            message = f"{where}: query references undefined pool {request.pool!r}"
+            print(message, file=sys.stderr)
+            info = ErrorInfo(
+                code="pool-not-found", message=message, detail={"where": where}
+            )
+            slots.append(_error_row(request.task_id, line_no, info))
+            had_row_errors = True
             continue
-        slots.append(("query", len(queries)))
-        queries.append(query)
-        query_lines.append(line_no)
+        request_rows += 1
+        key = len(resolved) + len(pending)
+        pending.append((key, request, line_no))
+        slots.append(key)
 
-    have_rows = queries or any(kind == "explain" for kind, _ in slots)
-    if not have_rows and not had_row_errors:
+    if not request_rows and not had_row_errors:
         print(f"error: {source}: no query rows", file=sys.stderr)
         return 1
+    flush()
 
-    engine = BatchSelectionEngine(max_workers=args.workers)
-    outcomes = engine.run(queries)
-
-    rows: list[dict] = []
-    for kind, payload in slots:
-        if kind == "error":
-            rows.append(payload)  # type: ignore[arg-type]
-            continue
-        if kind == "explain":
-            query, line_no = payload  # type: ignore[misc]
-            try:
-                plan = engine.plan(query)
-            except (ReproError, ValueError) as exc:
-                had_row_errors = True
-                print(
-                    f"{source}:{line_no}: task {query.task_id!r}: {exc}",
-                    file=sys.stderr,
-                )
-                rows.append(_batch_error_row(query.task_id, line_no, str(exc)))
-                continue
-            rows.append(
-                {"task": query.task_id, "status": "ok", "explain": plan.describe()}
-            )
-            continue
-        outcome = outcomes[payload]  # type: ignore[index]
-        if outcome.ok:
-            rows.append(_batch_ok_row(outcome.task_id, outcome.result))
-        else:
-            had_row_errors = True
-            line_no = query_lines[payload]  # type: ignore[index]
-            print(
-                f"{source}:{line_no}: task {outcome.task_id!r}: {outcome.error}",
-                file=sys.stderr,
-            )
-            rows.append(
-                _batch_error_row(outcome.task_id, line_no, outcome.error or "failed")
-            )
-
+    rows = [slot if isinstance(slot, dict) else resolved[slot] for slot in slots]
     rendered = "\n".join(json.dumps(row) for row in rows)
     if args.out is None:
         print(rendered)
@@ -461,7 +358,7 @@ def _build_batch_parser() -> argparse.ArgumentParser:
 
 
 # ----------------------------------------------------------------------
-# explain subcommand
+# single-query + explain subcommands
 # ----------------------------------------------------------------------
 
 
@@ -491,8 +388,8 @@ def _single_query_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _single_query_plan(args: argparse.Namespace):
-    """Plan the single-query CSV mode's selection (shared select/explain)."""
+def _single_query_request(args: argparse.Namespace) -> SelectionRequest:
+    """Build the protocol request for the single-query CSV modes."""
     candidates = load_candidates_csv(args.csv)
     if args.budget is None:
         model = "altr"
@@ -500,28 +397,32 @@ def _single_query_plan(args: argparse.Namespace):
         model = "exact"
     else:
         model = "pay"
-    return plan_query(
-        candidates=candidates,
+    return SelectionRequest(
+        task_id=str(args.csv),
+        candidates=tuple(candidates),
         model=model,
         budget=args.budget,
+        max_size=getattr(args, "max_size", None),
         variant=args.variant,
         method=getattr(args, "method", "auto"),
-        max_size=getattr(args, "max_size", None),
-        task_id=str(args.csv),
     )
 
 
 def run_explain(args: argparse.Namespace) -> int:
     """Execute the ``explain`` subcommand.  Returns a process exit code."""
     try:
-        plan = _single_query_plan(args)
+        request = _single_query_request(args)
     except (ReproError, ValueError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    response = JuryService().explain(request)
+    if response.status == "error":
+        print(f"error: {response.error.message}", file=sys.stderr)
+        return 1
     if args.json:
-        print(json.dumps(plan.describe(), indent=2))
+        print(json.dumps(response.plan, indent=2))
     else:
-        print(_render_plan_text(plan))
+        print(_render_plan_text(response.plan))
     return 0
 
 
@@ -553,143 +454,6 @@ def _build_explain_parser() -> argparse.ArgumentParser:
 # ----------------------------------------------------------------------
 
 
-def _serve_select(
-    engine: BatchSelectionEngine, obj: dict, where: str
-) -> dict:
-    """Execute one serve-session ``select`` command and build its response."""
-    if "pool" in obj and "candidates" in obj:
-        raise ReproError(f"{where}: give either 'pool' or 'candidates', not both")
-    pool_name: str | None = None
-    candidates: tuple[Juror, ...] | None = None
-    pool_version: int | None = None
-    if "pool" in obj:
-        pool_name = str(obj["pool"])
-        # Resolve eagerly so an unknown name is a located error, and so the
-        # response can echo the version the selection ran against.
-        pool_version = engine.registry.get(pool_name).version
-    elif "candidates" in obj:
-        candidates = tuple(_parse_candidates_json(obj["candidates"], where))
-    else:
-        raise ReproError(
-            f"{where}: select needs a 'pool' reference or inline 'candidates'"
-        )
-    query = _build_query(obj, where, pool_name=pool_name, candidates=candidates)
-    if obj.get("explain"):
-        plan = engine.plan(query)
-        row = {"ok": True, "task": query.task_id, "explain": plan.describe()}
-        if pool_version is not None:
-            row["pool_version"] = pool_version
-        return row
-    outcome = engine.run([query])[0]
-    if not outcome.ok:
-        raise ReproError(f"{where}: task {query.task_id!r}: {outcome.error}")
-    row = _batch_ok_row(query.task_id, outcome.result)
-    row["ok"] = True
-    if pool_version is not None:
-        row["pool_version"] = pool_version
-    return row
-
-
-def _validated_pool_update(
-    pool, obj: dict, where: str
-) -> tuple[list[str], list[Juror], list[tuple[str, Juror]]]:
-    """Validate a serve ``pool update`` fully before any mutation.
-
-    Simulates the membership through remove -> add -> set order (the order
-    the update is applied in) and re-validates every value a mutation would
-    validate, so applying the returned plan cannot fail halfway: the update
-    is atomic from the client's point of view.
-    """
-    removes = obj.get("remove", [])
-    adds_json = obj.get("add", [])
-    sets = obj.get("set", [])
-    for field_name, value in (("remove", removes), ("add", adds_json), ("set", sets)):
-        if not isinstance(value, list):
-            raise ReproError(
-                f"{where}: '{field_name}' must be an array, "
-                f"got {type(value).__name__}"
-            )
-    adds = _parse_candidates_json(adds_json, where) if adds_json else []
-
-    membership = {j.juror_id: j for j in pool.ordered}
-    remove_ids = []
-    for entry in removes:
-        juror_id = str(entry)
-        if membership.pop(juror_id, None) is None:
-            raise ReproError(f"{where}: juror {juror_id!r} is not in the pool")
-        remove_ids.append(juror_id)
-    for juror in adds:
-        if juror.juror_id in membership:
-            raise ReproError(
-                f"{where}: juror {juror.juror_id!r} is already in the pool"
-            )
-        membership[juror.juror_id] = juror
-    updates: list[tuple[str, Juror]] = []
-    for position, entry in enumerate(sets):
-        if not isinstance(entry, dict) or "id" not in entry:
-            raise ReproError(
-                f"{where}: set entry #{position} must be an object with an 'id'"
-            )
-        juror_id = str(entry["id"])
-        current = membership.get(juror_id)
-        if current is None:
-            raise ReproError(f"{where}: juror {juror_id!r} is not in the pool")
-        try:
-            replacement = Juror(
-                entry.get("error_rate", current.error_rate),
-                entry.get("requirement", current.requirement),
-                juror_id=juror_id,
-            )
-        except ReproError as exc:
-            raise ReproError(f"{where}: set entry #{position}: {exc}") from exc
-        membership[juror_id] = replacement
-        updates.append((juror_id, replacement))
-    return remove_ids, adds, updates
-
-
-def _serve_pool(engine: BatchSelectionEngine, obj: dict, where: str) -> dict:
-    """Execute one serve-session ``pool`` command and build its response."""
-    registry = engine.registry
-    action = obj.get("action")
-    if action not in ("create", "update", "drop"):
-        raise ReproError(
-            f"{where}: pool action must be 'create', 'update' or 'drop', "
-            f"got {action!r}"
-        )
-    name = str(obj.get("name") or "")
-    if not name:
-        raise ReproError(f"{where}: pool command needs a non-empty 'name'")
-
-    if action == "create":
-        if "candidates" not in obj:
-            raise ReproError(f"{where}: pool create needs 'candidates'")
-        candidates = _parse_candidates_json(obj["candidates"], where)
-        pool = registry.create(name, candidates, replace=bool(obj.get("replace", False)))
-    elif action == "drop":
-        pool = registry.drop(name)
-        if pool.size:
-            # Free the dropped pool's current profile from the sweep cache
-            # (older versions' entries, if any, age out via LRU).
-            engine.cache.invalidate(pool.fingerprint)
-        return {"ok": True, "cmd": "pool", "action": "drop", "name": name,
-                "version": pool.version, "size": pool.size}
-    else:  # update
-        pool = registry.get(name)
-        remove_ids, adds, updates = _validated_pool_update(pool, obj, where)
-        for juror_id in remove_ids:
-            pool.remove_juror(juror_id)
-        for juror in adds:
-            pool.add_juror(juror)
-        for juror_id, replacement in updates:
-            pool.update_juror(
-                juror_id,
-                error_rate=replacement.error_rate,
-                requirement=replacement.requirement,
-            )
-    return {"ok": True, "cmd": "pool", "action": action, "name": name,
-            "version": pool.version, "size": pool.size}
-
-
 def run_serve(args: argparse.Namespace, *, stdin=None, stdout=None) -> int:
     """Execute the ``serve`` subcommand: a long-lived JSONL session.
 
@@ -699,11 +463,7 @@ def run_serve(args: argparse.Namespace, *, stdin=None, stdout=None) -> int:
     """
     source = sys.stdin if stdin is None else stdin
     sink = sys.stdout if stdout is None else stdout
-    registry = PoolRegistry()
-    engine_options = {} if args.cache_size is None else {"cache_size": args.cache_size}
-    engine = BatchSelectionEngine(
-        max_workers=args.workers, registry=registry, **engine_options
-    )
+    service = JuryService(cache_size=args.cache_size, max_workers=args.workers)
     had_errors = False
 
     def respond(row: dict) -> None:
@@ -723,29 +483,25 @@ def run_serve(args: argparse.Namespace, *, stdin=None, stdout=None) -> int:
                 respond({"ok": True, "cmd": "quit"})
                 break
             elif cmd == "pool":
-                respond(_serve_pool(engine, obj, where))
+                respond(service.pool(PoolCommand.from_dict(obj, where=where)))
             elif cmd == "select":
-                respond(_serve_select(engine, obj, where))
-            elif cmd == "stats":
-                respond({
-                    "ok": True,
-                    "cmd": "stats",
-                    "pools": {
-                        name: {
-                            "version": registry.get(name).version,
-                            "size": registry.get(name).size,
+                response = service.select(
+                    SelectionRequest.from_dict(obj, where=where)
+                )
+                if response.status == "error":
+                    had_errors = True
+                    print(response.error.message, file=sys.stderr)
+                    respond(
+                        {
+                            "ok": False,
+                            "line": line_no,
+                            "error": response.error.to_dict(),
                         }
-                        for name in registry.names()
-                    },
-                    "queries_run": engine.stats.queries_run,
-                    "live_profiles": engine.stats.live_profiles,
-                    "cache": {
-                        "hits": engine.cache.hits,
-                        "misses": engine.cache.misses,
-                        "evictions": engine.cache.evictions,
-                        "entries": len(engine.cache),
-                    },
-                })
+                    )
+                else:
+                    respond({"ok": True, **response.to_dict()})
+            elif cmd == "stats":
+                respond(service.stats())
             else:
                 raise ReproError(
                     f"{where}: unknown cmd {cmd!r}; expected 'pool', 'select', "
@@ -754,14 +510,26 @@ def run_serve(args: argparse.Namespace, *, stdin=None, stdout=None) -> int:
         except json.JSONDecodeError as exc:
             had_errors = True
             print(f"{where}: invalid JSON: {exc.msg}", file=sys.stderr)
-            respond({"ok": False, "line": line_no, "error": f"invalid JSON: {exc.msg}"})
+            respond(
+                {
+                    "ok": False,
+                    "line": line_no,
+                    "error": _invalid_json_info(exc).to_dict(),
+                }
+            )
         except (ReproError, TypeError, ValueError) as exc:
             # ReproError covers domain failures; bare TypeError/ValueError
             # covers malformed payloads that slip past the explicit checks.
             # Either way the error stays per-command: the session survives.
             had_errors = True
             print(str(exc), file=sys.stderr)
-            respond({"ok": False, "line": line_no, "error": str(exc)})
+            respond(
+                {
+                    "ok": False,
+                    "line": line_no,
+                    "error": ErrorInfo.from_exception(exc).to_dict(),
+                }
+            )
     return 2 if had_errors else 0
 
 
@@ -808,14 +576,20 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(arguments)
 
     try:
-        # One path to the kernels: plan the query (the same front door the
-        # batch engine and serve session use), then execute the plan.
-        result = execute_plan(_single_query_plan(args))
+        request = _single_query_request(args)
     except (ReproError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
-
-    print(_render_json(result) if args.json else _render_text(result))
+    # One dispatch path for every surface: the single-query mode is a
+    # service batch of one.
+    response = JuryService().select(request)
+    if response.status == "error":
+        print(f"error: {response.error.message}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(response.to_dict(), indent=2))
+    else:
+        print(_render_text(response))
     return 0
 
 

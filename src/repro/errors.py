@@ -23,6 +23,7 @@ __all__ = [
     "EmptyGraphError",
     "ConvergenceError",
     "SimulationError",
+    "ProtocolError",
 ]
 
 
@@ -97,3 +98,18 @@ class ConvergenceError(EstimationError, RuntimeError):
 
 class SimulationError(ReproError):
     """Base class for errors raised by the Monte-Carlo voting simulator."""
+
+
+class ProtocolError(ReproError, ValueError):
+    """A wire-protocol payload (JSONL row, serve command) is malformed.
+
+    Raised by :meth:`repro.api.SelectionRequest.from_dict` and friends.  The
+    optional ``detail`` mapping carries machine-readable position information
+    (``where`` — the ``file:line`` location, ``field``, ``position``) that
+    :class:`repro.api.ErrorInfo` preserves on the wire, so clients can point
+    at the offending field rather than re-parse the message string.
+    """
+
+    def __init__(self, message: str, *, detail: dict | None = None) -> None:
+        super().__init__(message)
+        self.detail = detail

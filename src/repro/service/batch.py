@@ -130,17 +130,41 @@ class SelectionQuery:
 
 @dataclass
 class QueryOutcome:
-    """Result slot for one query of a batch: either a result or an error."""
+    """Result slot for one query of a batch: either a result or an error.
+
+    ``error`` is the legacy flat message string, kept populated for one
+    release; ``exception`` carries the failure itself so transports can
+    report a structured code + message (see :attr:`error_info`) instead of
+    parsing strings.
+    """
 
     task_id: str
     result: SelectionResult | None = None
     error: str | None = None
     elapsed_seconds: float = 0.0
+    exception: BaseException | None = None
 
     @property
     def ok(self) -> bool:
         """True when the query produced a selection."""
         return self.result is not None
+
+    @property
+    def error_info(self):
+        """Structured :class:`~repro.api.ErrorInfo` for the failure, if any.
+
+        Built lazily from :attr:`exception` (falling back to the legacy
+        message string), so the engine itself never depends on the protocol
+        layer.
+        """
+        if self.ok:
+            return None
+        # Local import: repro.api sits above the service layer.
+        from repro.api.protocol import ErrorInfo
+
+        if self.exception is not None:
+            return ErrorInfo.from_exception(self.exception)
+        return ErrorInfo(code="internal", message=self.error or "failed")
 
 
 @dataclass
@@ -302,6 +326,7 @@ class BatchSelectionEngine:
                 if raise_errors:
                     raise
                 outcomes[index].error = str(exc)
+                outcomes[index].exception = exc
 
         altr_items = [item for item in resolved if item[1].model == "altr"]
         pay_items = [item for item in resolved if item[1].model == "pay"]
@@ -370,6 +395,7 @@ class BatchSelectionEngine:
                 if raise_errors:
                     raise
                 outcomes[index].error = str(exc)
+                outcomes[index].exception = exc
                 continue
             elapsed = time.perf_counter() - start
             result.stats.elapsed_seconds = elapsed
@@ -402,6 +428,7 @@ class BatchSelectionEngine:
                 if raise_errors:
                     raise
                 outcomes[index].error = str(exc)
+                outcomes[index].exception = exc
                 continue
             elapsed = time.perf_counter() - start
             outcomes[index].result = result
@@ -439,6 +466,7 @@ class BatchSelectionEngine:
                         if raise_errors:
                             raise
                         outcomes[index].error = str(exc)
+                        outcomes[index].exception = exc
                         continue
                     elapsed = time.perf_counter() - start
                     outcomes[index].result = result

@@ -1,0 +1,96 @@
+"""Completeness and stability of the protocol error-code registry."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro  # noqa: F401  — import the package so every subclass is defined
+from repro.api import ERROR_CODES, ErrorInfo, error_code
+from repro.errors import (
+    BudgetError,
+    InfeasibleSelectionError,
+    PoolNotFoundError,
+    ProtocolError,
+    ReproError,
+)
+
+
+def _all_repro_error_classes() -> list[type]:
+    """Every class in the ReproError hierarchy, found by walking subclasses."""
+    seen: list[type] = []
+    stack = [ReproError]
+    while stack:
+        cls = stack.pop()
+        if cls in seen:
+            continue
+        seen.append(cls)
+        stack.extend(cls.__subclasses__())
+    return seen
+
+
+class TestRegistryCompleteness:
+    def test_every_repro_error_subclass_has_an_explicit_code(self):
+        """New ReproError subclasses must be registered, not inherit a code."""
+        missing = [
+            cls.__name__
+            for cls in _all_repro_error_classes()
+            if cls not in ERROR_CODES
+        ]
+        assert missing == [], f"unregistered ReproError subclasses: {missing}"
+
+    def test_codes_are_stable_kebab_case_strings(self):
+        for cls, code in ERROR_CODES.items():
+            assert isinstance(code, str) and code, cls
+            assert code == code.lower() and " " not in code, (cls, code)
+
+    def test_distinct_leaf_errors_get_distinct_codes(self):
+        # The generic fallbacks may share codes; the domain hierarchy's codes
+        # must be unique so clients can branch on them.
+        domain = {
+            cls: code
+            for cls, code in ERROR_CODES.items()
+            if issubclass(cls, ReproError)
+        }
+        assert len(set(domain.values())) == len(domain)
+
+
+class TestResolution:
+    @pytest.mark.parametrize(
+        ("exc", "code"),
+        [
+            (PoolNotFoundError("no pool named 'P'"), "pool-not-found"),
+            (BudgetError("negative"), "invalid-budget"),
+            (InfeasibleSelectionError("nope"), "infeasible-selection"),
+            (ProtocolError("bad row"), "bad-request"),
+            (ReproError("generic"), "repro-error"),
+            (json.JSONDecodeError("bad", "{", 0), "invalid-json"),
+            (ValueError("v"), "invalid-argument"),
+            (TypeError("t"), "invalid-argument"),
+            (KeyError("k"), "not-found"),
+            (RuntimeError("r"), "internal"),
+        ],
+    )
+    def test_error_code_resolves_instances_and_classes(self, exc, code):
+        assert error_code(exc) == code
+        assert error_code(type(exc)) == code
+
+    def test_unregistered_subclass_falls_back_to_parent_code(self):
+        class FutureError(InfeasibleSelectionError):
+            pass
+
+        assert error_code(FutureError("x")) == "infeasible-selection"
+
+    def test_error_info_from_exception_preserves_protocol_detail(self):
+        exc = ProtocolError(
+            "q:1: candidate #2: bad", detail={"where": "q:1", "position": 2}
+        )
+        info = ErrorInfo.from_exception(exc)
+        assert info.code == "bad-request"
+        assert info.detail == {"where": "q:1", "position": 2}
+
+    def test_error_info_from_exception_adds_where(self):
+        info = ErrorInfo.from_exception(ValueError("boom"), where="f:3")
+        assert info.code == "invalid-argument"
+        assert info.detail == {"where": "f:3"}

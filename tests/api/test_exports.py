@@ -1,0 +1,60 @@
+"""Export hygiene: ``repro.__all__`` must match what the package exports.
+
+As the API grows surface by surface, it is easy for ``__all__`` and the
+actual imports in ``repro/__init__.py`` to drift apart — names imported but
+never declared (invisible to ``from repro import *`` and to docs tooling),
+or declared but never imported (an ImportError lying in wait).  This test
+pins the two together exactly.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+import repro
+import repro.api as api
+
+
+def _exported_names(module) -> set[str]:
+    """Public non-module attributes actually bound on the module."""
+    return {
+        name
+        for name, value in vars(module).items()
+        if not name.startswith("_") and not inspect.ismodule(value)
+    }
+
+
+class TestExportDrift:
+    def test_repro_all_matches_actual_exports_exactly(self):
+        declared = set(repro.__all__)
+        # __version__ is deliberately declared despite the dunder-name filter.
+        actual = _exported_names(repro) | {"__version__"}
+        assert declared - actual == set(), (
+            f"in __all__ but not exported: {sorted(declared - actual)}"
+        )
+        assert actual - declared == set(), (
+            f"exported but missing from __all__: {sorted(actual - declared)}"
+        )
+
+    def test_repro_api_all_matches_actual_exports_exactly(self):
+        declared = set(api.__all__)
+        actual = _exported_names(api)
+        assert declared == actual, (
+            f"drift: only in __all__ {sorted(declared - actual)}, "
+            f"only exported {sorted(actual - declared)}"
+        )
+
+    def test_all_names_are_unique(self):
+        assert len(repro.__all__) == len(set(repro.__all__))
+
+    def test_protocol_types_reachable_from_top_level(self):
+        for name in (
+            "JuryService",
+            "AsyncJuryService",
+            "SelectionRequest",
+            "SelectionResponse",
+            "PoolCommand",
+            "ErrorInfo",
+            "PROTOCOL_VERSION",
+        ):
+            assert getattr(repro, name) is getattr(api, name)

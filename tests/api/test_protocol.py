@@ -1,0 +1,267 @@
+"""Round-trip and validation properties of wire protocol v1.
+
+The protocol's contract is ``from_dict(x.to_dict()) == x`` for every valid
+value — including across an actual JSON encode/decode — plus located errors
+for everything invalid.  The round trips are exercised property-style with
+hypothesis so numeric edge cases (tiny/huge floats, long member lists) are
+covered, not just the happy path.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import (
+    ErrorInfo,
+    PoolCommand,
+    PROTOCOL_VERSION,
+    SelectionRequest,
+    SelectionResponse,
+)
+from repro.core.juror import Juror
+from repro.errors import ProtocolError
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+
+_ids = st.text(
+    alphabet=st.characters(whitelist_categories=("L", "Nd"), max_codepoint=0x2FF),
+    min_size=1,
+    max_size=8,
+)
+_eps = st.floats(min_value=1e-9, max_value=1.0 - 1e-9, exclude_max=True)
+_reqs = st.floats(min_value=0.0, max_value=1e6)
+
+
+@st.composite
+def jurors(draw) -> tuple[Juror, ...]:
+    """Small candidate tuples with unique ids."""
+    ids = draw(st.lists(_ids, min_size=1, max_size=6, unique=True))
+    return tuple(
+        Juror(draw(_eps), draw(_reqs), juror_id=juror_id) for juror_id in ids
+    )
+
+
+@st.composite
+def selection_requests(draw) -> SelectionRequest:
+    use_pool = draw(st.booleans())
+    model = draw(st.sampled_from(["altr", "pay", "exact"]))
+    budget = draw(_reqs) if model == "pay" or draw(st.booleans()) else None
+    return SelectionRequest(
+        task_id=draw(_ids),
+        candidates=None if use_pool else draw(jurors()),
+        pool=draw(_ids) if use_pool else None,
+        model=model,
+        budget=budget,
+        max_size=draw(st.one_of(st.none(), st.integers(1, 99))),
+        variant=draw(st.sampled_from(["paper", "improved"])),
+        method=draw(st.sampled_from(["auto", "enumerate", "branch-and-bound"])),
+        explain=draw(st.booleans()),
+    )
+
+
+@st.composite
+def error_infos(draw) -> ErrorInfo:
+    detail = draw(
+        st.one_of(
+            st.none(),
+            st.dictionaries(_ids, st.one_of(_ids, st.integers(0, 9)), max_size=3),
+        )
+    )
+    return ErrorInfo(code=draw(_ids), message=draw(_ids), detail=detail)
+
+
+@st.composite
+def selection_responses(draw) -> SelectionResponse:
+    kind = draw(st.sampled_from(["ok", "plan", "error"]))
+    elapsed = draw(st.floats(min_value=0.0, max_value=1e3))
+    if kind == "error":
+        return SelectionResponse.from_error(
+            draw(_ids), draw(error_infos()), elapsed_seconds=elapsed
+        )
+    if kind == "plan":
+        return SelectionResponse.from_plan(
+            draw(_ids),
+            {"operator": draw(_ids), "pool_size": draw(st.integers(1, 99))},
+            pool_version=draw(st.one_of(st.none(), st.integers(0, 99))),
+            elapsed_seconds=elapsed,
+        )
+    members = draw(jurors())
+    return SelectionResponse(
+        task_id=draw(_ids),
+        status="ok",
+        model=draw(st.sampled_from(["AltrM", "PayM"])),
+        algorithm=draw(_ids),
+        jer=draw(_eps),
+        size=len(members),
+        total_cost=draw(_reqs),
+        budget=draw(st.one_of(st.none(), _reqs)),
+        members=members,
+        pool_version=draw(st.one_of(st.none(), st.integers(0, 99))),
+        elapsed_seconds=elapsed,
+    )
+
+
+@st.composite
+def pool_commands(draw) -> PoolCommand:
+    action = draw(st.sampled_from(["create", "update", "drop"]))
+    if action == "create":
+        return PoolCommand(
+            action=action,
+            name=draw(_ids),
+            candidates=draw(jurors()),
+            replace=draw(st.booleans()),
+        )
+    if action == "drop":
+        return PoolCommand(action=action, name=draw(_ids))
+    updates = draw(
+        st.lists(
+            st.tuples(
+                _ids,
+                st.one_of(st.none(), _eps),
+                st.one_of(st.none(), _reqs),
+            ),
+            max_size=3,
+        )
+    )
+    return PoolCommand(
+        action=action,
+        name=draw(_ids),
+        add=draw(st.one_of(st.just(()), jurors())),
+        remove=tuple(draw(st.lists(_ids, max_size=3))),
+        updates=tuple(updates),
+    )
+
+
+# ----------------------------------------------------------------------
+# round-trip properties
+# ----------------------------------------------------------------------
+
+
+class TestRoundTrips:
+    @given(request=selection_requests())
+    @settings(max_examples=200, deadline=None)
+    def test_request_round_trip_identity(self, request):
+        wire = request.to_dict()
+        assert wire["v"] == PROTOCOL_VERSION
+        assert SelectionRequest.from_dict(wire) == request
+        # ... and across an actual JSON encode/decode.
+        assert SelectionRequest.from_dict(json.loads(json.dumps(wire))) == request
+
+    @given(response=selection_responses())
+    @settings(max_examples=200, deadline=None)
+    def test_response_round_trip_identity(self, response):
+        wire = response.to_dict()
+        assert wire["v"] == PROTOCOL_VERSION
+        assert SelectionResponse.from_dict(wire) == response
+        assert SelectionResponse.from_dict(json.loads(json.dumps(wire))) == response
+
+    @given(command=pool_commands())
+    @settings(max_examples=200, deadline=None)
+    def test_pool_command_round_trip_identity(self, command):
+        wire = command.to_dict()
+        assert wire["v"] == PROTOCOL_VERSION and wire["cmd"] == "pool"
+        assert PoolCommand.from_dict(wire) == command
+        assert PoolCommand.from_dict(json.loads(json.dumps(wire))) == command
+
+    @given(info=error_infos())
+    @settings(max_examples=100, deadline=None)
+    def test_error_info_round_trip_identity(self, info):
+        assert ErrorInfo.from_dict(json.loads(json.dumps(info.to_dict()))) == info
+
+
+# ----------------------------------------------------------------------
+# canonicalisation + validation
+# ----------------------------------------------------------------------
+
+
+class TestRequestValidation:
+    def test_model_aliases_are_canonicalised(self):
+        request = SelectionRequest(pool="P", model="AltrM")
+        assert request.model == "altr"
+        assert SelectionRequest(pool="P", model="PayM", budget=1).budget == 1.0
+
+    def test_both_sources_rejected(self):
+        with pytest.raises(ValueError, match="not both"):
+            SelectionRequest(candidates=(Juror(0.1, juror_id="a"),), pool="P")
+
+    def test_neither_source_rejected(self):
+        with pytest.raises(ValueError, match="pool"):
+            SelectionRequest(task_id="t")
+
+    def test_pay_requires_budget(self):
+        with pytest.raises(ValueError, match="budget"):
+            SelectionRequest(pool="P", model="pay")
+
+    def test_from_dict_locates_bad_candidate(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            SelectionRequest.from_dict(
+                {"task": "t", "candidates": [{"id": "a", "error_rate": 0.2}, {"id": "b"}]},
+                where="q.jsonl:7",
+            )
+        assert "q.jsonl:7" in str(excinfo.value)
+        assert "candidate #1" in str(excinfo.value)
+        assert excinfo.value.detail == {
+            "where": "q.jsonl:7",
+            "field": "candidates",
+            "position": 1,
+        }
+
+    def test_from_dict_locates_unknown_model(self):
+        with pytest.raises(ProtocolError, match=r"q\.jsonl:3.*model"):
+            SelectionRequest.from_dict(
+                {"task": "t", "candidates": [{"id": "a", "error_rate": 0.2}],
+                 "model": "wat"},
+                where="q.jsonl:3",
+            )
+
+    def test_from_dict_rejects_non_object(self):
+        with pytest.raises(ProtocolError, match="object"):
+            SelectionRequest.from_dict(["nope"], where="w")
+
+
+class TestResponseValidation:
+    def test_status_must_be_known(self):
+        with pytest.raises(ValueError, match="status"):
+            SelectionResponse(task_id="t", status="meh")
+
+    def test_error_status_requires_error_info(self):
+        with pytest.raises(ValueError, match="ErrorInfo"):
+            SelectionResponse(task_id="t", status="error")
+        with pytest.raises(ValueError, match="ErrorInfo"):
+            SelectionResponse(
+                task_id="t", status="ok", error=ErrorInfo("x", "y")
+            )
+
+    def test_ok_property(self):
+        ok = SelectionResponse.from_plan("t", {"operator": "altr-sweep"})
+        bad = SelectionResponse.from_error("t", ErrorInfo("internal", "boom"))
+        assert ok.ok and not bad.ok
+
+
+class TestPoolCommandValidation:
+    def test_unknown_action(self):
+        with pytest.raises(ProtocolError, match="explode"):
+            PoolCommand.from_dict({"action": "explode", "name": "P"}, where="w")
+
+    def test_create_needs_candidates(self):
+        with pytest.raises(ProtocolError, match="candidates"):
+            PoolCommand.from_dict({"action": "create", "name": "P"}, where="w")
+
+    def test_scalar_update_fields_rejected(self):
+        with pytest.raises(ProtocolError, match="'remove' must be an array"):
+            PoolCommand.from_dict(
+                {"action": "update", "name": "P", "remove": "c0"}, where="w"
+            )
+
+    def test_set_entry_needs_id(self):
+        with pytest.raises(ProtocolError, match="set entry #0"):
+            PoolCommand.from_dict(
+                {"action": "update", "name": "P", "set": [{"error_rate": 0.5}]},
+                where="w",
+            )

@@ -23,11 +23,14 @@ FIGURE1 = [
 
 #: Key sets the JSONL output schema is pinned to; extending them is a
 #: breaking change for downstream consumers and must be deliberate.
+#: Protocol v1 (repro.api): rows carry the "v" wire tag and per-response
+#: "timings"; error rows carry a structured {"code", "message"} object.
 OK_ROW_KEYS = {
-    "task", "status", "model", "algorithm", "jer", "size",
-    "total_cost", "budget", "members",
+    "v", "task", "status", "model", "algorithm", "jer", "size",
+    "total_cost", "budget", "members", "timings",
 }
-ERROR_ROW_KEYS = {"task", "status", "line", "error"}
+ERROR_ROW_KEYS = {"v", "task", "status", "line", "error"}
+ERROR_INFO_KEYS = {"code", "message"}  # + optional "detail"
 MEMBER_KEYS = {"id", "error_rate", "requirement"}
 
 
@@ -144,6 +147,9 @@ class TestSchemaStability:
         (row,) = _parse_output(capsys)
         assert set(row) == ERROR_ROW_KEYS
         assert row["status"] == "error"
+        assert row["v"] == 1
+        assert set(row["error"]) - {"detail"} == ERROR_INFO_KEYS
+        assert row["error"]["code"] == "invalid-json"
 
 
 class TestDiagnosticsAndExitCodes:
@@ -165,9 +171,13 @@ class TestDiagnosticsAndExitCodes:
         assert rows[0]["status"] == "ok"
         assert [r["status"] for r in rows[1:]] == ["error"] * 4
         assert rows[1]["line"] == 2
-        assert rows[2]["line"] == 3 and "UNDEFINED" in rows[2]["error"]
-        assert rows[3]["line"] == 4 and "pool" in rows[3]["error"]
+        assert rows[2]["line"] == 3 and "UNDEFINED" in rows[2]["error"]["message"]
+        assert rows[2]["error"]["code"] == "pool-not-found"
+        assert rows[3]["line"] == 4 and "pool" in rows[3]["error"]["message"]
         assert rows[4]["line"] == 5
+        # Parser errors locate the offending field machine-readably.
+        assert rows[4]["error"]["code"] == "bad-request"
+        assert rows[4]["error"]["detail"]["position"] == 0
         # stderr diagnostics carry file:line locations
         assert f"{path}:2" in captured.err
         assert f"{path}:3" in captured.err
@@ -183,7 +193,9 @@ class TestDiagnosticsAndExitCodes:
         )
         assert main(["batch", str(path)]) == 2
         (row,) = _parse_output(capsys)
-        assert row["status"] == "error" and "affordable" in row["error"]
+        assert row["status"] == "error"
+        assert "affordable" in row["error"]["message"]
+        assert row["error"]["code"] == "infeasible-selection"
         assert row["line"] == 1  # engine failures carry the input line too
 
     def test_missing_input_is_fatal(self, tmp_path, capsys):
@@ -204,7 +216,7 @@ class TestDiagnosticsAndExitCodes:
         )
         assert main(["batch", str(path)]) == 2
         (row,) = _parse_output(capsys)
-        assert row["status"] == "error" and "budget" in row["error"]
+        assert row["status"] == "error" and "budget" in row["error"]["message"]
 
     def test_unknown_model_is_row_error(self, tmp_path, capsys):
         path = _write_jsonl(
@@ -213,7 +225,7 @@ class TestDiagnosticsAndExitCodes:
         )
         assert main(["batch", str(path)]) == 2
         (row,) = _parse_output(capsys)
-        assert "model" in row["error"]
+        assert "model" in row["error"]["message"]
 
 
 class TestLegacyModeUnaffected:

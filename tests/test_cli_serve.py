@@ -39,7 +39,7 @@ class TestServeSession:
         rows, code = _drive([_pool_create(), {"cmd": "select", "task": "t1", "pool": "P1"}])
         assert code == 0
         assert rows[0] == {
-            "ok": True, "cmd": "pool", "action": "create",
+            "v": 1, "ok": True, "cmd": "pool", "action": "create",
             "name": "P1", "version": 0, "size": 5,
         }
         selection = rows[1]
@@ -125,8 +125,10 @@ class TestServeSession:
         )
         assert code == 2
         assert [row["ok"] for row in rows] == [False, False, False, False, True, True]
-        assert "ghost" in rows[0]["error"]
-        assert "invalid JSON" in rows[1]["error"]
+        assert "ghost" in rows[0]["error"]["message"]
+        assert rows[0]["error"]["code"] == "pool-not-found"
+        assert "invalid JSON" in rows[1]["error"]["message"]
+        assert rows[1]["error"]["code"] == "invalid-json"
         assert rows[-1]["task"] == "works"
 
     def test_string_remove_field_rejected_not_iterated(self):
@@ -139,7 +141,8 @@ class TestServeSession:
             ]
         )
         assert code == 2
-        assert not rows[1]["ok"] and "'remove' must be an array" in rows[1]["error"]
+        assert not rows[1]["ok"]
+        assert "'remove' must be an array" in rows[1]["error"]["message"]
         assert rows[2]["pools"]["P"] == {"version": 0, "size": 3}  # untouched
 
     def test_failed_update_is_atomic(self):
@@ -156,8 +159,8 @@ class TestServeSession:
             ]
         )
         assert code == 2
-        assert not rows[1]["ok"] and "ghost" in rows[1]["error"]
-        assert not rows[2]["ok"] and "set entry #0" in rows[2]["error"]
+        assert not rows[1]["ok"] and "ghost" in rows[1]["error"]["message"]
+        assert not rows[2]["ok"] and "set entry #0" in rows[2]["error"]["message"]
         assert rows[3]["pools"]["P"] == {"version": 0, "size": 3}  # untouched
 
     def test_empty_pool_name_is_a_per_command_error(self):
@@ -171,7 +174,7 @@ class TestServeSession:
             ]
         )
         assert code == 2
-        assert not rows[0]["ok"] and "name" in rows[0]["error"]
+        assert not rows[0]["ok"] and "name" in rows[0]["error"]["message"]
         assert rows[2]["ok"] and rows[2]["task"] == "still-alive"
 
     def test_drop_invalidates_cached_profile(self):
@@ -197,7 +200,7 @@ class TestServeSession:
         )
         assert code == 2
         assert rows[1]["ok"] and rows[1]["action"] == "drop"
-        assert not rows[2]["ok"] and "P1" in rows[2]["error"]
+        assert not rows[2]["ok"] and "P1" in rows[2]["error"]["message"]
 
     def test_quit_stops_processing(self):
         rows, code = _drive(
