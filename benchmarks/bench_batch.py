@@ -65,7 +65,7 @@ def _run_scenario(
     batch_seconds = time.perf_counter() - start
 
     for outcome, single in zip(outcomes, loop_results):
-        assert outcome.ok, outcome.error
+        assert outcome.ok, outcome.error_info
         if outcome.result.jer != single.jer or (
             outcome.result.juror_ids != single.juror_ids
         ):

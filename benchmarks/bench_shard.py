@@ -1,0 +1,219 @@
+#!/usr/bin/env python3
+"""Sharded-execution benchmark: worker shards vs the sequential serve loop.
+
+Scenario: the ``BENCH_service.json`` workload — a mixed 1,000-request stream
+(80% AltrM / 10% PayM / 10% exact, each decision task drawing from its own
+201-candidate pool) — answered by two dispatch policies:
+
+* ``sequential`` — the PR 4 serve baseline: one ``JuryService.select()``
+  per request, one in-process engine pass each.
+* ``sharded`` — the stream arrives in coalesced batches (the shape the
+  async drainer produces, 256 requests per ``select_many`` pass) and each
+  batch fans out across ``N`` worker shards partitioned by pool
+  fingerprint: the parent plans, the shards sweep/solve with worker-local
+  caches.  Measured at 1, 2, 4 and 8 workers.
+
+Responses are verified **bit-identical** across every policy (sharding
+changes where queries run, never what they answer), timings are printed,
+and a machine-readable ``BENCH_shard.json`` artifact is written.  The
+artifact records ``cpus``: on a single-core host the speedup comes from the
+batching the sharded path retains (stacked 2-D sweeps inside each shard);
+adding workers beyond the core count cannot help, so interpret the scaling
+column against the recorded core count.
+
+Run:  PYTHONPATH=src python benchmarks/bench_shard.py [--smoke]
+      [--requests N] [--pool-size N] [--workers 1,2,4,8] [--out PATH]
+
+``--smoke`` shrinks the workload for CI smoke jobs and exits non-zero if
+sharded dispatch fails to beat the sequential loop at all, or if any policy
+diverges.  The full-size acceptance bar is >= 2.5x at 4 workers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from bench_service import build_stream  # noqa: E402
+from repro.api import JuryService  # noqa: E402
+from repro.service import BatchSelectionEngine, PoolRegistry, ShardedExecutor  # noqa: E402
+from repro.service.shard import shutdown_shared_pools  # noqa: E402
+
+#: Coalesced-batch size — matches the async drainer's default ceiling.
+BATCH = 256
+
+
+def _normalise(response) -> dict:
+    row = response.to_dict()
+    row.pop("timings")
+    return row
+
+
+def run_sequential(requests) -> tuple[float, list[dict]]:
+    """The PR 4 baseline: one select() (one engine pass) per request.
+
+    ``workers=1`` pins the in-process path explicitly so an exported
+    ``REPRO_WORKERS`` cannot shard the baseline itself.
+    """
+    service = JuryService(workers=1)
+    start = time.perf_counter()
+    responses = [service.select(request) for request in requests]
+    elapsed = time.perf_counter() - start
+    return elapsed, [_normalise(r) for r in responses]
+
+
+def run_sharded(requests, workers: int) -> tuple[float, list[dict]]:
+    """Coalesced batches fanned out across ``workers`` shards."""
+    # Built via an explicit executor so that workers=1 still measures one
+    # worker *process* (the service knob treats 1 as in-process).
+    executor = ShardedExecutor(workers)
+    service = JuryService(
+        engine=BatchSelectionEngine(executor=executor, registry=PoolRegistry())
+    )
+    # Fork the shard processes before timing: a serving process pays that
+    # cost once at startup, not per batch.
+    executor.start()
+    start = time.perf_counter()
+    responses = []
+    for offset in range(0, len(requests), BATCH):
+        responses.extend(service.select_many(requests[offset : offset + BATCH]))
+    elapsed = time.perf_counter() - start
+    return elapsed, [_normalise(r) for r in responses]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--requests", type=int, default=1000, help="stream length")
+    parser.add_argument(
+        "--pool-size", type=int, default=201, help="candidates per AltrM/PayM task"
+    )
+    parser.add_argument(
+        "--workers",
+        default="1,2,4,8",
+        help="comma-separated shard counts to measure (default: 1,2,4,8)",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_shard.json", help="where to write the JSON artifact"
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small sizes + regression check (CI smoke job)",
+    )
+    args = parser.parse_args(argv)
+
+    count, pool_size = args.requests, args.pool_size
+    worker_counts = [int(w) for w in str(args.workers).split(",") if w.strip()]
+    if args.smoke:
+        count, pool_size, worker_counts = 150, 61, [1, 2]
+
+    requests = build_stream(count, pool_size)
+    models = [r.model for r in requests]
+    cpus = os.cpu_count() or 1
+    print(
+        f"bench_shard: {count} requests "
+        f"({models.count('altr')} altr / {models.count('pay')} pay / "
+        f"{models.count('exact')} exact), pool {pool_size}, "
+        f"batch {BATCH}, {cpus} cpus ({'smoke' if args.smoke else 'full'} mode)"
+    )
+
+    sequential_seconds, sequential_rows = run_sequential(requests)
+    print(
+        f"  sequential      : {sequential_seconds:8.3f}s  "
+        f"({count / sequential_seconds:8.1f} req/s, one engine pass each)"
+    )
+
+    runs = []
+    identical = True
+    for workers in worker_counts:
+        shutdown_shared_pools()  # fresh shard processes per configuration
+        elapsed, rows = run_sharded(requests, workers)
+        same = rows == sequential_rows
+        identical = identical and same
+        speedup = sequential_seconds / elapsed
+        runs.append(
+            {
+                "workers": workers,
+                "seconds": elapsed,
+                "rps": count / elapsed,
+                "speedup_vs_sequential": speedup,
+                "verified_identical": same,
+            }
+        )
+        print(
+            f"  sharded x{workers:<2d}     : {elapsed:8.3f}s  "
+            f"({count / elapsed:8.1f} req/s, {speedup:5.2f}x"
+            f"{', verified identical' if same else ', DIVERGED'})"
+        )
+    shutdown_shared_pools()
+    one = next((e for e in runs if e["workers"] == 1), None)
+    for entry in runs:
+        entry["scaling_vs_one_worker"] = (
+            one["seconds"] / entry["seconds"] if one is not None else None
+        )
+
+    artifact = {
+        "benchmark": "shard",
+        "mode": "smoke" if args.smoke else "full",
+        "cpus": cpus,
+        "workload": {
+            "requests": count,
+            "pool_size": pool_size,
+            "mix": {
+                "altr": models.count("altr"),
+                "pay": models.count("pay"),
+                "exact": models.count("exact"),
+            },
+            "batch": BATCH,
+        },
+        "sequential_seconds": sequential_seconds,
+        "sequential_rps": count / sequential_seconds,
+        "runs": runs,
+        "verified_identical": identical,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    }
+    out_path = Path(args.out)
+    out_path.write_text(json.dumps(artifact, indent=2) + "\n", encoding="utf-8")
+    print(f"  artifact: {out_path}")
+
+    if not identical:
+        print("FAILURE: sharded dispatch diverged from sequential", file=sys.stderr)
+        return 1
+    best = max((entry["speedup_vs_sequential"] for entry in runs), default=0.0)
+    if args.smoke and best < 1.0:
+        # Checked against the *best* configuration: a shared CI runner with
+        # fewer cores than workers cannot scale, but some shard count must
+        # still beat the unbatched sequential loop.
+        print(
+            "SMOKE FAILURE: no shard count beat the sequential loop",
+            file=sys.stderr,
+        )
+        return 1
+    four = next((e for e in runs if e["workers"] == 4), None)
+    if not args.smoke and four is not None:
+        # The full-size acceptance bar: >= 2.5x at 4 workers over the
+        # sequential serve baseline.  It presumes the workers can actually
+        # run in parallel, so it is only enforced on >= 4 cores; on smaller
+        # hosts the artifact still records the (batching-only) numbers.
+        if cpus < 4:
+            print(
+                f"  note: {cpus} cpu(s) < 4 workers — 2.5x bar not enforced "
+                "on this host"
+            )
+        elif four["speedup_vs_sequential"] < 2.5:
+            print(
+                f"FAILURE: 4-worker speedup {four['speedup_vs_sequential']:.2f}x "
+                "is below the 2.5x acceptance bar",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,12 +21,19 @@ a batch, so 64 coalesced AltrM requests cost roughly one sweep, not 64.
 * The queue is bounded (``max_pending``): callers beyond the bound suspend
   at a semaphore, giving natural backpressure instead of unbounded memory.
 * An :class:`asyncio.Lock` serialises all engine access (batches, pool
-  commands, explains), so the single-threaded engine and registry are never
-  entered concurrently.
+  commands, explains), so the engine and registry are never entered
+  concurrently with a registry mutation.
+* When the wrapped service shards its execution
+  (:class:`~repro.service.shard.ShardedExecutor`, the ``workers=`` knob),
+  the drainer **fans each coalesced batch out across the shards**: the
+  batch is partitioned by the requests' pool identity and the parts are
+  answered by concurrent ``select_many`` worker threads, so parent-side
+  planning of one part overlaps with shard compute of another instead of
+  funnelling everything through a single ``to_thread`` call.
 
-Responses are **bit-identical** to sequential dispatch: batching changes
-only *when* queries run, and the engine itself guarantees batched and
-scalar execution agree.
+Responses are **bit-identical** to sequential dispatch: batching and
+sharding change only *when* and *where* queries run, and the engine itself
+guarantees batched, sharded and scalar execution agree.
 """
 
 from __future__ import annotations
@@ -61,6 +68,9 @@ class AsyncJuryService:
     max_pending:
         Bound on in-flight requests; further ``select()`` callers suspend
         until capacity frees up.
+    **service_options:
+        Forwarded to :class:`JuryService` when no service is given —
+        notably ``workers=N`` for sharded execution.
 
     Examples
     --------
@@ -150,6 +160,58 @@ class AsyncJuryService:
         if self._drainer is None or self._drainer.done():
             self._drainer = asyncio.get_running_loop().create_task(self._drain())
 
+    def _shard_fanout(self) -> int:
+        """How many concurrent ``select_many`` parts a batch splits into.
+
+        A degraded executor (``in_process``) gets no fan-out: splitting
+        would fragment the single-pass stacked sweeps for zero parallelism.
+        """
+        executor = self._service.engine.executor
+        if executor is None or executor.in_process:
+            return 1
+        return executor.workers
+
+    @staticmethod
+    def _pool_key(request: SelectionRequest) -> object:
+        """Grouping key keeping same-pool requests in one batch part."""
+        if request.pool is not None:
+            return request.pool
+        return tuple(j.juror_id for j in request.candidates)
+
+    async def _answer_batch(
+        self, requests: list[SelectionRequest]
+    ) -> list[SelectionResponse]:
+        """Answer one coalesced batch, fanning out across shards if any.
+
+        With a sharded engine the batch is partitioned by pool identity
+        into up to ``workers`` parts answered by concurrent ``select_many``
+        threads (the engine's internal lock makes that safe); each part
+        still routes its payloads to the fingerprint-assigned shards, so
+        worker-cache affinity is preserved regardless of the split.
+        """
+        fanout = min(self._shard_fanout(), len(requests))
+        if fanout <= 1:
+            return await asyncio.to_thread(self._service.select_many, requests)
+        parts: list[list[tuple[int, SelectionRequest]]] = [[] for _ in range(fanout)]
+        for position, request in enumerate(requests):
+            parts[hash(self._pool_key(request)) % fanout].append(
+                (position, request)
+            )
+        parts = [part for part in parts if part]
+        answered = await asyncio.gather(
+            *(
+                asyncio.to_thread(
+                    self._service.select_many, [request for _, request in part]
+                )
+                for part in parts
+            )
+        )
+        responses: list[SelectionResponse | None] = [None] * len(requests)
+        for part, part_responses in zip(parts, answered):
+            for (position, _), response in zip(part, part_responses):
+                responses[position] = response
+        return responses  # type: ignore[return-value]
+
     async def _drain(self) -> None:
         # One drainer at a time: it exits only after observing an empty
         # queue, and the check-and-exit runs without an await in between,
@@ -163,9 +225,7 @@ class AsyncJuryService:
             requests = [request for request, _ in batch]
             async with self._engine_lock:
                 try:
-                    responses = await asyncio.to_thread(
-                        self._service.select_many, requests
-                    )
+                    responses = await self._answer_batch(requests)
                 except asyncio.CancelledError:
                     # Loop shutdown: cancel the in-flight waiters and honour
                     # the cancellation instead of draining the backlog.

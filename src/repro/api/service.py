@@ -17,6 +17,7 @@ commands, being imperative registry mutations, raise instead.
 
 from __future__ import annotations
 
+import os
 import time
 from collections.abc import Iterable
 
@@ -35,6 +36,18 @@ from repro.service.registry import LivePool, PoolRegistry
 __all__ = ["JuryService"]
 
 
+def _workers_from_env() -> int | None:
+    """Shard-count default from ``REPRO_WORKERS`` (unset/invalid -> None)."""
+    raw = os.environ.get("REPRO_WORKERS", "").strip()
+    if not raw:
+        return None
+    try:
+        workers = int(raw)
+    except ValueError:
+        return None
+    return workers if workers > 1 else None
+
+
 class JuryService:
     """Typed request/response façade over the batch engine and registry.
 
@@ -46,11 +59,19 @@ class JuryService:
     engine:
         Advanced: adopt an existing :class:`BatchSelectionEngine`.  It must
         have been constructed with a registry (which becomes the service's
-        registry); mutually exclusive with ``cache_size``/``max_workers``.
+        registry); mutually exclusive with ``cache_size``/``workers``.
     cache_size:
         Prefix-sweep cache capacity for the internally built engine.
+    workers:
+        Shard count for the internally built engine: ``> 1`` fans every
+        query model out across that many worker processes partitioned by
+        pool fingerprint (see :class:`~repro.service.shard.ShardedExecutor`).
+        When omitted, the ``REPRO_WORKERS`` environment variable supplies
+        the default — which is how CI exercises the sharded path across the
+        whole suite — and an unset variable means in-process execution.
     max_workers:
-        Process-pool size for exact queries in the internally built engine.
+        Deprecated alias for ``workers`` (the PR 1 knob that parallelised
+        exact queries only; it now shards every model).
 
     Examples
     --------
@@ -69,12 +90,17 @@ class JuryService:
         registry: PoolRegistry | None = None,
         engine: BatchSelectionEngine | None = None,
         cache_size: int | None = None,
+        workers: int | None = None,
         max_workers: int | None = None,
     ) -> None:
+        if workers is not None and max_workers is not None:
+            raise ValueError("pass either workers or max_workers, not both")
+        if max_workers is not None:
+            workers = max_workers
         if engine is not None:
-            if cache_size is not None or max_workers is not None:
+            if cache_size is not None or workers is not None:
                 raise ValueError(
-                    "pass either an engine or cache_size/max_workers, not both"
+                    "pass either an engine or cache_size/workers, not both"
                 )
             if engine.registry is None:
                 raise ValueError(
@@ -85,10 +111,12 @@ class JuryService:
             self._registry = engine.registry
             self._engine = engine
         else:
+            if workers is None:
+                workers = _workers_from_env()
             self._registry = registry if registry is not None else PoolRegistry()
             options = {} if cache_size is None else {"cache_size": cache_size}
             self._engine = BatchSelectionEngine(
-                max_workers=max_workers, registry=self._registry, **options
+                max_workers=workers, registry=self._registry, **options
             )
 
     @property
@@ -100,6 +128,10 @@ class JuryService:
     def registry(self) -> PoolRegistry:
         """The live-pool namespace requests resolve against."""
         return self._registry
+
+    def close(self) -> None:
+        """Release the engine's dedicated worker processes, if any."""
+        self._engine.close()
 
     # ------------------------------------------------------------------
     # selection dispatch
@@ -169,8 +201,7 @@ class JuryService:
             else:
                 responses[index] = SelectionResponse.from_error(
                     outcome.task_id,
-                    outcome.error_info
-                    or ErrorInfo(code="internal", message=outcome.error or "failed"),
+                    outcome.error_info,
                     elapsed_seconds=outcome.elapsed_seconds,
                 )
         return responses  # type: ignore[return-value]
@@ -219,8 +250,9 @@ class JuryService:
             pool = self._registry.drop(command.name)
             if pool.size:
                 # Free the dropped pool's current profile from the sweep
-                # cache (older versions' entries, if any, age out via LRU).
-                self._engine.cache.invalidate(pool.fingerprint)
+                # caches — the parent's and, under sharded execution, every
+                # worker-local one (older versions' entries age out via LRU).
+                self._engine.invalidate_profile(pool.fingerprint)
         else:  # update
             pool = self._registry.get(command.name)
             remove_ids, adds, updates = self._validated_update(pool, command)

@@ -30,7 +30,7 @@ for exact queries):
 
     repro-select batch queries.jsonl                     # JSONL to stdout
     repro-select batch queries.jsonl --out results.jsonl
-    repro-select batch queries.jsonl --workers 4         # parallel exact
+    repro-select batch queries.jsonl --workers 4         # sharded execution
 
 Batch input is JSON Lines; blank lines and ``#`` comments are skipped.
 A row *without* a ``"task"`` key defines a named shared pool:
@@ -216,7 +216,7 @@ def run_batch(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 1
 
-    service = JuryService(max_workers=args.workers)
+    service = JuryService(workers=args.workers)
     # Output slots in input order: finished row dicts, or integer keys into
     # ``resolved`` for requests answered by a later select_many flush.
     slots: list[dict | int] = []
@@ -352,7 +352,9 @@ def _build_batch_parser() -> argparse.ArgumentParser:
         "--workers",
         type=int,
         default=None,
-        help="process-pool size for exact queries (default: in-process)",
+        help="worker shards executing the queries (all models), partitioned "
+        "by pool fingerprint; results are bit-identical to in-process "
+        "execution (default: REPRO_WORKERS env var, else in-process)",
     )
     return parser
 
@@ -463,7 +465,7 @@ def run_serve(args: argparse.Namespace, *, stdin=None, stdout=None) -> int:
     """
     source = sys.stdin if stdin is None else stdin
     sink = sys.stdout if stdout is None else stdout
-    service = JuryService(cache_size=args.cache_size, max_workers=args.workers)
+    service = JuryService(cache_size=args.cache_size, workers=args.workers)
     had_errors = False
 
     def respond(row: dict) -> None:
@@ -550,7 +552,10 @@ def _build_serve_parser() -> argparse.ArgumentParser:
         "--workers",
         type=int,
         default=None,
-        help="process-pool size for exact queries (default: in-process)",
+        help="worker shards executing the selections (all models), "
+        "partitioned by pool fingerprint; results are bit-identical to "
+        "in-process execution (default: REPRO_WORKERS env var, else "
+        "in-process)",
     )
     return parser
 

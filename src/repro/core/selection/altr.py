@@ -153,6 +153,7 @@ def result_from_sweep_profile(
     *,
     max_size: int | None = None,
     elapsed_seconds: float = 0.0,
+    best: tuple[int, float] | None = None,
 ) -> SelectionResult:
     """Build the AltrALG :class:`SelectionResult` from a sweep profile.
 
@@ -161,9 +162,14 @@ def result_from_sweep_profile(
     :func:`repro.core.jer.prefix_jer_profile` or one row of
     :func:`repro.core.jer.batch_prefix_jer_sweep`.  The batch engine calls
     this for every query so cached profiles and freshly swept ones yield
-    identical results.
+    identical results.  ``best`` is the winning ``(size, jer)`` pair when
+    the caller already ran :func:`~repro.core.jer.best_odd_prefix` (e.g. to
+    materialise only the selected prefix); it must come from the same
+    profile and ``max_size``.
     """
-    best_n, best_jer = best_odd_prefix(ns, jers, max_size=max_size)
+    best_n, best_jer = (
+        best if best is not None else best_odd_prefix(ns, jers, max_size=max_size)
+    )
     considered = int(np.sum(ns <= max_size)) if max_size is not None else int(ns.size)
     stats = SelectionStats(
         juries_considered=considered,

@@ -31,7 +31,7 @@ import time
 
 import numpy as np
 
-from repro.core.jer import prefix_jer_profile
+from repro.core.jer import best_odd_prefix, prefix_jer_profile
 from repro.core.selection.altr import result_from_sweep_profile
 from repro.core.selection.base import SelectionResult
 from repro.core.selection.exact import branch_and_bound_optimal, enumerate_optimal
@@ -49,8 +49,11 @@ def _run_altr(
     if profile is None:
         profile = prefix_jer_profile(plan.view.eps)
     ns, jers = profile
+    # Pick the winning prefix size first so an unmaterialised view (a shard
+    # worker's reconstructed payload) inflates only the selected jurors.
+    best = best_odd_prefix(ns, jers, max_size=plan.max_size)
     return result_from_sweep_profile(
-        plan.view.ordered, ns, jers, max_size=plan.max_size
+        plan.view.members(best[0]), ns, jers, max_size=plan.max_size, best=best
     )
 
 

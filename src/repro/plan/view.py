@@ -144,12 +144,24 @@ class PoolView:
     def ordered(self) -> tuple[Juror, ...]:
         """Members as :class:`Juror` objects (materialised lazily)."""
         if self._ordered is None:
-            ids = self._ids or tuple(f"candidate-{i}" for i in range(self.size))
-            self._ordered = tuple(
-                Juror(float(e), float(r), juror_id=i)
-                for e, r, i in zip(self.eps, self.reqs, ids)
-            )
+            self._ordered = self.members(self.size)
         return self._ordered
+
+    def members(self, count: int) -> tuple[Juror, ...]:
+        """The first ``count`` members in Lemma 3 order.
+
+        Unlike slicing :attr:`ordered`, an unmaterialised view builds only
+        the ``count`` requested :class:`Juror` objects — the AltrM operator
+        uses this to inflate just the winning prefix instead of the whole
+        pool (the worker shards never need the rest).
+        """
+        if self._ordered is not None:
+            return self._ordered[:count]
+        ids = self._ids or tuple(f"candidate-{i}" for i in range(count))
+        return tuple(
+            Juror(float(e), float(r), juror_id=i)
+            for e, r, i in zip(self.eps[:count], self.reqs[:count], ids)
+        )
 
     @property
     def fingerprint(self) -> str:

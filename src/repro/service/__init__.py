@@ -7,8 +7,12 @@ restructures the execution path for that workload shape:
 :class:`BatchSelectionEngine`
     Accepts a batch of :class:`SelectionQuery` objects (mixed AltrM / PayM /
     exact, shared or per-task candidate pools) and executes them through
-    vectorized kernels, a per-pool prefix-sweep cache, and an optional
-    process pool for exact solves.
+    vectorized kernels and a per-pool prefix-sweep cache — in-process, or
+    fanned out across worker shards via a :class:`ShardedExecutor`.
+:class:`ShardedExecutor`
+    Multi-process execution strategy: queries are planned in the parent and
+    executed across ``N`` worker processes partitioned by pool fingerprint,
+    each with a worker-local sweep cache (:mod:`repro.service.shard`).
 :class:`CandidatePool`
     An immutable, fingerprinted candidate set shareable across queries.
 :class:`LivePool` / :class:`PoolRegistry`
@@ -36,6 +40,7 @@ from repro.service.batch import BatchSelectionEngine, QueryOutcome, SelectionQue
 from repro.service.cache import PrefixSweepCache
 from repro.service.pool import CandidatePool, as_pool
 from repro.service.registry import LivePool, LivePoolStats, PoolRegistry
+from repro.service.shard import ShardedExecutor
 
 __all__ = [
     "BatchSelectionEngine",
@@ -46,5 +51,6 @@ __all__ = [
     "LivePoolStats",
     "PoolRegistry",
     "PrefixSweepCache",
+    "ShardedExecutor",
     "as_pool",
 ]

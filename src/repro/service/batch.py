@@ -4,8 +4,7 @@ The paper's workload is inherently batched: a crowdsourcing platform must
 select juries for thousands of concurrent decision tasks, frequently drawing
 on the same candidate pool.  :class:`BatchSelectionEngine` accepts many
 :class:`SelectionQuery` objects at once — mixed AltrM / PayM / exact
-strategies, shared or per-task pools — and executes them through three
-specialised paths:
+strategies, shared or per-task pools.
 
 Every query is answered through the plan layer: the engine resolves the
 candidate source to a pool, calls :func:`repro.plan.plan_query` (the single
@@ -23,22 +22,31 @@ path the engine adds the batch-shaped optimisations:
   greedy is inherently sequential per instance, but its pair trials are
   scored block-wise — see :mod:`repro.core.selection.pay`).
 * **Exact queries** execute the enumeration / branch-and-bound operator the
-  cost model picks, optionally fanned out over a ``concurrent.futures``
-  process pool (``max_workers > 1``) since exact search dominates batch
-  latency.
+  cost model picks.
 
-Results are **bit-identical** to the single-query selectors — both run the
-same plan->operator pipeline, so they cannot diverge.  :meth:`BatchSelectionEngine.plan`
-returns the plan for a query *without* executing it (the ``repro-select
-explain`` surface).
+Execution strategy: with ``executor=None`` (and ``max_workers`` unset or
+``<= 1``) everything above runs in-process.  With a
+:class:`~repro.service.shard.ShardedExecutor` (or ``max_workers > 1``, which
+builds one), *all* models are fanned out across worker processes partitioned
+by pool fingerprint: the parent still resolves pools and plans every query —
+so the deterministic operator choice stays centralised — and ships columnar
+:class:`~repro.service.shard.PlanPayload` objects to the shards, each of
+which keeps a worker-local sweep cache.  This replaces the PR 1 ad-hoc
+process pool that covered exact queries only.
+
+Results are **bit-identical** to the single-query selectors in every mode —
+sequential, sharded, and the degraded in-process fallback all run the same
+plan->operator pipeline over the same columnar arrays, so they cannot
+diverge.  :meth:`BatchSelectionEngine.plan` returns the plan for a query
+*without* executing it (the ``repro-select explain`` surface).
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from collections.abc import Iterable, Sequence
-from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -49,6 +57,12 @@ from repro.plan import SelectionPlan, execute_plan, normalize_model, plan_query
 from repro.service.cache import DEFAULT_CACHE_SIZE, PrefixSweepCache
 from repro.service.pool import CandidatePool
 from repro.service.registry import LivePool, PoolRegistry
+from repro.service.shard import (
+    PlanPayload,
+    PoolColumns,
+    ShardedExecutor,
+    rebuild_result,
+)
 
 __all__ = ["SelectionQuery", "QueryOutcome", "BatchSelectionEngine"]
 
@@ -132,15 +146,15 @@ class SelectionQuery:
 class QueryOutcome:
     """Result slot for one query of a batch: either a result or an error.
 
-    ``error`` is the legacy flat message string, kept populated for one
-    release; ``exception`` carries the failure itself so transports can
-    report a structured code + message (see :attr:`error_info`) instead of
-    parsing strings.
+    ``exception`` carries the failure itself — raised in-process or inside a
+    worker shard, it crosses the boundary intact — so transports report a
+    structured code + message (see :attr:`error_info`) instead of parsing
+    strings.  (The legacy flat ``.error`` message string was removed after
+    its one-release deprecation window; read ``error_info.message``.)
     """
 
     task_id: str
     result: SelectionResult | None = None
-    error: str | None = None
     elapsed_seconds: float = 0.0
     exception: BaseException | None = None
 
@@ -153,9 +167,8 @@ class QueryOutcome:
     def error_info(self):
         """Structured :class:`~repro.api.ErrorInfo` for the failure, if any.
 
-        Built lazily from :attr:`exception` (falling back to the legacy
-        message string), so the engine itself never depends on the protocol
-        layer.
+        Built lazily from :attr:`exception`, so the engine itself never
+        depends on the protocol layer.
         """
         if self.ok:
             return None
@@ -164,7 +177,7 @@ class QueryOutcome:
 
         if self.exception is not None:
             return ErrorInfo.from_exception(self.exception)
-        return ErrorInfo(code="internal", message=self.error or "failed")
+        return ErrorInfo(code="internal", message="query produced no result")
 
 
 @dataclass
@@ -174,28 +187,11 @@ class EngineStats:
     queries_run: int = 0
     batch_sweeps: int = 0
     pools_swept: int = 0
-    exact_subprocesses: int = 0
     live_profiles: int = 0
-
-
-def _exact_worker(
-    payload: tuple[tuple[Juror, ...], float | None, str, int | None],
-) -> SelectionResult:
-    """Process-pool entry point for one exact query (must be picklable).
-
-    Replans in the worker (Juror tuples pickle cheaply; plans do not): the
-    same ``plan_query() -> execute_plan()`` path as in-process execution.
-    """
-    members, budget, method, max_size = payload
-    plan = plan_query(
-        candidates=members,
-        model="exact",
-        budget=budget,
-        method=method,
-        max_size=max_size,
-        task_id="<worker>",
-    )
-    return execute_plan(plan)
+    #: Queries answered by worker shards (sharded execution only).
+    sharded_queries: int = 0
+    #: Shard batches dispatched (one per shard touched per engine pass).
+    shard_batches: int = 0
 
 
 class BatchSelectionEngine:
@@ -207,10 +203,16 @@ class BatchSelectionEngine:
         Capacity of the per-engine prefix-sweep cache (profiles retained
         across :meth:`run` calls).  ``0`` disables cross-run caching;
         within one batch, pools are still deduplicated by fingerprint.
+        Under sharded execution the engine cache relays live-pool profiles;
+        cold sweeps live in the worker-local caches instead.
     max_workers:
-        When ``> 1``, exact queries are fanned out over a
-        ``concurrent.futures`` process pool of this size.  AltrM/PayM
-        queries always run in-process (they are vectorized / cheap).
+        Convenience: ``> 1`` builds a
+        :class:`~repro.service.shard.ShardedExecutor` with that many worker
+        shards (mutually exclusive with ``executor``).
+    executor:
+        Execution strategy.  ``None`` runs everything in-process; a
+        :class:`~repro.service.shard.ShardedExecutor` fans every model out
+        across fingerprint-partitioned worker processes.
     registry:
         Optional :class:`~repro.service.registry.PoolRegistry` against which
         ``pool_name`` queries are resolved.  Live pools contribute their
@@ -232,11 +234,21 @@ class BatchSelectionEngine:
         *,
         cache_size: int = DEFAULT_CACHE_SIZE,
         max_workers: int | None = None,
+        executor: ShardedExecutor | None = None,
         registry: PoolRegistry | None = None,
     ) -> None:
+        if executor is not None and max_workers is not None:
+            raise ValueError("pass either an executor or max_workers, not both")
+        if executor is None and max_workers is not None and max_workers > 1:
+            executor = ShardedExecutor(max_workers)
         self._cache = PrefixSweepCache(maxsize=cache_size)
-        self._max_workers = max_workers
+        self._executor = executor
         self._registry = registry
+        # Guards parent-side shared state (cache, stats, planning) when the
+        # async drainer fans concurrent select_many calls across shards; the
+        # lock is released while waiting on shard futures, so parent-side
+        # work overlaps with worker compute.
+        self._lock = threading.Lock()
         self.stats = EngineStats()
 
     @property
@@ -245,9 +257,30 @@ class BatchSelectionEngine:
         return self._cache
 
     @property
+    def executor(self) -> ShardedExecutor | None:
+        """The sharded execution strategy, if any."""
+        return self._executor
+
+    @property
     def registry(self) -> PoolRegistry | None:
         """The registry ``pool_name`` queries resolve against (if any)."""
         return self._registry
+
+    def invalidate_profile(self, fingerprint: str) -> None:
+        """Evict a pool's sweep profile everywhere it may be cached.
+
+        Covers the parent cache *and* — under sharded execution — every
+        worker-local cache (broadcast), so dropping a registry pool frees
+        its profile in all shards, not just the parent.
+        """
+        self._cache.invalidate(fingerprint)
+        if self._executor is not None:
+            self._executor.invalidate(fingerprint)
+
+    def close(self) -> None:
+        """Release the executor's dedicated worker processes, if any."""
+        if self._executor is not None:
+            self._executor.close()
 
     def _resolve(self, query: SelectionQuery) -> tuple[CandidatePool, LivePool | None]:
         """Resolve a query to a frozen pool (plus its live pool, if any)."""
@@ -308,34 +341,131 @@ class BatchSelectionEngine:
 
         With ``raise_errors=False`` (the service default) a failing query —
         malformed pool, infeasible budget, … — yields an outcome carrying
-        the error message while the rest of the batch completes; with
+        the error while the rest of the batch completes; with
         ``raise_errors=True`` the first failure propagates as an exception.
+
+        Concurrent calls are safe when the engine has an executor (the async
+        drainer's shard fan-out relies on this); the sequential path assumes
+        one caller at a time, as before.
         """
         batch = list(queries)
         outcomes: list[QueryOutcome] = [
             QueryOutcome(task_id=q.task_id) for q in batch
         ]
-        self.stats.queries_run += len(batch)
+        with self._lock:
+            self.stats.queries_run += len(batch)
+            resolved: list[
+                tuple[int, SelectionQuery, CandidatePool, LivePool | None]
+            ] = []
+            for index, query in enumerate(batch):
+                try:
+                    pool, live = self._resolve(query)
+                    resolved.append((index, query, pool, live))
+                except Exception as exc:
+                    if raise_errors:
+                        raise
+                    outcomes[index].exception = exc
 
-        resolved: list[tuple[int, SelectionQuery, CandidatePool, LivePool | None]] = []
-        for index, query in enumerate(batch):
-            try:
-                pool, live = self._resolve(query)
-                resolved.append((index, query, pool, live))
-            except Exception as exc:
-                if raise_errors:
-                    raise
-                outcomes[index].error = str(exc)
-                outcomes[index].exception = exc
+        if self._executor is not None:
+            self._run_sharded(resolved, outcomes, raise_errors)
+            return outcomes
 
         altr_items = [item for item in resolved if item[1].model == "altr"]
-        pay_items = [item for item in resolved if item[1].model == "pay"]
-        exact_items = [item for item in resolved if item[1].model == "exact"]
-
+        other_items = [item for item in resolved if item[1].model != "altr"]
         self._run_altr(altr_items, outcomes, raise_errors)
-        self._run_serial(pay_items, outcomes, raise_errors, self._answer_pay)
-        self._run_exact(exact_items, outcomes, raise_errors)
+        self._run_serial(other_items, outcomes, raise_errors)
         return outcomes
+
+    # ------------------------------------------------------------------
+    # sharded execution: plan in the parent, execute in the worker shards
+    # ------------------------------------------------------------------
+    def _known_profile(
+        self, pool: CandidatePool, live: LivePool | None
+    ) -> tuple[np.ndarray, np.ndarray] | None:
+        """A sweep profile the parent already holds (cache hit or live pool).
+
+        Cold pools return ``None`` — the worker computes and caches the
+        sweep, which is exactly the work sharding parallelises.
+        """
+        cached = self._cache.get(pool.fingerprint)
+        if cached is not None:
+            return cached
+        if live is not None:
+            profile = live.sweep_profile()
+            self._cache.put(pool.fingerprint, *profile)
+            self.stats.live_profiles += 1
+            return profile
+        return None
+
+    def _run_sharded(
+        self,
+        items: Sequence[tuple[int, SelectionQuery, CandidatePool, LivePool | None]],
+        outcomes: list[QueryOutcome],
+        raise_errors: bool,
+    ) -> None:
+        assert self._executor is not None
+        with self._lock:
+            payloads: list[tuple[int, PlanPayload]] = []
+            blocks: dict[str, PoolColumns] = {}
+            probed: set[str] = set()  # pools whose known profile was looked up
+            for index, query, pool, live in items:
+                try:
+                    plan = self._plan_for(query, pool)
+                    fingerprint = pool.fingerprint
+                    is_altr = plan.operator == "altr-sweep"
+                    profile = None
+                    if is_altr and fingerprint not in probed:
+                        probed.add(fingerprint)
+                        profile = self._known_profile(pool, live)
+                    block = blocks.get(fingerprint)
+                    if block is None:
+                        blocks[fingerprint] = PoolColumns.from_view(
+                            plan.view,
+                            fingerprint=fingerprint,
+                            need_ids=not is_altr,
+                            profile=profile,
+                        )
+                    else:
+                        if not is_altr and block.ids is None:
+                            # First non-AltrM query on this pool: its solver
+                            # tie-breaks on juror ids, so the block gains them.
+                            block = replace(block, ids=plan.view.ids)
+                        if profile is not None and block.profile is None:
+                            block = replace(block, profile=profile)
+                        blocks[fingerprint] = block
+                    payloads.append(
+                        (index, PlanPayload.from_plan(plan, fingerprint=fingerprint))
+                    )
+                except Exception as exc:
+                    if raise_errors:
+                        raise
+                    outcomes[index].exception = exc
+        answers = self._executor.run_batch(payloads, blocks)
+        with self._lock:
+            shards = {
+                self._executor.shard_of(payload.fingerprint)
+                for _, payload in payloads
+            }
+            self.stats.shard_batches += len(shards)
+            pools = {index: pool for index, _, pool, _ in items}
+            for index, answer, elapsed in answers:
+                outcomes[index].elapsed_seconds = elapsed
+                if isinstance(answer, BaseException):
+                    outcomes[index].exception = answer
+                else:
+                    # Workers ship member *positions*; inflate them against
+                    # the parent's own Juror objects — the same objects the
+                    # sequential path would have selected.
+                    result = rebuild_result(pools[index].ordered, answer)
+                    # Same convention as the sequential paths: the result's
+                    # stats carry the per-query wall time.
+                    result.stats.elapsed_seconds = elapsed
+                    outcomes[index].result = result
+                    self.stats.sharded_queries += 1
+        if raise_errors:
+            for outcome in outcomes:
+                if outcome.exception is not None:
+                    raise outcome.exception
 
     # ------------------------------------------------------------------
     # AltrM: shared vectorized sweeps
@@ -394,7 +524,6 @@ class BatchSelectionEngine:
             except Exception as exc:
                 if raise_errors:
                     raise
-                outcomes[index].error = str(exc)
                 outcomes[index].exception = exc
                 continue
             elapsed = time.perf_counter() - start
@@ -405,80 +534,21 @@ class BatchSelectionEngine:
     # ------------------------------------------------------------------
     # PayM / exact: per-query plan execution
     # ------------------------------------------------------------------
-    @classmethod
-    def _answer_pay(cls, query: SelectionQuery, pool: CandidatePool) -> SelectionResult:
-        return execute_plan(cls._plan_for(query, pool))
-
-    @classmethod
-    def _answer_exact(cls, query: SelectionQuery, pool: CandidatePool) -> SelectionResult:
-        return execute_plan(cls._plan_for(query, pool))
-
     def _run_serial(
         self,
         items: Sequence[tuple[int, SelectionQuery, CandidatePool, LivePool | None]],
         outcomes: list[QueryOutcome],
         raise_errors: bool,
-        answer,
     ) -> None:
         for index, query, pool, _ in items:
             start = time.perf_counter()
             try:
-                result = answer(query, pool)
+                result = execute_plan(self._plan_for(query, pool))
             except Exception as exc:
                 if raise_errors:
                     raise
-                outcomes[index].error = str(exc)
                 outcomes[index].exception = exc
                 continue
             elapsed = time.perf_counter() - start
             outcomes[index].result = result
             outcomes[index].elapsed_seconds = elapsed
-
-    def _run_exact(
-        self,
-        items: Sequence[tuple[int, SelectionQuery, CandidatePool, LivePool | None]],
-        outcomes: list[QueryOutcome],
-        raise_errors: bool,
-    ) -> None:
-        workers = self._max_workers or 0
-        if workers <= 1 or len(items) <= 1:
-            self._run_serial(items, outcomes, raise_errors, self._answer_exact)
-            return
-        try:
-            with ProcessPoolExecutor(max_workers=workers) as executor:
-                futures = [
-                    (
-                        index,
-                        executor.submit(
-                            _exact_worker,
-                            (pool.ordered, query.budget, query.method, query.max_size),
-                        ),
-                        time.perf_counter(),
-                    )
-                    for index, query, pool, _ in items
-                ]
-                for index, future, start in futures:
-                    try:
-                        result = future.result()
-                    except (OSError, BrokenExecutor):
-                        raise  # executor died — handled by the serial fallback
-                    except Exception as exc:
-                        if raise_errors:
-                            raise
-                        outcomes[index].error = str(exc)
-                        outcomes[index].exception = exc
-                        continue
-                    elapsed = time.perf_counter() - start
-                    outcomes[index].result = result
-                    outcomes[index].elapsed_seconds = elapsed
-                    self.stats.exact_subprocesses += 1
-        except (OSError, PermissionError, BrokenExecutor):
-            # Sandboxed / fork-restricted environments (or a pool that died
-            # mid-batch): degrade gracefully, re-running only the queries
-            # that have neither a result nor a captured error yet.
-            remaining = [
-                item
-                for item in items
-                if outcomes[item[0]].result is None and outcomes[item[0]].error is None
-            ]
-            self._run_serial(remaining, outcomes, raise_errors, self._answer_exact)

@@ -1,0 +1,672 @@
+"""Sharded multi-process plan execution with worker-local sweep caches.
+
+The selection workload is embarrassingly parallel across independent queries
+and pools, but one Python process can only use one core.  This module moves
+*physical plan execution* — the O(N^2) prefix sweeps, the PayALG greedy, the
+exact solvers — into a persistent pool of worker processes while keeping
+*planning* (and therefore the deterministic operator choice) in the parent:
+
+parent                                   worker ``s``
+------                                   ------------
+resolve pool, ``plan_query()``   ──►     rebuild :class:`~repro.plan.view.PoolView`
+ship :class:`PlanPayload`                from the payload's columns,
+(columnar eps/reqs/ids arrays,           ``execute_plan()`` with the
+never pickled ``Juror`` lists)           worker-local :class:`PrefixSweepCache`
+
+Work is partitioned by **pool fingerprint**: :meth:`ShardedExecutor.shard_of`
+hashes the content fingerprint onto one of ``N`` shards, and each shard is a
+dedicated single-process ``ProcessPoolExecutor`` — so the same pool always
+lands on the same worker, whose local cache already holds its sweep profile.
+Inside one shard batch, cache-missing AltrM pools of equal size are stacked
+and swept together by :func:`repro.core.jer.batch_prefix_jer_sweep`, exactly
+like the in-process batch engine.
+
+**Bit-identity.**  Workers run the *same* ``execute_plan()`` over the same
+columnar view and the same stacked sweep kernel the sequential engine uses,
+and the plan (operator + backends) was fixed in the parent — so sharded
+selections are bit-identical to sequential dispatch by construction, and the
+oracle tests assert it.
+
+**Shared worker pools.**  By default every :class:`ShardedExecutor` with the
+same worker count shares one process-global set of shard processes (worker
+caches are keyed by content fingerprint, so sharing across engines can never
+serve a wrong profile; it only saves fork cost and memory).  Pass
+``dedicated=True`` for a private set — tests that assert cold-cache
+behaviour use this — and ``close()`` it when done.
+
+**Degraded environments.**  Where process pools are unavailable (sandboxed /
+fork-restricted containers), the executor transparently falls back to
+in-process execution of the same shard batches: slower, but identical
+results — nothing above this module needs to care.
+
+**Fault-injection seam.**  With :data:`FAULT_INJECTION` switched on in the
+*parent* (tests only; default off), a payload whose ``task_id`` starts with
+:data:`FAULT_MARKER` is marked at planning time and makes the worker raise
+the named :class:`~repro.errors.ReproError` subclass instead of executing.
+The tests use it to drive every registered error class through a real
+worker process and assert its wire code survives the round trip; with the
+flag off (production), such task ids execute normally.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections.abc import Sequence
+from concurrent.futures import (
+    BrokenExecutor,
+    CancelledError,
+    Future,
+    ProcessPoolExecutor,
+)
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.jer import batch_prefix_jer_sweep
+from repro.core.juror import Jury
+from repro.core.selection.base import SelectionResult, SelectionStats
+from repro.errors import ReproError
+from repro.plan import SelectionPlan, execute_plan
+from repro.plan.view import PoolView
+from repro.service.cache import DEFAULT_CACHE_SIZE, PrefixSweepCache
+
+__all__ = [
+    "PlanPayload",
+    "PoolColumns",
+    "ShardedExecutor",
+    "shutdown_shared_pools",
+    "FAULT_MARKER",
+]
+
+#: ``task_id`` prefix that makes a worker raise instead of execute (test
+#: seam; only honoured while :data:`FAULT_INJECTION` is True).  The suffix
+#: names a :class:`~repro.errors.ReproError` subclass, e.g.
+#: ``"__repro_fault__:InvalidJuryError"``.
+FAULT_MARKER = "__repro_fault__:"
+
+#: Master switch for the fault-injection seam, read in the *parent* when a
+#: payload is built — so a production task id that happens to carry the
+#: marker executes normally.  Tests flip it via ``monkeypatch.setattr``.
+FAULT_INJECTION = False
+
+
+@dataclass(frozen=True)
+class PoolColumns:
+    """One pool's shippable columns, shared by every payload targeting it.
+
+    The pool decomposed into parallel ``eps``/``reqs``/``ids`` vectors
+    (Lemma 3 order) — pickling a few float64 arrays instead of N ``Juror``
+    objects, and pickling them **once per shard batch** however many
+    queries of the batch hit the pool.  ``ids`` travel only when some
+    referencing plan is PayM / exact — those solvers break ties on
+    juror-id strings and their juries are mapped back to positions by id;
+    AltrM juries are sorted prefixes, so they never need the ids.
+    ``profile`` optionally carries a parent-known ``(ns, jers)`` sweep
+    profile (live-pool delta repairs, parent cache hits) so the worker
+    does not recompute it.
+    """
+
+    eps: np.ndarray
+    reqs: np.ndarray
+    ids: tuple[str, ...] | None
+    fingerprint: str
+    pool_id: str | None
+    profile: tuple[np.ndarray, np.ndarray] | None = None
+
+    @classmethod
+    def from_view(
+        cls,
+        view: PoolView,
+        *,
+        fingerprint: str,
+        need_ids: bool,
+        profile: tuple[np.ndarray, np.ndarray] | None = None,
+    ) -> "PoolColumns":
+        return cls(
+            eps=np.asarray(view.eps),
+            reqs=np.asarray(view.reqs),
+            ids=view.ids if need_ids else None,
+            fingerprint=fingerprint,
+            pool_id=view.pool_id,
+            profile=profile,
+        )
+
+    def to_view(self) -> PoolView:
+        return PoolView(
+            self.eps,
+            self.reqs,
+            ids=self.ids,
+            fingerprint=self.fingerprint,
+            pool_id=self.pool_id,
+        )
+
+
+@dataclass(frozen=True)
+class PlanPayload:
+    """A parent-planned query's logical fields, in shippable form.
+
+    The pool itself travels separately as a :class:`PoolColumns` block
+    (one per distinct fingerprint per shard batch); ``fingerprint`` is the
+    reference that joins them back together in the worker.
+    """
+
+    task_id: str
+    model: str
+    operator: str
+    jer_backend: str
+    pmf_backend: str
+    budget: float | None
+    max_size: int | None
+    variant: str
+    method: str
+    jer_tie_eps: float
+    cost: object
+    fingerprint: str
+    #: Name of a ReproError subclass the worker must raise instead of
+    #: executing — set at build time only while :data:`FAULT_INJECTION` is on.
+    fault: str | None = None
+
+    @classmethod
+    def from_plan(cls, plan: SelectionPlan, *, fingerprint: str) -> "PlanPayload":
+        return cls(
+            task_id=plan.task_id,
+            model=plan.model,
+            operator=plan.operator,
+            jer_backend=plan.jer_backend,
+            pmf_backend=plan.pmf_backend,
+            budget=plan.budget,
+            max_size=plan.max_size,
+            variant=plan.variant,
+            method=plan.method,
+            jer_tie_eps=plan.jer_tie_eps,
+            cost=plan.cost,
+            fingerprint=fingerprint,
+            fault=(
+                plan.task_id[len(FAULT_MARKER) :].split(":", 1)[0]
+                if FAULT_INJECTION and plan.task_id.startswith(FAULT_MARKER)
+                else None
+            ),
+        )
+
+    def to_plan(self, view: PoolView) -> SelectionPlan:
+        """Rebuild the executable plan around the pool's reconstructed view."""
+        return SelectionPlan(
+            task_id=self.task_id,
+            model=self.model,
+            view=view,
+            budget=self.budget,
+            max_size=self.max_size,
+            variant=self.variant,
+            method=self.method,
+            operator=self.operator,
+            jer_backend=self.jer_backend,
+            pmf_backend=self.pmf_backend,
+            cost=self.cost,
+            jer_tie_eps=self.jer_tie_eps,
+        )
+
+
+@dataclass(frozen=True)
+class CompactResult:
+    """A worker's answer, with jury members as *positions* into the pool.
+
+    Shipping indices instead of ``Juror`` objects keeps the return pickle a
+    few dozen bytes; the parent rebuilds the :class:`SelectionResult` from
+    the very ``Juror`` objects its own pool holds
+    (:func:`rebuild_result`) — the same objects the sequential path would
+    have put in the jury.
+    """
+
+    indices: tuple[int, ...]
+    jer: float
+    algorithm: str
+    model: str
+    budget: float | None
+    stats: SelectionStats
+
+
+def rebuild_result(ordered, compact: CompactResult) -> SelectionResult:
+    """Inflate a :class:`CompactResult` against the parent's member tuple."""
+    return SelectionResult(
+        jury=Jury([ordered[i] for i in compact.indices]),
+        jer=compact.jer,
+        algorithm=compact.algorithm,
+        model=compact.model,
+        budget=compact.budget,
+        stats=compact.stats,
+    )
+
+
+# ----------------------------------------------------------------------
+# worker side (runs inside the shard processes; also reused in-process by
+# the degraded-environment fallback)
+# ----------------------------------------------------------------------
+
+#: One sweep-profile cache per worker *process*, keyed by pool fingerprint.
+#: Inside a real shard process access is single-threaded; the lock matters
+#: for the degraded in-process fallback, where the async drainer's fan-out
+#: threads execute shard batches concurrently in the parent.
+_LOCAL_CACHE = PrefixSweepCache(maxsize=DEFAULT_CACHE_SIZE)
+_LOCAL_CACHE_LOCK = threading.Lock()
+
+
+def _reset_after_fork() -> None:
+    # A worker forked while some parent thread held the cache lock (or was
+    # mid-mutation under it) would inherit a locked lock and a half-written
+    # cache; fresh processes start with a fresh lock and a cold cache.
+    global _LOCAL_CACHE, _LOCAL_CACHE_LOCK
+    _LOCAL_CACHE = PrefixSweepCache(maxsize=DEFAULT_CACHE_SIZE)
+    _LOCAL_CACHE_LOCK = threading.Lock()
+
+
+if hasattr(os, "register_at_fork"):  # pragma: no branch - CPython >= 3.7
+    os.register_at_fork(after_in_child=_reset_after_fork)
+
+
+def _raise_injected_fault(name: str) -> None:
+    """Raise the :class:`~repro.errors.ReproError` subclass called ``name``."""
+    stack: list[type[ReproError]] = [ReproError]
+    while stack:
+        cls = stack.pop()
+        if cls.__name__ == name:
+            raise cls(f"injected fault {name}")
+        stack.extend(cls.__subclasses__())
+    raise ReproError(f"injected fault {name}")
+
+
+def _local_profiles(
+    payloads: Sequence[tuple[int, PlanPayload]],
+    blocks: dict[str, PoolColumns],
+) -> dict[str, tuple[np.ndarray, np.ndarray]]:
+    """Sweep profiles for the batch's AltrM pools, via the worker cache.
+
+    Parent-shipped profiles are adopted into the cache; remaining misses are
+    grouped by pool size and swept together in stacked 2-D kernel calls —
+    the same stacking the sequential engine performs, so the numbers cannot
+    differ.
+    """
+    wanted = {p.fingerprint for _, p in payloads if p.operator == "altr-sweep"}
+    profiles: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+    missing: dict[str, PoolColumns] = {}
+    with _LOCAL_CACHE_LOCK:
+        for fingerprint in wanted:
+            block = blocks[fingerprint]
+            if block.profile is not None:
+                profiles[fingerprint] = block.profile
+                _LOCAL_CACHE.put(fingerprint, *block.profile)
+                continue
+            cached = _LOCAL_CACHE.get(fingerprint)
+            if cached is not None:
+                profiles[fingerprint] = cached
+            else:
+                missing[fingerprint] = block
+    by_size: dict[int, list[PoolColumns]] = {}
+    for block in missing.values():
+        by_size.setdefault(int(block.eps.size), []).append(block)
+    for group in by_size.values():
+        matrix = np.stack([block.eps for block in group])
+        ns, jer_matrix = batch_prefix_jer_sweep(matrix)
+        with _LOCAL_CACHE_LOCK:
+            for row, block in enumerate(group):
+                profile = (ns, jer_matrix[row].copy())
+                profiles[block.fingerprint] = profile
+                _LOCAL_CACHE.put(block.fingerprint, *profile)
+    return profiles
+
+
+def _compact(
+    payload: PlanPayload, columns: PoolColumns, result: SelectionResult
+) -> CompactResult:
+    """Map a jury back to pool positions (prefix for AltrM, by id otherwise)."""
+    if payload.operator == "altr-sweep":
+        # Lemma 3: the AltrM optimum is a prefix of the sorted pool.
+        indices = tuple(range(result.size))
+    else:
+        position = {juror_id: i for i, juror_id in enumerate(columns.ids)}
+        indices = tuple(position[j.juror_id] for j in result.jury)
+    return CompactResult(
+        indices=indices,
+        jer=result.jer,
+        algorithm=result.algorithm,
+        model=result.model,
+        budget=result.budget,
+        stats=result.stats,
+    )
+
+
+def _execute_shard_batch(
+    payloads: Sequence[tuple[int, PlanPayload]],
+    blocks: dict[str, PoolColumns],
+) -> list[tuple[int, CompactResult | BaseException, float]]:
+    """Execute one shard batch; one ``(key, result | exception, elapsed)``
+    triple per payload, failures captured per item so a bad query never
+    poisons its shard batch."""
+    profiles = _local_profiles(payloads, blocks)
+    # One reconstructed view per distinct pool: queries sharing a pool also
+    # share its lazily materialised Juror tuple inside the worker.
+    views: dict[str, PoolView] = {}
+    answers: list[tuple[int, CompactResult | BaseException, float]] = []
+    for key, payload in payloads:
+        start = time.perf_counter()
+        try:
+            if payload.fault is not None:
+                _raise_injected_fault(payload.fault)
+            fingerprint = payload.fingerprint
+            view = views.get(fingerprint)
+            if view is None:
+                view = views.setdefault(fingerprint, blocks[fingerprint].to_view())
+            result = execute_plan(
+                payload.to_plan(view), profile=profiles.get(fingerprint)
+            )
+            answer: CompactResult | BaseException = _compact(
+                payload, blocks[fingerprint], result
+            )
+        except Exception as exc:
+            answer = exc
+        answers.append((key, answer, time.perf_counter() - start))
+    return answers
+
+
+def _invalidate_local(fingerprint: str) -> bool:
+    """Evict one fingerprint from this process's local sweep cache."""
+    with _LOCAL_CACHE_LOCK:
+        return _LOCAL_CACHE.invalidate(fingerprint)
+
+
+def _local_cache_stats() -> dict:
+    """This process's local cache counters (shard introspection)."""
+    with _LOCAL_CACHE_LOCK:
+        return {
+            "entries": len(_LOCAL_CACHE),
+            "hits": _LOCAL_CACHE.hits,
+            "misses": _LOCAL_CACHE.misses,
+            "evictions": _LOCAL_CACHE.evictions,
+        }
+
+
+def _local_cache_contains(fingerprint: str) -> bool:
+    with _LOCAL_CACHE_LOCK:
+        return fingerprint in _LOCAL_CACHE
+
+
+# ----------------------------------------------------------------------
+# parent side
+# ----------------------------------------------------------------------
+
+#: Process-global shard pools, keyed by worker count.  Content-fingerprint
+#: keying makes sharing across executors safe; it bounds the number of
+#: worker processes one parent ever forks.
+_SHARED_POOLS: dict[int, list[ProcessPoolExecutor | None]] = {}
+
+#: Guards lazy shard-process creation and teardown (shared or dedicated):
+#: without it, two fan-out threads first-touching the same shard would each
+#: fork a worker and leak one of them.
+_POOLS_LOCK = threading.Lock()
+
+
+def shutdown_shared_pools() -> None:
+    """Shut down every shared shard process (benchmarks / test isolation)."""
+    with _POOLS_LOCK:
+        for pools in _SHARED_POOLS.values():
+            for pool in pools:
+                if pool is not None:
+                    pool.shutdown(wait=True, cancel_futures=True)
+        _SHARED_POOLS.clear()
+
+
+class ShardedExecutor:
+    """Fan plan execution out over fingerprint-hashed worker shards.
+
+    Parameters
+    ----------
+    workers:
+        Number of shards (one worker process each).
+    dedicated:
+        ``False`` (default) shares the process-global shard pools with every
+        other non-dedicated executor of the same worker count; ``True``
+        forks a private set that :meth:`close` tears down.
+
+    The executor is thread-safe: submissions from concurrent threads (the
+    async drainer's per-shard fan-out) interleave on the shard queues.
+    """
+
+    def __init__(self, workers: int, *, dedicated: bool = False) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self._workers = workers
+        self._dedicated = dedicated
+        self._dedicated_pools: list[ProcessPoolExecutor | None] = (
+            [None] * workers if dedicated else []
+        )
+        # Flips to True when forking shard processes proves impossible;
+        # from then on every batch runs in-process (same code, same answers).
+        self._in_process = False
+        # Consecutive fork failures at submit time.  A transient EAGAIN or
+        # ENOMEM must not degrade the executor for good, so the in-process
+        # latch only engages after repeated failures; any success resets it.
+        self._fork_failures = 0
+
+    @property
+    def _pools(self) -> list[ProcessPoolExecutor | None]:
+        """The live shard-pool slots.
+
+        Shared executors look the list up in the process-global registry on
+        every access (never caching it), so a ``shutdown_shared_pools()``
+        call cannot orphan a still-referenced list — the next dispatch
+        re-registers fresh slots that future shutdowns can reach.  The
+        lookup uses the GIL-atomic ``dict.setdefault`` rather than
+        ``_POOLS_LOCK``: callers already inside the (non-reentrant) lock
+        evaluate this property too.
+        """
+        if self._dedicated:
+            return self._dedicated_pools
+        return _SHARED_POOLS.setdefault(self._workers, [None] * self._workers)
+
+    @property
+    def workers(self) -> int:
+        """Number of shards."""
+        return self._workers
+
+    @property
+    def in_process(self) -> bool:
+        """True when the degraded in-process fallback is active."""
+        return self._in_process
+
+    def shard_of(self, fingerprint: str) -> int:
+        """Deterministic shard index for a pool content fingerprint."""
+        return int(fingerprint[:16], 16) % self._workers
+
+    def start(self) -> "ShardedExecutor":
+        """Fork every shard process now (serving startup, benchmarks).
+
+        Shards normally start lazily on first dispatch; a serving process
+        calls this once so no request pays the fork cost.  A fork-restricted
+        environment degrades to in-process here like every dispatch path —
+        start() never raises for it.
+        """
+        for shard in range(self._workers):
+            pool = self._pool(shard)
+            if pool is None:  # degraded environment: nothing to fork
+                break
+            try:
+                pool.submit(_local_cache_stats).result()
+            except (OSError, PermissionError, BrokenExecutor, CancelledError):
+                # The explicit probe failing is a strong no-fork signal.
+                self._in_process = True
+                break
+        return self
+
+    def _pool(self, shard: int) -> ProcessPoolExecutor | None:
+        """The shard's single-worker process pool, started lazily."""
+        if self._in_process:
+            return None
+        pool = self._pools[shard]
+        if pool is None:
+            with _POOLS_LOCK:
+                pool = self._pools[shard]  # re-check: another thread may have won
+                if pool is None:
+                    try:
+                        pool = ProcessPoolExecutor(max_workers=1)
+                    except (OSError, PermissionError):
+                        self._in_process = True
+                        return None
+                    self._pools[shard] = pool
+        return pool
+
+    def _discard_pool(self, shard: int) -> None:
+        """Drop a broken shard process; the next dispatch forks a fresh one.
+
+        A worker dying (OOM kill, crash) must not degrade the executor
+        permanently — only a genuine inability to fork
+        (:attr:`in_process`) does.
+        """
+        with _POOLS_LOCK:
+            pool = self._pools[shard]
+            if pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
+                self._pools[shard] = None
+
+    def submit_batch(
+        self,
+        shard: int,
+        payloads: Sequence[tuple[int, PlanPayload]],
+        blocks: dict[str, PoolColumns],
+    ) -> Future | None:
+        """Dispatch one shard batch; resolves to ``_execute_shard_batch``'s
+        answer triples.  Returns ``None`` when the shard process cannot take
+        the batch (unstartable, dead, or shut down) — the caller must then
+        execute the batch in-process itself, which lets it finish submitting
+        to the healthy shards first instead of blocking on the fallback.
+        """
+        pool = self._pool(shard)
+        if pool is None:
+            return None
+        try:
+            future = pool.submit(_execute_shard_batch, payloads, blocks)
+        except (BrokenExecutor, RuntimeError):
+            # This shard's process died (or its pool was shut down): let the
+            # next dispatch refork it.
+            self._discard_pool(shard)
+            return None
+        except (OSError, PermissionError):
+            # Fork failed.  Could be transient (EAGAIN, ENOMEM) — only
+            # repeated failures latch the permanent in-process fallback.
+            self._discard_pool(shard)
+            self._fork_failures += 1
+            if self._fork_failures > self._workers + 1:
+                self._in_process = True
+            return None
+        self._fork_failures = 0
+        return future
+
+    def run_batch(
+        self,
+        payloads: Sequence[tuple[int, PlanPayload]],
+        blocks: dict[str, PoolColumns],
+    ) -> list[tuple[int, CompactResult | BaseException, float]]:
+        """Partition payloads by fingerprint shard, execute, gather.
+
+        Each shard receives its payloads plus the :class:`PoolColumns`
+        blocks they reference — one block per distinct pool, however many
+        queries target it.  Submits every shard batch before computing any
+        in-process fallbacks or waiting, so healthy shards compute
+        concurrently even while a dead one is covered in-process; a shard
+        whose process died mid-batch is likewise re-executed in-process
+        (same payloads, same answers) and reforked on the next dispatch.
+        """
+        groups: dict[int, list[tuple[int, PlanPayload]]] = {}
+        for key, payload in payloads:
+            groups.setdefault(self.shard_of(payload.fingerprint), []).append(
+                (key, payload)
+            )
+        futures = []
+        deferred = []
+        for shard, batch in groups.items():
+            shard_blocks = {
+                payload.fingerprint: blocks[payload.fingerprint]
+                for _, payload in batch
+            }
+            future = self.submit_batch(shard, batch, shard_blocks)
+            if future is None:
+                deferred.append((batch, shard_blocks))
+            else:
+                futures.append((shard, batch, shard_blocks, future))
+        answers: list[tuple[int, CompactResult | BaseException, float]] = []
+        for batch, shard_blocks in deferred:
+            answers.extend(_execute_shard_batch(batch, shard_blocks))
+        for shard, batch, shard_blocks, future in futures:
+            try:
+                answers.extend(future.result())
+            except (OSError, BrokenExecutor, CancelledError):
+                # Worker death mid-batch, or a concurrent
+                # shutdown_shared_pools() cancelling the queued future.
+                self._discard_pool(shard)
+                answers.extend(_execute_shard_batch(batch, shard_blocks))
+        return answers
+
+    # ------------------------------------------------------------------
+    # broadcast operations
+    # ------------------------------------------------------------------
+    def _broadcast(self, fn, *args) -> list:
+        """Run ``fn`` once in every *started* shard process (and locally
+        when the in-process fallback is active)."""
+        results = []
+        if self._in_process:
+            return [fn(*args)]
+        futures = []
+        for shard in range(self._workers):
+            pool = self._pools[shard]
+            if pool is None:
+                continue
+            try:
+                futures.append(pool.submit(fn, *args))
+            except (BrokenExecutor, RuntimeError):
+                continue
+        for future in futures:
+            try:
+                results.append(future.result())
+            except (OSError, BrokenExecutor):
+                continue
+        return results
+
+    def invalidate(self, fingerprint: str) -> int:
+        """Evict a fingerprint from every worker-local cache.
+
+        Returns how many caches actually held it.  Called by the service
+        layer when a registry pool is dropped, so no shard keeps dead
+        profiles pinned in memory.
+        """
+        return sum(bool(hit) for hit in self._broadcast(_invalidate_local, fingerprint))
+
+    def contains(self, fingerprint: str) -> list[bool]:
+        """Per-started-shard presence of a fingerprint (introspection)."""
+        return self._broadcast(_local_cache_contains, fingerprint)
+
+    def cache_stats(self) -> list[dict]:
+        """Worker-local cache counters of every started shard."""
+        return self._broadcast(_local_cache_stats)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Tear down dedicated shard processes (no-op for shared pools)."""
+        if not self._dedicated:
+            return
+        with _POOLS_LOCK:
+            for shard, pool in enumerate(self._pools):
+                if pool is not None:
+                    pool.shutdown(wait=True, cancel_futures=True)
+                    self._pools[shard] = None
+
+    def __enter__(self) -> "ShardedExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        mode = "in-process" if self._in_process else (
+            "dedicated" if self._dedicated else "shared"
+        )
+        return f"ShardedExecutor(workers={self._workers}, {mode})"

@@ -14,7 +14,12 @@ from repro.core.juror import Juror
 from repro.core.selection.altr import select_jury_altr
 from repro.core.selection.pay import select_jury_pay
 from repro.errors import InvalidJuryError, PoolNotFoundError
-from repro.service import BatchSelectionEngine, PoolRegistry, SelectionQuery
+from repro.service import (
+    BatchSelectionEngine,
+    PoolRegistry,
+    QueryOutcome,
+    SelectionQuery,
+)
 
 FIGURE1 = [
     ("A", 0.1, 0.20),
@@ -197,21 +202,27 @@ class TestConstruction:
             JuryService(engine=engine, cache_size=4)
 
 
-class TestLegacyOutcomeBridge:
-    def test_outcome_keeps_legacy_string_and_gains_error_info(self):
-        """QueryOutcome.error stays populated (deprecated) alongside the
-        structured exception/ErrorInfo threading."""
+class TestOutcomeErrorInfo:
+    def test_failed_outcome_threads_exception_into_error_info(self):
+        """The engine threads the failure exception through
+        QueryOutcome.exception; error_info carries the registry code."""
         engine = BatchSelectionEngine()
         pricey = (Juror(0.2, 9.0, juror_id="x"),)
         outcome = engine.run(
             [SelectionQuery(task_id="bad", candidates=pricey, model="pay", budget=1.0)]
         )[0]
         assert not outcome.ok
-        assert isinstance(outcome.error, str) and "affordable" in outcome.error
+        assert isinstance(outcome.exception, Exception)
         info = outcome.error_info
         assert isinstance(info, ErrorInfo)
         assert info.code == "infeasible-selection"
-        assert info.message == outcome.error
+        assert "affordable" in info.message
+
+    def test_legacy_flat_error_string_is_gone(self):
+        """The deprecated QueryOutcome.error message string was removed
+        after its one-release window; error_info is the one error surface."""
+        outcome = QueryOutcome(task_id="t")
+        assert not hasattr(outcome, "error")
 
     def test_ok_outcome_has_no_error_info(self):
         engine = BatchSelectionEngine()

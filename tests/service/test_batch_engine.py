@@ -239,7 +239,7 @@ class TestErrorHandling:
         )
         assert outcomes[0].ok
         assert not outcomes[1].ok
-        assert "affordable" in outcomes[1].error
+        assert "affordable" in outcomes[1].error_info.message
 
     def test_raise_errors_propagates(self, rng):
         pricey = (Juror(0.2, 99.0, juror_id="rich"),)
@@ -284,4 +284,4 @@ class TestProcessPool:
         ]
         outcomes = BatchSelectionEngine(max_workers=2).run(queries)
         assert all(not o.ok for o in outcomes)
-        assert all("affordable" in o.error for o in outcomes)
+        assert all("affordable" in o.error_info.message for o in outcomes)

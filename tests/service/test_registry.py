@@ -144,7 +144,7 @@ class TestChurnOracle:
             outcome = engine.run(
                 [SelectionQuery(task_id=f"s{step}", pool_name="P")]
             )[0]
-            assert outcome.ok, outcome.error
+            assert outcome.ok, outcome.error_info
             single = select_jury_altr(list(pool.ordered))
             assert outcome.result.jer == single.jer
             assert outcome.result.juror_ids == single.juror_ids
@@ -221,7 +221,7 @@ class TestEngineIntegration:
     def test_pool_name_requires_registry(self, rng):
         engine = BatchSelectionEngine()
         outcome = engine.run([SelectionQuery(task_id="t", pool_name="P")])[0]
-        assert not outcome.ok and "registry" in outcome.error
+        assert not outcome.ok and "registry" in outcome.error_info.message
         with pytest.raises(ValueError, match="exactly one"):
             SelectionQuery(
                 task_id="t",
@@ -238,7 +238,7 @@ class TestEngineIntegration:
             ]
         )
         assert outcomes[0].ok
-        assert not outcomes[1].ok and "missing" in outcomes[1].error
+        assert not outcomes[1].ok and "missing" in outcomes[1].error_info.message
 
     def test_live_profile_used_instead_of_engine_sweep(self, rng):
         registry, engine = self._registry_engine(rng)

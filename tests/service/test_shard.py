@@ -1,0 +1,500 @@
+"""Sharded execution: bit-identity, worker caches, broadcast invalidation,
+and end-to-end error-code threading out of worker processes."""
+
+from __future__ import annotations
+
+import asyncio
+import io
+import json
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.api import ERROR_CODES, AsyncJuryService, JuryService, PoolCommand, SelectionRequest
+from repro.api.codes import error_code
+from repro.cli import run_serve
+from repro.core.juror import Juror, jurors_from_arrays
+from repro.errors import InfeasibleSelectionError, ReproError
+from repro.service import (
+    BatchSelectionEngine,
+    CandidatePool,
+    PoolRegistry,
+    SelectionQuery,
+    ShardedExecutor,
+)
+from repro.service import shard as shard_module
+from repro.service.shard import FAULT_MARKER, PlanPayload, PoolColumns
+from repro.testing import DEFAULT_SEED
+
+#: Every registered ReproError subclass and its wire code — the classes the
+#: fault-injection seam drives through a real worker process.
+REPRO_ERROR_CODES = sorted(
+    (
+        (cls, code)
+        for cls, code in ERROR_CODES.items()
+        if isinstance(cls, type) and issubclass(cls, ReproError)
+    ),
+    key=lambda pair: pair[0].__name__,
+)
+
+
+def _pool_jurors(rng: np.random.Generator, n: int, *, tag: str, priced: bool = False):
+    eps = rng.uniform(0.05, 0.9, size=n)
+    reqs = rng.uniform(0.05, 1.0, size=n) if priced else np.zeros(n)
+    return tuple(
+        Juror(float(e), float(r), juror_id=f"{tag}-{i}")
+        for i, (e, r) in enumerate(zip(eps, reqs))
+    )
+
+
+def _mixed_queries(rng: np.random.Generator, count: int = 16):
+    queries = []
+    for i in range(count):
+        if i % 5 == 3:
+            queries.append(
+                SelectionQuery(
+                    task_id=f"p{i}",
+                    candidates=_pool_jurors(rng, 13, tag=f"p{i}", priced=True),
+                    model="pay",
+                    budget=2.0,
+                )
+            )
+        elif i % 5 == 4:
+            queries.append(
+                SelectionQuery(
+                    task_id=f"e{i}",
+                    candidates=_pool_jurors(rng, 9, tag=f"e{i}", priced=True),
+                    model="exact",
+                    budget=2.5,
+                )
+            )
+        else:
+            queries.append(
+                SelectionQuery(
+                    task_id=f"a{i}",
+                    candidates=_pool_jurors(rng, 11 + 2 * (i % 3), tag=f"a{i}"),
+                )
+            )
+    return queries
+
+
+@pytest.fixture
+def dedicated_executor():
+    executor = ShardedExecutor(2, dedicated=True)
+    yield executor
+    executor.close()
+
+
+class TestShardRouting:
+    def test_shard_of_is_deterministic_and_in_range(self, rng):
+        executor = ShardedExecutor(4)
+        pools = [
+            CandidatePool(_pool_jurors(rng, 7, tag=f"s{i}")) for i in range(32)
+        ]
+        shards = [executor.shard_of(p.fingerprint) for p in pools]
+        assert shards == [executor.shard_of(p.fingerprint) for p in pools]
+        assert all(0 <= s < 4 for s in shards)
+        assert len(set(shards)) > 1  # fingerprints actually spread
+
+    def test_rejects_non_positive_worker_count(self):
+        with pytest.raises(ValueError, match="workers"):
+            ShardedExecutor(0)
+
+
+class TestBitIdentity:
+    def test_sharded_matches_sequential_engine(self, rng):
+        """The acceptance bar: sharded selections == sequential, bit for bit."""
+        queries = _mixed_queries(rng)
+        sequential = BatchSelectionEngine().run(list(queries))
+        sharded = BatchSelectionEngine(max_workers=3).run(list(queries))
+        for seq, shd in zip(sequential, sharded):
+            assert seq.ok and shd.ok
+            assert shd.result.jer == seq.result.jer  # exact, not approx
+            assert shd.result.juror_ids == seq.result.juror_ids
+            assert shd.result.algorithm == seq.result.algorithm
+            assert shd.result.model == seq.result.model
+
+    def test_registry_pools_match_sequential(self, rng):
+        members = list(jurors_from_arrays(rng.uniform(0.05, 0.9, size=19)))
+        queries = [
+            SelectionQuery(task_id=f"t{i}", pool_name="P", max_size=m)
+            for i, m in enumerate((None, 3, 7))
+        ]
+
+        def answers(engine_options):
+            registry = PoolRegistry()
+            registry.create("P", members)
+            engine = BatchSelectionEngine(registry=registry, **engine_options)
+            return engine.run(list(queries))
+
+        for seq, shd in zip(answers({}), answers({"max_workers": 2})):
+            assert seq.ok and shd.ok
+            assert shd.result.jer == seq.result.jer
+            assert shd.result.juror_ids == seq.result.juror_ids
+
+    def test_service_wire_rows_match_sequential(self, rng):
+        requests = [
+            SelectionRequest(
+                task_id=f"t{i}", candidates=_pool_jurors(rng, 9, tag=f"t{i}")
+            )
+            for i in range(6)
+        ]
+
+        def rows(**options):
+            responses = JuryService(**options).select_many(requests)
+            normalised = []
+            for response in responses:
+                row = response.to_dict()
+                row.pop("timings")
+                normalised.append(row)
+            return normalised
+
+        assert rows() == rows(workers=2)
+
+    def test_in_process_fallback_matches(self, rng, dedicated_executor):
+        queries = _mixed_queries(rng, count=8)
+        sequential = BatchSelectionEngine().run(list(queries))
+        dedicated_executor._in_process = True  # simulate fork-restricted env
+        engine = BatchSelectionEngine(executor=dedicated_executor)
+        for seq, shd in zip(sequential, engine.run(list(queries))):
+            assert shd.result.jer == seq.result.jer
+            assert shd.result.juror_ids == seq.result.juror_ids
+        assert dedicated_executor.in_process
+
+    def test_payload_round_trip_preserves_plan(self, rng):
+        pool = CandidatePool(_pool_jurors(rng, 9, tag="rt", priced=True))
+        engine = BatchSelectionEngine()
+        plan = engine.plan(
+            SelectionQuery(task_id="rt", pool=pool, model="exact", budget=2.0)
+        )
+        payload = PlanPayload.from_plan(plan, fingerprint=pool.fingerprint)
+        columns = PoolColumns.from_view(
+            plan.view, fingerprint=pool.fingerprint, need_ids=True
+        )
+        rebuilt = payload.to_plan(columns.to_view())
+        assert rebuilt.describe() == plan.describe()
+        # Columns travel as arrays; members rematerialise from ids lazily.
+        assert rebuilt.view.ids == plan.view.ids
+        assert [j.juror_id for j in rebuilt.view.ordered] == [
+            j.juror_id for j in plan.view.ordered
+        ]
+
+    def test_shared_pool_ships_one_block_per_shard_batch(self, rng, dedicated_executor):
+        """The serve shape: many queries on one pool ship the pool columns
+        once (a single PoolColumns block), not once per query."""
+        shipped = []
+        original = dedicated_executor.submit_batch
+
+        def spy(shard, payloads, blocks):
+            shipped.append((len(payloads), len(blocks)))
+            return original(shard, payloads, blocks)
+
+        dedicated_executor.submit_batch = spy
+        engine = BatchSelectionEngine(executor=dedicated_executor)
+        pool = CandidatePool(_pool_jurors(rng, 15, tag="blk"))
+        outcomes = engine.run(
+            [SelectionQuery(task_id=f"t{i}", pool=pool) for i in range(32)]
+        )
+        assert all(o.ok for o in outcomes)
+        assert shipped == [(32, 1)]
+
+
+class TestWorkerLocalCache:
+    def test_second_run_hits_worker_cache(self, rng, dedicated_executor):
+        pool = CandidatePool(_pool_jurors(rng, 15, tag="warm"))
+        engine = BatchSelectionEngine(executor=dedicated_executor)
+        engine.run([SelectionQuery(task_id="t1", pool=pool)])
+        engine.run([SelectionQuery(task_id="t2", pool=pool)])
+        stats = dedicated_executor.cache_stats()
+        assert sum(s["hits"] for s in stats) >= 1
+        # The parent cache saw no sweep work: cold inline pools are the
+        # workers' job under sharded execution.
+        assert engine.stats.batch_sweeps == 0
+
+    def test_live_pool_profile_is_relayed_not_recomputed(self, rng, dedicated_executor):
+        registry = PoolRegistry()
+        registry.create("P", list(jurors_from_arrays(rng.uniform(0.05, 0.9, 13))))
+        engine = BatchSelectionEngine(
+            executor=dedicated_executor, registry=registry
+        )
+        engine.run([SelectionQuery(task_id="t1", pool_name="P")])
+        assert engine.stats.live_profiles == 1
+        engine.run([SelectionQuery(task_id="t2", pool_name="P")])
+        # Second pass relays the parent-cached profile instead of asking the
+        # live pool (or a worker sweep) again.
+        assert engine.stats.live_profiles == 1
+        assert engine.cache.hits >= 1
+
+
+class TestBroadcastInvalidation:
+    def test_drop_evicts_every_worker_cache(self, rng, dedicated_executor):
+        """Regression: dropping a registry pool must evict its fingerprint
+        from the worker-local caches, not just the parent cache — and a
+        same-fingerprint re-create must recompute, never serve stale."""
+        members = list(jurors_from_arrays(rng.uniform(0.05, 0.9, size=11)))
+        registry = PoolRegistry()
+        engine = BatchSelectionEngine(
+            executor=dedicated_executor, registry=registry
+        )
+        service = JuryService(engine=engine)
+        service.pool(
+            PoolCommand(action="create", name="P", candidates=tuple(members))
+        )
+        fingerprint = registry.get("P").fingerprint
+        first = service.select(SelectionRequest(task_id="t1", pool="P"))
+        assert first.status == "ok"
+        assert any(dedicated_executor.contains(fingerprint))
+
+        live_profiles_before = engine.stats.live_profiles
+        service.pool(PoolCommand(action="drop", name="P"))
+        assert not any(dedicated_executor.contains(fingerprint))
+        assert fingerprint not in engine.cache
+
+        # Same-fingerprint re-create: the profile is freshly swept by the
+        # new live pool (live_profiles increments) rather than served from
+        # any cache, and the answer matches a fresh sequential engine.
+        service.pool(
+            PoolCommand(action="create", name="P", candidates=tuple(members))
+        )
+        assert registry.get("P").fingerprint == fingerprint
+        second = service.select(SelectionRequest(task_id="t2", pool="P"))
+        assert second.status == "ok"
+        assert second.jer == first.jer
+        assert engine.stats.live_profiles == live_profiles_before + 1
+        assert any(dedicated_executor.contains(fingerprint))
+
+        fresh = BatchSelectionEngine().select(
+            SelectionQuery(task_id="oracle", candidates=tuple(members))
+        )
+        assert second.jer == fresh.jer
+        assert tuple(j.juror_id for j in second.members) == fresh.juror_ids
+
+
+def _fault_request(cls: type[BaseException]) -> SelectionRequest:
+    return SelectionRequest(
+        task_id=f"{FAULT_MARKER}{cls.__name__}",
+        candidates=tuple(jurors_from_arrays([0.1, 0.2, 0.3])),
+    )
+
+
+@pytest.fixture
+def fault_injection(monkeypatch):
+    """Arm the parent-side fault-injection seam for one test."""
+    monkeypatch.setattr(shard_module, "FAULT_INJECTION", True)
+
+
+class TestWorkerErrorCodeThreading:
+    """Satellite: every ReproError subclass raised *inside a worker* surfaces
+    its registered wire code — never the generic ``internal``."""
+
+    @pytest.mark.parametrize(
+        "cls,code", REPRO_ERROR_CODES, ids=lambda p: getattr(p, "__name__", p)
+    )
+    def test_engine_outcome_carries_registered_code(self, cls, code, fault_injection):
+        engine = BatchSelectionEngine(max_workers=2)
+        query = SelectionQuery(
+            task_id=f"{FAULT_MARKER}{cls.__name__}",
+            candidates=tuple(jurors_from_arrays([0.1, 0.2, 0.3])),
+        )
+        outcome = engine.run([query])[0]
+        assert not outcome.ok
+        assert type(outcome.exception) is cls
+        assert outcome.error_info.code == code
+        assert code != "internal"
+
+    @pytest.mark.parametrize(
+        "cls,code", REPRO_ERROR_CODES, ids=lambda p: getattr(p, "__name__", p)
+    )
+    def test_select_many_response_carries_registered_code(
+        self, cls, code, fault_injection
+    ):
+        response = JuryService(workers=2).select_many([_fault_request(cls)])[0]
+        assert response.status == "error"
+        assert response.error.code == code
+
+    def test_marker_task_ids_execute_normally_without_the_flag(self):
+        """The seam is off by default: a production task id that happens to
+        carry the marker is answered like any other request."""
+        cls, _ = REPRO_ERROR_CODES[0]
+        response = JuryService(workers=2).select(_fault_request(cls))
+        assert response.status == "ok" and response.size == 3
+
+    def test_async_service_carries_registered_code(self, fault_injection):
+        cls, code = REPRO_ERROR_CODES[0]
+
+        async def drive():
+            service = AsyncJuryService(workers=2)
+            ok_request = SelectionRequest(
+                task_id="fine", candidates=tuple(jurors_from_arrays([0.1, 0.2, 0.3]))
+            )
+            return await asyncio.gather(
+                service.select(_fault_request(cls)), service.select(ok_request)
+            )
+
+        failed, fine = asyncio.run(drive())
+        assert failed.status == "error" and failed.error.code == code
+        assert fine.status == "ok"
+
+    def test_real_worker_failure_is_not_injected(self):
+        """A genuine domain failure raised inside the worker (infeasible
+        budget) threads its own class and code — the seam is not involved."""
+        pricey = (Juror(0.2, 99.0, juror_id="rich"),)
+        engine = BatchSelectionEngine(max_workers=2)
+        outcome = engine.run(
+            [SelectionQuery(task_id="bad", candidates=pricey, model="pay", budget=1.0)]
+        )[0]
+        assert isinstance(outcome.exception, InfeasibleSelectionError)
+        assert outcome.error_info.code == error_code(InfeasibleSelectionError)
+
+    def test_serve_cli_row_carries_registered_code(self, fault_injection):
+        cls, code = REPRO_ERROR_CODES[0]
+        commands = [
+            {
+                "cmd": "select",
+                "task": f"{FAULT_MARKER}{cls.__name__}",
+                "candidates": [
+                    {"id": "a", "error_rate": 0.1},
+                    {"id": "b", "error_rate": 0.2},
+                    {"id": "c", "error_rate": 0.3},
+                ],
+            },
+            {"cmd": "quit"},
+        ]
+        stdin = io.StringIO("\n".join(json.dumps(c) for c in commands) + "\n")
+        stdout = io.StringIO()
+        args = SimpleNamespace(cache_size=None, workers=2)
+        exit_code = run_serve(args, stdin=stdin, stdout=stdout)
+        rows = [json.loads(line) for line in stdout.getvalue().splitlines()]
+        assert exit_code == 2  # the failed select marks the session
+        assert rows[0]["ok"] is False
+        assert rows[0]["error"]["code"] == code
+
+
+class TestBrokenShardRecovery:
+    def test_killed_worker_degrades_one_batch_then_reforks(self, rng):
+        """A shard process dying mid-service answers the affected batch
+        in-process and is reforked on the next dispatch — the executor never
+        degrades permanently."""
+        import os
+        import signal
+
+        executor = ShardedExecutor(1, dedicated=True)
+        engine = BatchSelectionEngine(executor=executor)
+        try:
+            queries = [
+                SelectionQuery(task_id="t1", candidates=_pool_jurors(rng, 9, tag="k1"))
+            ]
+            assert engine.run(list(queries))[0].ok
+            for pid in list(executor._pools[0]._processes):
+                os.kill(pid, signal.SIGKILL)
+            # The batch that hits the dead worker still gets answered.
+            outcome = engine.run(
+                [SelectionQuery(task_id="t2", candidates=_pool_jurors(rng, 9, tag="k2"))]
+            )[0]
+            assert outcome.ok
+            assert not executor.in_process
+            # And the next dispatch runs in a freshly forked worker again.
+            outcome = engine.run(
+                [SelectionQuery(task_id="t3", candidates=_pool_jurors(rng, 9, tag="k3"))]
+            )[0]
+            assert outcome.ok
+            assert executor._pools[0] is not None
+        finally:
+            executor.close()
+
+
+class TestSharedPoolLifecycle:
+    def test_executor_survives_shutdown_shared_pools(self, rng):
+        """shutdown_shared_pools() between dispatches must not orphan or
+        deadlock a live shared executor — the next dispatch re-registers
+        fresh slots and reforks."""
+        engine = BatchSelectionEngine(max_workers=2)
+        first = engine.run(
+            [SelectionQuery(task_id="t1", candidates=_pool_jurors(rng, 9, tag="s1"))]
+        )[0]
+        assert first.ok
+        shard_module.shutdown_shared_pools()
+        second = engine.run(
+            [SelectionQuery(task_id="t2", candidates=_pool_jurors(rng, 9, tag="s2"))]
+        )[0]
+        assert second.ok and not engine.executor.in_process
+        shard_module.shutdown_shared_pools()
+
+
+class TestRaiseErrors:
+    def test_worker_exception_propagates_with_raise_errors(self):
+        pricey = (Juror(0.2, 99.0, juror_id="rich"),)
+        engine = BatchSelectionEngine(max_workers=2)
+        with pytest.raises(InfeasibleSelectionError):
+            engine.run(
+                [
+                    SelectionQuery(
+                        task_id="bad", candidates=pricey, model="pay", budget=1.0
+                    )
+                ],
+                raise_errors=True,
+            )
+
+
+class TestWorkersKnob:
+    def test_env_variable_supplies_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        assert JuryService().engine.executor.workers == 2
+
+    def test_env_variable_ignored_when_unset_or_trivial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert JuryService().engine.executor is None
+        for value in ("", "1", "0", "not-a-number"):
+            monkeypatch.setenv("REPRO_WORKERS", value)
+            assert JuryService().engine.executor is None
+
+    def test_explicit_workers_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "8")
+        assert JuryService(workers=3).engine.executor.workers == 3
+
+    def test_workers_and_max_workers_conflict(self):
+        with pytest.raises(ValueError, match="not both"):
+            JuryService(workers=2, max_workers=2)
+
+    def test_max_workers_alias_still_shards(self):
+        assert JuryService(max_workers=2).engine.executor.workers == 2
+
+    def test_engine_rejects_executor_and_max_workers(self):
+        with pytest.raises(ValueError, match="not both"):
+            BatchSelectionEngine(executor=ShardedExecutor(2), max_workers=2)
+
+
+class TestAsyncShardFanout:
+    def test_coalesced_batches_match_sequential(self):
+        """Concurrent clients on a sharded async service get byte-identical
+        answers to a sequential in-process loop."""
+        rng = np.random.default_rng(DEFAULT_SEED)
+        requests = []
+        for i in range(24):
+            cands = _pool_jurors(rng, 9, tag=f"t{i}", priced=True)
+            model = ("altr", "pay", "exact")[i % 3]
+            budget = None if model == "altr" else 2.0
+            requests.append(
+                SelectionRequest(
+                    task_id=f"t{i}", candidates=cands, model=model, budget=budget
+                )
+            )
+
+        sequential = [
+            JuryService().select(request).to_dict() for request in requests
+        ]
+        for row in sequential:
+            row.pop("timings")
+
+        async def drive():
+            service = AsyncJuryService(workers=2, max_batch=16)
+            responses = await asyncio.gather(
+                *(service.select(request) for request in requests)
+            )
+            return responses
+
+        concurrent = [response.to_dict() for response in asyncio.run(drive())]
+        for row in concurrent:
+            row.pop("timings")
+        assert concurrent == sequential
