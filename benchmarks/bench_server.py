@@ -1,0 +1,271 @@
+#!/usr/bin/env python3
+"""Server benchmark: closed-loop HTTP load against the network tier.
+
+Scenario: one serving process (:class:`repro.api.HttpServer` over an
+:class:`repro.api.AsyncJuryService`) answering a mixed AltrM/PayM/exact
+request stream over real TCP sockets, driven by N closed-loop clients —
+each client holds one persistent keep-alive connection and POSTs its
+interleaved slice of the stream to ``/v1/select`` one request at a time,
+like a real platform session would.
+
+For each client count the harness reports wall-clock RPS and the
+per-request latency distribution (p50/p95/p99): as concurrency grows, the
+coalescing drainer stacks more requests per engine pass, so throughput
+should rise far faster than latency.  Every run is verified bit-identical
+to a sequential in-process ``JuryService`` loop over the same requests —
+the transport and the batching may change *when* queries run, never their
+answers.
+
+Run:  PYTHONPATH=src python benchmarks/bench_server.py [--smoke]
+      [--requests N] [--pool-size N] [--clients 1,16,64,128] [--out PATH]
+
+``--smoke`` shrinks the workload for CI smoke jobs.  The run (either mode)
+exits non-zero if any client count diverges from sequential dispatch.
+A machine-readable ``BENCH_server.json`` artifact is written so the
+serving-tier perf trajectory can be tracked across PRs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.api import AsyncJuryService, JuryService, SelectionRequest  # noqa: E402
+from repro.api.server import HttpServer, http_call  # noqa: E402
+from repro.core.juror import Juror  # noqa: E402
+from repro.testing import BENCH_SEED  # noqa: E402
+
+#: Candidate-pool size for the exact queries (combinatorial cost; the
+#: budget keeps the affordable subset small enough for interactive latency).
+EXACT_POOL_SIZE = 18
+
+
+def _make_candidates(rng, size: int, tag: str) -> tuple[Juror, ...]:
+    eps = rng.uniform(0.05, 0.6, size=size)
+    reqs = rng.uniform(0.0, 1.0, size=size)
+    return tuple(
+        Juror(float(e), float(r), juror_id=f"{tag}-{i}")
+        for i, (e, r) in enumerate(zip(eps, reqs))
+    )
+
+
+def build_stream(count: int, pool_size: int) -> list[SelectionRequest]:
+    """A deterministic mixed AltrM/PayM/exact stream over per-task pools."""
+    rng = np.random.default_rng(BENCH_SEED)
+    requests: list[SelectionRequest] = []
+    for i in range(count):
+        mode = i % 16
+        if mode == 7:
+            requests.append(
+                SelectionRequest(
+                    task_id=f"t{i}",
+                    candidates=_make_candidates(rng, pool_size, f"t{i}"),
+                    model="pay",
+                    budget=2.0,
+                )
+            )
+        elif mode == 15:
+            requests.append(
+                SelectionRequest(
+                    task_id=f"t{i}",
+                    candidates=_make_candidates(rng, EXACT_POOL_SIZE, f"t{i}"),
+                    model="exact",
+                    budget=1.5,
+                )
+            )
+        else:
+            requests.append(
+                SelectionRequest(
+                    task_id=f"t{i}",
+                    candidates=_make_candidates(rng, pool_size, f"t{i}"),
+                )
+            )
+    return requests
+
+
+def run_sequential(requests: list[SelectionRequest]) -> tuple[float, list[dict]]:
+    """The reference answers: one in-process engine pass per request."""
+    service = JuryService()
+    try:
+        start = time.perf_counter()
+        responses = [service.select(request) for request in requests]
+        elapsed = time.perf_counter() - start
+    finally:
+        service.close()
+    rows = []
+    for response in responses:
+        # Round-trip through JSON so float/tuple encodings match what the
+        # HTTP clients read off the wire.
+        row = json.loads(json.dumps(response.to_dict()))
+        row.pop("timings")
+        rows.append(row)
+    return elapsed, rows
+
+
+def run_http(
+    requests: list[SelectionRequest], clients: int, max_batch: int
+) -> tuple[float, list[float], list[dict]]:
+    """One closed-loop HTTP run; returns (seconds, latencies, wire rows)."""
+    wire = [request.to_dict() for request in requests]
+
+    async def drive():
+        service = AsyncJuryService(
+            max_batch=max_batch, max_pending=max(4 * max_batch, 2 * clients)
+        )
+        async with HttpServer(
+            service, port=0, max_connections=clients + 4
+        ) as server:
+
+            async def client(worker: int):
+                reader, writer = await asyncio.open_connection(
+                    server.host, server.port
+                )
+                answers = []
+                for position in range(worker, len(wire), clients):
+                    t0 = time.perf_counter()
+                    status, body = await http_call(
+                        reader, writer, "POST", "/v1/select", wire[position]
+                    )
+                    latency = time.perf_counter() - t0
+                    if status != 200:
+                        raise RuntimeError(
+                            f"client {worker}: HTTP {status} for "
+                            f"{wire[position]['task']}: {body}"
+                        )
+                    answers.append((position, body, latency))
+                writer.close()
+                return answers
+
+            start = time.perf_counter()
+            results = await asyncio.gather(*(client(w) for w in range(clients)))
+            elapsed = time.perf_counter() - start
+        return elapsed, results
+
+    elapsed, results = asyncio.run(drive())
+    rows: list[dict | None] = [None] * len(requests)
+    latencies: list[float] = []
+    for answers in results:
+        for position, body, latency in answers:
+            body.pop("timings", None)
+            rows[position] = body
+            latencies.append(latency)
+    return elapsed, latencies, rows  # type: ignore[return-value]
+
+
+def _percentiles(latencies: list[float]) -> dict:
+    p50, p95, p99 = np.percentile(np.asarray(latencies), [50, 95, 99])
+    return {
+        "p50_ms": float(p50) * 1e3,
+        "p95_ms": float(p95) * 1e3,
+        "p99_ms": float(p99) * 1e3,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--requests", type=int, default=800, help="stream length")
+    parser.add_argument(
+        "--pool-size", type=int, default=121, help="candidates per AltrM/PayM task"
+    )
+    parser.add_argument(
+        "--clients",
+        default="1,16,64,128",
+        help="comma-separated closed-loop client counts (default: 1,16,64,128)",
+    )
+    parser.add_argument(
+        "--max-batch", type=int, default=256, help="AsyncJuryService batch cap"
+    )
+    parser.add_argument(
+        "--out", default="BENCH_server.json", help="where to write the JSON artifact"
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small sizes + bit-identity check (CI smoke job)",
+    )
+    args = parser.parse_args(argv)
+
+    count, pool_size = args.requests, args.pool_size
+    client_counts = [int(c) for c in str(args.clients).split(",") if c]
+    if args.smoke:
+        count, pool_size, client_counts = 96, 61, [1, 8]
+
+    requests = build_stream(count, pool_size)
+    models = [r.model for r in requests]
+    print(
+        f"bench_server: {count} requests over HTTP "
+        f"({models.count('altr')} altr / {models.count('pay')} pay / "
+        f"{models.count('exact')} exact), pool {pool_size}, "
+        f"clients {client_counts} ({'smoke' if args.smoke else 'full'} mode)"
+    )
+
+    sequential_seconds, sequential_rows = run_sequential(requests)
+    print(
+        f"  sequential reference: {sequential_seconds:8.3f}s  "
+        f"({count / sequential_seconds:8.1f} req/s in-process)"
+    )
+
+    runs = []
+    all_identical = True
+    for clients in client_counts:
+        seconds, latencies, rows = run_http(requests, clients, args.max_batch)
+        identical = rows == sequential_rows
+        all_identical = all_identical and identical
+        pct = _percentiles(latencies)
+        verdict = "verified identical" if identical else "DIVERGED"
+        print(
+            f"  {clients:4d} clients: {seconds:8.3f}s  "
+            f"({count / seconds:8.1f} req/s)  "
+            f"p50 {pct['p50_ms']:7.1f}ms  p95 {pct['p95_ms']:7.1f}ms  "
+            f"p99 {pct['p99_ms']:7.1f}ms  ({verdict})"
+        )
+        runs.append(
+            {
+                "clients": clients,
+                "seconds": seconds,
+                "rps": count / seconds,
+                "latency": pct,
+                "verified_identical": identical,
+            }
+        )
+
+    artifact = {
+        "benchmark": "server",
+        "mode": "smoke" if args.smoke else "full",
+        "workload": {
+            "requests": count,
+            "pool_size": pool_size,
+            "exact_pool_size": EXACT_POOL_SIZE,
+            "mix": {
+                "altr": models.count("altr"),
+                "pay": models.count("pay"),
+                "exact": models.count("exact"),
+            },
+            "transport": "http/1.1 keep-alive, POST /v1/select",
+            "max_batch": args.max_batch,
+        },
+        "sequential_seconds": sequential_seconds,
+        "sequential_rps": count / sequential_seconds,
+        "runs": runs,
+        "verified_identical": all_identical,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    }
+    out_path = Path(args.out)
+    out_path.write_text(json.dumps(artifact, indent=2) + "\n", encoding="utf-8")
+    print(f"  artifact: {out_path}")
+
+    if not all_identical:
+        print("FAILURE: HTTP dispatch diverged from sequential", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,6 +21,11 @@ service's one public doorway:
     The asyncio multiplexer: concurrent callers coalesce into engine
     batches on a bounded queue, so one process serves many simultaneous
     clients at batch-kernel throughput (:mod:`repro.api.aio`).
+:class:`HttpServer`
+    The network transport: a dependency-free asyncio HTTP/1.1 server
+    speaking wire protocol v1 (``POST /v1/select``, ``/v1/select_many``,
+    ``/v1/pool``, ``GET /v1/stats``, ``/healthz``), multiplexing every
+    connection into one :class:`AsyncJuryService` (:mod:`repro.api.server`).
 
 The older query types (:class:`~repro.service.SelectionQuery`,
 :class:`~repro.service.QueryOutcome`) remain importable as the engine's
@@ -37,6 +42,7 @@ from repro.api.protocol import (
     SelectionRequest,
     SelectionResponse,
 )
+from repro.api.server import HttpServer, http_call
 from repro.api.service import JuryService
 
 __all__ = [
@@ -49,4 +55,6 @@ __all__ = [
     "PoolCommand",
     "JuryService",
     "AsyncJuryService",
+    "HttpServer",
+    "http_call",
 ]

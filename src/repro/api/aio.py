@@ -34,6 +34,14 @@ a batch, so 64 coalesced AltrM requests cost roughly one sweep, not 64.
 Responses are **bit-identical** to sequential dispatch: batching and
 sharding change only *when* and *where* queries run, and the engine itself
 guarantees batched, sharded and scalar execution agree.
+
+Lifecycle: :meth:`AsyncJuryService.aclose` is the graceful-termination
+path — new ``select()`` calls are refused, the queued backlog drains
+through the drainer, and the wrapped service's worker processes are
+reaped.  A request cancelled *while queued* is skipped when the next batch
+is assembled, so abandoned clients cost no engine work; ``stats()`` reads
+lock-free counters and stays answerable while a long batch holds the
+engine lock.
 """
 
 from __future__ import annotations
@@ -45,6 +53,7 @@ from dataclasses import replace
 
 from repro.api.protocol import PoolCommand, SelectionRequest, SelectionResponse
 from repro.api.service import JuryService
+from repro.errors import ServiceClosedError
 
 __all__ = ["AsyncJuryService"]
 
@@ -104,22 +113,62 @@ class AsyncJuryService:
             raise ValueError(f"max_pending must be >= 1, got {max_pending}")
         self._service = service if service is not None else JuryService(**service_options)
         self._max_batch = max_batch
+        self._max_pending = max_pending
         self._pending: deque[tuple[SelectionRequest, asyncio.Future]] = deque()
         self._capacity = asyncio.Semaphore(max_pending)
         self._engine_lock = asyncio.Lock()
         self._drainer: asyncio.Task | None = None
+        self._closed = False
+        # Lock-free liveness counters (read by stats()/healthz without ever
+        # touching the engine lock): plain int mutations are atomic enough
+        # under the event loop — they only ever change on the loop thread.
+        self._accepted = 0
+        self._answered = 0
+        self._cancelled = 0
+        self._batches = 0
+        self._in_flight = 0
 
     @property
     def service(self) -> JuryService:
         """The wrapped synchronous service."""
         return self._service
 
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`aclose` has begun; new ``select()`` calls fail."""
+        return self._closed
+
+    @property
+    def queued(self) -> int:
+        """Requests waiting in the pending queue right now."""
+        return len(self._pending)
+
+    @property
+    def saturated(self) -> bool:
+        """True when the bounded pending queue is full.
+
+        The next ``select()`` would suspend at the capacity semaphore; a
+        transport that prefers shedding load over queueing (the HTTP
+        server's 503 path) checks this first.
+        """
+        return self._capacity.locked()
+
     # ------------------------------------------------------------------
     # selection dispatch
     # ------------------------------------------------------------------
     async def select(self, request: SelectionRequest) -> SelectionResponse:
-        """Answer one request; concurrent callers coalesce into batches."""
+        """Answer one request; concurrent callers coalesce into batches.
+
+        Raises :class:`~repro.errors.ServiceClosedError` once
+        :meth:`aclose` has begun — already-queued requests still drain, but
+        no new ones are accepted.
+        """
+        if self._closed:
+            raise ServiceClosedError("AsyncJuryService is closed")
         async with self._capacity:
+            if self._closed:
+                raise ServiceClosedError("AsyncJuryService is closed")
+            self._accepted += 1
             future: asyncio.Future = asyncio.get_running_loop().create_future()
             self._pending.append((request, future))
             self._kick()
@@ -148,9 +197,57 @@ class AsyncJuryService:
             return await asyncio.to_thread(self._service.pool, command)
 
     async def stats(self) -> dict:
-        """The service's counter snapshot (serialised like a command)."""
-        async with self._engine_lock:
-            return await asyncio.to_thread(self._service.stats)
+        """Lock-free counter snapshot — never waits on the engine lock.
+
+        A health or stats probe must stay answerable while a long exact-
+        enumeration batch holds the engine, so this reads counters directly
+        instead of queueing behind :attr:`_engine_lock` like a command.
+        """
+        return self.stats_snapshot()
+
+    def stats_snapshot(self) -> dict:
+        """Synchronous form of :meth:`stats` (shared with ``/healthz``)."""
+        snapshot = self._service.stats()
+        snapshot["async"] = {
+            "accepted": self._accepted,
+            "answered": self._answered,
+            "cancelled_in_queue": self._cancelled,
+            "batches": self._batches,
+            "queued": len(self._pending),
+            "in_flight": self._in_flight,
+            "max_batch": self._max_batch,
+            "max_pending": self._max_pending,
+            "closed": self._closed,
+        }
+        return snapshot
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def aclose(self) -> None:
+        """Drain and shut down: the graceful-termination path.
+
+        Stops accepting new ``select()`` calls (they raise
+        :class:`~repro.errors.ServiceClosedError`), lets the in-flight
+        batch finish and the drainer answer everything still queued, awaits
+        the drainer task, then closes the wrapped service — reaping any
+        worker shard processes.  Idempotent; safe to call with requests in
+        every state.
+        """
+        self._closed = True
+        drainer = self._drainer
+        if drainer is not None and not drainer.done():
+            # Wait without re-raising: a drainer cancelled by loop teardown
+            # has already failed its waiters; aclose just needs it finished.
+            await asyncio.wait({drainer})
+        # The drainer exits only on an empty queue, so stragglers exist only
+        # if it was cancelled mid-flight — fail them rather than hang them.
+        while self._pending:
+            _, future = self._pending.popleft()
+            if not future.done():
+                future.cancel()
+        # Worker-pool shutdown joins processes; keep it off the event loop.
+        await asyncio.to_thread(self._service.close)
 
     # ------------------------------------------------------------------
     # internals
@@ -218,26 +315,39 @@ class AsyncJuryService:
         # so a request appended afterwards always sees .done() and kicks a
         # fresh drainer — no lost wakeups.
         while self._pending:
-            batch = [
-                self._pending.popleft()
-                for _ in range(min(len(self._pending), self._max_batch))
-            ]
+            batch = []
+            for _ in range(min(len(self._pending), self._max_batch)):
+                entry = self._pending.popleft()
+                if entry[1].done():
+                    # Cancelled while queued: the caller is gone, so the
+                    # request must never be planned or executed.
+                    self._cancelled += 1
+                    continue
+                batch.append(entry)
+            if not batch:
+                continue
             requests = [request for request, _ in batch]
+            self._in_flight += len(batch)
+            self._batches += 1
             async with self._engine_lock:
                 try:
                     responses = await self._answer_batch(requests)
                 except asyncio.CancelledError:
                     # Loop shutdown: cancel the in-flight waiters and honour
                     # the cancellation instead of draining the backlog.
+                    self._in_flight -= len(batch)
                     for _, future in batch:
                         if not future.done():
                             future.cancel()
                     raise
                 except Exception as exc:  # engine bug — fail the batch loudly
+                    self._in_flight -= len(batch)
                     for _, future in batch:
                         if not future.done():
                             future.set_exception(exc)
                     continue
+            self._in_flight -= len(batch)
+            self._answered += len(batch)
             for (_, future), response in zip(batch, responses):
                 if not future.done():
                     future.set_result(response)

@@ -29,9 +29,11 @@ from repro.errors import (
     InvalidErrorRateError,
     InvalidJuryError,
     InvalidRequirementError,
+    OverloadedError,
     PoolNotFoundError,
     ProtocolError,
     ReproError,
+    ServiceClosedError,
     SimulationError,
 )
 
@@ -55,6 +57,8 @@ ERROR_CODES: dict[type[BaseException], str] = {
     EstimationError: "estimation-failed",
     SimulationError: "simulation-failed",
     ProtocolError: "bad-request",
+    ServiceClosedError: "service-closed",
+    OverloadedError: "overloaded",
     ReproError: "repro-error",
     # Transport-level failures and fallbacks from outside the hierarchy.
     JSONDecodeError: "invalid-json",

@@ -130,7 +130,13 @@ class JuryService:
         return self._registry
 
     def close(self) -> None:
-        """Release the engine's dedicated worker processes, if any."""
+        """Release the engine's worker shard processes, if any.
+
+        Every entry point that builds a service with ``workers > 1`` (or
+        under ``REPRO_WORKERS``) must close it — the CLI modes do so in
+        ``try/finally`` — or worker processes outlive the work.  Idempotent;
+        an in-process service closes as a no-op.
+        """
         self._engine.close()
 
     # ------------------------------------------------------------------
@@ -322,20 +328,37 @@ class JuryService:
     # introspection
     # ------------------------------------------------------------------
     def stats(self) -> dict:
-        """Registry, engine and cache counters (the serve ``stats`` payload)."""
+        """Registry, engine and cache counters (the serve ``stats`` payload).
+
+        Safe to call concurrently with running batches and pool commands:
+        everything here is a plain counter read, and the pool listing is a
+        best-effort snapshot (a pool created or dropped mid-read may be
+        missed — liveness probes must never block on the engine).  Under
+        sharded execution the payload gains ``workers`` and a per-shard
+        ``shards`` utilisation table.
+        """
         registry = self._registry
         engine = self._engine
-        return {
+        pools: dict[str, dict] = {}
+        for _ in range(8):
+            try:
+                names = registry.names()
+                break
+            except RuntimeError:  # registry dict resized under our feet
+                continue
+        else:  # pragma: no cover - needs pathological sustained churn
+            names = ()
+        for name in names:
+            try:
+                pool = registry.get(name)
+            except Exception:  # dropped between listing and lookup
+                continue
+            pools[name] = {"version": pool.version, "size": pool.size}
+        payload = {
             "v": PROTOCOL_VERSION,
             "ok": True,
             "cmd": "stats",
-            "pools": {
-                name: {
-                    "version": registry.get(name).version,
-                    "size": registry.get(name).size,
-                }
-                for name in registry.names()
-            },
+            "pools": pools,
             "queries_run": engine.stats.queries_run,
             "live_profiles": engine.stats.live_profiles,
             "cache": {
@@ -345,3 +368,9 @@ class JuryService:
                 "entries": len(engine.cache),
             },
         }
+        executor = engine.executor
+        if executor is not None:
+            payload["workers"] = executor.workers
+            payload["in_process"] = executor.in_process
+            payload["shards"] = executor.utilisation()
+        return payload

@@ -82,16 +82,34 @@ Errors are reported as ``{"ok": false, "line": N, "error": {"code",
 "message", ...}}`` without ending the session.  The session ends at EOF or
 ``quit``; the exit code is 0 when every command succeeded, 2 otherwise.
 
-``batch``, ``serve`` and ``explain`` are reserved words in the first
-argument position; to select from a CSV file with one of those names, pass
-it as ``./batch``.
+HTTP mode serves wire protocol v1 over the network, multiplexing every
+connection into one async service (coalesced batching, bounded queues,
+structured 503s under overload):
+
+    repro-select http                                    # 127.0.0.1:8732
+    repro-select http --host 0.0.0.0 --port 80 --workers 4
+
+Endpoints: ``POST /v1/select``, ``POST /v1/select_many``, ``POST /v1/pool``,
+``GET /v1/stats``, ``GET /healthz``.  The server prints
+``serving on http://host:port`` once bound (``--port 0`` picks an ephemeral
+port) and drains gracefully on SIGTERM/SIGINT: in-flight requests finish,
+worker shards are reaped, then the process exits 0.
+
+Every subcommand closes its service on the way out — normal exit, EOF or
+Ctrl-C — so no worker shard processes outlive the CLI.
+
+``batch``, ``serve``, ``http`` and ``explain`` are reserved words in the
+first argument position; to select from a CSV file with one of those names,
+pass it as ``./batch``.
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
 import csv
 import json
+import signal
 import sys
 from collections.abc import Mapping, Sequence
 from pathlib import Path
@@ -108,7 +126,14 @@ from repro.api import (
 from repro.core.juror import Juror
 from repro.errors import ReproError
 
-__all__ = ["load_candidates_csv", "main", "run_batch", "run_explain", "run_serve"]
+__all__ = [
+    "load_candidates_csv",
+    "main",
+    "run_batch",
+    "run_explain",
+    "run_http",
+    "run_serve",
+]
 
 
 def load_candidates_csv(path: str | Path) -> list[Juror]:
@@ -217,6 +242,17 @@ def run_batch(args: argparse.Namespace) -> int:
         return 1
 
     service = JuryService(workers=args.workers)
+    try:
+        return _run_batch_rows(args, source, text, service)
+    finally:
+        # Reap the worker shards on every exit path — success, fatal row
+        # errors and Ctrl-C alike — so no processes outlive the CLI.
+        service.close()
+
+
+def _run_batch_rows(
+    args: argparse.Namespace, source: Path, text: str, service: JuryService
+) -> int:
     # Output slots in input order: finished row dicts, or integer keys into
     # ``resolved`` for requests answered by a later select_many flush.
     slots: list[dict | int] = []
@@ -417,7 +453,11 @@ def run_explain(args: argparse.Namespace) -> int:
     except (ReproError, ValueError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
-    response = JuryService().explain(request)
+    service = JuryService()
+    try:
+        response = service.explain(request)
+    finally:
+        service.close()
     if response.status == "error":
         print(f"error: {response.error.message}", file=sys.stderr)
         return 1
@@ -466,6 +506,17 @@ def run_serve(args: argparse.Namespace, *, stdin=None, stdout=None) -> int:
     source = sys.stdin if stdin is None else stdin
     sink = sys.stdout if stdout is None else stdout
     service = JuryService(cache_size=args.cache_size, workers=args.workers)
+    try:
+        return _serve_session(source, sink, service)
+    except KeyboardInterrupt:
+        return 130
+    finally:
+        # Reap the worker shards on every exit path — EOF, 'quit' and
+        # Ctrl-C alike — so no processes outlive the session.
+        service.close()
+
+
+def _serve_session(source, sink, service: JuryService) -> int:
     had_errors = False
 
     def respond(row: dict) -> None:
@@ -560,6 +611,118 @@ def _build_serve_parser() -> argparse.ArgumentParser:
     return parser
 
 
+# ----------------------------------------------------------------------
+# http subcommand
+# ----------------------------------------------------------------------
+
+
+async def _serve_http(args: argparse.Namespace) -> int:
+    """Bind, announce, serve until SIGTERM/SIGINT, then drain gracefully."""
+    from repro.api.aio import AsyncJuryService
+    from repro.api.server import HttpServer
+
+    service = AsyncJuryService(
+        max_batch=args.max_batch,
+        max_pending=args.max_pending,
+        cache_size=args.cache_size,
+        workers=args.workers,
+    )
+    server = HttpServer(
+        service,
+        host=args.host,
+        port=args.port,
+        max_connections=args.max_connections,
+    )
+    await server.start()
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass  # event loops without signal support (Windows, embedded)
+    # The port may be ephemeral (--port 0); announce the bound address so
+    # callers (and the lifecycle tests) can find the listener.
+    print(f"serving on {server.address}", flush=True)
+    serve_task = asyncio.create_task(server.serve_forever())
+    stop_task = asyncio.create_task(stop.wait())
+    try:
+        await asyncio.wait(
+            {serve_task, stop_task}, return_when=asyncio.FIRST_COMPLETED
+        )
+    finally:
+        # Graceful drain: stop accepting, answer in-flight requests, close
+        # the service and reap its worker shards.
+        await server.aclose()
+        serve_task.cancel()
+        stop_task.cancel()
+        await asyncio.gather(serve_task, stop_task, return_exceptions=True)
+    print("drained, shutting down", file=sys.stderr, flush=True)
+    return 0
+
+
+def run_http(args: argparse.Namespace) -> int:
+    """Execute the ``http`` subcommand.  Returns a process exit code."""
+    try:
+        return asyncio.run(_serve_http(args))
+    except KeyboardInterrupt:  # pragma: no cover — loops without handlers
+        return 130
+
+
+def _build_http_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-select http",
+        description="Serve wire protocol v1 over HTTP (POST /v1/select, "
+        "/v1/select_many, /v1/pool, GET /v1/stats, /healthz), multiplexing "
+        "every connection into one coalescing async service.  Drains "
+        "gracefully on SIGTERM/SIGINT.",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8732,
+        help="bind port; 0 picks an ephemeral port (default: 8732)",
+    )
+    parser.add_argument(
+        "--max-batch",
+        type=int,
+        default=128,
+        dest="max_batch",
+        help="largest coalesced engine batch (default: 128)",
+    )
+    parser.add_argument(
+        "--max-pending",
+        type=int,
+        default=1024,
+        dest="max_pending",
+        help="bounded pending queue; further selections get a structured "
+        "503 instead of queueing (default: 1024)",
+    )
+    parser.add_argument(
+        "--max-connections",
+        type=int,
+        default=512,
+        dest="max_connections",
+        help="simultaneous-connection bound (default: 512)",
+    )
+    parser.add_argument(
+        "--cache-size",
+        type=int,
+        default=None,
+        help="prefix-sweep cache capacity (default: engine default)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker shards executing the selections, partitioned by pool "
+        "fingerprint; bit-identical to in-process execution (default: "
+        "REPRO_WORKERS env var, else in-process)",
+    )
+    return parser
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point.  Returns a process exit code."""
     arguments = list(sys.argv[1:] if argv is None else argv)
@@ -567,6 +730,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return run_batch(_build_batch_parser().parse_args(arguments[1:]))
     if arguments and arguments[0] == "serve":
         return run_serve(_build_serve_parser().parse_args(arguments[1:]))
+    if arguments and arguments[0] == "http":
+        return run_http(_build_http_parser().parse_args(arguments[1:]))
     if arguments and arguments[0] == "explain":
         return run_explain(_build_explain_parser().parse_args(arguments[1:]))
 
@@ -574,8 +739,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         prog="repro-select",
         description="Select the minimum-JER jury from a CSV of candidates "
         "(Cao et al., VLDB 2012).  See 'repro-select batch --help' for the "
-        "batched JSONL mode and 'repro-select explain --help' for the "
-        "plan-only EXPLAIN mode.",
+        "batched JSONL mode, 'repro-select http --help' for the network "
+        "server and 'repro-select explain --help' for the plan-only "
+        "EXPLAIN mode.",
     )
     _single_query_args(parser)
     args = parser.parse_args(arguments)
@@ -587,7 +753,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 1
     # One dispatch path for every surface: the single-query mode is a
     # service batch of one.
-    response = JuryService().select(request)
+    service = JuryService()
+    try:
+        response = service.select(request)
+    finally:
+        service.close()
     if response.status == "error":
         print(f"error: {response.error.message}", file=sys.stderr)
         return 1

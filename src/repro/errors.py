@@ -24,6 +24,8 @@ __all__ = [
     "ConvergenceError",
     "SimulationError",
     "ProtocolError",
+    "ServiceClosedError",
+    "OverloadedError",
 ]
 
 
@@ -98,6 +100,23 @@ class ConvergenceError(EstimationError, RuntimeError):
 
 class SimulationError(ReproError):
     """Base class for errors raised by the Monte-Carlo voting simulator."""
+
+
+class ServiceClosedError(ReproError, RuntimeError):
+    """An operation was attempted on a service that has been closed.
+
+    Raised by :meth:`repro.api.AsyncJuryService.select` (and the surfaces on
+    top of it) once :meth:`~repro.api.AsyncJuryService.aclose` has begun:
+    requests already queued still drain, but no new work is accepted.
+    """
+
+
+class OverloadedError(ReproError):
+    """The serving tier's bounded queues are full; the caller should retry.
+
+    Carried on the wire as HTTP 503 with the stable code ``overloaded`` —
+    backpressure made visible instead of unbounded memory growth.
+    """
 
 
 class ProtocolError(ReproError, ValueError):

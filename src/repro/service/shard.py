@@ -50,6 +50,7 @@ flag off (production), such task ids execute normally.
 
 from __future__ import annotations
 
+import atexit
 import os
 import threading
 import time
@@ -400,6 +401,12 @@ def _local_cache_contains(fingerprint: str) -> bool:
 #: worker processes one parent ever forks.
 _SHARED_POOLS: dict[int, list[ProcessPoolExecutor | None]] = {}
 
+#: Live (not yet closed) non-dedicated executors per worker count.  When the
+#: last one of a count is closed, the shared shard processes of that count
+#: are shut down too — shared pools outlive any single engine, but not every
+#: engine, so a process that closes its services reaps all its workers.
+_SHARED_REFS: dict[int, int] = {}
+
 #: Guards lazy shard-process creation and teardown (shared or dedicated):
 #: without it, two fan-out threads first-touching the same shard would each
 #: fork a worker and leak one of them.
@@ -414,6 +421,13 @@ def shutdown_shared_pools() -> None:
                 if pool is not None:
                     pool.shutdown(wait=True, cancel_futures=True)
         _SHARED_POOLS.clear()
+
+
+# Interpreter-exit hook: reap any shared shard processes a caller forgot to
+# close.  Registered after concurrent.futures' own handler, so it runs first
+# (LIFO) and the pools are already down when that handler joins threads —
+# no orphaned workers even when an entry point skips its try/finally.
+atexit.register(shutdown_shared_pools)
 
 
 class ShardedExecutor:
@@ -440,6 +454,24 @@ class ShardedExecutor:
         self._dedicated_pools: list[ProcessPoolExecutor | None] = (
             [None] * workers if dedicated else []
         )
+        self._closed = False
+        if not dedicated:
+            with _POOLS_LOCK:
+                _SHARED_REFS[workers] = _SHARED_REFS.get(workers, 0) + 1
+        # Per-shard utilisation counters (parent-side, cumulative).  Guarded
+        # by their own lock: the async drainer's fan-out threads record
+        # concurrently.
+        self._stats_lock = threading.Lock()
+        self._shard_stats: list[dict] = [
+            {
+                "batches": 0,
+                "payloads": 0,
+                "failures": 0,
+                "fallback_batches": 0,
+                "busy_seconds": 0.0,
+            }
+            for _ in range(workers)
+        ]
         # Flips to True when forking shard processes proves impossible;
         # from then on every batch runs in-process (same code, same answers).
         self._in_process = False
@@ -590,21 +622,69 @@ class ShardedExecutor:
             }
             future = self.submit_batch(shard, batch, shard_blocks)
             if future is None:
-                deferred.append((batch, shard_blocks))
+                deferred.append((shard, batch, shard_blocks))
             else:
                 futures.append((shard, batch, shard_blocks, future))
         answers: list[tuple[int, CompactResult | BaseException, float]] = []
-        for batch, shard_blocks in deferred:
-            answers.extend(_execute_shard_batch(batch, shard_blocks))
+        for shard, batch, shard_blocks in deferred:
+            shard_answers = _execute_shard_batch(batch, shard_blocks)
+            self._record(shard, shard_answers, fallback=True)
+            answers.extend(shard_answers)
         for shard, batch, shard_blocks, future in futures:
             try:
-                answers.extend(future.result())
+                shard_answers = future.result()
             except (OSError, BrokenExecutor, CancelledError):
                 # Worker death mid-batch, or a concurrent
                 # shutdown_shared_pools() cancelling the queued future.
                 self._discard_pool(shard)
-                answers.extend(_execute_shard_batch(batch, shard_blocks))
+                shard_answers = _execute_shard_batch(batch, shard_blocks)
+                self._record(shard, shard_answers, fallback=True)
+            else:
+                self._record(shard, shard_answers, fallback=False)
+            answers.extend(shard_answers)
         return answers
+
+    def _record(
+        self,
+        shard: int,
+        answers: Sequence[tuple[int, CompactResult | BaseException, float]],
+        *,
+        fallback: bool,
+    ) -> None:
+        """Fold one executed shard batch into the utilisation counters."""
+        with self._stats_lock:
+            slot = self._shard_stats[shard]
+            slot["fallback_batches" if fallback else "batches"] += 1
+            slot["payloads"] += len(answers)
+            slot["failures"] += sum(
+                isinstance(answer, BaseException) for _, answer, _ in answers
+            )
+            slot["busy_seconds"] += sum(elapsed for _, _, elapsed in answers)
+
+    def utilisation(self) -> list[dict]:
+        """Per-shard utilisation: dispatch counters plus worker liveness.
+
+        One dict per shard — batches/payloads/failures dispatched to it,
+        ``fallback_batches`` it could not take (executed in the parent
+        instead), cumulative ``busy_seconds`` of worker compute, whether a
+        worker process is currently ``alive``, and its ``pids`` when
+        started.  Feeds the ``shards`` section of the service ``stats()``
+        surface, so a load balancer (or the cost-aware scheduler the
+        ROADMAP plans) can see skew without touching the workers.
+        """
+        report = []
+        with self._stats_lock:
+            snapshots = [dict(slot) for slot in self._shard_stats]
+        for shard, snapshot in enumerate(snapshots):
+            pool = None if self._in_process else self._pools[shard]
+            processes = getattr(pool, "_processes", None) or {}
+            snapshot.update(
+                shard=shard,
+                alive=pool is not None,
+                pids=sorted(processes),
+            )
+            report.append(snapshot)
+        return report
 
     # ------------------------------------------------------------------
     # broadcast operations
@@ -650,14 +730,34 @@ class ShardedExecutor:
 
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Tear down dedicated shard processes (no-op for shared pools)."""
-        if not self._dedicated:
+        """Release this executor's worker processes.
+
+        Dedicated executors tear their private shard processes down
+        immediately.  Non-dedicated executors decrement the shared-pool
+        reference count for their worker count; when the *last* open
+        executor of that count closes, the shared shard processes are shut
+        down too (``wait=True``, so workers are reaped, not orphaned).  A
+        later dispatch on some still-open executor simply re-forks lazily —
+        closing is always safe, never wrong.  Idempotent.
+        """
+        if self._closed:
             return
+        self._closed = True
         with _POOLS_LOCK:
-            for shard, pool in enumerate(self._pools):
+            if self._dedicated:
+                for shard, pool in enumerate(self._pools):
+                    if pool is not None:
+                        pool.shutdown(wait=True, cancel_futures=True)
+                        self._pools[shard] = None
+                return
+            remaining = _SHARED_REFS.get(self._workers, 1) - 1
+            _SHARED_REFS[self._workers] = remaining
+            if remaining > 0:
+                return
+            _SHARED_REFS.pop(self._workers, None)
+            for pool in _SHARED_POOLS.pop(self._workers, []):
                 if pool is not None:
                     pool.shutdown(wait=True, cancel_futures=True)
-                    self._pools[shard] = None
 
     def __enter__(self) -> "ShardedExecutor":
         return self

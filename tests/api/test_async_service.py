@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import asyncio
+import threading
 
 import numpy as np
 import pytest
@@ -14,6 +15,7 @@ from repro.api import (
     SelectionRequest,
 )
 from repro.core.juror import Juror
+from repro.errors import ServiceClosedError
 from repro.testing import DEFAULT_SEED
 
 
@@ -175,3 +177,108 @@ class TestPoolAndBackpressure:
     def test_rejects_service_plus_options(self):
         with pytest.raises(ValueError, match="not both"):
             AsyncJuryService(JuryService(), cache_size=4)
+
+
+def _gate_select_many(service: JuryService):
+    """Patch ``select_many`` to block on a gate the test controls.
+
+    Returns ``(gate, calls)``: set the gate to release the engine; ``calls``
+    records the task ids of every batch that actually reached it.
+    """
+    gate = threading.Event()
+    calls: list[list[str]] = []
+    real = service.select_many
+
+    def gated(requests):
+        calls.append([request.task_id for request in requests])
+        assert gate.wait(10), "test gate never opened"
+        return real(requests)
+
+    service.select_many = gated
+    return gate, calls
+
+
+class TestLifecycle:
+    def test_aclose_answers_queued_and_in_flight_requests(self):
+        """aclose drains: everything accepted before the close is answered,
+        nothing is dropped, and the wrapped service is closed after."""
+        requests = _mixed_stream(8)
+
+        async def run():
+            service = AsyncJuryService(max_batch=2)
+            tasks = [
+                asyncio.create_task(service.select(request))
+                for request in requests
+            ]
+            await asyncio.sleep(0)  # all eight enqueue; the drainer starts
+            await service.aclose()
+            responses = await asyncio.gather(*tasks)
+            stats = service.stats_snapshot()
+            return responses, stats
+
+        responses, stats = asyncio.run(run())
+        assert [r.task_id for r in responses] == [r.task_id for r in requests]
+        assert all(r.status == "ok" for r in responses)
+        assert stats["async"]["answered"] == 8
+        assert stats["async"]["queued"] == 0
+        assert stats["async"]["in_flight"] == 0
+        assert stats["async"]["closed"] is True
+
+    def test_select_after_aclose_raises_service_closed(self):
+        async def run():
+            service = AsyncJuryService()
+            await service.aclose()
+            with pytest.raises(ServiceClosedError):
+                await service.select(_mixed_stream(1)[0])
+            # aclose is idempotent.
+            await service.aclose()
+            return service.closed
+
+        assert asyncio.run(run())
+
+    def test_cancelled_while_queued_never_reaches_the_engine(self):
+        """A caller that gives up while queued costs zero engine work: the
+        drainer skips its entry when the next batch is assembled."""
+        first, victim = _mixed_stream(2)
+
+        async def run():
+            service = AsyncJuryService(max_batch=1)
+            gate, calls = _gate_select_many(service.service)
+            first_task = asyncio.create_task(service.select(first))
+            await asyncio.sleep(0.05)  # drainer now holds batch [t0] at the gate
+            victim_task = asyncio.create_task(service.select(victim))
+            await asyncio.sleep(0.05)  # victim is queued behind the gate
+            victim_task.cancel()
+            gate.set()
+            response = await first_task
+            with pytest.raises(asyncio.CancelledError):
+                await victim_task
+            await service.aclose()
+            return response, calls, service.stats_snapshot()
+
+        response, calls, stats = asyncio.run(run())
+        assert response.status == "ok"
+        assert calls == [["t0"]]  # the cancelled request was never executed
+        assert stats["async"]["cancelled_in_queue"] == 1
+        assert stats["async"]["answered"] == 1
+
+    def test_stats_answer_while_engine_lock_is_held(self):
+        """stats() reads lock-free counters: it must answer promptly while a
+        long batch owns the engine lock (the healthz requirement)."""
+
+        async def run():
+            service = AsyncJuryService(max_batch=1)
+            gate, _ = _gate_select_many(service.service)
+            task = asyncio.create_task(service.select(_mixed_stream(1)[0]))
+            await asyncio.sleep(0.05)
+            assert service._engine_lock.locked()
+            stats = await asyncio.wait_for(service.stats(), timeout=1.0)
+            gate.set()
+            await task
+            await service.aclose()
+            return stats
+
+        stats = asyncio.run(run())
+        assert stats["async"]["in_flight"] == 1
+        assert stats["async"]["accepted"] == 1
+        assert stats["async"]["answered"] == 0

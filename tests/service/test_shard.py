@@ -6,6 +6,7 @@ from __future__ import annotations
 import asyncio
 import io
 import json
+import os
 from types import SimpleNamespace
 
 import numpy as np
@@ -498,3 +499,90 @@ class TestAsyncShardFanout:
         for row in concurrent:
             row.pop("timings")
         assert concurrent == sequential
+
+
+class TestRefcountedClose:
+    """Shared shard processes are reaped when the *last* executor closes."""
+
+    # Worker count no other test uses, so the shared-pool refcount this
+    # class observes is entirely its own.
+    WORKERS = 5
+
+    def test_last_close_reaps_shared_pools(self, rng):
+        first = JuryService(workers=self.WORKERS)
+        second = JuryService(workers=self.WORKERS)
+        request = SelectionRequest(
+            task_id="t", candidates=_pool_jurors(rng, 9, tag="rc")
+        )
+        assert first.select(request).status == "ok"
+        assert shard_module._SHARED_REFS[self.WORKERS] == 2
+
+        first.close()
+        # The shared pools survive the first close: `second` is still open.
+        assert shard_module._SHARED_REFS[self.WORKERS] == 1
+        assert second.select(request).status == "ok"
+
+        pids = [
+            pid
+            for slot in second.engine.executor.utilisation()
+            for pid in slot["pids"]
+        ]
+        second.close()
+        assert self.WORKERS not in shard_module._SHARED_REFS
+        assert self.WORKERS not in shard_module._SHARED_POOLS
+        for pid in pids:  # every worker process is reaped, not orphaned
+            with pytest.raises(ProcessLookupError):
+                os.kill(pid, 0)
+
+    def test_close_is_idempotent_and_lazy_refork_still_works(self, rng):
+        service = JuryService(workers=self.WORKERS)
+        service.close()
+        service.close()
+        assert self.WORKERS not in shard_module._SHARED_REFS
+        # A fresh service of the same width re-registers and still answers.
+        fresh = JuryService(workers=self.WORKERS)
+        try:
+            request = SelectionRequest(
+                task_id="t", candidates=_pool_jurors(rng, 9, tag="rf")
+            )
+            assert fresh.select(request).status == "ok"
+        finally:
+            fresh.close()
+
+    def test_dedicated_close_leaves_shared_pools_alone(self, rng):
+        shared = ShardedExecutor(2)
+        dedicated = ShardedExecutor(2, dedicated=True)
+        before = shard_module._SHARED_REFS.get(2, 0)
+        dedicated.close()
+        assert shard_module._SHARED_REFS.get(2, 0) == before
+        shared.close()
+
+
+class TestUtilisation:
+    def test_counters_populate_and_flow_into_service_stats(self, rng):
+        service = JuryService(workers=2)
+        try:
+            requests = [
+                SelectionRequest(
+                    task_id=f"t{i}", candidates=_pool_jurors(rng, 9, tag=f"u{i}")
+                )
+                for i in range(6)
+            ]
+            assert all(
+                response.status == "ok"
+                for response in service.select_many(requests)
+            )
+            report = service.engine.executor.utilisation()
+            assert [slot["shard"] for slot in report] == [0, 1]
+            assert sum(
+                slot["batches"] + slot["fallback_batches"] for slot in report
+            ) >= 1
+            assert sum(slot["payloads"] for slot in report) == 6
+            assert all(slot["failures"] == 0 for slot in report)
+            assert all(slot["busy_seconds"] >= 0.0 for slot in report)
+
+            stats = service.stats()
+            assert stats["workers"] == 2
+            assert stats["shards"] == report
+        finally:
+            service.close()

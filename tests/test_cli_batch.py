@@ -239,3 +239,44 @@ class TestLegacyModeUnaffected:
         assert main([str(csv_path), "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["model"] == "AltrM" and payload["size"] == 5
+
+
+class TestWorkerReaping:
+    def test_batch_closes_its_service_on_exit(self, tmp_path, capsys, monkeypatch):
+        """No worker shard outlives the CLI: run_batch closes the service on
+        every exit path, including row-error exits."""
+        from repro.api import JuryService
+
+        closed = []
+        original = JuryService.close
+        monkeypatch.setattr(
+            JuryService, "close", lambda self: (closed.append(True), original(self))[1]
+        )
+        path = _write_jsonl(tmp_path, [{"task": "t1", "candidates": _candidates_json()}])
+        assert main(["batch", str(path)]) == 0
+        assert closed == [True]
+
+        closed.clear()
+        bad = _write_jsonl(tmp_path, [{"task": "t1", "model": "wat"}], name="bad.jsonl")
+        assert main(["batch", str(bad)]) == 2
+        assert closed == [True]
+
+    def test_single_query_and_explain_close_their_service(self, tmp_path, capsys, monkeypatch):
+        from repro.api import JuryService
+
+        closed = []
+        original = JuryService.close
+        monkeypatch.setattr(
+            JuryService, "close", lambda self: (closed.append(True), original(self))[1]
+        )
+        csv_path = tmp_path / "c.csv"
+        csv_path.write_text(
+            "id,error_rate,requirement\n"
+            + "\n".join(f"{c},{e},{r}" for c, e, r in FIGURE1)
+            + "\n"
+        )
+        assert main([str(csv_path)]) == 0
+        assert closed == [True]
+        closed.clear()
+        assert main(["explain", str(csv_path)]) == 0
+        assert closed == [True]

@@ -247,3 +247,42 @@ class TestServeViaMain:
         captured = capsys.readouterr()
         assert code == 0
         assert json.loads(captured.out.splitlines()[0])["ok"] is True
+
+
+class TestWorkerReaping:
+    """No worker shard outlives the session: EOF, quit and Ctrl-C all close."""
+
+    @staticmethod
+    def _count_closes(monkeypatch):
+        from repro.api import JuryService
+
+        closed = []
+        original = JuryService.close
+        monkeypatch.setattr(
+            JuryService, "close", lambda self: (closed.append(True), original(self))[1]
+        )
+        return closed
+
+    def test_eof_closes_the_service(self, monkeypatch):
+        closed = self._count_closes(monkeypatch)
+        _, code = _drive([{"cmd": "stats"}])
+        assert code == 0 and closed == [True]
+
+    def test_quit_closes_the_service(self, monkeypatch):
+        closed = self._count_closes(monkeypatch)
+        _, code = _drive([{"cmd": "quit"}])
+        assert code == 0 and closed == [True]
+
+    def test_keyboard_interrupt_closes_the_service_and_exits_130(self, monkeypatch):
+        closed = self._count_closes(monkeypatch)
+
+        class InterruptingStdin:
+            def __iter__(self):
+                return self
+
+            def __next__(self):
+                raise KeyboardInterrupt
+
+        args = SimpleNamespace(cache_size=None, workers=None)
+        code = run_serve(args, stdin=InterruptingStdin(), stdout=io.StringIO())
+        assert code == 130 and closed == [True]
