@@ -1,0 +1,222 @@
+#!/usr/bin/env python3
+"""Answer-frontier benchmark: O(log n) repeat selections vs the plan pipeline.
+
+Scenario: a serving tier answering a Zipf-skewed stream of repeat AltrM
+queries — the workload the frontier cache exists for.  ``P`` candidate
+pools of ~``n`` jurors each (a handful of strong candidates followed by a
+long tail of weak ones, so the winning jury is a small prefix) are queried
+``Q`` times; pool popularity follows a Zipf law, so a few hot pools absorb
+most of the stream, and a slice of the queries carry ``max_size`` caps.
+
+Two engine configurations answer the identical stream:
+
+* ``oracle``  — ``frontier_size=0``: every repeat query runs the full
+  pipeline (``plan_query`` + ``execute_plan``); the sweep cache is warm, so
+  this measures the plan/scan cost the frontier removes, not resweeping.
+* ``frontier`` — default frontier cache: repeats are answered by one
+  ``np.searchsorted`` probe of the materialised budget→jury frontier,
+  before planning ever starts.
+
+Responses are verified **bit-identical** (juror ids, JER compared by
+``float.hex``, work counters) between the two policies on every run, and a
+machine-readable ``BENCH_frontier.json`` artifact is written.
+
+Run:  PYTHONPATH=src python benchmarks/bench_frontier.py [--smoke]
+      [--pools N] [--pool-size N] [--queries N] [--out PATH]
+
+``--smoke`` shrinks the workload for CI smoke jobs and exits non-zero if the
+frontier fails to beat the oracle pipeline at all, or if any response
+diverges.  The full-size acceptance bar is >= 5x on the repeat phase.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.juror import jurors_from_arrays  # noqa: E402
+from repro.service import BatchSelectionEngine, CandidatePool, SelectionQuery  # noqa: E402
+from repro.testing import BENCH_SEED  # noqa: E402
+
+#: Zipf exponent for pool popularity (s > 1: a few pools absorb the stream).
+ZIPF_EXPONENT = 1.3
+
+#: Fraction of repeat queries carrying a ``max_size`` cap.
+CAPPED_FRACTION = 0.25
+
+
+def build_pools(count: int, size: int, rng: np.random.Generator) -> list[CandidatePool]:
+    """Pools with a short strong head and a long weak tail.
+
+    A handful of low-error candidates followed by near-coin-flip filler
+    keeps the optimal jury a small prefix — the regime where the paper's
+    AltrALG sweep spends almost all its time scanning prefixes it will
+    reject, which is exactly the scan the frontier probe replaces.
+    """
+    pools = []
+    strong = max(3, size // 100)
+    for _ in range(count):
+        eps = np.concatenate(
+            [
+                rng.uniform(0.05, 0.20, size=strong),
+                rng.uniform(0.45, 0.49, size=size - strong),
+            ]
+        )
+        pools.append(CandidatePool(jurors_from_arrays(eps)))
+    return pools
+
+
+def build_stream(
+    pools: list[CandidatePool], queries: int, rng: np.random.Generator
+) -> list[SelectionQuery]:
+    """Zipf-skewed repeat-query stream over the shared pools."""
+    ranks = np.minimum(rng.zipf(ZIPF_EXPONENT, size=queries), len(pools)) - 1
+    capped = rng.random(queries) < CAPPED_FRACTION
+    caps = rng.choice([3, 5, 9, 15], size=queries)
+    return [
+        SelectionQuery(
+            task_id=f"q{i}",
+            pool=pools[int(rank)],
+            max_size=int(caps[i]) if capped[i] else None,
+        )
+        for i, rank in enumerate(ranks)
+    ]
+
+
+def _normalise(outcome) -> tuple:
+    result = outcome.result
+    return (
+        result.juror_ids,
+        result.jer.hex(),  # bitwise, not approximate
+        result.algorithm,
+        result.stats.juries_considered,
+        result.stats.jer_evaluations,
+    )
+
+
+def run_policy(
+    pools: list[CandidatePool],
+    stream: list[SelectionQuery],
+    *,
+    frontier_size: int,
+) -> tuple[float, list[tuple], dict]:
+    """Warm one engine, then time the repeat phase query by query."""
+    engine = BatchSelectionEngine(frontier_size=frontier_size)
+    # Warm phase (untimed): one cold query per pool fills the sweep cache —
+    # and, when enabled, materialises the frontiers — so the timed phase
+    # measures repeat answering, not first-touch sweeping.
+    warm = [
+        SelectionQuery(task_id=f"warm{i}", pool=pool)
+        for i, pool in enumerate(pools)
+    ]
+    for query in warm:
+        outcome = engine.run([query])[0]
+        assert outcome.ok, outcome.exception
+    start = time.perf_counter()
+    outcomes = [engine.run([query])[0] for query in stream]
+    elapsed = time.perf_counter() - start
+    assert all(outcome.ok for outcome in outcomes)
+    counters = {
+        "frontier_hits": engine.stats.frontier_hits,
+        "frontier": engine.frontier.snapshot(),
+        "sweep_cache_hits": engine.cache.hits,
+    }
+    return elapsed, [_normalise(outcome) for outcome in outcomes], counters
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--pools", type=int, default=50, help="distinct pools")
+    parser.add_argument(
+        "--pool-size", type=int, default=1001, help="candidates per pool"
+    )
+    parser.add_argument(
+        "--queries", type=int, default=2000, help="repeat-phase stream length"
+    )
+    parser.add_argument(
+        "--out", default="BENCH_frontier.json", help="where to write the JSON artifact"
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small sizes + regression check (CI smoke job)",
+    )
+    args = parser.parse_args(argv)
+
+    pool_count, pool_size, queries = args.pools, args.pool_size, args.queries
+    if args.smoke:
+        pool_count, pool_size, queries = 10, 301, 300
+
+    rng = np.random.default_rng(BENCH_SEED)
+    pools = build_pools(pool_count, pool_size, rng)
+    stream = build_stream(pools, queries, rng)
+    hot = np.bincount(
+        [pools.index(q.pool) for q in stream[:200]], minlength=len(pools)
+    ).max()
+    print(
+        f"bench_frontier: {queries} repeat queries over {pool_count} pools "
+        f"of {pool_size} candidates (Zipf s={ZIPF_EXPONENT}, "
+        f"{int(CAPPED_FRACTION * 100)}% capped; hottest pool serves "
+        f"{hot}/200 of the opening stream)"
+    )
+
+    oracle_seconds, oracle_rows, _ = run_policy(pools, stream, frontier_size=0)
+    print(
+        f"  oracle   (frontier off) {oracle_seconds:8.3f}s  "
+        f"{queries / oracle_seconds:10.1f} q/s"
+    )
+    frontier_seconds, frontier_rows, counters = run_policy(
+        pools, stream, frontier_size=128
+    )
+    speedup = oracle_seconds / frontier_seconds
+    print(
+        f"  frontier (cache on)     {frontier_seconds:8.3f}s  "
+        f"{queries / frontier_seconds:10.1f} q/s   {speedup:5.2f}x"
+    )
+
+    identical = oracle_rows == frontier_rows
+    hits = counters["frontier_hits"]
+    print(f"  bit-identical: {identical}; frontier hits {hits}/{queries}")
+
+    artifact = {
+        "benchmark": "frontier",
+        "mode": "smoke" if args.smoke else "full",
+        "workload": {
+            "pools": pool_count,
+            "pool_size": pool_size,
+            "queries": queries,
+            "zipf_exponent": ZIPF_EXPONENT,
+            "capped_fraction": CAPPED_FRACTION,
+        },
+        "oracle_seconds": oracle_seconds,
+        "oracle_qps": queries / oracle_seconds,
+        "frontier_seconds": frontier_seconds,
+        "frontier_qps": queries / frontier_seconds,
+        "speedup": speedup,
+        "verified_identical": identical,
+        "counters": counters,
+    }
+    Path(args.out).write_text(json.dumps(artifact, indent=2) + "\n", encoding="utf-8")
+    print(f"  wrote {args.out}")
+
+    if not identical:
+        print("FAIL: frontier responses diverged from the oracle pipeline")
+        return 1
+    if hits != queries:
+        print("FAIL: some repeat queries missed the frontier cache")
+        return 1
+    floor = 1.5 if args.smoke else 5.0
+    if speedup < floor:
+        print(f"FAIL: speedup {speedup:.2f}x below the {floor}x acceptance bar")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -206,7 +206,12 @@ class AsyncJuryService:
         return self.stats_snapshot()
 
     def stats_snapshot(self) -> dict:
-        """Synchronous form of :meth:`stats` (shared with ``/healthz``)."""
+        """Synchronous form of :meth:`stats` (shared with ``/healthz``).
+
+        Embeds the full :meth:`JuryService.stats` payload — sweep-cache,
+        planner and answer-frontier counters included — plus the transport
+        block below.
+        """
         snapshot = self._service.stats()
         snapshot["async"] = {
             "accepted": self._accepted,

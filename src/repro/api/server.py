@@ -27,7 +27,10 @@ Endpoints (all bodies are JSON; protocol shapes from :mod:`repro.api`):
 ``GET /v1/stats``
     The service's lock-free counter snapshot plus transport counters —
     never waits on the engine lock, so it stays answerable during a long
-    exact-enumeration batch.
+    exact-enumeration batch.  Surfaces every cache tier: the prefix-sweep
+    cache, the planner's memoised choice, and the answer frontier's
+    hit/miss/build/repair/rebuild lifecycle (``frontier`` +
+    ``engine.frontier_hits``).
 ``GET /healthz``
     Pure liveness: counters only, no engine, no locks, no threads.
 

@@ -30,6 +30,7 @@ from repro.api.protocol import (
 )
 from repro.core.juror import Juror
 from repro.errors import InvalidJuryError, ReproError
+from repro.plan import planner_cache_info
 from repro.service.batch import BatchSelectionEngine, SelectionQuery
 from repro.service.registry import LivePool, PoolRegistry
 
@@ -59,9 +60,16 @@ class JuryService:
     engine:
         Advanced: adopt an existing :class:`BatchSelectionEngine`.  It must
         have been constructed with a registry (which becomes the service's
-        registry); mutually exclusive with ``cache_size``/``workers``.
+        registry); mutually exclusive with ``cache_size``/
+        ``frontier_size``/``workers``.
     cache_size:
         Prefix-sweep cache capacity for the internally built engine.
+    frontier_size:
+        Answer-frontier cache capacity for the internally built engine;
+        ``0`` disables the frontier (every query runs the oracle
+        plan→operator path).  When omitted, the ``REPRO_FRONTIER_CACHE``
+        environment flag decides (enabled by default) — which is how CI
+        pins the no-cache oracle path across the whole suite.
     workers:
         Shard count for the internally built engine: ``> 1`` fans every
         query model out across that many worker processes partitioned by
@@ -90,6 +98,7 @@ class JuryService:
         registry: PoolRegistry | None = None,
         engine: BatchSelectionEngine | None = None,
         cache_size: int | None = None,
+        frontier_size: int | None = None,
         workers: int | None = None,
         max_workers: int | None = None,
     ) -> None:
@@ -98,9 +107,10 @@ class JuryService:
         if max_workers is not None:
             workers = max_workers
         if engine is not None:
-            if cache_size is not None or workers is not None:
+            if cache_size is not None or frontier_size is not None or workers is not None:
                 raise ValueError(
-                    "pass either an engine or cache_size/workers, not both"
+                    "pass either an engine or cache_size/frontier_size/"
+                    "workers, not both"
                 )
             if engine.registry is None:
                 raise ValueError(
@@ -114,7 +124,11 @@ class JuryService:
             if workers is None:
                 workers = _workers_from_env()
             self._registry = registry if registry is not None else PoolRegistry()
-            options = {} if cache_size is None else {"cache_size": cache_size}
+            options: dict = {}
+            if cache_size is not None:
+                options["cache_size"] = cache_size
+            if frontier_size is not None:
+                options["frontier_size"] = frontier_size
             self._engine = BatchSelectionEngine(
                 max_workers=workers, registry=self._registry, **options
             )
@@ -255,9 +269,10 @@ class JuryService:
         elif command.action == "drop":
             pool = self._registry.drop(command.name)
             if pool.size:
-                # Free the dropped pool's current profile from the sweep
-                # caches — the parent's and, under sharded execution, every
-                # worker-local one (older versions' entries age out via LRU).
+                # Symmetric eviction: every parent-side cache keyed by this
+                # fingerprint (sweep profile *and* answer frontier) plus,
+                # under sharded execution, every worker-local cache via
+                # broadcast (older versions' entries age out via LRU).
                 self._engine.invalidate_profile(pool.fingerprint)
         else:  # update
             pool = self._registry.get(command.name)
@@ -333,7 +348,11 @@ class JuryService:
         Safe to call concurrently with running batches and pool commands:
         everything here is a plain counter read, and the pool listing is a
         best-effort snapshot (a pool created or dropped mid-read may be
-        missed — liveness probes must never block on the engine).  Under
+        missed — liveness probes must never block on the engine).  Every
+        cache tier is surfaced: the prefix-sweep cache (``cache``), the
+        planner's memoised operator choice (``planner``), the answer
+        frontier (``frontier`` — hits/misses plus build/repair/rebuild
+        lifecycle) and the engine's work counters (``engine``).  Under
         sharded execution the payload gains ``workers`` and a per-shard
         ``shards`` utilisation table.
         """
@@ -354,6 +373,7 @@ class JuryService:
             except Exception:  # dropped between listing and lookup
                 continue
             pools[name] = {"version": pool.version, "size": pool.size}
+        planner_info = planner_cache_info()
         payload = {
             "v": PROTOCOL_VERSION,
             "ok": True,
@@ -366,6 +386,23 @@ class JuryService:
                 "misses": engine.cache.misses,
                 "evictions": engine.cache.evictions,
                 "entries": len(engine.cache),
+                "maxsize": engine.cache.maxsize,
+            },
+            "planner": {
+                "hits": planner_info.hits,
+                "misses": planner_info.misses,
+                "entries": planner_info.currsize,
+                "maxsize": planner_info.maxsize,
+            },
+            "frontier": engine.frontier.snapshot(),
+            "engine": {
+                "queries_run": engine.stats.queries_run,
+                "batch_sweeps": engine.stats.batch_sweeps,
+                "pools_swept": engine.stats.pools_swept,
+                "live_profiles": engine.stats.live_profiles,
+                "sharded_queries": engine.stats.sharded_queries,
+                "shard_batches": engine.stats.shard_batches,
+                "frontier_hits": engine.stats.frontier_hits,
             },
         }
         executor = engine.executor

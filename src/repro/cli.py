@@ -241,7 +241,10 @@ def run_batch(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 1
 
-    service = JuryService(workers=args.workers)
+    service = JuryService(
+        workers=args.workers,
+        frontier_size=0 if getattr(args, "no_frontier", False) else None,
+    )
     try:
         return _run_batch_rows(args, source, text, service)
     finally:
@@ -392,7 +395,19 @@ def _build_batch_parser() -> argparse.ArgumentParser:
         "by pool fingerprint; results are bit-identical to in-process "
         "execution (default: REPRO_WORKERS env var, else in-process)",
     )
+    _add_no_frontier_flag(parser)
     return parser
+
+
+def _add_no_frontier_flag(parser: argparse.ArgumentParser) -> None:
+    """The answer-frontier opt-out shared by batch/serve/http."""
+    parser.add_argument(
+        "--no-frontier",
+        action="store_true",
+        help="disable the answer-frontier cache so every query runs the "
+        "full plan->operator path (results are bit-identical either way; "
+        "equivalent to REPRO_FRONTIER_CACHE=0)",
+    )
 
 
 # ----------------------------------------------------------------------
@@ -505,7 +520,11 @@ def run_serve(args: argparse.Namespace, *, stdin=None, stdout=None) -> int:
     """
     source = sys.stdin if stdin is None else stdin
     sink = sys.stdout if stdout is None else stdout
-    service = JuryService(cache_size=args.cache_size, workers=args.workers)
+    service = JuryService(
+        cache_size=args.cache_size,
+        workers=args.workers,
+        frontier_size=0 if getattr(args, "no_frontier", False) else None,
+    )
     try:
         return _serve_session(source, sink, service)
     except KeyboardInterrupt:
@@ -608,6 +627,7 @@ def _build_serve_parser() -> argparse.ArgumentParser:
         "in-process execution (default: REPRO_WORKERS env var, else "
         "in-process)",
     )
+    _add_no_frontier_flag(parser)
     return parser
 
 
@@ -626,6 +646,7 @@ async def _serve_http(args: argparse.Namespace) -> int:
         max_pending=args.max_pending,
         cache_size=args.cache_size,
         workers=args.workers,
+        frontier_size=0 if getattr(args, "no_frontier", False) else None,
     )
     server = HttpServer(
         service,
@@ -720,6 +741,7 @@ def _build_http_parser() -> argparse.ArgumentParser:
         "fingerprint; bit-identical to in-process execution (default: "
         "REPRO_WORKERS env var, else in-process)",
     )
+    _add_no_frontier_flag(parser)
     return parser
 
 

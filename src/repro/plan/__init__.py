@@ -19,7 +19,12 @@ operators that answer it, database-style:
 :mod:`repro.plan.cost`
     The cost model: jer ``dp``/``cba`` and pmf ``dp``/``conv`` crossovers,
     ``enumerate`` vs ``branch-and-bound`` from pool size and budget
-    tightness.
+    tightness, and the frontier build-vs-probe crossover.
+:mod:`repro.plan.frontier`
+    The answer frontier: per-(pool fingerprint, version) running argmin over
+    the odd-prefix JER profile, probed by binary search so repeat AltrM
+    queries skip planning and kernels entirely (consulted by the batch
+    engine *before* ``plan_query``).
 
 The scalar selectors (:func:`repro.select_jury_altr`,
 :func:`repro.select_jury_pay`, :func:`repro.select_jury_optimal`), the
@@ -28,7 +33,22 @@ batch engine (:class:`repro.service.BatchSelectionEngine`), the
 ``plan_query() -> execute_plan()``, so their answers cannot diverge.
 """
 
-from repro.plan.cost import ENUMERATION_CROSSOVER, PlanCost, estimate_plan_cost
+from repro.plan.cost import (
+    ENUMERATION_CROSSOVER,
+    FRONTIER_MIN_POOL,
+    PlanCost,
+    estimate_plan_cost,
+    frontier_break_even,
+    frontier_eligible,
+)
+from repro.plan.frontier import (
+    DEFAULT_FRONTIER_CACHE_SIZE,
+    FRONTIER_ENV_FLAG,
+    AnswerFrontier,
+    FrontierCache,
+    frontier_cache_enabled,
+    frontier_cache_size_from_env,
+)
 from repro.plan.operators import execute_plan
 from repro.plan.planner import (
     SelectionPlan,
@@ -39,13 +59,22 @@ from repro.plan.planner import (
 from repro.plan.view import PoolView, as_view
 
 __all__ = [
+    "DEFAULT_FRONTIER_CACHE_SIZE",
     "ENUMERATION_CROSSOVER",
+    "FRONTIER_ENV_FLAG",
+    "FRONTIER_MIN_POOL",
+    "AnswerFrontier",
+    "FrontierCache",
     "PlanCost",
     "PoolView",
     "SelectionPlan",
     "as_view",
     "estimate_plan_cost",
     "execute_plan",
+    "frontier_break_even",
+    "frontier_cache_enabled",
+    "frontier_cache_size_from_env",
+    "frontier_eligible",
     "normalize_model",
     "plan_query",
     "planner_cache_info",

@@ -14,6 +14,11 @@ scattered across the execution layer:
   affordable under the budget — an unaffordable candidate can never join a
   feasible jury, so budget tightness shrinks the enumeration frontier),
   branch and bound beyond.
+* answer frontier (:mod:`repro.plan.frontier`): the build-vs-probe
+  crossover — :func:`frontier_eligible` admits AltrM queries over pools of
+  at least :data:`FRONTIER_MIN_POOL` candidates, and
+  :func:`frontier_break_even` says after how many repeat probes
+  materialising the frontier beats re-scanning the profile.
 
 Every function here is pure and deterministic; :mod:`repro.plan.planner`
 memoises the combined choice, which is what makes plans cheap to recompute
@@ -32,17 +37,30 @@ from repro.core.poisson_binomial import FFT_CROSSOVER
 
 __all__ = [
     "ENUMERATION_CROSSOVER",
+    "FRONTIER_MIN_POOL",
     "PlanCost",
     "jer_backend_for",
     "pmf_backend_for",
     "exact_operator_for",
     "affordable_count",
     "estimate_plan_cost",
+    "frontier_build_ops",
+    "frontier_probe_ops",
+    "frontier_scan_ops",
+    "frontier_break_even",
+    "frontier_eligible",
 ]
 
 #: Effective candidate count up to which exhaustive enumeration beats branch
 #: and bound (the historical ``select_jury_optimal(method="auto")`` rule).
 ENUMERATION_CROSSOVER = 14
+
+#: Smallest pool for which the engine materialises an answer frontier.
+#: Below this the profile has at most two odd prefixes, where a binary-search
+#: probe costs no less than the linear ``best_odd_prefix`` scan it replaces
+#: (``frontier_probe_ops == frontier_scan_ops`` at two entries) — the
+#: build-vs-probe crossover never favours building.
+FRONTIER_MIN_POOL = 5
 
 
 @dataclass(frozen=True)
@@ -97,6 +115,59 @@ def affordable_count(reqs: np.ndarray, budget: float | None) -> int:
     return int(np.count_nonzero(reqs <= budget))
 
 
+def _frontier_entries(pool_size: int) -> int:
+    """Odd prefixes of a pool — the length of profile and frontier alike."""
+    return max(1, (pool_size + 1) // 2)
+
+
+def frontier_scan_ops(pool_size: int) -> float:
+    """Work to answer an AltrM query from a *raw* profile: the linear
+    ``best_odd_prefix`` scan over every odd prefix (the kernel-path cost once
+    the sweep itself is cached)."""
+    return float(_frontier_entries(pool_size))
+
+
+def frontier_probe_ops(pool_size: int) -> float:
+    """Work to answer from a *built* frontier: one binary search."""
+    return math.log2(_frontier_entries(pool_size)) + 1.0
+
+
+def frontier_build_ops(pool_size: int) -> float:
+    """Extra work to materialise the frontier when the profile is in hand:
+    one running-argmin pass over the odd prefixes."""
+    return float(_frontier_entries(pool_size))
+
+
+def frontier_break_even(pool_size: int) -> int:
+    """Repeat probes after which building the frontier amortises.
+
+    The build costs one linear pass; every subsequent query saves
+    ``scan - probe`` operations over re-scanning the profile.  For any pool
+    at or above :data:`FRONTIER_MIN_POOL` this is a handful of probes — and
+    since the hit path *also* skips ``plan_query`` + ``execute_plan``
+    dispatch entirely, the model's estimate is conservative.  Below the
+    crossover (where scan and probe cost the same) building never pays;
+    callers should consult :func:`frontier_eligible` first.
+    """
+    saved = frontier_scan_ops(pool_size) - frontier_probe_ops(pool_size)
+    if saved <= 0.0:
+        return int(1e9)  # never amortises; effectively "do not build"
+    return max(1, math.ceil(frontier_build_ops(pool_size) / saved))
+
+
+def frontier_eligible(model: str, pool_size: int) -> bool:
+    """Whether the answer frontier may serve queries of this shape.
+
+    Only ``altr`` qualifies: the frontier reproduces ``best_odd_prefix``'s
+    smaller-jury-wins tie-break exactly, whereas the exact solvers tie-break
+    by size then lexicographic juror ids and label results differently —
+    serving those from the frontier would break bit-identity with the oracle
+    path.  Pools below :data:`FRONTIER_MIN_POOL` fail the build-vs-probe
+    crossover (see :func:`frontier_break_even`).
+    """
+    return model == "altr" and pool_size >= FRONTIER_MIN_POOL
+
+
 def _enumeration_ops(n: int, limit: int) -> float:
     """Multiply-adds to score every odd jury of <= ``limit`` members by
     enumeration: each size-``k`` combination costs ``O(k^2)`` pmf work."""
@@ -124,6 +195,12 @@ def estimate_plan_cost(
     if model == "altr":
         # One O(N^2) vectorized sweep of the odd prefixes.
         estimates = [("altr-sweep", n * (n + 2) / 2.0)]
+        if frontier_eligible(model, n):
+            # The repeat-query alternative: once a frontier is materialised
+            # for this pool version, a probe answers in O(log n).  The sweep
+            # stays first — it is what a cold query must run — but the engine
+            # consults the frontier before planning at all.
+            estimates.append(("frontier-probe", frontier_probe_ops(n)))
     elif model == "pay":
         if variant == "improved":
             # Steepest descent scores every affordable pair per admission

@@ -1,0 +1,368 @@
+"""Answer frontier: serve repeat AltrM selections in ``O(log n)``.
+
+The AltrM optimum over a fixed pool is a *function of the size cap alone*:
+Lemma 3 pins the candidate order, the odd-prefix JER profile enumerates every
+feasible answer, and :func:`repro.core.jer.best_odd_prefix` reduces a query to
+"the best odd prefix of size ``<= max_size``".  That reduction is a **running
+argmin** over the profile — a monotone step function of the cap — so the full
+answer set for a pool version can be materialised once (two columnar arrays)
+and every later query answered by binary search, without planning and without
+touching the kernels.
+
+:class:`AnswerFrontier`
+    The materialised running argmin for one ``(pool fingerprint, version)``:
+    ``ns[i]`` is the ``i``-th odd prefix size and ``best_ns[i]`` /
+    ``best_jers[i]`` the winning prefix among sizes ``<= ns[i]``, computed
+    with *exactly* the :data:`~repro.core.jer.JER_IMPROVEMENT_EPS` tie-break
+    of :func:`~repro.core.jer.best_odd_prefix` (prefer the smaller jury on
+    ties).  :meth:`AnswerFrontier.probe` is one ``np.searchsorted``;
+    :meth:`AnswerFrontier.select` wraps the probe into the same
+    :class:`~repro.core.selection.base.SelectionResult` the plan pipeline
+    builds, field for field and bit for bit.
+
+    On pool churn the frontier is **delta-repaired**, not rebuilt: a mutation
+    at sorted position ``p`` leaves every prefix of size ``<= p`` intact, so
+    the first ``(p + 1) // 2`` frontier entries stay valid and
+    :meth:`AnswerFrontier.repaired` resumes the running argmin from the first
+    dirty entry of the (itself delta-repaired) sweep profile — the exact
+    analogue of :func:`repro.core.jer.resume_prefix_sweep` one level up.
+
+:class:`FrontierCache`
+    LRU ``fingerprint -> AnswerFrontier`` map with hit/miss/eviction plus
+    build/repair/rebuild counters, mirroring
+    :class:`repro.service.cache.PrefixSweepCache`.  Content-hash keys make it
+    safe under churn (a mutation changes the fingerprint), and ``maxsize=0``
+    disables it entirely — the oracle configuration that
+    ``REPRO_FRONTIER_CACHE=0`` pins in CI.
+
+Only ``model="altr"`` plans are frontier-eligible.  ``exact`` queries over
+the same pool *can* return the same jury, but their tie-break differs (ties
+within ``1e-15`` resolve by size then lexicographic juror ids, and the result
+is labelled ``OPT-enumerate``/``OPT-bnb``), so serving them from the frontier
+would break bit-identity with the oracle path.  The eligibility rule and the
+build-vs-probe crossover live in :mod:`repro.plan.cost`.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.jer import JER_IMPROVEMENT_EPS
+from repro.core.juror import Juror, Jury
+from repro.core.selection.base import SelectionResult, SelectionStats
+
+__all__ = [
+    "AnswerFrontier",
+    "FrontierCache",
+    "DEFAULT_FRONTIER_CACHE_SIZE",
+    "FRONTIER_ENV_FLAG",
+    "frontier_cache_enabled",
+    "frontier_cache_size_from_env",
+]
+
+#: Default number of answer frontiers retained by an engine's cache (one per
+#: pool fingerprint; two int64/float64 columns each, a few KiB per pool).
+DEFAULT_FRONTIER_CACHE_SIZE = 128
+
+#: Environment flag gating the frontier cache.  Unset or truthy -> enabled;
+#: ``0`` / ``false`` / ``no`` / ``off`` (case-insensitive) -> disabled, which
+#: forces every query down the plan_query() -> execute_plan() oracle path.
+FRONTIER_ENV_FLAG = "REPRO_FRONTIER_CACHE"
+
+_FALSE_VALUES = frozenset({"0", "false", "no", "off"})
+
+
+def frontier_cache_enabled() -> bool:
+    """Whether :data:`FRONTIER_ENV_FLAG` leaves the frontier cache on."""
+    raw = os.environ.get(FRONTIER_ENV_FLAG, "").strip().lower()
+    if not raw:
+        return True
+    return raw not in _FALSE_VALUES
+
+
+def frontier_cache_size_from_env() -> int:
+    """Engine default frontier capacity (0 when the env flag disables it)."""
+    return DEFAULT_FRONTIER_CACHE_SIZE if frontier_cache_enabled() else 0
+
+
+class AnswerFrontier:
+    """The running argmin over one pool version's odd-prefix JER profile.
+
+    Construct via :meth:`build` (fresh) or :meth:`repaired` (delta repair
+    from a previous version's frontier).  All three columns are read-only
+    float64/int64 arrays; instances are immutable and safe to share across
+    threads.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> ns = np.array([1, 3, 5], dtype=np.int64)
+    >>> jers = np.array([0.2, 0.1, 0.15])
+    >>> frontier = AnswerFrontier.build(ns, jers, fingerprint="fp")
+    >>> frontier.probe(4)   # best odd prefix of size <= 4
+    (3, 0.1, 2)
+    >>> frontier.probe(None)
+    (3, 0.1, 3)
+    """
+
+    __slots__ = ("ns", "best_ns", "best_jers", "fingerprint", "version")
+
+    def __init__(
+        self,
+        ns: np.ndarray,
+        best_ns: np.ndarray,
+        best_jers: np.ndarray,
+        *,
+        fingerprint: str,
+        version: int | None = None,
+    ) -> None:
+        self.ns = ns
+        self.best_ns = best_ns
+        self.best_jers = best_jers
+        self.fingerprint = fingerprint
+        self.version = version
+
+    @property
+    def entries(self) -> int:
+        """Number of odd prefixes covered (``(pool_size + 1) // 2``)."""
+        return int(self.ns.size)
+
+    @classmethod
+    def build(
+        cls,
+        ns: np.ndarray,
+        jers: np.ndarray,
+        *,
+        fingerprint: str,
+        version: int | None = None,
+    ) -> AnswerFrontier:
+        """Materialise the frontier from a full sweep profile (O(entries))."""
+        return cls._compute(ns, jers, 0, None, None, fingerprint, version)
+
+    def repaired(
+        self,
+        ns: np.ndarray,
+        jers: np.ndarray,
+        clean_entries: int,
+        *,
+        fingerprint: str,
+        version: int | None = None,
+    ) -> AnswerFrontier:
+        """A new frontier for a churned profile, reusing the clean prefix.
+
+        ``clean_entries`` is the number of leading frontier entries still
+        valid — for a mutation burst whose lowest sorted position was ``p``,
+        that is ``(p + 1) // 2`` (prefixes of size ``<= p`` are untouched).
+        The running argmin resumes from the first dirty entry, so repair cost
+        is proportional to the dirty suffix, exactly like the profile repair
+        it piggybacks on.
+        """
+        clean = min(int(clean_entries), self.entries, int(ns.size))
+        return type(self)._compute(
+            ns, jers, max(clean, 0), self.best_ns, self.best_jers,
+            fingerprint, version,
+        )
+
+    @classmethod
+    def _compute(
+        cls,
+        ns: np.ndarray,
+        jers: np.ndarray,
+        clean: int,
+        prev_best_ns: np.ndarray | None,
+        prev_best_jers: np.ndarray | None,
+        fingerprint: str,
+        version: int | None,
+    ) -> AnswerFrontier:
+        ns = np.ascontiguousarray(ns, dtype=np.int64)
+        size = int(ns.size)
+        best_ns = np.empty(size, dtype=np.int64)
+        best_jers = np.empty(size, dtype=np.float64)
+        if clean > 0:
+            assert prev_best_ns is not None and prev_best_jers is not None
+            best_ns[:clean] = prev_best_ns[:clean]
+            best_jers[:clean] = prev_best_jers[:clean]
+            incumbent_n = int(best_ns[clean - 1])
+            incumbent_jer = float(best_jers[clean - 1])
+        else:
+            incumbent_n, incumbent_jer = -1, float("inf")
+        # The scan below is best_odd_prefix's loop verbatim (same comparison,
+        # same epsilon), checkpointed at every prefix instead of only at the
+        # caller's max_size — that is what makes probes bit-identical.
+        for i in range(clean, size):
+            value = float(jers[i])
+            if value < incumbent_jer - JER_IMPROVEMENT_EPS:
+                incumbent_n, incumbent_jer = int(ns[i]), value
+            best_ns[i] = incumbent_n
+            best_jers[i] = incumbent_jer
+        ns.flags.writeable = False
+        best_ns.flags.writeable = False
+        best_jers.flags.writeable = False
+        return cls(ns, best_ns, best_jers, fingerprint=fingerprint, version=version)
+
+    def probe(self, max_size: int | None = None) -> tuple[int, float, int]:
+        """Answer ``best_odd_prefix(ns, jers, max_size=max_size)`` in O(log n).
+
+        Returns ``(jury size, jer, prefixes considered)`` — the third element
+        is what the plan path reports as ``juries_considered`` /
+        ``jer_evaluations``.  Raises the same :class:`ValueError` as
+        :func:`~repro.core.jer.best_odd_prefix` when no odd prefix fits under
+        ``max_size``.
+        """
+        if max_size is None:
+            index = self.entries - 1
+        else:
+            index = int(np.searchsorted(self.ns, max_size, side="right")) - 1
+        if index < 0:
+            raise ValueError("cannot select from an empty sweep profile")
+        return int(self.best_ns[index]), float(self.best_jers[index]), index + 1
+
+    def select(
+        self,
+        ordered: Sequence[Juror],
+        *,
+        max_size: int | None = None,
+    ) -> SelectionResult:
+        """Answer an AltrM query from the frontier, plan-pipeline shaped.
+
+        ``ordered`` must be the pool's members in Lemma 3 order (the same
+        sequence the plan's :class:`~repro.plan.view.PoolView` wraps), so the
+        jury holds the identical :class:`~repro.core.juror.Juror` objects the
+        oracle path would have selected.  Field-for-field this mirrors
+        :func:`repro.core.selection.altr.result_from_sweep_profile`; the
+        caller stamps ``stats.elapsed_seconds``.
+        """
+        best_n, best_jer, considered = self.probe(max_size)
+        stats = SelectionStats(
+            juries_considered=considered,
+            jer_evaluations=considered,
+        )
+        return SelectionResult(
+            jury=Jury(list(ordered[:best_n])),
+            jer=best_jer,
+            algorithm="AltrALG",
+            model="AltrM",
+            budget=None,
+            stats=stats,
+        )
+
+
+class FrontierCache:
+    """LRU cache ``fingerprint -> AnswerFrontier`` with lifecycle counters.
+
+    ``hits``/``misses``/``evictions`` mirror
+    :class:`~repro.service.cache.PrefixSweepCache`; ``builds``/``repairs``/
+    ``rebuilds`` count how frontiers entered the cache (fresh build, delta
+    repair from a prior version, forced full rebuild).  ``maxsize=0``
+    disables storage — every :meth:`get` returns ``None`` without counting,
+    so a disabled engine reports all-zero frontier stats.
+    """
+
+    __slots__ = (
+        "_maxsize", "_entries",
+        "hits", "misses", "evictions", "builds", "repairs", "rebuilds",
+    )
+
+    def __init__(self, maxsize: int = DEFAULT_FRONTIER_CACHE_SIZE) -> None:
+        if maxsize < 0:
+            raise ValueError(f"maxsize must be non-negative, got {maxsize}")
+        self._maxsize = maxsize
+        self._entries: OrderedDict[str, AnswerFrontier] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.builds = 0
+        self.repairs = 0
+        self.rebuilds = 0
+
+    @property
+    def maxsize(self) -> int:
+        """Capacity in frontiers (0 = disabled)."""
+        return self._maxsize
+
+    @property
+    def enabled(self) -> bool:
+        """Whether the cache stores (and therefore serves) anything at all."""
+        return self._maxsize > 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self._entries
+
+    def get(self, fingerprint: str) -> AnswerFrontier | None:
+        """The cached frontier, or ``None`` (disabled caches never count)."""
+        if self._maxsize == 0:
+            return None
+        entry = self._entries.get(fingerprint)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(fingerprint)
+        self.hits += 1
+        return entry
+
+    def put(self, frontier: AnswerFrontier, *, mode: str = "built") -> None:
+        """Store a frontier, recording how it was produced.
+
+        ``mode`` is one of ``"built"`` (fresh), ``"repaired"`` (delta repair)
+        or ``"rebuilt"`` (churn threshold exceeded, full recompute);
+        ``"cached"`` stores without counting (the frontier was already
+        accounted for when first produced).
+        """
+        if mode == "built":
+            self.builds += 1
+        elif mode == "repaired":
+            self.repairs += 1
+        elif mode == "rebuilt":
+            self.rebuilds += 1
+        elif mode != "cached":
+            raise ValueError(f"unknown frontier mode {mode!r}")
+        if self._maxsize == 0:
+            return
+        self._entries[frontier.fingerprint] = frontier
+        self._entries.move_to_end(frontier.fingerprint)
+        while len(self._entries) > self._maxsize:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def invalidate(self, fingerprint: str) -> bool:
+        """Explicitly evict one frontier; returns whether it was present.
+
+        Content-keyed entries never go *wrong*, but a dropped registry
+        pool's frontier is dead weight — the registry drop path frees it
+        here in the same breath as the sweep caches.
+        """
+        if self._entries.pop(fingerprint, None) is None:
+            return False
+        self.evictions += 1
+        return True
+
+    def clear(self) -> None:
+        """Drop all frontiers and reset every counter."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.builds = 0
+        self.repairs = 0
+        self.rebuilds = 0
+
+    def snapshot(self) -> dict:
+        """Counter snapshot for the stats surfaces (plain ints, JSON-ready)."""
+        return {
+            "enabled": self.enabled,
+            "entries": len(self._entries),
+            "maxsize": self._maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "builds": self.builds,
+            "repairs": self.repairs,
+            "rebuilds": self.rebuilds,
+        }

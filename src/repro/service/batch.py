@@ -12,6 +12,14 @@ front door that parses model strings and picks the physical operator) and
 executes the plan with :func:`repro.plan.execute_plan`.  On top of that one
 path the engine adds the batch-shaped optimisations:
 
+* **Repeat AltrM queries** are answered from the answer-frontier cache
+  (:mod:`repro.plan.frontier`): the engine probes it during batch assembly,
+  *before* planning, and a hit is one ``np.searchsorted`` — no
+  ``plan_query``, no ``execute_plan``, and under sharded execution no
+  worker round trip (hits shrink the shard payloads).  Frontiers are
+  materialised the first time a pool's profile is resolved and delta-
+  repaired by live pools across churn; results are bit-identical to the
+  plan pipeline, tie-break included.
 * **AltrM queries** are answered from odd-prefix JER profiles.  Distinct
   pools of equal size are stacked into one matrix and swept together by the
   vectorized 2-D kernel (:func:`repro.core.jer.batch_prefix_jer_sweep`);
@@ -50,10 +58,17 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
+from repro._validation import validate_budget
 from repro.core.jer import batch_prefix_jer_sweep
 from repro.core.juror import Juror
 from repro.core.selection.base import SelectionResult
 from repro.plan import SelectionPlan, execute_plan, normalize_model, plan_query
+from repro.plan.cost import frontier_eligible
+from repro.plan.frontier import (
+    AnswerFrontier,
+    FrontierCache,
+    frontier_cache_size_from_env,
+)
 from repro.service.cache import DEFAULT_CACHE_SIZE, PrefixSweepCache
 from repro.service.pool import CandidatePool
 from repro.service.registry import LivePool, PoolRegistry
@@ -192,6 +207,9 @@ class EngineStats:
     sharded_queries: int = 0
     #: Shard batches dispatched (one per shard touched per engine pass).
     shard_batches: int = 0
+    #: Queries answered from the answer frontier — no plan, no kernel, and
+    #: (under sharded execution) no worker round trip.
+    frontier_hits: int = 0
 
 
 class BatchSelectionEngine:
@@ -205,6 +223,15 @@ class BatchSelectionEngine:
         within one batch, pools are still deduplicated by fingerprint.
         Under sharded execution the engine cache relays live-pool profiles;
         cold sweeps live in the worker-local caches instead.
+    frontier_size:
+        Capacity of the answer-frontier cache
+        (:class:`~repro.plan.frontier.FrontierCache`): one materialised
+        budget→jury frontier per pool fingerprint, probed *before* planning
+        so repeat AltrM queries are answered by binary search — no
+        ``plan_query``, no ``execute_plan``, and under sharded execution no
+        worker round trip.  ``0`` disables it (the oracle configuration);
+        ``None`` (default) defers to the ``REPRO_FRONTIER_CACHE``
+        environment flag (enabled unless the flag is falsy).
     max_workers:
         Convenience: ``> 1`` builds a
         :class:`~repro.service.shard.ShardedExecutor` with that many worker
@@ -233,6 +260,7 @@ class BatchSelectionEngine:
         self,
         *,
         cache_size: int = DEFAULT_CACHE_SIZE,
+        frontier_size: int | None = None,
         max_workers: int | None = None,
         executor: ShardedExecutor | None = None,
         registry: PoolRegistry | None = None,
@@ -242,6 +270,9 @@ class BatchSelectionEngine:
         if executor is None and max_workers is not None and max_workers > 1:
             executor = ShardedExecutor(max_workers)
         self._cache = PrefixSweepCache(maxsize=cache_size)
+        if frontier_size is None:
+            frontier_size = frontier_cache_size_from_env()
+        self._frontier = FrontierCache(maxsize=frontier_size)
         self._executor = executor
         self._registry = registry
         # Guards parent-side shared state (cache, stats, planning) when the
@@ -257,6 +288,11 @@ class BatchSelectionEngine:
         return self._cache
 
     @property
+    def frontier(self) -> FrontierCache:
+        """The engine's answer-frontier cache (inspectable in tests/ops)."""
+        return self._frontier
+
+    @property
     def executor(self) -> ShardedExecutor | None:
         """The sharded execution strategy, if any."""
         return self._executor
@@ -267,13 +303,16 @@ class BatchSelectionEngine:
         return self._registry
 
     def invalidate_profile(self, fingerprint: str) -> None:
-        """Evict a pool's sweep profile everywhere it may be cached.
+        """Evict a pool's cached answers everywhere they may live.
 
-        Covers the parent cache *and* — under sharded execution — every
-        worker-local cache (broadcast), so dropping a registry pool frees
-        its profile in all shards, not just the parent.
+        Symmetric by construction: *every* parent-side structure keyed by
+        this fingerprint — the prefix-sweep cache and the answer-frontier
+        cache — is cleared, and under sharded execution the eviction is
+        broadcast to every worker-local cache, so dropping a registry pool
+        frees its state in all shards, not just the parent.
         """
         self._cache.invalidate(fingerprint)
+        self._frontier.invalidate(fingerprint)
         if self._executor is not None:
             self._executor.invalidate(fingerprint)
 
@@ -389,13 +428,88 @@ class BatchSelectionEngine:
         """
         cached = self._cache.get(pool.fingerprint)
         if cached is not None:
+            self._adopt_frontier(pool, live, cached)
             return cached
         if live is not None:
             profile = live.sweep_profile()
             self._cache.put(pool.fingerprint, *profile)
             self.stats.live_profiles += 1
+            self._adopt_frontier(pool, live, profile)
             return profile
         return None
+
+    # ------------------------------------------------------------------
+    # answer frontier: O(log n) repeat queries, probed before planning
+    # ------------------------------------------------------------------
+    def _adopt_frontier(
+        self,
+        pool: CandidatePool,
+        live: LivePool | None,
+        profile: tuple[np.ndarray, np.ndarray],
+    ) -> None:
+        """Materialise the pool's answer frontier once its profile is known.
+
+        Live pools hand over their own delta-maintained frontier (repaired,
+        not rebuilt, across churn); frozen pools get a fresh build from the
+        profile — an ``O(entries)`` running-argmin pass, which the cost
+        model's break-even says amortises after a single repeat probe.
+        Ineligible shapes (non-AltrM is handled by the callers; pools below
+        the build-vs-probe crossover here) are skipped.
+        """
+        if not self._frontier.enabled:
+            return
+        if not frontier_eligible("altr", pool.size):
+            return
+        if pool.fingerprint in self._frontier:
+            return
+        if live is not None:
+            frontier, mode = live.answer_frontier()
+        else:
+            ns, jers = profile
+            frontier = AnswerFrontier.build(ns, jers, fingerprint=pool.fingerprint)
+            mode = "built"
+        self._frontier.put(frontier, mode=mode)
+
+    def _frontier_answer(
+        self,
+        query: SelectionQuery,
+        pool: CandidatePool,
+        outcome: QueryOutcome,
+        raise_errors: bool,
+    ) -> bool:
+        """Try to answer one AltrM query from the frontier cache.
+
+        Returns ``True`` when the outcome was filled (result *or* the same
+        error the oracle path would have raised).  The hit path replicates
+        the plan pipeline's observable behaviour exactly: the budget is
+        validated the way ``plan_query`` would (AltrM ignores it otherwise),
+        and an unsatisfiable ``max_size`` raises the identical
+        :class:`ValueError` as :func:`~repro.core.jer.best_odd_prefix`.
+        """
+        if not self._frontier.enabled:
+            return False
+        if not frontier_eligible(query.model, pool.size):
+            return False
+        frontier = self._frontier.get(pool.fingerprint)
+        if frontier is None:
+            return False
+        start = time.perf_counter()
+        try:
+            if query.budget is not None:
+                validate_budget(query.budget)
+            result = frontier.select(pool.ordered, max_size=query.max_size)
+        except Exception as exc:
+            if raise_errors:
+                raise
+            outcome.exception = exc
+            self.stats.frontier_hits += 1
+            return True
+        elapsed = time.perf_counter() - start
+        result.stats.elapsed_seconds = elapsed
+        outcome.result = result
+        outcome.elapsed_seconds = elapsed
+        self.stats.frontier_hits += 1
+        return True
 
     def _run_sharded(
         self,
@@ -410,6 +524,10 @@ class BatchSelectionEngine:
             probed: set[str] = set()  # pools whose known profile was looked up
             for index, query, pool, live in items:
                 try:
+                    # Frontier hits short-circuit before the query reaches a
+                    # shard: no plan, no payload, no worker round trip.
+                    if self._frontier_answer(query, pool, outcomes[index], raise_errors):
+                        continue
                     plan = self._plan_for(query, pool)
                     fingerprint = pool.fingerprint
                     is_altr = plan.operator == "altr-sweep"
@@ -478,6 +596,16 @@ class BatchSelectionEngine:
     ) -> None:
         if not items:
             return
+        # Pass 0: frontier probes.  A hit answers the query right here —
+        # no plan, no kernel — so only the misses go through profile
+        # resolution below.
+        items = [
+            item
+            for item in items
+            if not self._frontier_answer(item[1], item[2], outcomes[item[0]], raise_errors)
+        ]
+        if not items:
+            return
         profiles: dict[str, tuple[np.ndarray, np.ndarray]] = {}
         missing: dict[str, CandidatePool] = {}
         for _, _, pool, live in items:
@@ -513,6 +641,17 @@ class BatchSelectionEngine:
                 profile = (ns, jer_matrix[row].copy())
                 profiles[pool.fingerprint] = profile
                 self._cache.put(pool.fingerprint, *profile)
+
+        # Materialise answer frontiers for every pool touched this pass, so
+        # the *next* repeat query probes in O(log n) instead of re-planning.
+        if self._frontier.enabled:
+            adopted: set[str] = set()
+            for _, _, pool, live in items:
+                fingerprint = pool.fingerprint
+                if fingerprint in adopted:
+                    continue
+                adopted.add(fingerprint)
+                self._adopt_frontier(pool, live, profiles[fingerprint])
 
         for index, query, pool, _ in items:
             start = time.perf_counter()

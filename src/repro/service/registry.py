@@ -23,7 +23,11 @@ anything on the *query path*:
     Delta-repaired profiles are **bit-identical** to sweeping a fresh
     :class:`CandidatePool` of the same members, so live pools plug into the
     batch engine and its fingerprint-keyed sweep cache without a second code
-    path for correctness.
+    path for correctness.  One level up, the pool delta-maintains its
+    :class:`~repro.plan.frontier.AnswerFrontier` the same way
+    (:meth:`LivePool.answer_frontier`): churn at sorted position ``p``
+    invalidates only frontier entries past ``(p + 1) // 2``, and repair
+    resumes the running argmin from there.
 
 :class:`PoolRegistry`
     A name -> :class:`LivePool` namespace shared by the batch engine
@@ -45,6 +49,7 @@ from repro.core.jer import resume_prefix_sweep
 from repro.core.juror import Juror
 from repro.core.selection.base import candidate_key, pool_fingerprint
 from repro.errors import EmptyCandidateSetError, InvalidJuryError, PoolNotFoundError
+from repro.plan.frontier import AnswerFrontier
 from repro.service.pool import CandidatePool
 
 __all__ = ["LivePool", "LivePoolStats", "PoolRegistry"]
@@ -67,6 +72,11 @@ class LivePoolStats:
     rows_reused: int = 0
     rows_recomputed: int = 0
     full_rebuilds: int = 0
+    #: Answer-frontier lifecycle (see :meth:`LivePool.answer_frontier`).
+    frontier_builds: int = 0
+    frontier_repairs: int = 0
+    frontier_rebuilds: int = 0
+    frontier_entries_reused: int = 0
 
 
 class LivePool:
@@ -122,6 +132,12 @@ class LivePool:
         self._clean = 0
         self._mutations_since_repair = 0
         self._profile: tuple[int, np.ndarray, np.ndarray] | None = None
+        # Answer-frontier state: the last frontier materialised for this pool
+        # and how many of its leading entries survived the churn since (a
+        # mutation at sorted position p leaves prefixes of size <= p — hence
+        # the first (p + 1) // 2 frontier entries — intact).
+        self._frontier: AnswerFrontier | None = None
+        self._frontier_clean = 0
         self.stats = LivePoolStats()
         for juror in candidates:
             self._insert(juror)
@@ -277,6 +293,51 @@ class LivePool:
         self._profile = (self._version, ns, jers)
         return ns, jers
 
+    def answer_frontier(self) -> tuple[AnswerFrontier, str]:
+        """The answer frontier of the current version, delta-repaired.
+
+        Returns ``(frontier, mode)`` where ``mode`` records how this
+        version's frontier was produced: ``"cached"`` (version unchanged
+        since the last call), ``"built"`` (first materialisation),
+        ``"repaired"`` (running argmin resumed past the surviving clean
+        prefix) or ``"rebuilt"`` (churn invalidated every entry; same
+        kernel run from entry 0).  The frontier's probes are bit-identical
+        to :func:`repro.core.jer.best_odd_prefix` over
+        :meth:`sweep_profile` — the delta repair reuses only entries the
+        churn provably left untouched.
+        """
+        ns, jers = self.sweep_profile()
+        frontier = self._frontier
+        if frontier is not None and frontier.version == self._version:
+            return frontier, "cached"
+        clean = (
+            0
+            if frontier is None
+            else max(0, min(self._frontier_clean, frontier.entries, int(ns.size)))
+        )
+        if frontier is None:
+            rebuilt = AnswerFrontier.build(
+                ns, jers, fingerprint=self.fingerprint, version=self._version
+            )
+            self.stats.frontier_builds += 1
+            mode = "built"
+        elif clean == 0:
+            rebuilt = AnswerFrontier.build(
+                ns, jers, fingerprint=self.fingerprint, version=self._version
+            )
+            self.stats.frontier_rebuilds += 1
+            mode = "rebuilt"
+        else:
+            rebuilt = frontier.repaired(
+                ns, jers, clean, fingerprint=self.fingerprint, version=self._version
+            )
+            self.stats.frontier_repairs += 1
+            self.stats.frontier_entries_reused += clean
+            mode = "repaired"
+        self._frontier = rebuilt
+        self._frontier_clean = rebuilt.entries
+        return rebuilt, mode
+
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
@@ -293,6 +354,7 @@ class LivePool:
         self._ordered.insert(position, juror)
         self._members[juror.juror_id] = juror
         self._clean = min(self._clean, position)
+        self._frontier_clean = min(self._frontier_clean, (position + 1) // 2)
         self._eps_cache = None
 
     def _take(self, juror_id: str) -> Juror:
@@ -304,6 +366,7 @@ class LivePool:
         del self._ordered[position]
         del self._members[juror_id]
         self._clean = min(self._clean, position)
+        self._frontier_clean = min(self._frontier_clean, (position + 1) // 2)
         self._eps_cache = None
         return juror
 

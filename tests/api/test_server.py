@@ -220,6 +220,14 @@ class TestEndpoints:
         assert stats["server"]["max_connections"] == 17
         assert stats["server"]["connections"] == 1
         assert stats["server"]["draining"] is False
+        # The full cache-tier payload reaches the HTTP surface untouched:
+        # sweep cache, planner memo, and the answer frontier's lifecycle.
+        assert {"hits", "misses", "evictions", "entries"} <= stats["cache"].keys()
+        assert {"hits", "misses", "entries", "maxsize"} <= stats["planner"].keys()
+        assert {"hits", "misses", "builds", "repairs", "rebuilds"} <= stats[
+            "frontier"
+        ].keys()
+        assert "frontier_hits" in stats["engine"]
         assert health == {
             "v": PROTOCOL_VERSION,
             "ok": True,

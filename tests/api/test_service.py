@@ -183,6 +183,21 @@ class TestPoolCommands:
         stats = service.stats()
         assert stats["pools"]["P1"] == {"version": 0, "size": 7}
         assert stats["queries_run"] == 1
+        # Every cache tier is surfaced: sweep cache, planner memo, answer
+        # frontier (full lifecycle), and the engine's work counters.
+        assert {"hits", "misses", "evictions", "entries", "maxsize"} <= stats[
+            "cache"
+        ].keys()
+        assert {"hits", "misses", "entries", "maxsize"} <= stats["planner"].keys()
+        assert {
+            "enabled", "entries", "maxsize",
+            "hits", "misses", "evictions", "builds", "repairs", "rebuilds",
+        } <= stats["frontier"].keys()
+        assert stats["engine"]["queries_run"] == 1
+        assert {
+            "queries_run", "batch_sweeps", "pools_swept", "live_profiles",
+            "sharded_queries", "shard_batches", "frontier_hits",
+        } <= stats["engine"].keys()
 
 
 class TestConstruction:

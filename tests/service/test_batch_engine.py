@@ -184,8 +184,11 @@ class TestSharedPoolCaching:
         assert engine.stats.pools_swept == 1
 
     def test_cache_reused_across_runs(self, rng):
+        # frontier_size=0 pins the sweep-cache path: with the answer
+        # frontier on, the repeat run never reaches the sweep cache at all
+        # (covered by tests/service/test_frontier_engine.py).
         pool = CandidatePool(_pool_jurors(rng, 13))
-        engine = BatchSelectionEngine()
+        engine = BatchSelectionEngine(frontier_size=0)
         engine.run([SelectionQuery(task_id="t1", pool=pool)])
         engine.run([SelectionQuery(task_id="t2", pool=pool)])
         assert engine.stats.pools_swept == 1
@@ -193,7 +196,7 @@ class TestSharedPoolCaching:
 
     def test_cache_size_zero_resweeps_across_runs(self, rng):
         pool = CandidatePool(_pool_jurors(rng, 13))
-        engine = BatchSelectionEngine(cache_size=0)
+        engine = BatchSelectionEngine(cache_size=0, frontier_size=0)
         engine.run([SelectionQuery(task_id="t1", pool=pool)])
         engine.run([SelectionQuery(task_id="t2", pool=pool)])
         assert engine.stats.pools_swept == 2

@@ -275,7 +275,9 @@ class TestCacheInvalidation:
     def test_mutation_never_serves_stale_profile(self, rng):
         registry = PoolRegistry()
         pool = registry.create("P", jurors_from_arrays([0.1, 0.2, 0.2, 0.3, 0.3]))
-        engine = BatchSelectionEngine(registry=registry)
+        # frontier_size=0 pins the sweep-cache path itself; the frontier's
+        # own invalidation story lives in tests/service/test_frontier_engine.py.
+        engine = BatchSelectionEngine(registry=registry, frontier_size=0)
 
         first = engine.run([SelectionQuery(task_id="a", pool_name="P")])[0]
         assert engine.cache.misses == 1 and engine.cache.hits == 0
@@ -296,7 +298,7 @@ class TestCacheInvalidation:
     def test_identical_readd_restores_cache_hits(self, rng):
         registry = PoolRegistry()
         pool = registry.create("P", jurors_from_arrays([0.1, 0.2, 0.2, 0.3, 0.3]))
-        engine = BatchSelectionEngine(registry=registry)
+        engine = BatchSelectionEngine(registry=registry, frontier_size=0)
 
         baseline = engine.run([SelectionQuery(task_id="a", pool_name="P")])[0]
         juror = pool.remove_juror(pool.ordered[-1].juror_id)

@@ -216,8 +216,11 @@ class TestWorkerLocalCache:
     def test_live_pool_profile_is_relayed_not_recomputed(self, rng, dedicated_executor):
         registry = PoolRegistry()
         registry.create("P", list(jurors_from_arrays(rng.uniform(0.05, 0.9, 13))))
+        # frontier_size=0 pins the relay path itself; with the frontier on,
+        # the repeat query never reaches the shards at all (covered by
+        # tests/service/test_frontier_engine.py).
         engine = BatchSelectionEngine(
-            executor=dedicated_executor, registry=registry
+            executor=dedicated_executor, registry=registry, frontier_size=0
         )
         engine.run([SelectionQuery(task_id="t1", pool_name="P")])
         assert engine.stats.live_profiles == 1

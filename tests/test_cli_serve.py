@@ -9,6 +9,7 @@ from types import SimpleNamespace
 from repro.cli import _build_serve_parser, run_serve
 from repro.core.juror import Juror
 from repro.core.selection.altr import select_jury_altr
+from repro.plan.frontier import frontier_cache_enabled
 
 
 def _drive(lines: list[dict | str], **options) -> tuple[list[dict], int]:
@@ -223,7 +224,21 @@ class TestServeSession:
         assert stats["pools"] == {"P1": {"version": 0, "size": 5}}
         assert stats["queries_run"] == 2
         assert stats["live_profiles"] == 1
-        assert stats["cache"]["hits"] == 1  # second select hit the sweep cache
+        if frontier_cache_enabled():
+            # The second select is a repeat AltrM query: answered from the
+            # answer frontier (built when the first select resolved the
+            # profile) without ever reaching the sweep cache again.
+            assert stats["frontier"]["hits"] == 1
+            assert stats["frontier"]["builds"] == 1
+            assert stats["engine"]["frontier_hits"] == 1
+            assert stats["cache"]["hits"] == 0
+        else:  # REPRO_FRONTIER_CACHE=0: the pre-frontier behaviour, pinned
+            assert stats["frontier"]["enabled"] is False
+            assert stats["frontier"]["hits"] == 0
+            assert stats["engine"]["frontier_hits"] == 0
+            assert stats["cache"]["hits"] == 1
+        # Every cache tier is surfaced, planner included.
+        assert {"hits", "misses", "entries", "maxsize"} <= stats["planner"].keys()
 
     def test_comments_and_blank_lines_are_skipped(self):
         rows, code = _drive(["# warm-up", "", json.dumps(_pool_create())])
@@ -232,8 +247,12 @@ class TestServeSession:
     def test_parser_defaults(self):
         args = _build_serve_parser().parse_args([])
         assert args.cache_size is None and args.workers is None
-        args = _build_serve_parser().parse_args(["--cache-size", "4", "--workers", "2"])
+        assert args.no_frontier is False
+        args = _build_serve_parser().parse_args(
+            ["--cache-size", "4", "--workers", "2", "--no-frontier"]
+        )
         assert args.cache_size == 4 and args.workers == 2
+        assert args.no_frontier is True
 
 
 class TestServeViaMain:
