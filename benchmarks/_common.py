@@ -1,0 +1,95 @@
+"""Shared plumbing for the runnable ``bench_*.py`` scripts.
+
+Every benchmark that commits a ``BENCH_*.json`` artifact writes it through
+:func:`write_artifact`, which stamps one uniform ``host`` metadata block
+(cpu count, platform, interpreter and numpy/numba versions, the active
+compiled-kernel backend) plus a UTC timestamp — so artifacts recorded on
+different machines or PRs stay comparable, and a perf number can always be
+traced back to the backend that produced it.
+
+Bit-identity verification failures go through :func:`verification_failure`
+(or the :func:`check_identical` convenience), which print a ``FAILURE:``
+line to stderr and hand back the non-zero exit code every bench must
+propagate: a benchmark whose fast path diverges from its oracle baseline
+has no perf number worth recording.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.core import kernels  # noqa: E402
+
+# Activate (compile + bitwise-verify + warm) the configured kernel backend
+# before any bench starts timing — the same up-front activation the engines
+# perform at construction, so first-dispatch compile/self-check cost never
+# lands inside a timed region.
+kernels.ensure_ready()
+
+__all__ = [
+    "host_metadata",
+    "write_artifact",
+    "verification_failure",
+    "check_identical",
+]
+
+
+def host_metadata() -> dict:
+    """The uniform ``host`` block stamped into every ``BENCH_*.json``."""
+    try:
+        import numba
+
+        numba_version = numba.__version__
+    except ImportError:
+        numba_version = None
+    return {
+        "cpus": os.cpu_count() or 1,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "numba": numba_version,
+        "kernel_backend": kernels.ensure_ready(),
+        "kernel_backends_available": list(kernels.available_backends()),
+    }
+
+
+def write_artifact(out: str | Path, artifact: dict) -> Path:
+    """Write ``artifact`` as indented JSON with host metadata + timestamp."""
+    payload = dict(artifact)
+    payload["host"] = host_metadata()
+    payload.setdefault(
+        "timestamp", time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+    )
+    path = Path(out)
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"  artifact: {path}")
+    return path
+
+
+def verification_failure(message: str) -> int:
+    """Report a bit-identity failure; returns the exit code to propagate."""
+    print(f"FAILURE: {message}", file=sys.stderr)
+    return 1
+
+
+def check_identical(label: str, baseline, candidate) -> bool:
+    """True when the two normalised result sets are identical.
+
+    On divergence the failure is reported to stderr (callers still must
+    exit non-zero — typically via ``return verification_failure(...)`` or
+    by propagating this predicate).
+    """
+    if baseline == candidate:
+        return True
+    verification_failure(f"{label}: results diverged from the baseline path")
+    return False

@@ -32,7 +32,6 @@ diverges.  The full-size acceptance bar is >= 5x on the repeat phase.
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 import time
 from pathlib import Path
@@ -41,6 +40,7 @@ import numpy as np
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from _common import verification_failure, write_artifact  # noqa: E402
 from repro.core.juror import jurors_from_arrays  # noqa: E402
 from repro.service import BatchSelectionEngine, CandidatePool, SelectionQuery  # noqa: E402
 from repro.testing import BENCH_SEED  # noqa: E402
@@ -202,19 +202,19 @@ def main(argv=None) -> int:
         "verified_identical": identical,
         "counters": counters,
     }
-    Path(args.out).write_text(json.dumps(artifact, indent=2) + "\n", encoding="utf-8")
-    print(f"  wrote {args.out}")
+    write_artifact(args.out, artifact)
 
     if not identical:
-        print("FAIL: frontier responses diverged from the oracle pipeline")
-        return 1
+        return verification_failure(
+            "frontier responses diverged from the oracle pipeline"
+        )
     if hits != queries:
-        print("FAIL: some repeat queries missed the frontier cache")
-        return 1
+        return verification_failure("some repeat queries missed the frontier cache")
     floor = 1.5 if args.smoke else 5.0
     if speedup < floor:
-        print(f"FAIL: speedup {speedup:.2f}x below the {floor}x acceptance bar")
-        return 1
+        return verification_failure(
+            f"speedup {speedup:.2f}x below the {floor}x acceptance bar"
+        )
     return 0
 
 

@@ -1,0 +1,266 @@
+#!/usr/bin/env python3
+"""Kernel-backend benchmark: compiled JER/PMF kernels vs the NumPy reference.
+
+Scenario: the two hot loops the compiled backends exist for, at the pool
+sizes the paper's experiments run at (~1,000 candidates):
+
+* **sweep** — the batched odd-prefix JER sweep behind every AltrM query
+  (:func:`repro.core.jer.batch_prefix_jer_sweep`), measured at a single
+  1,001-candidate pool and at stacked 2-D batches (the batch engine's
+  shape).
+* **pay_scan** — the PayALG paper scan behind every PayM query
+  (:func:`repro.core.selection.pay.run_pay_greedy`), whose pair trials a
+  compiled backend scores in one fused call.
+* **score_block** — the blocked trial scorer the improved PayALG variant
+  and the exact solvers lean on.
+
+Each workload runs the NumPy reference backend against every available
+compiled backend (numba and/or the cc-compiled native backend) and
+verifies the outputs **bit-identical** — the same invariant the backends'
+activation self-check enforces, re-checked here on the benchmark inputs.
+A machine-readable ``BENCH_kernels.json`` artifact is written with the
+uniform host-metadata block.
+
+Run:  PYTHONPATH=src python benchmarks/bench_kernels.py [--smoke]
+      [--pool-size N] [--repeats N] [--out PATH]
+
+``--smoke`` shrinks the workload for CI smoke jobs (bit-identity is still
+enforced; the speedup bar is not).  The full-size acceptance bar is >= 3x
+over NumPy on the sweep or the PayM scan at the 1,000-candidate pool for
+at least one compiled backend; when no compiled backend is available the
+bench records that in the artifact and exits 0 (the degradation path is
+itself a supported configuration).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np  # noqa: E402
+
+from _common import verification_failure, write_artifact  # noqa: E402
+from repro.core import kernels  # noqa: E402
+from repro.core.jer import extend_pmf  # noqa: E402
+from repro.core.juror import Juror  # noqa: E402
+from repro.core.selection.pay import run_pay_greedy  # noqa: E402
+from repro.testing import BENCH_SEED  # noqa: E402
+
+
+def _best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _bits_equal(a: np.ndarray, b: np.ndarray) -> bool:
+    a = np.ascontiguousarray(a)
+    b = np.ascontiguousarray(b)
+    return a.shape == b.shape and bool(
+        np.array_equal(a.view(np.uint64), b.view(np.uint64))
+    )
+
+
+def bench_sweep(rng, batch: int, pool_size: int, repeats: int, backend: str) -> dict:
+    eps = rng.uniform(0.05, 0.6, size=(batch, pool_size))
+    reference = kernels.backend_for("sweep", pool_size, forced="numpy")
+    compiled = kernels.backend_for("sweep", pool_size, forced=backend)
+    expected = reference.sweep(eps)
+    got = compiled.sweep(eps)
+    identical = _bits_equal(expected, got)
+    numpy_seconds = _best_of(lambda: reference.sweep(eps), repeats)
+    compiled_seconds = _best_of(lambda: compiled.sweep(eps), repeats)
+    return {
+        "kernel": "sweep",
+        "backend": backend,
+        "batch": batch,
+        "pool_size": pool_size,
+        "numpy_seconds": numpy_seconds,
+        "compiled_seconds": compiled_seconds,
+        "speedup": numpy_seconds / compiled_seconds,
+        "verified_identical": identical,
+    }
+
+
+def _normalise_pay(result) -> tuple:
+    return (
+        result.juror_ids,
+        result.jer.hex(),  # bitwise, not approximate
+        result.stats.juries_considered,
+        result.stats.jer_evaluations,
+    )
+
+
+def bench_pay(rng, pool_size: int, budget: float, repeats: int, backend: str) -> dict:
+    eps = rng.uniform(0.05, 0.45, size=pool_size)
+    reqs = rng.uniform(0.01, 0.05, size=pool_size)
+    jurors = [
+        Juror(float(e), float(r), juror_id=f"w{i}")
+        for i, (e, r) in enumerate(zip(eps, reqs))
+    ]
+    expected = _normalise_pay(run_pay_greedy(jurors, budget, backend="numpy"))
+    got = _normalise_pay(run_pay_greedy(jurors, budget, backend=backend))
+    identical = expected == got
+    numpy_seconds = _best_of(
+        lambda: run_pay_greedy(jurors, budget, backend="numpy"), repeats
+    )
+    compiled_seconds = _best_of(
+        lambda: run_pay_greedy(jurors, budget, backend=backend), repeats
+    )
+    return {
+        "kernel": "pay_scan",
+        "backend": backend,
+        "pool_size": pool_size,
+        "budget": budget,
+        "numpy_seconds": numpy_seconds,
+        "compiled_seconds": compiled_seconds,
+        "speedup": numpy_seconds / compiled_seconds,
+        "verified_identical": identical,
+    }
+
+
+def bench_score_block(
+    rng, jury_size: int, block: int, repeats: int, backend: str
+) -> dict:
+    base = np.ones(1, dtype=np.float64)
+    for e in rng.uniform(0.05, 0.45, size=jury_size):
+        base = extend_pmf(base, float(e))
+    eps = rng.uniform(0.05, 0.45, size=block)
+    threshold = (jury_size + 2) // 2
+    reference = kernels.backend_for("score_block", block * (base.size + 1), forced="numpy")
+    compiled = kernels.backend_for("score_block", block * (base.size + 1), forced=backend)
+    ref_jers, ref_rows = reference.score_block(base, eps, threshold)
+    got_jers, got_rows = compiled.score_block(base, eps, threshold)
+    identical = _bits_equal(ref_jers, got_jers) and _bits_equal(ref_rows, got_rows)
+    numpy_seconds = _best_of(
+        lambda: reference.score_block(base, eps, threshold), repeats
+    )
+    compiled_seconds = _best_of(
+        lambda: compiled.score_block(base, eps, threshold), repeats
+    )
+    return {
+        "kernel": "score_block",
+        "backend": backend,
+        "jury_size": jury_size,
+        "block": block,
+        "numpy_seconds": numpy_seconds,
+        "compiled_seconds": compiled_seconds,
+        "speedup": numpy_seconds / compiled_seconds,
+        "verified_identical": identical,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--pool-size", type=int, default=1001, help="candidates per pool"
+    )
+    parser.add_argument(
+        "--budget", type=float, default=3.0, help="PayM budget for the scan bench"
+    )
+    parser.add_argument("--repeats", type=int, default=5, help="best-of repeats")
+    parser.add_argument(
+        "--out", default="BENCH_kernels.json", help="where to write the JSON artifact"
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small sizes; bit-identity enforced, the 3x bar is not (CI smoke)",
+    )
+    args = parser.parse_args(argv)
+
+    pool_size, repeats = args.pool_size, args.repeats
+    batches = (1, 8, 16)
+    block = 1000
+    if args.smoke:
+        pool_size, repeats, batches, block = 151, 2, (1, 4), 120
+
+    active = kernels.ensure_ready()
+    compiled_backends = [
+        name for name in kernels.available_backends() if name != "numpy"
+    ]
+    print(
+        f"bench_kernels: pool {pool_size}, repeats {repeats} "
+        f"({'smoke' if args.smoke else 'full'} mode); active backend "
+        f"{active!r}, compiled available: {compiled_backends or 'none'}"
+    )
+
+    rows: list[dict] = []
+    rng = np.random.default_rng(BENCH_SEED)
+    for backend in compiled_backends:
+        for batch in batches:
+            rows.append(bench_sweep(rng, batch, pool_size, repeats, backend))
+        rows.append(bench_pay(rng, pool_size - 1, args.budget, repeats, backend))
+        rows.append(
+            bench_score_block(rng, min(pool_size, 201), block, repeats, backend)
+        )
+
+    for row in rows:
+        shape = ", ".join(
+            f"{k}={row[k]}"
+            for k in ("batch", "pool_size", "jury_size", "block")
+            if k in row
+        )
+        verdict = "identical" if row["verified_identical"] else "DIVERGED"
+        print(
+            f"  {row['kernel']:<12} [{row['backend']}] {shape:<28} "
+            f"numpy {row['numpy_seconds'] * 1e3:9.3f} ms   "
+            f"{row['backend']} {row['compiled_seconds'] * 1e3:9.3f} ms   "
+            f"{row['speedup']:6.2f}x  ({verdict})"
+        )
+
+    anchor_rows = [
+        row
+        for row in rows
+        if (row["kernel"] == "sweep" and row["batch"] == 1)
+        or row["kernel"] == "pay_scan"
+    ]
+    anchor = max((row["speedup"] for row in anchor_rows), default=None)
+
+    write_artifact(
+        args.out,
+        {
+            "benchmark": "kernels",
+            "mode": "smoke" if args.smoke else "full",
+            "requested_backend": kernels.requested_backend(),
+            "active_backend": active,
+            "backend_status": kernels.backend_status(),
+            "workload": {
+                "pool_size": pool_size,
+                "batches": list(batches),
+                "budget": args.budget,
+                "block": block,
+                "repeats": repeats,
+            },
+            "results": rows,
+            "anchor_speedup": anchor,
+            "verified_identical": all(row["verified_identical"] for row in rows),
+        },
+    )
+
+    if not all(row["verified_identical"] for row in rows):
+        return verification_failure(
+            "a compiled kernel diverged from the NumPy reference"
+        )
+    if not compiled_backends:
+        print(
+            "  note: no compiled backend available on this host — NumPy "
+            "reference numbers only"
+        )
+        return 0
+    if not args.smoke and (anchor is None or anchor < 3.0):
+        return verification_failure(
+            f"anchor speedup {anchor if anchor is None else f'{anchor:.2f}x'} "
+            "below the 3x acceptance bar at the 1,000-candidate pool"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,7 +32,6 @@ do not flake).  The full-size acceptance bar is the printed PayM
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 import time
 from pathlib import Path
@@ -41,6 +40,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 import numpy as np  # noqa: E402
 
+from _common import verification_failure, write_artifact  # noqa: E402
 from repro.core.jer import jury_error_rate  # noqa: E402
 from repro.core.juror import Juror  # noqa: E402
 from repro.core.selection.exact import branch_and_bound_optimal  # noqa: E402
@@ -248,18 +248,14 @@ def main(argv=None) -> int:
         "pay": {"pool_size": pool_size, "budget": args.budget, **pay},
         "exact": {"pool_size": exact_size, "budget": args.exact_budget, **exact},
     }
-    out = Path(args.out)
-    out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
-    print(f"wrote {out}")
+    write_artifact(args.out, payload)
 
     bar = 1.0 if args.smoke else 5.0
     if pay["speedup"] < bar:
-        print(
-            f"FAIL: PayM speedup {pay['speedup']:.2f}x below the "
-            f"{'smoke' if args.smoke else 'acceptance'} bar {bar:g}x",
-            file=sys.stderr,
+        return verification_failure(
+            f"PayM speedup {pay['speedup']:.2f}x below the "
+            f"{'smoke' if args.smoke else 'acceptance'} bar {bar:g}x"
         )
-        return 1
     return 0
 
 

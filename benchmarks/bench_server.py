@@ -38,6 +38,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 import numpy as np  # noqa: E402
 
+from _common import verification_failure, write_artifact  # noqa: E402
 from repro.api import AsyncJuryService, JuryService, SelectionRequest  # noqa: E402
 from repro.api.server import HttpServer, http_call  # noqa: E402
 from repro.core.juror import Juror  # noqa: E402
@@ -255,15 +256,11 @@ def main(argv=None) -> int:
         "sequential_rps": count / sequential_seconds,
         "runs": runs,
         "verified_identical": all_identical,
-        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
     }
-    out_path = Path(args.out)
-    out_path.write_text(json.dumps(artifact, indent=2) + "\n", encoding="utf-8")
-    print(f"  artifact: {out_path}")
+    write_artifact(args.out, artifact)
 
     if not all_identical:
-        print("FAILURE: HTTP dispatch diverged from sequential", file=sys.stderr)
-        return 1
+        return verification_failure("HTTP dispatch diverged from sequential")
     return 0
 
 

@@ -32,7 +32,6 @@ from __future__ import annotations
 
 import argparse
 import asyncio
-import json
 import sys
 import time
 from pathlib import Path
@@ -41,6 +40,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 import numpy as np  # noqa: E402
 
+from _common import verification_failure, write_artifact  # noqa: E402
 from repro.api import AsyncJuryService, JuryService, SelectionRequest  # noqa: E402
 from repro.core.juror import Juror  # noqa: E402
 from repro.testing import BENCH_SEED  # noqa: E402
@@ -210,16 +210,13 @@ def main(argv=None) -> int:
         "speedup": speedup,
         "batch_sweeps": stats.batch_sweeps,
         "verified_identical": identical,
-        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
     }
-    out_path = Path(args.out)
-    out_path.write_text(json.dumps(artifact, indent=2) + "\n", encoding="utf-8")
-    print(f"  artifact: {out_path}")
+    write_artifact(args.out, artifact)
 
     if not identical:
-        print("FAILURE: concurrent dispatch diverged from sequential",
-              file=sys.stderr)
-        return 1
+        return verification_failure(
+            "concurrent dispatch diverged from sequential"
+        )
     if args.smoke and speedup < 1.0:
         print("SMOKE FAILURE: concurrent dispatch slower than sequential loop",
               file=sys.stderr)

@@ -1,10 +1,35 @@
-"""Legacy setup shim.
+"""Packaging metadata for the jury-selection reproduction.
 
-Kept so that ``pip install -e . --no-use-pep517`` works in offline
-environments whose pip/setuptools lack PEP 660 editable-wheel support.
-All project metadata lives in ``pyproject.toml``.
+Kept as a classic ``setup.py`` (no ``pyproject.toml``) so that
+``pip install -e . --no-use-pep517`` works in offline environments whose
+pip/setuptools lack PEP 660 editable-wheel support.
+
+The compiled kernel backends are optional: the ``native`` backend needs
+only a C compiler at runtime, while the numba JIT backend installs via
+the ``compiled`` extra (``pip install -e ".[compiled]"``).  Without
+either, every kernel runs on the NumPy reference implementation.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-jury-selection",
+    version="0.7.0",
+    description=(
+        "Reproduction of 'Whom to Ask? Jury Selection for Decision Making "
+        "Tasks on Micro-blog Services' (PVLDB 2012)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+    extras_require={
+        # Optional JIT backend for the hot JER/PMF kernels; see the
+        # "Compiled kernels" section of the README.  Absence degrades
+        # gracefully to the cc-built native backend or NumPy.
+        "compiled": ["numba>=0.58"],
+    },
+    entry_points={
+        "console_scripts": ["repro-select=repro.cli:main"],
+    },
+)

@@ -28,6 +28,7 @@ from repro.api.protocol import (
     SelectionRequest,
     SelectionResponse,
 )
+from repro.core import kernels
 from repro.core.juror import Juror
 from repro.errors import InvalidJuryError, ReproError
 from repro.plan import planner_cache_info
@@ -352,9 +353,12 @@ class JuryService:
         cache tier is surfaced: the prefix-sweep cache (``cache``), the
         planner's memoised operator choice (``planner``), the answer
         frontier (``frontier`` — hits/misses plus build/repair/rebuild
-        lifecycle) and the engine's work counters (``engine``).  Under
-        sharded execution the payload gains ``workers`` and a per-shard
-        ``shards`` utilisation table.
+        lifecycle) and the engine's work counters (``engine``).  The
+        ``kernels`` block reports the compiled-kernel registry
+        (:func:`repro.core.kernels.stats_snapshot`): requested/active
+        backend, per-kernel dispatch counters, availability and the
+        measured crossovers.  Under sharded execution the payload gains
+        ``workers`` and a per-shard ``shards`` utilisation table.
         """
         registry = self._registry
         engine = self._engine
@@ -403,7 +407,9 @@ class JuryService:
                 "sharded_queries": engine.stats.sharded_queries,
                 "shard_batches": engine.stats.shard_batches,
                 "frontier_hits": engine.stats.frontier_hits,
+                "kernel_backend": engine.stats.kernel_backend,
             },
+            "kernels": kernels.stats_snapshot(),
         }
         executor = engine.executor
         if executor is not None:

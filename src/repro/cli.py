@@ -109,6 +109,7 @@ import argparse
 import asyncio
 import csv
 import json
+import os
 import signal
 import sys
 from collections.abc import Mapping, Sequence
@@ -123,6 +124,7 @@ from repro.api import (
     SelectionResponse,
     error_code,
 )
+from repro.core import kernels
 from repro.core.juror import Juror
 from repro.errors import ReproError
 
@@ -195,6 +197,7 @@ def _render_plan_text(info: Mapping) -> str:
         f"operator: {info['operator']}",
         f"jer_backend: {info['jer_backend']}",
         f"pmf_backend: {info['pmf_backend']}",
+        f"kernel_backend: {info.get('kernel_backend', 'numpy')}",
     ]
     if info["budget"] is not None:
         lines.append(f"budget: {info['budget']:g}")
@@ -241,6 +244,7 @@ def run_batch(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 1
 
+    _apply_kernel_backend(args)
     service = JuryService(
         workers=args.workers,
         frontier_size=0 if getattr(args, "no_frontier", False) else None,
@@ -396,6 +400,7 @@ def _build_batch_parser() -> argparse.ArgumentParser:
         "execution (default: REPRO_WORKERS env var, else in-process)",
     )
     _add_no_frontier_flag(parser)
+    _add_kernel_backend_flag(parser)
     return parser
 
 
@@ -408,6 +413,34 @@ def _add_no_frontier_flag(parser: argparse.ArgumentParser) -> None:
         "full plan->operator path (results are bit-identical either way; "
         "equivalent to REPRO_FRONTIER_CACHE=0)",
     )
+
+
+def _add_kernel_backend_flag(parser: argparse.ArgumentParser) -> None:
+    """The compiled-kernel backend selector shared by batch/serve/http."""
+    parser.add_argument(
+        "--kernel-backend",
+        choices=kernels.BACKEND_CHOICES,
+        default=None,
+        dest="kernel_backend",
+        help="compiled backend for the hot JER/PMF kernels: 'auto' prefers "
+        "a verified compiled backend past the measured crossovers, "
+        "'numpy'/'numba'/'native' force one (an unavailable forced backend "
+        "falls back to numpy); results are bit-identical on every backend "
+        "(default: REPRO_KERNEL_BACKEND env var, else auto)",
+    )
+
+
+def _apply_kernel_backend(args: argparse.Namespace) -> None:
+    """Pin the session kernel backend before the service is constructed.
+
+    Also exported through the environment so worker shard processes
+    (``--workers``) inherit the same choice on spawn.
+    """
+    choice = getattr(args, "kernel_backend", None)
+    if choice is None:
+        return
+    os.environ["REPRO_KERNEL_BACKEND"] = choice
+    kernels.set_kernel_backend(choice)
 
 
 # ----------------------------------------------------------------------
@@ -520,6 +553,7 @@ def run_serve(args: argparse.Namespace, *, stdin=None, stdout=None) -> int:
     """
     source = sys.stdin if stdin is None else stdin
     sink = sys.stdout if stdout is None else stdout
+    _apply_kernel_backend(args)
     service = JuryService(
         cache_size=args.cache_size,
         workers=args.workers,
@@ -628,6 +662,7 @@ def _build_serve_parser() -> argparse.ArgumentParser:
         "in-process)",
     )
     _add_no_frontier_flag(parser)
+    _add_kernel_backend_flag(parser)
     return parser
 
 
@@ -641,6 +676,7 @@ async def _serve_http(args: argparse.Namespace) -> int:
     from repro.api.aio import AsyncJuryService
     from repro.api.server import HttpServer
 
+    _apply_kernel_backend(args)
     service = AsyncJuryService(
         max_batch=args.max_batch,
         max_pending=args.max_pending,
@@ -742,6 +778,7 @@ def _build_http_parser() -> argparse.ArgumentParser:
         "REPRO_WORKERS env var, else in-process)",
     )
     _add_no_frontier_flag(parser)
+    _add_kernel_backend_flag(parser)
     return parser
 
 

@@ -39,6 +39,12 @@ equal-size juries at once — the blocked exact enumeration).  All three
 apply the same multiply-add expression as the sweep kernels, so every
 execution path produces bit-identical probabilities.
 
+Since the compiled-kernel refactor the batch/block kernels here are thin
+validating wrappers that dispatch through the backend registry in
+:mod:`repro.core.kernels` — NumPy reference, numba JIT, or cc-compiled
+native code, all held to bitwise equality by an activation self-check, with
+cost-model crossovers deciding per call under ``REPRO_KERNEL_BACKEND=auto``.
+
 For *live* workloads (candidate pools that churn between queries, see
 :mod:`repro.service.registry`), three delta kernels maintain Carelessness
 state without full recomputation:
@@ -64,6 +70,7 @@ from collections.abc import Iterable, Iterator
 import numpy as np
 
 from repro._validation import validate_error_rates
+from repro.core import kernels as _kernels
 from repro.core.juror import Jury
 from repro.core.poisson_binomial import pmf_conv, tail_probability
 from repro.errors import EvenJurySizeError, InvalidErrorRateError
@@ -297,7 +304,9 @@ class PrefixJERSweeper:
         return best_n, best_jer
 
 
-def batch_prefix_jer_sweep(error_rate_matrix) -> tuple[np.ndarray, np.ndarray]:
+def batch_prefix_jer_sweep(
+    error_rate_matrix, *, backend: str | None = None
+) -> tuple[np.ndarray, np.ndarray]:
     """Prefix-JER sweep over a whole batch of candidate pools at once.
 
     The scalar :class:`PrefixJERSweeper` extends one Carelessness pmf by one
@@ -313,6 +322,11 @@ def batch_prefix_jer_sweep(error_rate_matrix) -> tuple[np.ndarray, np.ndarray]:
         rates of pool ``b`` in sweep order (AltrALG feeds the ascending-``eps``
         order mandated by Lemma 3).  All pools must share the same length;
         group pools by size before calling.
+    backend:
+        Optional concrete kernel-backend name (``"numpy"``/``"numba"``/
+        ``"native"``) threaded in from a :class:`~repro.plan.planner.
+        SelectionPlan`.  ``None`` dispatches through the session mode and
+        the cost-model crossovers (:mod:`repro.core.kernels`).
 
     Returns
     -------
@@ -329,6 +343,9 @@ def batch_prefix_jer_sweep(error_rate_matrix) -> tuple[np.ndarray, np.ndarray]:
     ``0 * (1 - e) + pmf[n] * e`` equals the scalar sweeper's dedicated
     ``pmf[-1] * e`` assignment exactly in IEEE-754), and the tail sums reduce
     slices of identical length and contents with the same pairwise summation.
+    Compiled backends are held to the same bit-identity by the activation
+    self-check (:mod:`repro.core.kernels._verify`), so backend choice can
+    never change a selection.
 
     Examples
     --------
@@ -354,22 +371,8 @@ def batch_prefix_jer_sweep(error_rate_matrix) -> tuple[np.ndarray, np.ndarray]:
         )
 
     ns = np.arange(1, n_total + 1, 2, dtype=np.int64)
-    jers = np.empty((n_batch, ns.size), dtype=np.float64)
-    pmf = np.zeros((n_batch, n_total + 1), dtype=np.float64)
-    pmf[:, 0] = 1.0
-    for idx in range(n_total):
-        e = eps[:, idx : idx + 1]
-        upper = idx + 1
-        # Same multiply-add as the scalar sweeper, vectorized across rows;
-        # entry ``upper`` is still 0 so it becomes ``pmf[:, idx] * e`` exactly.
-        pmf[:, 1 : upper + 1] = pmf[:, 1 : upper + 1] * (1.0 - e) + pmf[:, 0:upper] * e
-        pmf[:, 0:1] = pmf[:, 0:1] * (1.0 - e)
-        n = idx + 1
-        if n % 2 == 1:
-            threshold = (n + 1) // 2
-            tail = np.sum(pmf[:, threshold : n + 1], axis=1)
-            jers[:, idx // 2] = np.clip(tail, 0.0, 1.0)
-    return ns, jers
+    impl = _kernels.backend_for("sweep", n_total, forced=backend)
+    return ns, impl.sweep(eps)
 
 
 def batch_jury_jer(error_rate_matrix) -> np.ndarray:
@@ -408,30 +411,26 @@ def batch_jury_jer(error_rate_matrix) -> np.ndarray:
         raise InvalidErrorRateError(
             "all error rates must lie in the open interval (0, 1)"
         )
-    pmf = np.zeros((n_batch, size + 1), dtype=np.float64)
-    pmf[:, 0] = 1.0
-    for idx in range(size):
-        e = eps[:, idx : idx + 1]
-        upper = idx + 1
-        pmf[:, 1 : upper + 1] = pmf[:, 1 : upper + 1] * (1.0 - e) + pmf[:, 0:upper] * e
-        pmf[:, 0:1] = pmf[:, 0:1] * (1.0 - e)
-    tails = np.sum(pmf[:, threshold:], axis=1)
-    return np.clip(tails, 0.0, 1.0)
+    impl = _kernels.backend_for("jury_jer", eps.size)
+    return impl.jury_jer(eps, threshold)
 
 
-def prefix_jer_profile(error_rates: Iterable[float]) -> tuple[np.ndarray, np.ndarray]:
+def prefix_jer_profile(
+    error_rates: Iterable[float], *, backend: str | None = None
+) -> tuple[np.ndarray, np.ndarray]:
     """Odd-prefix JER profile of a single ordered candidate list.
 
     Thin wrapper over :func:`batch_prefix_jer_sweep` with a batch of one —
     the scalar selection path and the batch engine therefore share one
-    kernel and produce bit-identical numbers.
+    kernel and produce bit-identical numbers.  ``backend`` threads a plan's
+    kernel-backend choice through to the sweep dispatch.
 
     >>> ns, jers = prefix_jer_profile([0.1, 0.2, 0.2, 0.3, 0.3])
     >>> list(zip(ns.tolist(), [round(float(v), 4) for v in jers]))
     [(1, 0.1), (3, 0.072), (5, 0.0704)]
     """
     eps = validate_error_rates(error_rates, name="error rates")
-    ns, jers = batch_prefix_jer_sweep(eps[np.newaxis, :])
+    ns, jers = batch_prefix_jer_sweep(eps[np.newaxis, :], backend=backend)
     return ns, jers[0]
 
 
@@ -516,13 +515,8 @@ def extend_pmf_block(pmf: np.ndarray, epsilons) -> np.ndarray:
     eps = np.asarray(epsilons, dtype=np.float64)
     if eps.ndim != 1:
         raise ValueError(f"epsilons must be 1-D, got shape {eps.shape}")
-    width = base.size
-    out = np.empty((eps.size, width + 1), dtype=np.float64)
-    col = eps[:, np.newaxis]
-    out[:, 0] = base[0] * (1.0 - eps)
-    out[:, 1:width] = base[np.newaxis, 1:] * (1.0 - col) + base[np.newaxis, :-1] * col
-    out[:, width] = base[-1] * eps
-    return out
+    impl = _kernels.backend_for("extend_block", eps.size * (base.size + 1))
+    return impl.extend_block(base, eps)
 
 
 def convolve_pmf(pmf, epsilons) -> np.ndarray:
@@ -542,15 +536,8 @@ def convolve_pmf(pmf, epsilons) -> np.ndarray:
     """
     base = _coerce_pmf(pmf)
     eps = validate_error_rates(epsilons, name="epsilons")
-    out = np.zeros(base.size + eps.size, dtype=np.float64)
-    out[: base.size] = base
-    top = base.size - 1
-    for e in eps:
-        upper = top + 1
-        out[1 : upper + 1] = out[1 : upper + 1] * (1.0 - e) + out[0:upper] * e
-        out[0] *= 1.0 - e
-        top += 1
-    return out
+    impl = _kernels.backend_for("convolve", eps.size * (base.size + eps.size))
+    return impl.convolve(base, eps)
 
 
 def deconvolve_pmf(pmf, epsilons) -> np.ndarray:

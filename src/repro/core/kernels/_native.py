@@ -1,0 +1,456 @@
+"""Native (cc-compiled, ctypes-loaded) kernel backend.
+
+Builds a small shared library from embedded C at activation time using
+whatever system compiler is present (``cc``/``gcc``/``clang``), caches the
+``.so`` keyed by a hash of the source + flags, and binds it via
+:mod:`ctypes` — stdlib only, no build-time dependencies.
+
+Bit-identity discipline
+-----------------------
+The repo's invariant is that every execution path is *bit-identical* to
+the scalar oracles.  Two things make that achievable in C:
+
+1. **Elementwise arithmetic order.**  Every recurrence is written as the
+   same sequence of individually-rounded multiplies and adds the NumPy
+   reference performs (``x*(1-e)`` rounded, ``y*e`` rounded, sum
+   rounded).  Compiling with ``-ffp-contract=off`` (and never
+   ``-ffast-math``) forbids FMA contraction and reassociation, so each
+   C expression rounds exactly like the NumPy ufunc chain.
+
+2. **Pairwise tail summation.**  ``np.sum`` is not sequential — it uses
+   pairwise (cascade) summation with an 8-way unrolled base case.
+   ``pairwise_sum`` below replicates NumPy's exact algorithm (block size
+   128, unrolled partials combined ``((r0+r1)+(r2+r3))+((r4+r5)+(r6+r7))``,
+   recursive split at ``n//2`` rounded down to a multiple of 8), which
+   was verified on this host to match ``np.sum`` bitwise across sizes
+   crossing every recursion boundary.
+
+Neither property is *assumed* to hold on a given host/compiler: the
+activation self-check (:mod:`._verify`) compares every kernel bitwise
+against the NumPy reference and refuses to activate the backend if any
+bit differs, recording the reason.  A host where NumPy dispatches to a
+different summation (or the compiler misbehaves) simply degrades to the
+reference backend — correctness never rides on the optimisation.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["NativeBackend", "load_native_backend"]
+
+_C_SOURCE = r"""
+#include <stdint.h>
+#include <string.h>
+
+/* NumPy's pairwise summation, scalar form: 8-way unrolled base case up
+ * to 128 elements, recursive split at n/2 rounded down to a multiple of
+ * 8.  Must stay bit-identical to np.sum on the host (checked at
+ * activation). */
+static double pairwise_sum(const double *a, int64_t n)
+{
+    if (n < 8) {
+        double res = 0.0;
+        for (int64_t i = 0; i < n; i++) res += a[i];
+        return res;
+    }
+    if (n <= 128) {
+        double r0 = a[0], r1 = a[1], r2 = a[2], r3 = a[3];
+        double r4 = a[4], r5 = a[5], r6 = a[6], r7 = a[7];
+        int64_t i = 8;
+        for (; i < n - (n % 8); i += 8) {
+            r0 += a[i + 0]; r1 += a[i + 1]; r2 += a[i + 2]; r3 += a[i + 3];
+            r4 += a[i + 4]; r5 += a[i + 5]; r6 += a[i + 6]; r7 += a[i + 7];
+        }
+        double res = ((r0 + r1) + (r2 + r3)) + ((r4 + r5) + (r6 + r7));
+        for (; i < n; i++) res += a[i];
+        return res;
+    }
+    int64_t n2 = n / 2;
+    n2 -= n2 % 8;
+    return pairwise_sum(a, n2) + pairwise_sum(a + n2, n - n2);
+}
+
+static double clip01(double t)
+{
+    return t < 0.0 ? 0.0 : (t > 1.0 ? 1.0 : t);
+}
+
+/* Exposed for the activation self-check's summation battery. */
+double k_pairwise(const double *a, int64_t n)
+{
+    return pairwise_sum(a, n);
+}
+
+/* In-place Poisson-binomial factor fold: pmf[0..top] gains one factor e.
+ * Descending update reads only pre-update values, matching the NumPy
+ * whole-slice assignment; entry top+1 is zero beforehand so the new top
+ * entry rounds as pmf[top]*e exactly (0*(1-e) + x*e == x*e bitwise for
+ * finite x >= 0). */
+static void fold_factor(double *pmf, int64_t top, double e)
+{
+    double c = 1.0 - e;
+    for (int64_t j = top + 1; j >= 1; j--)
+        pmf[j] = pmf[j] * c + pmf[j - 1] * e;
+    pmf[0] = pmf[0] * c;
+}
+
+/* Odd-prefix JER sweep.  eps: (b, n) row-major; jers: (b, (n+1)/2);
+ * work: n+1 scratch doubles. */
+void k_sweep(const double *eps, int64_t b, int64_t n, double *jers,
+             double *work)
+{
+    int64_t kcols = (n + 1) / 2;
+    for (int64_t r = 0; r < b; r++) {
+        const double *row = eps + r * n;
+        memset(work, 0, (size_t)(n + 1) * sizeof(double));
+        work[0] = 1.0;
+        for (int64_t idx = 0; idx < n; idx++) {
+            fold_factor(work, idx, row[idx]);
+            if ((idx & 1) == 0) {
+                int64_t m = idx + 1;            /* prefix length, odd */
+                int64_t th = (m + 1) / 2;       /* majority threshold */
+                double t = pairwise_sum(work + th, m + 1 - th);
+                jers[r * kcols + idx / 2] = clip01(t);
+            }
+        }
+    }
+}
+
+/* Batch jury JER.  eps: (b, k); out: (b,); work: k+1 scratch. */
+void k_jury_jer(const double *eps, int64_t b, int64_t k, int64_t threshold,
+                double *out, double *work)
+{
+    for (int64_t r = 0; r < b; r++) {
+        const double *row = eps + r * k;
+        memset(work, 0, (size_t)(k + 1) * sizeof(double));
+        work[0] = 1.0;
+        for (int64_t idx = 0; idx < k; idx++)
+            fold_factor(work, idx, row[idx]);
+        out[r] = clip01(pairwise_sum(work + threshold, k + 1 - threshold));
+    }
+}
+
+/* Extend one pmf (length n) by each of k alternative factors.
+ * rows: (k, n+1). */
+void k_extend_block(const double *base, int64_t n, const double *eps,
+                    int64_t k, double *rows)
+{
+    for (int64_t r = 0; r < k; r++) {
+        double e = eps[r];
+        double c = 1.0 - e;
+        double *row = rows + r * (n + 1);
+        row[0] = base[0] * c;
+        for (int64_t j = 1; j < n; j++)
+            row[j] = base[j] * c + base[j - 1] * e;
+        row[n] = base[n - 1] * e;
+    }
+}
+
+/* extend_block fused with per-row clipped tail sums. */
+void k_score_block(const double *base, int64_t n, const double *eps,
+                   int64_t k, int64_t threshold, double *rows, double *jers)
+{
+    k_extend_block(base, n, eps, k, rows);
+    for (int64_t r = 0; r < k; r++) {
+        const double *row = rows + r * (n + 1);
+        jers[r] = clip01(pairwise_sum(row + threshold, (n + 1) - threshold));
+    }
+}
+
+/* Fold k factors into out in place.  out has length top0+1+k with the
+ * base pmf in out[0..top0] and zeros above. */
+void k_convolve(double *out, int64_t top0, const double *eps, int64_t k)
+{
+    int64_t top = top0;
+    for (int64_t f = 0; f < k; f++) {
+        fold_factor(out, top, eps[f]);
+        top++;
+    }
+}
+
+/* PayALG paper-variant pairing scan (Algorithm 4 inner loop).
+ *
+ * Replicates the block-scan in core/selection/pay.py exactly: walk
+ * candidates in requirement order from scan_from; the first affordable
+ * candidate becomes the buffered partner; each later candidate q is
+ * tried as the pair (partner, q) when (req[q] + req[partner]) + acc fits
+ * the budget (left-associated adds, matching the NumPy broadcast order);
+ * the trial extends the incumbent pmf by both error rates and compares
+ * the clipped majority tail against the incumbent JER.  Admission
+ * adopts the trial pmf, accumulates cost in the same float order, and
+ * resets the partner; scanning resumes at q+1.
+ *
+ * eps/req: (n,) candidate columns.  pmf: in/out incumbent pmf buffer of
+ * capacity n+1 with pmf_len valid entries.  state: in/out
+ * {accumulated, current_jer}.  pairs: out, capacity n int64s, receives
+ * admitted (partner, q) index pairs.  counters: out
+ * {pairs_considered, jer_evaluations} (counting trials actually
+ * scored, exactly like the NumPy block path).  base2/row: scratch, each
+ * of capacity n+2.  Returns the number of admitted pairs. */
+int64_t k_pay_scan(const double *eps, const double *req, int64_t n,
+                   double budget, int64_t scan_from, double *pmf,
+                   int64_t pmf_len, double *state, int64_t *pairs,
+                   int64_t *counters, double *base2, double *row)
+{
+    double acc = state[0];
+    double cur = state[1];
+    int64_t i = scan_from;
+    int64_t partner = -1;
+    int base2_valid = 0;
+    int64_t npairs = 0;
+    int64_t considered = 0, evals = 0;
+
+    while (i < n) {
+        if (partner < 0) {
+            if (req[i] + acc <= budget)
+                partner = i;
+            i++;
+            continue;
+        }
+        double cost = (req[i] + req[partner]) + acc;
+        if (cost <= budget) {
+            if (!base2_valid) {
+                k_extend_block(pmf, pmf_len, eps + partner, 1, base2);
+                base2_valid = 1;
+            }
+            k_extend_block(base2, pmf_len + 1, eps + i, 1, row);
+            int64_t rowlen = pmf_len + 2;
+            /* threshold = (len(selected) + 3) // 2 with
+             * len(selected) = pmf_len - 1. */
+            int64_t threshold = rowlen / 2;
+            double t = clip01(pairwise_sum(row + threshold,
+                                           rowlen - threshold));
+            considered++;
+            evals++;
+            if (t <= cur) {
+                pairs[2 * npairs + 0] = partner;
+                pairs[2 * npairs + 1] = i;
+                npairs++;
+                acc = (req[i] + req[partner]) + acc;
+                memcpy(pmf, row, (size_t)rowlen * sizeof(double));
+                pmf_len = rowlen;
+                cur = t;
+                partner = -1;
+                base2_valid = 0;
+            }
+        }
+        i++;
+    }
+    state[0] = acc;
+    state[1] = cur;
+    counters[0] = considered;
+    counters[1] = evals;
+    return npairs;
+}
+"""
+
+# No -ffast-math ever; -ffp-contract=off forbids FMA fusing multiply-adds
+# so every C expression rounds exactly like the NumPy ufunc sequence.
+_CFLAGS = ("-O2", "-fPIC", "-shared", "-ffp-contract=off")
+
+_F64 = ctypes.POINTER(ctypes.c_double)
+_I64 = ctypes.POINTER(ctypes.c_int64)
+
+
+def _find_compiler() -> str | None:
+    for cand in ("cc", "gcc", "clang"):
+        path = shutil.which(cand)
+        if path:
+            return path
+    return None
+
+
+def _cache_dir() -> Path:
+    override = os.environ.get("REPRO_KERNEL_CACHE_DIR")
+    if override:
+        return Path(override)
+    uid = getattr(os, "getuid", lambda: "na")()
+    return Path(tempfile.gettempdir()) / f"repro-kernels-{uid}"
+
+
+def _build_library(compiler: str) -> Path:
+    """Compile the embedded source to a cached .so, atomically."""
+    tag = hashlib.sha256(
+        (_C_SOURCE + "\x00" + " ".join(_CFLAGS) + "\x00" + compiler).encode()
+    ).hexdigest()[:16]
+    cache = _cache_dir()
+    cache.mkdir(parents=True, exist_ok=True)
+    lib_path = cache / f"repro_kernels_{tag}.so"
+    if lib_path.exists():
+        return lib_path
+    src_path = cache / f"repro_kernels_{tag}.c"
+    src_path.write_text(_C_SOURCE, encoding="utf-8")
+    tmp_path = cache / f".repro_kernels_{tag}.{os.getpid()}.so"
+    cmd = [compiler, *_CFLAGS, "-o", str(tmp_path), str(src_path)]
+    proc = subprocess.run(cmd, capture_output=True, text=True, timeout=120)
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"kernel compile failed ({compiler}): {proc.stderr.strip()[:500]}"
+        )
+    os.replace(tmp_path, lib_path)
+    return lib_path
+
+
+def _as_f64(arr: np.ndarray) -> ctypes.Array:
+    return arr.ctypes.data_as(_F64)
+
+
+class NativeBackend:
+    """ctypes bindings over the compiled kernel library."""
+
+    name = "native"
+    compiled = True
+
+    def __init__(self, lib: ctypes.CDLL) -> None:
+        self._lib = lib
+        self.warmed = False
+        lib.k_pairwise.restype = ctypes.c_double
+        lib.k_pairwise.argtypes = [_F64, ctypes.c_int64]
+        lib.k_sweep.restype = None
+        lib.k_sweep.argtypes = [_F64, ctypes.c_int64, ctypes.c_int64, _F64, _F64]
+        lib.k_jury_jer.restype = None
+        lib.k_jury_jer.argtypes = [
+            _F64, ctypes.c_int64, ctypes.c_int64, ctypes.c_int64, _F64, _F64,
+        ]
+        lib.k_extend_block.restype = None
+        lib.k_extend_block.argtypes = [
+            _F64, ctypes.c_int64, _F64, ctypes.c_int64, _F64,
+        ]
+        lib.k_score_block.restype = None
+        lib.k_score_block.argtypes = [
+            _F64, ctypes.c_int64, _F64, ctypes.c_int64, ctypes.c_int64,
+            _F64, _F64,
+        ]
+        lib.k_convolve.restype = None
+        lib.k_convolve.argtypes = [_F64, ctypes.c_int64, _F64, ctypes.c_int64]
+        lib.k_pay_scan.restype = ctypes.c_int64
+        lib.k_pay_scan.argtypes = [
+            _F64, _F64, ctypes.c_int64, ctypes.c_double, ctypes.c_int64,
+            _F64, ctypes.c_int64, _F64, _I64, _I64, _F64, _F64,
+        ]
+
+    # -- kernel entry points -------------------------------------------------
+
+    def sweep(self, eps: np.ndarray) -> np.ndarray:
+        eps = np.ascontiguousarray(eps, dtype=np.float64)
+        b, n = eps.shape
+        jers = np.empty((b, (n + 1) // 2), dtype=np.float64)
+        work = np.empty(n + 1, dtype=np.float64)
+        self._lib.k_sweep(_as_f64(eps), b, n, _as_f64(jers), _as_f64(work))
+        return jers
+
+    def jury_jer(self, eps: np.ndarray, threshold: int) -> np.ndarray:
+        eps = np.ascontiguousarray(eps, dtype=np.float64)
+        b, k = eps.shape
+        out = np.empty(b, dtype=np.float64)
+        work = np.empty(k + 1, dtype=np.float64)
+        self._lib.k_jury_jer(
+            _as_f64(eps), b, k, int(threshold), _as_f64(out), _as_f64(work)
+        )
+        return out
+
+    def extend_block(self, base: np.ndarray, eps: np.ndarray) -> np.ndarray:
+        base = np.ascontiguousarray(base, dtype=np.float64)
+        eps = np.ascontiguousarray(eps, dtype=np.float64)
+        rows = np.empty((eps.size, base.size + 1), dtype=np.float64)
+        self._lib.k_extend_block(
+            _as_f64(base), base.size, _as_f64(eps), eps.size, _as_f64(rows)
+        )
+        return rows
+
+    def score_block(
+        self, base: np.ndarray, eps: np.ndarray, threshold: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        base = np.ascontiguousarray(base, dtype=np.float64)
+        eps = np.ascontiguousarray(eps, dtype=np.float64)
+        rows = np.empty((eps.size, base.size + 1), dtype=np.float64)
+        jers = np.empty(eps.size, dtype=np.float64)
+        self._lib.k_score_block(
+            _as_f64(base), base.size, _as_f64(eps), eps.size, int(threshold),
+            _as_f64(rows), _as_f64(jers),
+        )
+        return jers, rows
+
+    def convolve(self, base: np.ndarray, eps: np.ndarray) -> np.ndarray:
+        base = np.ascontiguousarray(base, dtype=np.float64)
+        eps = np.ascontiguousarray(eps, dtype=np.float64)
+        out = np.zeros(base.size + eps.size, dtype=np.float64)
+        out[: base.size] = base
+        self._lib.k_convolve(_as_f64(out), base.size - 1, _as_f64(eps), eps.size)
+        return out
+
+    def pay_scan(
+        self,
+        g_eps: np.ndarray,
+        g_req: np.ndarray,
+        budget: float,
+        scan_from: int,
+        accumulated: float,
+        pmf: np.ndarray,
+        current_jer: float,
+    ) -> tuple[np.ndarray, float, float, int, int]:
+        """Run the paper pairing scan to exhaustion.
+
+        Returns ``(pairs, accumulated, jer, juries_considered,
+        jer_evaluations)`` where ``pairs`` is a flat int64 array of
+        admitted (partner, candidate) index pairs in admission order —
+        exactly the elements ``_paper_pairing`` appends to ``selected``.
+        """
+        g_eps = np.ascontiguousarray(g_eps, dtype=np.float64)
+        g_req = np.ascontiguousarray(g_req, dtype=np.float64)
+        n = g_eps.size
+        buf = np.zeros(n + 2, dtype=np.float64)
+        buf[: pmf.size] = pmf
+        state = np.array([accumulated, current_jer], dtype=np.float64)
+        pairs = np.empty(max(2 * n, 2), dtype=np.int64)
+        counters = np.zeros(2, dtype=np.int64)
+        base2 = np.empty(n + 3, dtype=np.float64)
+        row = np.empty(n + 3, dtype=np.float64)
+        npairs = self._lib.k_pay_scan(
+            _as_f64(g_eps), _as_f64(g_req), n, float(budget), int(scan_from),
+            _as_f64(buf), int(pmf.size), _as_f64(state),
+            pairs.ctypes.data_as(_I64), counters.ctypes.data_as(_I64),
+            _as_f64(base2), _as_f64(row),
+        )
+        return (
+            pairs[: 2 * npairs].copy(),
+            float(state[0]),
+            float(state[1]),
+            int(counters[0]),
+            int(counters[1]),
+        )
+
+    def pairwise(self, values: np.ndarray) -> float:
+        values = np.ascontiguousarray(values, dtype=np.float64)
+        return float(self._lib.k_pairwise(_as_f64(values), values.size))
+
+    def warmup(self) -> None:
+        """Touch every entry point once (activation already does)."""
+        eps = np.full((1, 3), 0.25)
+        self.sweep(eps)
+        self.jury_jer(eps, 2)
+        base = self.convolve(np.ones(1), np.full(2, 0.25))
+        self.score_block(base, np.full(2, 0.25), 2)
+        self.warmed = True
+
+
+def load_native_backend() -> NativeBackend:
+    """Find a compiler, build (or reuse) the library, and bind it.
+
+    Raises on any failure — the registry records the message as the
+    backend's unavailability reason.
+    """
+    compiler = _find_compiler()
+    if compiler is None:
+        raise RuntimeError("no C compiler found (tried cc, gcc, clang)")
+    lib_path = _build_library(compiler)
+    return NativeBackend(ctypes.CDLL(str(lib_path)))

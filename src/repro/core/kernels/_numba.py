@@ -1,0 +1,302 @@
+"""Numba ``@njit`` kernel backend (optional, ``pip install .[compiled]``).
+
+Import of this module raises ``ImportError`` when numba is absent; the
+registry records that as the backend's unavailability reason and falls
+back.  The jitted kernels mirror the C backend in
+:mod:`repro.core.kernels._native` operation-for-operation — including
+NumPy's pairwise tail summation — so the same activation self-check
+(:mod:`._verify`) holds them to bit-identity with the NumPy reference.
+``cache=True`` persists compiled artifacts on disk so only the first
+process on a host pays the JIT cost; the registry's warmup triggers
+compilation eagerly so first-query latencies stay honest.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numba import njit  # noqa: F401  (ImportError here marks the backend unavailable)
+
+__all__ = ["NumbaBackend", "load_numba_backend"]
+
+
+@njit(cache=True)
+def _pairwise(a: np.ndarray, lo: int, n: int) -> float:
+    """NumPy's scalar pairwise summation (see _native.py for the shape)."""
+    if n < 8:
+        res = 0.0
+        for i in range(n):
+            res += a[lo + i]
+        return res
+    if n <= 128:
+        r0 = a[lo]
+        r1 = a[lo + 1]
+        r2 = a[lo + 2]
+        r3 = a[lo + 3]
+        r4 = a[lo + 4]
+        r5 = a[lo + 5]
+        r6 = a[lo + 6]
+        r7 = a[lo + 7]
+        i = 8
+        limit = n - (n % 8)
+        while i < limit:
+            r0 += a[lo + i]
+            r1 += a[lo + i + 1]
+            r2 += a[lo + i + 2]
+            r3 += a[lo + i + 3]
+            r4 += a[lo + i + 4]
+            r5 += a[lo + i + 5]
+            r6 += a[lo + i + 6]
+            r7 += a[lo + i + 7]
+            i += 8
+        res = ((r0 + r1) + (r2 + r3)) + ((r4 + r5) + (r6 + r7))
+        while i < n:
+            res += a[lo + i]
+            i += 1
+        return res
+    n2 = (n // 2) - ((n // 2) % 8)
+    return _pairwise(a, lo, n2) + _pairwise(a, lo + n2, n - n2)
+
+
+@njit(cache=True)
+def _clip01(t: float) -> float:
+    if t < 0.0:
+        return 0.0
+    if t > 1.0:
+        return 1.0
+    return t
+
+
+@njit(cache=True)
+def _fold_factor(pmf: np.ndarray, top: int, e: float) -> None:
+    c = 1.0 - e
+    for j in range(top + 1, 0, -1):
+        pmf[j] = pmf[j] * c + pmf[j - 1] * e
+    pmf[0] = pmf[0] * c
+
+
+@njit(cache=True)
+def _sweep(eps: np.ndarray) -> np.ndarray:
+    b, n = eps.shape
+    jers = np.empty((b, (n + 1) // 2), dtype=np.float64)
+    work = np.empty(n + 1, dtype=np.float64)
+    for r in range(b):
+        work[:] = 0.0
+        work[0] = 1.0
+        for idx in range(n):
+            _fold_factor(work, idx, eps[r, idx])
+            if idx % 2 == 0:
+                m = idx + 1
+                th = (m + 1) // 2
+                jers[r, idx // 2] = _clip01(_pairwise(work, th, m + 1 - th))
+    return jers
+
+
+@njit(cache=True)
+def _jury_jer(eps: np.ndarray, threshold: int) -> np.ndarray:
+    b, k = eps.shape
+    out = np.empty(b, dtype=np.float64)
+    work = np.empty(k + 1, dtype=np.float64)
+    for r in range(b):
+        work[:] = 0.0
+        work[0] = 1.0
+        for idx in range(k):
+            _fold_factor(work, idx, eps[r, idx])
+        out[r] = _clip01(_pairwise(work, threshold, k + 1 - threshold))
+    return out
+
+
+@njit(cache=True)
+def _extend_block(base: np.ndarray, eps: np.ndarray) -> np.ndarray:
+    n = base.size
+    rows = np.empty((eps.size, n + 1), dtype=np.float64)
+    for r in range(eps.size):
+        e = eps[r]
+        c = 1.0 - e
+        rows[r, 0] = base[0] * c
+        for j in range(1, n):
+            rows[r, j] = base[j] * c + base[j - 1] * e
+        rows[r, n] = base[n - 1] * e
+    return rows
+
+
+@njit(cache=True)
+def _score_block(base: np.ndarray, eps: np.ndarray, threshold: int):
+    rows = _extend_block(base, eps)
+    n1 = base.size + 1
+    jers = np.empty(eps.size, dtype=np.float64)
+    for r in range(eps.size):
+        jers[r] = _clip01(_pairwise(rows[r], threshold, n1 - threshold))
+    return jers, rows
+
+
+@njit(cache=True)
+def _convolve(base: np.ndarray, eps: np.ndarray) -> np.ndarray:
+    out = np.zeros(base.size + eps.size, dtype=np.float64)
+    out[: base.size] = base
+    top = base.size - 1
+    for f in range(eps.size):
+        _fold_factor(out, top, eps[f])
+        top += 1
+    return out
+
+
+@njit(cache=True)
+def _pay_scan(
+    g_eps: np.ndarray,
+    g_req: np.ndarray,
+    budget: float,
+    scan_from: int,
+    pmf: np.ndarray,
+    pmf_len: int,
+    state: np.ndarray,
+    pairs: np.ndarray,
+    counters: np.ndarray,
+) -> int:
+    """Paper pairing scan; see k_pay_scan in _native.py for the contract."""
+    n = g_eps.size
+    acc = state[0]
+    cur = state[1]
+    base2 = np.empty(n + 3, dtype=np.float64)
+    row = np.empty(n + 3, dtype=np.float64)
+    i = scan_from
+    partner = -1
+    base2_valid = False
+    npairs = 0
+    considered = 0
+    evals = 0
+    while i < n:
+        if partner < 0:
+            if g_req[i] + acc <= budget:
+                partner = i
+            i += 1
+            continue
+        cost = (g_req[i] + g_req[partner]) + acc
+        if cost <= budget:
+            if not base2_valid:
+                e = g_eps[partner]
+                c = 1.0 - e
+                base2[0] = pmf[0] * c
+                for j in range(1, pmf_len):
+                    base2[j] = pmf[j] * c + pmf[j - 1] * e
+                base2[pmf_len] = pmf[pmf_len - 1] * e
+                base2_valid = True
+            e = g_eps[i]
+            c = 1.0 - e
+            row[0] = base2[0] * c
+            for j in range(1, pmf_len + 1):
+                row[j] = base2[j] * c + base2[j - 1] * e
+            row[pmf_len + 1] = base2[pmf_len] * e
+            rowlen = pmf_len + 2
+            threshold = rowlen // 2
+            t = _clip01(_pairwise(row, threshold, rowlen - threshold))
+            considered += 1
+            evals += 1
+            if t <= cur:
+                pairs[2 * npairs] = partner
+                pairs[2 * npairs + 1] = i
+                npairs += 1
+                acc = (g_req[i] + g_req[partner]) + acc
+                for j in range(rowlen):
+                    pmf[j] = row[j]
+                pmf_len = rowlen
+                cur = t
+                partner = -1
+                base2_valid = False
+        i += 1
+    state[0] = acc
+    state[1] = cur
+    counters[0] = considered
+    counters[1] = evals
+    return npairs
+
+
+class NumbaBackend:
+    name = "numba"
+    compiled = True
+
+    def __init__(self) -> None:
+        self.warmed = False
+
+    @staticmethod
+    def sweep(eps: np.ndarray) -> np.ndarray:
+        return _sweep(np.ascontiguousarray(eps, dtype=np.float64))
+
+    @staticmethod
+    def jury_jer(eps: np.ndarray, threshold: int) -> np.ndarray:
+        return _jury_jer(np.ascontiguousarray(eps, dtype=np.float64), threshold)
+
+    @staticmethod
+    def extend_block(base: np.ndarray, eps: np.ndarray) -> np.ndarray:
+        return _extend_block(
+            np.ascontiguousarray(base, dtype=np.float64),
+            np.ascontiguousarray(eps, dtype=np.float64),
+        )
+
+    @staticmethod
+    def score_block(base: np.ndarray, eps: np.ndarray, threshold: int):
+        return _score_block(
+            np.ascontiguousarray(base, dtype=np.float64),
+            np.ascontiguousarray(eps, dtype=np.float64),
+            threshold,
+        )
+
+    @staticmethod
+    def convolve(base: np.ndarray, eps: np.ndarray) -> np.ndarray:
+        return _convolve(
+            np.ascontiguousarray(base, dtype=np.float64),
+            np.ascontiguousarray(eps, dtype=np.float64),
+        )
+
+    @staticmethod
+    def pay_scan(
+        g_eps: np.ndarray,
+        g_req: np.ndarray,
+        budget: float,
+        scan_from: int,
+        accumulated: float,
+        pmf: np.ndarray,
+        current_jer: float,
+    ) -> tuple[np.ndarray, float, float, int, int]:
+        g_eps = np.ascontiguousarray(g_eps, dtype=np.float64)
+        g_req = np.ascontiguousarray(g_req, dtype=np.float64)
+        n = g_eps.size
+        buf = np.zeros(n + 2, dtype=np.float64)
+        buf[: pmf.size] = pmf
+        state = np.array([accumulated, current_jer], dtype=np.float64)
+        pairs = np.empty(max(2 * n, 2), dtype=np.int64)
+        counters = np.zeros(2, dtype=np.int64)
+        npairs = _pay_scan(
+            g_eps, g_req, float(budget), int(scan_from), buf, int(pmf.size),
+            state, pairs, counters,
+        )
+        return (
+            pairs[: 2 * npairs].copy(),
+            float(state[0]),
+            float(state[1]),
+            int(counters[0]),
+            int(counters[1]),
+        )
+
+    @staticmethod
+    def pairwise(values: np.ndarray) -> float:
+        values = np.ascontiguousarray(values, dtype=np.float64)
+        return float(_pairwise(values, 0, values.size))
+
+    def warmup(self) -> None:
+        """Force JIT compilation of every kernel now, not on first query."""
+        eps = np.full((1, 3), 0.25)
+        self.sweep(eps)
+        self.jury_jer(eps, 2)
+        base = self.convolve(np.ones(1), np.full(2, 0.25))
+        self.score_block(base, np.full(2, 0.25), 2)
+        self.extend_block(base, np.full(2, 0.25))
+        self.pay_scan(
+            np.full(3, 0.25), np.ones(3), 10.0, 1, 1.0,
+            np.array([0.75, 0.25]), 0.25,
+        )
+        self.pairwise(np.ones(4))
+        self.warmed = True
+
+
+def load_numba_backend() -> NumbaBackend:
+    return NumbaBackend()

@@ -1,0 +1,170 @@
+"""Activation-time bit-identity self-check for compiled kernel backends.
+
+A compiled backend is only activated after every kernel reproduces the
+NumPy reference **bitwise** on a battery that crosses each algorithmic
+boundary (pairwise-summation base case at 8, unroll block at 128, the
+recursive split, and multi-admission PayALG scans).  A backend that
+differs in even one bit on this host is refused, the first divergence is
+recorded as its unavailability reason, and dispatch degrades to the
+reference backend — so the repo's bit-identity invariant never depends
+on compiler or libm behaviour we did not verify.
+
+The battery is deterministic (fixed seed) and cheap (~10 ms), so it runs
+on every activation rather than being cached: a changed compiler or
+numpy build on the same host is re-checked automatically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.kernels._reference import NumpyBackend
+
+__all__ = ["KernelSelfCheckError", "verify_backend"]
+
+_CHECK_SEED = 20120827
+
+# Sizes straddling every pairwise-summation regime: sequential (<8),
+# unrolled block (<=128), and recursive splits beyond it.
+_PAIRWISE_SIZES = (
+    0, 1, 2, 3, 7, 8, 9, 15, 16, 17, 31, 63, 64, 65, 127, 128, 129,
+    255, 256, 257, 511, 512, 513, 1000, 1001, 1024, 2047, 4096,
+)
+_SWEEP_SHAPES = ((1, 1), (2, 3), (3, 7), (2, 65), (1, 129), (2, 130), (1, 515))
+_JURY_SHAPES = ((1, 1), (4, 5), (7, 13), (3, 129), (2, 401))
+_BLOCK_SHAPES = ((1, 1), (2, 7), (5, 64), (3, 129), (2, 400))
+_CONVOLVE_SHAPES = ((1, 1), (3, 4), (10, 120), (129, 130))
+
+
+class KernelSelfCheckError(AssertionError):
+    """A compiled kernel diverged bitwise from the NumPy reference."""
+
+
+def _require(condition: bool, detail: str) -> None:
+    if not condition:
+        raise KernelSelfCheckError(detail)
+
+
+def _require_identical(label: str, expected: np.ndarray, actual: np.ndarray) -> None:
+    expected = np.asarray(expected)
+    actual = np.asarray(actual)
+    _require(
+        expected.shape == actual.shape,
+        f"{label}: shape {actual.shape} != {expected.shape}",
+    )
+    if expected.size and not np.array_equal(
+        expected.view(np.uint64), actual.view(np.uint64)
+    ):
+        diff = int(np.flatnonzero(expected.view(np.uint64) != actual.view(np.uint64))[0])
+        raise KernelSelfCheckError(
+            f"{label}: first bit divergence at flat index {diff}: "
+            f"{expected.ravel()[diff]!r} != {actual.ravel()[diff]!r}"
+        )
+
+
+def _reference_pay_scan(g_eps, g_req, budget, scan_from, accumulated, pmf, current_jer):
+    """Drive the NumPy block-scan path for comparison.
+
+    Imported lazily: ``pay`` imports ``jer`` which imports this package,
+    so the import is only safe at call time (activation), never at
+    module import time.
+    """
+    from repro.core.selection.base import SelectionStats
+    from repro.core.selection.pay import _paper_pairing
+
+    stats = SelectionStats()
+    # The scan's majority threshold is derived from len(selected); seed the
+    # list with the pmf's factors (one seed juror here) exactly as
+    # run_pay_greedy does, and report only the appended pairs.
+    seed = list(range(np.asarray(pmf).size - 1))
+    n_seed = len(seed)  # _paper_pairing extends the list in place
+    out_selected, out_acc, out_jer = _paper_pairing(
+        seed,
+        np.asarray(g_eps, dtype=np.float64),
+        np.asarray(g_req, dtype=np.float64),
+        int(scan_from),
+        float(accumulated),
+        float(budget),
+        np.asarray(pmf, dtype=np.float64),
+        float(current_jer),
+        stats,
+    )
+    return (
+        np.asarray(out_selected[n_seed:], dtype=np.int64),
+        out_acc,
+        out_jer,
+        stats.juries_considered,
+        stats.jer_evaluations,
+    )
+
+
+def _check_pay_scan(backend, rng: np.random.Generator) -> None:
+    from repro.core.jer import extend_pmf
+
+    for n, budget_scale in ((3, 4.0), (25, 10.0), (120, 30.0), (311, 80.0)):
+        eps = rng.uniform(0.02, 0.48, size=n)
+        req = np.round(rng.uniform(0.5, 3.0, size=n), 3)
+        order = np.argsort(req, kind="stable")
+        eps, req = eps[order], req[order]
+        pmf = extend_pmf(np.ones(1), float(eps[0]))
+        current = float(np.clip(np.sum(pmf[1:]), 0.0, 1.0))
+        acc = float(req[0])
+        ref = _reference_pay_scan(eps, req, budget_scale, 1, acc, pmf, current)
+        got = backend.pay_scan(eps, req, budget_scale, 1, acc, pmf, current)
+        label = f"pay_scan(n={n})"
+        _require_identical(f"{label} pairs", ref[0], got[0])
+        _require(ref[1] == got[1], f"{label} accumulated {got[1]!r} != {ref[1]!r}")
+        _require(ref[2] == got[2], f"{label} jer {got[2]!r} != {ref[2]!r}")
+        _require(ref[3] == got[3], f"{label} juries_considered {got[3]} != {ref[3]}")
+        _require(ref[4] == got[4], f"{label} jer_evaluations {got[4]} != {ref[4]}")
+
+
+def verify_backend(backend) -> None:
+    """Raise :class:`KernelSelfCheckError` unless ``backend`` matches the
+    NumPy reference bitwise across the whole battery."""
+    ref = NumpyBackend
+    rng = np.random.default_rng(_CHECK_SEED)
+
+    for size in _PAIRWISE_SIZES:
+        values = rng.uniform(0.0, 1e-2, size=size)
+        expected = np.float64(ref.pairwise(values))
+        actual = np.float64(backend.pairwise(values))
+        _require_identical(f"pairwise(n={size})", expected, actual)
+
+    for b, n in _SWEEP_SHAPES:
+        eps = rng.uniform(1e-6, 1.0 - 1e-6, size=(b, n))
+        _require_identical(f"sweep{(b, n)}", ref.sweep(eps), backend.sweep(eps))
+
+    for b, k in _JURY_SHAPES:
+        eps = rng.uniform(1e-6, 1.0 - 1e-6, size=(b, k))
+        threshold = (k + 1) // 2
+        _require_identical(
+            f"jury_jer{(b, k)}",
+            ref.jury_jer(eps, threshold),
+            backend.jury_jer(eps, threshold),
+        )
+
+    for k, n in _BLOCK_SHAPES:
+        base = rng.dirichlet(np.ones(n))
+        eps = rng.uniform(1e-6, 1.0 - 1e-6, size=k)
+        threshold = (n + 1) // 2
+        _require_identical(
+            f"extend_block(k={k}, n={n})",
+            ref.extend_block(base, eps),
+            backend.extend_block(base, eps),
+        )
+        exp_jers, exp_rows = ref.score_block(base, eps, threshold)
+        got_jers, got_rows = backend.score_block(base, eps, threshold)
+        _require_identical(f"score_block jers(k={k}, n={n})", exp_jers, got_jers)
+        _require_identical(f"score_block rows(k={k}, n={n})", exp_rows, got_rows)
+
+    for n, k in _CONVOLVE_SHAPES:
+        base = rng.dirichlet(np.ones(n))
+        eps = rng.uniform(1e-6, 1.0 - 1e-6, size=k)
+        _require_identical(
+            f"convolve(n={n}, k={k})",
+            ref.convolve(base, eps),
+            backend.convolve(base, eps),
+        )
+
+    _check_pay_scan(backend, rng)

@@ -46,6 +46,7 @@ from collections.abc import Sequence
 import numpy as np
 
 from repro._validation import validate_budget
+from repro.core import kernels as _kernels
 from repro.core.jer import JER_IMPROVEMENT_EPS, extend_pmf, extend_pmf_block
 from repro.core.juror import Juror, Jury
 from repro.core.selection.base import SelectionResult, SelectionStats
@@ -129,6 +130,7 @@ def run_pay_greedy(
     budget: float,
     *,
     variant: str = "paper",
+    backend: str | None = None,
 ) -> SelectionResult:
     """Execute the PayALG greedy on columnar candidate data.
 
@@ -136,7 +138,10 @@ def run_pay_greedy(
     and served.  ``candidates`` may be a
     :class:`~repro.plan.view.PoolView` (the plan layer's columnar pools) or
     a plain sequence of :class:`Juror` objects (validated and decomposed
-    here).
+    here).  ``backend`` threads a plan's kernel-backend choice into the
+    pairing-scan dispatch (``None`` = session mode + cost-model crossover);
+    compiled backends run the whole paper scan in one call, bit-identical
+    to the blocked NumPy scan by the activation self-check.
     """
     eps_sorted, reqs_sorted, members = _columns(candidates)
     b = validate_budget(budget)
@@ -169,10 +174,19 @@ def run_pay_greedy(
     stats.jer_evaluations += 1
 
     if variant == "paper":
-        selected, accumulated, current_jer = _paper_pairing(
-            selected, g_eps, g_req, seed_index + 1, accumulated, b,
-            pmf, current_jer, stats,
-        )
+        impl = _kernels.backend_for("pay_scan", int(g_eps.size), forced=backend)
+        if impl.compiled:
+            pairs, accumulated, current_jer, considered, evals = impl.pay_scan(
+                g_eps, g_req, b, seed_index + 1, accumulated, pmf, current_jer
+            )
+            selected += [int(p) for p in pairs]
+            stats.juries_considered += considered
+            stats.jer_evaluations += evals
+        else:
+            selected, accumulated, current_jer = _paper_pairing(
+                selected, g_eps, g_req, seed_index + 1, accumulated, b,
+                pmf, current_jer, stats,
+            )
     else:
         selected, accumulated, current_jer = _improved_pairing(
             selected, g_eps, g_req, seed_index + 1, accumulated, b,
@@ -212,7 +226,16 @@ def _block_trial_jers(
     Returns ``(jers, rows)``: the clipped tail probabilities and the
     extended pmf rows themselves (the admitted row becomes the next
     incumbent pmf, so trial and admission share one arithmetic).
+
+    Dispatches the fused extend+score kernel through the backend registry;
+    compiled backends produce bit-identical rows *and* tails (same
+    pairwise tail summation), enforced by the activation self-check.
     """
+    impl = _kernels.backend_for(
+        "score_block", int(trial_eps.size) * (int(base.size) + 1)
+    )
+    if impl.compiled:
+        return impl.score_block(base, trial_eps, threshold)
     rows = extend_pmf_block(base, trial_eps)
     tails = np.sum(rows[:, threshold:], axis=1)
     return np.clip(tails, 0.0, 1.0), rows

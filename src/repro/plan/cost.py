@@ -14,6 +14,14 @@ scattered across the execution layer:
   affordable under the budget — an unaffordable candidate can never join a
   feasible jury, so budget tightness shrinks the enumeration frontier),
   branch and bound beyond.
+* ``kernel`` backend (:mod:`repro.core.kernels` registry): which compiled
+  implementation the model's *hot* kernel dispatches to at this pool size —
+  NumPy below the measured crossovers
+  (:data:`~repro.core.kernels.COMPILED_SWEEP_CROSSOVER` for the AltrM
+  sweep, :data:`~repro.core.kernels.COMPILED_PAY_CROSSOVER` for the PayALG
+  pairing scan, :data:`~repro.core.kernels.COMPILED_BLOCK_CROSSOVER`
+  elements for the exact solvers' block kernels), the active compiled
+  backend (numba or native) beyond.
 * answer frontier (:mod:`repro.plan.frontier`): the build-vs-probe
   crossover — :func:`frontier_eligible` admits AltrM queries over pools of
   at least :data:`FRONTIER_MIN_POOL` candidates, and
@@ -32,15 +40,25 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core import kernels as _kernels
 from repro.core.jer import AUTO_CBA_THRESHOLD
+from repro.core.kernels import (
+    COMPILED_BLOCK_CROSSOVER,
+    COMPILED_PAY_CROSSOVER,
+    COMPILED_SWEEP_CROSSOVER,
+)
 from repro.core.poisson_binomial import FFT_CROSSOVER
 
 __all__ = [
+    "COMPILED_BLOCK_CROSSOVER",
+    "COMPILED_PAY_CROSSOVER",
+    "COMPILED_SWEEP_CROSSOVER",
     "ENUMERATION_CROSSOVER",
     "FRONTIER_MIN_POOL",
     "PlanCost",
     "jer_backend_for",
     "pmf_backend_for",
+    "kernel_backend_for",
     "exact_operator_for",
     "affordable_count",
     "estimate_plan_cost",
@@ -99,6 +117,25 @@ def jer_backend_for(pool_size: int) -> str:
 def pmf_backend_for(pool_size: int) -> str:
     """Pmf backend ``PoissonBinomial(..., method="auto")`` would use."""
     return "conv" if pool_size >= FFT_CROSSOVER else "dp"
+
+
+def kernel_backend_for(model: str, pool_size: int) -> str:
+    """Kernel backend the model's *hot* kernel dispatches to at this size.
+
+    ``altr``'s hot kernel is the prefix sweep and ``pay``'s is the pairing
+    scan, both driven directly by pool size.  The exact solvers' hot
+    kernels are the block scorers (``batch_jury_jer`` et al.), whose block
+    sizes are runtime-dependent; the model uses ``pool_size ** 2`` elements
+    as the planning estimate (one enumeration block of ``pool_size``-juries),
+    while the actual per-call dispatch re-decides from true block sizes.
+    Resolution honours the session mode: forced modes name the forced
+    backend (or its fallback), ``auto`` applies the measured crossovers.
+    """
+    if model == "altr":
+        return _kernels.kernel_backend_for("sweep", pool_size)
+    if model == "pay":
+        return _kernels.kernel_backend_for("pay_scan", pool_size)
+    return _kernels.kernel_backend_for("jury_jer", pool_size * pool_size)
 
 
 def exact_operator_for(n_effective: int) -> str:

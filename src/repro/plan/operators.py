@@ -47,7 +47,7 @@ def _run_altr(
     plan: SelectionPlan, profile: tuple[np.ndarray, np.ndarray] | None
 ) -> SelectionResult:
     if profile is None:
-        profile = prefix_jer_profile(plan.view.eps)
+        profile = prefix_jer_profile(plan.view.eps, backend=plan.kernel_backend)
     ns, jers = profile
     # Pick the winning prefix size first so an unmaterialised view (a shard
     # worker's reconstructed payload) inflates only the selected jurors.
@@ -94,7 +94,12 @@ def execute_plan(
     if plan.operator == "altr-sweep":
         result = _run_altr(plan, profile)
     elif plan.operator in ("pay-greedy", "pay-greedy-improved"):
-        result = run_pay_greedy(plan.view, plan.budget, variant=plan.variant)
+        result = run_pay_greedy(
+            plan.view,
+            plan.budget,
+            variant=plan.variant,
+            backend=plan.kernel_backend,
+        )
     elif plan.operator == "exact-enumerate":
         result = enumerate_optimal(
             _affordable_subview(plan.view, plan.budget),

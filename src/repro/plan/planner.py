@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from functools import lru_cache
 
 from repro._validation import validate_budget
+from repro.core import kernels as _kernels
 from repro.core.jer import JER_IMPROVEMENT_EPS
 from repro.plan.cost import (
     PlanCost,
@@ -28,6 +29,7 @@ from repro.plan.cost import (
     estimate_plan_cost,
     exact_operator_for,
     jer_backend_for,
+    kernel_backend_for,
     pmf_backend_for,
 )
 from repro.plan.view import PoolView, as_view
@@ -76,8 +78,10 @@ class SelectionPlan:
     The *logical* half is the normalised query: ``model``, ``budget``,
     ``max_size``, ``variant``, ``method``, the ``view`` (pool reference) and
     the tie-break tolerance.  The *physical* half is what the cost model
-    chose: the ``operator`` to run and the ``jer``/``pmf`` backends the
-    auto dispatchers resolve to at this pool size, plus the
+    chose: the ``operator`` to run, the ``jer``/``pmf`` backends the
+    auto dispatchers resolve to at this pool size, the ``kernel_backend``
+    the hot kernel will execute on (``numpy``/``numba``/``native``, see
+    :mod:`repro.core.kernels`), plus the
     :class:`~repro.plan.cost.PlanCost` estimates behind the choice.
     """
 
@@ -95,6 +99,9 @@ class SelectionPlan:
     #: Minimum JER improvement that counts as strictly better (the shared
     #: tie-break tolerance every operator applies).
     jer_tie_eps: float = JER_IMPROVEMENT_EPS
+    #: Compiled-kernel backend the hot kernel dispatches to (defaulted for
+    #: backward-compatible construction and payload inflation).
+    kernel_backend: str = "numpy"
 
     def describe(self) -> dict:
         """JSON-friendly rendering for ``repro-select explain``."""
@@ -110,6 +117,7 @@ class SelectionPlan:
             "operator": self.operator,
             "jer_backend": self.jer_backend,
             "pmf_backend": self.pmf_backend,
+            "kernel_backend": self.kernel_backend,
             "jer_tie_eps": self.jer_tie_eps,
             "cost": {
                 "pool_size": self.cost.pool_size,
@@ -130,8 +138,16 @@ def _choose(
     max_size: int | None,
     variant: str,
     method: str,
-) -> tuple[str, str, str, PlanCost]:
-    """Memoised (operator, jer backend, pmf backend, cost) for a query shape."""
+    kernel_token: str,
+) -> tuple[str, str, str, str, PlanCost]:
+    """Memoised (operator, jer/pmf/kernel backends, cost) for a query shape.
+
+    ``kernel_token`` is :func:`repro.core.kernels.resolution_token` — it
+    captures the session's kernel-backend mode and what it resolves to, so
+    a mode switch (``set_kernel_backend`` / ``--kernel-backend``) can never
+    serve a stale ``kernel_backend`` out of this memo.
+    """
+    del kernel_token  # participates in the cache key only
     if model == "altr":
         operator = "altr-sweep"
     elif model == "pay":
@@ -153,7 +169,8 @@ def _choose(
     # at every jury size (it never dispatches through jury_error_rate), so
     # the jer backend it effectively uses is always the DP arithmetic.
     jer_backend = "dp" if model == "pay" else jer_backend_for(pool_size)
-    return operator, jer_backend, pmf_backend_for(pool_size), cost
+    kernel_backend = kernel_backend_for(model, pool_size)
+    return operator, jer_backend, pmf_backend_for(pool_size), kernel_backend, cost
 
 
 def planner_cache_info():
@@ -220,13 +237,14 @@ def plan_query(
         )
     normalized_budget = None if budget is None else validate_budget(budget)
     affordable = affordable_count(view.reqs, normalized_budget)
-    operator, jer_backend, pmf_backend, cost = _choose(
+    operator, jer_backend, pmf_backend, kernel_backend, cost = _choose(
         canonical,
         view.size,
         affordable,
         max_size,
         variant,
         method,
+        _kernels.resolution_token(),
     )
     return SelectionPlan(
         task_id=task_id,
@@ -239,5 +257,6 @@ def plan_query(
         operator=operator,
         jer_backend=jer_backend,
         pmf_backend=pmf_backend,
+        kernel_backend=kernel_backend,
         cost=cost,
     )

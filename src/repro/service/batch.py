@@ -59,6 +59,7 @@ from dataclasses import dataclass, replace
 import numpy as np
 
 from repro._validation import validate_budget
+from repro.core import kernels
 from repro.core.jer import batch_prefix_jer_sweep
 from repro.core.juror import Juror
 from repro.core.selection.base import SelectionResult
@@ -210,6 +211,10 @@ class EngineStats:
     #: Queries answered from the answer frontier — no plan, no kernel, and
     #: (under sharded execution) no worker round trip.
     frontier_hits: int = 0
+    #: Compiled-kernel backend large kernel calls dispatch to
+    #: (``numpy``/``numba``/``native``) — resolved and warmed at engine
+    #: construction so JIT/cc compile time never lands in query timings.
+    kernel_backend: str = "numpy"
 
 
 class BatchSelectionEngine:
@@ -280,7 +285,10 @@ class BatchSelectionEngine:
         # lock is released while waiting on shard futures, so parent-side
         # work overlaps with worker compute.
         self._lock = threading.Lock()
-        self.stats = EngineStats()
+        # Activate (compile + bitwise-verify + warm) the configured kernel
+        # backend up front: queries must never pay first-call compile cost,
+        # and stats report the backend before the first query runs.
+        self.stats = EngineStats(kernel_backend=kernels.ensure_ready())
 
     @property
     def cache(self) -> PrefixSweepCache:

@@ -168,6 +168,10 @@ class PlanPayload:
     #: Name of a ReproError subclass the worker must raise instead of
     #: executing — set at build time only while :data:`FAULT_INJECTION` is on.
     fault: str | None = None
+    #: Compiled-kernel backend the parent's plan chose; workers honour it so
+    #: a sharded query dispatches exactly like in-process execution would
+    #: (defaulted so payloads pickled by older parents still inflate).
+    kernel_backend: str = "numpy"
 
     @classmethod
     def from_plan(cls, plan: SelectionPlan, *, fingerprint: str) -> "PlanPayload":
@@ -184,6 +188,7 @@ class PlanPayload:
             jer_tie_eps=plan.jer_tie_eps,
             cost=plan.cost,
             fingerprint=fingerprint,
+            kernel_backend=plan.kernel_backend,
             fault=(
                 plan.task_id[len(FAULT_MARKER) :].split(":", 1)[0]
                 if FAULT_INJECTION and plan.task_id.startswith(FAULT_MARKER)
@@ -204,6 +209,7 @@ class PlanPayload:
             operator=self.operator,
             jer_backend=self.jer_backend,
             pmf_backend=self.pmf_backend,
+            kernel_backend=self.kernel_backend,
             cost=self.cost,
             jer_tie_eps=self.jer_tie_eps,
         )

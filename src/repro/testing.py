@@ -15,6 +15,7 @@ __all__ = [
     "ORACLE_ATOL",
     "PMF_ATOL",
     "DECONV_ATOL",
+    "KERNEL_EQUIVALENCE_ULPS",
     "BENCH_SEED",
 ]
 
@@ -37,6 +38,14 @@ PMF_ATOL = 1e-10
 #: by rebuilding from its member list every REBUILD_AFTER_REMOVALS removals,
 #: which keeps adversarial chains below ~1e-12 with a wide safety margin.
 DECONV_ATOL = 1e-8
+
+#: Permitted ULP divergence between kernel backends (numpy vs numba vs
+#: native): **zero**.  The compiled kernels replicate NumPy's pairwise
+#: summation and ufunc evaluation order exactly, and a backend that fails
+#: the bitwise activation self-check (:mod:`repro.core.kernels._verify`) is
+#: deactivated rather than tolerated — so cross-backend tests assert
+#: bit-identity, not closeness.
+KERNEL_EQUIVALENCE_ULPS = 0
 
 #: Seed for synthetic benchmark workloads, offset from the test seed so that
 #: benchmarks never accidentally share fixtures with the unit tests.

@@ -129,6 +129,49 @@ class TestRoundTrip:
         rows = _parse_output(capsys)
         assert len(rows) == 3 and all(r["status"] == "ok" for r in rows)
 
+    @pytest.mark.parametrize("choice", ["auto", "numpy", "numba", "native"])
+    def test_kernel_backend_flag_composes(
+        self, tmp_path, capsys, monkeypatch, choice
+    ):
+        """``--kernel-backend`` must compose with ``--workers`` and
+        ``--no-frontier``, produce identical selections regardless of the
+        chosen backend, and export the choice for worker shards."""
+        from repro.core import kernels
+
+        monkeypatch.delenv("REPRO_KERNEL_BACKEND", raising=False)
+        path = _write_jsonl(
+            tmp_path,
+            [
+                {"task": f"t{i}", "candidates": _candidates_json()}
+                for i in range(3)
+            ],
+        )
+        try:
+            assert main(["batch", str(path)]) == 0
+            baseline = _parse_output(capsys)
+            args = [
+                "batch", str(path),
+                "--kernel-backend", choice,
+                "--workers", "2",
+                "--no-frontier",
+            ]
+            assert main(args) == 0
+            rows = _parse_output(capsys)
+            # Backend choice moves work between implementations; it must
+            # never change an answer (timings excluded — they vary).
+            strip = lambda rs: [
+                {k: v for k, v in r.items() if k != "timings"} for r in rs
+            ]
+            assert strip(rows) == strip(baseline)
+            # The flag is exported so spawned worker shards inherit it.
+            import os
+
+            assert os.environ.get("REPRO_KERNEL_BACKEND") == choice
+        finally:
+            # _apply_kernel_backend mutates process-global session state;
+            # monkeypatch restores the env var, this restores the mode.
+            kernels.set_kernel_backend(None)
+
 
 class TestSchemaStability:
     def test_ok_row_schema(self, tmp_path, capsys):
