@@ -19,6 +19,7 @@ from __future__ import annotations
 import json
 import os
 import platform
+import subprocess
 import sys
 import time
 from pathlib import Path
@@ -43,6 +44,27 @@ __all__ = [
 ]
 
 
+def _git_commit() -> str | None:
+    """The repo HEAD this artifact was produced from (None outside git).
+
+    Recorded so a committed perf number is attributable to the exact tree
+    that produced it — "which commit regressed this" must not depend on
+    the artifact's own git blame.
+    """
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=str(Path(__file__).resolve().parent),
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    commit = proc.stdout.strip()
+    return commit if proc.returncode == 0 and commit else None
+
+
 def host_metadata() -> dict:
     """The uniform ``host`` block stamped into every ``BENCH_*.json``."""
     try:
@@ -52,6 +74,7 @@ def host_metadata() -> dict:
     except ImportError:
         numba_version = None
     return {
+        "git_commit": _git_commit(),
         "cpus": os.cpu_count() or 1,
         "platform": platform.platform(),
         "machine": platform.machine(),

@@ -1,0 +1,305 @@
+#!/usr/bin/env python3
+"""Durable catalog benchmark: WAL mutation throughput + crash recovery time.
+
+Two measurements over ``repro.storage.PoolCatalog``:
+
+* **Durable mutation throughput by fsync policy.**  The same churn stream
+  (interleaved add/update/remove against catalog-backed ``LivePool``s) is
+  replayed under ``fsync_batch=1`` (fsync per record — an acked mutation
+  is durable), ``fsync_batch=64`` (group commit) and ``fsync_batch=0``
+  (deferred: fsync only on flush/close), reporting mutations/second for
+  each.  The spread is the price of the durability guarantee.
+
+* **Cold-restart recovery vs catalog size.**  Catalogs of increasing pool
+  count — each pool carrying a columnar snapshot plus a WAL tail past it,
+  the shape a crash leaves behind — are closed and reopened cold; the
+  bench times the index scan (startup) and the full recovery of every
+  pool (snapshot load + WAL-tail replay through the delta kernels),
+  reporting ms/pool.
+
+Every recovered pool is verified **bit-identical** to its pre-restart
+live state on every run: fingerprint, version, member ids, error rates
+and requirements compared by ``float.hex``, and a full engine selection
+(jury ids + JER bitwise) — a recovery that drifts by one bit fails the
+bench, so the perf numbers can never outlive the correctness claim.
+
+Run:  PYTHONPATH=src python benchmarks/bench_catalog.py [--smoke]
+      [--mutations N] [--pool-counts A,B,C] [--out PATH]
+
+``--smoke`` shrinks the workload for CI smoke jobs; any bit-identity
+failure exits non-zero in either mode.
+"""
+
+from __future__ import annotations
+
+import argparse
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from _common import verification_failure, write_artifact  # noqa: E402
+from repro.core.juror import Juror, jurors_from_arrays  # noqa: E402
+from repro.service import BatchSelectionEngine, SelectionQuery  # noqa: E402
+from repro.storage import PoolCatalog  # noqa: E402
+from repro.testing import BENCH_SEED  # noqa: E402
+
+#: Snapshot cadence for the recovery phase: low enough that every pool
+#: has at least one columnar snapshot *and* a WAL tail beyond it, so the
+#: timed recovery exercises both the mmap load and the delta replay.
+RECOVERY_SNAPSHOT_INTERVAL = 24
+
+#: Churn applied to every pool in the recovery phase (> interval above).
+RECOVERY_CHURN = 36
+
+#: The fsync policies compared by the throughput phase.
+FSYNC_POLICIES = (
+    ("per-record", 1),
+    ("group-64", 64),
+    ("deferred", 0),
+)
+
+
+def _seed_pools(
+    catalog: PoolCatalog, count: int, size: int, rng: np.random.Generator
+) -> list[str]:
+    names = []
+    for p in range(count):
+        eps = rng.uniform(0.05, 0.45, size=size)
+        reqs = rng.uniform(0.1, 2.0, size=size)
+        catalog.create(f"pool-{p}", jurors_from_arrays(eps, requirements=reqs))
+        names.append(f"pool-{p}")
+    return names
+
+
+def _churn(pool, steps: int, rng: np.random.Generator, tag: str) -> None:
+    """Interleaved add/update/remove stream (deterministic given rng)."""
+    for step in range(steps):
+        kind = step % 3
+        if kind == 0:
+            pool.add_juror(
+                Juror(
+                    float(rng.uniform(0.05, 0.45)),
+                    juror_id=f"{tag}{step}",
+                    requirement=float(rng.uniform(0.1, 2.0)),
+                )
+            )
+        elif kind == 1:
+            victim = pool.ordered[int(rng.integers(pool.size))]
+            pool.update_error_rate(
+                victim.juror_id, float(rng.uniform(0.05, 0.45))
+            )
+        else:
+            victim = pool.ordered[int(rng.integers(pool.size))]
+            pool.remove_juror(victim.juror_id)
+
+
+def bench_mutation_throughput(
+    root: Path, pools: int, size: int, mutations: int
+) -> list[dict]:
+    """Replay one churn stream under each fsync policy; mutations/sec."""
+    rows = []
+    for label, batch in FSYNC_POLICIES:
+        rng = np.random.default_rng(BENCH_SEED)
+        data_dir = root / f"throughput-{label}"
+        catalog = PoolCatalog(
+            data_dir,
+            fsync_batch=batch,
+            snapshot_interval=0,  # isolate WAL append cost from snapshots
+        )
+        names = _seed_pools(catalog, pools, size, rng)
+        handles = [catalog.open(name) for name in names]
+        per_pool = mutations // pools
+        start = time.perf_counter()
+        for i, pool in enumerate(handles):
+            _churn(pool, per_pool, rng, tag=f"m{i}-")
+        catalog.flush()  # deferred policy pays its fsync here, inside the clock
+        elapsed = time.perf_counter() - start
+        stats = catalog.stats_snapshot()
+        catalog.close()
+        applied = per_pool * pools
+        rows.append(
+            {
+                "policy": label,
+                "fsync_batch": batch,
+                "mutations": applied,
+                "seconds": elapsed,
+                "mutations_per_sec": applied / elapsed,
+                "wal_appends": stats["wal_appends"],
+                "fsyncs": stats["fsyncs"],
+            }
+        )
+    return rows
+
+
+def _pool_state(pool, engine: BatchSelectionEngine, task_id: str) -> tuple:
+    """Everything a recovered pool must reproduce, in bit-exact form."""
+    members = tuple(
+        (j.juror_id, j.error_rate.hex(), j.requirement.hex())
+        for j in pool.ordered
+    )
+    outcome = engine.run([SelectionQuery(task_id=task_id, pool=pool)])[0]
+    assert outcome.ok, outcome.exception
+    result = outcome.result
+    return (
+        pool.fingerprint,
+        pool.version,
+        members,
+        result.juror_ids,
+        result.jer.hex(),
+    )
+
+
+def bench_recovery(
+    root: Path, pool_counts: list[int], size: int
+) -> tuple[list[dict], int]:
+    """Cold-restart recovery time vs pool count, bit-identity verified."""
+    rows = []
+    mismatches = 0
+    for count in pool_counts:
+        rng = np.random.default_rng(BENCH_SEED + count)
+        data_dir = root / f"recovery-{count}"
+        catalog = PoolCatalog(
+            data_dir,
+            snapshot_interval=RECOVERY_SNAPSHOT_INTERVAL,
+            max_resident=max(count, 1),
+        )
+        names = _seed_pools(catalog, count, size, rng)
+        engine = BatchSelectionEngine()
+        expected = {}
+        for i, name in enumerate(names):
+            pool = catalog.open(name)
+            _churn(pool, RECOVERY_CHURN, rng, tag=f"r{i}-")
+            expected[name] = _pool_state(pool, engine, f"pre-{name}")
+        catalog.close()
+
+        start = time.perf_counter()
+        reopened = PoolCatalog(
+            data_dir,
+            snapshot_interval=RECOVERY_SNAPSHOT_INTERVAL,
+            max_resident=max(count, 1),
+        )
+        index_seconds = time.perf_counter() - start
+        engine2 = BatchSelectionEngine()
+        start = time.perf_counter()
+        recovered = {name: reopened.open(name) for name in names}
+        recover_seconds = time.perf_counter() - start
+        for name, pool in recovered.items():
+            if _pool_state(pool, engine2, f"post-{name}") != expected[name]:
+                mismatches += 1
+                verification_failure(f"pool {name!r} diverged after recovery")
+        stats = reopened.stats_snapshot()
+        reopened.close()
+        rows.append(
+            {
+                "pools": count,
+                "pool_size": size,
+                "churn_per_pool": RECOVERY_CHURN,
+                "snapshot_interval": RECOVERY_SNAPSHOT_INTERVAL,
+                "index_ms": index_seconds * 1e3,
+                "recovery_seconds": recover_seconds,
+                "recovery_ms_per_pool": recover_seconds * 1e3 / count,
+                "pools_per_sec": count / recover_seconds,
+                "records_replayed": stats["records_replayed"],
+                "snapshots_loaded": stats["lazy_loads"],
+            }
+        )
+    return rows, mismatches
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--pools", type=int, default=16,
+        help="pools in the throughput phase",
+    )
+    parser.add_argument(
+        "--pool-size", type=int, default=101, help="initial candidates per pool"
+    )
+    parser.add_argument(
+        "--mutations", type=int, default=4800,
+        help="total durable mutations per fsync policy",
+    )
+    parser.add_argument(
+        "--pool-counts", default="16,64,256",
+        help="comma-separated catalog sizes for the recovery phase",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_catalog.json", help="where to write the JSON artifact"
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small sizes + identity check only (CI smoke job)",
+    )
+    args = parser.parse_args(argv)
+
+    pools, size, mutations = args.pools, args.pool_size, args.mutations
+    pool_counts = [int(c) for c in args.pool_counts.split(",") if c]
+    if args.smoke:
+        pools, size, mutations = 4, 31, 480
+        pool_counts = [4, 16]
+
+    root = Path(tempfile.mkdtemp(prefix="bench-catalog-"))
+    try:
+        print(
+            f"bench_catalog: {mutations} durable mutations over {pools} pools "
+            f"of {size} candidates, per fsync policy"
+        )
+        throughput = bench_mutation_throughput(root, pools, size, mutations)
+        for row in throughput:
+            print(
+                f"  {row['policy']:>10} (fsync_batch={row['fsync_batch']:>2}) "
+                f"{row['seconds']:8.3f}s  "
+                f"{row['mutations_per_sec']:10.1f} mut/s  "
+                f"({row['fsyncs']} fsyncs)"
+            )
+
+        print(
+            f"bench_catalog: cold-restart recovery at catalog sizes "
+            f"{pool_counts} ({RECOVERY_CHURN} churn events/pool, snapshot "
+            f"every {RECOVERY_SNAPSHOT_INTERVAL})"
+        )
+        recovery, mismatches = bench_recovery(root, pool_counts, size)
+        for row in recovery:
+            print(
+                f"  {row['pools']:>5} pools  index {row['index_ms']:7.2f}ms  "
+                f"recover {row['recovery_seconds']:8.3f}s  "
+                f"{row['recovery_ms_per_pool']:7.2f} ms/pool  "
+                f"({row['records_replayed']} records replayed)"
+            )
+        identical = mismatches == 0
+        print(f"  bit-identical after recovery: {identical}")
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+    artifact = {
+        "benchmark": "catalog",
+        "mode": "smoke" if args.smoke else "full",
+        "workload": {
+            "throughput_pools": pools,
+            "pool_size": size,
+            "mutations_per_policy": mutations,
+            "recovery_pool_counts": pool_counts,
+            "recovery_churn_per_pool": RECOVERY_CHURN,
+            "recovery_snapshot_interval": RECOVERY_SNAPSHOT_INTERVAL,
+        },
+        "mutation_throughput": throughput,
+        "recovery": recovery,
+        "verified_identical": identical,
+    }
+    write_artifact(args.out, artifact)
+
+    if not identical:
+        return verification_failure(
+            f"{mismatches} pool(s) were not bit-identical after recovery"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,13 +14,18 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-jury-selection",
-    version="0.7.0",
+    version="0.8.0",
     description=(
         "Reproduction of 'Whom to Ask? Jury Selection for Decision Making "
         "Tasks on Micro-blog Services' (PVLDB 2012)"
     ),
     package_dir={"": "src"},
     packages=find_packages(where="src"),
+    # The native kernel backend compiles repro_kernels.c at runtime; the
+    # source must ship with the package or installed trees (as opposed to
+    # source checkouts) would silently lose the backend.
+    package_data={"repro.core.kernels": ["*.c"]},
+    include_package_data=True,
     python_requires=">=3.10",
     install_requires=["numpy>=1.24"],
     extras_require={

@@ -236,8 +236,10 @@ class AsyncJuryService:
         :class:`~repro.errors.ServiceClosedError`), lets the in-flight
         batch finish and the drainer answer everything still queued, awaits
         the drainer task, then closes the wrapped service — reaping any
-        worker shard processes.  Idempotent; safe to call with requests in
-        every state.
+        worker shard processes and flushing (and, when service-owned,
+        closing) the durable pool catalog so every acknowledged mutation is
+        on stable storage before the process exits.  Idempotent; safe to
+        call with requests in every state.
         """
         self._closed = True
         drainer = self._drainer

@@ -35,6 +35,7 @@ from repro.errors import (
     ReproError,
     ServiceClosedError,
     SimulationError,
+    StorageError,
 )
 
 __all__ = ["ERROR_CODES", "error_code"]
@@ -59,6 +60,7 @@ ERROR_CODES: dict[type[BaseException], str] = {
     ProtocolError: "bad-request",
     ServiceClosedError: "service-closed",
     OverloadedError: "overloaded",
+    StorageError: "storage-corrupt",
     ReproError: "repro-error",
     # Transport-level failures and fallbacks from outside the hierarchy.
     JSONDecodeError: "invalid-json",

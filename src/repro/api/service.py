@@ -50,6 +50,12 @@ def _workers_from_env() -> int | None:
     return workers if workers > 1 else None
 
 
+def _data_dir_from_env() -> str | None:
+    """Durable-catalog default from ``REPRO_DATA_DIR`` (unset/blank -> None)."""
+    raw = os.environ.get("REPRO_DATA_DIR", "").strip()
+    return raw or None
+
+
 class JuryService:
     """Typed request/response façade over the batch engine and registry.
 
@@ -81,6 +87,19 @@ class JuryService:
     max_workers:
         Deprecated alias for ``workers`` (the PR 1 knob that parallelised
         exact queries only; it now shards every model).
+    data_dir:
+        Directory for a durable :class:`~repro.storage.PoolCatalog`.  The
+        service builds (and **owns** — :meth:`close` closes it) a catalog
+        there and binds a catalog-backed registry: every pool command is
+        WAL-logged, pools are lazily recovered on first access, and
+        ``stats()`` gains a ``catalog`` block.  When omitted — and no
+        explicit ``registry``/``engine``/``catalog`` was passed — the
+        ``REPRO_DATA_DIR`` environment variable supplies the default, which
+        is how CI runs the whole suite durably.
+    catalog:
+        Advanced: adopt an existing :class:`~repro.storage.PoolCatalog`
+        instead of building one from ``data_dir``.  The caller keeps
+        ownership (:meth:`close` flushes but does not close it).
 
     Examples
     --------
@@ -102,16 +121,30 @@ class JuryService:
         frontier_size: int | None = None,
         workers: int | None = None,
         max_workers: int | None = None,
+        data_dir=None,
+        catalog=None,
     ) -> None:
         if workers is not None and max_workers is not None:
             raise ValueError("pass either workers or max_workers, not both")
         if max_workers is not None:
             workers = max_workers
+        if data_dir is not None and catalog is not None:
+            raise ValueError("pass either data_dir or catalog, not both")
+        if registry is not None and (data_dir is not None or catalog is not None):
+            raise ValueError(
+                "pass either a registry or data_dir/catalog, not both"
+            )
+        self._catalog = None
+        self._owns_catalog = False
         if engine is not None:
             if cache_size is not None or frontier_size is not None or workers is not None:
                 raise ValueError(
                     "pass either an engine or cache_size/frontier_size/"
                     "workers, not both"
+                )
+            if data_dir is not None or catalog is not None:
+                raise ValueError(
+                    "pass either an engine or data_dir/catalog, not both"
                 )
             if engine.registry is None:
                 raise ValueError(
@@ -120,11 +153,30 @@ class JuryService:
             if registry is not None and engine.registry is not registry:
                 raise ValueError("engine and registry arguments disagree")
             self._registry = engine.registry
+            self._catalog = getattr(self._registry, "catalog", None)
             self._engine = engine
         else:
             if workers is None:
                 workers = _workers_from_env()
-            self._registry = registry if registry is not None else PoolRegistry()
+            if (
+                registry is None
+                and catalog is None
+                and data_dir is None
+            ):
+                data_dir = _data_dir_from_env()
+            if data_dir is not None:
+                from repro.storage import PoolCatalog
+
+                catalog = PoolCatalog(data_dir)
+                self._owns_catalog = True
+            if registry is not None:
+                self._registry = registry
+                self._catalog = getattr(registry, "catalog", None)
+            elif catalog is not None:
+                self._registry = PoolRegistry(catalog=catalog)
+                self._catalog = catalog
+            else:
+                self._registry = PoolRegistry()
             options: dict = {}
             if cache_size is not None:
                 options["cache_size"] = cache_size
@@ -144,15 +196,39 @@ class JuryService:
         """The live-pool namespace requests resolve against."""
         return self._registry
 
+    @property
+    def catalog(self):
+        """The durable :class:`~repro.storage.PoolCatalog`, or ``None``."""
+        return self._catalog
+
+    def flush(self) -> None:
+        """Fsync every resident pool's WAL, when catalog-backed.
+
+        The drain path: the async tier and the HTTP server call this on
+        graceful shutdown (``aclose()`` / SIGTERM) so every acknowledged
+        mutation is on stable storage before the process exits.  A no-op
+        without a catalog.
+        """
+        if self._catalog is not None and not self._catalog.closed:
+            self._catalog.flush()
+
     def close(self) -> None:
-        """Release the engine's worker shard processes, if any.
+        """Release the engine's worker shard processes and durable state.
 
         Every entry point that builds a service with ``workers > 1`` (or
         under ``REPRO_WORKERS``) must close it — the CLI modes do so in
-        ``try/finally`` — or worker processes outlive the work.  Idempotent;
-        an in-process service closes as a no-op.
+        ``try/finally`` — or worker processes outlive the work.  A
+        service-owned catalog (built from ``data_dir``/``REPRO_DATA_DIR``)
+        is flushed and closed; an adopted one is only flushed, since the
+        caller may still hold pools from it.  Idempotent; an in-process,
+        in-memory service closes as a no-op.
         """
         self._engine.close()
+        if self._catalog is not None and not self._catalog.closed:
+            if self._owns_catalog:
+                self._catalog.close()
+            else:
+                self._catalog.flush()
 
     # ------------------------------------------------------------------
     # selection dispatch
@@ -359,23 +435,27 @@ class JuryService:
         backend, per-kernel dispatch counters, availability and the
         measured crossovers.  Under sharded execution the payload gains
         ``workers`` and a per-shard ``shards`` utilisation table.
+
+        The per-pool listing covers the pools **in memory**: everything for
+        an in-memory registry, the LRU-resident subset for a catalog-backed
+        one — a stats probe must never page thousands of cold pools off
+        disk.  Catalog-backed services additionally report a ``catalog``
+        block (WAL appends, fsyncs, snapshots, replays, truncated-tail
+        recoveries, residency, recovery milliseconds) whose ``pools`` count
+        spans the whole durable namespace.
         """
         registry = self._registry
         engine = self._engine
         pools: dict[str, dict] = {}
         for _ in range(8):
             try:
-                names = registry.names()
+                resident = registry.resident_pools()
                 break
             except RuntimeError:  # registry dict resized under our feet
                 continue
         else:  # pragma: no cover - needs pathological sustained churn
-            names = ()
-        for name in names:
-            try:
-                pool = registry.get(name)
-            except Exception:  # dropped between listing and lookup
-                continue
+            resident = []
+        for name, pool in resident:
             pools[name] = {"version": pool.version, "size": pool.size}
         planner_info = planner_cache_info()
         payload = {
@@ -411,6 +491,8 @@ class JuryService:
             },
             "kernels": kernels.stats_snapshot(),
         }
+        if self._catalog is not None:
+            payload["catalog"] = self._catalog.stats_snapshot()
         executor = engine.executor
         if executor is not None:
             payload["workers"] = executor.workers

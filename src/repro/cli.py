@@ -404,6 +404,19 @@ def _build_batch_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_data_dir_flag(parser: argparse.ArgumentParser) -> None:
+    """``--data-dir`` for the long-lived modes (serve/http)."""
+    parser.add_argument(
+        "--data-dir",
+        default=None,
+        metavar="DIR",
+        help="durable pool catalog directory: every pool mutation is "
+        "WAL-logged (fsync per record) with periodic columnar snapshots, "
+        "and a restart recovers bit-identical pools from disk "
+        "(default: REPRO_DATA_DIR env var, else in-memory only)",
+    )
+
+
 def _add_no_frontier_flag(parser: argparse.ArgumentParser) -> None:
     """The answer-frontier opt-out shared by batch/serve/http."""
     parser.add_argument(
@@ -558,6 +571,7 @@ def run_serve(args: argparse.Namespace, *, stdin=None, stdout=None) -> int:
         cache_size=args.cache_size,
         workers=args.workers,
         frontier_size=0 if getattr(args, "no_frontier", False) else None,
+        data_dir=getattr(args, "data_dir", None),
     )
     try:
         return _serve_session(source, sink, service)
@@ -661,6 +675,7 @@ def _build_serve_parser() -> argparse.ArgumentParser:
         "in-process execution (default: REPRO_WORKERS env var, else "
         "in-process)",
     )
+    _add_data_dir_flag(parser)
     _add_no_frontier_flag(parser)
     _add_kernel_backend_flag(parser)
     return parser
@@ -683,6 +698,7 @@ async def _serve_http(args: argparse.Namespace) -> int:
         cache_size=args.cache_size,
         workers=args.workers,
         frontier_size=0 if getattr(args, "no_frontier", False) else None,
+        data_dir=getattr(args, "data_dir", None),
     )
     server = HttpServer(
         service,
@@ -777,6 +793,7 @@ def _build_http_parser() -> argparse.ArgumentParser:
         "fingerprint; bit-identical to in-process execution (default: "
         "REPRO_WORKERS env var, else in-process)",
     )
+    _add_data_dir_flag(parser)
     _add_no_frontier_flag(parser)
     _add_kernel_backend_flag(parser)
     return parser

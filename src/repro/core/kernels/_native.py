@@ -1,9 +1,11 @@
 """Native (cc-compiled, ctypes-loaded) kernel backend.
 
-Builds a small shared library from embedded C at activation time using
-whatever system compiler is present (``cc``/``gcc``/``clang``), caches the
-``.so`` keyed by a hash of the source + flags, and binds it via
-:mod:`ctypes` — stdlib only, no build-time dependencies.
+Builds a small shared library from the shipped C source
+(``repro_kernels.c``, installed as package data next to this module) at
+activation time using whatever system compiler is present
+(``cc``/``gcc``/``clang``), caches the ``.so`` keyed by a hash of the
+source + flags, and binds it via :mod:`ctypes` — stdlib only, no
+build-time dependencies.
 
 Bit-identity discipline
 -----------------------
@@ -47,211 +49,14 @@ import numpy as np
 
 __all__ = ["NativeBackend", "load_native_backend"]
 
-_C_SOURCE = r"""
-#include <stdint.h>
-#include <string.h>
+#: The C source ships as package data next to this module, so installed
+#: trees (pip/wheel installs, not just source checkouts) can build the
+#: backend; the compile cache is keyed by a hash of its exact contents.
+_C_SOURCE_PATH = Path(__file__).with_name("repro_kernels.c")
 
-/* NumPy's pairwise summation, scalar form: 8-way unrolled base case up
- * to 128 elements, recursive split at n/2 rounded down to a multiple of
- * 8.  Must stay bit-identical to np.sum on the host (checked at
- * activation). */
-static double pairwise_sum(const double *a, int64_t n)
-{
-    if (n < 8) {
-        double res = 0.0;
-        for (int64_t i = 0; i < n; i++) res += a[i];
-        return res;
-    }
-    if (n <= 128) {
-        double r0 = a[0], r1 = a[1], r2 = a[2], r3 = a[3];
-        double r4 = a[4], r5 = a[5], r6 = a[6], r7 = a[7];
-        int64_t i = 8;
-        for (; i < n - (n % 8); i += 8) {
-            r0 += a[i + 0]; r1 += a[i + 1]; r2 += a[i + 2]; r3 += a[i + 3];
-            r4 += a[i + 4]; r5 += a[i + 5]; r6 += a[i + 6]; r7 += a[i + 7];
-        }
-        double res = ((r0 + r1) + (r2 + r3)) + ((r4 + r5) + (r6 + r7));
-        for (; i < n; i++) res += a[i];
-        return res;
-    }
-    int64_t n2 = n / 2;
-    n2 -= n2 % 8;
-    return pairwise_sum(a, n2) + pairwise_sum(a + n2, n - n2);
-}
 
-static double clip01(double t)
-{
-    return t < 0.0 ? 0.0 : (t > 1.0 ? 1.0 : t);
-}
-
-/* Exposed for the activation self-check's summation battery. */
-double k_pairwise(const double *a, int64_t n)
-{
-    return pairwise_sum(a, n);
-}
-
-/* In-place Poisson-binomial factor fold: pmf[0..top] gains one factor e.
- * Descending update reads only pre-update values, matching the NumPy
- * whole-slice assignment; entry top+1 is zero beforehand so the new top
- * entry rounds as pmf[top]*e exactly (0*(1-e) + x*e == x*e bitwise for
- * finite x >= 0). */
-static void fold_factor(double *pmf, int64_t top, double e)
-{
-    double c = 1.0 - e;
-    for (int64_t j = top + 1; j >= 1; j--)
-        pmf[j] = pmf[j] * c + pmf[j - 1] * e;
-    pmf[0] = pmf[0] * c;
-}
-
-/* Odd-prefix JER sweep.  eps: (b, n) row-major; jers: (b, (n+1)/2);
- * work: n+1 scratch doubles. */
-void k_sweep(const double *eps, int64_t b, int64_t n, double *jers,
-             double *work)
-{
-    int64_t kcols = (n + 1) / 2;
-    for (int64_t r = 0; r < b; r++) {
-        const double *row = eps + r * n;
-        memset(work, 0, (size_t)(n + 1) * sizeof(double));
-        work[0] = 1.0;
-        for (int64_t idx = 0; idx < n; idx++) {
-            fold_factor(work, idx, row[idx]);
-            if ((idx & 1) == 0) {
-                int64_t m = idx + 1;            /* prefix length, odd */
-                int64_t th = (m + 1) / 2;       /* majority threshold */
-                double t = pairwise_sum(work + th, m + 1 - th);
-                jers[r * kcols + idx / 2] = clip01(t);
-            }
-        }
-    }
-}
-
-/* Batch jury JER.  eps: (b, k); out: (b,); work: k+1 scratch. */
-void k_jury_jer(const double *eps, int64_t b, int64_t k, int64_t threshold,
-                double *out, double *work)
-{
-    for (int64_t r = 0; r < b; r++) {
-        const double *row = eps + r * k;
-        memset(work, 0, (size_t)(k + 1) * sizeof(double));
-        work[0] = 1.0;
-        for (int64_t idx = 0; idx < k; idx++)
-            fold_factor(work, idx, row[idx]);
-        out[r] = clip01(pairwise_sum(work + threshold, k + 1 - threshold));
-    }
-}
-
-/* Extend one pmf (length n) by each of k alternative factors.
- * rows: (k, n+1). */
-void k_extend_block(const double *base, int64_t n, const double *eps,
-                    int64_t k, double *rows)
-{
-    for (int64_t r = 0; r < k; r++) {
-        double e = eps[r];
-        double c = 1.0 - e;
-        double *row = rows + r * (n + 1);
-        row[0] = base[0] * c;
-        for (int64_t j = 1; j < n; j++)
-            row[j] = base[j] * c + base[j - 1] * e;
-        row[n] = base[n - 1] * e;
-    }
-}
-
-/* extend_block fused with per-row clipped tail sums. */
-void k_score_block(const double *base, int64_t n, const double *eps,
-                   int64_t k, int64_t threshold, double *rows, double *jers)
-{
-    k_extend_block(base, n, eps, k, rows);
-    for (int64_t r = 0; r < k; r++) {
-        const double *row = rows + r * (n + 1);
-        jers[r] = clip01(pairwise_sum(row + threshold, (n + 1) - threshold));
-    }
-}
-
-/* Fold k factors into out in place.  out has length top0+1+k with the
- * base pmf in out[0..top0] and zeros above. */
-void k_convolve(double *out, int64_t top0, const double *eps, int64_t k)
-{
-    int64_t top = top0;
-    for (int64_t f = 0; f < k; f++) {
-        fold_factor(out, top, eps[f]);
-        top++;
-    }
-}
-
-/* PayALG paper-variant pairing scan (Algorithm 4 inner loop).
- *
- * Replicates the block-scan in core/selection/pay.py exactly: walk
- * candidates in requirement order from scan_from; the first affordable
- * candidate becomes the buffered partner; each later candidate q is
- * tried as the pair (partner, q) when (req[q] + req[partner]) + acc fits
- * the budget (left-associated adds, matching the NumPy broadcast order);
- * the trial extends the incumbent pmf by both error rates and compares
- * the clipped majority tail against the incumbent JER.  Admission
- * adopts the trial pmf, accumulates cost in the same float order, and
- * resets the partner; scanning resumes at q+1.
- *
- * eps/req: (n,) candidate columns.  pmf: in/out incumbent pmf buffer of
- * capacity n+1 with pmf_len valid entries.  state: in/out
- * {accumulated, current_jer}.  pairs: out, capacity n int64s, receives
- * admitted (partner, q) index pairs.  counters: out
- * {pairs_considered, jer_evaluations} (counting trials actually
- * scored, exactly like the NumPy block path).  base2/row: scratch, each
- * of capacity n+2.  Returns the number of admitted pairs. */
-int64_t k_pay_scan(const double *eps, const double *req, int64_t n,
-                   double budget, int64_t scan_from, double *pmf,
-                   int64_t pmf_len, double *state, int64_t *pairs,
-                   int64_t *counters, double *base2, double *row)
-{
-    double acc = state[0];
-    double cur = state[1];
-    int64_t i = scan_from;
-    int64_t partner = -1;
-    int base2_valid = 0;
-    int64_t npairs = 0;
-    int64_t considered = 0, evals = 0;
-
-    while (i < n) {
-        if (partner < 0) {
-            if (req[i] + acc <= budget)
-                partner = i;
-            i++;
-            continue;
-        }
-        double cost = (req[i] + req[partner]) + acc;
-        if (cost <= budget) {
-            if (!base2_valid) {
-                k_extend_block(pmf, pmf_len, eps + partner, 1, base2);
-                base2_valid = 1;
-            }
-            k_extend_block(base2, pmf_len + 1, eps + i, 1, row);
-            int64_t rowlen = pmf_len + 2;
-            /* threshold = (len(selected) + 3) // 2 with
-             * len(selected) = pmf_len - 1. */
-            int64_t threshold = rowlen / 2;
-            double t = clip01(pairwise_sum(row + threshold,
-                                           rowlen - threshold));
-            considered++;
-            evals++;
-            if (t <= cur) {
-                pairs[2 * npairs + 0] = partner;
-                pairs[2 * npairs + 1] = i;
-                npairs++;
-                acc = (req[i] + req[partner]) + acc;
-                memcpy(pmf, row, (size_t)rowlen * sizeof(double));
-                pmf_len = rowlen;
-                cur = t;
-                partner = -1;
-                base2_valid = 0;
-            }
-        }
-        i++;
-    }
-    state[0] = acc;
-    state[1] = cur;
-    counters[0] = considered;
-    counters[1] = evals;
-    return npairs;
-}
-"""
+def _read_source() -> str:
+    return _C_SOURCE_PATH.read_text(encoding="utf-8")
 
 # No -ffast-math ever; -ffp-contract=off forbids FMA fusing multiply-adds
 # so every C expression rounds exactly like the NumPy ufunc sequence.
@@ -278,9 +83,10 @@ def _cache_dir() -> Path:
 
 
 def _build_library(compiler: str) -> Path:
-    """Compile the embedded source to a cached .so, atomically."""
+    """Compile the shipped source to a cached .so, atomically."""
+    source = _read_source()
     tag = hashlib.sha256(
-        (_C_SOURCE + "\x00" + " ".join(_CFLAGS) + "\x00" + compiler).encode()
+        (source + "\x00" + " ".join(_CFLAGS) + "\x00" + compiler).encode()
     ).hexdigest()[:16]
     cache = _cache_dir()
     cache.mkdir(parents=True, exist_ok=True)
@@ -288,7 +94,7 @@ def _build_library(compiler: str) -> Path:
     if lib_path.exists():
         return lib_path
     src_path = cache / f"repro_kernels_{tag}.c"
-    src_path.write_text(_C_SOURCE, encoding="utf-8")
+    src_path.write_text(source, encoding="utf-8")
     tmp_path = cache / f".repro_kernels_{tag}.{os.getpid()}.so"
     cmd = [compiler, *_CFLAGS, "-o", str(tmp_path), str(src_path)]
     proc = subprocess.run(cmd, capture_output=True, text=True, timeout=120)

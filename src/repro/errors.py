@@ -26,6 +26,7 @@ __all__ = [
     "ProtocolError",
     "ServiceClosedError",
     "OverloadedError",
+    "StorageError",
 ]
 
 
@@ -116,6 +117,21 @@ class OverloadedError(ReproError):
 
     Carried on the wire as HTTP 503 with the stable code ``overloaded`` —
     backpressure made visible instead of unbounded memory growth.
+    """
+
+
+class StorageError(ReproError, RuntimeError):
+    """The durable pool catalog hit unrecoverable on-disk state.
+
+    Raised by :mod:`repro.storage` when recovery cannot produce a pool that
+    is provably identical to the pre-crash state — a snapshot whose content
+    hash disagrees with its manifest, or a WAL whose surviving records are
+    internally inconsistent.  A *torn tail* (truncated final record,
+    checksum mismatch at the end of the log) is **not** an error: recovery
+    rolls back to the last valid record and surfaces a
+    ``recovered_truncated`` counter instead.  This exception is reserved
+    for states where silently serving a pool could mean serving the wrong
+    pool.
     """
 
 

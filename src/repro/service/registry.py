@@ -85,13 +85,18 @@ class LivePool:
     Parameters
     ----------
     candidates:
-        Initial members.  The initial population counts as version 0, not as
-        one mutation per juror.
+        Initial members.  The initial population counts as version
+        ``start_version``, not as one mutation per juror.
     pool_id:
         Human-readable label (e.g. the registry name).
     rebuild_threshold:
         Fraction of the pool size that may mutate between profile repairs
         before delta repair gives way to a full rebuild.
+    start_version:
+        The version the initial population represents.  ``0`` for a fresh
+        pool; the snapshot version when the catalog rebuilds a pool from a
+        columnar snapshot, so replayed WAL records line up with the
+        versions they were logged under.
 
     Examples
     --------
@@ -111,10 +116,15 @@ class LivePool:
         *,
         pool_id: str | None = None,
         rebuild_threshold: float = DEFAULT_REBUILD_THRESHOLD,
+        start_version: int = 0,
     ) -> None:
         if not 0.0 < rebuild_threshold <= 1.0:
             raise ValueError(
                 f"rebuild_threshold must lie in (0, 1], got {rebuild_threshold!r}"
+            )
+        if start_version < 0:
+            raise ValueError(
+                f"start_version must be >= 0, got {start_version!r}"
             )
         self.pool_id = pool_id
         self.uid = f"livepool-{next(_pool_uid)}"
@@ -138,10 +148,14 @@ class LivePool:
         # the first (p + 1) // 2 frontier entries — intact).
         self._frontier: AnswerFrontier | None = None
         self._frontier_clean = 0
+        # Durability hook: when a catalog store is bound, every successful
+        # mutation is reported to it (post-bump, so the record carries the
+        # new version).  ``None`` keeps the pool purely in-memory.
+        self._store = None
         self.stats = LivePoolStats()
         for juror in candidates:
             self._insert(juror)
-        self._version = 0  # initial population is the birth state
+        self._version = start_version  # initial population is the birth state
 
     # ------------------------------------------------------------------
     # read access
@@ -216,12 +230,17 @@ class LivePool:
     def add_juror(self, juror: Juror) -> int:
         """Add a candidate; returns the new version.  O(n) per call."""
         self._insert(juror)
-        return self._bump()
+        version = self._bump()
+        if self._store is not None:
+            self._store.on_add(self, juror)
+        return version
 
     def remove_juror(self, juror_id: str) -> Juror:
         """Remove a candidate by id and return it.  O(n) per call."""
         juror = self._take(juror_id)
         self._bump()
+        if self._store is not None:
+            self._store.on_remove(self, juror_id)
         return juror
 
     def update_juror(
@@ -247,11 +266,24 @@ class LivePool:
         )
         self._take(juror_id)
         self._insert(replacement)
-        return self._bump()
+        version = self._bump()
+        if self._store is not None:
+            self._store.on_update(self, replacement)
+        return version
 
     def update_error_rate(self, juror_id: str, error_rate: float) -> int:
         """Drift a member's error-rate estimate; returns the new version."""
         return self.update_juror(juror_id, error_rate=error_rate)
+
+    def bind_store(self, store) -> None:
+        """Attach (or detach, with ``None``) a durable catalog store.
+
+        While bound, every successful mutation is reported to the store
+        *after* it is applied in memory, so the WAL only ever records
+        mutations the pool accepted.  The catalog binds a store after
+        create/recovery and detaches it on eviction and close.
+        """
+        self._store = store
 
     # ------------------------------------------------------------------
     # delta-maintained sweep profile
@@ -401,6 +433,12 @@ class LivePool:
 class PoolRegistry:
     """Named :class:`LivePool` namespace for the service layer.
 
+    By default the namespace is purely in-memory.  Constructed with a
+    :class:`repro.storage.PoolCatalog`, every operation delegates to the
+    catalog instead: creates and mutations are WAL-logged, lookups lazily
+    load (and crash-recover) pools from disk, and ``names()`` spans the
+    whole durable namespace — including pools not currently resident.
+
     Examples
     --------
     >>> from repro.core.juror import jurors_from_arrays
@@ -410,8 +448,14 @@ class PoolRegistry:
     True
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, catalog=None) -> None:
         self._pools: dict[str, LivePool] = {}
+        self._catalog = catalog
+
+    @property
+    def catalog(self):
+        """The bound :class:`~repro.storage.PoolCatalog`, or ``None``."""
+        return self._catalog
 
     def create(
         self,
@@ -426,6 +470,8 @@ class PoolRegistry:
         ``replace=True`` the previous pool is dropped first, and the new pool
         starts at version 0.
         """
+        if self._catalog is not None:
+            return self._catalog.create(name, candidates, replace=replace)
         if not isinstance(name, str) or not name:
             raise ValueError(f"pool name must be a non-empty string, got {name!r}")
         if name in self._pools and not replace:
@@ -435,7 +481,14 @@ class PoolRegistry:
         return pool
 
     def get(self, name: str) -> LivePool:
-        """The pool registered under ``name``; raises :class:`PoolNotFoundError`."""
+        """The pool registered under ``name``; raises :class:`PoolNotFoundError`.
+
+        Catalog-backed registries load the pool from disk on first access
+        (snapshot + WAL replay); the returned object is the same live pool
+        for every call while it stays resident.
+        """
+        if self._catalog is not None:
+            return self._catalog.open(name)
         try:
             return self._pools[name]
         except KeyError:
@@ -444,23 +497,55 @@ class PoolRegistry:
             ) from None
 
     def drop(self, name: str) -> LivePool:
-        """Unregister and return the pool under ``name``."""
+        """Unregister and return the pool under ``name``.
+
+        Catalog-backed registries tombstone the pool durably: a fsynced
+        ``drop`` record lands in the WAL before any file is reclaimed, so
+        the drop survives a crash and a restart cannot resurrect the pool.
+        """
+        if self._catalog is not None:
+            pool = self._catalog.open(name)
+            self._catalog.drop(name)
+            return pool
         pool = self.get(name)
         del self._pools[name]
         return pool
 
     def names(self) -> tuple[str, ...]:
-        """Registered pool names, in creation order."""
+        """Registered pool names — the full durable namespace when
+        catalog-backed (resident and cold alike), creation order otherwise."""
+        if self._catalog is not None:
+            return self._catalog.names()
         return tuple(self._pools)
 
+    def resident_pools(self) -> list[tuple[str, LivePool]]:
+        """The ``(name, pool)`` pairs currently held in memory.
+
+        For an in-memory registry this is everything; for a catalog-backed
+        one it is the LRU-resident subset — the set ``stats()`` reports on
+        without forcing thousands of cold pools off disk.
+        """
+        if self._catalog is not None:
+            return self._catalog.resident_items()
+        return list(self._pools.items())
+
     def __contains__(self, name: str) -> bool:
+        if self._catalog is not None:
+            return name in self._catalog
         return name in self._pools
 
     def __len__(self) -> int:
+        if self._catalog is not None:
+            return len(self._catalog)
         return len(self._pools)
 
     def __iter__(self) -> Iterator[LivePool]:
+        """Iterate the pools held in memory (resident subset if durable)."""
+        if self._catalog is not None:
+            return iter(pool for _, pool in self._catalog.resident_items())
         return iter(self._pools.values())
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self._catalog is not None:
+            return f"PoolRegistry(catalog={self._catalog!r})"
         return f"PoolRegistry(pools={list(self._pools)})"

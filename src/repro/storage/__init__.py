@@ -1,0 +1,48 @@
+"""Durable pool catalog: WAL + columnar snapshots + crash recovery.
+
+Public surface of the storage tier.  :class:`PoolCatalog` is what the
+service layer binds (``PoolRegistry(catalog=...)``, ``JuryService(
+data_dir=...)``, ``repro serve --data-dir``); the WAL and snapshot
+primitives are exported for tests and tooling.
+"""
+
+from repro.storage.catalog import (
+    DEFAULT_KEEP_SNAPSHOTS,
+    DEFAULT_MAX_RESIDENT,
+    DEFAULT_SNAPSHOT_INTERVAL,
+    CatalogStats,
+    PoolCatalog,
+    PoolStore,
+    pool_slug,
+)
+from repro.storage.snapshot import (
+    SNAPSHOT_PREFIX,
+    SnapshotData,
+    gc_snapshots,
+    list_snapshot_versions,
+    load_snapshot,
+    snapshot_dir,
+    write_snapshot,
+)
+from repro.storage.wal import MAGIC, WalScan, WalWriter, scan_wal
+
+__all__ = [
+    "DEFAULT_KEEP_SNAPSHOTS",
+    "DEFAULT_MAX_RESIDENT",
+    "DEFAULT_SNAPSHOT_INTERVAL",
+    "MAGIC",
+    "SNAPSHOT_PREFIX",
+    "CatalogStats",
+    "PoolCatalog",
+    "PoolStore",
+    "SnapshotData",
+    "WalScan",
+    "WalWriter",
+    "gc_snapshots",
+    "list_snapshot_versions",
+    "load_snapshot",
+    "pool_slug",
+    "scan_wal",
+    "snapshot_dir",
+    "write_snapshot",
+]

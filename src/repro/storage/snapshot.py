@@ -1,0 +1,242 @@
+"""Columnar pool snapshots: the analytical half of the durable catalog.
+
+A snapshot freezes one pool version as the same struct-of-arrays layout the
+plan layer executes over (:class:`repro.plan.view.PoolView`): ``eps.npy``
+and ``reqs.npy`` (float64, Lemma 3 order — bit-exact doubles, no text
+round-trip) plus ``ids.npy`` (fixed-width unicode), all inside a directory
+named for the pool version and described by a ``MANIFEST.json`` carrying
+the pool **fingerprint**, the member count and a CRC per blob.
+
+Write protocol (crash-safe without a journal):
+
+1. materialise the blobs in a hidden ``.tmp-*`` sibling directory,
+2. fsync every file,
+3. ``os.replace`` the temp directory to its final ``snap-<version>`` name
+   and fsync the parent directory.
+
+A crash leaves either no snapshot (temp dirs are garbage-collected on the
+next open) or a complete one — never a half-visible one.  Readers defend in
+depth anyway: :func:`load_snapshot` re-checksums every blob and recomputes
+the content fingerprint of the decoded members, refusing (so the catalog
+falls back to an older snapshot + longer WAL replay) rather than serving a
+pool that might not be the one that was saved.
+
+The float columns are loaded with ``np.load(..., mmap_mode="r")`` — the
+lazy-loading path that lets a catalog of thousands of pools open far more
+state than fits in RAM, paying page-ins only for pools actually queried.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import StorageError
+
+__all__ = [
+    "SNAPSHOT_PREFIX",
+    "SnapshotData",
+    "gc_snapshots",
+    "list_snapshot_versions",
+    "load_snapshot",
+    "snapshot_dir",
+    "write_snapshot",
+]
+
+SNAPSHOT_PREFIX = "snap-"
+_TMP_PREFIX = ".tmp-"
+_MANIFEST = "MANIFEST.json"
+_BLOBS = ("eps.npy", "reqs.npy", "ids.npy")
+
+
+@dataclass(frozen=True)
+class SnapshotData:
+    """A decoded, checksum-verified snapshot."""
+
+    version: int
+    fingerprint: str
+    eps: np.ndarray
+    reqs: np.ndarray
+    ids: tuple[str, ...]
+
+
+def snapshot_dir(pool_dir: Path, version: int) -> Path:
+    """The on-disk directory of the snapshot at ``version``."""
+    return pool_dir / f"{SNAPSHOT_PREFIX}{version:012d}"
+
+
+def list_snapshot_versions(pool_dir: Path) -> list[int]:
+    """Snapshot versions present under ``pool_dir``, newest first."""
+    versions: list[int] = []
+    try:
+        entries = list(pool_dir.iterdir())
+    except FileNotFoundError:
+        return versions
+    for entry in entries:
+        name = entry.name
+        if name.startswith(SNAPSHOT_PREFIX) and entry.is_dir():
+            try:
+                versions.append(int(name[len(SNAPSHOT_PREFIX):]))
+            except ValueError:
+                continue
+    versions.sort(reverse=True)
+    return versions
+
+
+def _fsync_file(path: Path) -> None:
+    fd = os.open(str(path), os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _fsync_dir(path: Path) -> None:
+    try:
+        fd = os.open(str(path), os.O_RDONLY)
+    except OSError:  # pragma: no cover - platforms without dir-open
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - filesystems refusing dir fsync
+        pass
+    finally:
+        os.close(fd)
+
+
+def write_snapshot(
+    pool_dir: Path,
+    *,
+    version: int,
+    fingerprint: str,
+    eps: np.ndarray,
+    reqs: np.ndarray,
+    ids: tuple[str, ...],
+) -> Path:
+    """Persist one pool version as a columnar snapshot; returns its dir.
+
+    The arrays must already be in Lemma 3 order (they come straight from
+    the live pool's cached columns).  Idempotent per version: re-writing an
+    existing version replaces it atomically.
+    """
+    target = snapshot_dir(pool_dir, version)
+    tmp = pool_dir / f"{_TMP_PREFIX}{target.name}.{os.getpid()}"
+    if tmp.exists():
+        shutil.rmtree(tmp)
+    tmp.mkdir(parents=True)
+    try:
+        arrays = {
+            "eps.npy": np.ascontiguousarray(eps, dtype=np.float64),
+            "reqs.npy": np.ascontiguousarray(reqs, dtype=np.float64),
+            "ids.npy": np.array(ids, dtype=np.str_)
+            if ids
+            else np.array([], dtype="U1"),
+        }
+        checksums: dict[str, int] = {}
+        for blob, array in arrays.items():
+            path = tmp / blob
+            np.save(path, array, allow_pickle=False)
+            checksums[blob] = zlib.crc32(path.read_bytes())
+            _fsync_file(path)
+        manifest = {
+            "v": 1,
+            "version": int(version),
+            "fingerprint": fingerprint,
+            "count": int(arrays["eps.npy"].size),
+            "checksums": checksums,
+        }
+        manifest_path = tmp / _MANIFEST
+        manifest_path.write_text(
+            json.dumps(manifest, indent=2) + "\n", encoding="utf-8"
+        )
+        _fsync_file(manifest_path)
+        if target.exists():
+            shutil.rmtree(target)
+        os.replace(tmp, target)
+    except BaseException:
+        shutil.rmtree(tmp, ignore_errors=True)
+        raise
+    _fsync_dir(pool_dir)
+    return target
+
+
+def load_snapshot(snap_dir: Path) -> SnapshotData:
+    """Load and verify one snapshot directory.
+
+    Raises :class:`~repro.errors.StorageError` on any integrity failure —
+    missing blob, checksum mismatch, manifest/blob disagreement.  The
+    caller (the catalog) treats that as "this snapshot does not exist" and
+    falls back to the next older one; the error is never served to a
+    client as pool state.
+    """
+    manifest_path = snap_dir / _MANIFEST
+    try:
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise StorageError(f"{snap_dir}: unreadable manifest: {exc}") from exc
+    if manifest.get("v") != 1:
+        raise StorageError(
+            f"{snap_dir}: unknown snapshot format {manifest.get('v')!r}"
+        )
+    checksums = manifest.get("checksums", {})
+    arrays: dict[str, np.ndarray] = {}
+    for blob in _BLOBS:
+        path = snap_dir / blob
+        try:
+            raw = path.read_bytes()
+        except OSError as exc:
+            raise StorageError(f"{snap_dir}: missing blob {blob}") from exc
+        if zlib.crc32(raw) != checksums.get(blob):
+            raise StorageError(f"{snap_dir}: checksum mismatch on {blob}")
+        # Float columns re-open memory-mapped: the checksum pass above has
+        # already touched the pages once, but the mapping (not the bytes
+        # copy) is what outlives this call inside the rebuilt pool view.
+        mmap_mode = "r" if blob != "ids.npy" else None
+        try:
+            arrays[blob] = np.load(
+                path, mmap_mode=mmap_mode, allow_pickle=False
+            )
+        except (OSError, ValueError) as exc:
+            raise StorageError(f"{snap_dir}: undecodable blob {blob}") from exc
+    eps, reqs, ids = arrays["eps.npy"], arrays["reqs.npy"], arrays["ids.npy"]
+    count = int(manifest.get("count", -1))
+    if not (eps.size == reqs.size == ids.size == count):
+        raise StorageError(
+            f"{snap_dir}: column sizes disagree with manifest "
+            f"({eps.size}/{reqs.size}/{ids.size} vs {count})"
+        )
+    return SnapshotData(
+        version=int(manifest["version"]),
+        fingerprint=str(manifest["fingerprint"]),
+        eps=eps,
+        reqs=reqs,
+        ids=tuple(str(i) for i in ids),
+    )
+
+
+def gc_snapshots(pool_dir: Path, *, keep: int = 2) -> int:
+    """Delete all but the ``keep`` newest snapshots (and any temp debris).
+
+    Returns the number of directories removed.  Older snapshots are pure
+    fallback depth: once a newer one has been loaded and verified, anything
+    beyond ``keep`` generations is reclaimable.
+    """
+    removed = 0
+    try:
+        entries = list(pool_dir.iterdir())
+    except FileNotFoundError:
+        return removed
+    for entry in entries:
+        if entry.name.startswith(_TMP_PREFIX):
+            shutil.rmtree(entry, ignore_errors=True)
+            removed += 1
+    for version in list_snapshot_versions(pool_dir)[max(keep, 0):]:
+        shutil.rmtree(snapshot_dir(pool_dir, version), ignore_errors=True)
+        removed += 1
+    return removed

@@ -7,11 +7,36 @@ in sync by construction.
 
 from __future__ import annotations
 
+import os
+import tempfile
+
 import numpy as np
 import pytest
 
 from repro.core.juror import Juror
 from repro.testing import DEFAULT_SEED, ORACLE_ATOL, PMF_ATOL
+
+
+@pytest.fixture(autouse=True)
+def _isolated_data_dir(monkeypatch):
+    """Give each test its own catalog directory under ``REPRO_DATA_DIR``.
+
+    CI runs the whole suite with ``REPRO_DATA_DIR`` set so every
+    ``JuryService()`` (and surface on top of it) transparently exercises the
+    durable catalog.  Pool names are only unique per test, so sharing one
+    directory across the run would collide; this fixture points each test at
+    a fresh subdirectory of the configured root.  A no-op when the variable
+    is unset — the default in-memory path stays the default.
+    """
+    root = os.environ.get("REPRO_DATA_DIR", "").strip()
+    if not root:
+        yield
+        return
+    os.makedirs(root, exist_ok=True)
+    monkeypatch.setenv(
+        "REPRO_DATA_DIR", tempfile.mkdtemp(prefix="case-", dir=root)
+    )
+    yield
 
 
 @pytest.fixture

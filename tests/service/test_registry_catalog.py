@@ -1,0 +1,93 @@
+"""PoolRegistry over a PoolCatalog: same semantics, durable behaviour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.juror import Juror
+from repro.errors import InvalidJuryError, PoolNotFoundError
+from repro.service import PoolRegistry
+from repro.storage import PoolCatalog
+
+
+def _j(e, i):
+    return Juror(e, 1.0, juror_id=i)
+
+
+SEED = [_j(0.1, "a"), _j(0.2, "b"), _j(0.3, "c")]
+
+
+@pytest.fixture
+def catalog(tmp_path):
+    cat = PoolCatalog(tmp_path / "cat")
+    yield cat
+    cat.close()
+
+
+def test_create_get_drop_parity_with_in_memory(catalog):
+    durable = PoolRegistry(catalog=catalog)
+    plain = PoolRegistry()
+    for registry in (durable, plain):
+        pool = registry.create("P", SEED)
+        assert registry.get("P") is pool
+        assert "P" in registry and len(registry) == 1
+        assert registry.names() == ("P",)
+        with pytest.raises(InvalidJuryError):
+            registry.create("P", SEED)
+        dropped = registry.drop("P")
+        assert dropped.pool_id == "P"
+        assert "P" not in registry
+        with pytest.raises(PoolNotFoundError):
+            registry.get("P")
+
+
+def test_mutations_survive_reopen(tmp_path):
+    cat = PoolCatalog(tmp_path)
+    registry = PoolRegistry(catalog=cat)
+    pool = registry.create("P", SEED)
+    pool.add_juror(_j(0.15, "d"))
+    pool.remove_juror("b")
+    fingerprint = pool.fingerprint
+    cat.close()
+
+    cat2 = PoolCatalog(tmp_path)
+    registry2 = PoolRegistry(catalog=cat2)
+    recovered = registry2.get("P")
+    assert recovered.fingerprint == fingerprint
+    assert recovered.version == 2
+    cat2.close()
+
+
+def test_names_spans_cold_pools_but_iter_stays_resident(tmp_path):
+    cat = PoolCatalog(tmp_path)
+    PoolRegistry(catalog=cat).create("P1", SEED)
+    cat.close()
+
+    cat2 = PoolCatalog(tmp_path)
+    registry = PoolRegistry(catalog=cat2)
+    registry.create("P2", SEED)
+    assert sorted(registry.names()) == ["P1", "P2"]
+    assert len(registry) == 2
+    # P1 is cold: listing and iteration must not page it in.
+    assert [name for name, _ in registry.resident_pools()] == ["P2"]
+    assert len(list(registry)) == 1
+    assert cat2.stats.lazy_loads == 0
+    registry.get("P1")
+    assert cat2.stats.lazy_loads == 1
+    cat2.close()
+
+
+def test_catalog_property_round_trip(catalog):
+    registry = PoolRegistry(catalog=catalog)
+    assert registry.catalog is catalog
+    assert PoolRegistry().catalog is None
+
+
+def test_drop_returns_pool_then_tombstones(catalog):
+    registry = PoolRegistry(catalog=catalog)
+    registry.create("P", SEED)
+    dropped = registry.drop("P")
+    assert dropped.size == 3
+    assert catalog.stats.tombstones == 1
+    with pytest.raises(PoolNotFoundError):
+        registry.drop("P")

@@ -1,0 +1,130 @@
+"""Columnar snapshot atomicity and verification.
+
+Snapshots must be all-or-nothing on disk and paranoid on load: any
+mutation of any blob (or of the manifest) must raise
+:class:`~repro.errors.StorageError` rather than decode to a slightly
+different pool.  Float columns must survive bit-exactly — they feed the
+sweep kernels whose outputs the bit-identity acceptance bar is measured on.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.snapshot import (
+    gc_snapshots,
+    list_snapshot_versions,
+    load_snapshot,
+    snapshot_dir,
+    write_snapshot,
+)
+
+EPS = np.array([0.1, 0.2, 1 / 3, 0.30000000000000004], dtype=np.float64)
+REQS = np.array([1.0, 0.25, 1e-17, 3.5], dtype=np.float64)
+IDS = ("a", "b", "long-juror-identifier", "d")
+
+
+def _write(pool_dir, version=7, fingerprint="fp-test"):
+    return write_snapshot(
+        pool_dir, version=version, fingerprint=fingerprint,
+        eps=EPS, reqs=REQS, ids=IDS,
+    )
+
+
+def test_roundtrip_bit_exact(tmp_path):
+    snap = _write(tmp_path)
+    data = load_snapshot(snap)
+    assert data.version == 7 and data.fingerprint == "fp-test"
+    assert np.array_equal(np.asarray(data.eps), EPS)  # bitwise: == on f64
+    assert np.array_equal(np.asarray(data.reqs), REQS)
+    assert data.ids == IDS
+
+
+def test_float_columns_are_memory_mapped(tmp_path):
+    data = load_snapshot(_write(tmp_path))
+    assert isinstance(data.eps, np.memmap)
+    assert isinstance(data.reqs, np.memmap)
+
+
+def test_empty_pool_snapshot(tmp_path):
+    snap = write_snapshot(
+        tmp_path, version=0, fingerprint="fp-empty",
+        eps=np.array([], dtype=np.float64),
+        reqs=np.array([], dtype=np.float64),
+        ids=(),
+    )
+    data = load_snapshot(snap)
+    assert data.ids == () and data.eps.size == 0
+
+
+def test_versions_listed_newest_first(tmp_path):
+    for version in (3, 11, 7):
+        _write(tmp_path, version=version)
+    assert list_snapshot_versions(tmp_path) == [11, 7, 3]
+
+
+@pytest.mark.parametrize("blob", ["eps.npy", "reqs.npy", "ids.npy"])
+def test_bit_flip_in_blob_detected(tmp_path, blob):
+    snap = _write(tmp_path)
+    target = snap / blob
+    data = bytearray(target.read_bytes())
+    data[-3] ^= 0x10
+    target.write_bytes(bytes(data))
+    with pytest.raises(StorageError, match="checksum"):
+        load_snapshot(snap)
+
+
+def test_missing_blob_detected(tmp_path):
+    snap = _write(tmp_path)
+    (snap / "reqs.npy").unlink()
+    with pytest.raises(StorageError, match="missing blob"):
+        load_snapshot(snap)
+
+
+def test_manifest_damage_detected(tmp_path):
+    snap = _write(tmp_path)
+    manifest = snap / "MANIFEST.json"
+    manifest.write_text(manifest.read_text()[:-20])
+    with pytest.raises(StorageError, match="manifest"):
+        load_snapshot(snap)
+
+
+def test_count_disagreement_detected(tmp_path):
+    snap = _write(tmp_path)
+    manifest = snap / "MANIFEST.json"
+    payload = json.loads(manifest.read_text())
+    payload["count"] = 3
+    # Re-checksum nothing: blobs still verify, only the count lies.
+    manifest.write_text(json.dumps(payload))
+    with pytest.raises(StorageError, match="sizes disagree"):
+        load_snapshot(snap)
+
+
+def test_rewrite_same_version_is_atomic_replace(tmp_path):
+    _write(tmp_path, version=5, fingerprint="first")
+    snap = _write(tmp_path, version=5, fingerprint="second")
+    assert load_snapshot(snap).fingerprint == "second"
+    assert list_snapshot_versions(tmp_path) == [5]
+
+
+def test_gc_keeps_newest_and_sweeps_tmp_debris(tmp_path):
+    for version in range(6):
+        _write(tmp_path, version=version)
+    debris = tmp_path / ".tmp-snap-000000000099.123"
+    debris.mkdir()
+    (debris / "eps.npy").write_bytes(b"partial")
+    removed = gc_snapshots(tmp_path, keep=2)
+    assert removed == 5  # four old snapshots + the tmp dir
+    assert list_snapshot_versions(tmp_path) == [5, 4]
+    assert not debris.exists()
+
+
+def test_snapshot_dir_naming_sorts_lexicographically(tmp_path):
+    assert snapshot_dir(tmp_path, 42).name == "snap-000000000042"
+    assert (
+        snapshot_dir(tmp_path, 9).name < snapshot_dir(tmp_path, 10).name
+    )  # zero-padding keeps lexicographic == numeric order
