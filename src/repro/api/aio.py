@@ -54,6 +54,7 @@ from dataclasses import replace
 from repro.api.protocol import PoolCommand, SelectionRequest, SelectionResponse
 from repro.api.service import JuryService
 from repro.errors import ServiceClosedError
+from repro.service.sched import balance_groups
 
 __all__ = ["AsyncJuryService"]
 
@@ -289,18 +290,34 @@ class AsyncJuryService:
 
         With a sharded engine the batch is partitioned by pool identity
         into up to ``workers`` parts answered by concurrent ``select_many``
-        threads (the engine's internal lock makes that safe); each part
-        still routes its payloads to the fingerprint-assigned shards, so
-        worker-cache affinity is preserved regardless of the split.
+        threads (the engine's internal lock makes that safe).  How pools
+        map to parts follows the engine's scheduling policy: under ``hash``
+        each pool key hashes to a fixed part (the oracle placement); under
+        ``cost`` the pool groups are LPT-balanced by request count
+        (:func:`repro.service.sched.balance_groups`), so a Zipf-popular
+        pool no longer drags its whole hash bucket's tail.  Either way the
+        engine's scheduler then places each part's payloads on shards, so
+        worker-cache affinity is preserved regardless of the fan-out split.
         """
         fanout = min(self._shard_fanout(), len(requests))
         if fanout <= 1:
             return await asyncio.to_thread(self._service.select_many, requests)
         parts: list[list[tuple[int, SelectionRequest]]] = [[] for _ in range(fanout)]
-        for position, request in enumerate(requests):
-            parts[hash(self._pool_key(request)) % fanout].append(
-                (position, request)
-            )
+        if self._service.engine.scheduler_policy == "cost":
+            groups: dict[object, list[tuple[int, SelectionRequest]]] = {}
+            for position, request in enumerate(requests):
+                groups.setdefault(self._pool_key(request), []).append(
+                    (position, request)
+                )
+            grouped = list(groups.values())
+            assignment = balance_groups([len(g) for g in grouped], fanout)
+            for group, part in zip(grouped, assignment):
+                parts[part].extend(group)
+        else:
+            for position, request in enumerate(requests):
+                parts[hash(self._pool_key(request)) % fanout].append(
+                    (position, request)
+                )
         parts = [part for part in parts if part]
         answered = await asyncio.gather(
             *(

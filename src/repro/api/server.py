@@ -30,7 +30,10 @@ Endpoints (all bodies are JSON; protocol shapes from :mod:`repro.api`):
     exact-enumeration batch.  Surfaces every cache tier: the prefix-sweep
     cache, the planner's memoised choice, and the answer frontier's
     hit/miss/build/repair/rebuild lifecycle (``frontier`` +
-    ``engine.frontier_hits``).
+    ``engine.frontier_hits``).  The ``scheduler`` block reports the shard
+    scheduling policy (``cost``/``hash``) with per-shard assigned cost,
+    busy seconds, steals, split sub-payloads and the realized
+    ``assigned_cost_skew``, so load balance is observable over HTTP.
 ``GET /healthz``
     Pure liveness: counters only, no engine, no locks, no threads.
 

@@ -100,6 +100,13 @@ class JuryService:
         Advanced: adopt an existing :class:`~repro.storage.PoolCatalog`
         instead of building one from ``data_dir``.  The caller keeps
         ownership (:meth:`close` flushes but does not close it).
+    scheduler:
+        Shard scheduling policy for the internally built engine: ``"cost"``
+        (planner-costed bin-packing with query splitting and stealing) or
+        ``"hash"`` (static fingerprint hashing, the oracle path).  When
+        omitted, the ``REPRO_SCHEDULER`` environment variable decides
+        (default ``cost``).  Selections are bit-identical under every
+        policy.
 
     Examples
     --------
@@ -123,6 +130,7 @@ class JuryService:
         max_workers: int | None = None,
         data_dir=None,
         catalog=None,
+        scheduler: str | None = None,
     ) -> None:
         if workers is not None and max_workers is not None:
             raise ValueError("pass either workers or max_workers, not both")
@@ -137,10 +145,15 @@ class JuryService:
         self._catalog = None
         self._owns_catalog = False
         if engine is not None:
-            if cache_size is not None or frontier_size is not None or workers is not None:
+            if (
+                cache_size is not None
+                or frontier_size is not None
+                or workers is not None
+                or scheduler is not None
+            ):
                 raise ValueError(
                     "pass either an engine or cache_size/frontier_size/"
-                    "workers, not both"
+                    "workers/scheduler, not both"
                 )
             if data_dir is not None or catalog is not None:
                 raise ValueError(
@@ -183,7 +196,10 @@ class JuryService:
             if frontier_size is not None:
                 options["frontier_size"] = frontier_size
             self._engine = BatchSelectionEngine(
-                max_workers=workers, registry=self._registry, **options
+                max_workers=workers,
+                registry=self._registry,
+                scheduler=scheduler,
+                **options,
             )
 
     @property
@@ -433,8 +449,13 @@ class JuryService:
         ``kernels`` block reports the compiled-kernel registry
         (:func:`repro.core.kernels.stats_snapshot`): requested/active
         backend, per-kernel dispatch counters, availability and the
-        measured crossovers.  Under sharded execution the payload gains
-        ``workers`` and a per-shard ``shards`` utilisation table.
+        measured crossovers.  The ``scheduler`` block
+        (:meth:`~repro.service.batch.BatchSelectionEngine.scheduler_stats`)
+        reports the placement policy, per-shard assigned cost / busy
+        seconds / steals / split sub-payloads / queue depth, and the
+        realized ``assigned_cost_skew`` (max/mean).  Under sharded
+        execution the payload additionally gains ``workers`` and the full
+        per-shard ``shards`` utilisation table.
 
         The per-pool listing covers the pools **in memory**: everything for
         an in-memory registry, the LRU-resident subset for a catalog-backed
@@ -488,8 +509,12 @@ class JuryService:
                 "shard_batches": engine.stats.shard_batches,
                 "frontier_hits": engine.stats.frontier_hits,
                 "kernel_backend": engine.stats.kernel_backend,
+                "scheduler_policy": engine.stats.scheduler_policy,
+                "split_queries": engine.stats.split_queries,
+                "stolen_units": engine.stats.stolen_units,
             },
             "kernels": kernels.stats_snapshot(),
+            "scheduler": engine.scheduler_stats(),
         }
         if self._catalog is not None:
             payload["catalog"] = self._catalog.stats_snapshot()

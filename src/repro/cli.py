@@ -127,6 +127,7 @@ from repro.api import (
 from repro.core import kernels
 from repro.core.juror import Juror
 from repro.errors import ReproError
+from repro.service.sched import SCHEDULER_POLICIES
 
 __all__ = [
     "load_candidates_csv",
@@ -248,6 +249,7 @@ def run_batch(args: argparse.Namespace) -> int:
     service = JuryService(
         workers=args.workers,
         frontier_size=0 if getattr(args, "no_frontier", False) else None,
+        scheduler=_apply_scheduler(args),
     )
     try:
         return _run_batch_rows(args, source, text, service)
@@ -401,6 +403,7 @@ def _build_batch_parser() -> argparse.ArgumentParser:
     )
     _add_no_frontier_flag(parser)
     _add_kernel_backend_flag(parser)
+    _add_scheduler_flag(parser)
     return parser
 
 
@@ -454,6 +457,35 @@ def _apply_kernel_backend(args: argparse.Namespace) -> None:
         return
     os.environ["REPRO_KERNEL_BACKEND"] = choice
     kernels.set_kernel_backend(choice)
+
+
+def _add_scheduler_flag(parser: argparse.ArgumentParser) -> None:
+    """The shard-scheduling policy selector shared by batch/serve/http."""
+    parser.add_argument(
+        "--scheduler",
+        choices=SCHEDULER_POLICIES,
+        default=None,
+        dest="scheduler",
+        help="shard scheduling policy: 'cost' bin-packs queries across "
+        "worker shards by planner cost (with exact-query splitting and "
+        "work stealing), 'hash' partitions statically by pool fingerprint; "
+        "selections are bit-identical under either policy "
+        "(default: REPRO_SCHEDULER env var, else cost)",
+    )
+
+
+def _apply_scheduler(args: argparse.Namespace) -> str | None:
+    """Pin the scheduling policy before the service is constructed.
+
+    Also exported through the environment so any late construction path
+    (and child processes) sees the same choice.  Returns the explicit
+    choice, or ``None`` to defer to ``REPRO_SCHEDULER``/the default.
+    """
+    choice = getattr(args, "scheduler", None)
+    if choice is None:
+        return None
+    os.environ["REPRO_SCHEDULER"] = choice
+    return choice
 
 
 # ----------------------------------------------------------------------
@@ -572,6 +604,7 @@ def run_serve(args: argparse.Namespace, *, stdin=None, stdout=None) -> int:
         workers=args.workers,
         frontier_size=0 if getattr(args, "no_frontier", False) else None,
         data_dir=getattr(args, "data_dir", None),
+        scheduler=_apply_scheduler(args),
     )
     try:
         return _serve_session(source, sink, service)
@@ -678,6 +711,7 @@ def _build_serve_parser() -> argparse.ArgumentParser:
     _add_data_dir_flag(parser)
     _add_no_frontier_flag(parser)
     _add_kernel_backend_flag(parser)
+    _add_scheduler_flag(parser)
     return parser
 
 
@@ -699,6 +733,7 @@ async def _serve_http(args: argparse.Namespace) -> int:
         workers=args.workers,
         frontier_size=0 if getattr(args, "no_frontier", False) else None,
         data_dir=getattr(args, "data_dir", None),
+        scheduler=_apply_scheduler(args),
     )
     server = HttpServer(
         service,
@@ -796,6 +831,7 @@ def _build_http_parser() -> argparse.ArgumentParser:
     _add_data_dir_flag(parser)
     _add_no_frontier_flag(parser)
     _add_kernel_backend_flag(parser)
+    _add_scheduler_flag(parser)
     return parser
 
 

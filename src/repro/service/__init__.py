@@ -11,8 +11,15 @@ restructures the execution path for that workload shape:
     fanned out across worker shards via a :class:`ShardedExecutor`.
 :class:`ShardedExecutor`
     Multi-process execution strategy: queries are planned in the parent and
-    executed across ``N`` worker processes partitioned by pool fingerprint,
-    each with a worker-local sweep cache (:mod:`repro.service.shard`).
+    executed across ``N`` worker processes, each with a worker-local sweep
+    cache (:mod:`repro.service.shard`).
+:class:`WorkScheduler`
+    The scheduling policy layer (:mod:`repro.service.sched`): ``cost``
+    bin-packs planned payloads across shards by planner cost estimates —
+    splitting heavy exact enumerations into candidate-range sub-payloads
+    and letting idle shards steal queued work — while ``hash`` reproduces
+    the static fingerprint partitioning.  Selections are bit-identical
+    under every policy.
 :class:`CandidatePool`
     An immutable, fingerprinted candidate set shareable across queries.
 :class:`LivePool` / :class:`PoolRegistry`
@@ -40,6 +47,7 @@ from repro.service.batch import BatchSelectionEngine, QueryOutcome, SelectionQue
 from repro.service.cache import PrefixSweepCache
 from repro.service.pool import CandidatePool, as_pool
 from repro.service.registry import LivePool, LivePoolStats, PoolRegistry
+from repro.service.sched import SCHEDULER_POLICIES, WorkScheduler
 from repro.service.shard import ShardedExecutor
 
 __all__ = [
@@ -51,6 +59,8 @@ __all__ = [
     "LivePoolStats",
     "PoolRegistry",
     "PrefixSweepCache",
+    "SCHEDULER_POLICIES",
     "ShardedExecutor",
+    "WorkScheduler",
     "as_pool",
 ]

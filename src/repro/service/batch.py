@@ -64,7 +64,7 @@ from repro.core.jer import batch_prefix_jer_sweep
 from repro.core.juror import Juror
 from repro.core.selection.base import SelectionResult
 from repro.plan import SelectionPlan, execute_plan, normalize_model, plan_query
-from repro.plan.cost import frontier_eligible
+from repro.plan.cost import frontier_eligible, plan_cost
 from repro.plan.frontier import (
     AnswerFrontier,
     FrontierCache,
@@ -73,10 +73,12 @@ from repro.plan.frontier import (
 from repro.service.cache import DEFAULT_CACHE_SIZE, PrefixSweepCache
 from repro.service.pool import CandidatePool
 from repro.service.registry import LivePool, PoolRegistry
+from repro.service.sched import WorkScheduler
 from repro.service.shard import (
     PlanPayload,
     PoolColumns,
     ShardedExecutor,
+    merge_split_answers,
     rebuild_result,
 )
 
@@ -215,6 +217,15 @@ class EngineStats:
     #: (``numpy``/``numba``/``native``) — resolved and warmed at engine
     #: construction so JIT/cc compile time never lands in query timings.
     kernel_backend: str = "numpy"
+    #: Shard scheduling policy in force (``cost`` or ``hash``); selections
+    #: are bit-identical under both, only placement/timing differ.
+    scheduler_policy: str = "cost"
+    #: Heavy exact-enumeration queries split into candidate-range
+    #: sub-payloads across shards (cost policy, sharded execution only).
+    split_queries: int = 0
+    #: Work units executed by a shard other than the one they were packed
+    #: onto (idle-shard stealing; cost policy only).
+    stolen_units: int = 0
 
 
 class BatchSelectionEngine:
@@ -250,6 +261,15 @@ class BatchSelectionEngine:
         ``pool_name`` queries are resolved.  Live pools contribute their
         delta-maintained sweep profiles on cache misses, so a churned pool
         costs one partial repair instead of a full engine-side sweep.
+    scheduler:
+        Shard scheduling policy: ``"cost"`` (planner-costed bin-packing
+        with query splitting and stealing), ``"hash"`` (static fingerprint
+        hashing, the oracle path), or ``None`` (default) to defer to the
+        ``REPRO_SCHEDULER`` environment variable (default ``cost``).
+        Selections are bit-identical under every policy; only placement and
+        timing differ.  Ignored without an executor, except that the
+        sequential path still reports its policy and single-slot
+        utilisation through :meth:`scheduler_stats`.
 
     Examples
     --------
@@ -269,11 +289,17 @@ class BatchSelectionEngine:
         max_workers: int | None = None,
         executor: ShardedExecutor | None = None,
         registry: PoolRegistry | None = None,
+        scheduler: str | None = None,
     ) -> None:
         if executor is not None and max_workers is not None:
             raise ValueError("pass either an executor or max_workers, not both")
         if executor is None and max_workers is not None and max_workers > 1:
             executor = ShardedExecutor(max_workers)
+        self._sched = WorkScheduler(scheduler)
+        # Sequential-path bookkeeping mirroring the per-shard counters, so
+        # scheduler_stats() is meaningful with and without an executor.
+        self._seq_assigned_cost = 0.0
+        self._seq_busy_seconds = 0.0
         self._cache = PrefixSweepCache(maxsize=cache_size)
         if frontier_size is None:
             frontier_size = frontier_cache_size_from_env()
@@ -288,7 +314,10 @@ class BatchSelectionEngine:
         # Activate (compile + bitwise-verify + warm) the configured kernel
         # backend up front: queries must never pay first-call compile cost,
         # and stats report the backend before the first query runs.
-        self.stats = EngineStats(kernel_backend=kernels.ensure_ready())
+        self.stats = EngineStats(
+            kernel_backend=kernels.ensure_ready(),
+            scheduler_policy=self._sched.policy,
+        )
 
     @property
     def cache(self) -> PrefixSweepCache:
@@ -309,6 +338,59 @@ class BatchSelectionEngine:
     def registry(self) -> PoolRegistry | None:
         """The registry ``pool_name`` queries resolve against (if any)."""
         return self._registry
+
+    @property
+    def scheduler_policy(self) -> str:
+        """The shard scheduling policy in force (``cost`` or ``hash``)."""
+        return self._sched.policy
+
+    def scheduler_stats(self) -> dict:
+        """The scheduler's view of realized load balance.
+
+        Returns the policy, per-shard placement counters (assigned
+        scheduling cost, realized busy seconds, steals, split sub-payloads,
+        queue depth high-water), the split/steal totals, and
+        ``assigned_cost_skew`` — max/mean per-shard assigned cost, the
+        number the cost policy exists to keep near 1.0 where hashing
+        skews.  Without an executor the sequential path reports one
+        virtual slot, so the block is always present and comparable.
+        """
+        if self._executor is not None:
+            keys = (
+                "shard",
+                "assigned_cost",
+                "busy_seconds",
+                "stolen",
+                "split_payloads",
+                "queue_depth",
+            )
+            per_shard = [
+                {key: slot[key] for key in keys}
+                for slot in self._executor.utilisation()
+            ]
+        else:
+            with self._lock:
+                per_shard = [
+                    {
+                        "shard": 0,
+                        "assigned_cost": self._seq_assigned_cost,
+                        "busy_seconds": self._seq_busy_seconds,
+                        "stolen": 0,
+                        "split_payloads": 0,
+                        "queue_depth": 0,
+                    }
+                ]
+        costs = [slot["assigned_cost"] for slot in per_shard]
+        mean = sum(costs) / len(costs) if costs else 0.0
+        skew = max(costs) / mean if mean > 0 else 1.0
+        return {
+            "policy": self._sched.policy,
+            "workers": len(per_shard),
+            "splits": self.stats.split_queries,
+            "steals": sum(slot["stolen"] for slot in per_shard),
+            "assigned_cost_skew": skew,
+            "per_shard": per_shard,
+        }
 
     def invalidate_profile(self, fingerprint: str) -> None:
         """Evict a pool's cached answers everywhere they may live.
@@ -566,13 +648,20 @@ class BatchSelectionEngine:
                     if raise_errors:
                         raise
                     outcomes[index].exception = exc
-        answers = self._executor.run_batch(payloads, blocks)
+        # Placement policy: the scheduler turns the planned payloads into
+        # per-shard work units (bin-packed + split under "cost", the static
+        # fingerprint hash under "hash"); the executor runs them (stealing
+        # only under "cost") and split sub-answers fold back to one answer
+        # per query before inflation.
+        units, splits = self._sched.build(payloads, blocks, self._executor)
+        raw_answers, report = self._executor.run_schedule(
+            units, steal=self._sched.steal_enabled
+        )
+        answers = merge_split_answers(raw_answers, units, blocks)
         with self._lock:
-            shards = {
-                self._executor.shard_of(payload.fingerprint)
-                for _, payload in payloads
-            }
-            self.stats.shard_batches += len(shards)
+            self.stats.shard_batches += report.shards_used
+            self.stats.split_queries += splits
+            self.stats.stolen_units += report.steals
             pools = {index: pool for index, _, pool, _ in items}
             for index, answer, elapsed in answers:
                 outcomes[index].elapsed_seconds = elapsed
@@ -664,16 +753,17 @@ class BatchSelectionEngine:
         for index, query, pool, _ in items:
             start = time.perf_counter()
             try:
-                result = execute_plan(
-                    self._plan_for(query, pool),
-                    profile=profiles[pool.fingerprint],
-                )
+                plan = self._plan_for(query, pool)
+                self._seq_assigned_cost += plan_cost(plan)
+                result = execute_plan(plan, profile=profiles[pool.fingerprint])
             except Exception as exc:
+                self._seq_busy_seconds += time.perf_counter() - start
                 if raise_errors:
                     raise
                 outcomes[index].exception = exc
                 continue
             elapsed = time.perf_counter() - start
+            self._seq_busy_seconds += elapsed
             result.stats.elapsed_seconds = elapsed
             outcomes[index].result = result
             outcomes[index].elapsed_seconds = elapsed
@@ -690,12 +780,16 @@ class BatchSelectionEngine:
         for index, query, pool, _ in items:
             start = time.perf_counter()
             try:
-                result = execute_plan(self._plan_for(query, pool))
+                plan = self._plan_for(query, pool)
+                self._seq_assigned_cost += plan_cost(plan)
+                result = execute_plan(plan)
             except Exception as exc:
+                self._seq_busy_seconds += time.perf_counter() - start
                 if raise_errors:
                     raise
                 outcomes[index].exception = exc
                 continue
             elapsed = time.perf_counter() - start
+            self._seq_busy_seconds += elapsed
             outcomes[index].result = result
             outcomes[index].elapsed_seconds = elapsed

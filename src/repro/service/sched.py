@@ -1,0 +1,352 @@
+"""Cost-aware shard scheduling: the placement *policy* layer.
+
+:mod:`repro.service.shard` provides the mechanism — :class:`~repro.service.shard.WorkUnit`
+batches executed by :meth:`~repro.service.shard.ShardedExecutor.run_schedule`
+with optional stealing, and bit-identical merging of split exact
+enumerations.  This module decides *what the units are*:
+
+``hash`` policy (the oracle path)
+    Exactly the pre-scheduler dispatch: one unit per
+    ``shard_of(fingerprint)`` shard, no splitting, no stealing.  Kept
+    selectable forever so the cost policy always has an in-tree behavioural
+    oracle.
+
+``cost`` policy (default)
+    Payloads are grouped by pool fingerprint (so worker-local sweep caches
+    and stacked sweeps keep working), each group weighted by the planner's
+    calibrated :func:`repro.plan.cost.plan_cost` estimate, and the groups
+    bin-packed across shards by LPT (longest-processing-time-first: sort by
+    descending weight, always place on the least-loaded shard).  Ties break
+    toward ``shard_of(fingerprint)`` — on a balanced stream the cost policy
+    therefore *degenerates to* fingerprint hashing and worker caches stay
+    hot; only genuine skew moves work.  Heavy exact enumerations are
+    **split** into candidate-range sub-payloads
+    (:func:`enumeration_split_ranges` balances the ranges by their exact
+    combination counts) that fan out across shards and merge bit-identically
+    in the parent.  Each shard's groups coalesce into at most
+    :data:`MAX_UNITS_PER_SHARD` units so there is still something to
+    **steal** when a queue drains early.
+
+Everything here is deterministic: weights come from the pure cost model,
+LPT order is total (weight, then arrival), and placement cannot affect
+answers — only timing.  The policy is selected per engine via
+``BatchSelectionEngine(scheduler=...)``, the ``REPRO_SCHEDULER`` env var, or
+``--scheduler`` on the CLI entry points.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from collections.abc import Sequence
+from dataclasses import replace
+
+from repro.core.selection.exact import _ENUMERATION_LIMIT
+from repro.plan.cost import plan_cost
+from repro.service.shard import (
+    PlanPayload,
+    PoolColumns,
+    ShardedExecutor,
+    WorkUnit,
+    hash_units,
+)
+
+__all__ = [
+    "DEFAULT_SCHEDULER_POLICY",
+    "MAX_UNITS_PER_SHARD",
+    "SCHEDULER_ENV_VAR",
+    "SCHEDULER_POLICIES",
+    "SPLIT_MIN_COST",
+    "WorkScheduler",
+    "balance_groups",
+    "enumeration_split_ranges",
+    "scheduler_policy_from_env",
+]
+
+#: Environment variable selecting the scheduling policy for services that
+#: are not given one explicitly (mirrors ``REPRO_WORKERS`` / ``REPRO_KERNEL_BACKEND``).
+SCHEDULER_ENV_VAR = "REPRO_SCHEDULER"
+
+SCHEDULER_POLICIES = ("cost", "hash")
+
+DEFAULT_SCHEDULER_POLICY = "cost"
+
+#: Minimum :func:`plan_cost` weight before a heavy ``exact-enumerate`` query
+#: is split into candidate-range sub-payloads.  5e4 ops corresponds to an
+#: affordable candidate count around 12 — below that a split's dispatch
+#: overhead exceeds the enumeration itself.
+SPLIT_MIN_COST = 5e4
+
+#: Ceiling on how many work units one shard's groups coalesce into.  More
+#: units mean finer-grained stealing; fewer mean bigger stacked sweeps and
+#: less dispatch overhead.  Four keeps both within ~25% of their best.
+MAX_UNITS_PER_SHARD = 4
+
+
+def scheduler_policy_from_env() -> str:
+    """The ``REPRO_SCHEDULER`` policy, or the default when unset/invalid.
+
+    Lenient like the other env knobs: services must come up even under a
+    stale or mistyped environment, so unrecognised values fall back to the
+    default rather than raising.
+    """
+    raw = os.environ.get(SCHEDULER_ENV_VAR, "")
+    policy = raw.strip().lower()
+    return policy if policy in SCHEDULER_POLICIES else DEFAULT_SCHEDULER_POLICY
+
+
+def _first_index_weights(n_eff: int, limit: int) -> list[float]:
+    """Exact per-first-index work of the range-partitioned enumeration.
+
+    A combination whose smallest member is index ``f`` chooses its remaining
+    ``k - 1`` members from the ``n_eff - 1 - f`` candidates above ``f``; at
+    size ``k`` that is ``C(n_eff - 1 - f, k - 1)`` combinations, each costing
+    ``k^2`` pmf-extension work — the same per-combination model
+    :func:`repro.plan.cost._enumeration_ops` uses, so range weights and the
+    plan's total estimate are consistent.
+    """
+    weights: list[float] = []
+    for first in range(n_eff):
+        above = n_eff - 1 - first
+        total = 0.0
+        for k in range(1, limit + 1, 2):
+            if k - 1 > above:
+                break
+            total += math.comb(above, k - 1) * k * k
+        weights.append(total)
+    return weights
+
+
+def enumeration_split_ranges(
+    n_eff: int, limit: int, parts: int
+) -> list[tuple[int, int]]:
+    """Partition ``[0, n_eff)`` first-indices into ~equal-work ranges.
+
+    Enumeration work is extremely front-loaded (index 0 anchors nearly half
+    of all combinations), so equal-width ranges would be useless; this
+    greedily cuts the exact per-index weight profile so every range carries
+    about ``1/parts`` of the remaining work.  Always returns non-empty,
+    contiguous, disjoint ranges covering ``[0, n_eff)`` — the partition
+    property the bit-identical merge depends on.
+    """
+    parts = max(1, min(parts, n_eff))
+    if parts == 1:
+        return [(0, n_eff)]
+    weights = _first_index_weights(n_eff, limit)
+    total = sum(weights)
+    if total <= 0:
+        return [(0, n_eff)]
+    ranges: list[tuple[int, int]] = []
+    lo = 0
+    consumed = 0.0
+    for part in range(parts - 1):
+        target = (total - consumed) / (parts - part)
+        hi = lo
+        acc = 0.0
+        # Leave at least one index for each remaining range.
+        while hi < n_eff - (parts - 1 - part) and acc < target:
+            acc += weights[hi]
+            hi += 1
+        if hi == lo:
+            hi = lo + 1
+            acc = weights[lo]
+        ranges.append((lo, hi))
+        consumed += acc
+        lo = hi
+    ranges.append((lo, n_eff))
+    return [r for r in ranges if r[0] < r[1]]
+
+
+def balance_groups(weights: Sequence[float], parts: int) -> list[int]:
+    """LPT assignment of weighted groups to ``parts`` bins.
+
+    Returns the bin index per group (aligned with ``weights``).
+    Deterministic: groups are placed in descending-weight order (arrival
+    order within equal weights) on the currently lightest bin (lowest index
+    within equal loads).  Used for shard bin-packing and the async drainer's
+    fan-out.
+    """
+    parts = max(1, parts)
+    loads = [0.0] * parts
+    assignment = [0] * len(weights)
+    order = sorted(range(len(weights)), key=lambda g: (-weights[g], g))
+    for g in order:
+        bin_index = min(range(parts), key=lambda p: (loads[p], p))
+        assignment[g] = bin_index
+        loads[bin_index] += weights[g]
+    return assignment
+
+
+class _Group:
+    """One indivisible scheduling group: payloads that must share a unit."""
+
+    __slots__ = ("fingerprint", "payloads", "weight", "seq")
+
+    def __init__(self, fingerprint: str, seq: int) -> None:
+        self.fingerprint = fingerprint
+        self.payloads: list[tuple[int, PlanPayload]] = []
+        self.weight = 0.0
+        self.seq = seq
+
+
+class WorkScheduler:
+    """Turns a planned batch into placed :class:`WorkUnit`s under a policy.
+
+    Stateless between calls (balancing is per batch, so a one-query batch
+    always lands on its affinity shard and worker caches stay hot); safe to
+    share across the async drainer's fan-out threads.
+    """
+
+    def __init__(self, policy: str | None = None) -> None:
+        if policy is None:
+            policy = scheduler_policy_from_env()
+        else:
+            policy = policy.strip().lower()
+            if policy not in SCHEDULER_POLICIES:
+                raise ValueError(
+                    f"unknown scheduler policy {policy!r}; "
+                    f"expected one of {SCHEDULER_POLICIES}"
+                )
+        self._policy = policy
+
+    @property
+    def policy(self) -> str:
+        return self._policy
+
+    @property
+    def steal_enabled(self) -> bool:
+        """Whether :meth:`~ShardedExecutor.run_schedule` should steal."""
+        return self._policy == "cost"
+
+    def build(
+        self,
+        payloads: Sequence[tuple[int, PlanPayload]],
+        blocks: dict[str, PoolColumns],
+        executor: ShardedExecutor,
+    ) -> tuple[list[WorkUnit], int]:
+        """Assemble work units for one batch; returns ``(units, splits)``.
+
+        ``splits`` counts the queries that were split into candidate-range
+        sub-payloads (0 under ``hash``, or whenever nothing is heavy enough).
+        """
+        if not payloads:
+            return [], 0
+        if self._policy == "hash" or executor.workers <= 1:
+            return hash_units(executor, payloads, blocks), 0
+
+        workers = executor.workers
+        # Phase 1 — split heavy exact enumerations into range sub-payloads.
+        splits = 0
+        groups: dict[object, _Group] = {}
+        can_split = not executor.in_process
+        for key, payload in payloads:
+            parts = self._split_payload(payload, workers) if can_split else None
+            if parts is not None:
+                splits += 1
+                for sub_payload, sub_weight in parts:
+                    group = _Group(payload.fingerprint, len(groups))
+                    group.payloads.append((key, sub_payload))
+                    group.weight = sub_weight
+                    groups[("split", key, sub_payload.split)] = group
+                continue
+            group = groups.get(("pool", payload.fingerprint))
+            if group is None:
+                group = _Group(payload.fingerprint, len(groups))
+                groups[("pool", payload.fingerprint)] = group
+            weight = plan_cost(payload)
+            if payload.operator == "altr-sweep" and any(
+                p.operator == "altr-sweep" for _, p in group.payloads
+            ):
+                # The pool's sweep runs once per unit however many AltrM
+                # queries reference it; repeats only pay the frontier-style
+                # profile scan.
+                weight = max(1.0, payload.cost.pool_size / 2.0)
+            group.payloads.append((key, payload))
+            group.weight += weight
+
+        # Phase 2 — LPT bin-packing of groups onto shards, fingerprint
+        # affinity as the tie-break so a balanced stream degenerates to
+        # hashing (and worker-local caches keep hitting).
+        ordered = sorted(groups.values(), key=lambda g: (-g.weight, g.seq))
+        loads = [0.0] * workers
+        placed: list[list[_Group]] = [[] for _ in range(workers)]
+        for group in ordered:
+            lightest = min(loads)
+            affinity = executor.shard_of(group.fingerprint)
+            if loads[affinity] <= lightest:
+                shard = affinity
+            else:
+                shard = min(range(workers), key=lambda s: (loads[s], s))
+            placed[shard].append(group)
+            loads[shard] += group.weight
+
+        # Phase 3 — coalesce each shard's groups into at most
+        # MAX_UNITS_PER_SHARD units (groups never split across units), so
+        # stacked sweeps stay batched but queues keep something stealable.
+        units: list[WorkUnit] = []
+        for shard, shard_groups in enumerate(placed):
+            if not shard_groups:
+                continue
+            n_units = min(MAX_UNITS_PER_SHARD, len(shard_groups))
+            buckets = balance_groups([g.weight for g in shard_groups], n_units)
+            by_bucket: list[list[_Group]] = [[] for _ in range(n_units)]
+            for group, bucket in zip(shard_groups, buckets):
+                by_bucket[bucket].append(group)
+            for bucket_groups in by_bucket:
+                if not bucket_groups:
+                    continue
+                unit_payloads = [
+                    item
+                    for group in sorted(bucket_groups, key=lambda g: g.seq)
+                    for item in group.payloads
+                ]
+                unit_blocks = {
+                    payload.fingerprint: blocks[payload.fingerprint]
+                    for _, payload in unit_payloads
+                }
+                units.append(
+                    WorkUnit(
+                        shard=shard,
+                        payloads=unit_payloads,
+                        blocks=unit_blocks,
+                        cost=sum(g.weight for g in bucket_groups),
+                    )
+                )
+        return units, splits
+
+    def _split_payload(
+        self, payload: PlanPayload, workers: int
+    ) -> list[tuple[PlanPayload, float]] | None:
+        """Range sub-payloads (with weights) for a heavy exact enumeration.
+
+        Only ``exact-enumerate`` plans split — their first-index axis
+        partitions exactly — and only when the whole query is heavy enough
+        and small enough that every sub-range executes the same guarded
+        enumeration the unsplit operator would (``n_eff`` within the
+        enumerator's N <= 20 limit; beyond it the unsplit payload raises in
+        the worker, and a split must fail identically — so it must not
+        split).
+        """
+        if self._policy != "cost" or workers <= 1:
+            return None
+        if payload.operator != "exact-enumerate" or payload.split is not None:
+            return None
+        n_eff = int(getattr(payload.cost, "affordable", 0))
+        if n_eff < 4 or n_eff > _ENUMERATION_LIMIT:
+            return None
+        total_cost = plan_cost(payload)
+        if total_cost < SPLIT_MIN_COST:
+            return None
+        limit = n_eff if payload.max_size is None else min(payload.max_size, n_eff)
+        ranges = enumeration_split_ranges(n_eff, limit, min(workers, 8))
+        if len(ranges) <= 1:
+            return None
+        weights = _first_index_weights(n_eff, limit)
+        total_weight = sum(weights) or 1.0
+        parts: list[tuple[PlanPayload, float]] = []
+        for lo, hi in ranges:
+            fraction = sum(weights[lo:hi]) / total_weight
+            parts.append(
+                (replace(payload, split=(lo, hi)), max(1.0, total_cost * fraction))
+            )
+        return parts

@@ -13,19 +13,31 @@ ship :class:`PlanPayload`                from the payload's columns,
 (columnar eps/reqs/ids arrays,           ``execute_plan()`` with the
 never pickled ``Juror`` lists)           worker-local :class:`PrefixSweepCache`
 
-Work is partitioned by **pool fingerprint**: :meth:`ShardedExecutor.shard_of`
-hashes the content fingerprint onto one of ``N`` shards, and each shard is a
-dedicated single-process ``ProcessPoolExecutor`` — so the same pool always
-lands on the same worker, whose local cache already holds its sweep profile.
-Inside one shard batch, cache-missing AltrM pools of equal size are stacked
-and swept together by :func:`repro.core.jer.batch_prefix_jer_sweep`, exactly
-like the in-process batch engine.
+Work placement is a *policy* decided above this module: the scheduling layer
+(:mod:`repro.service.sched`) assembles :class:`WorkUnit`s — per-shard batches
+of payloads plus the pool blocks they reference — and :meth:`run_schedule`
+executes them.  Under the ``hash`` policy every payload lands on
+:meth:`ShardedExecutor.shard_of` (the content fingerprint hashed onto one of
+``N`` shards, each a dedicated single-worker ``ProcessPoolExecutor``); under
+the ``cost`` policy units are bin-packed by planner cost estimates with
+fingerprint affinity as the tie-break, heavy exact enumerations are **split**
+into candidate-range sub-payloads (merged bit-identically here, by
+:func:`merge_split_answers`), and an idle shard **steals** queued units from
+the heaviest queue.  Inside one unit, cache-missing AltrM pools of equal size
+are stacked and swept together by
+:func:`repro.core.jer.batch_prefix_jer_sweep`, exactly like the in-process
+batch engine.
 
 **Bit-identity.**  Workers run the *same* ``execute_plan()`` over the same
 columnar view and the same stacked sweep kernel the sequential engine uses,
 and the plan (operator + backends) was fixed in the parent — so sharded
-selections are bit-identical to sequential dispatch by construction, and the
-oracle tests assert it.
+selections are bit-identical to sequential dispatch by construction
+*regardless of which shard executes a unit* (results depend only on the
+payload and its pool block, never on placement), and the oracle tests assert
+it under every scheduling policy.  Split enumerations partition the
+first-candidate-index axis and the parent folds the partial winners with the
+enumerator's own comparator, so merged answers — winners and summed
+counters — equal the unsplit run's.
 
 **Shared worker pools.**  By default every :class:`ShardedExecutor` with the
 same worker count shares one process-global set of shard processes (worker
@@ -51,15 +63,19 @@ flag off (production), such task ids execute normally.
 from __future__ import annotations
 
 import atexit
+import math
 import os
 import threading
 import time
+from collections import deque
 from collections.abc import Sequence
 from concurrent.futures import (
+    FIRST_COMPLETED,
     BrokenExecutor,
     CancelledError,
     Future,
     ProcessPoolExecutor,
+    wait,
 )
 from dataclasses import dataclass
 
@@ -68,15 +84,22 @@ import numpy as np
 from repro.core.jer import batch_prefix_jer_sweep
 from repro.core.juror import Jury
 from repro.core.selection.base import SelectionResult, SelectionStats
-from repro.errors import ReproError
+from repro.core.selection.exact import enumerate_best_in_range
+from repro.errors import InfeasibleSelectionError, ReproError
 from repro.plan import SelectionPlan, execute_plan
+from repro.plan.cost import plan_cost
 from repro.plan.view import PoolView
 from repro.service.cache import DEFAULT_CACHE_SIZE, PrefixSweepCache
 
 __all__ = [
     "PlanPayload",
     "PoolColumns",
+    "PartialEnumResult",
+    "ScheduleReport",
     "ShardedExecutor",
+    "WorkUnit",
+    "hash_units",
+    "merge_split_answers",
     "shutdown_shared_pools",
     "FAULT_MARKER",
 ]
@@ -172,6 +195,13 @@ class PlanPayload:
     #: a sharded query dispatches exactly like in-process execution would
     #: (defaulted so payloads pickled by older parents still inflate).
     kernel_backend: str = "numpy"
+    #: Candidate-range ``[lo, hi)`` of affordable-subview *first* indices this
+    #: sub-payload enumerates — set by the cost scheduler when it splits a
+    #: heavy ``exact-enumerate`` query across shards; ``None`` (default)
+    #: executes the whole plan.  Split answers come back as
+    #: :class:`PartialEnumResult` and are folded by
+    #: :func:`merge_split_answers`.
+    split: tuple[int, int] | None = None
 
     @classmethod
     def from_plan(cls, plan: SelectionPlan, *, fingerprint: str) -> "PlanPayload":
@@ -231,6 +261,24 @@ class CompactResult:
     algorithm: str
     model: str
     budget: float | None
+    stats: SelectionStats
+
+
+@dataclass(frozen=True)
+class PartialEnumResult:
+    """One shard's slice of a split exact enumeration.
+
+    ``indices`` are *full-pool* positions of the best feasible jury whose
+    smallest affordable-subview index falls in ``[lo, hi)`` — or ``None``
+    when the range holds no feasible jury (not an error: the parent raises
+    the enumerator's ``InfeasibleSelectionError`` only once every range of
+    the partition comes back empty).
+    """
+
+    lo: int
+    hi: int
+    indices: tuple[int, ...] | None
+    jer: float
     stats: SelectionStats
 
 
@@ -343,33 +391,64 @@ def _compact(
     )
 
 
+def _execute_split_payload(
+    payload: PlanPayload, columns: PoolColumns
+) -> PartialEnumResult:
+    """Enumerate one candidate-range slice of a split exact query.
+
+    Rebuilds the same budget-affordable subview the unsplit operator would
+    (``execute_plan``'s exact path enumerates over ``_affordable_subview``),
+    runs :func:`enumerate_best_in_range` on this sub-payload's first-index
+    range, and maps the winner's subview positions back to full-pool
+    positions.  Affordability-infeasible pools raise here exactly as the
+    unsplit operator would — every sibling range raises the identical error,
+    and the parent propagates the first.
+    """
+    from repro.plan.operators import _affordable_subview
+
+    view = columns.to_view()
+    sub = _affordable_subview(view, payload.budget)
+    lo, hi = payload.split  # type: ignore[misc]
+    indices, jer, stats = enumerate_best_in_range(
+        sub, payload.budget, max_size=payload.max_size, first_lo=lo, first_hi=hi
+    )
+    if indices is not None and sub is not view:
+        positions = np.nonzero(np.asarray(view.reqs) <= payload.budget)[0]
+        indices = tuple(int(positions[i]) for i in indices)
+    return PartialEnumResult(lo=lo, hi=hi, indices=indices, jer=jer, stats=stats)
+
+
 def _execute_shard_batch(
     payloads: Sequence[tuple[int, PlanPayload]],
     blocks: dict[str, PoolColumns],
-) -> list[tuple[int, CompactResult | BaseException, float]]:
+) -> list[tuple[int, CompactResult | PartialEnumResult | BaseException, float]]:
     """Execute one shard batch; one ``(key, result | exception, elapsed)``
     triple per payload, failures captured per item so a bad query never
-    poisons its shard batch."""
+    poisons its shard batch.  Split sub-payloads answer with
+    :class:`PartialEnumResult` triples (several per key) that the parent
+    folds via :func:`merge_split_answers`."""
     profiles = _local_profiles(payloads, blocks)
     # One reconstructed view per distinct pool: queries sharing a pool also
     # share its lazily materialised Juror tuple inside the worker.
     views: dict[str, PoolView] = {}
-    answers: list[tuple[int, CompactResult | BaseException, float]] = []
+    answers: list[tuple[int, CompactResult | PartialEnumResult | BaseException, float]] = []
     for key, payload in payloads:
         start = time.perf_counter()
         try:
             if payload.fault is not None:
                 _raise_injected_fault(payload.fault)
             fingerprint = payload.fingerprint
-            view = views.get(fingerprint)
-            if view is None:
-                view = views.setdefault(fingerprint, blocks[fingerprint].to_view())
-            result = execute_plan(
-                payload.to_plan(view), profile=profiles.get(fingerprint)
-            )
-            answer: CompactResult | BaseException = _compact(
-                payload, blocks[fingerprint], result
-            )
+            answer: CompactResult | PartialEnumResult | BaseException
+            if payload.split is not None:
+                answer = _execute_split_payload(payload, blocks[fingerprint])
+            else:
+                view = views.get(fingerprint)
+                if view is None:
+                    view = views.setdefault(fingerprint, blocks[fingerprint].to_view())
+                result = execute_plan(
+                    payload.to_plan(view), profile=profiles.get(fingerprint)
+                )
+                answer = _compact(payload, blocks[fingerprint], result)
         except Exception as exc:
             answer = exc
         answers.append((key, answer, time.perf_counter() - start))
@@ -396,6 +475,180 @@ def _local_cache_stats() -> dict:
 def _local_cache_contains(fingerprint: str) -> bool:
     with _LOCAL_CACHE_LOCK:
         return fingerprint in _LOCAL_CACHE
+
+
+# ----------------------------------------------------------------------
+# parent side — work units and split-result merging (mechanism; the
+# placement *policy* lives in repro.service.sched)
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class WorkUnit:
+    """One schedulable batch: payloads plus the pool blocks they reference.
+
+    ``shard`` is the unit's *assigned* shard (affinity under ``hash``,
+    bin-packed under ``cost``); stealing may execute it elsewhere.  ``cost``
+    is the scheduler's summed :func:`repro.plan.cost.plan_cost` weight —
+    what the assigned-cost counters and steal-victim choice operate on.
+    """
+
+    shard: int
+    payloads: list[tuple[int, PlanPayload]]
+    blocks: dict[str, PoolColumns]
+    cost: float = 0.0
+
+
+@dataclass
+class ScheduleReport:
+    """What one :meth:`ShardedExecutor.run_schedule` call did."""
+
+    steals: int = 0
+    fallback_units: int = 0
+    shards_used: int = 0
+
+
+def hash_units(
+    executor: "ShardedExecutor",
+    payloads: Sequence[tuple[int, PlanPayload]],
+    blocks: dict[str, PoolColumns],
+) -> list[WorkUnit]:
+    """The static-hash placement as work units: one unit per
+    :meth:`~ShardedExecutor.shard_of` shard, payloads in arrival order.
+
+    This is the pre-scheduler dispatch exactly (the ``hash`` oracle policy);
+    :meth:`ShardedExecutor.run_batch` and the scheduler's hash path both
+    build through here.
+    """
+    groups: dict[int, list[tuple[int, PlanPayload]]] = {}
+    for key, payload in payloads:
+        groups.setdefault(executor.shard_of(payload.fingerprint), []).append(
+            (key, payload)
+        )
+    units = []
+    for shard, batch in groups.items():
+        shard_blocks = {
+            payload.fingerprint: blocks[payload.fingerprint] for _, payload in batch
+        }
+        units.append(
+            WorkUnit(
+                shard=shard,
+                payloads=batch,
+                blocks=shard_blocks,
+                cost=sum(plan_cost(payload) for _, payload in batch),
+            )
+        )
+    return units
+
+
+def _split_improves(
+    jer: float,
+    indices: tuple[int, ...],
+    best_jer: float,
+    best_indices: tuple[int, ...] | None,
+    ids: Sequence[str],
+) -> bool:
+    """The enumerator's ``_improves_indices`` comparator over full-pool
+    positions: JER epsilon (1e-15, the enumerator's literal), then smaller
+    jury, then lexicographic juror ids.  Keeping the constants and order
+    identical is what makes the split merge bit-identical."""
+    if jer < best_jer - 1e-15:
+        return True
+    if abs(jer - best_jer) <= 1e-15 and best_indices is not None:
+        if len(indices) != len(best_indices):
+            return len(indices) < len(best_indices)
+        return tuple(ids[i] for i in indices) < tuple(ids[i] for i in best_indices)
+    return False
+
+
+def _merge_partials(
+    partials: Sequence[PartialEnumResult],
+    payload: PlanPayload,
+    columns: PoolColumns,
+) -> CompactResult:
+    """Fold a split enumeration's range winners into the unsplit answer.
+
+    Ranges partition the first-index axis, so folding the per-range winners
+    in ascending-``lo`` order with the enumerator's comparator reproduces
+    the sequential incumbent chain's outcome; counters sum to the unsplit
+    run's (every combination was considered in exactly one range).
+    """
+    ids = columns.ids if columns.ids is not None else tuple(
+        str(i) for i in range(int(columns.eps.size))
+    )
+    stats = SelectionStats()
+    best_indices: tuple[int, ...] | None = None
+    best_jer = math.inf
+    for part in sorted(partials, key=lambda p: p.lo):
+        stats.juries_considered += part.stats.juries_considered
+        stats.jer_evaluations += part.stats.jer_evaluations
+        stats.nodes_visited += part.stats.nodes_visited
+        stats.bound_checks += part.stats.bound_checks
+        stats.pruned_by_bound += part.stats.pruned_by_bound
+        stats.elapsed_seconds += part.stats.elapsed_seconds
+        if part.indices is None:
+            continue
+        if _split_improves(part.jer, part.indices, best_jer, best_indices, ids):
+            best_jer, best_indices = part.jer, part.indices
+    if best_indices is None:
+        b = math.inf if payload.budget is None else payload.budget
+        raise InfeasibleSelectionError(
+            f"no odd-sized jury is affordable within budget {b:g}"
+        )
+    return CompactResult(
+        indices=best_indices,
+        jer=best_jer,
+        algorithm="OPT-enumerate",
+        model="AltrM" if payload.budget is None else "PayM",
+        budget=payload.budget,
+        stats=stats,
+    )
+
+
+def merge_split_answers(
+    answers: Sequence[tuple[int, CompactResult | PartialEnumResult | BaseException, float]],
+    units: Sequence[WorkUnit],
+    blocks: dict[str, PoolColumns],
+) -> list[tuple[int, CompactResult | BaseException, float]]:
+    """Collapse split sub-payload answers back to one triple per query key.
+
+    Non-split answers pass through untouched.  For each split key: any
+    sub-range exception propagates (the deterministic failure modes — fault
+    injection, budget-infeasible pools — raise identically in every range,
+    so "first" is unambiguous); otherwise the range winners fold via
+    :func:`_merge_partials`.  Elapsed is the *sum* of the parts — total
+    worker compute, same meaning as the unsplit triple.
+    """
+    split_payload: dict[int, PlanPayload] = {}
+    for unit in units:
+        for key, payload in unit.payloads:
+            if payload.split is not None:
+                split_payload.setdefault(key, payload)
+    if not split_payload:
+        return list(answers)  # type: ignore[arg-type]
+    merged: list[tuple[int, CompactResult | BaseException, float]] = []
+    parts: dict[int, list[tuple[object, float]]] = {}
+    for key, answer, elapsed in answers:
+        if key in split_payload:
+            parts.setdefault(key, []).append((answer, elapsed))
+        else:
+            merged.append((key, answer, elapsed))  # type: ignore[arg-type]
+    for key, group in parts.items():
+        payload = split_payload[key]
+        elapsed = sum(e for _, e in group)
+        failures = [a for a, _ in group if isinstance(a, BaseException)]
+        if failures:
+            merged.append((key, failures[0], elapsed))
+            continue
+        partials = [a for a, _ in group if isinstance(a, PartialEnumResult)]
+        try:
+            compact: CompactResult | BaseException = _merge_partials(
+                partials, payload, blocks[payload.fingerprint]
+            )
+        except InfeasibleSelectionError as exc:
+            compact = exc
+        merged.append((key, compact, elapsed))
+    return merged
 
 
 # ----------------------------------------------------------------------
@@ -464,20 +717,11 @@ class ShardedExecutor:
         if not dedicated:
             with _POOLS_LOCK:
                 _SHARED_REFS[workers] = _SHARED_REFS.get(workers, 0) + 1
-        # Per-shard utilisation counters (parent-side, cumulative).  Guarded
-        # by their own lock: the async drainer's fan-out threads record
-        # concurrently.
+        # Per-shard utilisation counters (parent-side, cumulative between
+        # resets).  Guarded by their own lock: the async drainer's fan-out
+        # threads record concurrently.
         self._stats_lock = threading.Lock()
-        self._shard_stats: list[dict] = [
-            {
-                "batches": 0,
-                "payloads": 0,
-                "failures": 0,
-                "fallback_batches": 0,
-                "busy_seconds": 0.0,
-            }
-            for _ in range(workers)
-        ]
+        self._shard_stats: list[dict] = [self._fresh_slot() for _ in range(workers)]
         # Flips to True when forking shard processes proves impossible;
         # from then on every batch runs in-process (same code, same answers).
         self._in_process = False
@@ -516,6 +760,21 @@ class ShardedExecutor:
         """Deterministic shard index for a pool content fingerprint."""
         return int(fingerprint[:16], 16) % self._workers
 
+    @staticmethod
+    def _fresh_slot() -> dict:
+        """Zeroed per-shard counter slot (the reset state)."""
+        return {
+            "batches": 0,
+            "payloads": 0,
+            "failures": 0,
+            "fallback_batches": 0,
+            "busy_seconds": 0.0,
+            "assigned_cost": 0.0,
+            "stolen": 0,
+            "split_payloads": 0,
+            "queue_depth": 0,
+        }
+
     def start(self) -> "ShardedExecutor":
         """Fork every shard process now (serving startup, benchmarks).
 
@@ -523,7 +782,16 @@ class ShardedExecutor:
         calls this once so no request pays the fork cost.  A fork-restricted
         environment degrades to in-process here like every dispatch path —
         start() never raises for it.
+
+        ``start()`` is also the documented counter reset point: shared shard
+        *processes* are refcounted across executors (and worker caches
+        deliberately survive), but each ``start()`` zeroes this executor's
+        per-shard utilisation counters so a measurement window (a benchmark
+        config, a fresh serve session reusing warm pools) never reports a
+        predecessor's load as its own.
         """
+        with self._stats_lock:
+            self._shard_stats = [self._fresh_slot() for _ in range(self._workers)]
         for shard in range(self._workers):
             pool = self._pool(shard)
             if pool is None:  # degraded environment: nothing to fork
@@ -604,60 +872,143 @@ class ShardedExecutor:
         payloads: Sequence[tuple[int, PlanPayload]],
         blocks: dict[str, PoolColumns],
     ) -> list[tuple[int, CompactResult | BaseException, float]]:
-        """Partition payloads by fingerprint shard, execute, gather.
+        """Static fingerprint-hash dispatch: partition, execute, gather.
 
-        Each shard receives its payloads plus the :class:`PoolColumns`
-        blocks they reference — one block per distinct pool, however many
-        queries target it.  Submits every shard batch before computing any
-        in-process fallbacks or waiting, so healthy shards compute
-        concurrently even while a dead one is covered in-process; a shard
-        whose process died mid-batch is likewise re-executed in-process
-        (same payloads, same answers) and reforked on the next dispatch.
+        The pre-scheduler entry point, kept as the ``hash`` oracle path:
+        builds :func:`hash_units` (each shard's payloads plus the
+        :class:`PoolColumns` blocks they reference, one block per distinct
+        pool) and runs them with stealing off, so placement is exactly
+        ``shard_of(fingerprint)``.
         """
-        groups: dict[int, list[tuple[int, PlanPayload]]] = {}
-        for key, payload in payloads:
-            groups.setdefault(self.shard_of(payload.fingerprint), []).append(
-                (key, payload)
-            )
-        futures = []
-        deferred = []
-        for shard, batch in groups.items():
-            shard_blocks = {
-                payload.fingerprint: blocks[payload.fingerprint]
-                for _, payload in batch
-            }
-            future = self.submit_batch(shard, batch, shard_blocks)
-            if future is None:
-                deferred.append((shard, batch, shard_blocks))
-            else:
-                futures.append((shard, batch, shard_blocks, future))
-        answers: list[tuple[int, CompactResult | BaseException, float]] = []
-        for shard, batch, shard_blocks in deferred:
-            shard_answers = _execute_shard_batch(batch, shard_blocks)
-            self._record(shard, shard_answers, fallback=True)
-            answers.extend(shard_answers)
-        for shard, batch, shard_blocks, future in futures:
-            try:
-                shard_answers = future.result()
-            except (OSError, BrokenExecutor, CancelledError):
-                # Worker death mid-batch, or a concurrent
-                # shutdown_shared_pools() cancelling the queued future.
-                self._discard_pool(shard)
-                shard_answers = _execute_shard_batch(batch, shard_blocks)
-                self._record(shard, shard_answers, fallback=True)
-            else:
-                self._record(shard, shard_answers, fallback=False)
-            answers.extend(shard_answers)
-        return answers
+        answers, _ = self.run_schedule(hash_units(self, payloads, blocks), steal=False)
+        return answers  # type: ignore[return-value]
+
+    def run_schedule(
+        self,
+        units: Sequence[WorkUnit],
+        *,
+        steal: bool = True,
+    ) -> tuple[
+        list[tuple[int, CompactResult | PartialEnumResult | BaseException, float]],
+        ScheduleReport,
+    ]:
+        """Execute scheduled work units; gather answer triples + a report.
+
+        Each shard's units queue heaviest-first and execute one at a time
+        (its worker process is single-slot anyway), so the parent keeps
+        control of placement between units.  With ``steal=True`` a shard
+        whose queue drains takes the *lightest queued* unit from the
+        *heaviest remaining* queue — bounding the tail when the cost model
+        misjudged a unit, without thrashing the fingerprint affinity the
+        queues were packed with.  Results are placement-independent (see the
+        module docstring), so stealing cannot change answers — only timing.
+
+        Unsubmittable units (dead/unstartable shard processes) fall back to
+        in-process execution after every healthy shard is busy, and a worker
+        dying mid-unit is covered the same way — identical answers, reforked
+        on the next dispatch.
+        """
+        answers: list[
+            tuple[int, CompactResult | PartialEnumResult | BaseException, float]
+        ] = []
+        report = ScheduleReport()
+        if not units:
+            return answers, report
+        report.shards_used = len({unit.shard for unit in units})
+        queues: list[deque[WorkUnit]] = [deque() for _ in range(self._workers)]
+        for unit in sorted(
+            units, key=lambda u: -u.cost
+        ):  # heaviest first within each queue
+            queues[unit.shard].append(unit)
+        with self._stats_lock:
+            for shard, queue in enumerate(queues):
+                slot = self._shard_stats[shard]
+                slot["queue_depth"] = max(slot["queue_depth"], len(queue))
+        inflight: dict[Future, tuple[int, WorkUnit]] = {}
+        pending_inline: list[tuple[int, WorkUnit]] = []
+
+        def next_unit(shard: int) -> WorkUnit | None:
+            """Pop the shard's next unit, stealing when its queue is empty."""
+            if queues[shard]:
+                return queues[shard].popleft()
+            if not steal:
+                return None
+            donor, donor_cost = None, 0.0
+            for other, queue in enumerate(queues):
+                if other == shard or not queue:
+                    continue
+                queued_cost = sum(unit.cost for unit in queue)
+                if donor is None or queued_cost > donor_cost:
+                    donor, donor_cost = other, queued_cost
+            if donor is None:
+                return None
+            unit = queues[donor].pop()  # lightest: queues are heaviest-first
+            report.steals += 1
+            with self._stats_lock:
+                self._shard_stats[shard]["stolen"] += 1
+            return unit
+
+        def dispatch(shard: int) -> None:
+            """Keep the shard busy: submit its next unit(s), deferring any
+            it cannot take so healthy shards are fed first."""
+            while True:
+                unit = next_unit(shard)
+                if unit is None:
+                    return
+                future = self.submit_batch(shard, unit.payloads, unit.blocks)
+                if future is None:
+                    pending_inline.append((shard, unit))
+                    continue
+                inflight[future] = (shard, unit)
+                return
+
+        for shard in range(self._workers):
+            dispatch(shard)
+        while inflight or pending_inline or any(queues):
+            for shard, unit in pending_inline:
+                unit_answers = _execute_shard_batch(unit.payloads, unit.blocks)
+                self._record(shard, unit, unit_answers, fallback=True)
+                report.fallback_units += 1
+                answers.extend(unit_answers)
+            pending_inline.clear()
+            if not inflight:
+                # Every queue is drained or unsubmittable; anything left
+                # queued (in_process latched mid-run) executes inline.
+                for shard, queue in enumerate(queues):
+                    while queue:
+                        pending_inline.append((shard, queue.popleft()))
+                if not pending_inline:
+                    break
+                continue
+            done, _ = wait(inflight, return_when=FIRST_COMPLETED)
+            for future in done:
+                shard, unit = inflight.pop(future)
+                try:
+                    unit_answers = future.result()
+                except (OSError, BrokenExecutor, CancelledError):
+                    # Worker death mid-unit, or a concurrent
+                    # shutdown_shared_pools() cancelling the queued future.
+                    self._discard_pool(shard)
+                    unit_answers = _execute_shard_batch(unit.payloads, unit.blocks)
+                    self._record(shard, unit, unit_answers, fallback=True)
+                    report.fallback_units += 1
+                else:
+                    self._record(shard, unit, unit_answers, fallback=False)
+                answers.extend(unit_answers)
+                dispatch(shard)
+        return answers, report
 
     def _record(
         self,
         shard: int,
-        answers: Sequence[tuple[int, CompactResult | BaseException, float]],
+        unit: WorkUnit,
+        answers: Sequence[
+            tuple[int, CompactResult | PartialEnumResult | BaseException, float]
+        ],
         *,
         fallback: bool,
     ) -> None:
-        """Fold one executed shard batch into the utilisation counters."""
+        """Fold one executed work unit into the utilisation counters."""
         with self._stats_lock:
             slot = self._shard_stats[shard]
             slot["fallback_batches" if fallback else "batches"] += 1
@@ -666,17 +1017,26 @@ class ShardedExecutor:
                 isinstance(answer, BaseException) for _, answer, _ in answers
             )
             slot["busy_seconds"] += sum(elapsed for _, _, elapsed in answers)
+            slot["assigned_cost"] += unit.cost
+            slot["split_payloads"] += sum(
+                payload.split is not None for _, payload in unit.payloads
+            )
 
     def utilisation(self) -> list[dict]:
         """Per-shard utilisation: dispatch counters plus worker liveness.
 
         One dict per shard — batches/payloads/failures dispatched to it,
         ``fallback_batches`` it could not take (executed in the parent
-        instead), cumulative ``busy_seconds`` of worker compute, whether a
-        worker process is currently ``alive``, and its ``pids`` when
-        started.  Feeds the ``shards`` section of the service ``stats()``
-        surface, so a load balancer (or the cost-aware scheduler the
-        ROADMAP plans) can see skew without touching the workers.
+        instead), cumulative ``busy_seconds`` of worker compute,
+        ``assigned_cost`` (summed scheduling weight of the units it
+        executed), ``stolen`` (units it took from another shard's queue),
+        ``split_payloads`` (candidate-range sub-payloads of split exact
+        queries it ran), ``queue_depth`` (high-water mark of units queued
+        for it in one schedule), whether a worker process is currently
+        ``alive``, and its ``pids`` when started.  Counters accumulate from
+        the last :meth:`start` (the reset point); they feed the
+        ``scheduler`` and ``shards`` sections of the service ``stats()``
+        surface, so skew is visible without touching the workers.
         """
         report = []
         with self._stats_lock:

@@ -1,0 +1,756 @@
+"""Cost-aware shard scheduling: policy-layer unit tests, Zipf-skew oracle
+suites (bit-identity across cost/hash/sequential + the skew bar), split-merge
+identity at every budget, and the cost-policy eviction regression."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import replace
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import JuryService, PoolCommand, SelectionRequest
+from repro.core.juror import Juror, jurors_from_arrays
+from repro.core.selection.exact import enumerate_best_in_range, enumerate_optimal
+from repro.errors import InfeasibleSelectionError
+from repro.plan.cost import KERNEL_BACKEND_SPEEDUP, MAX_SCHEDULING_COST, plan_cost
+from repro.service import (
+    BatchSelectionEngine,
+    PoolRegistry,
+    SelectionQuery,
+    ShardedExecutor,
+    WorkScheduler,
+)
+from repro.service import sched as sched_module
+from repro.service.pool import as_pool
+from repro.service.sched import (
+    DEFAULT_SCHEDULER_POLICY,
+    MAX_UNITS_PER_SHARD,
+    SCHEDULER_POLICIES,
+    balance_groups,
+    enumeration_split_ranges,
+    scheduler_policy_from_env,
+)
+from repro.service.shard import (
+    PlanPayload,
+    PoolColumns,
+    WorkUnit,
+    hash_units,
+    merge_split_answers,
+)
+from repro.testing import DEFAULT_SEED
+
+#: Zipf popularity exponent of the skewed pool stream (ISSUE: s ~ 1.1).
+ZIPF_S = 1.1
+
+
+def _pool_jurors(rng, n: int, *, tag: str, priced: bool = False):
+    eps = rng.uniform(0.05, 0.9, size=n)
+    reqs = rng.uniform(0.05, 0.15, size=n) if priced else np.zeros(n)
+    return tuple(
+        Juror(float(e), float(r), juror_id=f"{tag}-{i}")
+        for i, (e, r) in enumerate(zip(eps, reqs))
+    )
+
+
+def _normalise(outcome):
+    """Comparable projection of one QueryOutcome (results or errors)."""
+    if outcome.ok:
+        result = outcome.result
+        return (
+            "ok",
+            result.juror_ids,
+            result.jer,  # exact float equality, not approx
+            result.algorithm,
+            result.model,
+            result.stats.juries_considered,
+            result.stats.jer_evaluations,
+        )
+    return ("error", type(outcome.exception).__name__, str(outcome.exception))
+
+
+def _assert_bit_identical(expected, actual):
+    assert len(expected) == len(actual)
+    for want, got in zip(expected, actual):
+        assert _normalise(got) == _normalise(want)
+
+
+def _zipf_workload(rng, *, pools: int = 8, n_queries: int = 30):
+    """A Zipf-skewed (s ~ 1.1) pool-popularity stream of mixed queries.
+
+    Three heavy exact enumerations (affordable 13 -> ~1.9e5 ops, past
+    ``SPLIT_MIN_COST``) ballast every stream so the cost policy always has
+    something splittable; the remaining queries draw their pool from a Zipf
+    popularity law and mix AltrM / PayM / exact models.
+    """
+    shared = [
+        _pool_jurors(rng, 11 + (i % 5), tag=f"z{i}", priced=True)
+        for i in range(pools)
+    ]
+    popularity = np.arange(1, pools + 1, dtype=float) ** -ZIPF_S
+    popularity /= popularity.sum()
+    queries = [
+        SelectionQuery(
+            task_id=f"heavy{b}",
+            candidates=_pool_jurors(rng, 13, tag=f"heavy{b}", priced=True),
+            model="exact",
+            budget=2.0,
+            method="enumerate",
+        )
+        for b in range(3)
+    ]
+    for i in range(n_queries):
+        pool = shared[int(rng.choice(pools, p=popularity))]
+        kind = rng.random()
+        if kind < 0.6:
+            queries.append(
+                SelectionQuery(task_id=f"a{i}", candidates=pool)
+            )
+        elif kind < 0.85:
+            queries.append(
+                SelectionQuery(
+                    task_id=f"p{i}", candidates=pool, model="pay", budget=1.0
+                )
+            )
+        else:
+            queries.append(
+                SelectionQuery(
+                    task_id=f"e{i}",
+                    candidates=pool,
+                    model="exact",
+                    budget=1.5,
+                    method="enumerate",
+                )
+            )
+    return queries
+
+
+class TestPlanCost:
+    def test_positive_finite_for_every_planned_query(self, rng):
+        engine = BatchSelectionEngine()
+        queries = _zipf_workload(rng, n_queries=10)
+        for query in queries:
+            cost = plan_cost(engine.plan(query))
+            assert math.isfinite(cost) and cost >= 1.0
+
+    def test_exact_enumeration_outweighs_altr_sweep(self, rng):
+        engine = BatchSelectionEngine()
+        cands = _pool_jurors(rng, 13, tag="w", priced=True)
+        altr = engine.plan(SelectionQuery(task_id="a", candidates=cands))
+        exact = engine.plan(
+            SelectionQuery(
+                task_id="e",
+                candidates=cands,
+                model="exact",
+                budget=2.0,
+                method="enumerate",
+            )
+        )
+        assert plan_cost(exact) > 100 * plan_cost(altr)
+
+    def test_kernel_backend_speedup_discounts(self, rng):
+        engine = BatchSelectionEngine()
+        plan = engine.plan(
+            SelectionQuery(
+                task_id="e",
+                candidates=_pool_jurors(rng, 13, tag="kb", priced=True),
+                model="exact",
+                budget=2.0,
+                method="enumerate",
+            )
+        )
+        payload = PlanPayload.from_plan(plan, fingerprint="f" * 64)
+        numpy_cost = plan_cost(payload)
+        for backend, speedup in KERNEL_BACKEND_SPEEDUP.items():
+            scaled = plan_cost(replace(payload, kernel_backend=backend))
+            assert scaled == pytest.approx(max(1.0, numpy_cost / speedup))
+
+    def test_infinite_estimates_clamp_to_ceiling(self):
+        from types import SimpleNamespace
+
+        plan = SimpleNamespace(
+            operator="exact-enumerate",
+            kernel_backend="numpy",
+            cost=SimpleNamespace(
+                pool_size=20,
+                estimates=(("exact-enumerate", math.inf),),
+            ),
+        )
+        assert plan_cost(plan) == MAX_SCHEDULING_COST
+
+
+class TestEnumerationSplitRanges:
+    @given(
+        n_eff=st.integers(min_value=1, max_value=20),
+        limit=st.integers(min_value=1, max_value=20),
+        parts=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_ranges_partition_the_first_index_axis(self, n_eff, limit, parts):
+        ranges = enumeration_split_ranges(n_eff, min(limit, n_eff), parts)
+        assert ranges[0][0] == 0
+        assert ranges[-1][1] == n_eff
+        for (lo, hi), (nlo, _) in zip(ranges, ranges[1:]):
+            assert lo < hi
+            assert hi == nlo  # contiguous, disjoint
+        assert all(lo < hi for lo, hi in ranges)
+        assert len(ranges) <= max(1, min(parts, n_eff))
+
+    def test_work_front_loading_narrows_the_first_range(self):
+        # Index 0 anchors nearly half of all combinations, so balanced
+        # ranges must be much narrower at the front than at the tail.
+        ranges = enumeration_split_ranges(16, 16, 4)
+        widths = [hi - lo for lo, hi in ranges]
+        assert widths[0] < widths[-1]
+
+    def test_ranges_balance_the_exact_work_profile(self):
+        weights = sched_module._first_index_weights(18, 18)
+        ranges = enumeration_split_ranges(18, 18, 4)
+        loads = [sum(weights[lo:hi]) for lo, hi in ranges]
+        # A contiguous partition cannot beat the heaviest single index
+        # (index 0 anchors over half the combinations), but it must never
+        # be worse than that indivisible floor or 2x the ideal share.
+        ideal = sum(weights) / len(ranges)
+        assert max(loads) <= max(max(weights), 2.0 * ideal)
+
+
+class TestBalanceGroups:
+    @given(
+        weights=st.lists(
+            st.floats(min_value=1.0, max_value=1e6), min_size=0, max_size=40
+        ),
+        parts=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_assignment_is_deterministic_and_in_range(self, weights, parts):
+        first = balance_groups(weights, parts)
+        assert first == balance_groups(list(weights), parts)
+        assert len(first) == len(weights)
+        assert all(0 <= bin_index < parts for bin_index in first)
+
+    def test_every_bin_used_when_enough_groups(self):
+        assignment = balance_groups([5.0, 4.0, 3.0, 2.0, 1.0], 3)
+        assert set(assignment) == {0, 1, 2}
+
+    def test_lpt_bounds_the_makespan(self, rng):
+        weights = list(rng.uniform(1.0, 100.0, size=24))
+        parts = 4
+        loads = [0.0] * parts
+        for weight, bin_index in zip(weights, balance_groups(weights, parts)):
+            loads[bin_index] += weight
+        ideal = sum(weights) / parts
+        assert max(loads) <= (4 / 3) * ideal + max(weights) / parts
+
+
+class TestPolicySelection:
+    def test_env_default_and_leniency(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCHEDULER", raising=False)
+        assert scheduler_policy_from_env() == DEFAULT_SCHEDULER_POLICY
+        for raw, expected in (
+            ("cost", "cost"),
+            ("hash", "hash"),
+            ("  HASH ", "hash"),
+            ("bogus", DEFAULT_SCHEDULER_POLICY),
+            ("", DEFAULT_SCHEDULER_POLICY),
+        ):
+            monkeypatch.setenv("REPRO_SCHEDULER", raw)
+            assert scheduler_policy_from_env() == expected
+
+    def test_scheduler_obeys_env_and_rejects_explicit_garbage(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCHEDULER", "hash")
+        assert WorkScheduler().policy == "hash"
+        assert WorkScheduler("cost").policy == "cost"
+        with pytest.raises(ValueError, match="scheduler policy"):
+            WorkScheduler("round-robin")
+
+    def test_steal_enabled_only_under_cost(self):
+        assert WorkScheduler("cost").steal_enabled
+        assert not WorkScheduler("hash").steal_enabled
+
+    def test_engine_reports_policy_everywhere(self):
+        engine = BatchSelectionEngine(scheduler="hash")
+        assert engine.scheduler_policy == "hash"
+        assert engine.stats.scheduler_policy == "hash"
+        assert engine.scheduler_stats()["policy"] == "hash"
+
+    def test_service_rejects_engine_plus_scheduler(self):
+        engine = BatchSelectionEngine()
+        with pytest.raises(ValueError, match="not both"):
+            JuryService(engine=engine, scheduler="hash")
+
+    def test_cli_flag_exports_env(self, tmp_path, monkeypatch, capsys):
+        import os
+
+        from repro.cli import main
+
+        monkeypatch.setenv("REPRO_SCHEDULER", "cost")
+        rows = [
+            '{"pool": "P", "candidates": [{"id": "a", "error_rate": 0.1}, '
+            '{"id": "b", "error_rate": 0.2}, {"id": "c", "error_rate": 0.3}]}',
+            '{"task": "t1", "pool": "P"}',
+        ]
+        source = tmp_path / "queries.jsonl"
+        source.write_text("\n".join(rows) + "\n", encoding="utf-8")
+        assert main(["batch", str(source), "--scheduler", "hash"]) == 0
+        assert os.environ["REPRO_SCHEDULER"] == "hash"
+        capsys.readouterr()
+
+    def test_cli_rejects_unknown_policy(self, capsys):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["batch", "queries.jsonl", "--scheduler", "round-robin"])
+        assert "--scheduler" in capsys.readouterr().err
+
+
+def _planned(engine, queries):
+    """(payloads, blocks) for a batch, built like the engine's shard path."""
+    payloads = []
+    blocks = {}
+    for index, query in enumerate(queries):
+        plan = engine.plan(query)
+        pool = as_pool(query.candidates)
+        fingerprint = pool.fingerprint
+        if fingerprint not in blocks:
+            blocks[fingerprint] = PoolColumns.from_view(
+                plan.view, fingerprint=fingerprint, need_ids=True
+            )
+        payloads.append(
+            (index, PlanPayload.from_plan(plan, fingerprint=fingerprint))
+        )
+    return payloads, blocks
+
+
+class TestSchedulerBuild:
+    @pytest.fixture
+    def executor(self):
+        executor = ShardedExecutor(3, dedicated=True)
+        yield executor
+        executor.close()
+
+    def test_hash_policy_matches_hash_units(self, rng, executor):
+        engine = BatchSelectionEngine()
+        payloads, blocks = _planned(engine, _zipf_workload(rng, n_queries=12))
+        units, splits = WorkScheduler("hash").build(payloads, blocks, executor)
+        oracle = hash_units(executor, payloads, blocks)
+        assert splits == 0
+        assert [(u.shard, [k for k, _ in u.payloads]) for u in units] == [
+            (u.shard, [k for k, _ in u.payloads]) for u in oracle
+        ]
+
+    def test_cost_policy_preserves_every_key_and_respects_unit_cap(
+        self, rng, executor
+    ):
+        engine = BatchSelectionEngine()
+        queries = _zipf_workload(rng, n_queries=12)
+        payloads, blocks = _planned(engine, queries)
+        units, splits = WorkScheduler("cost").build(payloads, blocks, executor)
+        assert splits >= 3  # the ballast exacts are heavy enough to split
+        # Every key survives: unsplit keys exactly once, split keys as a
+        # sub-payload set whose ranges partition the first-index axis.
+        seen: dict[int, list[PlanPayload]] = {}
+        per_shard_units: dict[int, int] = {}
+        for unit in units:
+            per_shard_units[unit.shard] = per_shard_units.get(unit.shard, 0) + 1
+            assert unit.cost > 0.0
+            for key, payload in unit.payloads:
+                seen.setdefault(key, []).append(payload)
+        assert sorted(seen) == [key for key, _ in payloads]
+        for key, parts in seen.items():
+            if len(parts) == 1 and parts[0].split is None:
+                continue
+            spans = sorted(p.split for p in parts)
+            assert spans[0][0] == 0
+            assert all(a[1] == b[0] for a, b in zip(spans, spans[1:]))
+        assert all(count <= MAX_UNITS_PER_SHARD for count in per_shard_units.values())
+
+    def test_fingerprint_groups_never_split_across_units(self, rng, executor):
+        engine = BatchSelectionEngine()
+        pool = _pool_jurors(rng, 13, tag="grp")
+        queries = [
+            SelectionQuery(task_id=f"t{i}", candidates=pool) for i in range(8)
+        ]
+        payloads, blocks = _planned(engine, queries)
+        units, _ = WorkScheduler("cost").build(payloads, blocks, executor)
+        owners = {
+            payload.fingerprint: unit.shard
+            for unit in units
+            for _, payload in unit.payloads
+        }
+        assert len(units) == 1  # one pool group -> one unit
+        assert len(owners) == 1
+
+    def test_single_pool_batch_lands_on_affinity_shard(self, rng, executor):
+        engine = BatchSelectionEngine()
+        pool = _pool_jurors(rng, 11, tag="aff")
+        payloads, blocks = _planned(
+            engine, [SelectionQuery(task_id="t", candidates=pool)]
+        )
+        units, _ = WorkScheduler("cost").build(payloads, blocks, executor)
+        fingerprint = payloads[0][1].fingerprint
+        assert [unit.shard for unit in units] == [executor.shard_of(fingerprint)]
+
+    def test_in_process_executor_never_splits(self, rng, executor):
+        engine = BatchSelectionEngine()
+        payloads, blocks = _planned(engine, _zipf_workload(rng, n_queries=4))
+        executor._in_process = True
+        units, splits = WorkScheduler("cost").build(payloads, blocks, executor)
+        assert splits == 0
+        assert all(p.split is None for u in units for _, p in u.payloads)
+
+
+class TestStealing:
+    def test_idle_shard_steals_from_the_heaviest_queue(self, rng):
+        executor = ShardedExecutor(2, dedicated=True)
+        try:
+            engine = BatchSelectionEngine()
+            pools = [_pool_jurors(rng, 12, tag=f"st{i}") for i in range(6)]
+            queries = [
+                SelectionQuery(task_id=f"t{i}", candidates=pool)
+                for i, pool in enumerate(pools)
+            ]
+            payloads, blocks = _planned(engine, queries)
+            # Pile every unit onto shard 0; shard 1 starts idle and must
+            # steal to participate at all.
+            units = [
+                WorkUnit(
+                    shard=0,
+                    payloads=[item],
+                    blocks={item[1].fingerprint: blocks[item[1].fingerprint]},
+                    cost=float(i + 1),
+                )
+                for i, item in enumerate(payloads)
+            ]
+            answers, report = executor.run_schedule(units, steal=True)
+            assert sorted(key for key, _, _ in answers) == list(range(6))
+            assert report.steals >= 1
+            slots = executor.utilisation()
+            assert slots[1]["stolen"] == report.steals
+            assert slots[0]["queue_depth"] == 6
+        finally:
+            executor.close()
+
+    def test_no_stealing_when_disabled(self, rng):
+        executor = ShardedExecutor(2, dedicated=True)
+        try:
+            engine = BatchSelectionEngine()
+            payloads, blocks = _planned(
+                engine,
+                [
+                    SelectionQuery(
+                        task_id=f"t{i}",
+                        candidates=_pool_jurors(rng, 9, tag=f"ns{i}"),
+                    )
+                    for i in range(4)
+                ],
+            )
+            units = hash_units(executor, payloads, blocks)
+            _, report = executor.run_schedule(units, steal=False)
+            assert report.steals == 0
+            assert all(slot["stolen"] == 0 for slot in executor.utilisation())
+        finally:
+            executor.close()
+
+
+class TestZipfSchedulingOracle:
+    """The ISSUE's hypothesis suite: a Zipf-skewed stream must be answered
+    bit-identically under cost, hash and sequential dispatch."""
+
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=5, deadline=None)
+    def test_policies_bit_identical_to_sequential(self, seed):
+        rng = np.random.default_rng(seed)
+        queries = _zipf_workload(rng)
+        sequential = BatchSelectionEngine().run(list(queries))
+        for policy in SCHEDULER_POLICIES:
+            engine = BatchSelectionEngine(max_workers=3, scheduler=policy)
+            _assert_bit_identical(sequential, engine.run(list(queries)))
+            if policy == "cost":
+                assert engine.stats.split_queries >= 3
+
+    def test_cost_policy_meets_skew_bar_where_hash_exceeds_it(self, rng):
+        """Engineered worst case for hashing: every heavy pool fingerprints
+        onto shard 0, so hash piles the whole batch there (skew = workers)
+        while the cost policy must keep max/mean assigned cost <= 1.5."""
+        workers = 3
+
+        def colliding_pool(tag, n, priced):
+            while True:
+                pool = _pool_jurors(rng, n, tag=tag, priced=priced)
+                fingerprint = as_pool(pool).fingerprint
+                if int(fingerprint[:16], 16) % workers == 0:
+                    return pool
+
+        queries = []
+        for b in range(4):
+            queries.append(
+                SelectionQuery(
+                    task_id=f"h{b}",
+                    candidates=colliding_pool(f"h{b}", 13, True),
+                    model="exact",
+                    budget=2.0,
+                    method="enumerate",
+                )
+            )
+        for i in range(8):
+            queries.append(
+                SelectionQuery(
+                    task_id=f"a{i}",
+                    candidates=colliding_pool(f"a{i}", 11, False),
+                )
+            )
+
+        sequential = BatchSelectionEngine().run(list(queries))
+        skews = {}
+        for policy in SCHEDULER_POLICIES:
+            engine = BatchSelectionEngine(max_workers=workers, scheduler=policy)
+            _assert_bit_identical(sequential, engine.run(list(queries)))
+            stats = engine.scheduler_stats()
+            assert stats["policy"] == policy
+            assert stats["workers"] == workers
+            skews[policy] = stats["assigned_cost_skew"]
+        assert skews["hash"] > 1.5  # everything hashed onto one shard
+        assert skews["cost"] <= 1.5
+
+
+class TestSplitMergeIdentity:
+    """Split-exact enumeration must equal the unsplit oracle at every
+    budget — winners, JER bits, and summed search counters alike."""
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        n=st.integers(min_value=1, max_value=14),
+        parts=st.integers(min_value=2, max_value=5),
+        tightness=st.floats(min_value=0.0, max_value=1.2),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_range_fold_matches_enumerate_optimal(self, seed, n, parts, tightness):
+        rng = np.random.default_rng(seed)
+        candidates = _pool_jurors(rng, n, tag="sm", priced=True)
+        budget = tightness * float(sum(j.requirement for j in candidates))
+        try:
+            oracle = enumerate_optimal(candidates, budget)
+            oracle_error = None
+        except InfeasibleSelectionError as exc:
+            oracle, oracle_error = None, exc
+
+        from repro.plan.view import as_columns
+
+        _, _, ordered = as_columns(candidates)
+        ordered_ids = tuple(j.juror_id for j in ordered)
+        ranges = enumeration_split_ranges(n, n, parts)
+        best = None  # (indices, jer)
+        considered = evaluations = 0
+        for lo, hi in ranges:
+            indices, jer, stats = enumerate_best_in_range(
+                candidates, budget, first_lo=lo, first_hi=hi
+            )
+            considered += stats.juries_considered
+            evaluations += stats.jer_evaluations
+            if indices is None:
+                continue
+            if best is None:
+                best = (indices, jer)
+            else:
+                b_indices, b_jer = best
+                if jer < b_jer - 1e-15 or (
+                    abs(jer - b_jer) <= 1e-15
+                    and (
+                        (len(indices), tuple(ordered_ids[i] for i in indices))
+                        < (len(b_indices), tuple(ordered_ids[i] for i in b_indices))
+                    )
+                ):
+                    best = (indices, jer)
+        if oracle_error is not None:
+            assert best is None
+        else:
+            assert best is not None
+            indices, jer = best
+            assert jer == oracle.jer  # bit-equal
+            assert tuple(ordered_ids[i] for i in indices) == oracle.juror_ids
+            assert considered == oracle.stats.juries_considered
+            assert evaluations == oracle.stats.jer_evaluations
+
+    def test_engine_split_answers_match_at_every_budget(self, rng, monkeypatch):
+        """End-to-end satellite: force splitting of even small exacts and
+        sweep the budget axis from infeasible to loose — the sharded cost
+        engine must agree with the sequential oracle at every point."""
+        monkeypatch.setattr(sched_module, "SPLIT_MIN_COST", 1.0)
+        candidates = _pool_jurors(rng, 10, tag="bud", priced=True)
+        total = float(sum(j.requirement for j in candidates))
+        budgets = [total * f for f in (0.0, 0.02, 0.1, 0.3, 0.5, 0.8, 1.0)]
+        queries = [
+            SelectionQuery(
+                task_id=f"b{i}",
+                candidates=candidates,
+                model="exact",
+                budget=budget,
+                method="enumerate",
+            )
+            for i, budget in enumerate(budgets)
+        ]
+        sequential = BatchSelectionEngine().run(list(queries))
+        engine = BatchSelectionEngine(max_workers=3, scheduler="cost")
+        _assert_bit_identical(sequential, engine.run(list(queries)))
+        # Only budgets with >= 4 individually-affordable candidates split
+        # (tighter ones run the unsplit guarded enumeration); with every
+        # requirement <= 0.15 * total that is at least the four loosest.
+        assert engine.stats.split_queries >= 4
+        stats = engine.scheduler_stats()
+        assert sum(slot["split_payloads"] for slot in stats["per_shard"]) > 0
+
+
+class TestSchedulerStatsSurface:
+    def test_counters_reset_on_start(self, rng):
+        """Satellite: start() is the documented counter reset point — a new
+        measurement window never reports a predecessor's load."""
+        executor = ShardedExecutor(2, dedicated=True)
+        try:
+            engine = BatchSelectionEngine(executor=executor, scheduler="cost")
+            engine.run(
+                [
+                    SelectionQuery(
+                        task_id=f"t{i}",
+                        candidates=_pool_jurors(rng, 9, tag=f"rs{i}"),
+                    )
+                    for i in range(4)
+                ]
+            )
+            assert sum(s["assigned_cost"] for s in executor.utilisation()) > 0
+            executor.start()
+            for slot in executor.utilisation():
+                assert slot["batches"] == 0
+                assert slot["payloads"] == 0
+                assert slot["assigned_cost"] == 0.0
+                assert slot["busy_seconds"] == 0.0
+                assert slot["stolen"] == 0
+                assert slot["split_payloads"] == 0
+                assert slot["queue_depth"] == 0
+            # The reset is counters-only: worker caches survive.
+            assert any(executor.cache_stats())
+        finally:
+            executor.close()
+
+    def test_sequential_engine_reports_virtual_slot(self, rng):
+        engine = BatchSelectionEngine(scheduler="cost")
+        engine.run(
+            [
+                SelectionQuery(
+                    task_id="t", candidates=_pool_jurors(rng, 9, tag="sq")
+                )
+            ]
+        )
+        stats = engine.scheduler_stats()
+        assert stats["workers"] == 1
+        assert stats["assigned_cost_skew"] == 1.0
+        [slot] = stats["per_shard"]
+        assert slot["assigned_cost"] > 0.0
+        assert slot["busy_seconds"] >= 0.0
+
+    def test_service_stats_carry_the_scheduler_block(self, rng):
+        service = JuryService(workers=2, scheduler="cost")
+        try:
+            requests = [
+                SelectionRequest(
+                    task_id=f"t{i}", candidates=_pool_jurors(rng, 9, tag=f"ss{i}")
+                )
+                for i in range(4)
+            ]
+            assert all(
+                response.status == "ok"
+                for response in service.select_many(requests)
+            )
+            stats = service.stats()
+            assert stats["engine"]["scheduler_policy"] == "cost"
+            assert stats["engine"]["split_queries"] == 0  # nothing heavy here
+            assert stats["engine"]["stolen_units"] >= 0
+            block = stats["scheduler"]
+            assert block["policy"] == "cost"
+            assert block["workers"] == 2
+            assert len(block["per_shard"]) == 2
+            assert block["assigned_cost_skew"] >= 1.0
+            for slot in block["per_shard"]:
+                assert set(slot) == {
+                    "shard",
+                    "assigned_cost",
+                    "busy_seconds",
+                    "stolen",
+                    "split_payloads",
+                    "queue_depth",
+                }
+        finally:
+            service.close()
+
+
+class TestCostPolicyEviction:
+    def test_drop_then_recreate_is_fresh_on_every_shard(self, rng, monkeypatch):
+        """Satellite regression: under the cost scheduler a pool's payloads
+        may execute on *any* shard (bin-packing, splits, steals), so a pool
+        drop must still broadcast-evict every worker-local cache and the
+        frontier — a same-fingerprint re-create can never serve stale state."""
+        monkeypatch.setattr(sched_module, "SPLIT_MIN_COST", 1.0)
+        executor = ShardedExecutor(3, dedicated=True)
+        try:
+            members = list(jurors_from_arrays(rng.uniform(0.05, 0.9, size=11)))
+            registry = PoolRegistry()
+            engine = BatchSelectionEngine(
+                executor=executor, registry=registry, scheduler="cost"
+            )
+            service = JuryService(engine=engine)
+            service.pool(
+                PoolCommand(action="create", name="P", candidates=tuple(members))
+            )
+            fingerprint = registry.get("P").fingerprint
+            # Mixed traffic (AltrM + split exact on P, plus load elsewhere)
+            # so P's payloads spread across shards under the cost policy.
+            filler = [
+                SelectionRequest(
+                    task_id=f"f{i}",
+                    candidates=_pool_jurors(rng, 12, tag=f"ev{i}", priced=True),
+                    model="exact",
+                    budget=2.0,
+                    method="enumerate",
+                )
+                for i in range(3)
+            ]
+            first = service.select_many(
+                [
+                    SelectionRequest(task_id="t1", pool="P"),
+                    SelectionRequest(
+                        task_id="t2",
+                        pool="P",
+                        model="exact",
+                        budget=None,
+                        method="enumerate",
+                    ),
+                    *filler,
+                ]
+            )
+            assert all(response.status == "ok" for response in first)
+            assert engine.stats.split_queries >= 1
+            assert any(executor.contains(fingerprint))
+
+            live_profiles_before = engine.stats.live_profiles
+            service.pool(PoolCommand(action="drop", name="P"))
+            assert not any(executor.contains(fingerprint))
+            assert fingerprint not in engine.cache
+
+            service.pool(
+                PoolCommand(action="create", name="P", candidates=tuple(members))
+            )
+            assert registry.get("P").fingerprint == fingerprint
+            second = service.select(SelectionRequest(task_id="t3", pool="P"))
+            assert second.status == "ok"
+            assert second.jer == first[0].jer
+            assert engine.stats.live_profiles == live_profiles_before + 1
+
+            oracle = BatchSelectionEngine().select(
+                SelectionQuery(task_id="oracle", candidates=tuple(members))
+            )
+            assert second.jer == oracle.jer
+            assert tuple(j.juror_id for j in second.members) == oracle.juror_ids
+        finally:
+            executor.close()
